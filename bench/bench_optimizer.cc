@@ -1,0 +1,105 @@
+// E7 — Provider-side optimization (LINQ property): shipping whole
+// expression trees "permits optimization and query planning at the
+// Provider" — and at the coordinator. This bench ablates the optimizer's
+// passes on a filter + join + aggregate pipeline.
+//
+// Arms: none / +pushdown / +pruning / all (pushdown + pruning + folding).
+// Sweep the selection's selectivity; report wall time on the relational
+// engine. Pushdown shrinks the join's build/probe inputs, pruning narrows
+// the scans.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+int main() {
+  const int64_t kFactRows = 150000;
+  const int64_t kDimRows = 2000;
+
+  std::printf("E7 Optimizer ablation: select-above-join pipeline, %lld x %lld rows\n\n",
+              static_cast<long long>(kFactRows), static_cast<long long>(kDimRows));
+  std::printf("%11s  %9s  %11s  %11s  %9s  %9s\n", "selectivity", "none(ms)",
+              "+pushdown", "+pruning", "all(ms)", "speedup");
+
+  for (double selectivity : {0.5, 0.1, 0.01, 0.001}) {
+    Cluster cluster;
+    NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
+    NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+    Rng rng(42);
+    SchemaPtr fact = Schema::Make({Field::Attr("id", DataType::kInt64),
+                                   Field::Attr("dim_id", DataType::kInt64),
+                                   Field::Attr("v", DataType::kFloat64),
+                                   Field::Attr("pad1", DataType::kFloat64),
+                                   Field::Attr("pad2", DataType::kString)})
+                        .ValueOrDie();
+    TableBuilder fb(fact);
+    for (int64_t i = 0; i < kFactRows; ++i) {
+      NEXUS_CHECK(fb.AppendRow({Value::Int64(i),
+                                Value::Int64(rng.NextInt(0, kDimRows - 1)),
+                                Value::Float64(rng.NextDouble(0, 1)),
+                                Value::Float64(rng.NextDouble(0, 1)),
+                                Value::String(rng.NextString(12))})
+                      .ok());
+    }
+    NEXUS_CHECK(
+        cluster.PutData("relstore", "fact", Dataset(fb.Finish().ValueOrDie())).ok());
+    SchemaPtr dim = Schema::Make({Field::Attr("did", DataType::kInt64),
+                                  Field::Attr("label", DataType::kString)})
+                        .ValueOrDie();
+    TableBuilder db(dim);
+    for (int64_t i = 0; i < kDimRows; ++i) {
+      NEXUS_CHECK(db.AppendRow({Value::Int64(i), Value::String(rng.NextString(8))})
+                      .ok());
+    }
+    NEXUS_CHECK(
+        cluster.PutData("relstore", "dim", Dataset(db.Finish().ValueOrDie())).ok());
+
+    // Selection written *above* the join, as clients naturally do.
+    PlanPtr p = Plan::Join(Plan::Scan("fact"), Plan::Scan("dim"),
+                           JoinType::kInner, {"dim_id"}, {"did"});
+    p = Plan::Select(p, Lt(Col("v"), Lit(selectivity)));
+    p = Plan::Aggregate(p, {"label"}, {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+                                       AggSpec{AggFunc::kCount, nullptr, "n"}});
+
+    auto run = [&](bool push, bool prune, bool fold) {
+      CoordinatorOptions opts;
+      opts.optimizer.push_selections = push;
+      opts.optimizer.prune_columns = prune;
+      opts.optimizer.fold_constants = fold;
+      opts.optimizer.recognize_intent = false;
+      Coordinator coord(&cluster, opts);
+      // Warm-up, then best-of-3 timed runs (single-core box: take the
+      // minimum to shed scheduler noise).
+      NEXUS_CHECK(coord.Execute(p).ok());
+      double ms = 1e30;
+      Dataset r;
+      for (int rep = 0; rep < 3; ++rep) {
+        WallTimer t;
+        r = coord.Execute(p).ValueOrDie();
+        ms = std::min(ms, t.ElapsedMillis());
+      }
+      return std::make_pair(ms, r);
+    };
+    auto [ms_none, r_none] = run(false, false, false);
+    auto [ms_push, r_push] = run(true, false, false);
+    auto [ms_prune, r_prune] = run(false, true, false);
+    auto [ms_all, r_all] = run(true, true, true);
+    NEXUS_CHECK(r_none.LogicallyEquals(r_all));
+    NEXUS_CHECK(r_push.LogicallyEquals(r_all));
+    NEXUS_CHECK(r_prune.LogicallyEquals(r_all));
+
+    std::printf("%11.3f  %9.1f  %11.1f  %11.1f  %9.1f  %8.2fx\n", selectivity,
+                ms_none, ms_push, ms_prune, ms_all, ms_none / ms_all);
+  }
+  std::printf("\nshape expectation: pushdown wins grow as selectivity tightens\n");
+  std::printf("(the join sees only surviving rows); pruning gives a roughly\n");
+  std::printf("constant factor by dropping the padding columns early.\n");
+  return 0;
+}

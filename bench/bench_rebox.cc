@@ -1,0 +1,116 @@
+// E9 — Model fusion: "a fusion of tabular and array models, with 0 or more
+// attributes in a table structure being tagged as dimensions, and operators
+// being dimension-aware."
+//
+// Two measurements, swept over cell density:
+//   (a) rebox round trip — table -> chunked array -> table; the conversion
+//       cost is the price of moving between representations, and the round
+//       trip must be lossless;
+//   (b) dimension-aware advantage — the same cell-wise combine of two
+//       grids executed as a dimension-aware ElemWise on the chunked array
+//       engine vs as a generic equi-join + arithmetic on the relational
+//       engine.
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "types/ndarray.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+namespace {
+
+TablePtr SparseGrid(Rng* rng, int64_t n, double density, const char* attr) {
+  SchemaPtr s = Schema::Make({Field::Dim("i"), Field::Dim("j"),
+                              Field::Attr(attr, DataType::kFloat64)})
+                    .ValueOrDie();
+  TableBuilder b(s);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (!rng->NextBool(density)) continue;
+      NEXUS_CHECK(b.AppendRow({Value::Int64(i), Value::Int64(j),
+                               Value::Float64(rng->NextDouble(0, 1))})
+                      .ok());
+    }
+  }
+  return b.Finish().ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  const int64_t n = 256;
+  std::printf("E9 Model fusion: rebox round trip and dimension-aware ops\n");
+  std::printf("grid %lld x %lld, chunk 32\n\n", static_cast<long long>(n),
+              static_cast<long long>(n));
+  std::printf("(a) table <-> array round trip\n");
+  std::printf("%8s %9s  %12s  %12s  %9s\n", "density", "cells", "to-array(ms)",
+              "to-table(ms)", "lossless");
+
+  for (double density : {0.05, 0.25, 0.5, 1.0}) {
+    Rng rng(static_cast<uint64_t>(density * 1000));
+    TablePtr t = SparseGrid(&rng, n, density, "v");
+    WallTimer t1;
+    auto arr = NDArray::FromTable(*t, {"i", "j"}, {32, 32});
+    NEXUS_CHECK(arr.ok());
+    double to_array = t1.ElapsedMillis();
+    WallTimer t2;
+    auto back = arr.ValueOrDie()->ToTable();
+    NEXUS_CHECK(back.ok());
+    double to_table = t2.ElapsedMillis();
+    bool lossless =
+        Dataset(t).LogicallyEquals(Dataset(TablePtr(back.ValueOrDie())));
+    std::printf("%8.2f %9lld  %12.2f  %12.2f  %9s\n", density,
+                static_cast<long long>(t->num_rows()), to_array, to_table,
+                lossless ? "yes" : "NO");
+  }
+
+  std::printf("\n(b) cell-wise combine: dimension-aware (arraydb) vs generic\n");
+  std::printf("    join (relstore), same algebra node\n");
+  std::printf("%8s %9s  %12s  %14s  %9s\n", "density", "cells", "arraydb(ms)",
+              "relstore(ms)", "ratio");
+
+  for (double density : {0.05, 0.25, 0.5, 1.0}) {
+    Rng rng(static_cast<uint64_t>(density * 977) + 5);
+    TablePtr a = SparseGrid(&rng, n, density, "v");
+    TablePtr b = SparseGrid(&rng, n, density, "w");
+
+    PlanPtr combine = Plan::ElemWise(Plan::Scan("GA"), Plan::Scan("GB"),
+                                     BinaryOp::kMul);
+    auto run_on = [&](const char* provider_name, ProviderPtr provider) {
+      Cluster cluster;
+      NEXUS_CHECK(cluster.AddServer(provider_name, std::move(provider)).ok());
+      NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+      // Each engine stores its native representation: chunked arrays on the
+      // array server, columnar tables on the relational server.
+      Dataset da(a), db(b);
+      if (std::string(provider_name) == "arraydb") {
+        da = Dataset(Dataset(a).AsArray(32).ValueOrDie());
+        db = Dataset(Dataset(b).AsArray(32).ValueOrDie());
+      }
+      NEXUS_CHECK(cluster.PutData(provider_name, "GA", std::move(da)).ok());
+      NEXUS_CHECK(cluster.PutData(provider_name, "GB", std::move(db)).ok());
+      Coordinator coord(&cluster);
+      NEXUS_CHECK(coord.Execute(combine).ok());  // warm-up
+      WallTimer t;
+      Dataset r = coord.Execute(combine).ValueOrDie();
+      return std::make_pair(t.ElapsedMillis(), r);
+    };
+    auto [array_ms, r1] = run_on("arraydb", MakeArrayProvider());
+    auto [rel_ms, r2] = run_on("relstore", MakeRelationalProvider());
+    NEXUS_CHECK(r1.LogicallyEquals(r2));
+    std::printf("%8.2f %9lld  %12.2f  %14.2f  %8.2fx\n", density,
+                static_cast<long long>(a->num_rows()), array_ms, rel_ms,
+                rel_ms / array_ms);
+  }
+  std::printf("\nshape expectation: the round trip is lossless at every density\n");
+  std::printf("and scales with occupied cells; the dimension-aware engine wins\n");
+  std::printf("at high density (dense chunk layout beats hashing), while the\n");
+  std::printf("generic join narrows the gap as the grid sparsifies.\n");
+  return 0;
+}

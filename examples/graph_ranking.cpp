@@ -1,0 +1,100 @@
+// Graph ranking: control iteration and intent preservation in one example.
+//
+// A citation graph lives on a graph-analytics server. The client writes
+// PageRank once, as an intent-carrying algebra node. The coordinator routes
+// it to the graph engine's native implementation; the same node also has a
+// pure-algebra expansion (Iterate over joins and aggregates) that any
+// relational provider can run — we execute both and compare.
+//
+//   ./build/examples/graph_ranking
+#include <cmath>
+#include <iostream>
+
+#include "common/logging.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/expansion.h"
+#include "federation/coordinator.h"
+#include "frontend/query.h"
+
+using namespace nexus;  // NOLINT
+
+int main() {
+  Rng rng(7);
+  Cluster cluster;
+  NEXUS_CHECK(cluster.AddServer("graphd", MakeGraphProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+
+  // Synthetic citation graph: preferential attachment (papers cite earlier,
+  // already well-cited papers).
+  SchemaPtr edges = Schema::Make({Field::Attr("citing", DataType::kInt64),
+                                  Field::Attr("cited", DataType::kInt64)})
+                        .ValueOrDie();
+  TableBuilder eb(edges);
+  std::vector<int64_t> targets = {0};
+  const int64_t kPapers = 400;
+  for (int64_t p = 1; p < kPapers; ++p) {
+    for (int c = 0; c < 3; ++c) {
+      int64_t cited = targets[rng.NextBounded(targets.size())];
+      if (cited == p) continue;
+      NEXUS_CHECK(eb.AppendRow({Value::Int64(p), Value::Int64(cited)}).ok());
+      targets.push_back(cited);  // rich get richer
+    }
+    targets.push_back(p);
+  }
+  TablePtr edge_table = eb.Finish().ValueOrDie();
+  NEXUS_CHECK(cluster.PutData("graphd", "citations", Dataset(edge_table)).ok());
+  NEXUS_CHECK(cluster.PutData("relstore", "citations_rel", Dataset(edge_table)).ok());
+
+  PageRankOp pr;
+  pr.src_col = "citing";
+  pr.dst_col = "cited";
+  pr.max_iters = 100;
+  pr.epsilon = 1e-10;
+
+  // Intent node → routed to the native graph engine.
+  Query ranked = Query::From("citations").PageRank(pr);
+  Coordinator coord(&cluster);
+  ExecutionMetrics native_metrics;
+  Dataset native = coord.Execute(ranked.plan(), &native_metrics).ValueOrDie();
+
+  std::cout << "Top papers (native graph engine):\n";
+  Query top = Query(Plan::Values(native)).OrderBy("rank", false).Take(5);
+  std::cout << coord.Execute(top.plan()).ValueOrDie().ToString() << "\n";
+  std::cout << "native: " << native_metrics.ToString() << "\n\n";
+
+  // The same intent, expanded into Iterate over base relational algebra and
+  // executed on the relational server — control iteration in the algebra.
+  FederatedCatalog fed(&cluster);
+  SchemaPtr edge_schema = fed.GetSchema("citations_rel").ValueOrDie();
+  PlanPtr expanded =
+      ExpandPageRank(Plan::Scan("citations_rel"), pr, *edge_schema).ValueOrDie();
+  ExecutionMetrics expanded_metrics;
+  Dataset via_algebra = coord.Execute(expanded, &expanded_metrics).ValueOrDie();
+  std::cout << "expansion (Iterate over joins/aggregates on relstore): "
+            << expanded_metrics.ToString() << "\n";
+
+  // Agreement check.
+  TablePtr a = native.AsTable().ValueOrDie();
+  TablePtr b = via_algebra.AsTable().ValueOrDie();
+  double max_diff = 0.0;
+  std::map<int64_t, double> lookup;
+  for (int64_t r = 0; r < b->num_rows(); ++r) {
+    lookup[b->At(r, 0).AsInt64()] = b->At(r, 1).AsDouble();
+  }
+  for (int64_t r = 0; r < a->num_rows(); ++r) {
+    max_diff = std::max(max_diff, std::fabs(a->At(r, 1).AsDouble() -
+                                            lookup[a->At(r, 0).AsInt64()]));
+  }
+  std::cout << "max |native - expansion| over " << a->num_rows()
+            << " nodes: " << max_diff << "\n";
+  std::cout << "\nThe intent node was recognizable as PageRank at a server "
+               "with a direct\nimplementation (desideratum 3), while the "
+               "expansion kept it expressible\neverywhere (desideratum 2).\n";
+  return 0;
+}

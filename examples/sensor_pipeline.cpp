@@ -1,0 +1,88 @@
+// Sensor pipeline: the mixed tabular/array scenario the paper's fused data
+// model targets. A 2-d sensor grid (time × sensor readings) lives on an
+// array server; sensor metadata lives on a relational server. One algebra
+// query smooths the grid with a window aggregate, downsamples it, converts
+// to the tabular view, and joins in metadata — and the coordinator splits
+// the work between the two engines with intermediates flowing directly
+// between them.
+//
+//   ./build/examples/sensor_pipeline
+#include <cmath>
+#include <iostream>
+
+#include "common/logging.h"
+
+#include "common/random.h"
+#include "federation/coordinator.h"
+#include "frontend/query.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+int main() {
+  Rng rng(2026);
+  Cluster cluster;
+  NEXUS_CHECK(cluster.AddServer("arraydb", MakeArrayProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+
+  // Sensor readings: 96 time steps × 32 sensors, with a daily temperature
+  // swing plus noise; ~3% of readings dropped (sparse array).
+  SchemaPtr readings =
+      Schema::Make({Field::Dim("t"), Field::Dim("sensor"),
+                    Field::Attr("temp", DataType::kFloat64)})
+          .ValueOrDie();
+  TableBuilder rb(readings);
+  for (int64_t t = 0; t < 96; ++t) {
+    for (int64_t s = 0; s < 32; ++s) {
+      if (rng.NextBool(0.03)) continue;  // dropped reading
+      double base = 15.0 + 10.0 * std::sin(static_cast<double>(t) / 96.0 * 6.283);
+      NEXUS_CHECK(rb.AppendRow({Value::Int64(t), Value::Int64(s),
+                                Value::Float64(base + rng.NextGaussian())})
+                      .ok());
+    }
+  }
+  NEXUS_CHECK(
+      cluster.PutData("arraydb", "readings", Dataset(rb.Finish().ValueOrDie()))
+          .ok());
+
+  // Sensor metadata on the relational server.
+  SchemaPtr meta = Schema::Make({Field::Attr("sid", DataType::kInt64),
+                                 Field::Attr("room", DataType::kString)})
+                       .ValueOrDie();
+  TableBuilder mb(meta);
+  const char* rooms[] = {"lab", "office", "server-room", "lobby"};
+  for (int64_t s = 0; s < 32; ++s) {
+    NEXUS_CHECK(
+        mb.AppendRow({Value::Int64(s), Value::String(rooms[s % 4])}).ok());
+  }
+  NEXUS_CHECK(
+      cluster.PutData("relstore", "sensors", Dataset(mb.Finish().ValueOrDie()))
+          .ok());
+
+  // The pipeline, written once against the algebra:
+  //   smooth (3x1 window mean) → downsample time 8:1 → tabular view →
+  //   join metadata → average by room → sort.
+  Query smoothed = Query::From("readings")
+                       .Window({{"t", 1}}, AggFunc::kAvg)
+                       .Regrid({{"t", 8}}, AggFunc::kAvg);
+  Query per_room =
+      smoothed.AsPlainTable()
+          .JoinWith(Query::From("sensors"), {"sensor"}, {"sid"})
+          .GroupBy({"room", "t"}, {Avg(Col("temp"), "avg_temp")})
+          .OrderByKeys({{"room", true}, {"t", true}});
+
+  Coordinator coord(&cluster);
+  std::cout << "Placement:\n"
+            << coord.ExplainPlacement(per_room.plan()).ValueOrDie() << "\n";
+
+  ExecutionMetrics metrics;
+  Dataset result = coord.Execute(per_room.plan(), &metrics).ValueOrDie();
+  std::cout << "Per-room temperature (8-step buckets):\n"
+            << result.AsTable().ValueOrDie()->ToString(12) << "\n";
+  std::cout << "Execution: " << metrics.ToString() << "\n";
+  std::cout << "\nThe window/regrid stages ran on the array engine and the "
+               "join/aggregate on the\nrelational engine; the intermediate "
+               "moved directly between the two servers.\n";
+  return 0;
+}

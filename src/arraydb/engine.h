@@ -1,0 +1,68 @@
+// Chunked array engine — the framework's stand-in for an array database
+// (the paper's SciDB-class provider).
+//
+// Operators work chunk-natively: Slice prunes whole chunks by bounding box,
+// Shift is a metadata-level coordinate translation, Apply/Filter evaluate
+// expressions vectorized per chunk, and Regrid accumulates directly into
+// output chunks. This is deliberately a different execution strategy from
+// both the reference executor and the relational engine, exercising
+// desideratum 2 (translatability to heterogeneous back ends).
+#ifndef NEXUS_ARRAYDB_ENGINE_H_
+#define NEXUS_ARRAYDB_ENGINE_H_
+
+#include <vector>
+
+#include "core/plan.h"
+#include "expr/expr.h"
+#include "types/ndarray.h"
+
+namespace nexus {
+namespace arraydb {
+
+/// Restricts to the hyper-rectangle given by `ranges` (dims not listed are
+/// kept whole). Chunks fully outside the box are pruned without a visit.
+Result<NDArrayPtr> Slice(const NDArray& in, const std::vector<DimRange>& ranges);
+
+/// Translates coordinates: dim start moves by delta; cell data is untouched
+/// (metadata-only, O(#chunks)).
+Result<NDArrayPtr> Shift(const NDArray& in,
+                         const std::vector<std::pair<std::string, int64_t>>& offsets);
+
+/// Appends computed attributes. Expressions may reference dimensions and
+/// existing attributes by name; evaluation is vectorized per chunk.
+Result<NDArrayPtr> Apply(const NDArray& in,
+                         const std::vector<std::pair<std::string, ExprPtr>>& defs);
+
+/// Keeps only cells satisfying the predicate (references dims/attrs).
+Result<NDArrayPtr> FilterCells(const NDArray& in, const Expr& predicate);
+
+/// Keeps only the named attributes (dimensions always survive).
+Result<NDArrayPtr> ProjectAttrs(const NDArray& in,
+                                const std::vector<std::string>& attrs);
+
+/// Block-aggregates: output coordinate = floor(coord / factor) per dim
+/// (factor 1 when unlisted); numeric attributes aggregated by `func`,
+/// non-numeric attributes dropped.
+Result<NDArrayPtr> Regrid(const NDArray& in,
+                          const std::vector<std::pair<std::string, int64_t>>& factors,
+                          AggFunc func);
+
+/// Moving-window aggregate over the box [c-r, c+r] per dimension; one
+/// output cell per occupied input cell.
+Result<NDArrayPtr> Window(const NDArray& in,
+                          const std::vector<std::pair<std::string, int64_t>>& radii,
+                          AggFunc func);
+
+/// Permutes dimensions.
+Result<NDArrayPtr> Transpose(const NDArray& in,
+                             const std::vector<std::string>& dim_order);
+
+/// Cell-wise arithmetic on two arrays with identical dimension lists; the
+/// result holds the intersection of their occupancies. Each input must have
+/// exactly one numeric attribute.
+Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op);
+
+}  // namespace arraydb
+}  // namespace nexus
+
+#endif  // NEXUS_ARRAYDB_ENGINE_H_

@@ -1,0 +1,42 @@
+// Hashing primitives shared by the relational engine's hash join/aggregate
+// and by plan fingerprinting.
+#ifndef NEXUS_COMMON_HASH_H_
+#define NEXUS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nexus {
+
+/// 64-bit finalizer (murmur3 fmix64); good avalanche for integer keys.
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over arbitrary bytes.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+/// Combines two hashes (boost-style with 64-bit constant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_HASH_H_

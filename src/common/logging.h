@@ -1,0 +1,50 @@
+// Minimal leveled logging with stream syntax:
+//   NEXUS_LOG(INFO) << "planned " << n << " fragments";
+// Fatal logs abort after flushing.
+#ifndef NEXUS_COMMON_LOGGING_H_
+#define NEXUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nexus {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default kWarning so
+/// library users get quiet benches/tests unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nexus
+
+#define NEXUS_LOG(level)                                                  \
+  ::nexus::internal::LogMessage(::nexus::LogLevel::k##level, __FILE__, \
+                                __LINE__)                                 \
+      .stream()
+
+/// Internal-invariant check: logs and aborts when `cond` is false. Active in
+/// all build types (cheap, and a broken invariant must never limp onward).
+#define NEXUS_CHECK(cond)                                      \
+  if (NEXUS_PREDICT_TRUE(cond)) {                              \
+  } else /* NOLINT */                                          \
+    NEXUS_LOG(Fatal) << "Check failed: " #cond " "
+
+#include "common/macros.h"
+
+#endif  // NEXUS_COMMON_LOGGING_H_

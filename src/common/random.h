@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// All generators are seeded explicitly so every experiment in bench/ is
+// reproducible bit-for-bit across runs.
+#ifndef NEXUS_COMMON_RANDOM_H_
+#define NEXUS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nexus {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed values in [0, n), exponent `theta` (0 = uniform).
+/// Uses the Gray et al. rejection-inversion-free incremental method with a
+/// precomputed normalization constant; suitable for skewed key workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_RANDOM_H_

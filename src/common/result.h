@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions (Arrow idiom). Use NEXUS_ASSIGN_OR_RETURN to unwrap.
+#ifndef NEXUS_COMMON_RESULT_H_
+#define NEXUS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace nexus {
+
+/// \brief Holds either a T or a non-OK Status.
+///
+/// Construction from a T yields an OK result; construction from a Status
+/// must use a non-OK status (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias mirroring Arrow's spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out. Precondition: ok().
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace nexus
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a declaration).
+#define NEXUS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)      \
+  auto tmp = (expr);                                     \
+  if (NEXUS_PREDICT_FALSE(!tmp.ok())) return tmp.status(); \
+  lhs = tmp.MoveValue()
+
+#define NEXUS_ASSIGN_OR_RETURN(lhs, expr) \
+  NEXUS_ASSIGN_OR_RETURN_IMPL(NEXUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#endif  // NEXUS_COMMON_RESULT_H_

@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+namespace nexus {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kCapacityError:
+      return "Capacity error";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kPlanError:
+      return "Plan error";
+    case StatusCode::kSerializationError:
+      return "Serialization error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(state_->code, context + ": " + state_->message);
+}
+
+}  // namespace nexus

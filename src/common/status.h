@@ -1,0 +1,135 @@
+// Status: the error-reporting currency of the nexus codebase.
+//
+// Following the Arrow/RocksDB idiom, no exception ever crosses a public API
+// boundary. Fallible functions return Status (or Result<T>, see result.h),
+// and callers propagate with NEXUS_RETURN_NOT_OK.
+#ifndef NEXUS_COMMON_STATUS_H_
+#define NEXUS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace nexus {
+
+/// Machine-readable classification of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotImplemented = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kTypeError = 5,
+  kIndexError = 6,
+  kIOError = 7,
+  kInternal = 8,
+  kCapacityError = 9,
+  kUnsupported = 10,
+  kPlanError = 11,
+  kSerializationError = 12,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// The OK state stores no heap allocation; error states carry a small
+/// heap-allocated payload so Status stays one pointer wide.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status SerializationError(std::string msg) {
+    return Status(StatusCode::kSerializationError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with extra context prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr (not unique_ptr) so Status is copyable; error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace nexus
+
+/// Propagates a non-OK Status to the caller.
+#define NEXUS_RETURN_NOT_OK(expr)                        \
+  do {                                                   \
+    ::nexus::Status _st = (expr);                        \
+    if (NEXUS_PREDICT_FALSE(!_st.ok())) return _st;      \
+  } while (0)
+
+#endif  // NEXUS_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+// Small string helpers (concatenation, splitting, formatting) used instead
+// of std::format, which libstdc++ 12 does not ship.
+#ifndef NEXUS_COMMON_STR_UTIL_H_
+#define NEXUS_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nexus {
+
+namespace internal {
+inline void StrAppend(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppend(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  StrAppend(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates all arguments with operator<< into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppend(os, args...);
+  return os.str();
+}
+
+/// Splits `input` on `delim`; empty tokens are preserved.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with up to `precision` significant digits, trimming
+/// trailing zeros ("1.5", "3", "0.125").
+std::string FormatDouble(double v, int precision = 12);
+
+/// Formats a byte count with binary units ("1.5 KiB", "3.2 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Escapes a string for embedding in a double-quoted literal.
+std::string EscapeString(std::string_view s);
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_STR_UTIL_H_

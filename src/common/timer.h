@@ -1,0 +1,31 @@
+// Wall-clock timing helper for benches and the federation metrics.
+#ifndef NEXUS_COMMON_TIMER_H_
+#define NEXUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace nexus {
+
+/// Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_TIMER_H_

@@ -1,0 +1,50 @@
+#include "core/catalog.h"
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+Status InMemoryCatalog::Put(const std::string& name, Dataset data) {
+  if (name.empty()) return Status::InvalidArgument("catalog name must be non-empty");
+  entries_[name] = std::move(data);
+  return Status::OK();
+}
+
+Result<Dataset> InMemoryCatalog::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  return it->second;
+}
+
+Status InMemoryCatalog::Drop(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  return Status::OK();
+}
+
+Result<SchemaPtr> InMemoryCatalog::GetSchema(const std::string& name) const {
+  NEXUS_ASSIGN_OR_RETURN(Dataset d, Get(name));
+  return d.schema();
+}
+
+bool InMemoryCatalog::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> InMemoryCatalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, data] : entries_) out.push_back(name);
+  return out;
+}
+
+int64_t InMemoryCatalog::TotalBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [name, data] : entries_) bytes += data.ByteSize();
+  return bytes;
+}
+
+}  // namespace nexus

@@ -1,0 +1,54 @@
+// Catalog: name → collection binding. Every server hosts one; the planner
+// consults schemas through it, and Scan leaves resolve against it.
+#ifndef NEXUS_CORE_CATALOG_H_
+#define NEXUS_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/dataset.h"
+
+namespace nexus {
+
+/// Read-only schema lookup used by schema inference and planning.
+class Catalog {
+ public:
+  virtual ~Catalog() = default;
+
+  /// Schema of the named collection.
+  virtual Result<SchemaPtr> GetSchema(const std::string& name) const = 0;
+
+  /// True when the collection exists.
+  virtual bool Contains(const std::string& name) const = 0;
+};
+
+/// Catalog backed by an in-memory map, also storing the data itself. This is
+/// what each simulated server uses as its storage layer.
+class InMemoryCatalog : public Catalog {
+ public:
+  /// Registers or replaces a named collection.
+  Status Put(const std::string& name, Dataset data);
+
+  /// The stored collection.
+  Result<Dataset> Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  Result<SchemaPtr> GetSchema(const std::string& name) const override;
+  bool Contains(const std::string& name) const override;
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  /// Total bytes across all stored collections.
+  int64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, Dataset> entries_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_CORE_CATALOG_H_

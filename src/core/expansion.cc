@@ -1,0 +1,183 @@
+#include "core/expansion.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+#include "core/schema_inference.h"
+#include "expr/builder.h"
+
+namespace nexus {
+
+using namespace nexus::exprs;  // NOLINT
+
+Result<PlanPtr> ExpandMatMul(const PlanPtr& left, const PlanPtr& right,
+                             const MatMulOp& op, const Schema& left_schema,
+                             const Schema& right_schema) {
+  std::vector<int> ld = left_schema.DimensionIndices();
+  std::vector<int> rd = right_schema.DimensionIndices();
+  std::vector<int> la = left_schema.AttributeIndices();
+  std::vector<int> ra = right_schema.AttributeIndices();
+  if (ld.size() != 2 || rd.size() != 2 || la.size() != 1 || ra.size() != 1) {
+    return Status::PlanError("matmul expansion requires 2-d single-attribute inputs");
+  }
+  const std::string row = left_schema.field(ld[0]).name;
+  const std::string contract = left_schema.field(ld[1]).name;
+  std::string col = right_schema.field(rd[1]).name;
+  if (col == row) col += "_2";
+  const std::string lattr = left_schema.field(la[0]).name;
+
+  // Rename the right side into reserved temporaries so the join cannot
+  // collide with left-side names regardless of the input schemas.
+  PlanPtr r = Plan::Rename(right, {{right_schema.field(rd[0]).name, "__mm_k"},
+                                   {right_schema.field(rd[1]).name, "__mm_c"},
+                                   {right_schema.field(ra[0]).name, "__mm_bv"}});
+  PlanPtr joined =
+      Plan::Join(left, r, JoinType::kInner, {contract}, {"__mm_k"});
+  PlanPtr prod =
+      Plan::Extend(joined, {{"__mm_p", Mul(Col(lattr), Col("__mm_bv"))}});
+  PlanPtr agg = Plan::Aggregate(
+      prod, {row, "__mm_c"},
+      {AggSpec{AggFunc::kSum, Col("__mm_p"), op.result_attr}});
+  // MatMul output is sparse: drop zero-valued sums.
+  PlanPtr nonzero = Plan::Select(agg, Ne(Col(op.result_attr), Lit(0)));
+  PlanPtr named = Plan::Rename(nonzero, {{"__mm_c", col}});
+  return Plan::Rebox(named, {row, col}, 64);
+}
+
+Result<PlanPtr> ExpandPageRank(const PlanPtr& edges_in, const PageRankOp& op,
+                               const Schema& edge_schema) {
+  NEXUS_RETURN_NOT_OK(edge_schema.FindFieldOrError(op.src_col).status());
+  NEXUS_RETURN_NOT_OK(edge_schema.FindFieldOrError(op.dst_col).status());
+  // Work on a minimal, untagged (src, dst) projection.
+  PlanPtr edges = Plan::Unbox(Plan::Project(edges_in, {op.src_col, op.dst_col}));
+  if (op.src_col != "__pr_src" || op.dst_col != "__pr_dst") {
+    edges = Plan::Rename(edges,
+                         {{op.src_col, "__pr_src"}, {op.dst_col, "__pr_dst"}});
+  }
+
+  // nodes: every endpoint, once.  {node}
+  PlanPtr nodes = Plan::Distinct(Plan::Union(
+      Plan::Rename(Plan::Project(edges, {"__pr_src"}), {{"__pr_src", "node"}}),
+      Plan::Rename(Plan::Project(edges, {"__pr_dst"}), {{"__pr_dst", "node"}})));
+
+  // out-degree per source.  {__pr_s, __pr_deg}
+  PlanPtr deg = Plan::Rename(
+      Plan::Aggregate(edges, {"__pr_src"},
+                      {AggSpec{AggFunc::kCount, nullptr, "__pr_deg"}}),
+      {{"__pr_src", "__pr_s"}});
+
+  // node count as a 1-row scalar.  {__pr_n}
+  PlanPtr n_scalar = Plan::Aggregate(
+      nodes, {}, {AggSpec{AggFunc::kCount, nullptr, "__pr_n"}});
+
+  // init: rank = 1/N for every node.  {node*, rank}
+  PlanPtr init = Plan::Rebox(
+      Plan::Project(
+          Plan::Extend(
+              Plan::Join(nodes, n_scalar, JoinType::kInner, {}, {}, Lit(true)),
+              {{"rank", Div(Lit(1.0), Col("__pr_n"))}}),
+          {"node", "rank"}),
+      {"node"}, 64);
+
+  // --- body: one power-iteration step over LoopVar (the current ranks) ---
+  PlanPtr state = Plan::LoopVar();
+  // rank and out-degree joined onto each edge.
+  PlanPtr ranked = Plan::Join(edges, state, JoinType::kInner, {"__pr_src"},
+                              {"node"});
+  ranked = Plan::Join(ranked, deg, JoinType::kInner, {"__pr_src"}, {"__pr_s"});
+  // damped contribution along each edge.
+  PlanPtr contrib = Plan::Extend(
+      ranked,
+      {{"__pr_c", Mul(Lit(op.damping), Div(Col("rank"), Col("__pr_deg")))}});
+  // inbound mass per destination.  {__pr_dst, __pr_in}
+  PlanPtr incoming = Plan::Aggregate(
+      contrib, {"__pr_dst"}, {AggSpec{AggFunc::kSum, Col("__pr_c"), "__pr_in"}});
+  // dangling mass: total rank held by nodes with no outgoing edges.
+  PlanPtr dangling = Plan::Aggregate(
+      Plan::Join(state, deg, JoinType::kAnti, {"node"}, {"__pr_s"}), {},
+      {AggSpec{AggFunc::kSum, Col("rank"), "__pr_dm"}});
+  // next rank per node.
+  PlanPtr base = Plan::Join(Plan::Project(state, {"node"}), incoming,
+                            JoinType::kLeft, {"node"}, {"__pr_dst"});
+  base = Plan::Join(base, n_scalar, JoinType::kInner, {}, {}, Lit(true));
+  base = Plan::Join(base, dangling, JoinType::kInner, {}, {}, Lit(true));
+  ExprPtr teleport = Div(Lit(1.0 - op.damping), Col("__pr_n"));
+  ExprPtr dangling_share =
+      Mul(Lit(op.damping),
+          Div(Func("coalesce", {Col("__pr_dm"), Lit(0.0)}), Col("__pr_n")));
+  ExprPtr inbound = Func("coalesce", {Col("__pr_in"), Lit(0.0)});
+  PlanPtr body = Plan::Rename(
+      Plan::Project(
+          Plan::Extend(base, {{"__pr_new",
+                               Add(Add(teleport, dangling_share), inbound)}}),
+          {"node", "__pr_new"}),
+      {{"__pr_new", "rank"}});
+
+  // --- measure: L1 distance between successive rank vectors ---
+  PlanPtr prev = Plan::Unbox(Plan::LoopVar(true));
+  PlanPtr curr = Plan::Rename(
+      Plan::Unbox(Plan::Project(Plan::LoopVar(false), {"node", "rank"})),
+      {{"rank", "__pr_r2"}, {"node", "__pr_n2"}});
+  PlanPtr paired =
+      Plan::Join(prev, curr, JoinType::kInner, {"node"}, {"__pr_n2"});
+  PlanPtr measure = Plan::Aggregate(
+      Plan::Extend(paired,
+                   {{"__pr_d", Func("abs", {Sub(Col("rank"), Col("__pr_r2"))})}}),
+      {}, {AggSpec{AggFunc::kSum, Col("__pr_d"), "__pr_delta"}});
+
+  IterateOp it;
+  it.body = body;
+  it.measure = measure;
+  it.epsilon = op.epsilon;
+  it.max_iters = op.max_iters;
+  return Plan::Iterate(init, it);
+}
+
+Result<PlanPtr> ExpandIntentOps(const PlanPtr& plan, const Catalog& catalog) {
+  InferContext ctx;
+  ctx.catalog = &catalog;
+
+  // Recursive expansion with the inference context threaded through so
+  // LoopVar leaves inside Iterate bodies resolve.
+  std::function<Result<PlanPtr>(const PlanPtr&)> walk =
+      [&](const PlanPtr& node) -> Result<PlanPtr> {
+    std::vector<PlanPtr> new_children;
+    new_children.reserve(node->children().size());
+    for (const PlanPtr& c : node->children()) {
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr nc, walk(c));
+      new_children.push_back(std::move(nc));
+    }
+    switch (node->kind()) {
+      case OpKind::kMatMul: {
+        NEXUS_ASSIGN_OR_RETURN(SchemaPtr ls, InferSchema(*new_children[0], &ctx));
+        NEXUS_ASSIGN_OR_RETURN(SchemaPtr rs, InferSchema(*new_children[1], &ctx));
+        return ExpandMatMul(new_children[0], new_children[1],
+                            node->As<MatMulOp>(), *ls, *rs);
+      }
+      case OpKind::kPageRank: {
+        NEXUS_ASSIGN_OR_RETURN(SchemaPtr es, InferSchema(*new_children[0], &ctx));
+        return ExpandPageRank(new_children[0], node->As<PageRankOp>(), *es);
+      }
+      case OpKind::kIterate: {
+        IterateOp op = node->As<IterateOp>();
+        NEXUS_ASSIGN_OR_RETURN(SchemaPtr init_schema,
+                               InferSchema(*new_children[0], &ctx));
+        ctx.loop_stack.push_back(init_schema);
+        auto body = walk(op.body);
+        Result<PlanPtr> measure = PlanPtr(nullptr);
+        if (body.ok() && op.measure != nullptr) measure = walk(op.measure);
+        ctx.loop_stack.pop_back();
+        NEXUS_ASSIGN_OR_RETURN(op.body, body);
+        if (op.measure != nullptr) {
+          NEXUS_ASSIGN_OR_RETURN(op.measure, measure);
+        }
+        return Plan::Iterate(new_children[0], std::move(op));
+      }
+      default:
+        return node->WithChildren(std::move(new_children));
+    }
+  };
+  return walk(plan);
+}
+
+}  // namespace nexus

@@ -1,0 +1,40 @@
+// Expansions of intent-carrying operators into the base algebra.
+//
+// Desideratum 3 (Intent Preservation) cuts both ways: MatMul and PageRank
+// stay first-class nodes so capable providers can claim them natively, but
+// every intent op also has a defined expansion into base operators so that
+// *any* provider combination can evaluate it (desideratum 2). The optimizer's
+// recognition rules (optimizer/rules.h) invert ExpandMatMul.
+#ifndef NEXUS_CORE_EXPANSION_H_
+#define NEXUS_CORE_EXPANSION_H_
+
+#include "core/plan.h"
+#include "types/schema.h"
+
+namespace nexus {
+
+/// Rewrites a MatMul node into Join → Extend(product) → Aggregate(sum) →
+/// Select(≠0) → Rebox, given the input schemas. The result type-checks to the
+/// same schema as the MatMul node.
+Result<PlanPtr> ExpandMatMul(const PlanPtr& left, const PlanPtr& right,
+                             const MatMulOp& op, const Schema& left_schema,
+                             const Schema& right_schema);
+
+/// Rewrites a PageRank node into an Iterate over base relational operators:
+/// out-degree and node tables are precomputed as subplans; each iteration
+/// joins ranks to edges, redistributes dangling mass, and applies damping;
+/// the measure is the L1 delta between successive rank vectors. Matches the
+/// native implementation's semantics (ranks sum to 1).
+Result<PlanPtr> ExpandPageRank(const PlanPtr& edges, const PageRankOp& op,
+                               const Schema& edge_schema);
+
+/// Expands every intent op in `plan` (recursively, including Iterate
+/// bodies), leaving other nodes untouched. Needs input schemas, hence a
+/// catalog. Used when a plan must run on providers with no native intent
+/// support, and by E3's ablation arm.
+class Catalog;
+Result<PlanPtr> ExpandIntentOps(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace nexus
+
+#endif  // NEXUS_CORE_EXPANSION_H_

@@ -1,0 +1,591 @@
+#include "core/plan.h"
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace nexus {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "scan";
+    case OpKind::kValues:
+      return "values";
+    case OpKind::kLoopVar:
+      return "loopvar";
+    case OpKind::kSelect:
+      return "select";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kExtend:
+      return "extend";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kAggregate:
+      return "aggregate";
+    case OpKind::kSort:
+      return "sort";
+    case OpKind::kLimit:
+      return "limit";
+    case OpKind::kDistinct:
+      return "distinct";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kRebox:
+      return "rebox";
+    case OpKind::kUnbox:
+      return "unbox";
+    case OpKind::kSlice:
+      return "slice";
+    case OpKind::kShift:
+      return "shift";
+    case OpKind::kRegrid:
+      return "regrid";
+    case OpKind::kTranspose:
+      return "transpose";
+    case OpKind::kWindow:
+      return "window";
+    case OpKind::kElemWise:
+      return "elemwise";
+    case OpKind::kMatMul:
+      return "matmul";
+    case OpKind::kPageRank:
+      return "pagerank";
+    case OpKind::kIterate:
+      return "iterate";
+    case OpKind::kExchange:
+      return "exchange";
+  }
+  return "?";
+}
+
+std::vector<OpKind> AllOpKinds() {
+  return {OpKind::kScan,     OpKind::kValues,   OpKind::kLoopVar,
+          OpKind::kSelect,   OpKind::kProject,  OpKind::kExtend,
+          OpKind::kJoin,     OpKind::kAggregate, OpKind::kSort,
+          OpKind::kLimit,    OpKind::kDistinct, OpKind::kUnion,
+          OpKind::kRename,   OpKind::kRebox,    OpKind::kUnbox,
+          OpKind::kSlice,    OpKind::kShift,    OpKind::kRegrid,
+          OpKind::kTranspose, OpKind::kWindow,  OpKind::kElemWise,
+          OpKind::kMatMul,   OpKind::kPageRank, OpKind::kIterate,
+          OpKind::kExchange};
+}
+
+Result<OpKind> OpKindFromName(const std::string& name) {
+  for (OpKind k : AllOpKinds()) {
+    if (name == OpKindName(k)) return k;
+  }
+  return Status::SerializationError(StrCat("unknown operator: ", name));
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeft:
+      return "left";
+    case JoinType::kSemi:
+      return "semi";
+    case JoinType::kAnti:
+      return "anti";
+  }
+  return "?";
+}
+
+Result<JoinType> JoinTypeFromName(const std::string& name) {
+  if (name == "inner") return JoinType::kInner;
+  if (name == "left") return JoinType::kLeft;
+  if (name == "semi") return JoinType::kSemi;
+  if (name == "anti") return JoinType::kAnti;
+  return Status::SerializationError(StrCat("unknown join type: ", name));
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Result<AggFunc> AggFuncFromName(const std::string& name) {
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "count") return AggFunc::kCount;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "avg") return AggFunc::kAvg;
+  return Status::SerializationError(StrCat("unknown aggregate: ", name));
+}
+
+const char* TransferModeName(TransferMode m) {
+  return m == TransferMode::kDirect ? "direct" : "relay";
+}
+
+namespace {
+PlanPtr MakePlan(OpKind kind, OpPayload payload, std::vector<PlanPtr> children) {
+  struct Access : Plan {
+    Access(OpKind k, OpPayload p, std::vector<PlanPtr> c)
+        : Plan(k, std::move(p), std::move(c)) {}
+  };
+  // Plan's constructor is private; expose it via a local subclass so the
+  // factories below stay the single construction path.
+  return std::make_shared<const Access>(kind, std::move(payload),
+                                        std::move(children));
+}
+}  // namespace
+
+PlanPtr Plan::Scan(std::string table) {
+  return MakePlan(OpKind::kScan, ScanOp{std::move(table)}, {});
+}
+PlanPtr Plan::Values(Dataset data) {
+  return MakePlan(OpKind::kValues, ValuesOp{std::move(data)}, {});
+}
+PlanPtr Plan::LoopVar(bool previous) {
+  return MakePlan(OpKind::kLoopVar, LoopVarOp{previous}, {});
+}
+PlanPtr Plan::Select(PlanPtr input, ExprPtr predicate) {
+  return MakePlan(OpKind::kSelect, SelectOp{std::move(predicate)},
+                  {std::move(input)});
+}
+PlanPtr Plan::Project(PlanPtr input, std::vector<std::string> columns) {
+  return MakePlan(OpKind::kProject, ProjectOp{std::move(columns)},
+                  {std::move(input)});
+}
+PlanPtr Plan::Extend(PlanPtr input,
+                     std::vector<std::pair<std::string, ExprPtr>> defs) {
+  return MakePlan(OpKind::kExtend, ExtendOp{std::move(defs)}, {std::move(input)});
+}
+PlanPtr Plan::Join(PlanPtr left, PlanPtr right, JoinType type,
+                   std::vector<std::string> left_keys,
+                   std::vector<std::string> right_keys, ExprPtr residual) {
+  return MakePlan(OpKind::kJoin,
+                  JoinOp{type, std::move(left_keys), std::move(right_keys),
+                         std::move(residual)},
+                  {std::move(left), std::move(right)});
+}
+PlanPtr Plan::Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                        std::vector<AggSpec> aggs) {
+  return MakePlan(OpKind::kAggregate,
+                  AggregateOp{std::move(group_by), std::move(aggs)},
+                  {std::move(input)});
+}
+PlanPtr Plan::Sort(PlanPtr input, std::vector<SortKey> keys) {
+  return MakePlan(OpKind::kSort, SortOp{std::move(keys)}, {std::move(input)});
+}
+PlanPtr Plan::Limit(PlanPtr input, int64_t limit, int64_t offset) {
+  return MakePlan(OpKind::kLimit, LimitOp{limit, offset}, {std::move(input)});
+}
+PlanPtr Plan::Distinct(PlanPtr input) {
+  return MakePlan(OpKind::kDistinct, DistinctOp{}, {std::move(input)});
+}
+PlanPtr Plan::Union(PlanPtr left, PlanPtr right) {
+  return MakePlan(OpKind::kUnion, UnionOp{}, {std::move(left), std::move(right)});
+}
+PlanPtr Plan::Rename(PlanPtr input,
+                     std::vector<std::pair<std::string, std::string>> mapping) {
+  return MakePlan(OpKind::kRename, RenameOp{std::move(mapping)},
+                  {std::move(input)});
+}
+PlanPtr Plan::Rebox(PlanPtr input, std::vector<std::string> dims,
+                    int64_t chunk_size) {
+  return MakePlan(OpKind::kRebox, ReboxOp{std::move(dims), chunk_size},
+                  {std::move(input)});
+}
+PlanPtr Plan::Unbox(PlanPtr input) {
+  return MakePlan(OpKind::kUnbox, UnboxOp{}, {std::move(input)});
+}
+PlanPtr Plan::Slice(PlanPtr input, std::vector<DimRange> ranges) {
+  return MakePlan(OpKind::kSlice, SliceOp{std::move(ranges)}, {std::move(input)});
+}
+PlanPtr Plan::Shift(PlanPtr input,
+                    std::vector<std::pair<std::string, int64_t>> offsets) {
+  return MakePlan(OpKind::kShift, ShiftOp{std::move(offsets)}, {std::move(input)});
+}
+PlanPtr Plan::Regrid(PlanPtr input,
+                     std::vector<std::pair<std::string, int64_t>> factors,
+                     AggFunc func) {
+  return MakePlan(OpKind::kRegrid, RegridOp{std::move(factors), func},
+                  {std::move(input)});
+}
+PlanPtr Plan::Transpose(PlanPtr input, std::vector<std::string> dim_order) {
+  return MakePlan(OpKind::kTranspose, TransposeOp{std::move(dim_order)},
+                  {std::move(input)});
+}
+PlanPtr Plan::Window(PlanPtr input,
+                     std::vector<std::pair<std::string, int64_t>> radii,
+                     AggFunc func) {
+  return MakePlan(OpKind::kWindow, WindowOp{std::move(radii), func},
+                  {std::move(input)});
+}
+PlanPtr Plan::ElemWise(PlanPtr left, PlanPtr right, BinaryOp op) {
+  return MakePlan(OpKind::kElemWise, ElemWiseOpSpec{op},
+                  {std::move(left), std::move(right)});
+}
+PlanPtr Plan::MatMul(PlanPtr left, PlanPtr right, std::string result_attr) {
+  return MakePlan(OpKind::kMatMul, MatMulOp{std::move(result_attr)},
+                  {std::move(left), std::move(right)});
+}
+PlanPtr Plan::PageRank(PlanPtr edges, PageRankOp spec) {
+  return MakePlan(OpKind::kPageRank, std::move(spec), {std::move(edges)});
+}
+PlanPtr Plan::Iterate(PlanPtr init, IterateOp spec) {
+  return MakePlan(OpKind::kIterate, std::move(spec), {std::move(init)});
+}
+PlanPtr Plan::Exchange(PlanPtr input, std::string target_server,
+                       TransferMode mode) {
+  return MakePlan(OpKind::kExchange, ExchangeOp{std::move(target_server), mode},
+                  {std::move(input)});
+}
+
+PlanPtr Plan::WithChildren(std::vector<PlanPtr> children) const {
+  return MakePlan(kind_, payload_, std::move(children));
+}
+
+std::string Plan::NodeLabel() const {
+  switch (kind_) {
+    case OpKind::kScan:
+      return StrCat("scan[", As<ScanOp>().table, "]");
+    case OpKind::kValues:
+      return StrCat("values[", As<ValuesOp>().data.num_rows(), " rows]");
+    case OpKind::kLoopVar:
+      return As<LoopVarOp>().previous ? "loopvar[prev]" : "loopvar";
+    case OpKind::kSelect:
+      return StrCat("select[", As<SelectOp>().predicate->ToString(), "]");
+    case OpKind::kProject: {
+      return StrCat("project[", nexus::Join(As<ProjectOp>().columns, ", "), "]");
+    }
+    case OpKind::kExtend: {
+      std::vector<std::string> parts;
+      for (const auto& [name, expr] : As<ExtendOp>().defs) {
+        parts.push_back(StrCat(name, " := ", expr->ToString()));
+      }
+      return StrCat("extend[", nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kJoin: {
+      const auto& op = As<JoinOp>();
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < op.left_keys.size(); ++i) {
+        keys.push_back(StrCat(op.left_keys[i], "=", op.right_keys[i]));
+      }
+      std::string label =
+          StrCat("join[", JoinTypeName(op.type), ", ", nexus::Join(keys, ", "));
+      if (op.residual != nullptr) {
+        label += StrCat(", if ", op.residual->ToString());
+      }
+      return label + "]";
+    }
+    case OpKind::kAggregate: {
+      const auto& op = As<AggregateOp>();
+      std::vector<std::string> parts;
+      for (const AggSpec& a : op.aggs) {
+        parts.push_back(StrCat(a.output_name, " := ", AggFuncName(a.func), "(",
+                               a.input == nullptr ? "*" : a.input->ToString(),
+                               ")"));
+      }
+      return StrCat("aggregate[by ", nexus::Join(op.group_by, ", "), "; ",
+                    nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kSort: {
+      std::vector<std::string> parts;
+      for (const SortKey& k : As<SortOp>().keys) {
+        parts.push_back(StrCat(k.column, k.ascending ? " asc" : " desc"));
+      }
+      return StrCat("sort[", nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kLimit: {
+      const auto& op = As<LimitOp>();
+      return op.offset == 0
+                 ? StrCat("limit[", op.limit, "]")
+                 : StrCat("limit[", op.limit, " offset ", op.offset, "]");
+    }
+    case OpKind::kDistinct:
+      return "distinct";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kRename: {
+      std::vector<std::string> parts;
+      for (const auto& [from, to] : As<RenameOp>().mapping) {
+        parts.push_back(StrCat(from, " -> ", to));
+      }
+      return StrCat("rename[", nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kRebox:
+      return StrCat("rebox[", nexus::Join(As<ReboxOp>().dims, ", "), " chunk ",
+                    As<ReboxOp>().chunk_size, "]");
+    case OpKind::kUnbox:
+      return "unbox";
+    case OpKind::kSlice: {
+      std::vector<std::string> parts;
+      for (const DimRange& r : As<SliceOp>().ranges) {
+        parts.push_back(StrCat(r.dim, " in [", r.lo, ", ", r.hi, ")"));
+      }
+      return StrCat("slice[", nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kShift: {
+      std::vector<std::string> parts;
+      for (const auto& [dim, delta] : As<ShiftOp>().offsets) {
+        parts.push_back(StrCat(dim, delta >= 0 ? "+" : "", delta));
+      }
+      return StrCat("shift[", nexus::Join(parts, ", "), "]");
+    }
+    case OpKind::kRegrid: {
+      const auto& op = As<RegridOp>();
+      std::vector<std::string> parts;
+      for (const auto& [dim, f] : op.factors) parts.push_back(StrCat(dim, "/", f));
+      return StrCat("regrid[", nexus::Join(parts, ", "), " ", AggFuncName(op.func), "]");
+    }
+    case OpKind::kTranspose:
+      return StrCat("transpose[", nexus::Join(As<TransposeOp>().dim_order, ", "), "]");
+    case OpKind::kWindow: {
+      const auto& op = As<WindowOp>();
+      std::vector<std::string> parts;
+      for (const auto& [dim, r] : op.radii) parts.push_back(StrCat(dim, "±", r));
+      return StrCat("window[", nexus::Join(parts, ", "), " ", AggFuncName(op.func), "]");
+    }
+    case OpKind::kElemWise:
+      return StrCat("elemwise[", BinaryOpName(As<ElemWiseOpSpec>().op), "]");
+    case OpKind::kMatMul:
+      return StrCat("matmul[-> ", As<MatMulOp>().result_attr, "]");
+    case OpKind::kPageRank: {
+      const auto& op = As<PageRankOp>();
+      return StrCat("pagerank[", op.src_col, " -> ", op.dst_col, ", d=",
+                    FormatDouble(op.damping), ", iters<=", op.max_iters, "]");
+    }
+    case OpKind::kIterate: {
+      const auto& op = As<IterateOp>();
+      return StrCat("iterate[<=", op.max_iters, " iters, eps=",
+                    FormatDouble(op.epsilon), "]");
+    }
+    case OpKind::kExchange: {
+      const auto& op = As<ExchangeOp>();
+      return StrCat("exchange[to ", op.target_server, ", ",
+                    TransferModeName(op.mode), "]");
+    }
+  }
+  return "?";
+}
+
+namespace {
+void PrintTree(const Plan& plan, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(plan.NodeLabel());
+  out->push_back('\n');
+  for (const PlanPtr& c : plan.children()) PrintTree(*c, indent + 1, out);
+  if (plan.kind() == OpKind::kIterate) {
+    const auto& op = plan.As<IterateOp>();
+    out->append(static_cast<size_t>(indent + 1) * 2, ' ');
+    out->append("body:\n");
+    PrintTree(*op.body, indent + 2, out);
+    if (op.measure != nullptr) {
+      out->append(static_cast<size_t>(indent + 1) * 2, ' ');
+      out->append("measure:\n");
+      PrintTree(*op.measure, indent + 2, out);
+    }
+  }
+}
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::string out;
+  PrintTree(*this, 0, &out);
+  return out;
+}
+
+bool Plan::Equals(const Plan& other) const {
+  if (kind_ != other.kind_ || children_.size() != other.children_.size()) {
+    return false;
+  }
+  auto expr_eq = [](const ExprPtr& a, const ExprPtr& b) {
+    if ((a == nullptr) != (b == nullptr)) return false;
+    return a == nullptr || a->Equals(*b);
+  };
+  switch (kind_) {
+    case OpKind::kScan:
+      if (As<ScanOp>().table != other.As<ScanOp>().table) return false;
+      break;
+    case OpKind::kValues:
+      if (!As<ValuesOp>().data.LogicallyEquals(other.As<ValuesOp>().data)) {
+        return false;
+      }
+      break;
+    case OpKind::kLoopVar:
+      if (As<LoopVarOp>().previous != other.As<LoopVarOp>().previous) return false;
+      break;
+    case OpKind::kSelect:
+      if (!expr_eq(As<SelectOp>().predicate, other.As<SelectOp>().predicate)) {
+        return false;
+      }
+      break;
+    case OpKind::kProject:
+      if (As<ProjectOp>().columns != other.As<ProjectOp>().columns) return false;
+      break;
+    case OpKind::kExtend: {
+      const auto& a = As<ExtendOp>().defs;
+      const auto& b = other.As<ExtendOp>().defs;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first || !expr_eq(a[i].second, b[i].second)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kJoin: {
+      const auto& a = As<JoinOp>();
+      const auto& b = other.As<JoinOp>();
+      if (a.type != b.type || a.left_keys != b.left_keys ||
+          a.right_keys != b.right_keys || !expr_eq(a.residual, b.residual)) {
+        return false;
+      }
+      break;
+    }
+    case OpKind::kAggregate: {
+      const auto& a = As<AggregateOp>();
+      const auto& b = other.As<AggregateOp>();
+      if (a.group_by != b.group_by || a.aggs.size() != b.aggs.size()) return false;
+      for (size_t i = 0; i < a.aggs.size(); ++i) {
+        if (a.aggs[i].func != b.aggs[i].func ||
+            a.aggs[i].output_name != b.aggs[i].output_name ||
+            !expr_eq(a.aggs[i].input, b.aggs[i].input)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kSort: {
+      const auto& a = As<SortOp>().keys;
+      const auto& b = other.As<SortOp>().keys;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].column != b[i].column || a[i].ascending != b[i].ascending) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kLimit:
+      if (As<LimitOp>().limit != other.As<LimitOp>().limit ||
+          As<LimitOp>().offset != other.As<LimitOp>().offset) {
+        return false;
+      }
+      break;
+    case OpKind::kDistinct:
+    case OpKind::kUnion:
+    case OpKind::kUnbox:
+      break;
+    case OpKind::kRename:
+      if (As<RenameOp>().mapping != other.As<RenameOp>().mapping) return false;
+      break;
+    case OpKind::kRebox:
+      if (As<ReboxOp>().dims != other.As<ReboxOp>().dims ||
+          As<ReboxOp>().chunk_size != other.As<ReboxOp>().chunk_size) {
+        return false;
+      }
+      break;
+    case OpKind::kSlice: {
+      const auto& a = As<SliceOp>().ranges;
+      const auto& b = other.As<SliceOp>().ranges;
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].dim != b[i].dim || a[i].lo != b[i].lo || a[i].hi != b[i].hi) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kShift:
+      if (As<ShiftOp>().offsets != other.As<ShiftOp>().offsets) return false;
+      break;
+    case OpKind::kRegrid:
+      if (As<RegridOp>().factors != other.As<RegridOp>().factors ||
+          As<RegridOp>().func != other.As<RegridOp>().func) {
+        return false;
+      }
+      break;
+    case OpKind::kTranspose:
+      if (As<TransposeOp>().dim_order != other.As<TransposeOp>().dim_order) {
+        return false;
+      }
+      break;
+    case OpKind::kWindow:
+      if (As<WindowOp>().radii != other.As<WindowOp>().radii ||
+          As<WindowOp>().func != other.As<WindowOp>().func) {
+        return false;
+      }
+      break;
+    case OpKind::kElemWise:
+      if (As<ElemWiseOpSpec>().op != other.As<ElemWiseOpSpec>().op) return false;
+      break;
+    case OpKind::kMatMul:
+      if (As<MatMulOp>().result_attr != other.As<MatMulOp>().result_attr) {
+        return false;
+      }
+      break;
+    case OpKind::kPageRank: {
+      const auto& a = As<PageRankOp>();
+      const auto& b = other.As<PageRankOp>();
+      if (a.src_col != b.src_col || a.dst_col != b.dst_col ||
+          a.damping != b.damping || a.max_iters != b.max_iters ||
+          a.epsilon != b.epsilon) {
+        return false;
+      }
+      break;
+    }
+    case OpKind::kIterate: {
+      const auto& a = As<IterateOp>();
+      const auto& b = other.As<IterateOp>();
+      if (a.epsilon != b.epsilon || a.max_iters != b.max_iters) return false;
+      if (!a.body->Equals(*b.body)) return false;
+      if ((a.measure == nullptr) != (b.measure == nullptr)) return false;
+      if (a.measure != nullptr && !a.measure->Equals(*b.measure)) return false;
+      break;
+    }
+    case OpKind::kExchange:
+      if (As<ExchangeOp>().target_server != other.As<ExchangeOp>().target_server ||
+          As<ExchangeOp>().mode != other.As<ExchangeOp>().mode) {
+        return false;
+      }
+      break;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Plan::Hash() const {
+  // Label-based: NodeLabel captures every payload field that Equals checks,
+  // except Values data (hashed by cardinality, which the label includes).
+  uint64_t h = HashString(NodeLabel());
+  h = HashCombine(h, HashInt64(static_cast<uint64_t>(kind_)));
+  for (const PlanPtr& c : children_) h = HashCombine(h, c->Hash());
+  if (kind_ == OpKind::kIterate) {
+    const auto& op = As<IterateOp>();
+    h = HashCombine(h, op.body->Hash());
+    if (op.measure != nullptr) h = HashCombine(h, op.measure->Hash());
+  }
+  return h;
+}
+
+int64_t Plan::TreeSize() const {
+  int64_t n = 1;
+  for (const PlanPtr& c : children_) n += c->TreeSize();
+  if (kind_ == OpKind::kIterate) {
+    const auto& op = As<IterateOp>();
+    n += op.body->TreeSize();
+    if (op.measure != nullptr) n += op.measure->TreeSize();
+  }
+  return n;
+}
+
+}  // namespace nexus

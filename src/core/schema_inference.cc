@@ -1,0 +1,459 @@
+#include "core/schema_inference.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+Result<DataType> AggResultType(AggFunc func, DataType in) {
+  switch (func) {
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kSum:
+      if (!IsNumeric(in)) return Status::TypeError("sum expects numeric input");
+      return in;
+    case AggFunc::kAvg:
+      if (!IsNumeric(in)) return Status::TypeError("avg expects numeric input");
+      return DataType::kFloat64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (in == DataType::kBool) {
+        return Status::TypeError("min/max of bool is not defined");
+      }
+      return in;
+  }
+  return Status::Internal("unhandled aggregate");
+}
+
+namespace {
+
+Status NoDuplicates(const std::vector<Field>& fields) {
+  std::set<std::string> seen;
+  for (const Field& f : fields) {
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument(StrCat("duplicate output field: ", f.name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<SchemaPtr> InferJoin(const JoinOp& op, const SchemaPtr& left,
+                            const SchemaPtr& right) {
+  if (op.left_keys.size() != op.right_keys.size()) {
+    return Status::PlanError("join key lists differ in length");
+  }
+  if (op.left_keys.empty() && op.residual == nullptr) {
+    return Status::PlanError("join requires keys or a residual predicate");
+  }
+  for (size_t i = 0; i < op.left_keys.size(); ++i) {
+    NEXUS_ASSIGN_OR_RETURN(int li, left->FindFieldOrError(op.left_keys[i]));
+    NEXUS_ASSIGN_OR_RETURN(int ri, right->FindFieldOrError(op.right_keys[i]));
+    DataType lt = left->field(li).type, rt = right->field(ri).type;
+    if (lt != rt && !(IsNumeric(lt) && IsNumeric(rt))) {
+      return Status::TypeError(StrCat("join key type mismatch: ",
+                                      op.left_keys[i], ":", DataTypeName(lt),
+                                      " vs ", op.right_keys[i], ":",
+                                      DataTypeName(rt)));
+    }
+  }
+  if (op.type == JoinType::kSemi || op.type == JoinType::kAnti) {
+    // Residual needs the combined schema, which semi/anti do not expose.
+    if (op.residual != nullptr) {
+      return Status::PlanError("semi/anti join cannot carry a residual predicate");
+    }
+    return left;
+  }
+  std::vector<Field> fields = left->fields();
+  for (const Field& f : right->fields()) {
+    if (std::find(op.right_keys.begin(), op.right_keys.end(), f.name) !=
+        op.right_keys.end()) {
+      continue;  // right key columns are redundant with the left keys
+    }
+    Field attr = f;
+    attr.is_dimension = false;  // only the left input's coordinate system survives
+    fields.push_back(attr);
+  }
+  NEXUS_RETURN_NOT_OK(NoDuplicates(fields));
+  if (op.residual != nullptr) {
+    // The residual sees left fields plus all right fields (including keys).
+    std::vector<Field> combined = left->fields();
+    for (const Field& f : right->fields()) {
+      if (left->FindField(f.name) >= 0 &&
+          std::find(op.right_keys.begin(), op.right_keys.end(), f.name) ==
+              op.right_keys.end()) {
+        return Status::PlanError(
+            StrCat("ambiguous field in join residual scope: ", f.name));
+      }
+      if (left->FindField(f.name) < 0) combined.push_back(f);
+    }
+    Schema combined_schema(std::move(combined));
+    NEXUS_ASSIGN_OR_RETURN(DataType t,
+                           InferExprType(*op.residual, combined_schema));
+    if (t != DataType::kBool) {
+      return Status::TypeError("join residual must be boolean");
+    }
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<SchemaPtr> InferMatMulInput(const SchemaPtr& s, const char* side) {
+  std::vector<int> dims = s->DimensionIndices();
+  std::vector<int> attrs = s->AttributeIndices();
+  if (dims.size() != 2 || attrs.size() != 1) {
+    return Status::PlanError(
+        StrCat("matmul ", side,
+               " input must have exactly 2 dimensions and 1 attribute, got ",
+               s->ToString()));
+  }
+  if (!IsNumeric(s->field(attrs[0]).type)) {
+    return Status::TypeError(StrCat("matmul ", side, " attribute must be numeric"));
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<SchemaPtr> InferSchema(const Plan& plan, InferContext* ctx) {
+  // Infer children first (Iterate handles its nested plans itself).
+  std::vector<SchemaPtr> in;
+  in.reserve(plan.children().size());
+  for (const PlanPtr& c : plan.children()) {
+    NEXUS_ASSIGN_OR_RETURN(SchemaPtr s, InferSchema(*c, ctx));
+    in.push_back(std::move(s));
+  }
+
+  switch (plan.kind()) {
+    case OpKind::kScan: {
+      if (ctx->catalog == nullptr) {
+        return Status::PlanError("scan requires a catalog for inference");
+      }
+      return ctx->catalog->GetSchema(plan.As<ScanOp>().table);
+    }
+    case OpKind::kValues:
+      return plan.As<ValuesOp>().data.schema();
+    case OpKind::kLoopVar: {
+      if (ctx->loop_stack.empty()) {
+        return Status::PlanError("loopvar outside of an iterate body");
+      }
+      return ctx->loop_stack.back();
+    }
+    case OpKind::kSelect: {
+      NEXUS_ASSIGN_OR_RETURN(DataType t,
+                             InferExprType(*plan.As<SelectOp>().predicate, *in[0]));
+      if (t != DataType::kBool) {
+        return Status::TypeError(
+            StrCat("select predicate must be boolean, got ", DataTypeName(t)));
+      }
+      return in[0];
+    }
+    case OpKind::kProject: {
+      std::vector<Field> fields;
+      for (const std::string& name : plan.As<ProjectOp>().columns) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(name));
+        fields.push_back(in[0]->field(i));
+      }
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kExtend: {
+      std::vector<Field> fields = in[0]->fields();
+      Schema working(fields);
+      for (const auto& [name, expr] : plan.As<ExtendOp>().defs) {
+        if (working.FindField(name) >= 0) {
+          return Status::InvalidArgument(
+              StrCat("extend output '", name, "' already exists"));
+        }
+        NEXUS_ASSIGN_OR_RETURN(DataType t, InferExprType(*expr, working));
+        fields.push_back(Field::Attr(name, t));
+        working = Schema(fields);
+      }
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kJoin:
+      return InferJoin(plan.As<JoinOp>(), in[0], in[1]);
+    case OpKind::kAggregate: {
+      const auto& op = plan.As<AggregateOp>();
+      std::vector<Field> fields;
+      for (const std::string& g : op.group_by) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(g));
+        fields.push_back(in[0]->field(i));
+      }
+      for (const AggSpec& a : op.aggs) {
+        if (a.output_name.empty()) {
+          return Status::InvalidArgument("aggregate output needs a name");
+        }
+        DataType input_type = DataType::kInt64;
+        if (a.input != nullptr) {
+          NEXUS_ASSIGN_OR_RETURN(input_type, InferExprType(*a.input, *in[0]));
+        } else if (a.func != AggFunc::kCount) {
+          return Status::PlanError(
+              StrCat(AggFuncName(a.func), " requires an input expression"));
+        }
+        NEXUS_ASSIGN_OR_RETURN(DataType out, AggResultType(a.func, input_type));
+        fields.push_back(Field::Attr(a.output_name, out));
+      }
+      NEXUS_RETURN_NOT_OK(NoDuplicates(fields));
+      if (op.aggs.empty()) {
+        return Status::PlanError("aggregate requires at least one aggregate");
+      }
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kSort: {
+      const auto& keys = plan.As<SortOp>().keys;
+      if (keys.empty()) return Status::PlanError("sort requires keys");
+      for (const SortKey& k : keys) {
+        NEXUS_RETURN_NOT_OK(in[0]->FindFieldOrError(k.column).status());
+      }
+      return in[0];
+    }
+    case OpKind::kLimit: {
+      const auto& op = plan.As<LimitOp>();
+      if (op.limit < 0 || op.offset < 0) {
+        return Status::InvalidArgument("limit/offset must be non-negative");
+      }
+      return in[0];
+    }
+    case OpKind::kDistinct:
+      return in[0];
+    case OpKind::kUnion: {
+      if (!in[0]->Equals(*in[1])) {
+        return Status::TypeError(StrCat("union schema mismatch: ",
+                                        in[0]->ToString(), " vs ",
+                                        in[1]->ToString()));
+      }
+      return in[0];
+    }
+    case OpKind::kRename: {
+      std::vector<Field> fields = in[0]->fields();
+      for (const auto& [from, to] : plan.As<RenameOp>().mapping) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(from));
+        fields[static_cast<size_t>(i)].name = to;
+      }
+      NEXUS_RETURN_NOT_OK(NoDuplicates(fields));
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kRebox: {
+      const auto& op = plan.As<ReboxOp>();
+      if (op.dims.empty()) {
+        return Status::PlanError("rebox requires at least one dimension");
+      }
+      if (op.chunk_size <= 0) {
+        return Status::InvalidArgument("rebox chunk size must be positive");
+      }
+      std::vector<Field> fields = in[0]->fields();
+      for (Field& f : fields) f.is_dimension = false;
+      for (const std::string& d : op.dims) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(d));
+        if (fields[static_cast<size_t>(i)].type != DataType::kInt64) {
+          return Status::TypeError(StrCat("rebox dimension ", d, " must be int64"));
+        }
+        fields[static_cast<size_t>(i)].is_dimension = true;
+      }
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kUnbox:
+      return in[0]->WithoutDimensions();
+    case OpKind::kSlice: {
+      for (const DimRange& r : plan.As<SliceOp>().ranges) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(r.dim));
+        if (!in[0]->field(i).is_dimension) {
+          return Status::PlanError(StrCat("slice target ", r.dim,
+                                          " is not a dimension"));
+        }
+        if (r.lo >= r.hi) {
+          return Status::InvalidArgument(
+              StrCat("empty slice range on ", r.dim, ": [", r.lo, ", ", r.hi, ")"));
+        }
+      }
+      return in[0];
+    }
+    case OpKind::kShift: {
+      for (const auto& [dim, delta] : plan.As<ShiftOp>().offsets) {
+        (void)delta;
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(dim));
+        if (!in[0]->field(i).is_dimension) {
+          return Status::PlanError(StrCat("shift target ", dim,
+                                          " is not a dimension"));
+        }
+      }
+      return in[0];
+    }
+    case OpKind::kRegrid: {
+      const auto& op = plan.As<RegridOp>();
+      if (in[0]->DimensionIndices().empty()) {
+        return Status::PlanError("regrid requires a dimensioned input");
+      }
+      for (const auto& [dim, factor] : op.factors) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(dim));
+        if (!in[0]->field(i).is_dimension) {
+          return Status::PlanError(StrCat("regrid target ", dim,
+                                          " is not a dimension"));
+        }
+        if (factor <= 0) {
+          return Status::InvalidArgument("regrid factor must be positive");
+        }
+      }
+      std::vector<Field> fields;
+      for (int i : in[0]->DimensionIndices()) fields.push_back(in[0]->field(i));
+      for (int i : in[0]->AttributeIndices()) {
+        const Field& f = in[0]->field(i);
+        if (!IsNumeric(f.type)) continue;  // non-numeric attributes are dropped
+        NEXUS_ASSIGN_OR_RETURN(DataType out, AggResultType(op.func, f.type));
+        fields.push_back(Field::Attr(f.name, out));
+      }
+      if (fields.size() == in[0]->DimensionIndices().size()) {
+        return Status::PlanError("regrid input has no numeric attributes");
+      }
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kTranspose: {
+      const auto& order = plan.As<TransposeOp>().dim_order;
+      std::vector<int> dim_idx = in[0]->DimensionIndices();
+      if (order.size() != dim_idx.size()) {
+        return Status::PlanError("transpose order must list every dimension");
+      }
+      std::vector<Field> fields;
+      std::set<std::string> seen;
+      for (const std::string& d : order) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(d));
+        if (!in[0]->field(i).is_dimension) {
+          return Status::PlanError(StrCat("transpose target ", d,
+                                          " is not a dimension"));
+        }
+        if (!seen.insert(d).second) {
+          return Status::InvalidArgument(StrCat("duplicate dimension ", d));
+        }
+        fields.push_back(in[0]->field(i));
+      }
+      for (int i : in[0]->AttributeIndices()) fields.push_back(in[0]->field(i));
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kWindow: {
+      const auto& op = plan.As<WindowOp>();
+      if (in[0]->DimensionIndices().empty()) {
+        return Status::PlanError("window requires a dimensioned input");
+      }
+      for (const auto& [dim, radius] : op.radii) {
+        NEXUS_ASSIGN_OR_RETURN(int i, in[0]->FindFieldOrError(dim));
+        if (!in[0]->field(i).is_dimension) {
+          return Status::PlanError(StrCat("window target ", dim,
+                                          " is not a dimension"));
+        }
+        if (radius < 0) return Status::InvalidArgument("window radius must be >= 0");
+      }
+      std::vector<Field> fields;
+      for (int i : in[0]->DimensionIndices()) fields.push_back(in[0]->field(i));
+      bool any = false;
+      for (int i : in[0]->AttributeIndices()) {
+        const Field& f = in[0]->field(i);
+        if (!IsNumeric(f.type)) continue;
+        NEXUS_ASSIGN_OR_RETURN(DataType out, AggResultType(op.func, f.type));
+        fields.push_back(Field::Attr(f.name, out));
+        any = true;
+      }
+      if (!any) return Status::PlanError("window input has no numeric attributes");
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kElemWise: {
+      BinaryOp op = plan.As<ElemWiseOpSpec>().op;
+      if (!IsArithmetic(op) || op == BinaryOp::kMod) {
+        return Status::PlanError("elemwise supports + - * / only");
+      }
+      auto dims_of = [](const SchemaPtr& s) {
+        std::vector<std::string> names;
+        for (int i : s->DimensionIndices()) names.push_back(s->field(i).name);
+        return names;
+      };
+      if (dims_of(in[0]) != dims_of(in[1]) || dims_of(in[0]).empty()) {
+        return Status::PlanError(
+            "elemwise inputs must share an identical, non-empty dimension list");
+      }
+      std::vector<int> la = in[0]->AttributeIndices();
+      std::vector<int> ra = in[1]->AttributeIndices();
+      if (la.size() != 1 || ra.size() != 1) {
+        return Status::PlanError("elemwise inputs must each have one attribute");
+      }
+      DataType lt = in[0]->field(la[0]).type, rt = in[1]->field(ra[0]).type;
+      NEXUS_ASSIGN_OR_RETURN(DataType out, CommonNumericType(lt, rt));
+      if (op == BinaryOp::kDiv) out = DataType::kFloat64;
+      std::vector<Field> fields;
+      for (int i : in[0]->DimensionIndices()) fields.push_back(in[0]->field(i));
+      fields.push_back(Field::Attr(in[0]->field(la[0]).name, out));
+      return Schema::Make(std::move(fields));
+    }
+    case OpKind::kMatMul: {
+      NEXUS_RETURN_NOT_OK(InferMatMulInput(in[0], "left").status());
+      NEXUS_RETURN_NOT_OK(InferMatMulInput(in[1], "right").status());
+      const auto& op = plan.As<MatMulOp>();
+      std::vector<int> ld = in[0]->DimensionIndices();
+      std::vector<int> rd = in[1]->DimensionIndices();
+      std::string row = in[0]->field(ld[0]).name;
+      std::string col = in[1]->field(rd[1]).name;
+      if (col == row) col += "_2";
+      DataType lt = in[0]->field(in[0]->AttributeIndices()[0]).type;
+      DataType rt = in[1]->field(in[1]->AttributeIndices()[0]).type;
+      NEXUS_ASSIGN_OR_RETURN(DataType vt, CommonNumericType(lt, rt));
+      return Schema::Make(
+          {Field::Dim(row), Field::Dim(col), Field::Attr(op.result_attr, vt)});
+    }
+    case OpKind::kPageRank: {
+      const auto& op = plan.As<PageRankOp>();
+      NEXUS_ASSIGN_OR_RETURN(int si, in[0]->FindFieldOrError(op.src_col));
+      NEXUS_ASSIGN_OR_RETURN(int di, in[0]->FindFieldOrError(op.dst_col));
+      if (in[0]->field(si).type != DataType::kInt64 ||
+          in[0]->field(di).type != DataType::kInt64) {
+        return Status::TypeError("pagerank edge endpoints must be int64");
+      }
+      if (op.damping <= 0.0 || op.damping >= 1.0) {
+        return Status::InvalidArgument("pagerank damping must be in (0, 1)");
+      }
+      if (op.max_iters < 1) {
+        return Status::InvalidArgument("pagerank max_iters must be >= 1");
+      }
+      return Schema::Make({Field::Dim("node"), Field::Attr("rank", DataType::kFloat64)});
+    }
+    case OpKind::kIterate: {
+      const auto& op = plan.As<IterateOp>();
+      if (op.body == nullptr) return Status::PlanError("iterate requires a body");
+      if (op.max_iters < 1) {
+        return Status::InvalidArgument("iterate max_iters must be >= 1");
+      }
+      ctx->loop_stack.push_back(in[0]);
+      auto body_schema = InferSchema(*op.body, ctx);
+      Result<SchemaPtr> measure_schema = SchemaPtr(nullptr);
+      if (body_schema.ok() && op.measure != nullptr) {
+        measure_schema = InferSchema(*op.measure, ctx);
+      }
+      ctx->loop_stack.pop_back();
+      NEXUS_ASSIGN_OR_RETURN(SchemaPtr body, body_schema);
+      if (!body->Equals(*in[0])) {
+        return Status::TypeError(StrCat("iterate body schema ", body->ToString(),
+                                        " differs from init schema ",
+                                        in[0]->ToString()));
+      }
+      if (op.measure != nullptr) {
+        NEXUS_ASSIGN_OR_RETURN(SchemaPtr m, measure_schema);
+        if (m->num_fields() != 1 || m->field(0).type != DataType::kFloat64) {
+          return Status::TypeError(
+              "iterate measure must produce a single float64 column");
+        }
+        if (op.epsilon < 0) {
+          return Status::InvalidArgument("iterate epsilon must be >= 0");
+        }
+      }
+      return in[0];
+    }
+    case OpKind::kExchange:
+      return in[0];
+  }
+  return Status::Internal("unhandled operator in schema inference");
+}
+
+Result<SchemaPtr> InferSchema(const Plan& plan, const Catalog& catalog) {
+  InferContext ctx;
+  ctx.catalog = &catalog;
+  return InferSchema(plan, &ctx);
+}
+
+}  // namespace nexus

@@ -1,0 +1,34 @@
+// Static analysis of algebra plans: output-schema inference doubling as the
+// type checker. Every structural rule of the algebra (key types match, slice
+// targets are dimensions, Iterate bodies preserve schema, …) is enforced
+// here, so providers and executors can assume well-formed plans.
+#ifndef NEXUS_CORE_SCHEMA_INFERENCE_H_
+#define NEXUS_CORE_SCHEMA_INFERENCE_H_
+
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Inference environment: the catalog resolving Scan leaves plus the stack
+/// of loop-variable schemas for nested Iterate scopes.
+struct InferContext {
+  const Catalog* catalog = nullptr;
+  std::vector<SchemaPtr> loop_stack;
+};
+
+/// Output schema of `plan`, or the first type/structure error found.
+Result<SchemaPtr> InferSchema(const Plan& plan, InferContext* ctx);
+
+/// Convenience overload for plans with no free loop variables.
+Result<SchemaPtr> InferSchema(const Plan& plan, const Catalog& catalog);
+
+/// Result type of an aggregate over an input of type `in`. `in` is ignored
+/// for count. Errors when the function cannot apply (e.g. sum of strings).
+Result<DataType> AggResultType(AggFunc func, DataType in);
+
+}  // namespace nexus
+
+#endif  // NEXUS_CORE_SCHEMA_INFERENCE_H_

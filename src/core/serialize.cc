@@ -1,0 +1,985 @@
+#include "core/serialize.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+// ---------------------------------------------------------------------------
+// Generic s-expression layer.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Sexpr {
+  enum class Kind { kList, kSymbol, kString, kInt, kFloat };
+  Kind kind = Kind::kList;
+  std::vector<Sexpr> items;  // kList
+  std::string text;          // kSymbol / kString
+  int64_t i = 0;             // kInt
+  double f = 0.0;            // kFloat
+
+  static Sexpr List(std::vector<Sexpr> items) {
+    Sexpr s;
+    s.kind = Kind::kList;
+    s.items = std::move(items);
+    return s;
+  }
+  static Sexpr Sym(std::string t) {
+    Sexpr s;
+    s.kind = Kind::kSymbol;
+    s.text = std::move(t);
+    return s;
+  }
+  static Sexpr Str(std::string t) {
+    Sexpr s;
+    s.kind = Kind::kString;
+    s.text = std::move(t);
+    return s;
+  }
+  static Sexpr Int(int64_t v) {
+    Sexpr s;
+    s.kind = Kind::kInt;
+    s.i = v;
+    return s;
+  }
+  static Sexpr Float(double v) {
+    Sexpr s;
+    s.kind = Kind::kFloat;
+    s.f = v;
+    return s;
+  }
+
+  bool is_list() const { return kind == Kind::kList; }
+  bool is_symbol() const { return kind == Kind::kSymbol; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_int() const { return kind == Kind::kInt; }
+  bool is_float() const { return kind == Kind::kFloat; }
+  double as_number() const { return is_int() ? static_cast<double>(i) : f; }
+};
+
+void WriteSexpr(const Sexpr& s, std::string* out) {
+  switch (s.kind) {
+    case Sexpr::Kind::kList: {
+      out->push_back('(');
+      for (size_t i = 0; i < s.items.size(); ++i) {
+        if (i > 0) out->push_back(' ');
+        WriteSexpr(s.items[i], out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case Sexpr::Kind::kSymbol:
+      out->append(s.text);
+      return;
+    case Sexpr::Kind::kString:
+      out->push_back('"');
+      out->append(EscapeString(s.text));
+      out->push_back('"');
+      return;
+    case Sexpr::Kind::kInt:
+      out->append(StrCat(s.i));
+      return;
+    case Sexpr::Kind::kFloat: {
+      // %.17g guarantees float64 round-trip; mark as float with a decimal
+      // point or exponent so the reader keeps the kind.
+      std::string t = FormatDouble(s.f, 17);
+      if (t.find('.') == std::string::npos && t.find('e') == std::string::npos &&
+          t.find("inf") == std::string::npos && t.find("nan") == std::string::npos) {
+        t += ".0";
+      }
+      out->append(t);
+      return;
+    }
+  }
+}
+
+class SexprParser {
+ public:
+  explicit SexprParser(const std::string& input) : input_(input) {}
+
+  Result<Sexpr> Parse() {
+    NEXUS_ASSIGN_OR_RETURN(Sexpr s, ParseOne());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Status::SerializationError(
+          StrCat("trailing input at offset ", pos_));
+    }
+    return s;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Sexpr> ParseOne() {
+    SkipSpace();
+    if (pos_ >= input_.size()) {
+      return Status::SerializationError("unexpected end of input");
+    }
+    char c = input_[pos_];
+    if (c == '(') {
+      ++pos_;
+      std::vector<Sexpr> items;
+      while (true) {
+        SkipSpace();
+        if (pos_ >= input_.size()) {
+          return Status::SerializationError("unterminated list");
+        }
+        if (input_[pos_] == ')') {
+          ++pos_;
+          return Sexpr::List(std::move(items));
+        }
+        NEXUS_ASSIGN_OR_RETURN(Sexpr item, ParseOne());
+        items.push_back(std::move(item));
+      }
+    }
+    if (c == '"') return ParseString();
+    if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumberOrSymbol();
+    }
+    return ParseSymbol();
+  }
+
+  Result<Sexpr> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == '"') return Sexpr::Str(std::move(out));
+      if (c == '\\' && pos_ < input_.size()) {
+        char e = input_[pos_++];
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          default:
+            out.push_back(e);
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return Status::SerializationError("unterminated string literal");
+  }
+
+  Result<Sexpr> ParseNumberOrSymbol() {
+    size_t start = pos_;
+    while (pos_ < input_.size() && !std::isspace(static_cast<unsigned char>(input_[pos_])) &&
+           input_[pos_] != '(' && input_[pos_] != ')') {
+      ++pos_;
+    }
+    std::string tok = input_.substr(start, pos_ - start);
+    if (tok == "-" || tok == "+") return Sexpr::Sym(std::move(tok));
+    char* end = nullptr;
+    if (tok.find('.') == std::string::npos && tok.find('e') == std::string::npos &&
+        tok.find("inf") == std::string::npos && tok.find("nan") == std::string::npos) {
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end && *end == '\0') return Sexpr::Int(v);
+    }
+    double d = std::strtod(tok.c_str(), &end);
+    if (end && *end == '\0') return Sexpr::Float(d);
+    return Sexpr::Sym(std::move(tok));
+  }
+
+  Result<Sexpr> ParseSymbol() {
+    size_t start = pos_;
+    while (pos_ < input_.size() && !std::isspace(static_cast<unsigned char>(input_[pos_])) &&
+           input_[pos_] != '(' && input_[pos_] != ')' && input_[pos_] != '"') {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::SerializationError(
+          StrCat("unexpected character '", input_[pos_], "' at offset ", pos_));
+    }
+    return Sexpr::Sym(input_.substr(start, pos_ - start));
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+Status Expect(const Sexpr& s, size_t min_items, const char* what) {
+  if (!s.is_list() || s.items.size() < min_items || !s.items[0].is_symbol()) {
+    return Status::SerializationError(StrCat("malformed ", what, " node"));
+  }
+  return Status::OK();
+}
+
+Result<std::string> AsString(const Sexpr& s, const char* what) {
+  if (!s.is_string()) {
+    return Status::SerializationError(StrCat("expected string for ", what));
+  }
+  return s.text;
+}
+
+Result<int64_t> AsInt(const Sexpr& s, const char* what) {
+  if (!s.is_int()) {
+    return Status::SerializationError(StrCat("expected integer for ", what));
+  }
+  return s.i;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions.
+// ---------------------------------------------------------------------------
+
+Sexpr ExprToSexpr(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = e.literal();
+      if (v.is_null()) return Sexpr::List({Sexpr::Sym("null")});
+      if (v.is_bool()) {
+        return Sexpr::List({Sexpr::Sym(v.AsBool() ? "true" : "false")});
+      }
+      if (v.is_int64()) {
+        return Sexpr::List({Sexpr::Sym("i64"), Sexpr::Int(v.AsInt64())});
+      }
+      if (v.is_float64()) {
+        return Sexpr::List({Sexpr::Sym("f64"), Sexpr::Float(v.AsFloat64())});
+      }
+      return Sexpr::List({Sexpr::Sym("str"), Sexpr::Str(v.AsString())});
+    }
+    case ExprKind::kColumnRef:
+      return Sexpr::List({Sexpr::Sym("col"), Sexpr::Str(e.column_name())});
+    case ExprKind::kUnary:
+      return Sexpr::List(
+          {Sexpr::Sym(UnaryOpName(e.unary_op())), ExprToSexpr(*e.child(0))});
+    case ExprKind::kBinary:
+      return Sexpr::List({Sexpr::Sym(BinaryOpName(e.binary_op())),
+                          ExprToSexpr(*e.child(0)), ExprToSexpr(*e.child(1))});
+    case ExprKind::kFuncCall: {
+      std::vector<Sexpr> items = {Sexpr::Sym("call"), Sexpr::Str(e.func_name())};
+      for (const ExprPtr& c : e.children()) items.push_back(ExprToSexpr(*c));
+      return Sexpr::List(std::move(items));
+    }
+    case ExprKind::kCast:
+      return Sexpr::List({Sexpr::Sym("cast"),
+                          Sexpr::Sym(DataTypeName(e.cast_target())),
+                          ExprToSexpr(*e.child(0))});
+  }
+  return Sexpr::List({});
+}
+
+Result<ExprPtr> ExprFromSexpr(const Sexpr& s) {
+  NEXUS_RETURN_NOT_OK(Expect(s, 1, "expression"));
+  const std::string& head = s.items[0].text;
+  // Heads that require an argument item (guarded before the [1] accesses).
+  if ((head == "i64" || head == "f64" || head == "str" || head == "col" ||
+       head == "call") &&
+      s.items.size() < 2) {
+    return Status::SerializationError(StrCat("malformed ", head, " node"));
+  }
+  if (head == "null") return Expr::Literal(Value::Null());
+  if (head == "true") return Expr::Literal(Value::Bool(true));
+  if (head == "false") return Expr::Literal(Value::Bool(false));
+  if (head == "i64") {
+    NEXUS_ASSIGN_OR_RETURN(int64_t v, AsInt(s.items[1], "i64 literal"));
+    return Expr::Literal(Value::Int64(v));
+  }
+  if (head == "f64") {
+    if (s.items.size() < 2 || (!s.items[1].is_float() && !s.items[1].is_int())) {
+      return Status::SerializationError("malformed f64 literal");
+    }
+    return Expr::Literal(Value::Float64(s.items[1].as_number()));
+  }
+  if (head == "str") {
+    NEXUS_ASSIGN_OR_RETURN(std::string v, AsString(s.items[1], "str literal"));
+    return Expr::Literal(Value::String(std::move(v)));
+  }
+  if (head == "col") {
+    NEXUS_ASSIGN_OR_RETURN(std::string v, AsString(s.items[1], "column name"));
+    return Expr::ColumnRef(std::move(v));
+  }
+  if (head == "call") {
+    NEXUS_ASSIGN_OR_RETURN(std::string fn, AsString(s.items[1], "function name"));
+    std::vector<ExprPtr> args;
+    for (size_t i = 2; i < s.items.size(); ++i) {
+      NEXUS_ASSIGN_OR_RETURN(ExprPtr a, ExprFromSexpr(s.items[i]));
+      args.push_back(std::move(a));
+    }
+    return Expr::FuncCall(std::move(fn), std::move(args));
+  }
+  if (head == "cast") {
+    if (s.items.size() != 3 || !s.items[1].is_symbol()) {
+      return Status::SerializationError("malformed cast");
+    }
+    NEXUS_ASSIGN_OR_RETURN(DataType t, DataTypeFromName(s.items[1].text));
+    NEXUS_ASSIGN_OR_RETURN(ExprPtr c, ExprFromSexpr(s.items[2]));
+    return Expr::Cast(t, std::move(c));
+  }
+  if (auto u = UnaryOpFromName(head); u.ok()) {
+    if (s.items.size() != 2) {
+      return Status::SerializationError("malformed unary expression");
+    }
+    NEXUS_ASSIGN_OR_RETURN(ExprPtr c, ExprFromSexpr(s.items[1]));
+    return Expr::Unary(u.ValueOrDie(), std::move(c));
+  }
+  if (auto b = BinaryOpFromName(head); b.ok()) {
+    if (s.items.size() != 3) {
+      return Status::SerializationError("malformed binary expression");
+    }
+    NEXUS_ASSIGN_OR_RETURN(ExprPtr l, ExprFromSexpr(s.items[1]));
+    NEXUS_ASSIGN_OR_RETURN(ExprPtr r, ExprFromSexpr(s.items[2]));
+    return Expr::Binary(b.ValueOrDie(), std::move(l), std::move(r));
+  }
+  return Status::SerializationError(StrCat("unknown expression head: ", head));
+}
+
+// ---------------------------------------------------------------------------
+// Datasets.
+// ---------------------------------------------------------------------------
+
+Sexpr ValueToSexpr(const Value& v) {
+  if (v.is_null()) return Sexpr::Sym("null");
+  if (v.is_bool()) return Sexpr::Sym(v.AsBool() ? "true" : "false");
+  if (v.is_int64()) return Sexpr::Int(v.AsInt64());
+  if (v.is_float64()) return Sexpr::Float(v.AsFloat64());
+  return Sexpr::Str(v.AsString());
+}
+
+Result<Value> ValueFromSexpr(const Sexpr& s, DataType want) {
+  if (s.is_symbol()) {
+    if (s.text == "null") return Value::Null();
+    if (s.text == "true") return Value::Bool(true);
+    if (s.text == "false") return Value::Bool(false);
+    return Status::SerializationError(StrCat("bad value symbol: ", s.text));
+  }
+  if (s.is_int()) {
+    return want == DataType::kFloat64 ? Value::Float64(static_cast<double>(s.i))
+                                      : Value::Int64(s.i);
+  }
+  if (s.is_float()) return Value::Float64(s.f);
+  if (s.is_string()) return Value::String(s.text);
+  return Status::SerializationError("bad value");
+}
+
+Sexpr SchemaToSexpr(const Schema& schema) {
+  std::vector<Sexpr> items = {Sexpr::Sym("schema")};
+  for (const Field& f : schema.fields()) {
+    std::vector<Sexpr> fitems = {Sexpr::Sym("field"), Sexpr::Str(f.name),
+                                 Sexpr::Sym(DataTypeName(f.type))};
+    if (f.is_dimension) fitems.push_back(Sexpr::Sym("dim"));
+    items.push_back(Sexpr::List(std::move(fitems)));
+  }
+  return Sexpr::List(std::move(items));
+}
+
+Result<SchemaPtr> SchemaFromSexpr(const Sexpr& s) {
+  NEXUS_RETURN_NOT_OK(Expect(s, 1, "schema"));
+  if (s.items[0].text != "schema") {
+    return Status::SerializationError("expected (schema ...)");
+  }
+  std::vector<Field> fields;
+  for (size_t i = 1; i < s.items.size(); ++i) {
+    const Sexpr& f = s.items[i];
+    NEXUS_RETURN_NOT_OK(Expect(f, 3, "field"));
+    NEXUS_ASSIGN_OR_RETURN(std::string name, AsString(f.items[1], "field name"));
+    if (!f.items[2].is_symbol()) {
+      return Status::SerializationError("field type must be a symbol");
+    }
+    NEXUS_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(f.items[2].text));
+    bool dim = f.items.size() > 3 && f.items[3].is_symbol() &&
+               f.items[3].text == "dim";
+    fields.push_back(Field{std::move(name), type, dim});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Sexpr DatasetToSexpr(const Dataset& data) {
+  std::vector<Sexpr> items = {Sexpr::Sym("dataset")};
+  TablePtr table = data.AsTable().ValueOrDie();
+  items.push_back(SchemaToSexpr(*table->schema()));
+  if (data.is_array()) {
+    std::vector<Sexpr> chunks = {Sexpr::Sym("chunks")};
+    for (const DimensionSpec& d : data.array()->dims()) {
+      chunks.push_back(Sexpr::Int(d.chunk_size));
+    }
+    items.push_back(Sexpr::List(std::move(chunks)));
+  }
+  std::vector<Sexpr> rows = {Sexpr::Sym("rows")};
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Sexpr> row;
+    row.reserve(static_cast<size_t>(table->num_columns()));
+    for (int c = 0; c < table->num_columns(); ++c) {
+      row.push_back(ValueToSexpr(table->At(r, c)));
+    }
+    rows.push_back(Sexpr::List(std::move(row)));
+  }
+  items.push_back(Sexpr::List(std::move(rows)));
+  return Sexpr::List(std::move(items));
+}
+
+Result<Dataset> DatasetFromSexpr(const Sexpr& s) {
+  NEXUS_RETURN_NOT_OK(Expect(s, 3, "dataset"));
+  if (s.items[0].text != "dataset") {
+    return Status::SerializationError("expected (dataset ...)");
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaFromSexpr(s.items[1]));
+  size_t next = 2;
+  std::vector<int64_t> chunk_sizes;
+  bool is_array = false;
+  if (s.items[next].is_list() && !s.items[next].items.empty() &&
+      s.items[next].items[0].is_symbol() &&
+      s.items[next].items[0].text == "chunks") {
+    is_array = true;
+    for (size_t i = 1; i < s.items[next].items.size(); ++i) {
+      NEXUS_ASSIGN_OR_RETURN(int64_t c, AsInt(s.items[next].items[i], "chunk"));
+      chunk_sizes.push_back(c);
+    }
+    ++next;
+  }
+  if (next >= s.items.size()) {
+    return Status::SerializationError("dataset missing its rows section");
+  }
+  const Sexpr& rows = s.items[next];
+  NEXUS_RETURN_NOT_OK(Expect(rows, 1, "rows"));
+  if (rows.items[0].text != "rows") {
+    return Status::SerializationError("expected (rows ...)");
+  }
+  TableBuilder builder(schema);
+  std::vector<Value> row(static_cast<size_t>(schema->num_fields()));
+  for (size_t r = 1; r < rows.items.size(); ++r) {
+    const Sexpr& rs = rows.items[r];
+    if (!rs.is_list() ||
+        rs.items.size() != static_cast<size_t>(schema->num_fields())) {
+      return Status::SerializationError(StrCat("row ", r, " has wrong arity"));
+    }
+    for (size_t c = 0; c < rs.items.size(); ++c) {
+      NEXUS_ASSIGN_OR_RETURN(
+          row[c], ValueFromSexpr(rs.items[c], schema->field(static_cast<int>(c)).type));
+    }
+    NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  NEXUS_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  if (!is_array) return Dataset(table);
+  std::vector<std::string> dim_names;
+  for (int i : schema->DimensionIndices()) {
+    dim_names.push_back(schema->field(i).name);
+  }
+  if (dim_names.size() != chunk_sizes.size()) {
+    return Status::SerializationError("chunk list does not match dimensions");
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> arr,
+                         NDArray::FromTable(*table, dim_names, chunk_sizes));
+  return Dataset(NDArrayPtr(std::move(arr)));
+}
+
+// ---------------------------------------------------------------------------
+// Plans.
+// ---------------------------------------------------------------------------
+
+Sexpr PlanToSexpr(const Plan& p);
+
+Sexpr OptionalExprToSexpr(const ExprPtr& e) {
+  if (e == nullptr) return Sexpr::Sym("none");
+  return ExprToSexpr(*e);
+}
+
+Sexpr PlanToSexpr(const Plan& p) {
+  std::vector<Sexpr> items = {Sexpr::Sym(OpKindName(p.kind()))};
+  for (const PlanPtr& c : p.children()) items.push_back(PlanToSexpr(*c));
+  switch (p.kind()) {
+    case OpKind::kScan:
+      items.push_back(Sexpr::Str(p.As<ScanOp>().table));
+      break;
+    case OpKind::kValues:
+      items.push_back(DatasetToSexpr(p.As<ValuesOp>().data));
+      break;
+    case OpKind::kLoopVar:
+      items.push_back(Sexpr::Sym(p.As<LoopVarOp>().previous ? "prev" : "curr"));
+      break;
+    case OpKind::kSelect:
+      items.push_back(ExprToSexpr(*p.As<SelectOp>().predicate));
+      break;
+    case OpKind::kProject:
+      for (const std::string& c : p.As<ProjectOp>().columns) {
+        items.push_back(Sexpr::Str(c));
+      }
+      break;
+    case OpKind::kExtend:
+      for (const auto& [name, expr] : p.As<ExtendOp>().defs) {
+        items.push_back(Sexpr::List(
+            {Sexpr::Sym("def"), Sexpr::Str(name), ExprToSexpr(*expr)}));
+      }
+      break;
+    case OpKind::kJoin: {
+      const auto& op = p.As<JoinOp>();
+      items.push_back(Sexpr::Sym(JoinTypeName(op.type)));
+      std::vector<Sexpr> keys = {Sexpr::Sym("keys")};
+      for (size_t i = 0; i < op.left_keys.size(); ++i) {
+        keys.push_back(Sexpr::List(
+            {Sexpr::Str(op.left_keys[i]), Sexpr::Str(op.right_keys[i])}));
+      }
+      items.push_back(Sexpr::List(std::move(keys)));
+      items.push_back(OptionalExprToSexpr(op.residual));
+      break;
+    }
+    case OpKind::kAggregate: {
+      const auto& op = p.As<AggregateOp>();
+      std::vector<Sexpr> by = {Sexpr::Sym("by")};
+      for (const std::string& g : op.group_by) by.push_back(Sexpr::Str(g));
+      items.push_back(Sexpr::List(std::move(by)));
+      for (const AggSpec& a : op.aggs) {
+        items.push_back(Sexpr::List({Sexpr::Sym("agg"),
+                                     Sexpr::Sym(AggFuncName(a.func)),
+                                     Sexpr::Str(a.output_name),
+                                     OptionalExprToSexpr(a.input)}));
+      }
+      break;
+    }
+    case OpKind::kSort:
+      for (const SortKey& k : p.As<SortOp>().keys) {
+        items.push_back(Sexpr::List({Sexpr::Sym("key"), Sexpr::Str(k.column),
+                                     Sexpr::Sym(k.ascending ? "asc" : "desc")}));
+      }
+      break;
+    case OpKind::kLimit:
+      items.push_back(Sexpr::Int(p.As<LimitOp>().limit));
+      items.push_back(Sexpr::Int(p.As<LimitOp>().offset));
+      break;
+    case OpKind::kDistinct:
+    case OpKind::kUnion:
+    case OpKind::kUnbox:
+      break;
+    case OpKind::kRename:
+      for (const auto& [from, to] : p.As<RenameOp>().mapping) {
+        items.push_back(
+            Sexpr::List({Sexpr::Sym("map"), Sexpr::Str(from), Sexpr::Str(to)}));
+      }
+      break;
+    case OpKind::kRebox: {
+      const auto& op = p.As<ReboxOp>();
+      items.push_back(Sexpr::Int(op.chunk_size));
+      for (const std::string& d : op.dims) items.push_back(Sexpr::Str(d));
+      break;
+    }
+    case OpKind::kSlice:
+      for (const DimRange& r : p.As<SliceOp>().ranges) {
+        items.push_back(Sexpr::List({Sexpr::Sym("range"), Sexpr::Str(r.dim),
+                                     Sexpr::Int(r.lo), Sexpr::Int(r.hi)}));
+      }
+      break;
+    case OpKind::kShift:
+      for (const auto& [dim, delta] : p.As<ShiftOp>().offsets) {
+        items.push_back(
+            Sexpr::List({Sexpr::Sym("off"), Sexpr::Str(dim), Sexpr::Int(delta)}));
+      }
+      break;
+    case OpKind::kRegrid: {
+      const auto& op = p.As<RegridOp>();
+      items.push_back(Sexpr::Sym(AggFuncName(op.func)));
+      for (const auto& [dim, f] : op.factors) {
+        items.push_back(
+            Sexpr::List({Sexpr::Sym("factor"), Sexpr::Str(dim), Sexpr::Int(f)}));
+      }
+      break;
+    }
+    case OpKind::kTranspose:
+      for (const std::string& d : p.As<TransposeOp>().dim_order) {
+        items.push_back(Sexpr::Str(d));
+      }
+      break;
+    case OpKind::kWindow: {
+      const auto& op = p.As<WindowOp>();
+      items.push_back(Sexpr::Sym(AggFuncName(op.func)));
+      for (const auto& [dim, r] : op.radii) {
+        items.push_back(
+            Sexpr::List({Sexpr::Sym("radius"), Sexpr::Str(dim), Sexpr::Int(r)}));
+      }
+      break;
+    }
+    case OpKind::kElemWise:
+      items.push_back(Sexpr::Sym(BinaryOpName(p.As<ElemWiseOpSpec>().op)));
+      break;
+    case OpKind::kMatMul:
+      items.push_back(Sexpr::Str(p.As<MatMulOp>().result_attr));
+      break;
+    case OpKind::kPageRank: {
+      const auto& op = p.As<PageRankOp>();
+      items.push_back(Sexpr::Str(op.src_col));
+      items.push_back(Sexpr::Str(op.dst_col));
+      items.push_back(Sexpr::Float(op.damping));
+      items.push_back(Sexpr::Int(op.max_iters));
+      items.push_back(Sexpr::Float(op.epsilon));
+      break;
+    }
+    case OpKind::kIterate: {
+      const auto& op = p.As<IterateOp>();
+      items.push_back(PlanToSexpr(*op.body));
+      items.push_back(op.measure == nullptr ? Sexpr::Sym("none")
+                                            : PlanToSexpr(*op.measure));
+      items.push_back(Sexpr::Float(op.epsilon));
+      items.push_back(Sexpr::Int(op.max_iters));
+      break;
+    }
+    case OpKind::kExchange: {
+      const auto& op = p.As<ExchangeOp>();
+      items.push_back(Sexpr::Str(op.target_server));
+      items.push_back(Sexpr::Sym(TransferModeName(op.mode)));
+      break;
+    }
+  }
+  return Sexpr::List(std::move(items));
+}
+
+Result<PlanPtr> PlanFromSexpr(const Sexpr& s);
+
+Result<ExprPtr> OptionalExprFromSexpr(const Sexpr& s) {
+  if (s.is_symbol() && s.text == "none") return ExprPtr(nullptr);
+  return ExprFromSexpr(s);
+}
+
+// Number of leading child-plan items for each operator.
+Result<int> ChildCount(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+    case OpKind::kValues:
+    case OpKind::kLoopVar:
+      return 0;
+    case OpKind::kJoin:
+    case OpKind::kUnion:
+    case OpKind::kElemWise:
+    case OpKind::kMatMul:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+// Minimum argument (non-child) items required by each operator.
+int MinArgCount(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+    case OpKind::kValues:
+    case OpKind::kLoopVar:
+    case OpKind::kSelect:
+    case OpKind::kRebox:
+    case OpKind::kRegrid:
+    case OpKind::kWindow:
+    case OpKind::kElemWise:
+    case OpKind::kMatMul:
+    case OpKind::kAggregate:
+      return 1;
+    case OpKind::kLimit:
+    case OpKind::kExchange:
+      return 2;
+    case OpKind::kJoin:
+      return 3;
+    case OpKind::kIterate:
+      return 4;
+    case OpKind::kPageRank:
+      return 5;
+    default:
+      return 0;
+  }
+}
+
+Result<PlanPtr> PlanFromSexpr(const Sexpr& s) {
+  NEXUS_RETURN_NOT_OK(Expect(s, 1, "plan"));
+  NEXUS_ASSIGN_OR_RETURN(OpKind kind, OpKindFromName(s.items[0].text));
+  NEXUS_ASSIGN_OR_RETURN(int n_children, ChildCount(kind));
+  if (static_cast<int>(s.items.size()) < 1 + n_children) {
+    return Status::SerializationError(
+        StrCat("operator ", OpKindName(kind), " missing children"));
+  }
+  std::vector<PlanPtr> children;
+  for (int i = 0; i < n_children; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(PlanPtr c, PlanFromSexpr(s.items[static_cast<size_t>(1 + i)]));
+    children.push_back(std::move(c));
+  }
+  size_t a = static_cast<size_t>(1 + n_children);  // first argument index
+  size_t n_args = s.items.size() - a;
+  if (n_args < static_cast<size_t>(MinArgCount(kind))) {
+    return Status::SerializationError(
+        StrCat("operator ", OpKindName(kind), " missing arguments"));
+  }
+  auto arg = [&](size_t i) -> const Sexpr& { return s.items[a + i]; };
+
+  switch (kind) {
+    case OpKind::kScan: {
+      NEXUS_ASSIGN_OR_RETURN(std::string t, AsString(arg(0), "table"));
+      return Plan::Scan(std::move(t));
+    }
+    case OpKind::kValues: {
+      NEXUS_ASSIGN_OR_RETURN(Dataset d, DatasetFromSexpr(arg(0)));
+      return Plan::Values(std::move(d));
+    }
+    case OpKind::kLoopVar:
+      return Plan::LoopVar(arg(0).is_symbol() && arg(0).text == "prev");
+    case OpKind::kSelect: {
+      NEXUS_ASSIGN_OR_RETURN(ExprPtr e, ExprFromSexpr(arg(0)));
+      return Plan::Select(children[0], std::move(e));
+    }
+    case OpKind::kProject: {
+      std::vector<std::string> cols;
+      for (size_t i = 0; i < n_args; ++i) {
+        NEXUS_ASSIGN_OR_RETURN(std::string c, AsString(arg(i), "column"));
+        cols.push_back(std::move(c));
+      }
+      return Plan::Project(children[0], std::move(cols));
+    }
+    case OpKind::kExtend: {
+      std::vector<std::pair<std::string, ExprPtr>> defs;
+      for (size_t i = 0; i < n_args; ++i) {
+        const Sexpr& d = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(d, 3, "extend def"));
+        NEXUS_ASSIGN_OR_RETURN(std::string name, AsString(d.items[1], "def name"));
+        NEXUS_ASSIGN_OR_RETURN(ExprPtr e, ExprFromSexpr(d.items[2]));
+        defs.emplace_back(std::move(name), std::move(e));
+      }
+      return Plan::Extend(children[0], std::move(defs));
+    }
+    case OpKind::kJoin: {
+      if (n_args < 3 || !arg(0).is_symbol()) {
+        return Status::SerializationError("malformed join");
+      }
+      NEXUS_ASSIGN_OR_RETURN(JoinType type, JoinTypeFromName(arg(0).text));
+      const Sexpr& keys = arg(1);
+      NEXUS_RETURN_NOT_OK(Expect(keys, 1, "join keys"));
+      std::vector<std::string> lk, rk;
+      for (size_t i = 1; i < keys.items.size(); ++i) {
+        const Sexpr& pair = keys.items[i];
+        if (!pair.is_list() || pair.items.size() != 2) {
+          return Status::SerializationError("malformed join key pair");
+        }
+        NEXUS_ASSIGN_OR_RETURN(std::string l, AsString(pair.items[0], "left key"));
+        NEXUS_ASSIGN_OR_RETURN(std::string r, AsString(pair.items[1], "right key"));
+        lk.push_back(std::move(l));
+        rk.push_back(std::move(r));
+      }
+      NEXUS_ASSIGN_OR_RETURN(ExprPtr residual, OptionalExprFromSexpr(arg(2)));
+      return Plan::Join(children[0], children[1], type, std::move(lk),
+                        std::move(rk), std::move(residual));
+    }
+    case OpKind::kAggregate: {
+      if (n_args < 1) return Status::SerializationError("malformed aggregate");
+      const Sexpr& by = arg(0);
+      NEXUS_RETURN_NOT_OK(Expect(by, 1, "group-by"));
+      std::vector<std::string> group_by;
+      for (size_t i = 1; i < by.items.size(); ++i) {
+        NEXUS_ASSIGN_OR_RETURN(std::string g, AsString(by.items[i], "group key"));
+        group_by.push_back(std::move(g));
+      }
+      std::vector<AggSpec> aggs;
+      for (size_t i = 1; i < n_args; ++i) {
+        const Sexpr& ag = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(ag, 4, "agg spec"));
+        if (!ag.items[1].is_symbol()) {
+          return Status::SerializationError("agg func must be a symbol");
+        }
+        AggSpec spec;
+        NEXUS_ASSIGN_OR_RETURN(spec.func, AggFuncFromName(ag.items[1].text));
+        NEXUS_ASSIGN_OR_RETURN(spec.output_name,
+                               AsString(ag.items[2], "agg output"));
+        NEXUS_ASSIGN_OR_RETURN(spec.input, OptionalExprFromSexpr(ag.items[3]));
+        aggs.push_back(std::move(spec));
+      }
+      return Plan::Aggregate(children[0], std::move(group_by), std::move(aggs));
+    }
+    case OpKind::kSort: {
+      std::vector<SortKey> keys;
+      for (size_t i = 0; i < n_args; ++i) {
+        const Sexpr& k = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(k, 3, "sort key"));
+        SortKey key;
+        NEXUS_ASSIGN_OR_RETURN(key.column, AsString(k.items[1], "sort column"));
+        key.ascending = !(k.items[2].is_symbol() && k.items[2].text == "desc");
+        keys.push_back(std::move(key));
+      }
+      return Plan::Sort(children[0], std::move(keys));
+    }
+    case OpKind::kLimit: {
+      NEXUS_ASSIGN_OR_RETURN(int64_t limit, AsInt(arg(0), "limit"));
+      NEXUS_ASSIGN_OR_RETURN(int64_t offset, AsInt(arg(1), "offset"));
+      return Plan::Limit(children[0], limit, offset);
+    }
+    case OpKind::kDistinct:
+      return Plan::Distinct(children[0]);
+    case OpKind::kUnion:
+      return Plan::Union(children[0], children[1]);
+    case OpKind::kUnbox:
+      return Plan::Unbox(children[0]);
+    case OpKind::kRename: {
+      std::vector<std::pair<std::string, std::string>> mapping;
+      for (size_t i = 0; i < n_args; ++i) {
+        const Sexpr& m = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(m, 3, "rename map"));
+        NEXUS_ASSIGN_OR_RETURN(std::string from, AsString(m.items[1], "from"));
+        NEXUS_ASSIGN_OR_RETURN(std::string to, AsString(m.items[2], "to"));
+        mapping.emplace_back(std::move(from), std::move(to));
+      }
+      return Plan::Rename(children[0], std::move(mapping));
+    }
+    case OpKind::kRebox: {
+      NEXUS_ASSIGN_OR_RETURN(int64_t chunk, AsInt(arg(0), "chunk size"));
+      std::vector<std::string> dims;
+      for (size_t i = 1; i < n_args; ++i) {
+        NEXUS_ASSIGN_OR_RETURN(std::string d, AsString(arg(i), "dim"));
+        dims.push_back(std::move(d));
+      }
+      return Plan::Rebox(children[0], std::move(dims), chunk);
+    }
+    case OpKind::kSlice: {
+      std::vector<DimRange> ranges;
+      for (size_t i = 0; i < n_args; ++i) {
+        const Sexpr& r = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(r, 4, "slice range"));
+        DimRange range;
+        NEXUS_ASSIGN_OR_RETURN(range.dim, AsString(r.items[1], "dim"));
+        NEXUS_ASSIGN_OR_RETURN(range.lo, AsInt(r.items[2], "lo"));
+        NEXUS_ASSIGN_OR_RETURN(range.hi, AsInt(r.items[3], "hi"));
+        ranges.push_back(std::move(range));
+      }
+      return Plan::Slice(children[0], std::move(ranges));
+    }
+    case OpKind::kShift: {
+      std::vector<std::pair<std::string, int64_t>> offsets;
+      for (size_t i = 0; i < n_args; ++i) {
+        const Sexpr& o = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(o, 3, "shift offset"));
+        NEXUS_ASSIGN_OR_RETURN(std::string dim, AsString(o.items[1], "dim"));
+        NEXUS_ASSIGN_OR_RETURN(int64_t delta, AsInt(o.items[2], "delta"));
+        offsets.emplace_back(std::move(dim), delta);
+      }
+      return Plan::Shift(children[0], std::move(offsets));
+    }
+    case OpKind::kRegrid: {
+      if (n_args < 1 || !arg(0).is_symbol()) {
+        return Status::SerializationError("malformed regrid");
+      }
+      NEXUS_ASSIGN_OR_RETURN(AggFunc func, AggFuncFromName(arg(0).text));
+      std::vector<std::pair<std::string, int64_t>> factors;
+      for (size_t i = 1; i < n_args; ++i) {
+        const Sexpr& f = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(f, 3, "regrid factor"));
+        NEXUS_ASSIGN_OR_RETURN(std::string dim, AsString(f.items[1], "dim"));
+        NEXUS_ASSIGN_OR_RETURN(int64_t factor, AsInt(f.items[2], "factor"));
+        factors.emplace_back(std::move(dim), factor);
+      }
+      return Plan::Regrid(children[0], std::move(factors), func);
+    }
+    case OpKind::kTranspose: {
+      std::vector<std::string> order;
+      for (size_t i = 0; i < n_args; ++i) {
+        NEXUS_ASSIGN_OR_RETURN(std::string d, AsString(arg(i), "dim"));
+        order.push_back(std::move(d));
+      }
+      return Plan::Transpose(children[0], std::move(order));
+    }
+    case OpKind::kWindow: {
+      if (n_args < 1 || !arg(0).is_symbol()) {
+        return Status::SerializationError("malformed window");
+      }
+      NEXUS_ASSIGN_OR_RETURN(AggFunc func, AggFuncFromName(arg(0).text));
+      std::vector<std::pair<std::string, int64_t>> radii;
+      for (size_t i = 1; i < n_args; ++i) {
+        const Sexpr& r = arg(i);
+        NEXUS_RETURN_NOT_OK(Expect(r, 3, "window radius"));
+        NEXUS_ASSIGN_OR_RETURN(std::string dim, AsString(r.items[1], "dim"));
+        NEXUS_ASSIGN_OR_RETURN(int64_t radius, AsInt(r.items[2], "radius"));
+        radii.emplace_back(std::move(dim), radius);
+      }
+      return Plan::Window(children[0], std::move(radii), func);
+    }
+    case OpKind::kElemWise: {
+      if (n_args < 1 || !arg(0).is_symbol()) {
+        return Status::SerializationError("malformed elemwise");
+      }
+      NEXUS_ASSIGN_OR_RETURN(BinaryOp op, BinaryOpFromName(arg(0).text));
+      return Plan::ElemWise(children[0], children[1], op);
+    }
+    case OpKind::kMatMul: {
+      NEXUS_ASSIGN_OR_RETURN(std::string attr, AsString(arg(0), "result attr"));
+      return Plan::MatMul(children[0], children[1], std::move(attr));
+    }
+    case OpKind::kPageRank: {
+      PageRankOp op;
+      NEXUS_ASSIGN_OR_RETURN(op.src_col, AsString(arg(0), "src col"));
+      NEXUS_ASSIGN_OR_RETURN(op.dst_col, AsString(arg(1), "dst col"));
+      if (!arg(2).is_float() && !arg(2).is_int()) {
+        return Status::SerializationError("pagerank damping must be numeric");
+      }
+      op.damping = arg(2).as_number();
+      NEXUS_ASSIGN_OR_RETURN(op.max_iters, AsInt(arg(3), "max iters"));
+      if (!arg(4).is_float() && !arg(4).is_int()) {
+        return Status::SerializationError("pagerank epsilon must be numeric");
+      }
+      op.epsilon = arg(4).as_number();
+      return Plan::PageRank(children[0], std::move(op));
+    }
+    case OpKind::kIterate: {
+      IterateOp op;
+      NEXUS_ASSIGN_OR_RETURN(op.body, PlanFromSexpr(arg(0)));
+      if (arg(1).is_symbol() && arg(1).text == "none") {
+        op.measure = nullptr;
+      } else {
+        NEXUS_ASSIGN_OR_RETURN(op.measure, PlanFromSexpr(arg(1)));
+      }
+      if (!arg(2).is_float() && !arg(2).is_int()) {
+        return Status::SerializationError("iterate epsilon must be numeric");
+      }
+      op.epsilon = arg(2).as_number();
+      NEXUS_ASSIGN_OR_RETURN(op.max_iters, AsInt(arg(3), "max iters"));
+      return Plan::Iterate(children[0], std::move(op));
+    }
+    case OpKind::kExchange: {
+      NEXUS_ASSIGN_OR_RETURN(std::string server, AsString(arg(0), "server"));
+      if (!arg(1).is_symbol()) {
+        return Status::SerializationError("malformed transfer mode");
+      }
+      TransferMode mode = arg(1).text == "relay" ? TransferMode::kRelay
+                                                 : TransferMode::kDirect;
+      return Plan::Exchange(children[0], std::move(server), mode);
+    }
+  }
+  return Status::Internal("unhandled operator in plan parser");
+}
+
+}  // namespace
+
+std::string SerializePlan(const Plan& plan) {
+  std::string out;
+  WriteSexpr(PlanToSexpr(plan), &out);
+  return out;
+}
+
+Result<PlanPtr> ParsePlan(const std::string& wire) {
+  SexprParser parser(wire);
+  NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
+  return PlanFromSexpr(s);
+}
+
+std::string SerializeExpr(const Expr& expr) {
+  std::string out;
+  WriteSexpr(ExprToSexpr(expr), &out);
+  return out;
+}
+
+Result<ExprPtr> ParseExpr(const std::string& wire) {
+  SexprParser parser(wire);
+  NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
+  return ExprFromSexpr(s);
+}
+
+std::string SerializeDataset(const Dataset& data) {
+  std::string out;
+  WriteSexpr(DatasetToSexpr(data), &out);
+  return out;
+}
+
+Result<Dataset> ParseDataset(const std::string& wire) {
+  SexprParser parser(wire);
+  NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
+  return DatasetFromSexpr(s);
+}
+
+}  // namespace nexus

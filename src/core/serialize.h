@@ -1,0 +1,35 @@
+// Wire format for algebra plans: s-expressions.
+//
+// "It can pass queries to Providers in the form of an expression tree,
+// rather than as a series of remote function calls" — this module is that
+// capability. The format is textual, stable, and self-contained: a plan
+// serialized on the client parses back identically on a server (including
+// inline Values data, nested Iterate bodies, and scalar expressions).
+#ifndef NEXUS_CORE_SERIALIZE_H_
+#define NEXUS_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Serializes a plan tree to the s-expression wire form.
+std::string SerializePlan(const Plan& plan);
+
+/// Parses a serialized plan. Inverse of SerializePlan (round-trip exact up
+/// to structural equality).
+Result<PlanPtr> ParsePlan(const std::string& wire);
+
+/// Serializes a scalar expression (exposed for tests and debugging).
+std::string SerializeExpr(const Expr& expr);
+Result<ExprPtr> ParseExpr(const std::string& wire);
+
+/// Serializes a dataset (schema + rows; array datasets keep their chunk
+/// geometry so they re-materialize as arrays).
+std::string SerializeDataset(const Dataset& data);
+Result<Dataset> ParseDataset(const std::string& wire);
+
+}  // namespace nexus
+
+#endif  // NEXUS_CORE_SERIALIZE_H_

@@ -1,0 +1,56 @@
+// Reference executor: a direct, row-at-a-time interpreter for every
+// operator of the Big Data Algebra.
+//
+// Two roles:
+//   1. Correctness oracle — engine-native implementations (relational,
+//      array, linalg, graph providers) are differentially tested against it.
+//   2. Translatability backstop (desideratum 2) — the federated planner
+//      sends any fragment no specialized provider can claim here, so every
+//      algebra expression is executable somewhere by construction.
+//
+// It evaluates on the tabular representation; dimension-aware operators key
+// off the schema's dimension tags.
+#ifndef NEXUS_EXEC_REFERENCE_EXECUTOR_H_
+#define NEXUS_EXEC_REFERENCE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Runtime bindings for Iterate loop variables.
+struct ExecLoopFrame {
+  Dataset current;
+  Dataset previous;
+};
+
+/// Interprets algebra plans against a catalog.
+class ReferenceExecutor {
+ public:
+  /// `catalog` may be null if the plan contains no Scan leaves.
+  explicit ReferenceExecutor(const InMemoryCatalog* catalog)
+      : catalog_(catalog) {}
+
+  /// Executes `plan` and returns the resulting collection. The result of a
+  /// dimension-tagged plan is still delivered as a table-backed Dataset;
+  /// callers wanting the array form use Dataset::AsArray.
+  Result<Dataset> Execute(const Plan& plan);
+
+  /// Total Iterate loop iterations executed (across Execute calls) — used
+  /// by benches to report convergence behaviour.
+  int64_t iterations_run() const { return iterations_run_; }
+
+ private:
+  Result<Dataset> Exec(const Plan& plan);
+  Result<TablePtr> ExecTable(const Plan& plan);
+
+  const InMemoryCatalog* catalog_;
+  std::vector<ExecLoopFrame> loop_stack_;
+  int64_t iterations_run_ = 0;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_EXEC_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,90 @@
+// Terse construction helpers for scalar expressions, used by tests, the
+// fluent front end, and the examples:
+//
+//   using namespace nexus::exprs;
+//   ExprPtr pred = Gt(Col("temp"), Lit(30.0));
+#ifndef NEXUS_EXPR_BUILDER_H_
+#define NEXUS_EXPR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace nexus {
+namespace exprs {
+
+inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value::Int64(v)); }
+inline ExprPtr Lit(int v) { return Expr::Literal(Value::Int64(v)); }
+inline ExprPtr Lit(double v) { return Expr::Literal(Value::Float64(v)); }
+inline ExprPtr Lit(bool v) { return Expr::Literal(Value::Bool(v)); }
+inline ExprPtr Lit(const char* v) { return Expr::Literal(Value::String(v)); }
+inline ExprPtr Lit(std::string v) {
+  return Expr::Literal(Value::String(std::move(v)));
+}
+inline ExprPtr NullLit() { return Expr::Literal(Value::Null()); }
+
+inline ExprPtr Col(std::string name) { return Expr::ColumnRef(std::move(name)); }
+
+inline ExprPtr Neg(ExprPtr e) { return Expr::Unary(UnaryOp::kNeg, std::move(e)); }
+inline ExprPtr Not(ExprPtr e) { return Expr::Unary(UnaryOp::kNot, std::move(e)); }
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kMod, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+
+inline ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
+  return Expr::FuncCall(std::move(name), std::move(args));
+}
+inline ExprPtr Cast(DataType target, ExprPtr e) {
+  return Expr::Cast(target, std::move(e));
+}
+
+/// Conjunction of a predicate list; empty list yields literal true.
+inline ExprPtr AndAll(std::vector<ExprPtr> preds) {
+  if (preds.empty()) return Lit(true);
+  ExprPtr out = preds[0];
+  for (size_t i = 1; i < preds.size(); ++i) out = And(out, preds[i]);
+  return out;
+}
+
+}  // namespace exprs
+}  // namespace nexus
+
+#endif  // NEXUS_EXPR_BUILDER_H_

@@ -1,0 +1,406 @@
+#include "expr/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+namespace {
+
+Result<Value> EvalUnary(UnaryOp op, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (op == UnaryOp::kNeg) {
+    if (v.is_int64()) return Value::Int64(-v.AsInt64());
+    if (v.is_float64()) return Value::Float64(-v.AsFloat64());
+    return Status::TypeError("neg expects numeric");
+  }
+  if (!v.is_bool()) return Status::TypeError("not expects bool");
+  return Value::Bool(!v.AsBool());
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (op == BinaryOp::kAdd && l.is_string() && r.is_string()) {
+    return Value::String(l.AsString() + r.AsString());
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError(StrCat("arithmetic on non-numeric values: ",
+                                    l.ToString(), " ", BinaryOpName(op), " ",
+                                    r.ToString()));
+  }
+  bool int_math = l.is_int64() && r.is_int64();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return int_math ? Value::Int64(l.AsInt64() + r.AsInt64())
+                      : Value::Float64(l.AsDouble() + r.AsDouble());
+    case BinaryOp::kSub:
+      return int_math ? Value::Int64(l.AsInt64() - r.AsInt64())
+                      : Value::Float64(l.AsDouble() - r.AsDouble());
+    case BinaryOp::kMul:
+      return int_math ? Value::Int64(l.AsInt64() * r.AsInt64())
+                      : Value::Float64(l.AsDouble() * r.AsDouble());
+    case BinaryOp::kDiv: {
+      double d = r.AsDouble();
+      if (d == 0.0) return Value::Null();  // division by zero yields null
+      return Value::Float64(l.AsDouble() / d);
+    }
+    case BinaryOp::kMod: {
+      if (!int_math) return Status::TypeError("% expects int64 operands");
+      if (r.AsInt64() == 0) return Value::Null();
+      return Value::Int64(l.AsInt64() % r.AsInt64());
+    }
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+Result<Value> EvalFunc(const std::string& func, std::vector<Value> args) {
+  // Null-aware functions first.
+  if (func == "is_null") return Value::Bool(args[0].is_null());
+  if (func == "coalesce") {
+    for (Value& a : args) {
+      if (!a.is_null()) return std::move(a);
+    }
+    return Value::Null();
+  }
+  if (func == "if") {
+    if (args[0].is_null()) return Value::Null();
+    if (!args[0].is_bool()) return Status::TypeError("if: condition must be bool");
+    return args[0].AsBool() ? std::move(args[1]) : std::move(args[2]);
+  }
+  // Everything else is strict in nulls.
+  for (const Value& a : args) {
+    if (a.is_null()) return Value::Null();
+  }
+  auto need_numeric = [&](size_t i) -> Status {
+    if (!args[i].is_numeric()) {
+      return Status::TypeError(StrCat(func, ": argument ", i, " must be numeric"));
+    }
+    return Status::OK();
+  };
+  if (func == "abs") {
+    NEXUS_RETURN_NOT_OK(need_numeric(0));
+    if (args[0].is_int64()) return Value::Int64(std::llabs(args[0].AsInt64()));
+    return Value::Float64(std::fabs(args[0].AsFloat64()));
+  }
+  if (func == "sign") {
+    NEXUS_RETURN_NOT_OK(need_numeric(0));
+    double d = args[0].AsDouble();
+    int64_t s = d > 0 ? 1 : (d < 0 ? -1 : 0);
+    return args[0].is_int64() ? Value::Int64(s) : Value::Float64(static_cast<double>(s));
+  }
+  if (func == "sqrt" || func == "exp" || func == "log" || func == "sin" ||
+      func == "cos") {
+    NEXUS_RETURN_NOT_OK(need_numeric(0));
+    double d = args[0].AsDouble();
+    if (func == "sqrt") return d < 0 ? Value::Null() : Value::Float64(std::sqrt(d));
+    if (func == "exp") return Value::Float64(std::exp(d));
+    if (func == "log") return d <= 0 ? Value::Null() : Value::Float64(std::log(d));
+    if (func == "sin") return Value::Float64(std::sin(d));
+    return Value::Float64(std::cos(d));
+  }
+  if (func == "pow") {
+    NEXUS_RETURN_NOT_OK(need_numeric(0));
+    NEXUS_RETURN_NOT_OK(need_numeric(1));
+    return Value::Float64(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+  }
+  if (func == "floor" || func == "ceil" || func == "round") {
+    NEXUS_RETURN_NOT_OK(need_numeric(0));
+    double d = args[0].AsDouble();
+    if (func == "floor") return Value::Int64(static_cast<int64_t>(std::floor(d)));
+    if (func == "ceil") return Value::Int64(static_cast<int64_t>(std::ceil(d)));
+    return Value::Int64(static_cast<int64_t>(std::llround(d)));
+  }
+  if (func == "min" || func == "max") {
+    Value best = args[0];
+    for (size_t i = 1; i < args.size(); ++i) {
+      bool take = func == "min" ? args[i].Compare(best) < 0
+                                : args[i].Compare(best) > 0;
+      if (take) best = args[i];
+    }
+    return best;
+  }
+  if (func == "length") {
+    if (!args[0].is_string()) return Status::TypeError("length expects string");
+    return Value::Int64(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (func == "concat") {
+    std::string out;
+    for (const Value& a : args) {
+      if (!a.is_string()) return Status::TypeError("concat expects strings");
+      out += a.AsString();
+    }
+    return Value::String(std::move(out));
+  }
+  if (func == "lower" || func == "upper") {
+    if (!args[0].is_string()) return Status::TypeError(StrCat(func, " expects string"));
+    std::string s = args[0].AsString();
+    for (char& c : s) {
+      c = func == "lower" ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                          : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return Value::String(std::move(s));
+  }
+  if (func == "substr") {
+    if (!args[0].is_string() || !args[1].is_int64() || !args[2].is_int64()) {
+      return Status::TypeError("substr expects (string, int64, int64)");
+    }
+    const std::string& s = args[0].AsString();
+    int64_t pos = std::clamp<int64_t>(args[1].AsInt64(), 0,
+                                      static_cast<int64_t>(s.size()));
+    int64_t len = std::max<int64_t>(0, args[2].AsInt64());
+    return Value::String(s.substr(static_cast<size_t>(pos),
+                                  static_cast<size_t>(len)));
+  }
+  return Status::TypeError(StrCat("unknown function: ", func));
+}
+
+}  // namespace
+
+Result<Value> EvalExprRow(const Expr& expr, const Schema& schema,
+                          const std::vector<Value>& row) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return expr.literal();
+    case ExprKind::kColumnRef: {
+      NEXUS_ASSIGN_OR_RETURN(int i, schema.FindFieldOrError(expr.column_name()));
+      return row[static_cast<size_t>(i)];
+    }
+    case ExprKind::kUnary: {
+      NEXUS_ASSIGN_OR_RETURN(Value v, EvalExprRow(*expr.child(0), schema, row));
+      return EvalUnary(expr.unary_op(), v);
+    }
+    case ExprKind::kBinary: {
+      BinaryOp op = expr.binary_op();
+      NEXUS_ASSIGN_OR_RETURN(Value l, EvalExprRow(*expr.child(0), schema, row));
+      if (IsLogical(op)) {
+        // Short-circuit with 3-valued logic.
+        if (op == BinaryOp::kAnd && !l.is_null() && !l.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (op == BinaryOp::kOr && !l.is_null() && l.AsBool()) {
+          return Value::Bool(true);
+        }
+        NEXUS_ASSIGN_OR_RETURN(Value r, EvalExprRow(*expr.child(1), schema, row));
+        if (op == BinaryOp::kAnd) {
+          if (!r.is_null() && !r.AsBool()) return Value::Bool(false);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return Value::Bool(true);
+        }
+        if (!r.is_null() && r.AsBool()) return Value::Bool(true);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Bool(false);
+      }
+      NEXUS_ASSIGN_OR_RETURN(Value r, EvalExprRow(*expr.child(1), schema, row));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (IsComparison(op)) {
+        int c = l.Compare(r);
+        switch (op) {
+          case BinaryOp::kEq:
+            return Value::Bool(c == 0);
+          case BinaryOp::kNe:
+            return Value::Bool(c != 0);
+          case BinaryOp::kLt:
+            return Value::Bool(c < 0);
+          case BinaryOp::kLe:
+            return Value::Bool(c <= 0);
+          case BinaryOp::kGt:
+            return Value::Bool(c > 0);
+          default:
+            return Value::Bool(c >= 0);
+        }
+      }
+      return EvalArithmetic(op, l, r);
+    }
+    case ExprKind::kFuncCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children().size());
+      for (const ExprPtr& c : expr.children()) {
+        NEXUS_ASSIGN_OR_RETURN(Value v, EvalExprRow(*c, schema, row));
+        args.push_back(std::move(v));
+      }
+      return EvalFunc(expr.func_name(), std::move(args));
+    }
+    case ExprKind::kCast: {
+      NEXUS_ASSIGN_OR_RETURN(Value v, EvalExprRow(*expr.child(0), schema, row));
+      return v.CastTo(expr.cast_target());
+    }
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+namespace {
+
+// True when `expr` only touches null-free numeric/bool columns, so the typed
+// double-based fast path is exact. String ops, casts, and functions beyond
+// simple math are excluded.
+bool FastPathEligible(const Expr& expr, const Table& table) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return expr.literal().is_numeric() || expr.literal().is_bool();
+    case ExprKind::kColumnRef: {
+      int i = table.schema()->FindField(expr.column_name());
+      if (i < 0) return false;
+      const Column& c = table.column(i);
+      return (IsNumeric(c.type()) || c.type() == DataType::kBool) && !c.has_nulls();
+    }
+    case ExprKind::kUnary:
+      return FastPathEligible(*expr.child(0), table);
+    case ExprKind::kBinary: {
+      if (expr.binary_op() == BinaryOp::kDiv || expr.binary_op() == BinaryOp::kMod) {
+        return false;  // null-on-zero semantics need the boxed path
+      }
+      return FastPathEligible(*expr.child(0), table) &&
+             FastPathEligible(*expr.child(1), table);
+    }
+    default:
+      return false;
+  }
+}
+
+// Evaluates eligible expressions into a dense double buffer (bools as 0/1).
+void EvalFast(const Expr& expr, const Table& table, std::vector<double>* out) {
+  int64_t n = table.num_rows();
+  out->resize(static_cast<size_t>(n));
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      double v = expr.literal().is_bool() ? (expr.literal().AsBool() ? 1.0 : 0.0)
+                                          : expr.literal().AsDouble();
+      std::fill(out->begin(), out->end(), v);
+      return;
+    }
+    case ExprKind::kColumnRef: {
+      const Column& c =
+          table.column(table.schema()->FindField(expr.column_name()));
+      if (c.type() == DataType::kInt64) {
+        const auto& src = c.ints();
+        for (int64_t i = 0; i < n; ++i) {
+          (*out)[static_cast<size_t>(i)] = static_cast<double>(src[static_cast<size_t>(i)]);
+        }
+      } else if (c.type() == DataType::kFloat64) {
+        const auto& src = c.doubles();
+        std::copy(src.begin(), src.end(), out->begin());
+      } else {
+        const auto& src = c.bools();
+        for (int64_t i = 0; i < n; ++i) {
+          (*out)[static_cast<size_t>(i)] = src[static_cast<size_t>(i)] ? 1.0 : 0.0;
+        }
+      }
+      return;
+    }
+    case ExprKind::kUnary: {
+      EvalFast(*expr.child(0), table, out);
+      if (expr.unary_op() == UnaryOp::kNeg) {
+        for (double& v : *out) v = -v;
+      } else {
+        for (double& v : *out) v = (v != 0.0) ? 0.0 : 1.0;
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      std::vector<double> rhs;
+      EvalFast(*expr.child(0), table, out);
+      EvalFast(*expr.child(1), table, &rhs);
+      double* a = out->data();
+      const double* b = rhs.data();
+      size_t sz = out->size();
+      switch (expr.binary_op()) {
+        case BinaryOp::kAdd:
+          for (size_t i = 0; i < sz; ++i) a[i] += b[i];
+          return;
+        case BinaryOp::kSub:
+          for (size_t i = 0; i < sz; ++i) a[i] -= b[i];
+          return;
+        case BinaryOp::kMul:
+          for (size_t i = 0; i < sz; ++i) a[i] *= b[i];
+          return;
+        case BinaryOp::kEq:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] == b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kNe:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] != b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kLt:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] < b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kLe:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] <= b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kGt:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] > b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kGe:
+          for (size_t i = 0; i < sz; ++i) a[i] = a[i] >= b[i] ? 1.0 : 0.0;
+          return;
+        case BinaryOp::kAnd:
+          for (size_t i = 0; i < sz; ++i) {
+            a[i] = (a[i] != 0.0 && b[i] != 0.0) ? 1.0 : 0.0;
+          }
+          return;
+        case BinaryOp::kOr:
+          for (size_t i = 0; i < sz; ++i) {
+            a[i] = (a[i] != 0.0 || b[i] != 0.0) ? 1.0 : 0.0;
+          }
+          return;
+        default:
+          return;  // excluded by FastPathEligible
+      }
+    }
+    default:
+      return;  // excluded by FastPathEligible
+  }
+}
+
+}  // namespace
+
+Result<Column> EvalExprVector(const Expr& expr, const Table& table) {
+  NEXUS_ASSIGN_OR_RETURN(DataType out_type,
+                         InferExprType(expr, *table.schema()));
+  int64_t n = table.num_rows();
+  // The fast path computes in double; int64 outputs take the boxed path so
+  // integer arithmetic stays exact beyond 2^53.
+  if (out_type != DataType::kInt64 && FastPathEligible(expr, table)) {
+    std::vector<double> buf;
+    EvalFast(expr, table, &buf);
+    if (out_type == DataType::kFloat64) {
+      return Column::FromFloat64(std::move(buf));
+    }
+    if (out_type == DataType::kBool) {
+      std::vector<uint8_t> bools(buf.size());
+      for (size_t i = 0; i < buf.size(); ++i) bools[i] = buf[i] != 0.0 ? 1 : 0;
+      return Column::FromBool(std::move(bools));
+    }
+  }
+  Column out(out_type);
+  out.Reserve(n);
+  for (int64_t r = 0; r < n; ++r) {
+    NEXUS_ASSIGN_OR_RETURN(Value v, EvalExprRow(expr, *table.schema(), table.Row(r)));
+    if (v.is_null()) {
+      out.AppendNull();
+      continue;
+    }
+    // Coerce ints produced by numeric promotion into float64 outputs etc.
+    NEXUS_ASSIGN_OR_RETURN(Value cast, v.CastTo(out_type));
+    NEXUS_RETURN_NOT_OK(out.Append(cast));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> EvalPredicate(const Expr& expr, const Table& table) {
+  NEXUS_ASSIGN_OR_RETURN(DataType t, InferExprType(expr, *table.schema()));
+  if (t != DataType::kBool) {
+    return Status::TypeError(
+        StrCat("predicate must be boolean, got ", DataTypeName(t), ": ",
+               expr.ToString()));
+  }
+  NEXUS_ASSIGN_OR_RETURN(Column mask, EvalExprVector(expr, table));
+  std::vector<int64_t> selection;
+  const auto& bits = mask.bools();
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    if (!mask.IsNull(i) && bits[static_cast<size_t>(i)]) selection.push_back(i);
+  }
+  return selection;
+}
+
+}  // namespace nexus

@@ -1,0 +1,36 @@
+// Expression evaluation: a definitional row-at-a-time interpreter plus a
+// vectorized evaluator with typed fast paths for null-free numeric data.
+//
+// Null semantics are SQL-like: any null operand yields null, except the
+// three-valued logical connectives and the null-aware functions coalesce,
+// is_null, and if().
+#ifndef NEXUS_EXPR_EVAL_H_
+#define NEXUS_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/column.h"
+#include "types/table.h"
+
+namespace nexus {
+
+/// Evaluates `expr` on one row (values aligned with `schema`).
+Result<Value> EvalExprRow(const Expr& expr, const Schema& schema,
+                          const std::vector<Value>& row);
+
+/// Evaluates `expr` over every row of `table`, producing a column of the
+/// inferred type. Uses typed loops when all referenced columns are
+/// null-free numerics; otherwise falls back to the row interpreter.
+/// Int64-valued expressions always use the exact boxed path; comparisons
+/// over int64 inputs use the double fast path and are exact for magnitudes
+/// below 2^53.
+Result<Column> EvalExprVector(const Expr& expr, const Table& table);
+
+/// Convenience: evaluates a boolean predicate to a selection vector of row
+/// indices where it holds (nulls are treated as false, as in SQL WHERE).
+Result<std::vector<int64_t>> EvalPredicate(const Expr& expr, const Table& table);
+
+}  // namespace nexus
+
+#endif  // NEXUS_EXPR_EVAL_H_

@@ -1,0 +1,429 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace nexus {
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "neg";
+    case UnaryOp::kNot:
+      return "not";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+Result<UnaryOp> UnaryOpFromName(const std::string& name) {
+  if (name == "neg") return UnaryOp::kNeg;
+  if (name == "not") return UnaryOp::kNot;
+  return Status::SerializationError(StrCat("unknown unary op: ", name));
+}
+
+Result<BinaryOp> BinaryOpFromName(const std::string& name) {
+  static const std::pair<const char*, BinaryOp> kOps[] = {
+      {"+", BinaryOp::kAdd},  {"-", BinaryOp::kSub},  {"*", BinaryOp::kMul},
+      {"/", BinaryOp::kDiv},  {"%", BinaryOp::kMod},  {"==", BinaryOp::kEq},
+      {"!=", BinaryOp::kNe},  {"<", BinaryOp::kLt},   {"<=", BinaryOp::kLe},
+      {">", BinaryOp::kGt},   {">=", BinaryOp::kGe},  {"and", BinaryOp::kAnd},
+      {"or", BinaryOp::kOr},
+  };
+  for (const auto& [n, op] : kOps) {
+    if (name == n) return op;
+  }
+  return Status::SerializationError(StrCat("unknown binary op: ", name));
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumnRef));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kUnary));
+  e->unary_op_ = op;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kBinary));
+  e->binary_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::FuncCall(std::string func, std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kFuncCall));
+  e->name_ = std::move(func);
+  e->children_ = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Cast(DataType target, ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kCast));
+  e->cast_target_ = target;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return name_;
+    case ExprKind::kUnary:
+      return StrCat(unary_op_ == UnaryOp::kNeg ? "-" : "not ",
+                    child(0)->ToString());
+    case ExprKind::kBinary:
+      return StrCat("(", child(0)->ToString(), " ", BinaryOpName(binary_op_),
+                    " ", child(1)->ToString(), ")");
+    case ExprKind::kFuncCall: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const ExprPtr& c : children_) parts.push_back(c->ToString());
+      return StrCat(name_, "(", Join(parts, ", "), ")");
+    }
+    case ExprKind::kCast:
+      return StrCat("cast(", child(0)->ToString(), " as ",
+                    DataTypeName(cast_target_), ")");
+  }
+  return "?";
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_.is_null() != other.literal_.is_null()) return false;
+      if (!literal_.is_null() &&
+          (literal_.type() != other.literal_.type() || literal_ != other.literal_)) {
+        return false;
+      }
+      break;
+    case ExprKind::kColumnRef:
+      if (name_ != other.name_) return false;
+      break;
+    case ExprKind::kUnary:
+      if (unary_op_ != other.unary_op_) return false;
+      break;
+    case ExprKind::kBinary:
+      if (binary_op_ != other.binary_op_) return false;
+      break;
+    case ExprKind::kFuncCall:
+      if (name_ != other.name_) return false;
+      break;
+    case ExprKind::kCast:
+      if (cast_target_ != other.cast_target_) return false;
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t h = HashInt64(static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      h = HashCombine(h, literal_.Hash());
+      break;
+    case ExprKind::kColumnRef:
+    case ExprKind::kFuncCall:
+      h = HashCombine(h, HashString(name_));
+      break;
+    case ExprKind::kUnary:
+      h = HashCombine(h, static_cast<uint64_t>(unary_op_));
+      break;
+    case ExprKind::kBinary:
+      h = HashCombine(h, static_cast<uint64_t>(binary_op_));
+      break;
+    case ExprKind::kCast:
+      h = HashCombine(h, static_cast<uint64_t>(cast_target_));
+      break;
+  }
+  for (const ExprPtr& c : children_) h = HashCombine(h, c->Hash());
+  return h;
+}
+
+namespace {
+void CollectRefs(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind() == ExprKind::kColumnRef) {
+    if (std::find(out->begin(), out->end(), e.column_name()) == out->end()) {
+      out->push_back(e.column_name());
+    }
+    return;
+  }
+  for (const ExprPtr& c : e.children()) CollectRefs(*c, out);
+}
+}  // namespace
+
+std::vector<std::string> Expr::ColumnRefs() const {
+  std::vector<std::string> out;
+  CollectRefs(*this, &out);
+  return out;
+}
+
+ExprPtr Expr::RenameColumns(
+    const std::vector<std::pair<std::string, std::string>>& mapping) const {
+  std::vector<std::pair<std::string, ExprPtr>> subst;
+  subst.reserve(mapping.size());
+  for (const auto& [from, to] : mapping) {
+    subst.emplace_back(from, Expr::ColumnRef(to));
+  }
+  return SubstituteColumns(subst);
+}
+
+ExprPtr Expr::SubstituteColumns(
+    const std::vector<std::pair<std::string, ExprPtr>>& mapping) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    for (const auto& [from, to] : mapping) {
+      if (from == name_) return to;
+    }
+    return Expr::ColumnRef(name_);
+  }
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(children_.size());
+  for (const ExprPtr& c : children_) {
+    new_children.push_back(c->SubstituteColumns(mapping));
+  }
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return Expr::Literal(literal_);
+    case ExprKind::kUnary:
+      return Expr::Unary(unary_op_, std::move(new_children[0]));
+    case ExprKind::kBinary:
+      return Expr::Binary(binary_op_, std::move(new_children[0]),
+                          std::move(new_children[1]));
+    case ExprKind::kFuncCall:
+      return Expr::FuncCall(name_, std::move(new_children));
+    case ExprKind::kCast:
+      return Expr::Cast(cast_target_, std::move(new_children[0]));
+    case ExprKind::kColumnRef:
+      break;  // handled above
+  }
+  return nullptr;
+}
+
+namespace {
+struct FuncSig {
+  const char* name;
+  int min_arity;
+  int max_arity;  // -1 == variadic
+};
+// All built-in scalar functions; type rules are in InferFuncType.
+constexpr FuncSig kBuiltinFunctions[] = {
+    {"abs", 1, 1},    {"sqrt", 1, 1},   {"exp", 1, 1},     {"log", 1, 1},
+    {"pow", 2, 2},    {"floor", 1, 1},  {"ceil", 1, 1},    {"round", 1, 1},
+    {"min", 2, -1},   {"max", 2, -1},   {"if", 3, 3},      {"coalesce", 1, -1},
+    {"length", 1, 1}, {"concat", 1, -1}, {"lower", 1, 1},  {"upper", 1, 1},
+    {"substr", 3, 3}, {"sin", 1, 1},    {"cos", 1, 1},     {"sign", 1, 1},
+    {"is_null", 1, 1},
+};
+}  // namespace
+
+std::vector<std::string> BuiltinFunctionNames() {
+  std::vector<std::string> out;
+  for (const FuncSig& f : kBuiltinFunctions) out.push_back(f.name);
+  return out;
+}
+
+Result<DataType> InferFuncType(const std::string& func,
+                               const std::vector<DataType>& args) {
+  const FuncSig* sig = nullptr;
+  for (const FuncSig& f : kBuiltinFunctions) {
+    if (func == f.name) {
+      sig = &f;
+      break;
+    }
+  }
+  if (sig == nullptr) {
+    return Status::TypeError(StrCat("unknown function: ", func));
+  }
+  int n = static_cast<int>(args.size());
+  if (n < sig->min_arity || (sig->max_arity >= 0 && n > sig->max_arity)) {
+    return Status::TypeError(StrCat(func, ": wrong arity ", n));
+  }
+  auto all_numeric = [&]() {
+    return std::all_of(args.begin(), args.end(), IsNumeric);
+  };
+  if (func == "abs" || func == "sign") {
+    if (!all_numeric()) return Status::TypeError(StrCat(func, " expects numeric"));
+    return args[0];
+  }
+  if (func == "sqrt" || func == "exp" || func == "log" || func == "pow" ||
+      func == "sin" || func == "cos") {
+    if (!all_numeric()) return Status::TypeError(StrCat(func, " expects numeric"));
+    return DataType::kFloat64;
+  }
+  if (func == "floor" || func == "ceil" || func == "round") {
+    if (!all_numeric()) return Status::TypeError(StrCat(func, " expects numeric"));
+    return DataType::kInt64;
+  }
+  if (func == "min" || func == "max") {
+    if (all_numeric()) {
+      DataType t = args[0];
+      for (DataType a : args) {
+        NEXUS_ASSIGN_OR_RETURN(t, CommonNumericType(t, a));
+      }
+      return t;
+    }
+    bool all_string = std::all_of(args.begin(), args.end(), [](DataType t) {
+      return t == DataType::kString;
+    });
+    if (all_string) return DataType::kString;
+    return Status::TypeError(StrCat(func, " expects all-numeric or all-string"));
+  }
+  if (func == "if") {
+    if (args[0] != DataType::kBool) {
+      return Status::TypeError("if: condition must be bool");
+    }
+    if (args[1] == args[2]) return args[1];
+    return CommonNumericType(args[1], args[2]);
+  }
+  if (func == "coalesce") {
+    DataType t = args[0];
+    for (DataType a : args) {
+      if (a == t) continue;
+      NEXUS_ASSIGN_OR_RETURN(t, CommonNumericType(t, a));
+    }
+    return t;
+  }
+  if (func == "length") {
+    if (args[0] != DataType::kString) return Status::TypeError("length expects string");
+    return DataType::kInt64;
+  }
+  if (func == "concat" || func == "lower" || func == "upper") {
+    for (DataType a : args) {
+      if (a != DataType::kString) {
+        return Status::TypeError(StrCat(func, " expects string arguments"));
+      }
+    }
+    return DataType::kString;
+  }
+  if (func == "substr") {
+    if (args[0] != DataType::kString || args[1] != DataType::kInt64 ||
+        args[2] != DataType::kInt64) {
+      return Status::TypeError("substr expects (string, int64, int64)");
+    }
+    return DataType::kString;
+  }
+  if (func == "is_null") return DataType::kBool;
+  return Status::Internal(StrCat("unhandled builtin: ", func));
+}
+
+Result<DataType> InferExprType(const Expr& expr, const Schema& input) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      if (expr.literal().is_null()) {
+        // Untyped null: treated as float64 for inference purposes.
+        return DataType::kFloat64;
+      }
+      return expr.literal().type();
+    case ExprKind::kColumnRef: {
+      NEXUS_ASSIGN_OR_RETURN(int i, input.FindFieldOrError(expr.column_name()));
+      return input.field(i).type;
+    }
+    case ExprKind::kUnary: {
+      NEXUS_ASSIGN_OR_RETURN(DataType t, InferExprType(*expr.child(0), input));
+      if (expr.unary_op() == UnaryOp::kNeg) {
+        if (!IsNumeric(t)) return Status::TypeError("neg expects numeric");
+        return t;
+      }
+      if (t != DataType::kBool) return Status::TypeError("not expects bool");
+      return DataType::kBool;
+    }
+    case ExprKind::kBinary: {
+      NEXUS_ASSIGN_OR_RETURN(DataType lt, InferExprType(*expr.child(0), input));
+      NEXUS_ASSIGN_OR_RETURN(DataType rt, InferExprType(*expr.child(1), input));
+      BinaryOp op = expr.binary_op();
+      if (IsArithmetic(op)) {
+        if (op == BinaryOp::kAdd && lt == DataType::kString &&
+            rt == DataType::kString) {
+          return DataType::kString;  // string concatenation sugar
+        }
+        NEXUS_ASSIGN_OR_RETURN(DataType t, CommonNumericType(lt, rt));
+        if (op == BinaryOp::kDiv) return DataType::kFloat64;
+        if (op == BinaryOp::kMod) {
+          if (t != DataType::kInt64) return Status::TypeError("% expects int64");
+        }
+        return t;
+      }
+      if (IsComparison(op)) {
+        bool comparable = lt == rt || (IsNumeric(lt) && IsNumeric(rt));
+        if (!comparable) {
+          return Status::TypeError(
+              StrCat("cannot compare ", DataTypeName(lt), " with ",
+                     DataTypeName(rt)));
+        }
+        return DataType::kBool;
+      }
+      // logical
+      if (lt != DataType::kBool || rt != DataType::kBool) {
+        return Status::TypeError(StrCat(BinaryOpName(op), " expects bool"));
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kFuncCall: {
+      std::vector<DataType> arg_types;
+      arg_types.reserve(expr.children().size());
+      for (const ExprPtr& c : expr.children()) {
+        NEXUS_ASSIGN_OR_RETURN(DataType t, InferExprType(*c, input));
+        arg_types.push_back(t);
+      }
+      return InferFuncType(expr.func_name(), arg_types);
+    }
+    case ExprKind::kCast: {
+      NEXUS_RETURN_NOT_OK(InferExprType(*expr.child(0), input).status());
+      return expr.cast_target();
+    }
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+}  // namespace nexus

@@ -1,0 +1,136 @@
+// Scalar expression trees: the "small" language embedded inside algebra
+// operators (filter predicates, map formulas, join conditions, aggregate
+// inputs, convergence criteria of Iterate).
+//
+// Expressions are immutable and shared; build them with the helpers in
+// expr/builder.h or the fluent front end.
+#ifndef NEXUS_EXPR_EXPR_H_
+#define NEXUS_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace nexus {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Node discriminator.
+enum class ExprKind : int {
+  kLiteral,    ///< constant Value
+  kColumnRef,  ///< named field of the input schema
+  kUnary,      ///< neg, not
+  kBinary,     ///< arithmetic / comparison / logical
+  kFuncCall,   ///< built-in scalar function
+  kCast,       ///< explicit type conversion
+};
+
+enum class UnaryOp : int { kNeg, kNot };
+
+enum class BinaryOp : int {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+Result<UnaryOp> UnaryOpFromName(const std::string& name);
+Result<BinaryOp> BinaryOpFromName(const std::string& name);
+
+inline bool IsComparison(BinaryOp op) {
+  return op >= BinaryOp::kEq && op <= BinaryOp::kGe;
+}
+inline bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+inline bool IsArithmetic(BinaryOp op) {
+  return op >= BinaryOp::kAdd && op <= BinaryOp::kMod;
+}
+
+/// Immutable scalar expression node.
+class Expr {
+ public:
+  static ExprPtr Literal(Value v);
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr child);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr FuncCall(std::string func, std::vector<ExprPtr> args);
+  static ExprPtr Cast(DataType target, ExprPtr child);
+
+  ExprKind kind() const { return kind_; }
+
+  // Accessors; preconditions: matching kind.
+  const Value& literal() const { return literal_; }
+  const std::string& column_name() const { return name_; }
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const std::string& func_name() const { return name_; }
+  DataType cast_target() const { return cast_target_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(int i) const { return children_[static_cast<size_t>(i)]; }
+
+  /// Infix rendering ("(a + 1) >= b").
+  std::string ToString() const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+  /// Structural hash consistent with Equals.
+  uint64_t Hash() const;
+
+  /// Names of all column references in the tree (deduplicated, in first-use
+  /// order).
+  std::vector<std::string> ColumnRefs() const;
+
+  /// New tree with column refs renamed per `mapping` (absent names kept).
+  ExprPtr RenameColumns(
+      const std::vector<std::pair<std::string, std::string>>& mapping) const;
+
+  /// New tree with each column ref replaced by the mapped expression
+  /// (absent names kept). Used to inline Extend definitions during pushdown.
+  ExprPtr SubstituteColumns(
+      const std::vector<std::pair<std::string, ExprPtr>>& mapping) const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  Value literal_;
+  std::string name_;  // column name or function name
+  UnaryOp unary_op_ = UnaryOp::kNeg;
+  BinaryOp binary_op_ = BinaryOp::kAdd;
+  DataType cast_target_ = DataType::kInt64;
+  std::vector<ExprPtr> children_;
+};
+
+/// Result type of `expr` against `input`, or a TypeError. This is the
+/// algebra's static type checker for scalar expressions.
+Result<DataType> InferExprType(const Expr& expr, const Schema& input);
+
+/// Signature of a built-in scalar function: validates arity/types and
+/// returns the result type. Registered in expr.cc; see kBuiltinFunctions.
+Result<DataType> InferFuncType(const std::string& func,
+                               const std::vector<DataType>& args);
+
+/// Names of all built-in scalar functions (for coverage reporting).
+std::vector<std::string> BuiltinFunctionNames();
+
+}  // namespace nexus
+
+#endif  // NEXUS_EXPR_EXPR_H_

@@ -1,0 +1,61 @@
+#include "federation/cluster.h"
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+Status Cluster::AddServer(const std::string& name, ProviderPtr provider) {
+  if (name.empty() || name == kClientNode) {
+    return Status::InvalidArgument("invalid server name");
+  }
+  for (const Server& s : servers_) {
+    if (s.name == name) {
+      return Status::AlreadyExists(StrCat("server '", name, "' already registered"));
+    }
+  }
+  if (provider == nullptr) {
+    return Status::InvalidArgument("null provider");
+  }
+  servers_.push_back(Server{name, std::move(provider)});
+  return Status::OK();
+}
+
+Status Cluster::PutData(const std::string& server, const std::string& table,
+                        Dataset data) {
+  Provider* p = provider(server);
+  if (p == nullptr) {
+    return Status::NotFound(StrCat("no server named '", server, "'"));
+  }
+  return p->catalog()->Put(table, std::move(data));
+}
+
+Provider* Cluster::provider(const std::string& server) {
+  for (Server& s : servers_) {
+    if (s.name == server) return s.provider.get();
+  }
+  return nullptr;
+}
+
+const Provider* Cluster::provider(const std::string& server) const {
+  for (const Server& s : servers_) {
+    if (s.name == server) return s.provider.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Cluster::ServerNames() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const Server& s : servers_) out.push_back(s.name);
+  return out;
+}
+
+std::vector<std::string> Cluster::HoldersOf(const std::string& table) const {
+  std::vector<std::string> out;
+  for (const Server& s : servers_) {
+    if (s.provider->catalog()->Contains(table)) out.push_back(s.name);
+  }
+  return out;
+}
+
+}  // namespace nexus

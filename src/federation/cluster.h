@@ -1,0 +1,53 @@
+// Cluster: a set of named servers (each hosting one provider and its
+// catalog) joined by a metered transport. The substrate the multi-server
+// experiments run on.
+#ifndef NEXUS_FEDERATION_CLUSTER_H_
+#define NEXUS_FEDERATION_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/transport.h"
+#include "provider/provider.h"
+
+namespace nexus {
+
+/// One simulated back-end server.
+struct Server {
+  std::string name;
+  ProviderPtr provider;
+};
+
+/// Owns the servers and the transport connecting them (and the client).
+class Cluster {
+ public:
+  explicit Cluster(TransportOptions transport_options = {})
+      : transport_(transport_options) {}
+
+  /// Registers a server; names must be unique and may not be "client".
+  Status AddServer(const std::string& name, ProviderPtr provider);
+
+  /// Stores a collection at a server (the "data lives somewhere" primitive).
+  Status PutData(const std::string& server, const std::string& table, Dataset data);
+
+  Provider* provider(const std::string& server);
+  const Provider* provider(const std::string& server) const;
+
+  /// Server names in registration order.
+  std::vector<std::string> ServerNames() const;
+
+  /// Servers whose catalog contains `table`, in registration order.
+  std::vector<std::string> HoldersOf(const std::string& table) const;
+
+  Transport* transport() { return &transport_; }
+  const Transport& transport() const { return transport_; }
+
+ private:
+  std::vector<Server> servers_;
+  Transport transport_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_FEDERATION_CLUSTER_H_

@@ -1,0 +1,575 @@
+#include "federation/coordinator.h"
+
+#include <functional>
+#include <limits>
+
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "core/schema_inference.h"
+#include "core/serialize.h"
+
+namespace nexus {
+
+std::string ExecutionMetrics::ToString() const {
+  std::string out = StrCat(
+      "messages=", messages, " (plan ", plan_messages, ", data ", data_messages,
+      ")  bytes=", FormatBytes(static_cast<uint64_t>(bytes_total)),
+      "  through-client=", FormatBytes(static_cast<uint64_t>(bytes_through_client)),
+      "  fragments=", fragments, "  sim=", FormatDouble(simulated_seconds * 1e3, 4),
+      "ms  wall=", FormatDouble(wall_seconds * 1e3, 4), "ms");
+  if (client_loop_iterations > 0) {
+    out += StrCat("  client-loop-iters=", client_loop_iterations);
+  }
+  return out;
+}
+
+Result<SchemaPtr> FederatedCatalog::GetSchema(const std::string& name) const {
+  std::vector<std::string> holders = cluster_->HoldersOf(name);
+  if (holders.empty()) {
+    return Status::NotFound(StrCat("no server holds '", name, "'"));
+  }
+  return cluster_->provider(holders[0])->catalog().GetSchema(name);
+}
+
+bool FederatedCatalog::Contains(const std::string& name) const {
+  return !cluster_->HoldersOf(name).empty();
+}
+
+// ---------------------------------------------------------------------------
+// Placement.
+// ---------------------------------------------------------------------------
+
+int Coordinator::SpecRank(OpKind kind, const std::string& server) const {
+  const Provider* p = cluster_->provider(server);
+  if (p == nullptr) return 99;
+  std::string pname = p->name();
+  if (pname == "reference") return 90;  // always the backstop
+  switch (kind) {
+    case OpKind::kMatMul:
+    case OpKind::kElemWise:
+      if (pname == "linalg") return 0;
+      if (pname == "arraydb") return 2;
+      if (pname == "relstore") return 5;
+      break;
+    case OpKind::kTranspose:
+      if (pname == "arraydb") return 1;
+      if (pname == "linalg") return 2;
+      if (pname == "relstore") return 3;
+      break;
+    case OpKind::kPageRank:
+      if (pname == "graphd") return 0;
+      if (pname == "relstore") return 10;
+      break;
+    case OpKind::kSlice:
+    case OpKind::kShift:
+    case OpKind::kRegrid:
+    case OpKind::kWindow:
+      if (pname == "arraydb") return 0;
+      if (pname == "relstore") return 3;
+      break;
+    default:
+      if (pname == "relstore") return 1;
+      if (pname == "arraydb") return 4;
+      break;
+  }
+  return 50;
+}
+
+bool Coordinator::ServerSuits(const std::string& server, const Plan& node,
+                              const std::vector<SchemaPtr>& child_schemas) const {
+  const Provider* p = cluster_->provider(server);
+  if (p == nullptr || !p->Claims(node.kind())) return false;
+  std::string pname = p->name();
+  if (pname == "arraydb") {
+    // The array engine evaluates on the array representation: every input
+    // must carry dimensions — except Rebox, whose input is a plain table,
+    // and leaves.
+    if (node.kind() == OpKind::kRebox || node.num_children() == 0) return true;
+    for (const SchemaPtr& s : child_schemas) {
+      if (s->DimensionIndices().empty()) return false;
+    }
+    return true;
+  }
+  if (pname == "linalg") {
+    if (node.num_children() == 0 || node.kind() == OpKind::kExchange) return true;
+    for (const SchemaPtr& s : child_schemas) {
+      if (s->DimensionIndices().size() != 2 || s->AttributeIndices().size() != 1) {
+        return false;
+      }
+      if (!IsNumeric(s->field(s->AttributeIndices()[0]).type)) return false;
+    }
+    if (node.kind() == OpKind::kElemWise) {
+      // linalg's elemwise kernel is float64-only.
+      for (const SchemaPtr& s : child_schemas) {
+        if (s->field(s->AttributeIndices()[0]).type != DataType::kFloat64) {
+          return false;
+        }
+      }
+    }
+    if (node.kind() == OpKind::kTranspose) {
+      // Only the plain 2-d swap.
+      const auto& order = node.As<TransposeOp>().dim_order;
+      const SchemaPtr& s = child_schemas[0];
+      std::vector<int> d = s->DimensionIndices();
+      if (order.size() != 2 || order[0] != s->field(d[1]).name ||
+          order[1] != s->field(d[0]).name) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return true;
+}
+
+int64_t Coordinator::EstimateBytes(const Plan& plan) const {
+  switch (plan.kind()) {
+    case OpKind::kScan: {
+      std::vector<std::string> holders =
+          cluster_->HoldersOf(plan.As<ScanOp>().table);
+      if (holders.empty()) return 0;
+      auto d = cluster_->provider(holders[0])->catalog()->Get(
+          plan.As<ScanOp>().table);
+      return d.ok() ? d.ValueOrDie().ByteSize() : 0;
+    }
+    case OpKind::kValues:
+      return plan.As<ValuesOp>().data.ByteSize();
+    case OpKind::kLoopVar:
+      return 0;  // unknown until runtime
+    default:
+      break;
+  }
+  int64_t in = 0;
+  for (const PlanPtr& c : plan.children()) in += EstimateBytes(*c);
+  switch (plan.kind()) {
+    case OpKind::kSelect:
+      return in / 2;  // default selectivity guess
+    case OpKind::kAggregate:
+    case OpKind::kRegrid:
+      return in / 10;  // grouping collapses
+    case OpKind::kLimit:
+      return std::min<int64_t>(in, plan.As<LimitOp>().limit * 64);
+    case OpKind::kDistinct:
+      return in / 2;
+    case OpKind::kIterate:
+      return EstimateBytes(*plan.child(0));  // schema-preserving fixpoint
+    default:
+      return in;  // schema-/cardinality-preserving or unknown
+  }
+}
+
+Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
+                                               Placement* placement) {
+  InferContext ctx;
+  ctx.catalog = &fed_catalog_;
+
+  std::function<Result<std::string>(const PlanPtr&)> assign =
+      [&](const PlanPtr& node) -> Result<std::string> {
+    // Leaves.
+    if (node->kind() == OpKind::kScan) {
+      std::vector<std::string> holders =
+          cluster_->HoldersOf(node->As<ScanOp>().table);
+      if (holders.empty()) {
+        return Status::NotFound(
+            StrCat("no server holds '", node->As<ScanOp>().table, "'"));
+      }
+      placement->assign[node.get()] = holders[0];
+      return holders[0];
+    }
+    if (node->kind() == OpKind::kValues || node->kind() == OpKind::kLoopVar) {
+      placement->assign[node.get()] = "";  // flexible: adopts its consumer
+      return std::string();
+    }
+
+    // Children first.
+    std::vector<std::string> child_servers;
+    std::vector<SchemaPtr> child_schemas;
+    for (const PlanPtr& c : node->children()) {
+      NEXUS_ASSIGN_OR_RETURN(std::string s, assign(c));
+      child_servers.push_back(std::move(s));
+      NEXUS_ASSIGN_OR_RETURN(SchemaPtr cs, InferSchema(*c, &ctx));
+      child_schemas.push_back(std::move(cs));
+    }
+
+    // Iterate: try to place the whole loop on one provider.
+    if (node->kind() == OpKind::kIterate) {
+      std::string preferred;
+      for (const std::string& s : child_servers) {
+        if (!s.empty()) preferred = s;
+      }
+      if (options_.provider_side_iteration) {
+        std::string best;
+        int best_rank = 1000;
+        for (const std::string& s : cluster_->ServerNames()) {
+          if (!cluster_->provider(s)->ClaimsTree(*node)) continue;
+          int rank = SpecRank(OpKind::kIterate, s) - (s == preferred ? 100 : 0);
+          if (rank < best_rank) {
+            best_rank = rank;
+            best = s;
+          }
+        }
+        if (!best.empty()) {
+          placement->assign[node.get()] = best;
+          return best;
+        }
+      }
+      placement->client_loops.insert(node.get());
+      placement->assign[node.get()] = kClientNode;
+      return std::string(kClientNode);
+    }
+
+    // Regular operator: candidates are suitable servers. Score layers, most
+    // significant first: locality beats specialization rank, which beats the
+    // ship-less tiebreak (host where the bulkier input already lives).
+    bool intent_like = node->kind() == OpKind::kMatMul ||
+                       node->kind() == OpKind::kPageRank ||
+                       node->kind() == OpKind::kWindow;
+    std::vector<int64_t> child_bytes(node->children().size(), 0);
+    for (size_t i = 0; i < node->children().size(); ++i) {
+      child_bytes[i] = EstimateBytes(*node->children()[i]);
+    }
+    std::string best;
+    int64_t best_score = std::numeric_limits<int64_t>::max();
+    for (const std::string& s : cluster_->ServerNames()) {
+      if (!ServerSuits(s, *node, child_schemas)) continue;
+      int64_t score = static_cast<int64_t>(SpecRank(node->kind(), s)) * 1000000;
+      bool local = false;
+      int64_t local_bytes = 0;
+      for (size_t i = 0; i < child_servers.size(); ++i) {
+        if (child_servers[i] == s) {
+          local = true;
+          local_bytes += child_bytes[i];
+        }
+      }
+      // Locality dominates unless this is an intent op and the coordinator
+      // prefers specialists (desideratum 3 pays off only if the plan
+      // actually reaches the specialist).
+      if (local && !(intent_like && options_.prefer_specialist)) {
+        score -= 1000000000;
+      }
+      // Ship-less tiebreak, bounded below one rank step.
+      score -= std::min<int64_t>(local_bytes / 64, 900000);
+      if (score < best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    if (best.empty()) {
+      return Status::PlanError(
+          StrCat("no server can execute ", node->NodeLabel()));
+    }
+    placement->assign[node.get()] = best;
+    return best;
+  };
+  return assign(plan);
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+Result<PlanPtr> Coordinator::Prepare(const PlanPtr& plan) {
+  // Type-check against the federated catalog, then optimize.
+  NEXUS_RETURN_NOT_OK(InferSchema(*plan, fed_catalog_).status());
+  if (!options_.optimize) return plan;
+  return Optimize(plan, fed_catalog_, options_.optimizer);
+}
+
+Result<std::string> Coordinator::RegisterTemp(const std::string& server,
+                                              Dataset data) {
+  std::string name = StrCat("__frag_", temp_counter_++);
+  NEXUS_RETURN_NOT_OK(cluster_->provider(server)->catalog()->Put(name, std::move(data)));
+  temps_.emplace_back(server, name);
+  return name;
+}
+
+void Coordinator::DropTemps() {
+  for (const auto& [server, name] : temps_) {
+    Provider* p = cluster_->provider(server);
+    if (p != nullptr) {
+      (void)p->catalog()->Drop(name);
+    }
+  }
+  temps_.clear();
+}
+
+Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
+                                        const PlanPtr& fragment) {
+  // Serialize the whole expression tree and ship it — the LINQ property.
+  std::string wire = SerializePlan(*fragment);
+  cluster_->transport()->Send(kClientNode, server,
+                              static_cast<int64_t>(wire.size()),
+                              MessageKind::kPlan);
+  ++fragments_;
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr parsed, ParsePlan(wire));
+  Provider* p = cluster_->provider(server);
+  if (p == nullptr) return Status::NotFound(StrCat("no server '", server, "'"));
+  auto result = p->Execute(*parsed);
+  if (!result.ok()) {
+    return result.status().WithContext(StrCat("at server ", server));
+  }
+  return result;
+}
+
+Result<Dataset> Coordinator::FetchToClient(const std::string& server,
+                                           const std::string& temp) {
+  NEXUS_ASSIGN_OR_RETURN(Dataset d, cluster_->provider(server)->catalog()->Get(temp));
+  cluster_->transport()->Send(server, kClientNode, d.ByteSize(), MessageKind::kData);
+  return d;
+}
+
+Status Coordinator::TransferTemp(const std::string& from, const std::string& to,
+                                 const std::string& temp) {
+  NEXUS_ASSIGN_OR_RETURN(Dataset d, cluster_->provider(from)->catalog()->Get(temp));
+  int64_t bytes = d.ByteSize();
+  if (options_.transfer_mode == TransferMode::kDirect) {
+    // Desideratum 4: server → server, never touching the client tier.
+    cluster_->transport()->Send(from, to, bytes, MessageKind::kData);
+  } else {
+    cluster_->transport()->Send(from, kClientNode, bytes, MessageKind::kData);
+    cluster_->transport()->Send(kClientNode, to, bytes, MessageKind::kData);
+  }
+  temps_.emplace_back(to, temp);  // the copy needs cleanup too
+  return cluster_->provider(to)->catalog()->Put(temp, std::move(d));
+}
+
+Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
+                                           const std::string& server,
+                                           Placement* placement) {
+  // A client-driven loop nested under a fragment: run it now, upload the
+  // result to the fragment's server.
+  if (placement->client_loops.count(node) != 0) {
+    PlanPtr alias(node, [](const Plan*) {});
+    NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
+    cluster_->transport()->Send(kClientNode, server, state.ByteSize(),
+                                MessageKind::kData);
+    NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(state)));
+    return Plan::Scan(temp);
+  }
+  std::vector<PlanPtr> children;
+  children.reserve(node->children().size());
+  for (const PlanPtr& c : node->children()) {
+    const std::string& cs = placement->assign[c.get()];
+    if (cs.empty() || cs == server) {
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr built, BuildFragment(c.get(), server, placement));
+      children.push_back(std::move(built));
+    } else {
+      NEXUS_ASSIGN_OR_RETURN(auto produced, ExecToTemp(c.get(), placement));
+      NEXUS_RETURN_NOT_OK(TransferTemp(produced.first, server, produced.second));
+      children.push_back(Plan::Scan(produced.second));
+    }
+  }
+  return node->WithChildren(std::move(children));
+}
+
+Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
+    const Plan* node, Placement* placement) {
+  std::string server = placement->assign[node];
+  if (server.empty()) server = cluster_->ServerNames().front();
+  if (server == kClientNode) {
+    // A top-level client loop: run it, keep the result at the client by
+    // registering nowhere; callers transfer from "client" — model this by
+    // uploading to the first server. (Only reachable when an Iterate is the
+    // direct input of another fragment, which BuildFragment handles; this
+    // path covers the root case.)
+    PlanPtr alias(node, [](const Plan*) {});
+    NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
+    std::string target = cluster_->ServerNames().front();
+    cluster_->transport()->Send(kClientNode, target, state.ByteSize(),
+                                MessageKind::kData);
+    NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(target, std::move(state)));
+    return std::make_pair(target, temp);
+  }
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr fragment, BuildFragment(node, server, placement));
+  NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, fragment));
+  NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(result)));
+  return std::make_pair(server, temp);
+}
+
+namespace {
+
+// Replaces this scope's LoopVar leaves with inline data (does not descend
+// into nested Iterate bodies, whose loop variables bind to the inner loop).
+PlanPtr ReplaceLoopVars(const PlanPtr& plan, const Dataset& curr,
+                        const Dataset& prev) {
+  if (plan->kind() == OpKind::kLoopVar) {
+    return Plan::Values(plan->As<LoopVarOp>().previous ? prev : curr);
+  }
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children().size());
+  for (const PlanPtr& c : plan->children()) {
+    children.push_back(ReplaceLoopVars(c, curr, prev));
+  }
+  return plan->WithChildren(std::move(children));
+}
+
+}  // namespace
+
+Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
+                                           Placement* placement) {
+  const auto& op = iterate.As<IterateOp>();
+  // Init: execute wherever it was placed, fetch to the client.
+  NEXUS_ASSIGN_OR_RETURN(auto init_loc,
+                         ExecToTemp(iterate.child(0).get(), placement));
+  NEXUS_ASSIGN_OR_RETURN(Dataset state,
+                         FetchToClient(init_loc.first, init_loc.second));
+  for (int64_t iter = 0; iter < op.max_iters; ++iter) {
+    // Each round trip re-plans and re-ships the body with the current state
+    // inlined — the client-driven pattern the paper wants to avoid.
+    PlanPtr body = ReplaceLoopVars(op.body, state, state);
+    Placement body_placement;
+    NEXUS_RETURN_NOT_OK(AssignServers(body, &body_placement).status());
+    NEXUS_ASSIGN_OR_RETURN(auto body_loc, ExecToTemp(body.get(), &body_placement));
+    NEXUS_ASSIGN_OR_RETURN(Dataset next,
+                           FetchToClient(body_loc.first, body_loc.second));
+    ++client_loop_iterations_;
+    if (op.measure != nullptr) {
+      PlanPtr measure = ReplaceLoopVars(op.measure, next, state);
+      Placement m_placement;
+      NEXUS_RETURN_NOT_OK(AssignServers(measure, &m_placement).status());
+      NEXUS_ASSIGN_OR_RETURN(auto m_loc, ExecToTemp(measure.get(), &m_placement));
+      NEXUS_ASSIGN_OR_RETURN(Dataset measured,
+                             FetchToClient(m_loc.first, m_loc.second));
+      NEXUS_ASSIGN_OR_RETURN(TablePtr mt, measured.AsTable());
+      if (mt->num_rows() != 1 || mt->num_columns() != 1) {
+        return Status::PlanError("iterate measure must yield one cell");
+      }
+      Value v = mt->At(0, 0);
+      state = std::move(next);
+      if (!v.is_null() && v.AsDouble() < op.epsilon) break;
+    } else {
+      state = std::move(next);
+    }
+  }
+  return state;
+}
+
+Result<Dataset> Coordinator::Run(const PlanPtr& plan, Placement* placement) {
+  const std::string& root = placement->assign[plan.get()];
+  if (root == kClientNode) {
+    return RunClientLoop(*plan, placement);
+  }
+  NEXUS_ASSIGN_OR_RETURN(auto loc, ExecToTemp(plan.get(), placement));
+  return FetchToClient(loc.first, loc.second);
+}
+
+Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
+                                     ExecutionMetrics* metrics) {
+  WallTimer timer;
+  Transport* t = cluster_->transport();
+  int64_t msg0 = t->total_messages();
+  // Snapshot counters so per-call metrics can be deltas.
+  int64_t plan_msgs0 = t->messages_of(MessageKind::kPlan);
+  int64_t data_msgs0 = t->messages_of(MessageKind::kData);
+  int64_t bytes0 = t->total_bytes();
+  int64_t plan_bytes0 = t->bytes_of(MessageKind::kPlan);
+  int64_t data_bytes0 = t->bytes_of(MessageKind::kData);
+  int64_t through0 = t->bytes_through(kClientNode);
+  double sim0 = t->simulated_seconds();
+  fragments_ = 0;
+  client_loop_iterations_ = 0;
+
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
+  Placement placement;
+  NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+  auto result = Run(prepared, &placement);
+  DropTemps();
+  NEXUS_RETURN_NOT_OK(result.status());
+
+  if (metrics != nullptr) {
+    metrics->messages = t->total_messages() - msg0;
+    metrics->plan_messages = t->messages_of(MessageKind::kPlan) - plan_msgs0;
+    metrics->data_messages = t->messages_of(MessageKind::kData) - data_msgs0;
+    metrics->bytes_total = t->total_bytes() - bytes0;
+    metrics->plan_bytes = t->bytes_of(MessageKind::kPlan) - plan_bytes0;
+    metrics->data_bytes = t->bytes_of(MessageKind::kData) - data_bytes0;
+    metrics->bytes_through_client = t->bytes_through(kClientNode) - through0;
+    metrics->simulated_seconds = t->simulated_seconds() - sim0;
+    metrics->wall_seconds = timer.ElapsedSeconds();
+    metrics->fragments = fragments_;
+    metrics->client_loop_iterations = client_loop_iterations_;
+    for (const auto& [node, server] : placement.assign) {
+      if (!server.empty()) ++metrics->nodes_per_server[server];
+    }
+  }
+  return result;
+}
+
+Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
+                                          ExecutionMetrics* metrics) {
+  WallTimer timer;
+  Transport* t = cluster_->transport();
+  int64_t msg0 = t->total_messages();
+  int64_t plan_msgs0 = t->messages_of(MessageKind::kPlan);
+  int64_t data_msgs0 = t->messages_of(MessageKind::kData);
+  int64_t bytes0 = t->total_bytes();
+  int64_t plan_bytes0 = t->bytes_of(MessageKind::kPlan);
+  int64_t data_bytes0 = t->bytes_of(MessageKind::kData);
+  int64_t through0 = t->bytes_through(kClientNode);
+  double sim0 = t->simulated_seconds();
+  fragments_ = 0;
+
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
+  Placement placement;
+  NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+
+  // Per-op: every operator is its own remote call; each intermediate comes
+  // back to the client and is embedded (as Values) in the next call.
+  std::function<Result<Dataset>(const PlanPtr&)> step =
+      [&](const PlanPtr& node) -> Result<Dataset> {
+    if (node->kind() == OpKind::kValues) return node->As<ValuesOp>().data;
+    std::vector<PlanPtr> inline_children;
+    for (const PlanPtr& c : node->children()) {
+      NEXUS_ASSIGN_OR_RETURN(Dataset d, step(c));
+      inline_children.push_back(Plan::Values(std::move(d)));
+    }
+    std::string server = placement.assign[node.get()];
+    if (server.empty() || server == kClientNode) {
+      server = cluster_->ServerNames().front();
+    }
+    PlanPtr call = node->WithChildren(std::move(inline_children));
+    NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, call));
+    cluster_->transport()->Send(server, kClientNode, result.ByteSize(),
+                                MessageKind::kData);
+    return result;
+  };
+  auto result = step(prepared);
+  DropTemps();
+  NEXUS_RETURN_NOT_OK(result.status());
+
+  if (metrics != nullptr) {
+    metrics->messages = t->total_messages() - msg0;
+    metrics->plan_messages = t->messages_of(MessageKind::kPlan) - plan_msgs0;
+    metrics->data_messages = t->messages_of(MessageKind::kData) - data_msgs0;
+    metrics->bytes_total = t->total_bytes() - bytes0;
+    metrics->plan_bytes = t->bytes_of(MessageKind::kPlan) - plan_bytes0;
+    metrics->data_bytes = t->bytes_of(MessageKind::kData) - data_bytes0;
+    metrics->bytes_through_client = t->bytes_through(kClientNode) - through0;
+    metrics->simulated_seconds = t->simulated_seconds() - sim0;
+    metrics->wall_seconds = timer.ElapsedSeconds();
+    metrics->fragments = fragments_;
+  }
+  return result;
+}
+
+Result<std::string> Coordinator::ExplainPlacement(const PlanPtr& plan) {
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
+  Placement placement;
+  NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+  std::string out;
+  std::function<void(const PlanPtr&, int)> print = [&](const PlanPtr& node,
+                                                       int indent) {
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += node->NodeLabel();
+    auto it = placement.assign.find(node.get());
+    std::string server =
+        it == placement.assign.end() || it->second.empty() ? "inherit" : it->second;
+    out += StrCat("  @", server);
+    if (placement.client_loops.count(node.get()) != 0) out += " (client-driven)";
+    out += "\n";
+    for (const PlanPtr& c : node->children()) print(c, indent + 1);
+  };
+  print(prepared, 0);
+  return out;
+}
+
+}  // namespace nexus

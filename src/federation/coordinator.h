@@ -1,0 +1,137 @@
+// Coordinator: the client-tier planner and orchestrator for multi-server
+// queries — the component that realizes the paper's vision sentence: "an
+// algebra query that spans servers should be realizable as a plan where
+// intermediate results pass directly between servers, rather than being
+// routed through the application or a middle tier."
+//
+// Responsibilities:
+//   - capability-based placement: each node goes to a server whose provider
+//     claims it, preferring specialists for intent ops and data locality
+//     otherwise;
+//   - fragmentation: maximal same-server subtrees become one shipped
+//     expression tree each (the LINQ property);
+//   - transfers: cross-server edges move intermediates either directly
+//     (server → server) or relayed through the client, per options —
+//     experiment E4's knob;
+//   - control iteration: an Iterate claimed whole by one provider ships as
+//     a single fragment (provider-side); otherwise the coordinator drives
+//     the loop from the client — experiment E6's knob;
+//   - a deliberately chatty per-operator execution mode, the baseline the
+//     paper's expression-tree-shipping claim is measured against (E5).
+#ifndef NEXUS_FEDERATION_COORDINATOR_H_
+#define NEXUS_FEDERATION_COORDINATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "federation/cluster.h"
+#include "optimizer/optimizer.h"
+
+namespace nexus {
+
+struct CoordinatorOptions {
+  /// How cross-server intermediates travel (E4).
+  TransferMode transfer_mode = TransferMode::kDirect;
+  /// Ship whole Iterate nodes to a capable provider when possible (E6).
+  bool provider_side_iteration = true;
+  /// Route intent ops to specialist providers even when data is elsewhere.
+  bool prefer_specialist = true;
+  /// Run the logical optimizer before planning.
+  bool optimize = true;
+  OptimizerOptions optimizer;
+};
+
+/// Per-execution accounting, sourced from the cluster transport plus the
+/// coordinator's own counters.
+struct ExecutionMetrics {
+  int64_t messages = 0;
+  int64_t plan_messages = 0;
+  int64_t data_messages = 0;
+  int64_t bytes_total = 0;
+  int64_t plan_bytes = 0;
+  int64_t data_bytes = 0;
+  int64_t bytes_through_client = 0;
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  int64_t fragments = 0;
+  int64_t client_loop_iterations = 0;
+  std::map<std::string, int64_t> nodes_per_server;
+
+  std::string ToString() const;
+};
+
+/// Catalog view spanning every server in a cluster (schema resolution for
+/// planning; first registered holder wins).
+class FederatedCatalog : public Catalog {
+ public:
+  explicit FederatedCatalog(const Cluster* cluster) : cluster_(cluster) {}
+  Result<SchemaPtr> GetSchema(const std::string& name) const override;
+  bool Contains(const std::string& name) const override;
+
+ private:
+  const Cluster* cluster_;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(Cluster* cluster, CoordinatorOptions options = {})
+      : cluster_(cluster), options_(options), fed_catalog_(cluster) {}
+
+  /// Plans and executes `plan` across the cluster; the result is delivered
+  /// to the client tier (the paper: "the result of a query is a collection
+  /// in the client environment"). Metrics (optional) cover this call only.
+  Result<Dataset> Execute(const PlanPtr& plan, ExecutionMetrics* metrics = nullptr);
+
+  /// E5 baseline: one remote call per operator, every intermediate routed
+  /// back to the client and re-uploaded for the next call.
+  Result<Dataset> ExecutePerOp(const PlanPtr& plan,
+                               ExecutionMetrics* metrics = nullptr);
+
+  /// Renders the placement decision for every node ("node @ server").
+  Result<std::string> ExplainPlacement(const PlanPtr& plan);
+
+  const CoordinatorOptions& options() const { return options_; }
+  void set_options(const CoordinatorOptions& o) { options_ = o; }
+
+ private:
+  struct Placement {
+    std::map<const Plan*, std::string> assign;  // "" = flexible
+    std::set<const Plan*> client_loops;         // Iterates driven client-side
+  };
+
+  Result<PlanPtr> Prepare(const PlanPtr& plan);
+  Result<std::string> AssignServers(const PlanPtr& plan, Placement* placement);
+  /// Rough output-size estimate (bytes) used as the ship-less tiebreak in
+  /// placement: prefer hosting an operator where its bulkier input lives.
+  int64_t EstimateBytes(const Plan& plan) const;
+  bool ServerSuits(const std::string& server, const Plan& node,
+                   const std::vector<SchemaPtr>& child_schemas) const;
+  int SpecRank(OpKind kind, const std::string& server) const;
+
+  // Execution machinery (all counters flow through the transport).
+  Result<Dataset> Run(const PlanPtr& plan, Placement* placement);
+  Result<std::pair<std::string, std::string>> ExecToTemp(const Plan* node,
+                                                         Placement* placement);
+  Result<PlanPtr> BuildFragment(const Plan* node, const std::string& server,
+                                Placement* placement);
+  Result<Dataset> ShipAndRun(const std::string& server, const PlanPtr& fragment);
+  Result<Dataset> FetchToClient(const std::string& server, const std::string& temp);
+  Result<std::string> RegisterTemp(const std::string& server, Dataset data);
+  Status TransferTemp(const std::string& from, const std::string& to,
+                      const std::string& temp);
+  Result<Dataset> RunClientLoop(const Plan& iterate, Placement* placement);
+  void DropTemps();
+
+  Cluster* cluster_;
+  CoordinatorOptions options_;
+  FederatedCatalog fed_catalog_;
+  int64_t temp_counter_ = 0;
+  int64_t fragments_ = 0;
+  int64_t client_loop_iterations_ = 0;
+  std::vector<std::pair<std::string, std::string>> temps_;  // (server, name)
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_FEDERATION_COORDINATOR_H_

@@ -1,0 +1,66 @@
+#include "federation/transport.h"
+
+namespace nexus {
+
+double Transport::Send(const std::string& from, const std::string& to,
+                       int64_t bytes, MessageKind kind) {
+  log_.push_back(MessageRecord{from, to, bytes, kind});
+  double seconds = options_.latency_seconds +
+                   static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
+  simulated_seconds_ += seconds;
+  return seconds;
+}
+
+int64_t Transport::total_bytes() const {
+  int64_t sum = 0;
+  for (const MessageRecord& m : log_) sum += m.bytes;
+  return sum;
+}
+
+int64_t Transport::messages_of(MessageKind kind) const {
+  int64_t n = 0;
+  for (const MessageRecord& m : log_) n += (m.kind == kind);
+  return n;
+}
+
+int64_t Transport::bytes_of(MessageKind kind) const {
+  int64_t sum = 0;
+  for (const MessageRecord& m : log_) {
+    if (m.kind == kind) sum += m.bytes;
+  }
+  return sum;
+}
+
+int64_t Transport::bytes_through(const std::string& node) const {
+  int64_t sum = 0;
+  for (const MessageRecord& m : log_) {
+    if (m.from == node || m.to == node) sum += m.bytes;
+  }
+  return sum;
+}
+
+int64_t Transport::messages_through(const std::string& node) const {
+  int64_t n = 0;
+  for (const MessageRecord& m : log_) {
+    if (m.from == node || m.to == node) ++n;
+  }
+  return n;
+}
+
+std::map<std::pair<std::string, std::string>, LinkStats> Transport::PerLink()
+    const {
+  std::map<std::pair<std::string, std::string>, LinkStats> out;
+  for (const MessageRecord& m : log_) {
+    LinkStats& s = out[{m.from, m.to}];
+    ++s.messages;
+    s.bytes += m.bytes;
+  }
+  return out;
+}
+
+void Transport::Reset() {
+  log_.clear();
+  simulated_seconds_ = 0.0;
+}
+
+}  // namespace nexus

@@ -1,0 +1,81 @@
+// Simulated network transport between the client tier and servers.
+//
+// The paper's desideratum 4 and its LINQ chattiness claim are statements
+// about *where bytes flow and how many round trips occur*. This transport
+// meters every message (endpoint pair, payload size, purpose) and charges a
+// configurable latency + bandwidth cost, so experiments report exact message
+// counts, per-link byte totals, bytes routed through the client, and a
+// simulated wall-clock under realistic network parameters.
+#ifndef NEXUS_FEDERATION_TRANSPORT_H_
+#define NEXUS_FEDERATION_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nexus {
+
+/// Name of the client tier endpoint.
+inline const char kClientNode[] = "client";
+
+struct TransportOptions {
+  /// One-way message latency (seconds). Default 1 ms (same-datacenter RPC).
+  double latency_seconds = 0.001;
+  /// Link bandwidth (bytes/second). Default 1 Gbit/s.
+  double bandwidth_bytes_per_second = 125e6;
+};
+
+/// Why a message was sent (for reporting).
+enum class MessageKind { kPlan, kData, kControl };
+
+struct MessageRecord {
+  std::string from;
+  std::string to;
+  int64_t bytes = 0;
+  MessageKind kind = MessageKind::kControl;
+};
+
+struct LinkStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+};
+
+/// Records and prices all traffic. Not thread-safe (single-client model).
+class Transport {
+ public:
+  explicit Transport(TransportOptions options = {}) : options_(options) {}
+
+  /// Records one message and returns the simulated seconds it took.
+  double Send(const std::string& from, const std::string& to, int64_t bytes,
+              MessageKind kind);
+
+  int64_t total_messages() const { return static_cast<int64_t>(log_.size()); }
+  int64_t total_bytes() const;
+  int64_t messages_of(MessageKind kind) const;
+  int64_t bytes_of(MessageKind kind) const;
+
+  /// Bytes that entered or left the named endpoint ("client" for the
+  /// through-the-application measure of desideratum 4).
+  int64_t bytes_through(const std::string& node) const;
+  int64_t messages_through(const std::string& node) const;
+
+  /// Total simulated seconds across all messages (serialized link model).
+  double simulated_seconds() const { return simulated_seconds_; }
+
+  /// Per ordered endpoint pair.
+  std::map<std::pair<std::string, std::string>, LinkStats> PerLink() const;
+
+  const std::vector<MessageRecord>& log() const { return log_; }
+
+  void Reset();
+
+ private:
+  TransportOptions options_;
+  std::vector<MessageRecord> log_;
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_FEDERATION_TRANSPORT_H_

@@ -1,0 +1,41 @@
+// BDL — a small declarative surface language over the Big Data Algebra.
+//
+// The paper notes that "client languages are free to provide syntactic sugar
+// to provide a more declarative specification of queries"; BDL is that sugar.
+// A query is a pipeline of stages, one per line (or separated by '|'):
+//
+//   from orders
+//   where amount > 50 and region == "a"
+//   extend taxed := amount * 1.1
+//   group by sensor aggregate sum(taxed) as total, count(*) as n
+//   sort by total desc
+//   limit 10
+//
+// Dimension-aware and intent stages:
+//   rebox i, j chunk 32        unbox
+//   slice i 0 10, j -5 5       shift i 4
+//   regrid i/4, j/4 using avg  window i 1, j 1 using max
+//   transpose j, i             matmul B as prod
+//   elemwise * B               pagerank src dst damping 0.85 iters 50 eps 1e-9
+//
+// Everything lowers to the same algebra the fluent API produces; the parser
+// adds no semantics of its own. Control iteration (Iterate) has no surface
+// syntax yet — build loops with the fluent API's Query::IterateUntil.
+#ifndef NEXUS_FRONTEND_BDL_H_
+#define NEXUS_FRONTEND_BDL_H_
+
+#include <string>
+
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Parses a BDL pipeline into an algebra plan.
+Result<PlanPtr> ParseBdl(const std::string& text);
+
+/// Parses a standalone BDL scalar expression (exposed for tests).
+Result<ExprPtr> ParseBdlExpr(const std::string& text);
+
+}  // namespace nexus
+
+#endif  // NEXUS_FRONTEND_BDL_H_

@@ -1,0 +1,155 @@
+// Fluent query builder: the LINQ-flavored C++ front end.
+//
+//   Query q = Query::From("orders")
+//                 .Where(Gt(Col("amount"), Lit(50.0)))
+//                 .GroupBy({"sensor"}, {Sum(Col("amount"), "total")})
+//                 .OrderBy("total", /*ascending=*/false)
+//                 .Take(10);
+//   Dataset result = coordinator.Execute(q.plan()).ValueOrDie();
+//
+// Every method lowers straight to algebra nodes — the front end carries no
+// semantics of its own (the paper: "it is algebra at the core", client
+// languages add sugar).
+#ifndef NEXUS_FRONTEND_QUERY_H_
+#define NEXUS_FRONTEND_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "expr/builder.h"
+
+namespace nexus {
+
+/// Aggregate shorthand constructors for GroupBy.
+inline AggSpec Sum(ExprPtr e, std::string name) {
+  return AggSpec{AggFunc::kSum, std::move(e), std::move(name)};
+}
+inline AggSpec Avg(ExprPtr e, std::string name) {
+  return AggSpec{AggFunc::kAvg, std::move(e), std::move(name)};
+}
+inline AggSpec Min(ExprPtr e, std::string name) {
+  return AggSpec{AggFunc::kMin, std::move(e), std::move(name)};
+}
+inline AggSpec Max(ExprPtr e, std::string name) {
+  return AggSpec{AggFunc::kMax, std::move(e), std::move(name)};
+}
+inline AggSpec Count(std::string name) {
+  return AggSpec{AggFunc::kCount, nullptr, std::move(name)};
+}
+inline AggSpec CountOf(ExprPtr e, std::string name) {
+  return AggSpec{AggFunc::kCount, std::move(e), std::move(name)};
+}
+
+/// Immutable fluent wrapper around a PlanPtr; every call returns a new Query.
+class Query {
+ public:
+  /// Starts from a named collection.
+  static Query From(std::string table) { return Query(Plan::Scan(std::move(table))); }
+  /// Starts from inline data.
+  static Query FromData(Dataset data) { return Query(Plan::Values(std::move(data))); }
+  /// Starts from the loop variable (inside IterateUntil bodies).
+  static Query Loop(bool previous = false) { return Query(Plan::LoopVar(previous)); }
+  /// Wraps an existing plan.
+  explicit Query(PlanPtr plan) : plan_(std::move(plan)) {}
+
+  const PlanPtr& plan() const { return plan_; }
+
+  // Relational verbs.
+  Query Where(ExprPtr predicate) const {
+    return Query(Plan::Select(plan_, std::move(predicate)));
+  }
+  Query SelectCols(std::vector<std::string> columns) const {
+    return Query(Plan::Project(plan_, std::move(columns)));
+  }
+  Query Let(std::string name, ExprPtr expr) const {
+    return Query(Plan::Extend(plan_, {{std::move(name), std::move(expr)}}));
+  }
+  Query Extend(std::vector<std::pair<std::string, ExprPtr>> defs) const {
+    return Query(Plan::Extend(plan_, std::move(defs)));
+  }
+  Query JoinWith(const Query& right, std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys,
+                 JoinType type = JoinType::kInner, ExprPtr residual = nullptr) const {
+    return Query(Plan::Join(plan_, right.plan_, type, std::move(left_keys),
+                            std::move(right_keys), std::move(residual)));
+  }
+  Query GroupBy(std::vector<std::string> keys, std::vector<AggSpec> aggs) const {
+    return Query(Plan::Aggregate(plan_, std::move(keys), std::move(aggs)));
+  }
+  Query Aggregate(std::vector<AggSpec> aggs) const {
+    return Query(Plan::Aggregate(plan_, {}, std::move(aggs)));
+  }
+  Query OrderBy(std::string column, bool ascending = true) const {
+    return Query(Plan::Sort(plan_, {{std::move(column), ascending}}));
+  }
+  Query OrderByKeys(std::vector<SortKey> keys) const {
+    return Query(Plan::Sort(plan_, std::move(keys)));
+  }
+  Query Take(int64_t n, int64_t offset = 0) const {
+    return Query(Plan::Limit(plan_, n, offset));
+  }
+  Query Distinct() const { return Query(Plan::Distinct(plan_)); }
+  Query UnionWith(const Query& other) const {
+    return Query(Plan::Union(plan_, other.plan_));
+  }
+  Query Rename(std::vector<std::pair<std::string, std::string>> mapping) const {
+    return Query(Plan::Rename(plan_, std::move(mapping)));
+  }
+
+  // Dimension-aware verbs.
+  Query AsArray(std::vector<std::string> dims, int64_t chunk_size = 64) const {
+    return Query(Plan::Rebox(plan_, std::move(dims), chunk_size));
+  }
+  Query AsPlainTable() const { return Query(Plan::Unbox(plan_)); }
+  Query Slice(std::vector<DimRange> ranges) const {
+    return Query(Plan::Slice(plan_, std::move(ranges)));
+  }
+  Query Shift(std::vector<std::pair<std::string, int64_t>> offsets) const {
+    return Query(Plan::Shift(plan_, std::move(offsets)));
+  }
+  Query Regrid(std::vector<std::pair<std::string, int64_t>> factors,
+               AggFunc func = AggFunc::kAvg) const {
+    return Query(Plan::Regrid(plan_, std::move(factors), func));
+  }
+  Query Window(std::vector<std::pair<std::string, int64_t>> radii,
+               AggFunc func = AggFunc::kAvg) const {
+    return Query(Plan::Window(plan_, std::move(radii), func));
+  }
+  Query Transpose(std::vector<std::string> dim_order) const {
+    return Query(Plan::Transpose(plan_, std::move(dim_order)));
+  }
+  Query ElemWise(const Query& other, BinaryOp op) const {
+    return Query(Plan::ElemWise(plan_, other.plan_, op));
+  }
+
+  // Intent verbs.
+  Query MatMul(const Query& right, std::string result_attr = "value") const {
+    return Query(Plan::MatMul(plan_, right.plan_, std::move(result_attr)));
+  }
+  Query PageRank(PageRankOp options = {}) const {
+    return Query(Plan::PageRank(plan_, std::move(options)));
+  }
+
+  /// Control iteration: repeats `body` (built from Query::Loop()) until
+  /// `measure` (optional) drops below `epsilon`, at most `max_iters` times.
+  Query IterateUntil(const Query& body, int64_t max_iters,
+                     const Query* measure = nullptr, double epsilon = 0.0) const {
+    IterateOp op;
+    op.body = body.plan_;
+    op.measure = measure == nullptr ? nullptr : measure->plan_;
+    op.max_iters = max_iters;
+    op.epsilon = epsilon;
+    return Query(Plan::Iterate(plan_, std::move(op)));
+  }
+
+  /// Tree rendering (delegates to the plan).
+  std::string ToString() const { return plan_->ToString(); }
+
+ private:
+  PlanPtr plan_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_FRONTEND_QUERY_H_

@@ -1,0 +1,213 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace graph {
+
+CsrGraph CsrGraph::FromEdges(const std::vector<int64_t>& src,
+                             const std::vector<int64_t>& dst) {
+  CsrGraph g;
+  // Compact ids: sort distinct originals so compact order is deterministic.
+  std::set<int64_t> ids(src.begin(), src.end());
+  ids.insert(dst.begin(), dst.end());
+  g.original_id_.assign(ids.begin(), ids.end());
+  std::unordered_map<int64_t, int64_t> compact;
+  compact.reserve(g.original_id_.size());
+  for (size_t i = 0; i < g.original_id_.size(); ++i) {
+    compact[g.original_id_[i]] = static_cast<int64_t>(i);
+  }
+  int64_t n = g.num_nodes();
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t s : src) g.offsets_[static_cast<size_t>(compact[s]) + 1]++;
+  for (size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adj_.resize(src.size());
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t e = 0; e < src.size(); ++e) {
+    int64_t u = compact[src[e]];
+    g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = compact[dst[e]];
+  }
+  return g;
+}
+
+Result<CsrGraph> CsrGraph::FromTable(const Table& edges, const std::string& src_col,
+                                     const std::string& dst_col) {
+  NEXUS_ASSIGN_OR_RETURN(int sc, edges.schema()->FindFieldOrError(src_col));
+  NEXUS_ASSIGN_OR_RETURN(int dc, edges.schema()->FindFieldOrError(dst_col));
+  if (edges.schema()->field(sc).type != DataType::kInt64 ||
+      edges.schema()->field(dc).type != DataType::kInt64) {
+    return Status::TypeError("edge endpoints must be int64");
+  }
+  if (edges.column(sc).has_nulls() || edges.column(dc).has_nulls()) {
+    return Status::InvalidArgument("edge endpoints may not be null");
+  }
+  return FromEdges(edges.column(sc).ints(), edges.column(dc).ints());
+}
+
+PageRankResult PageRank(const CsrGraph& g, const PageRankOptions& opts) {
+  PageRankResult out;
+  int64_t n = g.num_nodes();
+  if (n == 0) return out;
+  out.rank.assign(static_cast<size_t>(n), 1.0 / static_cast<double>(n));
+  std::vector<double> next(static_cast<size_t>(n));
+  for (int64_t iter = 0; iter < opts.max_iters; ++iter) {
+    double dangling = 0.0;
+    for (int64_t u = 0; u < n; ++u) {
+      if (g.out_degree(u) == 0) dangling += out.rank[static_cast<size_t>(u)];
+    }
+    double base = (1.0 - opts.damping) / static_cast<double>(n) +
+                  opts.damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (int64_t u = 0; u < n; ++u) {
+      int64_t deg = g.out_degree(u);
+      if (deg == 0) continue;
+      double share = opts.damping * out.rank[static_cast<size_t>(u)] /
+                     static_cast<double>(deg);
+      for (const int64_t* v = g.neighbors_begin(u); v != g.neighbors_end(u); ++v) {
+        next[static_cast<size_t>(*v)] += share;
+      }
+    }
+    double delta = 0.0;
+    for (int64_t u = 0; u < n; ++u) {
+      delta += std::fabs(next[static_cast<size_t>(u)] - out.rank[static_cast<size_t>(u)]);
+    }
+    out.rank.swap(next);
+    out.final_delta = delta;
+    ++out.iterations;
+    if (delta < opts.epsilon) break;
+  }
+  return out;
+}
+
+std::vector<int64_t> Bfs(const CsrGraph& g, int64_t source) {
+  std::vector<int64_t> level(static_cast<size_t>(g.num_nodes()), -1);
+  if (source < 0 || source >= g.num_nodes()) return level;
+  std::queue<int64_t> frontier;
+  level[static_cast<size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    int64_t u = frontier.front();
+    frontier.pop();
+    for (const int64_t* v = g.neighbors_begin(u); v != g.neighbors_end(u); ++v) {
+      if (level[static_cast<size_t>(*v)] < 0) {
+        level[static_cast<size_t>(*v)] = level[static_cast<size_t>(u)] + 1;
+        frontier.push(*v);
+      }
+    }
+  }
+  return level;
+}
+
+Result<std::vector<double>> ShortestPaths(const CsrGraph& g, int64_t source,
+                                          const std::vector<double>& weights) {
+  if (static_cast<int64_t>(weights.size()) != g.num_edges()) {
+    return Status::InvalidArgument(
+        StrCat("expected ", g.num_edges(), " edge weights, got ", weights.size()));
+  }
+  for (double w : weights) {
+    if (w < 0) return Status::InvalidArgument("negative edge weight");
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<size_t>(g.num_nodes()), inf);
+  if (source < 0 || source >= g.num_nodes()) return dist;
+  using Item = std::pair<double, int64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    const int64_t* begin = g.neighbors_begin(u);
+    for (const int64_t* v = begin; v != g.neighbors_end(u); ++v) {
+      size_t edge_idx = static_cast<size_t>(
+          (begin - g.neighbors_begin(0)) + (v - begin));
+      double nd = d + weights[edge_idx];
+      if (nd < dist[static_cast<size_t>(*v)]) {
+        dist[static_cast<size_t>(*v)] = nd;
+        pq.emplace(nd, *v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int64_t> ConnectedComponents(const CsrGraph& g) {
+  int64_t n = g.num_nodes();
+  std::vector<int64_t> parent(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  std::function<int64_t(int64_t)> find = [&](int64_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int64_t a, int64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[static_cast<size_t>(b)] = a;  // smaller id wins → stable labels
+  };
+  for (int64_t u = 0; u < n; ++u) {
+    for (const int64_t* v = g.neighbors_begin(u); v != g.neighbors_end(u); ++v) {
+      unite(u, *v);
+    }
+  }
+  std::vector<int64_t> label(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) label[static_cast<size_t>(i)] = find(i);
+  return label;
+}
+
+int64_t CountTriangles(const CsrGraph& g) {
+  int64_t n = g.num_nodes();
+  // Undirected neighbor sets, deduplicated, self-loops dropped.
+  std::vector<std::vector<int64_t>> nbrs(static_cast<size_t>(n));
+  for (int64_t u = 0; u < n; ++u) {
+    for (const int64_t* v = g.neighbors_begin(u); v != g.neighbors_end(u); ++v) {
+      if (*v == u) continue;
+      nbrs[static_cast<size_t>(u)].push_back(*v);
+      nbrs[static_cast<size_t>(*v)].push_back(u);
+    }
+  }
+  for (auto& list : nbrs) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  // Count each triangle once via the ordered-intersection method.
+  int64_t triangles = 0;
+  for (int64_t u = 0; u < n; ++u) {
+    const auto& nu = nbrs[static_cast<size_t>(u)];
+    for (int64_t v : nu) {
+      if (v <= u) continue;
+      const auto& nv = nbrs[static_cast<size_t>(v)];
+      // Intersect neighbors greater than v.
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nu[i] > v) ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+}  // namespace graph
+}  // namespace nexus

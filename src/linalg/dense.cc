@@ -1,0 +1,181 @@
+#include "linalg/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace linalg {
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& o) const {
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+namespace {
+Status CheckMulShapes(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument(
+        StrCat("matmul shape mismatch: ", a.rows(), "x", a.cols(), " * ",
+               b.rows(), "x", b.cols()));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<DenseMatrix> MatMulNaive(const DenseMatrix& a, const DenseMatrix& b) {
+  NEXUS_RETURN_NOT_OK(CheckMulShapes(a, b));
+  DenseMatrix c(a.rows(), b.cols());
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = c.data().data();
+  int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double av = ad[i * k + kk];
+      if (av == 0.0) continue;
+      const double* brow = bd + kk * m;
+      double* crow = cd + i * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Result<DenseMatrix> MatMulBlocked(const DenseMatrix& a, const DenseMatrix& b,
+                                  int64_t block) {
+  NEXUS_RETURN_NOT_OK(CheckMulShapes(a, b));
+  if (block <= 0) block = 64;
+  DenseMatrix c(a.rows(), b.cols());
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = c.data().data();
+  int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (int64_t i0 = 0; i0 < n; i0 += block) {
+    int64_t i1 = std::min(n, i0 + block);
+    for (int64_t k0 = 0; k0 < k; k0 += block) {
+      int64_t k1 = std::min(k, k0 + block);
+      for (int64_t j0 = 0; j0 < m; j0 += block) {
+        int64_t j1 = std::min(m, j0 + block);
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            double av = ad[i * k + kk];
+            const double* brow = bd + kk * m;
+            double* crow = cd + i * m;
+            for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix Transpose(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) t.Set(c, r, a.At(r, c));
+  }
+  return t;
+}
+
+Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b,
+                        double alpha, double beta) {
+  if (!a.SameShape(b)) {
+    return Status::InvalidArgument("matrix add shape mismatch");
+  }
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    c.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
+  }
+  return c;
+}
+
+Result<DenseMatrix> ElemMul(const DenseMatrix& a, const DenseMatrix& b) {
+  if (!a.SameShape(b)) {
+    return Status::InvalidArgument("elementwise mul shape mismatch");
+  }
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+Result<std::vector<double>> MatVec(const DenseMatrix& a,
+                                   const std::vector<double>& x) {
+  if (a.cols() != static_cast<int64_t>(x.size())) {
+    return Status::InvalidArgument("matvec shape mismatch");
+  }
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) s += a.At(r, c) * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = s;
+  }
+  return y;
+}
+
+Result<DenseMatrix> FromNDArray(const NDArray& in, int64_t* row_start,
+                                int64_t* col_start) {
+  if (in.num_dims() != 2) {
+    return Status::InvalidArgument("dense conversion requires a 2-d array");
+  }
+  if (in.attr_schema()->num_fields() != 1 ||
+      !IsNumeric(in.attr_schema()->field(0).type)) {
+    return Status::InvalidArgument(
+        "dense conversion requires one numeric attribute");
+  }
+  *row_start = in.dim(0).start;
+  *col_start = in.dim(1).start;
+  DenseMatrix m(in.dim(0).length, in.dim(1).length);
+  for (const ArrayChunk* chunk : in.chunks()) {
+    int64_t volume = chunk->Volume();
+    const Column& attr = chunk->attrs[0];
+    for (int64_t off = 0; off < volume; ++off) {
+      if (!chunk->occupied[static_cast<size_t>(off)] || attr.IsNull(off)) continue;
+      std::vector<int64_t> local = chunk->LocalCoords(off);
+      m.Set(chunk->lo[0] + local[0] - *row_start,
+            chunk->lo[1] + local[1] - *col_start, attr.NumericAt(off));
+    }
+  }
+  return m;
+}
+
+Result<NDArrayPtr> ToNDArray(const DenseMatrix& m, const std::string& row_name,
+                             const std::string& col_name, const std::string& attr,
+                             int64_t row_start, int64_t col_start,
+                             int64_t chunk_size, bool drop_zeros) {
+  if (m.rows() == 0 || m.cols() == 0) {
+    return Status::InvalidArgument("cannot convert an empty matrix");
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr attrs,
+                         Schema::Make({Field::Attr(attr, DataType::kFloat64)}));
+  NEXUS_ASSIGN_OR_RETURN(
+      std::shared_ptr<NDArray> out,
+      NDArray::Make({DimensionSpec{row_name, row_start, m.rows(), chunk_size},
+                     DimensionSpec{col_name, col_start, m.cols(), chunk_size}},
+                    attrs));
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      double v = m.At(r, c);
+      if (drop_zeros && v == 0.0) continue;
+      NEXUS_RETURN_NOT_OK(
+          out->Set({row_start + r, col_start + c}, {Value::Float64(v)}));
+    }
+  }
+  return NDArrayPtr(std::move(out));
+}
+
+}  // namespace linalg
+}  // namespace nexus

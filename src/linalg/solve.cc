@@ -1,0 +1,114 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace linalg {
+
+Result<LuDecomposition> LuFactor(const DenseMatrix& a, double rel_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU factorization requires a square matrix");
+  }
+  int64_t n = a.rows();
+  LuDecomposition out;
+  out.lu = a;
+  out.pivot.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.pivot[static_cast<size_t>(i)] = i;
+  double max_mag = 0.0;
+  for (double v : a.data()) max_mag = std::max(max_mag, std::fabs(v));
+  const double tol = rel_tol * std::max(max_mag, 1.0);
+
+  for (int64_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    int64_t best = k;
+    double best_mag = std::fabs(out.lu.At(k, k));
+    for (int64_t r = k + 1; r < n; ++r) {
+      double m = std::fabs(out.lu.At(r, k));
+      if (m > best_mag) {
+        best_mag = m;
+        best = r;
+      }
+    }
+    if (best_mag <= tol) {
+      return Status::InvalidArgument(
+          StrCat("matrix is singular (pivot ", k, ")"));
+    }
+    if (best != k) {
+      for (int64_t c = 0; c < n; ++c) {
+        double tmp = out.lu.At(k, c);
+        out.lu.Set(k, c, out.lu.At(best, c));
+        out.lu.Set(best, c, tmp);
+      }
+      std::swap(out.pivot[static_cast<size_t>(k)],
+                out.pivot[static_cast<size_t>(best)]);
+      out.sign = -out.sign;
+    }
+    double pivot = out.lu.At(k, k);
+    for (int64_t r = k + 1; r < n; ++r) {
+      double factor = out.lu.At(r, k) / pivot;
+      out.lu.Set(r, k, factor);
+      if (factor == 0.0) continue;
+      for (int64_t c = k + 1; c < n; ++c) {
+        out.lu.Set(r, c, out.lu.At(r, c) - factor * out.lu.At(k, c));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> LuDecomposition::Solve(
+    const std::vector<double>& b) const {
+  int64_t size = n();
+  if (static_cast<int64_t>(b.size()) != size) {
+    return Status::InvalidArgument("solve: rhs length mismatch");
+  }
+  // Apply the permutation, then forward- and back-substitute.
+  std::vector<double> x(static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    x[static_cast<size_t>(i)] = b[static_cast<size_t>(pivot[static_cast<size_t>(i)])];
+  }
+  for (int64_t i = 0; i < size; ++i) {
+    double s = x[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < i; ++j) s -= lu.At(i, j) * x[static_cast<size_t>(j)];
+    x[static_cast<size_t>(i)] = s;  // L has unit diagonal
+  }
+  for (int64_t i = size - 1; i >= 0; --i) {
+    double s = x[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < size; ++j) {
+      s -= lu.At(i, j) * x[static_cast<size_t>(j)];
+    }
+    x[static_cast<size_t>(i)] = s / lu.At(i, i);
+  }
+  return x;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = sign;
+  for (int64_t i = 0; i < n(); ++i) det *= lu.At(i, i);
+  return det;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const DenseMatrix& a,
+                                              const std::vector<double>& b) {
+  NEXUS_ASSIGN_OR_RETURN(LuDecomposition lu, LuFactor(a));
+  return lu.Solve(b);
+}
+
+Result<DenseMatrix> Invert(const DenseMatrix& a) {
+  NEXUS_ASSIGN_OR_RETURN(LuDecomposition lu, LuFactor(a));
+  int64_t n = a.rows();
+  DenseMatrix inv(n, n);
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  for (int64_t c = 0; c < n; ++c) {
+    e[static_cast<size_t>(c)] = 1.0;
+    NEXUS_ASSIGN_OR_RETURN(std::vector<double> col, lu.Solve(e));
+    e[static_cast<size_t>(c)] = 0.0;
+    for (int64_t r = 0; r < n; ++r) inv.Set(r, c, col[static_cast<size_t>(r)]);
+  }
+  return inv;
+}
+
+}  // namespace linalg
+}  // namespace nexus

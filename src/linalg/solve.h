@@ -1,0 +1,47 @@
+// Dense linear solvers: LU decomposition with partial pivoting, linear
+// system solve, determinant, and inverse — rounding out the ScaLAPACK-class
+// substrate beyond multiplication.
+#ifndef NEXUS_LINALG_SOLVE_H_
+#define NEXUS_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace nexus {
+namespace linalg {
+
+/// PA = LU factorization of a square matrix (partial pivoting).
+struct LuDecomposition {
+  /// Combined LU storage: strictly-lower part holds L (unit diagonal
+  /// implied), upper triangle holds U.
+  DenseMatrix lu;
+  /// Row permutation: pivot[i] is the original row moved to position i.
+  std::vector<int64_t> pivot;
+  /// Parity of the permutation (+1 / -1), for the determinant.
+  int sign = 1;
+
+  int64_t n() const { return lu.rows(); }
+
+  /// Solves A x = b using the factorization.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+  /// det(A) = sign * prod(diag(U)).
+  double Determinant() const;
+};
+
+/// Factorizes a square matrix; errors when singular (within `rel_tol` of a
+/// zero pivot relative to the matrix's max magnitude).
+Result<LuDecomposition> LuFactor(const DenseMatrix& a, double rel_tol = 1e-12);
+
+/// One-shot solve of A x = b.
+Result<std::vector<double>> SolveLinearSystem(const DenseMatrix& a,
+                                              const std::vector<double>& b);
+
+/// A⁻¹ via LU (n solves).
+Result<DenseMatrix> Invert(const DenseMatrix& a);
+
+}  // namespace linalg
+}  // namespace nexus
+
+#endif  // NEXUS_LINALG_SOLVE_H_

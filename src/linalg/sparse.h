@@ -1,0 +1,63 @@
+// Sparse linear algebra: CSR matrices with SpMV and SpGEMM. Used by the
+// linalg provider when an input array's occupancy is sparse, and by the
+// graph engine's PageRank formulation as a rank-vector times adjacency
+// product.
+#ifndef NEXUS_LINALG_SPARSE_H_
+#define NEXUS_LINALG_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense.h"
+
+namespace nexus {
+namespace linalg {
+
+/// One nonzero in coordinate form.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed sparse row matrix of float64.
+class SparseMatrixCSR {
+ public:
+  /// Builds from coordinate triplets; duplicates are summed.
+  static Result<SparseMatrixCSR> FromTriplets(int64_t rows, int64_t cols,
+                                              std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Row r's entries occupy [row_ptr()[r], row_ptr()[r+1]).
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A * x.
+  Result<std::vector<double>> SpMV(const std::vector<double>& x) const;
+
+  /// C = A * B (Gustavson's row-by-row SpGEMM).
+  Result<SparseMatrixCSR> SpGEMM(const SparseMatrixCSR& b) const;
+
+  /// Densifies (for small matrices / testing).
+  DenseMatrix ToDense() const;
+
+  /// All nonzeros in row-major order.
+  std::vector<Triplet> ToTriplets() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace linalg
+}  // namespace nexus
+
+#endif  // NEXUS_LINALG_SPARSE_H_

@@ -1,0 +1,89 @@
+#include "optimizer/fold.h"
+
+#include "expr/eval.h"
+
+namespace nexus {
+
+namespace {
+
+bool IsLiteralBool(const Expr& e, bool value) {
+  return e.kind() == ExprKind::kLiteral && e.literal().is_bool() &&
+         e.literal().AsBool() == value;
+}
+
+bool IsConstant(const Expr& e) {
+  if (e.kind() == ExprKind::kColumnRef) return false;
+  for (const ExprPtr& c : e.children()) {
+    if (!IsConstant(*c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  // Fold children first.
+  std::vector<ExprPtr> folded;
+  folded.reserve(expr->children().size());
+  bool changed = false;
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr f = FoldConstants(c);
+    changed = changed || f.get() != c.get();
+    folded.push_back(std::move(f));
+  }
+  ExprPtr node = expr;
+  if (changed) {
+    switch (expr->kind()) {
+      case ExprKind::kUnary:
+        node = Expr::Unary(expr->unary_op(), folded[0]);
+        break;
+      case ExprKind::kBinary:
+        node = Expr::Binary(expr->binary_op(), folded[0], folded[1]);
+        break;
+      case ExprKind::kFuncCall:
+        node = Expr::FuncCall(expr->func_name(), folded);
+        break;
+      case ExprKind::kCast:
+        node = Expr::Cast(expr->cast_target(), folded[0]);
+        break;
+      default:
+        break;
+    }
+  }
+  // Boolean identities.
+  if (node->kind() == ExprKind::kBinary && IsLogical(node->binary_op())) {
+    const ExprPtr& l = node->child(0);
+    const ExprPtr& r = node->child(1);
+    if (node->binary_op() == BinaryOp::kAnd) {
+      if (IsLiteralBool(*l, true)) return r;
+      if (IsLiteralBool(*r, true)) return l;
+      if (IsLiteralBool(*l, false) || IsLiteralBool(*r, false)) {
+        return Expr::Literal(Value::Bool(false));
+      }
+    } else {
+      if (IsLiteralBool(*l, false)) return r;
+      if (IsLiteralBool(*r, false)) return l;
+      if (IsLiteralBool(*l, true) || IsLiteralBool(*r, true)) {
+        return Expr::Literal(Value::Bool(true));
+      }
+    }
+  }
+  if (node->kind() == ExprKind::kUnary && node->unary_op() == UnaryOp::kNot) {
+    const ExprPtr& c = node->child(0);
+    if (c->kind() == ExprKind::kUnary && c->unary_op() == UnaryOp::kNot) {
+      return c->child(0);  // not not x
+    }
+    if (IsLiteralBool(*c, true)) return Expr::Literal(Value::Bool(false));
+    if (IsLiteralBool(*c, false)) return Expr::Literal(Value::Bool(true));
+  }
+  // Evaluate fully constant subtrees. Division by zero etc. yields null,
+  // which is itself a valid literal; only hard errors abort folding.
+  if (node->kind() != ExprKind::kLiteral && IsConstant(*node)) {
+    Schema empty({});
+    auto v = EvalExprRow(*node, empty, {});
+    if (v.ok()) return Expr::Literal(v.MoveValue());
+  }
+  return node;
+}
+
+}  // namespace nexus

@@ -1,0 +1,17 @@
+// Constant folding and boolean simplification of scalar expressions.
+#ifndef NEXUS_OPTIMIZER_FOLD_H_
+#define NEXUS_OPTIMIZER_FOLD_H_
+
+#include "expr/expr.h"
+
+namespace nexus {
+
+/// Evaluates constant subtrees (no column references) to literals and
+/// simplifies boolean identities (true AND x → x, false OR x → x, NOT NOT x
+/// → x, …). Total: never fails; a subtree whose folding would error (e.g.
+/// 1/0) is left intact for runtime null semantics to handle.
+ExprPtr FoldConstants(const ExprPtr& expr);
+
+}  // namespace nexus
+
+#endif  // NEXUS_OPTIMIZER_FOLD_H_

@@ -1,0 +1,45 @@
+// Rule-based logical optimizer for the Big Data Algebra.
+//
+// Passes (each individually switchable for ablation benches, E7):
+//   1. constant folding of embedded scalar expressions,
+//   2. selection pushdown (through project/extend/rename/union/sort/
+//      distinct/rebox/unbox/slice and into inner-join sides),
+//   3. intent recognition — the inverse of core/expansion.h: a relational
+//      join+multiply+sum-aggregate pipeline over dimension-tagged inputs is
+//      rewritten back into a MatMul node so providers with native matrix
+//      multiply can claim it (desideratum 3),
+//   4. column pruning — narrows scans to the columns the plan actually uses.
+#ifndef NEXUS_OPTIMIZER_OPTIMIZER_H_
+#define NEXUS_OPTIMIZER_OPTIMIZER_H_
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace nexus {
+
+struct OptimizerOptions {
+  bool fold_constants = true;
+  bool push_selections = true;
+  bool recognize_intent = true;
+  bool prune_columns = true;
+  /// Fixpoint bound for the pushdown pass.
+  int max_passes = 10;
+};
+
+/// Statistics for bench reporting.
+struct OptimizerStats {
+  int64_t selections_pushed = 0;
+  int64_t intents_recognized = 0;
+  int64_t projects_inserted = 0;
+  int64_t expressions_folded = 0;
+};
+
+/// Rewrites `plan` under the given options. The result type-checks to the
+/// same schema and is value-equivalent. `stats` may be null.
+Result<PlanPtr> Optimize(const PlanPtr& plan, const Catalog& catalog,
+                         const OptimizerOptions& options = {},
+                         OptimizerStats* stats = nullptr);
+
+}  // namespace nexus
+
+#endif  // NEXUS_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,18 @@
+#include "provider/provider.h"
+
+namespace nexus {
+
+bool Provider::ClaimsTree(const Plan& plan) const {
+  if (!Claims(plan.kind())) return false;
+  for (const PlanPtr& c : plan.children()) {
+    if (!ClaimsTree(*c)) return false;
+  }
+  if (plan.kind() == OpKind::kIterate) {
+    const auto& op = plan.As<IterateOp>();
+    if (!ClaimsTree(*op.body)) return false;
+    if (op.measure != nullptr && !ClaimsTree(*op.measure)) return false;
+  }
+  return true;
+}
+
+}  // namespace nexus

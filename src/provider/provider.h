@@ -1,0 +1,62 @@
+// Provider: the paper's server-side abstraction ("LINQ Providers accept SQO
+// expressions as input"). A provider owns a storage catalog, advertises
+// which algebra operators it can execute natively (its capability set), and
+// accepts whole expression trees for execution.
+//
+// Five providers ship with the framework:
+//   reference   — interprets everything (the translatability backstop)
+//   relstore    — columnar relational engine; claims intent ops via expansion
+//   arraydb     — chunked array engine (dimension-aware operators)
+//   linalg      — dense/sparse linear algebra (MatMul, ElemWise, Transpose)
+//   graphd      — graph analytics (PageRank)
+#ifndef NEXUS_PROVIDER_PROVIDER_H_
+#define NEXUS_PROVIDER_PROVIDER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Abstract back-end service.
+class Provider {
+ public:
+  virtual ~Provider() = default;
+
+  /// Stable identifier ("relstore", "arraydb", ...).
+  virtual std::string name() const = 0;
+
+  /// True when this provider can execute the operator kind natively (or via
+  /// an internal translation it owns, e.g. relstore expanding MatMul).
+  virtual bool Claims(OpKind kind) const = 0;
+
+  /// True when every node of the tree (including Iterate bodies) is claimed.
+  bool ClaimsTree(const Plan& plan) const;
+
+  /// Executes a whole plan tree against this provider's catalog. All node
+  /// kinds must be claimed; otherwise returns Unsupported.
+  virtual Result<Dataset> Execute(const Plan& plan) = 0;
+
+  /// Local storage (Scan resolves here; the federation layer registers
+  /// shipped intermediates here too).
+  InMemoryCatalog* catalog() { return &catalog_; }
+  const InMemoryCatalog& catalog() const { return catalog_; }
+
+ protected:
+  InMemoryCatalog catalog_;
+};
+
+using ProviderPtr = std::shared_ptr<Provider>;
+
+/// Factory helpers.
+ProviderPtr MakeReferenceProvider();
+ProviderPtr MakeRelationalProvider();
+ProviderPtr MakeArrayProvider();
+ProviderPtr MakeLinalgProvider();
+ProviderPtr MakeGraphProvider();
+
+}  // namespace nexus
+
+#endif  // NEXUS_PROVIDER_PROVIDER_H_

@@ -1,0 +1,29 @@
+// The reference provider: claims the entire algebra and interprets it with
+// the reference executor. The federated planner's fallback target, making
+// Translatability (desideratum 2) total by construction.
+#include "exec/reference_executor.h"
+#include "provider/provider.h"
+
+namespace nexus {
+
+namespace {
+
+class ReferenceProvider : public Provider {
+ public:
+  std::string name() const override { return "reference"; }
+
+  bool Claims(OpKind) const override { return true; }
+
+  Result<Dataset> Execute(const Plan& plan) override {
+    ReferenceExecutor exec(&catalog_);
+    return exec.Execute(plan);
+  }
+};
+
+}  // namespace
+
+ProviderPtr MakeReferenceProvider() {
+  return std::make_shared<ReferenceProvider>();
+}
+
+}  // namespace nexus

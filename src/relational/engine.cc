@@ -1,0 +1,548 @@
+#include "relational/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+#include "core/schema_inference.h"
+#include "expr/eval.h"
+
+namespace nexus {
+namespace relational {
+
+namespace {
+
+// Typed row equality on key columns; falls back to boxed comparison for
+// mixed numeric types.
+bool KeysEqual(const Table& a, int64_t ar, const std::vector<int>& ac,
+               const Table& b, int64_t br, const std::vector<int>& bc) {
+  for (size_t k = 0; k < ac.size(); ++k) {
+    const Column& ca = a.column(ac[k]);
+    const Column& cb = b.column(bc[k]);
+    bool na = ca.IsNull(ar), nb = cb.IsNull(br);
+    if (na || nb) return false;  // SQL: null keys never join/group-match...
+    if (ca.type() == cb.type()) {
+      switch (ca.type()) {
+        case DataType::kInt64:
+          if (ca.ints()[static_cast<size_t>(ar)] != cb.ints()[static_cast<size_t>(br)]) {
+            return false;
+          }
+          break;
+        case DataType::kFloat64:
+          if (ca.doubles()[static_cast<size_t>(ar)] !=
+              cb.doubles()[static_cast<size_t>(br)]) {
+            return false;
+          }
+          break;
+        case DataType::kBool:
+          if (ca.bools()[static_cast<size_t>(ar)] != cb.bools()[static_cast<size_t>(br)]) {
+            return false;
+          }
+          break;
+        case DataType::kString:
+          if (ca.strings()[static_cast<size_t>(ar)] !=
+              cb.strings()[static_cast<size_t>(br)]) {
+            return false;
+          }
+          break;
+      }
+    } else if (ca.GetValue(ar) != cb.GetValue(br)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Group-key equality treats nulls as equal to each other (SQL GROUP BY).
+bool GroupKeysEqual(const Table& t, int64_t ar, int64_t br,
+                    const std::vector<int>& cols) {
+  for (int c : cols) {
+    const Column& col = t.column(c);
+    bool na = col.IsNull(ar), nb = col.IsNull(br);
+    if (na != nb) return false;
+    if (na) continue;
+    if (col.GetValue(ar) != col.GetValue(br)) return false;
+  }
+  return true;
+}
+
+constexpr uint64_t kNullHash = 0x6E756C6CULL;
+
+}  // namespace
+
+Result<std::vector<uint64_t>> HashRows(const Table& input,
+                                       const std::vector<int>& key_cols) {
+  std::vector<uint64_t> hashes(static_cast<size_t>(input.num_rows()),
+                               0x9E3779B97F4A7C15ULL);
+  for (int c : key_cols) {
+    const Column& col = input.column(c);
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const auto& v = col.ints();
+        for (size_t r = 0; r < v.size(); ++r) {
+          uint64_t h = col.IsNull(static_cast<int64_t>(r))
+                           ? kNullHash
+                           : HashInt64(static_cast<uint64_t>(v[r]));
+          hashes[r] = HashCombine(hashes[r], h);
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        for (int64_t r = 0; r < col.size(); ++r) {
+          hashes[static_cast<size_t>(r)] = HashCombine(
+              hashes[static_cast<size_t>(r)],
+              col.IsNull(r) ? kNullHash : col.GetValue(r).Hash());
+        }
+        break;
+      }
+      case DataType::kBool: {
+        const auto& v = col.bools();
+        for (size_t r = 0; r < v.size(); ++r) {
+          uint64_t h = col.IsNull(static_cast<int64_t>(r))
+                           ? kNullHash
+                           : (v[r] ? 0x74727565ULL : 0x66616C73ULL);
+          hashes[r] = HashCombine(hashes[r], h);
+        }
+        break;
+      }
+      case DataType::kString: {
+        const auto& v = col.strings();
+        for (size_t r = 0; r < v.size(); ++r) {
+          uint64_t h = col.IsNull(static_cast<int64_t>(r)) ? kNullHash
+                                                           : HashString(v[r]);
+          hashes[r] = HashCombine(hashes[r], h);
+        }
+        break;
+      }
+    }
+  }
+  return hashes;
+}
+
+Result<TablePtr> Filter(const TablePtr& input, const Expr& predicate) {
+  NEXUS_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
+                         EvalPredicate(predicate, *input));
+  return input->TakeRows(sel);
+}
+
+Result<TablePtr> Project(const TablePtr& input,
+                         const std::vector<std::string>& columns) {
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  for (const std::string& name : columns) {
+    NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(name));
+    fields.push_back(input->schema()->field(i));
+    cols.push_back(input->column(i));
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  return Table::Make(schema, std::move(cols));
+}
+
+Result<TablePtr> Extend(
+    const TablePtr& input,
+    const std::vector<std::pair<std::string, ExprPtr>>& defs) {
+  std::vector<Field> fields = input->schema()->fields();
+  std::vector<Column> cols = input->columns();
+  TablePtr working = input;
+  for (const auto& [name, expr] : defs) {
+    NEXUS_ASSIGN_OR_RETURN(Column c, EvalExprVector(*expr, *working));
+    fields.push_back(Field::Attr(name, c.type()));
+    cols.push_back(std::move(c));
+    NEXUS_ASSIGN_OR_RETURN(SchemaPtr s, Schema::Make(fields));
+    NEXUS_ASSIGN_OR_RETURN(working, Table::Make(s, cols));
+  }
+  return working;
+}
+
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const JoinOp& spec) {
+  std::vector<int> lk, rk;
+  for (const std::string& k : spec.left_keys) {
+    NEXUS_ASSIGN_OR_RETURN(int i, left->schema()->FindFieldOrError(k));
+    lk.push_back(i);
+  }
+  for (const std::string& k : spec.right_keys) {
+    NEXUS_ASSIGN_OR_RETURN(int i, right->schema()->FindFieldOrError(k));
+    rk.push_back(i);
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> lh, HashRows(*left, lk));
+  NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> rh, HashRows(*right, rk));
+
+  // Build side: hash → right row ids (chained buckets).
+  std::unordered_map<uint64_t, std::vector<int64_t>> table;
+  table.reserve(static_cast<size_t>(right->num_rows()));
+  auto row_has_null_key = [](const Table& t, int64_t r, const std::vector<int>& cols) {
+    for (int c : cols) {
+      if (t.column(c).IsNull(r)) return true;
+    }
+    return false;
+  };
+  for (int64_t r = 0; r < right->num_rows(); ++r) {
+    if (row_has_null_key(*right, r, rk)) continue;
+    table[rh[static_cast<size_t>(r)]].push_back(r);
+  }
+
+  // Probe: collect surviving (left, right) row pairs.
+  std::vector<int64_t> li, ri;
+  bool cross = lk.empty();  // keys-free join (residual-only): cross product
+  for (int64_t l = 0; l < left->num_rows(); ++l) {
+    if (cross) {
+      for (int64_t r = 0; r < right->num_rows(); ++r) {
+        li.push_back(l);
+        ri.push_back(r);
+      }
+      continue;
+    }
+    if (row_has_null_key(*left, l, lk)) continue;
+    auto it = table.find(lh[static_cast<size_t>(l)]);
+    if (it == table.end()) continue;
+    for (int64_t r : it->second) {
+      if (KeysEqual(*left, l, lk, *right, r, rk)) {
+        li.push_back(l);
+        ri.push_back(r);
+      }
+    }
+  }
+
+  // Residual filtering over the candidate pairs (vectorized).
+  if (spec.residual != nullptr && !li.empty()) {
+    std::vector<Field> combined_fields = left->schema()->fields();
+    std::vector<Column> combined_cols;
+    for (const Column& c : left->columns()) combined_cols.push_back(c.Take(li));
+    for (int c = 0; c < right->num_columns(); ++c) {
+      const Field& f = right->schema()->field(c);
+      if (left->schema()->FindField(f.name) >= 0) continue;
+      combined_fields.push_back(f);
+      combined_cols.push_back(right->column(c).Take(ri));
+    }
+    NEXUS_ASSIGN_OR_RETURN(SchemaPtr cs, Schema::Make(std::move(combined_fields)));
+    NEXUS_ASSIGN_OR_RETURN(TablePtr candidates,
+                           Table::Make(cs, std::move(combined_cols)));
+    NEXUS_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                           EvalPredicate(*spec.residual, *candidates));
+    std::vector<int64_t> li2, ri2;
+    li2.reserve(keep.size());
+    ri2.reserve(keep.size());
+    for (int64_t k : keep) {
+      li2.push_back(li[static_cast<size_t>(k)]);
+      ri2.push_back(ri[static_cast<size_t>(k)]);
+    }
+    li.swap(li2);
+    ri.swap(ri2);
+  }
+
+  if (spec.type == JoinType::kSemi || spec.type == JoinType::kAnti) {
+    std::vector<uint8_t> matched(static_cast<size_t>(left->num_rows()), 0);
+    for (int64_t l : li) matched[static_cast<size_t>(l)] = 1;
+    std::vector<int64_t> keep;
+    bool want = spec.type == JoinType::kSemi;
+    for (int64_t l = 0; l < left->num_rows(); ++l) {
+      if ((matched[static_cast<size_t>(l)] != 0) == want) keep.push_back(l);
+    }
+    return left->TakeRows(keep);
+  }
+
+  // Output schema: left fields + right non-key fields (dimension tags drop).
+  std::vector<Field> fields = left->schema()->fields();
+  std::vector<int> right_out;
+  for (int c = 0; c < right->num_columns(); ++c) {
+    const std::string& n = right->schema()->field(c).name;
+    if (std::find(spec.right_keys.begin(), spec.right_keys.end(), n) !=
+        spec.right_keys.end()) {
+      continue;
+    }
+    Field f = right->schema()->field(c);
+    f.is_dimension = false;
+    fields.push_back(f);
+    right_out.push_back(c);
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+
+  std::vector<Column> out_cols;
+  for (const Column& c : left->columns()) out_cols.push_back(c.Take(li));
+  for (int c : right_out) out_cols.push_back(right->column(c).Take(ri));
+
+  if (spec.type == JoinType::kLeft) {
+    std::vector<uint8_t> matched(static_cast<size_t>(left->num_rows()), 0);
+    for (int64_t l : li) matched[static_cast<size_t>(l)] = 1;
+    std::vector<int64_t> unmatched;
+    for (int64_t l = 0; l < left->num_rows(); ++l) {
+      if (!matched[static_cast<size_t>(l)]) unmatched.push_back(l);
+    }
+    if (!unmatched.empty()) {
+      for (int c = 0; c < left->num_columns(); ++c) {
+        NEXUS_RETURN_NOT_OK(
+            out_cols[static_cast<size_t>(c)].AppendColumn(left->column(c).Take(unmatched)));
+      }
+      for (size_t c = 0; c < right_out.size(); ++c) {
+        Column& col = out_cols[static_cast<size_t>(left->num_columns()) + c];
+        for (size_t i = 0; i < unmatched.size(); ++i) col.AppendNull();
+      }
+    }
+  }
+  return Table::Make(schema, std::move(out_cols));
+}
+
+namespace {
+
+// Typed accumulator mirroring the algebra's aggregate semantics.
+struct TypedAggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double fsum = 0.0;
+  bool has_extreme = false;
+  double fmin = 0.0, fmax = 0.0;
+  int64_t imin = 0, imax = 0;  // exact int64 extremes
+  std::string smin, smax;
+
+  void UpdateNumeric(double v, int64_t iv, bool is_int) {
+    ++count;
+    if (is_int) isum += iv;
+    fsum += v;
+    if (!has_extreme) {
+      fmin = fmax = v;
+      imin = imax = iv;
+      has_extreme = true;
+    } else {
+      fmin = std::min(fmin, v);
+      fmax = std::max(fmax, v);
+      imin = std::min(imin, iv);
+      imax = std::max(imax, iv);
+    }
+  }
+  void UpdateString(const std::string& s) {
+    ++count;
+    if (!has_extreme) {
+      smin = smax = s;
+      has_extreme = true;
+    } else {
+      if (s < smin) smin = s;
+      if (s > smax) smax = s;
+    }
+  }
+};
+
+Result<Value> FinishTyped(const TypedAggState& st, AggFunc func, DataType in) {
+  switch (func) {
+    case AggFunc::kCount:
+      return Value::Int64(st.count);
+    case AggFunc::kSum:
+      if (st.count == 0) return Value::Null();
+      return in == DataType::kInt64 ? Value::Int64(st.isum)
+                                    : Value::Float64(st.fsum);
+    case AggFunc::kAvg:
+      if (st.count == 0) return Value::Null();
+      return Value::Float64(st.fsum / static_cast<double>(st.count));
+    case AggFunc::kMin:
+      if (!st.has_extreme) return Value::Null();
+      if (in == DataType::kString) return Value::String(st.smin);
+      return in == DataType::kInt64 ? Value::Int64(st.imin)
+                                    : Value::Float64(st.fmin);
+    case AggFunc::kMax:
+      if (!st.has_extreme) return Value::Null();
+      if (in == DataType::kString) return Value::String(st.smax);
+      return in == DataType::kInt64 ? Value::Int64(st.imax)
+                                    : Value::Float64(st.fmax);
+  }
+  return Status::Internal("unhandled aggregate");
+}
+
+}  // namespace
+
+Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
+  std::vector<int> group_cols;
+  for (const std::string& g : spec.group_by) {
+    NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(g));
+    group_cols.push_back(i);
+  }
+  // Pre-evaluate aggregate inputs.
+  std::vector<Column> agg_inputs;
+  std::vector<DataType> agg_types;
+  for (const AggSpec& a : spec.aggs) {
+    if (a.input != nullptr) {
+      NEXUS_ASSIGN_OR_RETURN(Column c, EvalExprVector(*a.input, *input));
+      agg_types.push_back(c.type());
+      agg_inputs.push_back(std::move(c));
+    } else {
+      if (a.func != AggFunc::kCount) {
+        return Status::PlanError("only count may omit its input expression");
+      }
+      agg_types.push_back(DataType::kInt64);
+      agg_inputs.emplace_back(DataType::kInt64);
+    }
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> hashes, HashRows(*input, group_cols));
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<int64_t> rep_row;
+  std::vector<std::vector<TypedAggState>> states;
+  for (int64_t r = 0; r < input->num_rows(); ++r) {
+    uint64_t h = hashes[static_cast<size_t>(r)];
+    std::vector<size_t>& bucket = buckets[h];
+    size_t group = SIZE_MAX;
+    for (size_t g : bucket) {
+      if (GroupKeysEqual(*input, rep_row[g], r, group_cols)) {
+        group = g;
+        break;
+      }
+    }
+    if (group == SIZE_MAX) {
+      group = states.size();
+      bucket.push_back(group);
+      rep_row.push_back(r);
+      states.emplace_back(spec.aggs.size());
+    }
+    std::vector<TypedAggState>& gs = states[group];
+    for (size_t a = 0; a < spec.aggs.size(); ++a) {
+      if (spec.aggs[a].input == nullptr) {
+        ++gs[a].count;
+        continue;
+      }
+      const Column& c = agg_inputs[a];
+      if (c.IsNull(r)) continue;
+      switch (c.type()) {
+        case DataType::kInt64:
+          gs[a].UpdateNumeric(static_cast<double>(c.ints()[static_cast<size_t>(r)]),
+                              c.ints()[static_cast<size_t>(r)], true);
+          break;
+        case DataType::kFloat64:
+          gs[a].UpdateNumeric(c.doubles()[static_cast<size_t>(r)], 0, false);
+          break;
+        case DataType::kString:
+          gs[a].UpdateString(c.strings()[static_cast<size_t>(r)]);
+          break;
+        case DataType::kBool:
+          return Status::TypeError("cannot aggregate bool input");
+      }
+    }
+  }
+  // SQL semantics: a global aggregate over empty input yields one row.
+  if (group_cols.empty() && states.empty()) {
+    rep_row.push_back(0);  // unused: no group columns to gather
+    states.emplace_back(spec.aggs.size());
+  }
+  // Output schema.
+  std::vector<Field> fields;
+  for (int c : group_cols) fields.push_back(input->schema()->field(c));
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    NEXUS_ASSIGN_OR_RETURN(DataType t,
+                           AggResultType(spec.aggs[a].func, agg_types[a]));
+    fields.push_back(Field::Attr(spec.aggs[a].output_name, t));
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  // Group key columns: gather representative rows.
+  std::vector<Column> out_cols;
+  for (int c : group_cols) out_cols.push_back(input->column(c).Take(rep_row));
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    Column col(schema->field(static_cast<int>(group_cols.size() + a)).type);
+    col.Reserve(static_cast<int64_t>(states.size()));
+    for (const auto& gs : states) {
+      NEXUS_ASSIGN_OR_RETURN(Value v,
+                             FinishTyped(gs[a], spec.aggs[a].func, agg_types[a]));
+      NEXUS_RETURN_NOT_OK(col.Append(v));
+    }
+    out_cols.push_back(std::move(col));
+  }
+  return Table::Make(schema, std::move(out_cols));
+}
+
+Result<TablePtr> Sort(const TablePtr& input, const std::vector<SortKey>& keys) {
+  std::vector<int> key_cols;
+  for (const SortKey& k : keys) {
+    NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(k.column));
+    key_cols.push_back(i);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(input->num_rows()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  // Typed comparators per key (nulls first, matching Value::Compare).
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const Column& c = input->column(key_cols[k]);
+      bool na = c.IsNull(a), nb = c.IsNull(b);
+      int cmp = 0;
+      if (na || nb) {
+        cmp = (na == nb) ? 0 : (na ? -1 : 1);
+      } else {
+        switch (c.type()) {
+          case DataType::kInt64: {
+            int64_t va = c.ints()[static_cast<size_t>(a)];
+            int64_t vb = c.ints()[static_cast<size_t>(b)];
+            cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+            break;
+          }
+          case DataType::kFloat64: {
+            double va = c.doubles()[static_cast<size_t>(a)];
+            double vb = c.doubles()[static_cast<size_t>(b)];
+            cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+            break;
+          }
+          case DataType::kBool:
+            cmp = static_cast<int>(c.bools()[static_cast<size_t>(a)]) -
+                  static_cast<int>(c.bools()[static_cast<size_t>(b)]);
+            break;
+          case DataType::kString:
+            cmp = c.strings()[static_cast<size_t>(a)].compare(
+                c.strings()[static_cast<size_t>(b)]);
+            cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+            break;
+        }
+      }
+      if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  return input->TakeRows(order);
+}
+
+Result<TablePtr> Limit(const TablePtr& input, int64_t limit, int64_t offset) {
+  return input->Slice(offset, limit);
+}
+
+Result<TablePtr> Distinct(const TablePtr& input) {
+  std::vector<int> all;
+  for (int i = 0; i < input->num_columns(); ++i) all.push_back(i);
+  NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> hashes, HashRows(*input, all));
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  std::vector<int64_t> keep;
+  for (int64_t r = 0; r < input->num_rows(); ++r) {
+    std::vector<int64_t>& bucket = buckets[hashes[static_cast<size_t>(r)]];
+    bool dup = false;
+    for (int64_t prev : bucket) {
+      if (GroupKeysEqual(*input, prev, r, all)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(r);
+      keep.push_back(r);
+    }
+  }
+  return input->TakeRows(keep);
+}
+
+Result<TablePtr> Union(const TablePtr& left, const TablePtr& right) {
+  if (!left->schema()->Equals(*right->schema())) {
+    return Status::TypeError("union schema mismatch");
+  }
+  std::vector<Column> cols = left->columns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    NEXUS_RETURN_NOT_OK(cols[c].AppendColumn(right->column(static_cast<int>(c))));
+  }
+  return Table::Make(left->schema(), std::move(cols));
+}
+
+Result<TablePtr> Rename(
+    const TablePtr& input,
+    const std::vector<std::pair<std::string, std::string>>& mapping) {
+  std::vector<Field> fields = input->schema()->fields();
+  for (const auto& [from, to] : mapping) {
+    NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(from));
+    fields[static_cast<size_t>(i)].name = to;
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  return Table::Make(schema, input->columns());
+}
+
+}  // namespace relational
+}  // namespace nexus

@@ -1,0 +1,66 @@
+// Columnar relational engine — the framework's stand-in for a SQL back end
+// (the paper's SQLServer-class provider).
+//
+// Unlike the reference executor's boxed row-at-a-time interpretation, this
+// engine works on typed column vectors: hashes are computed column-wise,
+// join/aggregate keys take an int64 fast path, and filters produce selection
+// vectors without materializing Values. The engine exposes plain functions
+// over tables; plan translation lives in the provider layer.
+#ifndef NEXUS_RELATIONAL_ENGINE_H_
+#define NEXUS_RELATIONAL_ENGINE_H_
+
+#include <vector>
+
+#include "core/plan.h"
+#include "expr/expr.h"
+#include "types/table.h"
+
+namespace nexus {
+namespace relational {
+
+/// Filters rows by a boolean predicate (vectorized evaluation; null → drop).
+Result<TablePtr> Filter(const TablePtr& input, const Expr& predicate);
+
+/// Keeps the named columns, in order.
+Result<TablePtr> Project(const TablePtr& input,
+                         const std::vector<std::string>& columns);
+
+/// Appends computed columns.
+Result<TablePtr> Extend(
+    const TablePtr& input,
+    const std::vector<std::pair<std::string, ExprPtr>>& defs);
+
+/// Hash equi-join with optional residual predicate. Output layout matches
+/// the algebra's join rule: left fields then right non-key fields.
+Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
+                          const JoinOp& spec);
+
+/// Grouped hash aggregation (first-seen group order).
+Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec);
+
+/// Multi-key stable sort.
+Result<TablePtr> Sort(const TablePtr& input, const std::vector<SortKey>& keys);
+
+/// Row range.
+Result<TablePtr> Limit(const TablePtr& input, int64_t limit, int64_t offset);
+
+/// Duplicate elimination over all columns (keeps first occurrence).
+Result<TablePtr> Distinct(const TablePtr& input);
+
+/// Concatenation (schemas must match exactly).
+Result<TablePtr> Union(const TablePtr& left, const TablePtr& right);
+
+/// Schema-only rename.
+Result<TablePtr> Rename(
+    const TablePtr& input,
+    const std::vector<std::pair<std::string, std::string>>& mapping);
+
+/// Per-row hash of the key columns (int64 fast path; generic otherwise).
+/// Exposed for tests and the aggregate/join internals.
+Result<std::vector<uint64_t>> HashRows(const Table& input,
+                                       const std::vector<int>& key_cols);
+
+}  // namespace relational
+}  // namespace nexus
+
+#endif  // NEXUS_RELATIONAL_ENGINE_H_

@@ -1,0 +1,242 @@
+#include "types/csv.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+namespace {
+
+// Splits CSV text into rows of raw (unquoted) fields, honouring quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(const std::string& text,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      row_has_content = true;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      if (row_has_content || !field.empty() || !row.empty()) end_row();
+      continue;
+    }
+    field.push_back(c);
+    row_has_content = true;
+    ++i;
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV");
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFloat(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool IsNull(const std::string& s, const CsvReadOptions& opts) {
+  return s.empty() || (!opts.null_token.empty() && s == opts.null_token);
+}
+
+// Widening type lattice for inference: bool < int64 < float64 < string.
+DataType InferFieldType(const std::string& s) {
+  if (s == "true" || s == "false") return DataType::kBool;
+  int64_t iv;
+  if (ParseInt(s, &iv)) return DataType::kInt64;
+  double fv;
+  if (ParseFloat(s, &fv)) return DataType::kFloat64;
+  return DataType::kString;
+}
+
+DataType Widen(DataType a, DataType b) {
+  if (a == b) return a;
+  if (a == DataType::kString || b == DataType::kString) return DataType::kString;
+  if (a == DataType::kBool || b == DataType::kBool) return DataType::kString;
+  return DataType::kFloat64;  // int64 ∨ float64
+}
+
+Result<Value> ParseCell(const std::string& s, DataType type,
+                        const CsvReadOptions& opts) {
+  if (IsNull(s, opts)) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      if (s == "true") return Value::Bool(true);
+      if (s == "false") return Value::Bool(false);
+      break;
+    case DataType::kInt64: {
+      int64_t v;
+      if (ParseInt(s, &v)) return Value::Int64(v);
+      break;
+    }
+    case DataType::kFloat64: {
+      double v;
+      if (ParseFloat(s, &v)) return Value::Float64(v);
+      break;
+    }
+    case DataType::kString:
+      return Value::String(s);
+  }
+  return Status::InvalidArgument(
+      StrCat("cannot parse '", s, "' as ", DataTypeName(type)));
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsv(const std::string& text, const CsvReadOptions& options) {
+  NEXUS_ASSIGN_OR_RETURN(auto rows, Tokenize(text, options.delimiter));
+  if (rows.empty()) return Status::InvalidArgument("CSV has no header row");
+  const std::vector<std::string>& header = rows[0];
+  size_t n_cols = header.size();
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != n_cols) {
+      return Status::InvalidArgument(
+          StrCat("CSV row ", r, " has ", rows[r].size(), " fields, expected ",
+                 n_cols));
+    }
+  }
+  SchemaPtr schema = options.schema;
+  if (schema != nullptr) {
+    if (static_cast<size_t>(schema->num_fields()) != n_cols) {
+      return Status::InvalidArgument("CSV header does not match supplied schema");
+    }
+    for (size_t c = 0; c < n_cols; ++c) {
+      if (schema->field(static_cast<int>(c)).name != header[c]) {
+        return Status::InvalidArgument(
+            StrCat("CSV header '", header[c], "' != schema field '",
+                   schema->field(static_cast<int>(c)).name, "'"));
+      }
+    }
+  } else {
+    // Infer each column's type across all rows; all-null columns default
+    // to string.
+    std::vector<DataType> types(n_cols, DataType::kBool);
+    std::vector<bool> seen(n_cols, false);
+    for (size_t r = 1; r < rows.size(); ++r) {
+      for (size_t c = 0; c < n_cols; ++c) {
+        const std::string& s = rows[r][c];
+        if (IsNull(s, options)) continue;
+        DataType t = InferFieldType(s);
+        types[c] = seen[c] ? Widen(types[c], t) : t;
+        seen[c] = true;
+      }
+    }
+    std::vector<Field> fields;
+    for (size_t c = 0; c < n_cols; ++c) {
+      fields.push_back(Field::Attr(header[c], seen[c] ? types[c] : DataType::kString));
+    }
+    NEXUS_ASSIGN_OR_RETURN(schema, Schema::Make(std::move(fields)));
+  }
+  TableBuilder builder(schema);
+  builder.Reserve(static_cast<int64_t>(rows.size()) - 1);
+  std::vector<Value> row(n_cols);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    for (size_t c = 0; c < n_cols; ++c) {
+      NEXUS_ASSIGN_OR_RETURN(
+          row[c],
+          ParseCell(rows[r][c], schema->field(static_cast<int>(c)).type, options));
+    }
+    NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+std::string WriteCsv(const Table& table, const CsvWriteOptions& options) {
+  std::string out;
+  auto needs_quoting = [&](const std::string& s) {
+    return s.find(options.delimiter) != std::string::npos ||
+           s.find('"') != std::string::npos || s.find('\n') != std::string::npos;
+  };
+  auto emit = [&](const std::string& s) {
+    if (!needs_quoting(s)) {
+      out += s;
+      return;
+    }
+    out += '"';
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  };
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += options.delimiter;
+    emit(table.schema()->field(c).name);
+  }
+  out += '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += options.delimiter;
+      Value v = table.At(r, c);
+      if (v.is_null()) {
+        emit(options.null_token);
+      } else if (v.is_string()) {
+        emit(v.AsString());
+      } else if (v.is_bool()) {
+        out += v.AsBool() ? "true" : "false";
+      } else if (v.is_int64()) {
+        out += StrCat(v.AsInt64());
+      } else {
+        out += FormatDouble(v.AsFloat64(), 17);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nexus

@@ -1,0 +1,42 @@
+// CSV import/export for tables — the practical on-ramp for getting data in
+// and out of the framework.
+//
+// Dialect: comma-separated, double-quote quoting with "" escapes, first
+// line is the header. On read, column types are inferred from the data
+// (int64 ⊂ float64 ⊂ string; "true"/"false" → bool; empty field → null)
+// unless an explicit schema is supplied.
+#ifndef NEXUS_TYPES_CSV_H_
+#define NEXUS_TYPES_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "types/table.h"
+
+namespace nexus {
+
+struct CsvReadOptions {
+  /// When set, parsing coerces to this schema instead of inferring types
+  /// (header names must match the schema's field names, in order).
+  SchemaPtr schema;
+  /// Treat this token (in addition to the empty string) as null.
+  std::string null_token = "";
+  char delimiter = ',';
+};
+
+struct CsvWriteOptions {
+  char delimiter = ',';
+  /// Written for null cells.
+  std::string null_token = "";
+};
+
+/// Parses CSV text into a table.
+Result<TablePtr> ReadCsv(const std::string& text, const CsvReadOptions& options = {});
+
+/// Renders a table as CSV text (dimension tags are not representable and
+/// are dropped; re-tag with Rebox after reading).
+std::string WriteCsv(const Table& table, const CsvWriteOptions& options = {});
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_CSV_H_

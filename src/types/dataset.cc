@@ -1,0 +1,59 @@
+#include "types/dataset.h"
+
+namespace nexus {
+
+SchemaPtr Dataset::schema() const {
+  if (is_table()) return table()->schema();
+  return array()->CombinedSchema();
+}
+
+int64_t Dataset::num_rows() const {
+  if (is_table()) return table()->num_rows();
+  return array()->NumCellsOccupied();
+}
+
+Result<TablePtr> Dataset::AsTable() const {
+  if (is_table()) return table();
+  return array()->ToTable();
+}
+
+Result<NDArrayPtr> Dataset::AsArray(int64_t chunk_size) const {
+  if (is_array()) return array();
+  const TablePtr& t = table();
+  std::vector<std::string> dim_names;
+  for (int i : t->schema()->DimensionIndices()) {
+    dim_names.push_back(t->schema()->field(i).name);
+  }
+  if (dim_names.empty()) {
+    return Status::InvalidArgument(
+        "AsArray: schema tags no dimensions; use Rebox to assign them");
+  }
+  std::vector<int64_t> chunks(dim_names.size(), chunk_size);
+  NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> arr,
+                         NDArray::FromTable(*t, dim_names, chunks));
+  return NDArrayPtr(std::move(arr));
+}
+
+int64_t Dataset::ByteSize() const {
+  return is_table() ? table()->ByteSize() : array()->ByteSize();
+}
+
+bool Dataset::LogicallyEquals(const Dataset& other) const {
+  auto mine = AsTable();
+  auto theirs = other.AsTable();
+  if (!mine.ok() || !theirs.ok()) return false;
+  // Compare without dimension tags: representation must not affect value
+  // identity, and ToTable() re-tags dimensions while plain tables may not.
+  auto a = mine.ValueOrDie();
+  auto b = theirs.ValueOrDie();
+  auto untagged = [](const TablePtr& t) {
+    return Table::Make(t->schema()->WithoutDimensions(), t->columns()).ValueOrDie();
+  };
+  return untagged(a)->EqualsUnordered(*untagged(b));
+}
+
+std::string Dataset::ToString() const {
+  return is_table() ? table()->ToString() : array()->ToString();
+}
+
+}  // namespace nexus

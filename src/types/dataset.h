@@ -1,0 +1,70 @@
+// Dataset: the value that flows along algebra edges and between servers.
+//
+// Logically every collection is "a table with 0+ dimension-tagged
+// attributes" (the paper's fused model); physically a Dataset is either a
+// columnar Table or a chunked NDArray, and Rebox converts between the two.
+// Providers receive and produce Datasets and pick the representation native
+// to their engine.
+#ifndef NEXUS_TYPES_DATASET_H_
+#define NEXUS_TYPES_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/ndarray.h"
+#include "types/table.h"
+
+namespace nexus {
+
+/// Physical representation of a collection.
+enum class DatasetKind { kTable, kArray };
+
+/// Tagged union of the two physical representations.
+class Dataset {
+ public:
+  Dataset() : repr_(Table::Empty(std::make_shared<const Schema>(std::vector<Field>{}))) {}
+  explicit Dataset(TablePtr table) : repr_(std::move(table)) {}
+  explicit Dataset(NDArrayPtr array) : repr_(std::move(array)) {}
+
+  DatasetKind kind() const {
+    return std::holds_alternative<TablePtr>(repr_) ? DatasetKind::kTable
+                                                   : DatasetKind::kArray;
+  }
+  bool is_table() const { return kind() == DatasetKind::kTable; }
+  bool is_array() const { return kind() == DatasetKind::kArray; }
+
+  /// Direct access; precondition: matching kind.
+  const TablePtr& table() const { return std::get<TablePtr>(repr_); }
+  const NDArrayPtr& array() const { return std::get<NDArrayPtr>(repr_); }
+
+  /// The logical schema regardless of representation (dimensions tagged).
+  SchemaPtr schema() const;
+
+  /// Logical cardinality: table rows, or occupied array cells.
+  int64_t num_rows() const;
+
+  /// Converts to a table view (identity for tables).
+  Result<TablePtr> AsTable() const;
+
+  /// Converts to an array using the schema's dimension tags as coordinates;
+  /// `chunk_size` applies to every inferred dimension. Errors when the
+  /// schema tags no dimensions.
+  Result<NDArrayPtr> AsArray(int64_t chunk_size = 64) const;
+
+  /// Approximate serialized size, the transfer meter's unit of account.
+  int64_t ByteSize() const;
+
+  /// Value equality across representations (compares as tables, unordered).
+  bool LogicallyEquals(const Dataset& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<TablePtr, NDArrayPtr> repr_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_DATASET_H_

@@ -1,0 +1,51 @@
+#include "types/datatype.h"
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int64") return DataType::kInt64;
+  if (name == "float64") return DataType::kFloat64;
+  if (name == "string") return DataType::kString;
+  return Status::InvalidArgument(StrCat("unknown data type name: ", name));
+}
+
+Result<DataType> CommonNumericType(DataType a, DataType b) {
+  if (!IsNumeric(a) || !IsNumeric(b)) {
+    return Status::TypeError(StrCat("no common numeric type for ", DataTypeName(a),
+                                    " and ", DataTypeName(b)));
+  }
+  if (a == DataType::kFloat64 || b == DataType::kFloat64) return DataType::kFloat64;
+  return DataType::kInt64;
+}
+
+int FixedWidth(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kString:
+      return 16;  // pointer + length bookkeeping charged per value
+  }
+  return 8;
+}
+
+}  // namespace nexus

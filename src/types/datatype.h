@@ -1,0 +1,43 @@
+// Scalar type system of the Big Data Algebra.
+//
+// The algebra fuses tabular and array models (Maier, CIDR'15): a collection
+// is a table whose schema may tag attributes as *dimensions*. Cell values are
+// drawn from the small scalar lattice below.
+#ifndef NEXUS_TYPES_DATATYPE_H_
+#define NEXUS_TYPES_DATATYPE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace nexus {
+
+/// Scalar types storable in table columns and array cells.
+enum class DataType : int {
+  kBool = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+};
+
+/// Canonical lowercase name ("int64", "float64", ...).
+const char* DataTypeName(DataType type);
+
+/// Parses a name produced by DataTypeName.
+Result<DataType> DataTypeFromName(const std::string& name);
+
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+/// Numeric promotion: int64 ∨ float64 = float64. Errors when no common
+/// supertype exists (e.g. string ∨ int64).
+Result<DataType> CommonNumericType(DataType a, DataType b);
+
+/// Width in bytes used for transfer-cost accounting. Strings are charged
+/// per-value at their actual length plus this fixed overhead.
+int FixedWidth(DataType t);
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_DATATYPE_H_

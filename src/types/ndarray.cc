@@ -1,0 +1,432 @@
+#include "types/ndarray.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+std::string DimensionSpec::ToString() const {
+  return StrCat(name, "[", start, ":", end(), ":", chunk_size, "]");
+}
+
+int64_t ArrayChunk::Volume() const {
+  int64_t v = 1;
+  for (int64_t e : extent) v *= e;
+  return v;
+}
+
+int64_t ArrayChunk::LocalOffset(const std::vector<int64_t>& local) const {
+  int64_t off = 0;
+  for (size_t d = 0; d < extent.size(); ++d) {
+    off = off * extent[d] + local[d];
+  }
+  return off;
+}
+
+std::vector<int64_t> ArrayChunk::LocalCoords(int64_t offset) const {
+  std::vector<int64_t> local(extent.size());
+  for (size_t d = extent.size(); d-- > 0;) {
+    local[d] = offset % extent[d];
+    offset /= extent[d];
+  }
+  return local;
+}
+
+int64_t ArrayChunk::OccupiedCount() const {
+  int64_t n = 0;
+  for (uint8_t o : occupied) n += (o != 0);
+  return n;
+}
+
+NDArray::NDArray(std::vector<DimensionSpec> dims, SchemaPtr attr_schema)
+    : dims_(std::move(dims)), attr_schema_(std::move(attr_schema)) {
+  grid_extent_.reserve(dims_.size());
+  for (const DimensionSpec& d : dims_) {
+    grid_extent_.push_back((d.length + d.chunk_size - 1) / d.chunk_size);
+  }
+}
+
+Result<std::shared_ptr<NDArray>> NDArray::Make(std::vector<DimensionSpec> dims,
+                                               SchemaPtr attr_schema) {
+  if (dims.empty()) return Status::InvalidArgument("NDArray needs >=1 dimension");
+  for (const DimensionSpec& d : dims) {
+    if (d.name.empty()) return Status::InvalidArgument("dimension with empty name");
+    if (d.length <= 0 || d.chunk_size <= 0) {
+      return Status::InvalidArgument(
+          StrCat("dimension ", d.name, " must have positive length and chunk size"));
+    }
+  }
+  if (attr_schema == nullptr) {
+    return Status::InvalidArgument("NDArray needs an attribute schema");
+  }
+  for (const Field& f : attr_schema->fields()) {
+    if (f.is_dimension) {
+      return Status::InvalidArgument(
+          StrCat("attribute schema may not contain dimension field ", f.name));
+    }
+    for (const DimensionSpec& d : dims) {
+      if (d.name == f.name) {
+        return Status::InvalidArgument(
+            StrCat("attribute ", f.name, " collides with a dimension name"));
+      }
+    }
+  }
+  return std::shared_ptr<NDArray>(
+      new NDArray(std::move(dims), std::move(attr_schema)));
+}
+
+int NDArray::DimIndex(const std::string& name) const {
+  for (int i = 0; i < num_dims(); ++i) {
+    if (dims_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+SchemaPtr NDArray::CombinedSchema() const {
+  std::vector<Field> fields;
+  fields.reserve(dims_.size() + static_cast<size_t>(attr_schema_->num_fields()));
+  for (const DimensionSpec& d : dims_) fields.push_back(Field::Dim(d.name));
+  for (const Field& f : attr_schema_->fields()) fields.push_back(f);
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+int64_t NDArray::NumCellsTotal() const {
+  int64_t n = 1;
+  for (const DimensionSpec& d : dims_) n *= d.length;
+  return n;
+}
+
+int64_t NDArray::NumCellsOccupied() const {
+  int64_t n = 0;
+  for (const auto& [key, chunk] : chunks_) n += chunk.OccupiedCount();
+  return n;
+}
+
+int64_t NDArray::GridKey(const std::vector<int64_t>& grid) const {
+  int64_t key = 0;
+  for (size_t d = 0; d < grid.size(); ++d) key = key * grid_extent_[d] + grid[d];
+  return key;
+}
+
+Status NDArray::CheckBounds(const std::vector<int64_t>& coords) const {
+  if (static_cast<int>(coords.size()) != num_dims()) {
+    return Status::IndexError(StrCat("got ", coords.size(), " coordinates for ",
+                                     num_dims(), "-d array"));
+  }
+  for (size_t d = 0; d < coords.size(); ++d) {
+    const DimensionSpec& spec = dims_[d];
+    if (coords[d] < spec.start || coords[d] >= spec.end()) {
+      return Status::IndexError(StrCat("coordinate ", coords[d],
+                                       " out of bounds for ", spec.ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ArrayChunk*> NDArray::ChunkFor(const std::vector<int64_t>& coords,
+                                      int64_t* local_offset) {
+  NEXUS_RETURN_NOT_OK(CheckBounds(coords));
+  std::vector<int64_t> grid(coords.size()), local(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    int64_t rel = coords[d] - dims_[d].start;
+    grid[d] = rel / dims_[d].chunk_size;
+    local[d] = rel % dims_[d].chunk_size;
+  }
+  int64_t key = GridKey(grid);
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) {
+    ArrayChunk chunk;
+    chunk.grid = grid;
+    chunk.lo.resize(coords.size());
+    chunk.extent.resize(coords.size());
+    for (size_t d = 0; d < coords.size(); ++d) {
+      chunk.lo[d] = dims_[d].start + grid[d] * dims_[d].chunk_size;
+      chunk.extent[d] =
+          std::min(dims_[d].chunk_size, dims_[d].end() - chunk.lo[d]);
+    }
+    int64_t volume = chunk.Volume();
+    chunk.attrs.reserve(static_cast<size_t>(attr_schema_->num_fields()));
+    for (const Field& f : attr_schema_->fields()) {
+      chunk.attrs.push_back(Column::Filled(f.type, volume));
+    }
+    chunk.occupied.assign(static_cast<size_t>(volume), 0);
+    it = chunks_.emplace(key, std::move(chunk)).first;
+  }
+  *local_offset = it->second.LocalOffset(local);
+  return &it->second;
+}
+
+Status NDArray::PutChunk(ArrayChunk chunk) {
+  if (static_cast<int>(chunk.grid.size()) != num_dims()) {
+    return Status::InvalidArgument("PutChunk: wrong dimensionality");
+  }
+  int64_t volume = chunk.Volume();
+  for (size_t d = 0; d < chunk.grid.size(); ++d) {
+    if (chunk.grid[d] < 0 || chunk.grid[d] >= grid_extent_[d]) {
+      return Status::IndexError("PutChunk: grid position out of range");
+    }
+    int64_t want_lo = dims_[d].start + chunk.grid[d] * dims_[d].chunk_size;
+    int64_t want_extent = std::min(dims_[d].chunk_size, dims_[d].end() - want_lo);
+    if (chunk.lo[d] != want_lo || chunk.extent[d] != want_extent) {
+      return Status::InvalidArgument("PutChunk: chunk geometry mismatch");
+    }
+  }
+  if (static_cast<int>(chunk.attrs.size()) != attr_schema_->num_fields() ||
+      static_cast<int64_t>(chunk.occupied.size()) != volume) {
+    return Status::InvalidArgument("PutChunk: payload shape mismatch");
+  }
+  for (int a = 0; a < attr_schema_->num_fields(); ++a) {
+    if (chunk.attrs[static_cast<size_t>(a)].type() != attr_schema_->field(a).type ||
+        chunk.attrs[static_cast<size_t>(a)].size() != volume) {
+      return Status::InvalidArgument("PutChunk: attribute column mismatch");
+    }
+  }
+  int64_t key = GridKey(chunk.grid);
+  chunks_[key] = std::move(chunk);
+  return Status::OK();
+}
+
+Status NDArray::Set(const std::vector<int64_t>& coords,
+                    const std::vector<Value>& attr_values) {
+  if (static_cast<int>(attr_values.size()) != attr_schema_->num_fields()) {
+    return Status::InvalidArgument(
+        StrCat("Set: ", attr_values.size(), " attribute values for schema ",
+               attr_schema_->ToString()));
+  }
+  int64_t offset = 0;
+  NEXUS_ASSIGN_OR_RETURN(ArrayChunk * chunk, ChunkFor(coords, &offset));
+  for (size_t a = 0; a < attr_values.size(); ++a) {
+    NEXUS_RETURN_NOT_OK(chunk->attrs[a].SetValue(offset, attr_values[a]));
+  }
+  chunk->occupied[static_cast<size_t>(offset)] = 1;
+  return Status::OK();
+}
+
+bool NDArray::FindCell(const std::vector<int64_t>& coords,
+                       const ArrayChunk** chunk, int64_t* offset) const {
+  if (static_cast<int>(coords.size()) != num_dims()) return false;
+  std::vector<int64_t> grid(coords.size()), local(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    const DimensionSpec& spec = dims_[d];
+    if (coords[d] < spec.start || coords[d] >= spec.end()) return false;
+    int64_t rel = coords[d] - spec.start;
+    grid[d] = rel / spec.chunk_size;
+    local[d] = rel % spec.chunk_size;
+  }
+  auto it = chunks_.find(GridKey(grid));
+  if (it == chunks_.end()) return false;
+  int64_t off = it->second.LocalOffset(local);
+  if (!it->second.occupied[static_cast<size_t>(off)]) return false;
+  *chunk = &it->second;
+  *offset = off;
+  return true;
+}
+
+bool NDArray::Has(const std::vector<int64_t>& coords) const {
+  if (!CheckBounds(coords).ok()) return false;
+  std::vector<int64_t> grid(coords.size()), local(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    int64_t rel = coords[d] - dims_[d].start;
+    grid[d] = rel / dims_[d].chunk_size;
+    local[d] = rel % dims_[d].chunk_size;
+  }
+  auto it = chunks_.find(GridKey(grid));
+  if (it == chunks_.end()) return false;
+  return it->second.occupied[static_cast<size_t>(it->second.LocalOffset(local))] != 0;
+}
+
+Result<std::vector<Value>> NDArray::Get(const std::vector<int64_t>& coords) const {
+  NEXUS_RETURN_NOT_OK(CheckBounds(coords));
+  std::vector<int64_t> grid(coords.size()), local(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    int64_t rel = coords[d] - dims_[d].start;
+    grid[d] = rel / dims_[d].chunk_size;
+    local[d] = rel % dims_[d].chunk_size;
+  }
+  auto it = chunks_.find(GridKey(grid));
+  if (it == chunks_.end()) {
+    return Status::NotFound("cell is empty");
+  }
+  const ArrayChunk& chunk = it->second;
+  int64_t off = chunk.LocalOffset(local);
+  if (!chunk.occupied[static_cast<size_t>(off)]) {
+    return Status::NotFound("cell is empty");
+  }
+  std::vector<Value> out;
+  out.reserve(chunk.attrs.size());
+  for (const Column& c : chunk.attrs) out.push_back(c.GetValue(off));
+  return out;
+}
+
+std::vector<const ArrayChunk*> NDArray::chunks() const {
+  std::vector<const ArrayChunk*> out;
+  out.reserve(chunks_.size());
+  for (const auto& [key, chunk] : chunks_) out.push_back(&chunk);
+  return out;
+}
+
+const ArrayChunk* NDArray::FindChunk(const std::vector<int64_t>& grid) const {
+  if (static_cast<int>(grid.size()) != num_dims()) return nullptr;
+  for (size_t d = 0; d < grid.size(); ++d) {
+    if (grid[d] < 0 || grid[d] >= grid_extent_[d]) return nullptr;
+  }
+  auto it = chunks_.find(GridKey(grid));
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+std::vector<ArrayChunk*> NDArray::mutable_chunks() {
+  std::vector<ArrayChunk*> out;
+  out.reserve(chunks_.size());
+  for (auto& [key, chunk] : chunks_) out.push_back(&chunk);
+  return out;
+}
+
+void NDArray::ForEachCell(
+    const std::function<void(const std::vector<int64_t>&, std::vector<Value>)>& fn)
+    const {
+  for (const auto& [key, chunk] : chunks_) {
+    int64_t volume = chunk.Volume();
+    for (int64_t off = 0; off < volume; ++off) {
+      if (!chunk.occupied[static_cast<size_t>(off)]) continue;
+      std::vector<int64_t> local = chunk.LocalCoords(off);
+      std::vector<int64_t> global(local.size());
+      for (size_t d = 0; d < local.size(); ++d) global[d] = chunk.lo[d] + local[d];
+      std::vector<Value> attrs;
+      attrs.reserve(chunk.attrs.size());
+      for (const Column& c : chunk.attrs) attrs.push_back(c.GetValue(off));
+      fn(global, std::move(attrs));
+    }
+  }
+}
+
+Result<TablePtr> NDArray::ToTable() const {
+  TableBuilder builder(CombinedSchema());
+  builder.Reserve(NumCellsOccupied());
+  Status st = Status::OK();
+  ForEachCell([&](const std::vector<int64_t>& coords, std::vector<Value> attrs) {
+    if (!st.ok()) return;
+    std::vector<Value> row;
+    row.reserve(coords.size() + attrs.size());
+    for (int64_t c : coords) row.push_back(Value::Int64(c));
+    for (Value& v : attrs) row.push_back(std::move(v));
+    st = builder.AppendRow(row);
+  });
+  NEXUS_RETURN_NOT_OK(st);
+  return builder.Finish();
+}
+
+Result<std::shared_ptr<NDArray>> NDArray::FromTable(
+    const Table& table, const std::vector<std::string>& dim_names,
+    const std::vector<int64_t>& chunk_sizes) {
+  if (dim_names.empty()) {
+    return Status::InvalidArgument("FromTable: need at least one dimension column");
+  }
+  if (chunk_sizes.size() != dim_names.size()) {
+    return Status::InvalidArgument("FromTable: one chunk size per dimension required");
+  }
+  std::vector<int> dim_cols;
+  for (const std::string& name : dim_names) {
+    NEXUS_ASSIGN_OR_RETURN(int idx, table.schema()->FindFieldOrError(name));
+    if (table.schema()->field(idx).type != DataType::kInt64) {
+      return Status::TypeError(StrCat("dimension column ", name, " must be int64"));
+    }
+    dim_cols.push_back(idx);
+  }
+  // Infer bounds.
+  std::vector<DimensionSpec> dims;
+  for (size_t d = 0; d < dim_cols.size(); ++d) {
+    const Column& c = table.column(dim_cols[d]);
+    if (c.has_nulls()) {
+      return Status::InvalidArgument(
+          StrCat("dimension column ", dim_names[d], " contains nulls"));
+    }
+    int64_t lo = 0, hi = 0;
+    if (table.num_rows() > 0) {
+      lo = hi = c.ints()[0];
+      for (int64_t v : c.ints()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    DimensionSpec spec;
+    spec.name = dim_names[d];
+    spec.start = lo;
+    spec.length = table.num_rows() > 0 ? hi - lo + 1 : 1;
+    spec.chunk_size = chunk_sizes[d] > 0 ? chunk_sizes[d] : spec.length;
+    dims.push_back(spec);
+  }
+  // Attribute schema = remaining fields, dimension tags stripped.
+  std::vector<Field> attr_fields;
+  std::vector<int> attr_cols;
+  for (int i = 0; i < table.schema()->num_fields(); ++i) {
+    if (std::find(dim_cols.begin(), dim_cols.end(), i) != dim_cols.end()) continue;
+    Field f = table.schema()->field(i);
+    f.is_dimension = false;
+    attr_fields.push_back(f);
+    attr_cols.push_back(i);
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr attr_schema, Schema::Make(std::move(attr_fields)));
+  NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> array,
+                         NDArray::Make(std::move(dims), std::move(attr_schema)));
+  std::vector<int64_t> coords(dim_cols.size());
+  std::vector<Value> attrs(attr_cols.size());
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t d = 0; d < dim_cols.size(); ++d) {
+      coords[d] = table.column(dim_cols[d]).ints()[static_cast<size_t>(r)];
+    }
+    if (array->Has(coords)) {
+      return Status::InvalidArgument(
+          StrCat("FromTable: duplicate coordinates at row ", r));
+    }
+    for (size_t a = 0; a < attr_cols.size(); ++a) {
+      attrs[a] = table.At(r, attr_cols[a]);
+    }
+    NEXUS_RETURN_NOT_OK(array->Set(coords, attrs));
+  }
+  return array;
+}
+
+int64_t NDArray::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& [key, chunk] : chunks_) {
+    bytes += static_cast<int64_t>(chunk.occupied.size());
+    for (const Column& c : chunk.attrs) bytes += c.ByteSize();
+  }
+  return bytes;
+}
+
+bool NDArray::Equals(const NDArray& other) const {
+  if (dims_ != other.dims_ || !attr_schema_->Equals(*other.attr_schema_)) {
+    return false;
+  }
+  if (NumCellsOccupied() != other.NumCellsOccupied()) return false;
+  bool equal = true;
+  ForEachCell([&](const std::vector<int64_t>& coords, std::vector<Value> attrs) {
+    if (!equal) return;
+    auto theirs = other.Get(coords);
+    if (!theirs.ok()) {
+      equal = false;
+      return;
+    }
+    const std::vector<Value>& tv = theirs.ValueOrDie();
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      if (attrs[a] != tv[a]) {
+        equal = false;
+        return;
+      }
+    }
+  });
+  return equal;
+}
+
+std::string NDArray::ToString() const {
+  std::vector<std::string> dim_strs;
+  dim_strs.reserve(dims_.size());
+  for (const DimensionSpec& d : dims_) dim_strs.push_back(d.ToString());
+  return StrCat("array<", Join(dim_strs, ", "), "> ", attr_schema_->ToString(),
+                " [", NumCellsOccupied(), "/", NumCellsTotal(), " cells]");
+}
+
+}  // namespace nexus

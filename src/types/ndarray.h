@@ -1,0 +1,158 @@
+// NDArray: a chunked, sparse-capable n-dimensional array in the SciDB mould —
+// the array half of the paper's fused tabular/array model.
+//
+// An NDArray has named integer dimensions (each with a start, length, and
+// chunk size) and a columnar attribute payload per cell. Storage is a grid of
+// dense chunks; cells may be absent (the `occupied` mask), which is how
+// sparse arrays and table→array reboxing of partial data are represented.
+#ifndef NEXUS_TYPES_NDARRAY_H_
+#define NEXUS_TYPES_NDARRAY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/column.h"
+#include "types/schema.h"
+#include "types/table.h"
+
+namespace nexus {
+
+/// Shape of one array dimension.
+struct DimensionSpec {
+  std::string name;
+  int64_t start = 0;       ///< first valid coordinate (inclusive)
+  int64_t length = 0;      ///< number of coordinates
+  int64_t chunk_size = 0;  ///< chunk extent along this dimension
+
+  int64_t end() const { return start + length; }  ///< exclusive upper bound
+
+  bool operator==(const DimensionSpec& o) const {
+    return name == o.name && start == o.start && length == o.length &&
+           chunk_size == o.chunk_size;
+  }
+
+  /// "i[0:100:10]" — name[start : start+length : chunk_size].
+  std::string ToString() const;
+};
+
+/// One dense chunk of an NDArray. Attribute columns and the occupancy mask
+/// have length Volume() (the product of clipped extents), addressed in
+/// row-major order of local coordinates.
+struct ArrayChunk {
+  std::vector<int64_t> grid;    ///< position in the chunk grid, per dim
+  std::vector<int64_t> lo;      ///< global coordinate of local (0,…,0)
+  std::vector<int64_t> extent;  ///< clipped extent per dim
+  std::vector<Column> attrs;    ///< one column per attribute field
+  std::vector<uint8_t> occupied;
+
+  int64_t Volume() const;
+  /// Row-major offset of a local coordinate within this chunk.
+  int64_t LocalOffset(const std::vector<int64_t>& local) const;
+  /// Inverse of LocalOffset.
+  std::vector<int64_t> LocalCoords(int64_t offset) const;
+  int64_t OccupiedCount() const;
+};
+
+class NDArray;
+using NDArrayPtr = std::shared_ptr<const NDArray>;
+
+/// Chunked n-d array. Build mutably via Make + Set, then share as const.
+class NDArray {
+ public:
+  /// `attr_schema` must contain only non-dimension fields; every dimension
+  /// must have positive length and chunk size.
+  static Result<std::shared_ptr<NDArray>> Make(std::vector<DimensionSpec> dims,
+                                               SchemaPtr attr_schema);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const DimensionSpec& dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<DimensionSpec>& dims() const { return dims_; }
+  int DimIndex(const std::string& name) const;
+
+  const SchemaPtr& attr_schema() const { return attr_schema_; }
+
+  /// Schema of the equivalent table: dimension fields (tagged) followed by
+  /// attribute fields.
+  SchemaPtr CombinedSchema() const;
+
+  /// Total addressable cells (product of dimension lengths).
+  int64_t NumCellsTotal() const;
+  /// Occupied (present) cells.
+  int64_t NumCellsOccupied() const;
+  /// True when every addressable cell is occupied.
+  bool IsDense() const { return NumCellsOccupied() == NumCellsTotal(); }
+
+  /// Writes the attribute payload of the cell at `coords` (global
+  /// coordinates, one per dimension). Creates the containing chunk on demand.
+  Status Set(const std::vector<int64_t>& coords, const std::vector<Value>& attr_values);
+
+  /// True when the cell exists and is occupied.
+  bool Has(const std::vector<int64_t>& coords) const;
+
+  /// Locates an occupied cell without boxing: on success sets `chunk` and
+  /// the cell's local offset and returns true. False when out of bounds or
+  /// the cell is empty. The fast path for neighborhood operators.
+  bool FindCell(const std::vector<int64_t>& coords, const ArrayChunk** chunk,
+                int64_t* offset) const;
+
+  /// Attribute payload of an occupied cell; errors when out of bounds or
+  /// the cell is empty.
+  Result<std::vector<Value>> Get(const std::vector<int64_t>& coords) const;
+
+  /// Chunks in deterministic (grid row-major) order.
+  std::vector<const ArrayChunk*> chunks() const;
+
+  /// The chunk at a grid position, or null when absent/out of range.
+  const ArrayChunk* FindChunk(const std::vector<int64_t>& grid) const;
+  std::vector<ArrayChunk*> mutable_chunks();
+
+  /// The chunk containing `coords`, created on demand, plus the cell's local
+  /// offset within it. Errors when out of bounds.
+  Result<ArrayChunk*> ChunkFor(const std::vector<int64_t>& coords, int64_t* local_offset);
+
+  /// Inserts a fully-formed chunk at its grid position, replacing any
+  /// existing chunk there. The chunk's grid/lo/extent must agree with this
+  /// array's geometry (checked); attribute columns must match the attribute
+  /// schema in count and length. Engine-level bulk-construction path.
+  Status PutChunk(ArrayChunk chunk);
+
+  /// Calls `fn(global_coords, attr_values)` for every occupied cell in
+  /// deterministic order.
+  void ForEachCell(
+      const std::function<void(const std::vector<int64_t>&, std::vector<Value>)>& fn) const;
+
+  /// Flattens into a table: dimension columns (tagged) then attributes, one
+  /// row per occupied cell, deterministic order.
+  Result<TablePtr> ToTable() const;
+
+  /// Reboxes a table into an array. `dim_names` selects the coordinate
+  /// columns (must be int64, non-null); bounds are inferred from the data
+  /// unless `dims` overrides them. Duplicate coordinates error.
+  static Result<std::shared_ptr<NDArray>> FromTable(
+      const Table& table, const std::vector<std::string>& dim_names,
+      const std::vector<int64_t>& chunk_sizes);
+
+  int64_t ByteSize() const;
+  bool Equals(const NDArray& other) const;
+  std::string ToString() const;
+
+ private:
+  NDArray(std::vector<DimensionSpec> dims, SchemaPtr attr_schema);
+
+  /// Linearized grid index of a chunk-grid coordinate.
+  int64_t GridKey(const std::vector<int64_t>& grid) const;
+  Status CheckBounds(const std::vector<int64_t>& coords) const;
+
+  std::vector<DimensionSpec> dims_;
+  std::vector<int64_t> grid_extent_;  // chunks per dimension
+  SchemaPtr attr_schema_;
+  std::map<int64_t, ArrayChunk> chunks_;  // ordered => deterministic iteration
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_NDARRAY_H_

@@ -1,0 +1,82 @@
+#include "types/schema.h"
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+std::string Field::ToString() const {
+  return StrCat(name, ":", DataTypeName(type), is_dimension ? "*" : "");
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+Result<SchemaPtr> Schema::Make(std::vector<Field> fields) {
+  std::unordered_map<std::string, int> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema field with empty name");
+    }
+    if (!seen.emplace(f.name, 0).second) {
+      return Status::InvalidArgument(StrCat("duplicate field name: ", f.name));
+    }
+    if (f.is_dimension && f.type != DataType::kInt64) {
+      return Status::InvalidArgument(
+          StrCat("dimension field ", f.name, " must be int64, got ",
+                 DataTypeName(f.type)));
+    }
+  }
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+int Schema::FindField(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::FindFieldOrError(const std::string& name) const {
+  int i = FindField(name);
+  if (i < 0) {
+    return Status::NotFound(
+        StrCat("no field named '", name, "' in schema ", ToString()));
+  }
+  return i;
+}
+
+std::vector<int> Schema::DimensionIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[static_cast<size_t>(i)].is_dimension) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Schema::AttributeIndices() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_fields(); ++i) {
+    if (!fields_[static_cast<size_t>(i)].is_dimension) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  return fields_ == other.fields_;
+}
+
+SchemaPtr Schema::WithoutDimensions() const {
+  std::vector<Field> fields = fields_;
+  for (Field& f : fields) f.is_dimension = false;
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) parts.push_back(f.ToString());
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+}  // namespace nexus

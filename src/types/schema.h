@@ -1,0 +1,86 @@
+// Schema with dimension-tagged fields — the heart of the fused
+// tabular/array data model: "0 or more attributes in a table structure being
+// tagged as dimensions, and operators being dimension-aware" (Maier, CIDR'15).
+#ifndef NEXUS_TYPES_SCHEMA_H_
+#define NEXUS_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/datatype.h"
+
+namespace nexus {
+
+/// One attribute of a collection. When `is_dimension` is true the attribute
+/// participates in the array coordinate system: it must be int64-typed and
+/// non-null, and dimension-aware operators (slice, regrid, shift, matmul)
+/// key off it.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool is_dimension = false;
+
+  /// Convenience factory for a plain attribute.
+  static Field Attr(std::string name, DataType type) {
+    return Field{std::move(name), type, false};
+  }
+  /// Convenience factory for a dimension (always int64).
+  static Field Dim(std::string name) {
+    return Field{std::move(name), DataType::kInt64, true};
+  }
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           is_dimension == other.is_dimension;
+  }
+
+  std::string ToString() const;
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable ordered field list with by-name lookup.
+class Schema {
+ public:
+  explicit Schema(std::vector<Field> fields);
+
+  /// Validates (distinct names; dimensions are int64) and wraps in a
+  /// shared_ptr. The usual way to build a schema.
+  static Result<SchemaPtr> Make(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1.
+  int FindField(const std::string& name) const;
+
+  /// Like FindField but errors with a helpful message.
+  Result<int> FindFieldOrError(const std::string& name) const;
+
+  /// Indices of dimension fields, in schema order.
+  std::vector<int> DimensionIndices() const;
+  /// Indices of non-dimension (attribute) fields, in schema order.
+  std::vector<int> AttributeIndices() const;
+  int num_dimensions() const { return static_cast<int>(DimensionIndices().size()); }
+
+  bool Equals(const Schema& other) const;
+
+  /// Schema with the same fields, none tagged as a dimension.
+  SchemaPtr WithoutDimensions() const;
+
+  /// Renders as "{d i:int64*, v:float64}" where '*' marks dimensions.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_SCHEMA_H_

@@ -1,0 +1,169 @@
+#include "types/table.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+Result<TablePtr> Table::Make(SchemaPtr schema, std::vector<Column> columns) {
+  if (schema == nullptr) return Status::InvalidArgument("Table::Make: null schema");
+  if (static_cast<int>(columns.size()) != schema->num_fields()) {
+    return Status::InvalidArgument(
+        StrCat("Table::Make: ", columns.size(), " columns for schema ",
+               schema->ToString()));
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0].size();
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    const Column& c = columns[static_cast<size_t>(i)];
+    if (c.type() != schema->field(i).type) {
+      return Status::TypeError(
+          StrCat("Table::Make: column ", i, " has type ", DataTypeName(c.type()),
+                 ", schema expects ", DataTypeName(schema->field(i).type)));
+    }
+    if (c.size() != rows) {
+      return Status::InvalidArgument(
+          StrCat("Table::Make: column ", i, " length ", c.size(),
+                 " != ", rows));
+    }
+  }
+  return TablePtr(new Table(std::move(schema), std::move(columns), rows));
+}
+
+TablePtr Table::Empty(SchemaPtr schema) {
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(schema->num_fields()));
+  for (const Field& f : schema->fields()) cols.emplace_back(f.type);
+  return TablePtr(new Table(std::move(schema), std::move(cols), 0));
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  NEXUS_ASSIGN_OR_RETURN(int i, schema_->FindFieldOrError(name));
+  return &columns_[static_cast<size_t>(i)];
+}
+
+std::vector<Value> Table::Row(int64_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.GetValue(row));
+  return out;
+}
+
+TablePtr Table::Slice(int64_t offset, int64_t length) const {
+  offset = std::clamp<int64_t>(offset, 0, num_rows_);
+  length = std::clamp<int64_t>(length, 0, num_rows_ - offset);
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) cols.push_back(c.Slice(offset, length));
+  return TablePtr(new Table(schema_, std::move(cols), length));
+}
+
+TablePtr Table::TakeRows(const std::vector<int64_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) cols.push_back(c.Take(indices));
+  return TablePtr(
+      new Table(schema_, std::move(cols), static_cast<int64_t>(indices.size())));
+}
+
+int64_t Table::ByteSize() const {
+  int64_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.ByteSize();
+  return bytes;
+}
+
+bool Table::Equals(const Table& other) const {
+  if (!schema_->Equals(*other.schema_) || num_rows_ != other.num_rows_) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+std::string RowKey(const Table& t, int64_t row) {
+  std::string key;
+  for (int c = 0; c < t.num_columns(); ++c) {
+    key += t.At(row, c).ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+}  // namespace
+
+bool Table::EqualsUnordered(const Table& other) const {
+  if (!schema_->Equals(*other.schema_) || num_rows_ != other.num_rows_) {
+    return false;
+  }
+  std::map<std::string, int64_t> counts;
+  for (int64_t r = 0; r < num_rows_; ++r) counts[RowKey(*this, r)]++;
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    auto it = counts.find(RowKey(other, r));
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::string out = schema_->ToString();
+  out += StrCat("  [", num_rows_, " rows]\n");
+  int64_t shown = std::min(max_rows, num_rows_);
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (const Column& c : columns_) cells.push_back(c.GetValue(r).ToString());
+    out += "  ";
+    out += Join(cells, " | ");
+    out += "\n";
+  }
+  if (shown < num_rows_) out += StrCat("  ... ", num_rows_ - shown, " more\n");
+  return out;
+}
+
+TableBuilder::TableBuilder(SchemaPtr schema) : schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_->num_fields()));
+  for (const Field& f : schema_->fields()) columns_.emplace_back(f.type);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != schema_->num_fields()) {
+    return Status::InvalidArgument(
+        StrCat("AppendRow: ", values.size(), " values for ",
+               schema_->num_fields(), " fields"));
+  }
+  // Validate the whole row first so a mid-row type error cannot leave the
+  // builder with ragged columns.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    DataType want = schema_->field(static_cast<int>(i)).type;
+    bool ok = v.type() == want ||
+              (want == DataType::kFloat64 && v.is_numeric());
+    if (!ok) {
+      return Status::TypeError(
+          StrCat("AppendRow: field ", schema_->field(static_cast<int>(i)).name,
+                 " expects ", DataTypeName(want), ", got ", v.ToString()));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    NEXUS_RETURN_NOT_OK(columns_[i].Append(values[i]));
+  }
+  return Status::OK();
+}
+
+void TableBuilder::Reserve(int64_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+Result<TablePtr> TableBuilder::Finish() {
+  std::vector<Column> cols;
+  cols.swap(columns_);
+  for (const Field& f : schema_->fields()) columns_.emplace_back(f.type);
+  return Table::Make(schema_, std::move(cols));
+}
+
+}  // namespace nexus

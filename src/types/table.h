@@ -1,0 +1,103 @@
+// Table: the client-side collection type of the framework. Columnar,
+// immutable once built; schemas may tag fields as dimensions (see schema.h).
+//
+// Per the paper's LINQ property, "the result of a query is a collection in
+// the client environment" — Table is that collection.
+#ifndef NEXUS_TYPES_TABLE_H_
+#define NEXUS_TYPES_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/column.h"
+#include "types/schema.h"
+
+namespace nexus {
+
+class Table;
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Columnar table: one Column per schema field, all equal length.
+class Table {
+ public:
+  /// Validates column count/types/lengths against the schema.
+  static Result<TablePtr> Make(SchemaPtr schema, std::vector<Column> columns);
+
+  /// An empty table of the given schema.
+  static TablePtr Empty(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Column by name; errors when absent.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Boxed cell access.
+  Value At(int64_t row, int col) const { return column(col).GetValue(row); }
+
+  /// One row as boxed values.
+  std::vector<Value> Row(int64_t row) const;
+
+  /// Rows [offset, offset+length) as a new table.
+  TablePtr Slice(int64_t offset, int64_t length) const;
+
+  /// Rows gathered by `indices` as a new table.
+  TablePtr TakeRows(const std::vector<int64_t>& indices) const;
+
+  /// Approximate footprint in bytes (used by the transfer meter).
+  int64_t ByteSize() const;
+
+  /// Value-wise equality (schema + all cells, order-sensitive).
+  bool Equals(const Table& other) const;
+
+  /// Order-insensitive equality (multiset of rows) — handy in tests where
+  /// providers legitimately differ in output order.
+  bool EqualsUnordered(const Table& other) const;
+
+  /// Pretty-prints up to `max_rows` rows with a header line.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Table(SchemaPtr schema, std::vector<Column> columns, int64_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  SchemaPtr schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+/// Row-at-a-time builder used by tests, examples, and workload generators.
+class TableBuilder {
+ public:
+  explicit TableBuilder(SchemaPtr schema);
+
+  /// Appends one row; value count must equal the field count, and each value
+  /// must be appendable to its column (numeric coercion allowed).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Typed column access for bulk generation (column i of the schema).
+  Column* mutable_column(int i) { return &columns_[static_cast<size_t>(i)]; }
+
+  void Reserve(int64_t n);
+
+  int64_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Finishes into an immutable table; the builder is left empty.
+  Result<TablePtr> Finish();
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_TABLE_H_

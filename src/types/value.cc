@@ -1,0 +1,115 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace nexus {
+
+DataType Value::type() const {
+  if (is_bool()) return DataType::kBool;
+  if (is_int64()) return DataType::kInt64;
+  if (is_float64()) return DataType::kFloat64;
+  return DataType::kString;
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (!is_null() && type() == target) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (is_int64()) return Value::Bool(AsInt64() != 0);
+      if (is_float64()) return Value::Bool(AsFloat64() != 0.0);
+      if (is_string()) {
+        if (AsString() == "true") return Value::Bool(true);
+        if (AsString() == "false") return Value::Bool(false);
+      }
+      break;
+    case DataType::kInt64:
+      if (is_bool()) return Value::Int64(AsBool() ? 1 : 0);
+      if (is_float64()) return Value::Int64(static_cast<int64_t>(AsFloat64()));
+      if (is_string()) {
+        char* end = nullptr;
+        const std::string& s = AsString();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end && *end == '\0' && !s.empty()) return Value::Int64(v);
+      }
+      break;
+    case DataType::kFloat64:
+      if (is_bool()) return Value::Float64(AsBool() ? 1.0 : 0.0);
+      if (is_int64()) return Value::Float64(static_cast<double>(AsInt64()));
+      if (is_string()) {
+        char* end = nullptr;
+        const std::string& s = AsString();
+        double v = std::strtod(s.c_str(), &end);
+        if (end && *end == '\0' && !s.empty()) return Value::Float64(v);
+      }
+      break;
+    case DataType::kString:
+      if (is_bool()) return Value::String(AsBool() ? "true" : "false");
+      if (is_int64()) return Value::String(StrCat(AsInt64()));
+      if (is_float64()) return Value::String(FormatDouble(AsFloat64()));
+      break;
+  }
+  return Status::TypeError(
+      StrCat("cannot cast ", ToString(), " to ", DataTypeName(target)));
+}
+
+namespace {
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;  // string
+}
+template <typename T>
+int Cmp(T a, T b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(*this), rb = TypeRank(other);
+  if (ra != rb) return Cmp(ra, rb);
+  switch (ra) {
+    case 0:
+      return 0;  // both null
+    case 1:
+      return Cmp<int>(AsBool(), other.AsBool());
+    case 2:
+      if (is_int64() && other.is_int64()) return Cmp(AsInt64(), other.AsInt64());
+      return Cmp(AsDouble(), other.AsDouble());
+    default:
+      return Cmp<int>(AsString().compare(other.AsString()), 0);
+  }
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x6E756C6CULL;
+  if (is_bool()) return AsBool() ? 0x74727565ULL : 0x66616C73ULL;
+  if (is_numeric()) {
+    // Hash numerically so Int64(3) and Float64(3.0) collide, matching ==.
+    double d = AsDouble();
+    if (is_int64() || d == std::floor(d)) {
+      // Integral value: hash the integer bits.
+      return HashInt64(static_cast<uint64_t>(
+          is_int64() ? AsInt64() : static_cast<int64_t>(d)));
+    }
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return HashInt64(bits);
+  }
+  return HashString(AsString());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_int64()) return StrCat(AsInt64());
+  if (is_float64()) return FormatDouble(AsFloat64());
+  return StrCat("\"", EscapeString(AsString()), "\"");
+}
+
+}  // namespace nexus

@@ -1,0 +1,83 @@
+// Value: a dynamically typed scalar (possibly null) used at API boundaries,
+// in literals, and in row-at-a-time evaluation. Bulk execution paths use
+// typed Column buffers instead (column.h).
+#ifndef NEXUS_TYPES_VALUE_H_
+#define NEXUS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "types/datatype.h"
+
+namespace nexus {
+
+/// A null-able scalar of one of the DataType kinds.
+///
+/// Ordering: SQL-unlike but convenient for deterministic sorts — null sorts
+/// first, then by type lattice, then by value; int64/float64 compare
+/// numerically across kinds.
+class Value {
+ public:
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Float64(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_float64() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int64() || is_float64(); }
+
+  /// The DataType of a non-null value. Precondition: !is_null().
+  DataType type() const;
+
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsFloat64() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric value widened to double. Precondition: is_numeric().
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(AsInt64()) : AsFloat64();
+  }
+
+  /// Lossless-where-possible coercion to the target type. Errors on
+  /// incompatible kinds (e.g. string → int64 is parsed, "abc" fails).
+  Result<Value> CastTo(DataType target) const;
+
+  /// Total order described in the class comment. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric kinds hash by double value).
+  uint64_t Hash() const;
+
+  /// Render for display and for the s-expression wire format
+  /// ("null", "true", "42", "1.5", "\"abc\"").
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+  Repr repr_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace nexus
+
+#endif  // NEXUS_TYPES_VALUE_H_

@@ -1,0 +1,248 @@
+// Tests for the chunk-native array engine, including differential tests
+// against the reference executor's table-based array operators.
+#include <gtest/gtest.h>
+
+#include "arraydb/engine.h"
+#include "common/random.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+
+// A 2-d ramp array: v(i, j) = 10 * i + j over [0, rows) x [0, cols).
+NDArrayPtr Ramp(int64_t rows, int64_t cols, int64_t chunk) {
+  auto arr = NDArray::Make({DimensionSpec{"i", 0, rows, chunk},
+                            DimensionSpec{"j", 0, cols, chunk}},
+                           Schema::Make({Field::Attr("v", DataType::kFloat64)})
+                               .ValueOrDie())
+                 .ValueOrDie();
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      EXPECT_OK(arr->Set({i, j}, {F(static_cast<double>(10 * i + j))}));
+    }
+  }
+  return arr;
+}
+
+TEST(ArraySliceTest, PrunesAndClips) {
+  NDArrayPtr arr = Ramp(8, 8, 3);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Slice(*arr, {{"i", 2, 5}, {"j", 0, 2}}));
+  EXPECT_EQ(out->NumCellsOccupied(), 6);
+  EXPECT_EQ(out->dim(0).start, 2);
+  EXPECT_EQ(out->dim(0).length, 3);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({4, 1}));
+  EXPECT_EQ(v[0], F(41.0));
+  EXPECT_FALSE(out->Has({1, 1}));
+}
+
+TEST(ArraySliceTest, EmptyIntersection) {
+  NDArrayPtr arr = Ramp(4, 4, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out, arraydb::Slice(*arr, {{"i", 100, 200}}));
+  EXPECT_EQ(out->NumCellsOccupied(), 0);
+}
+
+TEST(ArraySliceTest, UnknownDimErrors) {
+  NDArrayPtr arr = Ramp(4, 4, 2);
+  EXPECT_FALSE(arraydb::Slice(*arr, {{"zz", 0, 2}}).ok());
+}
+
+TEST(ArrayShiftTest, MetadataOnlyTranslation) {
+  NDArrayPtr arr = Ramp(4, 4, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Shift(*arr, {{"i", 100}, {"j", -2}}));
+  EXPECT_EQ(out->NumCellsOccupied(), 16);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({103, -1}));
+  EXPECT_EQ(v[0], F(31.0));  // was (3, 1)
+  EXPECT_FALSE(out->Has({0, 0}));
+}
+
+TEST(ArrayApplyTest, ComputesPerCellWithDims) {
+  NDArrayPtr arr = Ramp(3, 3, 2);
+  ASSERT_OK_AND_ASSIGN(
+      NDArrayPtr out,
+      arraydb::Apply(*arr, {{"iv", Add(Mul(Col("i"), Lit(100)), Col("j"))},
+                            {"double_v", Mul(Col("v"), Lit(2.0))}}));
+  EXPECT_EQ(out->attr_schema()->num_fields(), 3);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({2, 1}));
+  EXPECT_EQ(v[0], F(21.0));
+  EXPECT_EQ(v[1], I(201));
+  EXPECT_EQ(v[2], F(42.0));
+}
+
+TEST(ArrayApplyTest, LaterDefsSeeEarlierOnes) {
+  NDArrayPtr arr = Ramp(2, 2, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Apply(*arr, {{"a", Add(Col("v"), Lit(1.0))},
+                                             {"b", Mul(Col("a"), Lit(3.0))}}));
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({1, 1}));
+  EXPECT_EQ(v[2], F(36.0));  // (11 + 1) * 3
+}
+
+TEST(ArrayFilterTest, KeepsMatchingCells) {
+  NDArrayPtr arr = Ramp(4, 4, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::FilterCells(*arr, *Gt(Col("v"), Lit(25.0))));
+  // v = 10 i + j over a 4x4 grid; v > 25 holds exactly for row i = 3
+  // (values 30..33).
+  EXPECT_EQ(out->NumCellsOccupied(), 4);
+  EXPECT_TRUE(out->Has({3, 0}));
+  EXPECT_FALSE(out->Has({2, 3}));
+}
+
+TEST(ArrayProjectTest, DropsAttributes) {
+  NDArrayPtr arr = Ramp(2, 2, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr applied,
+                       arraydb::Apply(*arr, {{"w", Mul(Col("v"), Lit(2.0))}}));
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out, arraydb::ProjectAttrs(*applied, {"w"}));
+  EXPECT_EQ(out->attr_schema()->num_fields(), 1);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({1, 0}));
+  EXPECT_EQ(v[0], F(20.0));
+}
+
+TEST(ArrayRegridTest, BlockAverage) {
+  NDArrayPtr arr = Ramp(4, 4, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Regrid(*arr, {{"i", 2}, {"j", 2}}, AggFunc::kAvg));
+  EXPECT_EQ(out->NumCellsOccupied(), 4);
+  // Block (0,0): cells v = 0, 1, 10, 11 → mean 5.5.
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({0, 0}));
+  EXPECT_EQ(v[0], F(5.5));
+  ASSERT_OK_AND_ASSIGN(auto v2, out->Get({1, 1}));
+  EXPECT_EQ(v2[0], F(27.5));  // 22, 23, 32, 33
+}
+
+TEST(ArrayRegridTest, PartialFactorsAndCount) {
+  NDArrayPtr arr = Ramp(4, 2, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Regrid(*arr, {{"i", 4}}, AggFunc::kCount));
+  // i collapses 4→1, j untouched: 2 output cells, each counting 4.
+  EXPECT_EQ(out->NumCellsOccupied(), 2);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({0, 1}));
+  EXPECT_EQ(v[0], I(4));
+}
+
+TEST(ArrayWindowTest, NeighborhoodAverage) {
+  NDArrayPtr arr = Ramp(3, 3, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::Window(*arr, {{"i", 1}, {"j", 1}}, AggFunc::kAvg));
+  EXPECT_EQ(out->NumCellsOccupied(), 9);
+  // Center cell (1,1) sees all 9 cells: mean of {0,1,2,10,11,12,20,21,22} = 11.
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({1, 1}));
+  EXPECT_EQ(v[0], F(11.0));
+  // Corner (0,0) sees {0,1,10,11} = 5.5.
+  ASSERT_OK_AND_ASSIGN(auto v2, out->Get({0, 0}));
+  EXPECT_EQ(v2[0], F(5.5));
+}
+
+TEST(ArrayTransposeTest, PermutesCoordinates) {
+  NDArrayPtr arr = Ramp(2, 3, 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out, arraydb::Transpose(*arr, {"j", "i"}));
+  EXPECT_EQ(out->dim(0).name, "j");
+  EXPECT_EQ(out->dim(0).length, 3);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({2, 1}));
+  EXPECT_EQ(v[0], F(12.0));  // was (1, 2)
+  EXPECT_FALSE(arraydb::Transpose(*arr, {"i"}).ok());
+  EXPECT_FALSE(arraydb::Transpose(*arr, {"i", "i"}).ok());
+}
+
+TEST(ArrayElemWiseTest, IntersectionSemantics) {
+  NDArrayPtr a = Ramp(2, 2, 2);
+  auto b = NDArray::Make({DimensionSpec{"i", 0, 2, 2}, DimensionSpec{"j", 0, 2, 2}},
+                         Schema::Make({Field::Attr("w", DataType::kFloat64)})
+                             .ValueOrDie())
+               .ValueOrDie();
+  EXPECT_OK(b->Set({0, 0}, {F(2.0)}));
+  EXPECT_OK(b->Set({1, 1}, {F(4.0)}));
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr out,
+                       arraydb::ElemWise(*a, *NDArrayPtr(b), BinaryOp::kMul));
+  EXPECT_EQ(out->NumCellsOccupied(), 2);
+  ASSERT_OK_AND_ASSIGN(auto v, out->Get({1, 1}));
+  EXPECT_EQ(v[0], F(44.0));
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr div,
+                       arraydb::ElemWise(*a, *NDArrayPtr(b), BinaryOp::kDiv));
+  ASSERT_OK_AND_ASSIGN(auto dv, div->Get({1, 1}));
+  EXPECT_EQ(dv[0], F(2.75));
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: the chunk-native engine must agree with the reference
+// executor evaluating the same algebra operator on the tabular view.
+// ---------------------------------------------------------------------------
+
+class ArrayDifferentialTest : public ::testing::TestWithParam<int> {};
+
+NDArrayPtr RandomSparseArray(Rng* rng, int64_t extent, int64_t chunk,
+                             double density) {
+  auto arr = NDArray::Make({DimensionSpec{"i", -extent / 2, extent, chunk},
+                            DimensionSpec{"j", 0, extent, chunk}},
+                           Schema::Make({Field::Attr("v", DataType::kFloat64)})
+                               .ValueOrDie())
+                 .ValueOrDie();
+  for (int64_t i = -extent / 2; i < extent / 2; ++i) {
+    for (int64_t j = 0; j < extent; ++j) {
+      if (rng->NextBool(density)) {
+        // Integer-valued doubles keep float sums order-independent, so the
+        // differential comparison can be exact.
+        EXPECT_OK(arr->Set({i, j}, {F(static_cast<double>(rng->NextInt(-10, 10)))}));
+      }
+    }
+  }
+  return arr;
+}
+
+TEST_P(ArrayDifferentialTest, AgreesWithReferenceExecutor) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2971 + 1);
+  NDArrayPtr arr = RandomSparseArray(&rng, 16, 5, 0.4);
+  InMemoryCatalog catalog;
+  ASSERT_OK(catalog.Put("A", Dataset(arr)));
+  ReferenceExecutor ref(&catalog);
+
+  auto check = [&](const PlanPtr& plan, const NDArrayPtr& engine_result) {
+    ASSERT_OK_AND_ASSIGN(Dataset want, ref.Execute(*plan));
+    EXPECT_TRUE(Dataset(engine_result).LogicallyEquals(want)) << plan->ToString();
+  };
+
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr sliced,
+                       arraydb::Slice(*arr, {{"i", -3, 5}, {"j", 2, 11}}));
+  check(Plan::Slice(Plan::Scan("A"), {{"i", -3, 5}, {"j", 2, 11}}), sliced);
+
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr shifted, arraydb::Shift(*arr, {{"i", 7}}));
+  check(Plan::Shift(Plan::Scan("A"), {{"i", 7}}), shifted);
+
+  ASSERT_OK_AND_ASSIGN(
+      NDArrayPtr applied,
+      arraydb::Apply(*arr, {{"w", Add(Mul(Col("v"), Lit(2.0)), Col("i"))}}));
+  check(Plan::Extend(Plan::Scan("A"), {{"w", Add(Mul(Col("v"), Lit(2.0)), Col("i"))}}),
+        applied);
+
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr filtered,
+                       arraydb::FilterCells(*arr, *Gt(Col("v"), Lit(0.0))));
+  check(Plan::Select(Plan::Scan("A"), Gt(Col("v"), Lit(0.0))), filtered);
+
+  for (AggFunc func : {AggFunc::kSum, AggFunc::kMin, AggFunc::kMax, AggFunc::kCount}) {
+    ASSERT_OK_AND_ASSIGN(NDArrayPtr regridded,
+                         arraydb::Regrid(*arr, {{"i", 3}, {"j", 4}}, func));
+    check(Plan::Regrid(Plan::Scan("A"), {{"i", 3}, {"j", 4}}, func), regridded);
+  }
+
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr windowed,
+                       arraydb::Window(*arr, {{"i", 1}, {"j", 1}}, AggFunc::kMax));
+  check(Plan::Window(Plan::Scan("A"), {{"i", 1}, {"j", 1}}, AggFunc::kMax), windowed);
+
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr transposed, arraydb::Transpose(*arr, {"j", "i"}));
+  check(Plan::Transpose(Plan::Scan("A"), {"j", "i"}), transposed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrayDifferentialTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace nexus

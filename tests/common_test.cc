@@ -1,0 +1,215 @@
+// Unit tests for src/common: Status/Result, string utils, RNG, hashing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("x").WithContext("loading y");
+  EXPECT_EQ(s.ToString(), "Not found: loading y: x");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 12; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status a = Status::TypeError("t");
+  Status b = a;
+  EXPECT_TRUE(b.IsTypeError());
+  EXPECT_EQ(b.message(), "t");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  NEXUS_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 3);
+  EXPECT_EQ(*ok, 3);
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.ValueOr(42), 42);
+  EXPECT_EQ(ok.ValueOr(42), 3);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(5).ValueOrDie(), 10);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = r.MoveValue();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtilTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StrUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("prefix_x", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+}
+
+TEST(StrUtilTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("AbC9"), "abc9");
+}
+
+TEST(StrUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+  EXPECT_EQ(FormatDouble(-2.0), "-2");
+}
+
+TEST(StrUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(StrUtilTest, EscapeString) {
+  EXPECT_EQ(EscapeString("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, StringHasRequestedLength) {
+  Rng rng(1);
+  EXPECT_EQ(rng.NextString(12).size(), 12u);
+  for (char c : rng.NextString(100)) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  std::vector<int64_t> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Head items should dominate the tail under theta ~= 1.
+  int64_t head = counts[0] + counts[1] + counts[2];
+  int64_t tail = counts[997] + counts[998] + counts[999];
+  EXPECT_GT(head, 10 * std::max<int64_t>(tail, 1));
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 5);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next()]++;
+  for (int64_t c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(HashTest, IntHashAvalanches) {
+  EXPECT_NE(HashInt64(1), HashInt64(2));
+  // fmix64 fixes 0; any nonzero input must move far from itself.
+  EXPECT_EQ(HashInt64(0), 0u);
+  EXPECT_NE(HashInt64(1), 1u);
+}
+
+TEST(HashTest, StringHashDiffers) {
+  EXPECT_NE(HashString("a"), HashString("b"));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashInt64(1), HashInt64(2)),
+            HashCombine(HashInt64(2), HashInt64(1)));
+}
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,129 @@
+// Tests for CSV import/export: dialect handling, type inference, explicit
+// schemas, and write/read round trips.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "types/csv.h"
+
+namespace nexus {
+namespace {
+
+using testing::B;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TEST(CsvReadTest, InfersTypes) {
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("id,score,name,ok\n"
+                                           "1,2.5,ann,true\n"
+                                           "2,3,bob,false\n"));
+  EXPECT_EQ(t->schema()->ToString(),
+            "{id:int64, score:float64, name:string, ok:bool}");
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->At(0, 0), I(1));
+  EXPECT_EQ(t->At(0, 1), F(2.5));
+  EXPECT_EQ(t->At(1, 2), S("bob"));
+  EXPECT_EQ(t->At(1, 3), B(false));
+}
+
+TEST(CsvReadTest, WidensMixedColumns) {
+  // int then float → float; number then word → string; bool+int → string.
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("a,b,c\n1,7,true\n2.5,x,1\n"));
+  EXPECT_EQ(t->schema()->field(0).type, DataType::kFloat64);
+  EXPECT_EQ(t->schema()->field(1).type, DataType::kString);
+  EXPECT_EQ(t->schema()->field(2).type, DataType::kString);
+  EXPECT_EQ(t->At(0, 1), S("7"));
+}
+
+TEST(CsvReadTest, EmptyFieldsAreNull) {
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("a,b\n1,\n,2\n"));
+  EXPECT_TRUE(t->At(0, 1).is_null());
+  EXPECT_TRUE(t->At(1, 0).is_null());
+  EXPECT_EQ(t->At(1, 1), I(2));
+}
+
+TEST(CsvReadTest, CustomNullToken) {
+  CsvReadOptions opts;
+  opts.null_token = "NA";
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("a\n1\nNA\n3\n", opts));
+  EXPECT_TRUE(t->At(1, 0).is_null());
+  EXPECT_EQ(t->column(0).type(), DataType::kInt64);
+}
+
+TEST(CsvReadTest, QuotingAndEscapes) {
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       ReadCsv("name,note\n"
+                               "\"smith, ann\",\"said \"\"hi\"\"\"\n"
+                               "bob,\"line1\nline2\"\n"));
+  EXPECT_EQ(t->At(0, 0), S("smith, ann"));
+  EXPECT_EQ(t->At(0, 1), S("said \"hi\""));
+  EXPECT_EQ(t->At(1, 1), S("line1\nline2"));
+}
+
+TEST(CsvReadTest, ExplicitSchemaCoerces) {
+  CsvReadOptions opts;
+  opts.schema = MakeSchema({Field::Attr("a", DataType::kFloat64),
+                            Field::Attr("b", DataType::kString)});
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("a,b\n1,2\n", opts));
+  EXPECT_EQ(t->At(0, 0), F(1.0));
+  EXPECT_EQ(t->At(0, 1), S("2"));
+  // Header/field mismatches are rejected.
+  EXPECT_FALSE(ReadCsv("x,b\n1,2\n", opts).ok());
+  EXPECT_FALSE(ReadCsv("a\n1\n", opts).ok());
+}
+
+TEST(CsvReadTest, Errors) {
+  EXPECT_FALSE(ReadCsv("").ok());
+  EXPECT_FALSE(ReadCsv("a,b\n1\n").ok());       // ragged row
+  EXPECT_FALSE(ReadCsv("a\n\"oops\n").ok());    // unterminated quote
+  CsvReadOptions opts;
+  opts.schema = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  EXPECT_FALSE(ReadCsv("a\nxyz\n", opts).ok());  // unparsable under schema
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions opts;
+  opts.delimiter = ';';
+  ASSERT_OK_AND_ASSIGN(TablePtr t, ReadCsv("a;b\n1;2\n", opts));
+  EXPECT_EQ(t->num_columns(), 2);
+  EXPECT_EQ(t->At(0, 1), I(2));
+}
+
+TEST(CsvWriteTest, RoundTripsAllTypes) {
+  SchemaPtr s = MakeSchema({Field::Attr("i", DataType::kInt64),
+                            Field::Attr("f", DataType::kFloat64),
+                            Field::Attr("s", DataType::kString),
+                            Field::Attr("b", DataType::kBool)});
+  TablePtr t = MakeTable(s, {{I(1), F(0.125), S("plain"), B(true)},
+                             {I(-7), F(1e-9), S("with,comma"), B(false)},
+                             {N(), N(), S("q\"uote"), N()}});
+  std::string csv = WriteCsv(*t);
+  CsvReadOptions opts;
+  opts.schema = s;
+  ASSERT_OK_AND_ASSIGN(TablePtr back, ReadCsv(csv, opts));
+  EXPECT_TRUE(back->Equals(*t)) << csv;
+}
+
+TEST(CsvWriteTest, FloatPrecisionSurvives) {
+  SchemaPtr s = MakeSchema({Field::Attr("f", DataType::kFloat64)});
+  double tricky = 0.1 + 0.2;
+  TablePtr t = MakeTable(s, {{F(tricky)}});
+  CsvReadOptions opts;
+  opts.schema = s;
+  ASSERT_OK_AND_ASSIGN(TablePtr back, ReadCsv(WriteCsv(*t), opts));
+  EXPECT_EQ(back->At(0, 0).AsFloat64(), tricky);
+}
+
+TEST(CsvWriteTest, NullTokenUsed) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  TablePtr t = MakeTable(s, {{N()}});
+  CsvWriteOptions w;
+  w.null_token = "NA";
+  EXPECT_EQ(WriteCsv(*t, w), "a\nNA\n");
+}
+
+}  // namespace
+}  // namespace nexus

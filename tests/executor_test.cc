@@ -1,0 +1,475 @@
+// Semantics tests for the reference executor: every operator of the Big
+// Data Algebra exercised against hand-computed expectations.
+#include <gtest/gtest.h>
+
+#include "core/schema_inference.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::B;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaPtr emp = MakeSchema({Field::Attr("id", DataType::kInt64),
+                                Field::Attr("name", DataType::kString),
+                                Field::Attr("dept", DataType::kInt64),
+                                Field::Attr("salary", DataType::kFloat64)});
+    ASSERT_OK(catalog_.Put(
+        "emp", Dataset(MakeTable(emp, {{I(1), S("ann"), I(10), F(90.0)},
+                                       {I(2), S("bob"), I(10), F(70.0)},
+                                       {I(3), S("cat"), I(20), F(80.0)},
+                                       {I(4), S("dan"), I(30), F(60.0)},
+                                       {I(5), S("eve"), N(), F(75.0)}}))));
+    SchemaPtr dept = MakeSchema({Field::Attr("did", DataType::kInt64),
+                                 Field::Attr("dname", DataType::kString)});
+    ASSERT_OK(catalog_.Put(
+        "dept", Dataset(MakeTable(dept, {{I(10), S("eng")},
+                                         {I(20), S("ops")},
+                                         {I(40), S("hr")}}))));
+    SchemaPtr grid = MakeSchema({Field::Dim("i"), Field::Dim("j"),
+                                 Field::Attr("v", DataType::kFloat64)});
+    ASSERT_OK(catalog_.Put(
+        "grid", Dataset(MakeTable(grid, {{I(0), I(0), F(1.0)},
+                                         {I(0), I(1), F(2.0)},
+                                         {I(1), I(0), F(3.0)},
+                                         {I(1), I(1), F(4.0)},
+                                         {I(2), I(2), F(5.0)},
+                                         {I(3), I(3), F(6.0)}}))));
+  }
+
+  TablePtr Run(const PlanPtr& plan) {
+    // Every plan must type-check before execution.
+    auto schema = InferSchema(*plan, catalog_);
+    EXPECT_TRUE(schema.ok()) << schema.status() << "\n" << plan->ToString();
+    ReferenceExecutor exec(&catalog_);
+    auto result = exec.Execute(*plan);
+    EXPECT_TRUE(result.ok()) << result.status() << "\n" << plan->ToString();
+    auto table = result.ValueOrDie().AsTable();
+    EXPECT_TRUE(table.ok()) << table.status();
+    // The runtime schema must match the inferred schema (soundness).
+    EXPECT_TRUE(table.ValueOrDie()->schema()->Equals(*schema.ValueOrDie()))
+        << "inferred " << schema.ValueOrDie()->ToString() << " but got "
+        << table.ValueOrDie()->schema()->ToString();
+    return table.ValueOrDie();
+  }
+
+  InMemoryCatalog catalog_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsStoredTable) {
+  TablePtr t = Run(Plan::Scan("emp"));
+  EXPECT_EQ(t->num_rows(), 5);
+  ReferenceExecutor exec(&catalog_);
+  EXPECT_FALSE(exec.Execute(*Plan::Scan("nope")).ok());
+}
+
+TEST_F(ExecutorTest, SelectFiltersAndDropsNullPredicateRows) {
+  TablePtr t = Run(Plan::Select(Plan::Scan("emp"), Ge(Col("salary"), Lit(75.0))));
+  EXPECT_EQ(t->num_rows(), 3);  // ann, cat, eve
+  t = Run(Plan::Select(Plan::Scan("emp"), Eq(Col("dept"), Lit(10))));
+  EXPECT_EQ(t->num_rows(), 2);  // eve's null dept doesn't match
+}
+
+TEST_F(ExecutorTest, ProjectReordersColumns) {
+  TablePtr t = Run(Plan::Project(Plan::Scan("emp"), {"name", "id"}));
+  EXPECT_EQ(t->schema()->ToString(), "{name:string, id:int64}");
+  EXPECT_EQ(t->At(0, 0), S("ann"));
+  EXPECT_EQ(t->At(0, 1), I(1));
+}
+
+TEST_F(ExecutorTest, ExtendComputesAndChains) {
+  TablePtr t = Run(Plan::Extend(
+      Plan::Scan("emp"),
+      {{"bonus", Mul(Col("salary"), Lit(0.1))}, {"total", Add(Col("salary"), Col("bonus"))}}));
+  EXPECT_EQ(t->At(0, 4), F(9.0));
+  EXPECT_EQ(t->At(0, 5), F(99.0));
+}
+
+TEST_F(ExecutorTest, InnerJoinDropsRightKeys) {
+  TablePtr t = Run(Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                              JoinType::kInner, {"dept"}, {"did"}));
+  EXPECT_EQ(t->num_rows(), 3);  // ann, bob, cat; dan's 30 and eve's null drop
+  EXPECT_EQ(t->schema()->FindField("did"), -1);
+  EXPECT_EQ(t->At(0, t->schema()->FindField("dname")), S("eng"));
+}
+
+TEST_F(ExecutorTest, LeftJoinNullExtends) {
+  TablePtr t = Run(Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                              JoinType::kLeft, {"dept"}, {"did"}));
+  EXPECT_EQ(t->num_rows(), 5);
+  int dname = t->schema()->FindField("dname");
+  // dan (dept 30) has no match.
+  EXPECT_TRUE(t->At(3, dname).is_null());
+  EXPECT_TRUE(t->At(4, dname).is_null());
+}
+
+TEST_F(ExecutorTest, SemiAndAntiJoin) {
+  TablePtr semi = Run(Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                                 JoinType::kSemi, {"dept"}, {"did"}));
+  EXPECT_EQ(semi->num_rows(), 3);
+  EXPECT_TRUE(semi->schema()->Equals(
+      *Run(Plan::Scan("emp"))->schema()));  // left schema preserved
+  TablePtr anti = Run(Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                                 JoinType::kAnti, {"dept"}, {"did"}));
+  EXPECT_EQ(anti->num_rows(), 2);  // dan + eve (null key never matches)
+}
+
+TEST_F(ExecutorTest, JoinResidualFilters) {
+  TablePtr t = Run(Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                              JoinType::kInner, {"dept"}, {"did"},
+                              Gt(Col("salary"), Lit(75.0))));
+  EXPECT_EQ(t->num_rows(), 2);  // ann 90 @eng, cat 80 @ops
+}
+
+TEST_F(ExecutorTest, AggregateGlobalAndGrouped) {
+  TablePtr global = Run(Plan::Aggregate(
+      Plan::Scan("emp"), {},
+      {AggSpec{AggFunc::kCount, nullptr, "n"},
+       AggSpec{AggFunc::kSum, Col("salary"), "total"},
+       AggSpec{AggFunc::kAvg, Col("salary"), "mean"},
+       AggSpec{AggFunc::kMin, Col("name"), "first_name"},
+       AggSpec{AggFunc::kMax, Col("salary"), "top"}}));
+  EXPECT_EQ(global->num_rows(), 1);
+  EXPECT_EQ(global->At(0, 0), I(5));
+  EXPECT_EQ(global->At(0, 1), F(375.0));
+  EXPECT_EQ(global->At(0, 2), F(75.0));
+  EXPECT_EQ(global->At(0, 3), S("ann"));
+  EXPECT_EQ(global->At(0, 4), F(90.0));
+
+  TablePtr grouped = Run(Plan::Aggregate(
+      Plan::Scan("emp"), {"dept"},
+      {AggSpec{AggFunc::kCount, nullptr, "n"},
+       AggSpec{AggFunc::kSum, Col("salary"), "total"}}));
+  EXPECT_EQ(grouped->num_rows(), 4);  // 10, 20, 30, null
+  // First-seen group order: dept 10 first.
+  EXPECT_EQ(grouped->At(0, 0), I(10));
+  EXPECT_EQ(grouped->At(0, 1), I(2));
+  EXPECT_EQ(grouped->At(0, 2), F(160.0));
+}
+
+TEST_F(ExecutorTest, AggregateNullHandling) {
+  // count(expr) skips nulls; count(*) does not; sum of all-null is null.
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  PlanPtr vals = Plan::Values(Dataset(MakeTable(s, {{I(1)}, {N()}, {I(3)}})));
+  TablePtr t = Run(Plan::Aggregate(
+      vals, {},
+      {AggSpec{AggFunc::kCount, Col("x"), "nx"},
+       AggSpec{AggFunc::kCount, nullptr, "n"},
+       AggSpec{AggFunc::kSum, Col("x"), "sum"}}));
+  EXPECT_EQ(t->At(0, 0), I(2));
+  EXPECT_EQ(t->At(0, 1), I(3));
+  EXPECT_EQ(t->At(0, 2), I(4));
+  PlanPtr all_null = Plan::Values(Dataset(MakeTable(s, {{N()}, {N()}})));
+  TablePtr tn = Run(Plan::Aggregate(
+      all_null, {}, {AggSpec{AggFunc::kSum, Col("x"), "sum"}}));
+  EXPECT_TRUE(tn->At(0, 0).is_null());
+}
+
+TEST_F(ExecutorTest, IntegerSumStaysExactAndTyped) {
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  PlanPtr vals = Plan::Values(
+      Dataset(MakeTable(s, {{I(1'000'000'000'000'000'000)}, {I(3)}})));
+  TablePtr t = Run(Plan::Aggregate(vals, {},
+                                   {AggSpec{AggFunc::kSum, Col("x"), "sum"}}));
+  EXPECT_EQ(t->At(0, 0), I(1'000'000'000'000'000'003));
+}
+
+TEST_F(ExecutorTest, SortMultiKeyWithDirectionAndNulls) {
+  TablePtr t = Run(Plan::Sort(Plan::Scan("emp"),
+                              {{"dept", true}, {"salary", false}}));
+  // Nulls sort first.
+  EXPECT_TRUE(t->At(0, 2).is_null());
+  EXPECT_EQ(t->At(1, 1), S("ann"));  // dept 10, salary 90 before 70
+  EXPECT_EQ(t->At(2, 1), S("bob"));
+}
+
+TEST_F(ExecutorTest, LimitAndOffset) {
+  PlanPtr sorted = Plan::Sort(Plan::Scan("emp"), {{"id", true}});
+  TablePtr t = Run(Plan::Limit(sorted, 2, 1));
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->At(0, 0), I(2));
+  EXPECT_EQ(Run(Plan::Limit(sorted, 100, 0))->num_rows(), 5);
+  EXPECT_EQ(Run(Plan::Limit(sorted, 2, 10))->num_rows(), 0);
+}
+
+TEST_F(ExecutorTest, DistinctKeepsFirstOccurrence) {
+  TablePtr t = Run(Plan::Distinct(Plan::Project(Plan::Scan("emp"), {"dept"})));
+  EXPECT_EQ(t->num_rows(), 4);  // 10, 20, 30, null
+  EXPECT_EQ(t->At(0, 0), I(10));
+}
+
+TEST_F(ExecutorTest, UnionConcatenates) {
+  PlanPtr p = Plan::Project(Plan::Scan("emp"), {"id"});
+  TablePtr t = Run(Plan::Union(p, p));
+  EXPECT_EQ(t->num_rows(), 10);
+}
+
+TEST_F(ExecutorTest, RenameChangesSchemaOnly) {
+  TablePtr t = Run(Plan::Rename(Plan::Scan("emp"), {{"name", "employee"}}));
+  EXPECT_GE(t->schema()->FindField("employee"), 0);
+  EXPECT_EQ(t->schema()->FindField("name"), -1);
+  EXPECT_EQ(t->num_rows(), 5);
+}
+
+TEST_F(ExecutorTest, ReboxTagsAndUnboxClears) {
+  TablePtr t = Run(Plan::Rebox(Plan::Project(Plan::Scan("emp"), {"id", "salary"}),
+                               {"id"}, 16));
+  EXPECT_TRUE(t->schema()->field(0).is_dimension);
+  TablePtr u = Run(Plan::Unbox(Plan::Scan("grid")));
+  EXPECT_TRUE(u->schema()->DimensionIndices().empty());
+}
+
+TEST_F(ExecutorTest, SliceFiltersByCoordinates) {
+  TablePtr t = Run(Plan::Slice(Plan::Scan("grid"), {{"i", 0, 2}, {"j", 0, 2}}));
+  EXPECT_EQ(t->num_rows(), 4);
+  TablePtr t2 = Run(Plan::Slice(Plan::Scan("grid"), {{"i", 2, 4}}));
+  EXPECT_EQ(t2->num_rows(), 2);
+}
+
+TEST_F(ExecutorTest, ShiftTranslatesCoordinates) {
+  TablePtr t = Run(Plan::Shift(Plan::Scan("grid"), {{"i", 10}, {"j", -1}}));
+  EXPECT_EQ(t->At(0, 0), I(10));
+  EXPECT_EQ(t->At(0, 1), I(-1));
+  EXPECT_EQ(t->num_rows(), 6);
+}
+
+TEST_F(ExecutorTest, RegridAggregatesBlocks) {
+  TablePtr t = Run(Plan::Regrid(Plan::Scan("grid"), {{"i", 2}, {"j", 2}},
+                                AggFunc::kAvg));
+  // Blocks: (0,0) holds cells (0..1, 0..1) avg 2.5; (1,1) holds (2,2) avg 5;
+  // (1,1) also... (3,3) is block (1,1) too: cells v=5 (2,2) and v=6 (3,3).
+  EXPECT_EQ(t->num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(const Column* v, t->ColumnByName("v"));
+  EXPECT_EQ(v->GetValue(0), F(2.5));
+  EXPECT_EQ(v->GetValue(1), F(5.5));
+}
+
+TEST_F(ExecutorTest, RegridSumKeepsIntType) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("c", DataType::kInt64)});
+  PlanPtr vals = Plan::Values(
+      Dataset(MakeTable(s, {{I(0), I(1)}, {I(1), I(2)}, {I(2), I(4)}})));
+  TablePtr t = Run(Plan::Regrid(vals, {{"i", 2}}, AggFunc::kSum));
+  EXPECT_EQ(t->At(0, 1), I(3));
+  EXPECT_EQ(t->At(1, 1), I(4));
+  EXPECT_EQ(t->schema()->field(1).type, DataType::kInt64);
+}
+
+TEST_F(ExecutorTest, RegridBinsNegativeCoordinatesByFloor) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kFloat64)});
+  PlanPtr vals = Plan::Values(
+      Dataset(MakeTable(s, {{I(-3), F(1.0)}, {I(-1), F(2.0)}, {I(0), F(3.0)}})));
+  TablePtr t = Run(Plan::Regrid(vals, {{"i", 2}}, AggFunc::kSum));
+  // floor(-3/2) = -2, floor(-1/2) = -1, floor(0/2) = 0: three bins.
+  EXPECT_EQ(t->num_rows(), 3);
+}
+
+TEST_F(ExecutorTest, TransposeReordersDimensions) {
+  TablePtr t = Run(Plan::Transpose(Plan::Scan("grid"), {"j", "i"}));
+  EXPECT_EQ(t->schema()->field(0).name, "j");
+  EXPECT_EQ(t->schema()->field(1).name, "i");
+  EXPECT_EQ(t->At(1, 0), I(1));  // was (0, 1, 2.0)
+  EXPECT_EQ(t->At(1, 1), I(0));
+}
+
+TEST_F(ExecutorTest, WindowAveragesNeighborhood) {
+  TablePtr t = Run(Plan::Window(Plan::Scan("grid"), {{"i", 1}, {"j", 1}},
+                                AggFunc::kAvg));
+  EXPECT_EQ(t->num_rows(), 6);  // one output cell per occupied input cell
+  // Cell (0,0): neighbors present are (0,0)=1, (0,1)=2, (1,0)=3, (1,1)=4.
+  ASSERT_OK_AND_ASSIGN(const Column* v, t->ColumnByName("v"));
+  EXPECT_EQ(v->GetValue(0), F(2.5));
+  // Cell (3,3): neighbors present are (2,2)=5 and (3,3)=6.
+  EXPECT_EQ(v->GetValue(5), F(5.5));
+}
+
+TEST_F(ExecutorTest, ElemWiseIntersectsOccupancy) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kFloat64)});
+  PlanPtr a = Plan::Values(
+      Dataset(MakeTable(s, {{I(0), F(1.0)}, {I(1), F(2.0)}, {I(2), F(3.0)}})));
+  PlanPtr b = Plan::Values(
+      Dataset(MakeTable(s, {{I(1), F(10.0)}, {I(2), F(20.0)}, {I(3), F(30.0)}})));
+  TablePtr t = Run(Plan::ElemWise(a, b, BinaryOp::kAdd));
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->At(0, 1), F(12.0));
+  EXPECT_EQ(t->At(1, 1), F(23.0));
+  TablePtr m = Run(Plan::ElemWise(a, b, BinaryOp::kMul));
+  EXPECT_EQ(m->At(0, 1), F(20.0));
+}
+
+TEST_F(ExecutorTest, MatMulMatchesHandComputation) {
+  // A = [[1, 2], [3, 4]], B = [[5, 6], [7, 8]]; AB = [[19, 22], [43, 50]].
+  SchemaPtr ms = MakeSchema({Field::Dim("r"), Field::Dim("c"),
+                             Field::Attr("v", DataType::kFloat64)});
+  PlanPtr a = Plan::Values(Dataset(MakeTable(
+      ms, {{I(0), I(0), F(1)}, {I(0), I(1), F(2)}, {I(1), I(0), F(3)}, {I(1), I(1), F(4)}})));
+  PlanPtr b = Plan::Values(Dataset(MakeTable(
+      ms, {{I(0), I(0), F(5)}, {I(0), I(1), F(6)}, {I(1), I(0), F(7)}, {I(1), I(1), F(8)}})));
+  TablePtr t = Run(Plan::MatMul(a, b, "prod"));
+  EXPECT_EQ(t->num_rows(), 4);
+  EXPECT_EQ(t->schema()->field(2).name, "prod");
+  // Output dims: r (left row) and c_2 (right col renamed on clash... here
+  // left row dim is "r", right col dim is "c": no clash).
+  EXPECT_EQ(t->schema()->field(0).name, "r");
+  EXPECT_EQ(t->schema()->field(1).name, "c");
+  auto get = [&](int64_t r, int64_t c) {
+    for (int64_t row = 0; row < t->num_rows(); ++row) {
+      if (t->At(row, 0) == I(r) && t->At(row, 1) == I(c)) return t->At(row, 2);
+    }
+    return N();
+  };
+  EXPECT_EQ(get(0, 0), F(19.0));
+  EXPECT_EQ(get(0, 1), F(22.0));
+  EXPECT_EQ(get(1, 0), F(43.0));
+  EXPECT_EQ(get(1, 1), F(50.0));
+}
+
+TEST_F(ExecutorTest, MatMulSparseSkipsMissing) {
+  SchemaPtr ms = MakeSchema({Field::Dim("r"), Field::Dim("c"),
+                             Field::Attr("v", DataType::kFloat64)});
+  PlanPtr a = Plan::Values(Dataset(MakeTable(ms, {{I(0), I(0), F(2)}})));
+  PlanPtr b = Plan::Values(Dataset(MakeTable(ms, {{I(1), I(0), F(3)}})));
+  // A's only k is 0; B's only k is 1: empty product.
+  TablePtr t = Run(Plan::MatMul(a, b));
+  EXPECT_EQ(t->num_rows(), 0);
+}
+
+TEST_F(ExecutorTest, PageRankConvergesOnSmallGraph) {
+  SchemaPtr es = MakeSchema({Field::Attr("src", DataType::kInt64),
+                             Field::Attr("dst", DataType::kInt64)});
+  // Cycle 0 -> 1 -> 2 -> 0 plus a dangling node 3 reachable from 0.
+  PlanPtr edges = Plan::Values(Dataset(MakeTable(
+      es, {{I(0), I(1)}, {I(1), I(2)}, {I(2), I(0)}, {I(0), I(3)}})));
+  PageRankOp op;
+  op.max_iters = 100;
+  op.epsilon = 1e-12;
+  TablePtr t = Run(Plan::PageRank(edges, op));
+  EXPECT_EQ(t->num_rows(), 4);
+  double total = 0;
+  for (int64_t r = 0; r < 4; ++r) total += t->At(r, 1).AsDouble();
+  EXPECT_NEAR(total, 1.0, 1e-9);  // ranks form a distribution
+  // Node 2 receives all of node 1's rank; node 1 only half of node 0's.
+  auto rank = [&](int64_t node) {
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      if (t->At(r, 0) == I(node)) return t->At(r, 1).AsDouble();
+    }
+    return -1.0;
+  };
+  EXPECT_GT(rank(2), rank(1));
+  EXPECT_GT(rank(0), rank(3));
+}
+
+TEST_F(ExecutorTest, IterateFixedCount) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  PlanPtr init = Plan::Values(Dataset(MakeTable(s, {{F(1.0)}})));
+  IterateOp op;
+  op.body = Plan::Project(
+      Plan::Extend(Plan::LoopVar(), {{"v2", Mul(Col("v"), Lit(2.0))}}),
+      {"v2"});
+  // Body must preserve schema: rename v2 back to v.
+  op.body = Plan::Rename(op.body, {{"v2", "v"}});
+  op.max_iters = 5;
+  TablePtr t = Run(Plan::Iterate(init, op));
+  EXPECT_EQ(t->At(0, 0), F(32.0));
+}
+
+TEST_F(ExecutorTest, IterateConvergesByMeasure) {
+  // x <- x/2 until |x_prev - x_curr| < 0.1, starting at 8: 8,4,2,1,0.5 stops
+  // when delta 0.0625... let's check: deltas 4,2,1,0.5,0.25,0.125,0.0625.
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  PlanPtr init = Plan::Values(Dataset(MakeTable(s, {{F(8.0)}})));
+  IterateOp op;
+  op.body = Plan::Rename(
+      Plan::Project(Plan::Extend(Plan::LoopVar(),
+                                 {{"h", Div(Col("v"), Lit(2.0))}}),
+                    {"h"}),
+      {{"h", "v"}});
+  // measure = |sum(prev.v) - sum(curr.v)|
+  PlanPtr prev_sum = Plan::Aggregate(Plan::LoopVar(true), {},
+                                     {AggSpec{AggFunc::kSum, Col("v"), "s"}});
+  PlanPtr curr_sum = Plan::Aggregate(Plan::LoopVar(false), {},
+                                     {AggSpec{AggFunc::kSum, Col("v"), "s"}});
+  op.measure = Plan::Project(
+      Plan::Extend(Plan::Join(Plan::Rename(prev_sum, {{"s", "ps"}}), curr_sum,
+                              JoinType::kInner, {}, {}, Lit(true)),
+                   {{"delta", Func("abs", {Sub(Col("ps"), Col("s"))})}}),
+      {"delta"});
+  op.epsilon = 0.1;
+  op.max_iters = 100;
+  ReferenceExecutor exec(&catalog_);
+  InferContext ctx;
+  ctx.catalog = &catalog_;
+  PlanPtr plan = Plan::Iterate(init, op);
+  ASSERT_OK(InferSchema(*plan, &ctx).status());
+  ASSERT_OK_AND_ASSIGN(Dataset result, exec.Execute(*plan));
+  ASSERT_OK_AND_ASSIGN(TablePtr t, result.AsTable());
+  // Stops after delta drops below 0.1: deltas 4,2,1,.5,.25,.125,.0625 → 7
+  // iterations, x = 8 / 2^7.
+  EXPECT_EQ(exec.iterations_run(), 7);
+  EXPECT_EQ(t->At(0, 0), F(0.0625));
+}
+
+TEST_F(ExecutorTest, IterateMaxItersBoundsLoop) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  PlanPtr init = Plan::Values(Dataset(MakeTable(s, {{F(1.0)}})));
+  IterateOp op;
+  op.body = Plan::LoopVar();  // identity: never converges by value
+  op.max_iters = 3;
+  ReferenceExecutor exec(&catalog_);
+  ASSERT_OK(exec.Execute(*Plan::Iterate(init, op)).status());
+  EXPECT_EQ(exec.iterations_run(), 3);
+}
+
+TEST_F(ExecutorTest, ExchangeIsDataIdentity) {
+  TablePtr base = Run(Plan::Scan("emp"));
+  TablePtr t = Run(Plan::Exchange(Plan::Scan("emp"), "other", TransferMode::kDirect));
+  EXPECT_TRUE(t->Equals(*base));
+}
+
+TEST_F(ExecutorTest, CrossRepresentationPipeline) {
+  // Array-tagged data flows through relational ops and back.
+  PlanPtr p = Plan::Scan("grid");
+  p = Plan::Select(p, Gt(Col("v"), Lit(2.0)));
+  p = Plan::Extend(p, {{"v2", Mul(Col("v"), Col("v"))}});
+  p = Plan::Aggregate(p, {"i"}, {AggSpec{AggFunc::kSum, Col("v2"), "s"}});
+  TablePtr t = Run(p);
+  EXPECT_EQ(t->num_rows(), 3);  // i = 1, 2, 3
+}
+
+TEST_F(ExecutorTest, SchemaInferenceRejectsBadPlans) {
+  InferContext ctx;
+  ctx.catalog = &catalog_;
+  EXPECT_FALSE(InferSchema(*Plan::Select(Plan::Scan("emp"), Add(Col("id"), Lit(1))),
+                           &ctx)
+                   .ok());  // non-bool predicate
+  EXPECT_FALSE(InferSchema(*Plan::Project(Plan::Scan("emp"), {"zz"}), &ctx).ok());
+  EXPECT_FALSE(
+      InferSchema(*Plan::Join(Plan::Scan("emp"), Plan::Scan("dept"),
+                              JoinType::kInner, {"name"}, {"did"}),
+                  &ctx)
+          .ok());  // key type mismatch
+  EXPECT_FALSE(InferSchema(*Plan::Slice(Plan::Scan("emp"), {{"id", 0, 5}}), &ctx)
+                   .ok());  // id is not a dimension
+  EXPECT_FALSE(InferSchema(*Plan::LoopVar(), &ctx).ok());  // free loopvar
+  EXPECT_FALSE(InferSchema(*Plan::Union(Plan::Scan("emp"), Plan::Scan("dept")),
+                           &ctx)
+                   .ok());
+  EXPECT_FALSE(
+      InferSchema(*Plan::Transpose(Plan::Scan("grid"), {"i"}), &ctx).ok());
+  EXPECT_FALSE(
+      InferSchema(*Plan::MatMul(Plan::Scan("emp"), Plan::Scan("emp")), &ctx).ok());
+}
+
+}  // namespace
+}  // namespace nexus

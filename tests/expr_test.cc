@@ -1,0 +1,286 @@
+// Unit + property tests for the scalar expression language: type inference,
+// row evaluation, vectorized evaluation, and row/vector agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "expr/builder.h"
+#include "expr/eval.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::B;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+SchemaPtr TestSchema() {
+  return MakeSchema({Field::Attr("a", DataType::kInt64),
+                     Field::Attr("b", DataType::kFloat64),
+                     Field::Attr("s", DataType::kString),
+                     Field::Attr("flag", DataType::kBool)});
+}
+
+Value EvalOn(const ExprPtr& e, const std::vector<Value>& row) {
+  auto r = EvalExprRow(*e, *TestSchema(), row);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ValueOrDie();
+}
+
+const std::vector<Value> kRow = {I(6), F(2.5), S("hi"), B(true)};
+
+TEST(ExprTypeTest, Basics) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(InferExprType(*Add(Col("a"), Lit(1)), *s).ValueOrDie(),
+            DataType::kInt64);
+  EXPECT_EQ(InferExprType(*Add(Col("a"), Col("b")), *s).ValueOrDie(),
+            DataType::kFloat64);
+  EXPECT_EQ(InferExprType(*Div(Col("a"), Lit(2)), *s).ValueOrDie(),
+            DataType::kFloat64);
+  EXPECT_EQ(InferExprType(*Lt(Col("a"), Col("b")), *s).ValueOrDie(),
+            DataType::kBool);
+  EXPECT_EQ(InferExprType(*Add(Col("s"), Lit("!")), *s).ValueOrDie(),
+            DataType::kString);
+  EXPECT_EQ(InferExprType(*Cast(DataType::kString, Col("a")), *s).ValueOrDie(),
+            DataType::kString);
+}
+
+TEST(ExprTypeTest, Errors) {
+  SchemaPtr s = TestSchema();
+  EXPECT_FALSE(InferExprType(*Add(Col("a"), Col("s")), *s).ok());
+  EXPECT_FALSE(InferExprType(*Col("zz"), *s).ok());
+  EXPECT_FALSE(InferExprType(*And(Col("a"), Col("flag")), *s).ok());
+  EXPECT_FALSE(InferExprType(*Not(Col("a")), *s).ok());
+  EXPECT_FALSE(InferExprType(*Mod(Col("b"), Lit(2)), *s).ok());
+  EXPECT_FALSE(InferExprType(*Lt(Col("s"), Col("a")), *s).ok());
+  EXPECT_FALSE(InferExprType(*Func("nope", {Col("a")}), *s).ok());
+  EXPECT_FALSE(InferExprType(*Func("sqrt", {Col("s")}), *s).ok());
+  EXPECT_FALSE(InferExprType(*Func("abs", {Col("a"), Col("a")}), *s).ok());
+}
+
+TEST(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(EvalOn(Add(Col("a"), Lit(2)), kRow), I(8));
+  EXPECT_EQ(EvalOn(Mul(Col("a"), Col("b")), kRow), F(15.0));
+  EXPECT_EQ(EvalOn(Sub(Lit(10), Col("a")), kRow), I(4));
+  EXPECT_EQ(EvalOn(Div(Col("a"), Lit(4)), kRow), F(1.5));
+  EXPECT_EQ(EvalOn(Mod(Col("a"), Lit(4)), kRow), I(2));
+  EXPECT_EQ(EvalOn(Neg(Col("b")), kRow), F(-2.5));
+}
+
+TEST(ExprEvalTest, DivisionByZeroYieldsNull) {
+  EXPECT_TRUE(EvalOn(Div(Col("a"), Lit(0)), kRow).is_null());
+  EXPECT_TRUE(EvalOn(Mod(Col("a"), Lit(0)), kRow).is_null());
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(EvalOn(Lt(Col("a"), Lit(7)), kRow), B(true));
+  EXPECT_EQ(EvalOn(Ge(Col("b"), Lit(2.5)), kRow), B(true));
+  EXPECT_EQ(EvalOn(Eq(Col("a"), Lit(6.0)), kRow), B(true));  // cross-kind
+  EXPECT_EQ(EvalOn(Ne(Col("s"), Lit("hi")), kRow), B(false));
+}
+
+TEST(ExprEvalTest, StringOps) {
+  EXPECT_EQ(EvalOn(Add(Col("s"), Lit("!")), kRow), S("hi!"));
+  EXPECT_EQ(EvalOn(Func("length", {Col("s")}), kRow), I(2));
+  EXPECT_EQ(EvalOn(Func("upper", {Col("s")}), kRow), S("HI"));
+  EXPECT_EQ(EvalOn(Func("concat", {Col("s"), Lit("-"), Col("s")}), kRow),
+            S("hi-hi"));
+  EXPECT_EQ(EvalOn(Func("substr", {Lit("hello"), Lit(1), Lit(3)}), kRow),
+            S("ell"));
+}
+
+TEST(ExprEvalTest, MathFunctions) {
+  EXPECT_EQ(EvalOn(Func("abs", {Lit(-4)}), kRow), I(4));
+  EXPECT_EQ(EvalOn(Func("sqrt", {Lit(9.0)}), kRow), F(3.0));
+  EXPECT_TRUE(EvalOn(Func("sqrt", {Lit(-1.0)}), kRow).is_null());
+  EXPECT_TRUE(EvalOn(Func("log", {Lit(0.0)}), kRow).is_null());
+  EXPECT_EQ(EvalOn(Func("pow", {Lit(2.0), Lit(10.0)}), kRow), F(1024.0));
+  EXPECT_EQ(EvalOn(Func("floor", {Lit(2.7)}), kRow), I(2));
+  EXPECT_EQ(EvalOn(Func("ceil", {Lit(2.1)}), kRow), I(3));
+  EXPECT_EQ(EvalOn(Func("round", {Lit(2.5)}), kRow), I(3));
+  EXPECT_EQ(EvalOn(Func("min", {Lit(3), Lit(1), Lit(2)}), kRow), I(1));
+  EXPECT_EQ(EvalOn(Func("max", {Col("a"), Col("b")}), kRow), I(6));
+  EXPECT_EQ(EvalOn(Func("sign", {Lit(-3.5)}), kRow), F(-1.0));
+}
+
+TEST(ExprEvalTest, Conditionals) {
+  EXPECT_EQ(EvalOn(Func("if", {Col("flag"), Lit(1), Lit(2)}), kRow), I(1));
+  EXPECT_EQ(EvalOn(Func("if", {Not(Col("flag")), Lit(1), Lit(2)}), kRow), I(2));
+  EXPECT_EQ(EvalOn(Func("coalesce", {NullLit(), Lit(5)}), kRow), I(5));
+  EXPECT_EQ(EvalOn(Func("is_null", {NullLit()}), kRow), B(true));
+  EXPECT_EQ(EvalOn(Func("is_null", {Col("a")}), kRow), B(false));
+}
+
+TEST(ExprEvalTest, ThreeValuedLogic) {
+  // false AND null = false; true AND null = null.
+  EXPECT_EQ(EvalOn(And(Lit(false), Cast(DataType::kBool, NullLit())), kRow),
+            B(false));
+  EXPECT_TRUE(EvalOn(And(Lit(true), Cast(DataType::kBool, NullLit())), kRow)
+                  .is_null());
+  // true OR null = true; false OR null = null.
+  EXPECT_EQ(EvalOn(Or(Lit(true), Cast(DataType::kBool, NullLit())), kRow),
+            B(true));
+  EXPECT_TRUE(EvalOn(Or(Lit(false), Cast(DataType::kBool, NullLit())), kRow)
+                  .is_null());
+  // Comparisons with null are null.
+  EXPECT_TRUE(EvalOn(Lt(NullLit(), Lit(1.0)), kRow).is_null());
+}
+
+TEST(ExprEvalTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(EvalOn(Add(NullLit(), Lit(1.0)), kRow).is_null());
+  EXPECT_TRUE(EvalOn(Func("sqrt", {NullLit()}), kRow).is_null());
+}
+
+TEST(ExprStructureTest, EqualsAndHash) {
+  ExprPtr a = Add(Col("x"), Lit(1));
+  ExprPtr b = Add(Col("x"), Lit(1));
+  ExprPtr c = Add(Col("x"), Lit(2));
+  ExprPtr d = Add(Col("x"), Lit(1.0));  // different literal kind
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*d));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_NE(a->Hash(), c->Hash());
+}
+
+TEST(ExprStructureTest, ColumnRefsAndRename) {
+  ExprPtr e = And(Gt(Col("x"), Col("y")), Lt(Col("x"), Lit(9)));
+  EXPECT_EQ(e->ColumnRefs(), (std::vector<std::string>{"x", "y"}));
+  ExprPtr r = e->RenameColumns({{"x", "z"}});
+  EXPECT_EQ(r->ColumnRefs(), (std::vector<std::string>{"z", "y"}));
+  EXPECT_EQ(r->ToString(), "((z > y) and (z < 9))");
+}
+
+TEST(ExprStructureTest, SubstituteInlinesDefinitions) {
+  ExprPtr e = Gt(Col("total"), Lit(10));
+  ExprPtr inlined = e->SubstituteColumns({{"total", Add(Col("a"), Col("b"))}});
+  EXPECT_EQ(inlined->ToString(), "((a + b) > 10)");
+}
+
+TEST(ExprStructureTest, ToString) {
+  EXPECT_EQ(Add(Col("a"), Mul(Col("b"), Lit(2)))->ToString(), "(a + (b * 2))");
+  EXPECT_EQ(Func("abs", {Neg(Col("a"))})->ToString(), "abs(-a)");
+  EXPECT_EQ(Cast(DataType::kInt64, Col("b"))->ToString(), "cast(b as int64)");
+}
+
+TEST(ExprVectorTest, MatchesRowEvaluation) {
+  SchemaPtr s = TestSchema();
+  TablePtr t = MakeTable(
+      s, {{I(1), F(0.5), S("a"), B(true)},
+          {I(-3), F(2.0), S("bb"), B(false)},
+          {N(), F(-1.0), S(""), B(true)},
+          {I(100), N(), S("ccc"), B(false)}});
+  std::vector<ExprPtr> cases = {
+      Add(Col("a"), Lit(1)),
+      Mul(Col("b"), Col("b")),
+      And(Gt(Col("a"), Lit(0)), Col("flag")),
+      Func("coalesce", {Col("a"), Lit(0)}),
+      Func("if", {Col("flag"), Col("b"), Neg(Col("b"))}),
+      Add(Col("s"), Lit("!")),
+      Div(Col("a"), Col("b")),
+  };
+  for (const ExprPtr& e : cases) {
+    ASSERT_OK_AND_ASSIGN(Column vec, EvalExprVector(*e, *t));
+    ASSERT_OK_AND_ASSIGN(DataType out_t, InferExprType(*e, *s));
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      ASSERT_OK_AND_ASSIGN(Value row_v, EvalExprRow(*e, *s, t->Row(r)));
+      if (row_v.is_null()) {
+        EXPECT_TRUE(vec.GetValue(r).is_null()) << e->ToString() << " row " << r;
+      } else {
+        ASSERT_OK_AND_ASSIGN(Value want, row_v.CastTo(out_t));
+        EXPECT_EQ(vec.GetValue(r), want) << e->ToString() << " row " << r;
+      }
+    }
+  }
+}
+
+// Property sweep: random numeric expressions evaluated both ways must agree
+// on a null-free numeric table (the vectorized fast path's home turf).
+class ExprFuzzTest : public ::testing::TestWithParam<int> {};
+
+ExprPtr RandomNumericExpr(Rng* rng, int depth) {
+  if (depth == 0 || rng->NextBool(0.3)) {
+    switch (rng->NextBounded(3)) {
+      case 0:
+        return Col("a");
+      case 1:
+        return Col("b");
+      default:
+        return rng->NextBool() ? Lit(rng->NextInt(-5, 5))
+                               : Lit(rng->NextDouble(-2.0, 2.0));
+    }
+  }
+  static const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul};
+  return Expr::Binary(kOps[rng->NextBounded(3)], RandomNumericExpr(rng, depth - 1),
+                      RandomNumericExpr(rng, depth - 1));
+}
+
+TEST_P(ExprFuzzTest, VectorAgreesWithRowInterpreter) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64),
+                            Field::Attr("b", DataType::kFloat64)});
+  TableBuilder builder(s);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_OK(builder.AppendRow(
+        {I(rng.NextInt(-1000, 1000)), F(rng.NextDouble(-10.0, 10.0))}));
+  }
+  ASSERT_OK_AND_ASSIGN(TablePtr t, builder.Finish());
+  for (int trial = 0; trial < 20; ++trial) {
+    ExprPtr e = RandomNumericExpr(&rng, 4);
+    ASSERT_OK_AND_ASSIGN(Column vec, EvalExprVector(*e, *t));
+    ASSERT_OK_AND_ASSIGN(DataType out_t, InferExprType(*e, *s));
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      ASSERT_OK_AND_ASSIGN(Value row_v, EvalExprRow(*e, *s, t->Row(r)));
+      ASSERT_OK_AND_ASSIGN(Value want, row_v.CastTo(out_t));
+      if (out_t == DataType::kFloat64) {
+        EXPECT_NEAR(vec.GetValue(r).AsDouble(), want.AsDouble(),
+                    1e-9 * (1.0 + std::fabs(want.AsDouble())))
+            << e->ToString();
+      } else {
+        EXPECT_EQ(vec.GetValue(r), want) << e->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzzTest, ::testing::Range(0, 8));
+
+TEST(EvalPredicateTest, SelectsMatchingRows) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  TablePtr t = MakeTable(s, {{I(1)}, {N()}, {I(5)}, {I(3)}});
+  ASSERT_OK_AND_ASSIGN(auto sel, EvalPredicate(*Ge(Col("a"), Lit(3)), *t));
+  EXPECT_EQ(sel, (std::vector<int64_t>{2, 3}));  // null row excluded
+  EXPECT_FALSE(EvalPredicate(*Add(Col("a"), Lit(1)), *t).ok());  // non-bool
+}
+
+TEST(BuiltinsTest, CatalogNonEmptyAndInferable) {
+  std::vector<std::string> names = BuiltinFunctionNames();
+  EXPECT_GE(names.size(), 20u);
+  // Every builtin must have at least one valid signature we can infer.
+  SchemaPtr s = TestSchema();
+  int inferable = 0;
+  for (const std::string& name : names) {
+    for (const std::vector<DataType>& args :
+         {std::vector<DataType>{DataType::kFloat64},
+          std::vector<DataType>{DataType::kFloat64, DataType::kFloat64},
+          std::vector<DataType>{DataType::kBool, DataType::kInt64, DataType::kInt64},
+          std::vector<DataType>{DataType::kString},
+          std::vector<DataType>{DataType::kString, DataType::kInt64, DataType::kInt64}}) {
+      if (InferFuncType(name, args).ok()) {
+        ++inferable;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(inferable, static_cast<int>(names.size()));
+}
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,340 @@
+// Federation tests: placement, fragmentation, direct vs relayed transfers,
+// expression shipping vs per-op calls, and provider-side vs client-driven
+// iteration — the executable form of desiderata 2 and 4.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::S;
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    ASSERT_OK(cluster_->AddServer("relstore", MakeRelationalProvider()));
+    ASSERT_OK(cluster_->AddServer("arraydb", MakeArrayProvider()));
+    ASSERT_OK(cluster_->AddServer("linalg", MakeLinalgProvider()));
+    ASSERT_OK(cluster_->AddServer("graphd", MakeGraphProvider()));
+    ASSERT_OK(cluster_->AddServer("reference", MakeReferenceProvider()));
+
+    Rng rng(7);
+    // Relational data on relstore.
+    SchemaPtr orders = MakeSchema({Field::Attr("oid", DataType::kInt64),
+                                   Field::Attr("sensor", DataType::kInt64),
+                                   Field::Attr("amount", DataType::kFloat64)});
+    TableBuilder ob(orders);
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_OK(ob.AppendRow(
+          {I(i), I(rng.NextInt(0, 19)), F(rng.NextDouble(0, 100))}));
+    }
+    ASSERT_OK(cluster_->PutData("relstore", "orders",
+                                Dataset(ob.Finish().ValueOrDie())));
+
+    // Array data on arraydb.
+    SchemaPtr grid = MakeSchema({Field::Dim("i"), Field::Dim("k"),
+                                 Field::Attr("v", DataType::kFloat64)});
+    TableBuilder gb(grid);
+    for (int64_t i = 0; i < 16; ++i) {
+      for (int64_t k = 0; k < 16; ++k) {
+        ASSERT_OK(gb.AppendRow(
+            {I(i), I(k), F(static_cast<double>(rng.NextInt(1, 5)))}));
+      }
+    }
+    matrix_ = gb.Finish().ValueOrDie();
+    ASSERT_OK(cluster_->PutData("arraydb", "M", Dataset(matrix_)));
+    // Second matrix, also on arraydb.
+    SchemaPtr grid2 = MakeSchema({Field::Dim("k"), Field::Dim("j"),
+                                  Field::Attr("w", DataType::kFloat64)});
+    TableBuilder g2(grid2);
+    for (int64_t k = 0; k < 16; ++k) {
+      for (int64_t j = 0; j < 12; ++j) {
+        ASSERT_OK(g2.AppendRow(
+            {I(k), I(j), F(static_cast<double>(rng.NextInt(1, 5)))}));
+      }
+    }
+    matrix2_ = g2.Finish().ValueOrDie();
+    ASSERT_OK(cluster_->PutData("arraydb", "N", Dataset(matrix2_)));
+
+    // Graph data on graphd.
+    SchemaPtr edges = MakeSchema({Field::Attr("src", DataType::kInt64),
+                                  Field::Attr("dst", DataType::kInt64)});
+    TableBuilder eb(edges);
+    for (int64_t e = 0; e < 150; ++e) {
+      ASSERT_OK(eb.AppendRow({I(rng.NextInt(0, 29)), I(rng.NextInt(0, 29))}));
+    }
+    ASSERT_OK(cluster_->PutData("graphd", "edges",
+                                Dataset(eb.Finish().ValueOrDie())));
+  }
+
+  // Reference result computed in one local catalog holding everything.
+  Dataset ReferenceResult(const PlanPtr& plan) {
+    InMemoryCatalog cat;
+    EXPECT_OK(cat.Put("orders",
+                      cluster_->provider("relstore")->catalog()->Get("orders").ValueOrDie()));
+    EXPECT_OK(cat.Put("M", Dataset(matrix_)));
+    EXPECT_OK(cat.Put("N", Dataset(matrix2_)));
+    EXPECT_OK(cat.Put("edges",
+                      cluster_->provider("graphd")->catalog()->Get("edges").ValueOrDie()));
+    ReferenceExecutor exec(&cat);
+    auto r = exec.Execute(*plan);
+    EXPECT_OK(r.status());
+    return r.ValueOrDie();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  TablePtr matrix_, matrix2_;
+};
+
+TEST_F(FederationTest, FederatedCatalogResolvesAcrossServers) {
+  FederatedCatalog cat(cluster_.get());
+  EXPECT_TRUE(cat.Contains("orders"));
+  EXPECT_TRUE(cat.Contains("M"));
+  EXPECT_FALSE(cat.Contains("nope"));
+  ASSERT_OK_AND_ASSIGN(SchemaPtr s, cat.GetSchema("M"));
+  EXPECT_EQ(s->num_dimensions(), 2);
+}
+
+TEST_F(FederationTest, SingleServerQueryShipsOneTree) {
+  Coordinator coord(cluster_.get());
+  PlanPtr p = Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+      {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(p, &m));
+  EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(p)));
+  EXPECT_EQ(m.fragments, 1);
+  EXPECT_EQ(m.plan_messages, 1);
+  EXPECT_EQ(m.data_messages, 1);  // result back to the client
+  EXPECT_GT(m.plan_bytes, 0);
+}
+
+TEST_F(FederationTest, PlacementSendsOpsToSpecialists) {
+  Coordinator coord(cluster_.get());
+  PlanPtr mm = Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod");
+  ASSERT_OK_AND_ASSIGN(std::string explain, coord.ExplainPlacement(mm));
+  EXPECT_NE(explain.find("matmul[-> prod]  @linalg"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("scan[M]  @arraydb"), std::string::npos) << explain;
+
+  PageRankOp pr;
+  PlanPtr prp = Plan::PageRank(Plan::Scan("edges"), pr);
+  ASSERT_OK_AND_ASSIGN(std::string explain2, coord.ExplainPlacement(prp));
+  EXPECT_NE(explain2.find("@graphd"), std::string::npos) << explain2;
+}
+
+TEST_F(FederationTest, MultiServerMatMulIsCorrect) {
+  Coordinator coord(cluster_.get());
+  PlanPtr mm = Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod");
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(mm, &m));
+  EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(mm)));
+  // Two scan fragments at arraydb, one matmul fragment at linalg.
+  EXPECT_EQ(m.fragments, 3);
+  EXPECT_GE(m.nodes_per_server["linalg"], 1);
+}
+
+TEST_F(FederationTest, DirectTransferBypassesClient) {
+  PlanPtr mm = Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod");
+
+  CoordinatorOptions direct;
+  direct.transfer_mode = TransferMode::kDirect;
+  Coordinator dcoord(cluster_.get(), direct);
+  ExecutionMetrics dm;
+  ASSERT_OK_AND_ASSIGN(Dataset d1, dcoord.Execute(mm, &dm));
+
+  CoordinatorOptions relay;
+  relay.transfer_mode = TransferMode::kRelay;
+  Coordinator rcoord(cluster_.get(), relay);
+  ExecutionMetrics rm;
+  ASSERT_OK_AND_ASSIGN(Dataset d2, rcoord.Execute(mm, &rm));
+
+  EXPECT_TRUE(d1.LogicallyEquals(d2));
+  // Both intermediates (M and N, moved arraydb → linalg) pass through the
+  // client only in relay mode; both modes pay the final result delivery.
+  EXPECT_LT(dm.bytes_through_client, rm.bytes_through_client);
+  EXPECT_GT(rm.data_messages, dm.data_messages);
+  // Total intermediate bytes are identical; relay pays them twice.
+  int64_t intermediate_direct = dm.data_bytes - d1.ByteSize();
+  int64_t intermediate_relay = rm.data_bytes - d2.ByteSize();
+  EXPECT_EQ(intermediate_relay, 2 * intermediate_direct);
+}
+
+TEST_F(FederationTest, MixedRelationalArrayQuery) {
+  // Regrid on arraydb, then join the result with orders on relstore.
+  Coordinator coord(cluster_.get());
+  PlanPtr agg_grid = Plan::Regrid(Plan::Scan("M"), {{"i", 4}, {"k", 16}},
+                                  AggFunc::kSum);
+  // Result: {i*, k*, v}: one row per (i/4); join i-bucket with orders.sensor.
+  PlanPtr p = Plan::Join(Plan::Scan("orders"), Plan::Unbox(agg_grid),
+                         JoinType::kInner, {"sensor"}, {"i"});
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(p, &m));
+  EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(p)));
+  EXPECT_GE(m.fragments, 2);  // at least arraydb + relstore fragments
+  EXPECT_GE(m.nodes_per_server["arraydb"], 1);
+  EXPECT_GE(m.nodes_per_server["relstore"], 1);
+}
+
+TEST_F(FederationTest, TreeShippingBeatsPerOpCalls) {
+  PlanPtr p = Plan::Scan("orders");
+  p = Plan::Select(p, Gt(Col("amount"), Lit(10.0)));
+  p = Plan::Extend(p, {{"tax", Mul(Col("amount"), Lit(0.2))}});
+  p = Plan::Aggregate(p, {"sensor"}, {AggSpec{AggFunc::kSum, Col("tax"), "t"}});
+  p = Plan::Sort(p, {{"t", false}});
+  p = Plan::Limit(p, 5, 0);
+
+  Coordinator coord(cluster_.get());
+  ExecutionMetrics tree, perop;
+  ASSERT_OK_AND_ASSIGN(Dataset r1, coord.Execute(p, &tree));
+  CoordinatorOptions no_opt;
+  no_opt.optimize = false;  // keep the operator count identical
+  Coordinator coord2(cluster_.get(), no_opt);
+  ASSERT_OK_AND_ASSIGN(Dataset r2, coord2.ExecutePerOp(p, &perop));
+  EXPECT_TRUE(r1.LogicallyEquals(r2));
+  EXPECT_LT(tree.messages, perop.messages);
+  EXPECT_GE(perop.plan_messages, 6);  // one call per operator
+  EXPECT_LT(tree.bytes_through_client, perop.bytes_through_client);
+}
+
+TEST_F(FederationTest, ProviderSideIterationSavesRoundTrips) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  ASSERT_OK(cluster_->PutData("relstore", "state0",
+                              Dataset(MakeTable(s, {{F(1024.0)}}))));
+  IterateOp op;
+  op.body = Plan::Rename(
+      Plan::Project(
+          Plan::Extend(Plan::LoopVar(), {{"h", Div(Col("v"), Lit(2.0))}}),
+          {"h"}),
+      {{"h", "v"}});
+  op.max_iters = 8;
+  PlanPtr it = Plan::Iterate(Plan::Scan("state0"), op);
+
+  CoordinatorOptions server_side;
+  server_side.provider_side_iteration = true;
+  Coordinator sc(cluster_.get(), server_side);
+  ExecutionMetrics sm;
+  ASSERT_OK_AND_ASSIGN(Dataset r1, sc.Execute(it, &sm));
+
+  CoordinatorOptions client_side;
+  client_side.provider_side_iteration = false;
+  Coordinator cc(cluster_.get(), client_side);
+  ExecutionMetrics cm;
+  ASSERT_OK_AND_ASSIGN(Dataset r2, cc.Execute(it, &cm));
+
+  EXPECT_TRUE(r1.LogicallyEquals(r2));
+  ASSERT_OK_AND_ASSIGN(TablePtr t, r1.AsTable());
+  EXPECT_EQ(t->At(0, 0), F(4.0));  // 1024 / 2^8
+  EXPECT_EQ(sm.client_loop_iterations, 0);
+  EXPECT_EQ(cm.client_loop_iterations, 8);
+  EXPECT_LT(sm.messages, cm.messages);
+  // Client-driven: at least one plan + one data message per iteration.
+  EXPECT_GE(cm.messages, 16);
+}
+
+TEST_F(FederationTest, FederatedPageRank) {
+  PageRankOp op;
+  op.max_iters = 50;
+  op.epsilon = 1e-10;
+  PlanPtr pr = Plan::PageRank(Plan::Scan("edges"), op);
+  Coordinator coord(cluster_.get());
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(pr, &m));
+  Dataset want = ReferenceResult(pr);
+  ASSERT_OK_AND_ASSIGN(TablePtr gt, got.AsTable());
+  ASSERT_OK_AND_ASSIGN(TablePtr wt, want.AsTable());
+  ASSERT_EQ(gt->num_rows(), wt->num_rows());
+  for (int64_t r = 0; r < gt->num_rows(); ++r) {
+    EXPECT_EQ(gt->At(r, 0), wt->At(r, 0));
+    EXPECT_NEAR(gt->At(r, 1).AsDouble(), wt->At(r, 1).AsDouble(), 1e-9);
+  }
+  EXPECT_GE(m.nodes_per_server["graphd"], 1);
+}
+
+TEST_F(FederationTest, JoinRunsWhereTheBulkierInputLives) {
+  // Two relational servers; the fact table dwarfs the dimension table. The
+  // size-aware tiebreak must host the join next to the fact data so only
+  // the small side ships.
+  Cluster two;
+  ASSERT_OK(two.AddServer("rel_big", MakeRelationalProvider()));
+  ASSERT_OK(two.AddServer("rel_small", MakeRelationalProvider()));
+  Rng rng(3);
+  SchemaPtr fact = MakeSchema({Field::Attr("k", DataType::kInt64),
+                               Field::Attr("v", DataType::kFloat64)});
+  TableBuilder fb(fact);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_OK(fb.AppendRow({I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 1))}));
+  }
+  ASSERT_OK(two.PutData("rel_big", "fact", Dataset(fb.Finish().ValueOrDie())));
+  SchemaPtr dim = MakeSchema({Field::Attr("id", DataType::kInt64),
+                              Field::Attr("name", DataType::kString)});
+  TableBuilder db(dim);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_OK(db.AppendRow({I(i), S("x")}));
+  ASSERT_OK(two.PutData("rel_small", "dim", Dataset(db.Finish().ValueOrDie())));
+
+  Coordinator coord(&two);
+  PlanPtr join = Plan::Join(Plan::Scan("dim"), Plan::Scan("fact"),
+                            JoinType::kInner, {"id"}, {"k"});
+  ASSERT_OK_AND_ASSIGN(std::string explain, coord.ExplainPlacement(join));
+  EXPECT_NE(explain.find("join[inner, id=k]  @rel_big"), std::string::npos)
+      << explain;
+  // And the execution ships only the small side + result through the wire.
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset r, coord.Execute(join, &m));
+  EXPECT_GT(r.num_rows(), 0);
+  int64_t fact_bytes = two.provider("rel_big")->catalog()->Get("fact")
+                           .ValueOrDie()
+                           .ByteSize();
+  // The dim-side transfer is far smaller than shipping the fact table.
+  EXPECT_LT(m.data_bytes - r.ByteSize(), fact_bytes / 10);
+}
+
+TEST_F(FederationTest, MissingTableFailsCleanly) {
+  Coordinator coord(cluster_.get());
+  auto r = coord.Execute(Plan::Scan("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(FederationTest, TempsAreCleanedUp) {
+  Coordinator coord(cluster_.get());
+  PlanPtr mm = Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"));
+  ASSERT_OK(coord.Execute(mm).status());
+  for (const std::string& s : cluster_->ServerNames()) {
+    for (const std::string& name : cluster_->provider(s)->catalog()->Names()) {
+      EXPECT_TRUE(name.find("__frag_") == std::string::npos)
+          << "leftover temp " << name << " on " << s;
+    }
+  }
+}
+
+TEST_F(FederationTest, SimulatedTimeTracksBytesAndLatency) {
+  TransportOptions slow;
+  slow.latency_seconds = 0.05;
+  slow.bandwidth_bytes_per_second = 1e6;
+  Cluster slow_cluster(slow);
+  ASSERT_OK(slow_cluster.AddServer("relstore", MakeRelationalProvider()));
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 1000; ++i) ASSERT_OK(b.AppendRow({I(i)}));
+  ASSERT_OK(slow_cluster.PutData("relstore", "t", Dataset(b.Finish().ValueOrDie())));
+  Coordinator coord(&slow_cluster);
+  ExecutionMetrics m;
+  ASSERT_OK(coord.Execute(Plan::Scan("t"), &m).status());
+  // 2 messages (plan + data) at 50 ms latency plus 8 KB / 1 MB/s.
+  EXPECT_GT(m.simulated_seconds, 0.1);
+  EXPECT_LT(m.simulated_seconds, 0.2);
+}
+
+}  // namespace
+}  // namespace nexus

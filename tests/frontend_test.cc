@@ -1,0 +1,253 @@
+// Front-end tests: the fluent builder and the BDL surface language must
+// lower to identical algebra (and both must execute correctly).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/reference_executor.h"
+#include "core/serialize.h"
+#include "frontend/bdl.h"
+#include "frontend/query.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::S;
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    SchemaPtr orders = MakeSchema({Field::Attr("oid", DataType::kInt64),
+                                   Field::Attr("cid", DataType::kInt64),
+                                   Field::Attr("amount", DataType::kFloat64),
+                                   Field::Attr("region", DataType::kString)});
+    TableBuilder b(orders);
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_OK(b.AppendRow(
+          {I(i), I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 100)),
+           S(std::string(1, static_cast<char>('a' + rng.NextBounded(3))))}));
+    }
+    ASSERT_OK(catalog_.Put("orders", Dataset(b.Finish().ValueOrDie())));
+
+    SchemaPtr cust = MakeSchema({Field::Attr("id", DataType::kInt64),
+                                 Field::Attr("name", DataType::kString)});
+    TableBuilder cb(cust);
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_OK(cb.AppendRow({I(i), S(rng.NextString(5))}));
+    }
+    ASSERT_OK(catalog_.Put("cust", Dataset(cb.Finish().ValueOrDie())));
+
+    SchemaPtr grid = MakeSchema({Field::Dim("i"), Field::Dim("j"),
+                                 Field::Attr("v", DataType::kFloat64)});
+    TableBuilder gb(grid);
+    for (int64_t i = 0; i < 8; ++i) {
+      for (int64_t j = 0; j < 8; ++j) {
+        ASSERT_OK(gb.AppendRow(
+            {I(i), I(j), F(static_cast<double>(rng.NextInt(1, 9)))}));
+      }
+    }
+    ASSERT_OK(catalog_.Put("grid", Dataset(gb.Finish().ValueOrDie())));
+  }
+
+  TablePtr Run(const PlanPtr& plan) {
+    ReferenceExecutor exec(&catalog_);
+    auto r = exec.Execute(*plan);
+    EXPECT_OK(r.status());
+    auto t = r.ValueOrDie().AsTable();
+    EXPECT_OK(t.status());
+    return t.ValueOrDie();
+  }
+
+  InMemoryCatalog catalog_;
+};
+
+TEST_F(FrontendTest, FluentBuildsExpectedAlgebra) {
+  Query q = Query::From("orders")
+                .Where(Gt(Col("amount"), Lit(50.0)))
+                .Let("taxed", Mul(Col("amount"), Lit(1.1)))
+                .GroupBy({"cid"}, {Sum(Col("taxed"), "total"), Count("n")})
+                .OrderBy("total", false)
+                .Take(5);
+  PlanPtr manual = Plan::Limit(
+      Plan::Sort(
+          Plan::Aggregate(
+              Plan::Extend(
+                  Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+                  {{"taxed", Mul(Col("amount"), Lit(1.1))}}),
+              {"cid"},
+              {AggSpec{AggFunc::kSum, Col("taxed"), "total"},
+               AggSpec{AggFunc::kCount, nullptr, "n"}}),
+          {{"total", false}}),
+      5, 0);
+  EXPECT_TRUE(q.plan()->Equals(*manual));
+  TablePtr t = Run(q.plan());
+  EXPECT_LE(t->num_rows(), 5);
+}
+
+TEST_F(FrontendTest, FluentJoinAndArrayVerbs) {
+  Query q = Query::From("orders")
+                .JoinWith(Query::From("cust"), {"cid"}, {"id"})
+                .SelectCols({"oid", "name"});
+  TablePtr t = Run(q.plan());
+  EXPECT_EQ(t->num_columns(), 2);
+
+  Query g = Query::From("grid")
+                .Slice({{"i", 0, 4}})
+                .Regrid({{"i", 2}, {"j", 2}}, AggFunc::kSum)
+                .Transpose({"j", "i"});
+  TablePtr gt = Run(g.plan());
+  EXPECT_EQ(gt->schema()->field(0).name, "j");
+}
+
+TEST_F(FrontendTest, FluentIterate) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  ASSERT_OK(catalog_.Put("st", Dataset(MakeTable(s, {{F(81.0)}}))));
+  Query body = Query::Loop()
+                   .Let("n", Func("sqrt", {Col("v")}))
+                   .SelectCols({"n"})
+                   .Rename({{"n", "v"}});
+  Query q = Query::From("st").IterateUntil(body, 2);
+  TablePtr t = Run(q.plan());
+  EXPECT_EQ(t->At(0, 0), F(3.0));  // sqrt(sqrt(81))
+}
+
+TEST_F(FrontendTest, BdlExpressionParsing) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr e, ParseBdlExpr("a + b * 2 > 10 and not flag"));
+  EXPECT_EQ(e->ToString(), "(((a + (b * 2)) > 10) and not flag)");
+  ASSERT_OK_AND_ASSIGN(ExprPtr e2, ParseBdlExpr("abs(x - 1.5) <= eps or x == 0"));
+  EXPECT_EQ(e2->ToString(), "((abs((x - 1.5)) <= eps) or (x == 0))");
+  ASSERT_OK_AND_ASSIGN(ExprPtr e3, ParseBdlExpr("-x % 3"));
+  EXPECT_EQ(e3->ToString(), "(-x % 3)");
+  ASSERT_OK_AND_ASSIGN(ExprPtr e4, ParseBdlExpr("\"abc\" == region"));
+  EXPECT_EQ(e4->ToString(), "(\"abc\" == region)");
+  ASSERT_OK_AND_ASSIGN(ExprPtr e5, ParseBdlExpr("coalesce(x, 0) != null"));
+  EXPECT_EQ(e5->ToString(), "(coalesce(x, 0) != null)");
+}
+
+TEST_F(FrontendTest, BdlExpressionErrors) {
+  EXPECT_FALSE(ParseBdlExpr("a +").ok());
+  EXPECT_FALSE(ParseBdlExpr("(a").ok());
+  EXPECT_FALSE(ParseBdlExpr("a b").ok());  // trailing input
+  EXPECT_FALSE(ParseBdlExpr("\"unterminated").ok());
+  EXPECT_FALSE(ParseBdlExpr("*").ok());
+}
+
+TEST_F(FrontendTest, BdlPipelineMatchesFluent) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr p, ParseBdl(R"(
+      from orders
+      where amount > 50.0
+      extend taxed := amount * 1.1
+      group by cid aggregate sum(taxed) as total, count(*) as n
+      sort by total desc
+      limit 5
+  )"));
+  Query q = Query::From("orders")
+                .Where(Gt(Col("amount"), Lit(50.0)))
+                .Let("taxed", Mul(Col("amount"), Lit(1.1)))
+                .GroupBy({"cid"}, {Sum(Col("taxed"), "total"), Count("n")})
+                .OrderBy("total", false)
+                .Take(5);
+  EXPECT_TRUE(p->Equals(*q.plan()))
+      << "BDL:\n" << p->ToString() << "fluent:\n" << q.plan()->ToString();
+}
+
+TEST_F(FrontendTest, BdlJoins) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr p, ParseBdl(
+      "from orders | join cust on cid = id | select oid, name"));
+  TablePtr t = Run(p);
+  EXPECT_EQ(t->num_columns(), 2);
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr lj, ParseBdl(
+      "from orders | left join cust on cid = id"));
+  EXPECT_EQ(lj->As<JoinOp>().type, JoinType::kLeft);
+  ASSERT_OK_AND_ASSIGN(PlanPtr aj, ParseBdl(
+      "from orders | anti join cust on cid = id"));
+  EXPECT_EQ(aj->As<JoinOp>().type, JoinType::kAnti);
+  ASSERT_OK_AND_ASSIGN(PlanPtr rj, ParseBdl(
+      "from orders | join cust on cid = id if amount > 10"));
+  EXPECT_NE(rj->As<JoinOp>().residual, nullptr);
+}
+
+TEST_F(FrontendTest, BdlArrayStages) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr p, ParseBdl(R"(
+      from grid
+      slice i 0 4, j 0 4
+      shift i 2
+      regrid i/2, j/2 using sum
+      transpose j, i
+      unbox
+  )"));
+  TablePtr t = Run(p);
+  EXPECT_EQ(t->schema()->field(0).name, "j");
+  EXPECT_TRUE(t->schema()->DimensionIndices().empty());
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr w, ParseBdl("from grid | window i 1, j 1 using max"));
+  EXPECT_EQ(w->kind(), OpKind::kWindow);
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr rb, ParseBdl(
+      "from orders | rebox oid chunk 16"));
+  EXPECT_EQ(rb->As<ReboxOp>().chunk_size, 16);
+}
+
+TEST_F(FrontendTest, BdlIntentStages) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr mm, ParseBdl("from grid | matmul grid as prod"));
+  EXPECT_EQ(mm->kind(), OpKind::kMatMul);
+  EXPECT_EQ(mm->As<MatMulOp>().result_attr, "prod");
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr pr, ParseBdl(
+      "from orders | pagerank oid cid damping 0.9 iters 25 eps 1e-6"));
+  EXPECT_EQ(pr->kind(), OpKind::kPageRank);
+  EXPECT_EQ(pr->As<PageRankOp>().damping, 0.9);
+  EXPECT_EQ(pr->As<PageRankOp>().max_iters, 25);
+  EXPECT_EQ(pr->As<PageRankOp>().epsilon, 1e-6);
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr ew, ParseBdl("from grid | elemwise * grid"));
+  EXPECT_EQ(ew->kind(), OpKind::kElemWise);
+  EXPECT_EQ(ew->As<ElemWiseOpSpec>().op, BinaryOp::kMul);
+}
+
+TEST_F(FrontendTest, BdlMiscStages) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr p, ParseBdl(R"(
+      from orders
+      rename amount -> amt
+      distinct
+      union orders2
+      limit 10 offset 2
+  )"));
+  EXPECT_EQ(p->kind(), OpKind::kLimit);
+  EXPECT_EQ(p->As<LimitOp>().offset, 2);
+  // Comments are skipped.
+  ASSERT_OK_AND_ASSIGN(PlanPtr c, ParseBdl(
+      "from orders  # the base table\nwhere amount > 1  # cheap ones out"));
+  EXPECT_EQ(c->kind(), OpKind::kSelect);
+}
+
+TEST_F(FrontendTest, BdlErrors) {
+  EXPECT_FALSE(ParseBdl("").ok());
+  EXPECT_FALSE(ParseBdl("where x > 1").ok());          // no from
+  EXPECT_FALSE(ParseBdl("from a | from b").ok());      // second from
+  EXPECT_FALSE(ParseBdl("from a | frobnicate x").ok());
+  EXPECT_FALSE(ParseBdl("from a | join b").ok());      // missing on
+  EXPECT_FALSE(ParseBdl("from a | group by x").ok());  // missing aggregate
+  EXPECT_FALSE(ParseBdl("from a | aggregate sum(x)").ok());  // missing as
+  EXPECT_FALSE(ParseBdl("from a | aggregate avg(*) as m").ok());
+  EXPECT_FALSE(ParseBdl("from a | extend x = 1").ok());  // needs :=
+}
+
+TEST_F(FrontendTest, BdlSerializeRoundTrip) {
+  // BDL → algebra → wire → algebra: stable across the whole front stack.
+  ASSERT_OK_AND_ASSIGN(PlanPtr p, ParseBdl(
+      "from orders | where amount > 10 and region == \"a\" | "
+      "group by cid aggregate avg(amount) as m | sort by m"));
+  ASSERT_OK_AND_ASSIGN(PlanPtr back, ParsePlan(SerializePlan(*p)));
+  EXPECT_TRUE(p->Equals(*back));
+}
+
+}  // namespace
+}  // namespace nexus

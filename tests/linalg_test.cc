@@ -1,0 +1,193 @@
+// Tests for the linear algebra package: dense kernels (naive vs blocked
+// agreement), sparse CSR, and NDArray conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/dense.h"
+#include "linalg/sparse.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::SparseMatrixCSR;
+using linalg::Triplet;
+using testing::F;
+
+DenseMatrix RandomMatrix(Rng* rng, int64_t rows, int64_t cols) {
+  DenseMatrix m(rows, cols);
+  for (double& v : m.data()) v = rng->NextDouble(-1.0, 1.0);
+  return m;
+}
+
+TEST(DenseTest, NaiveMatchesHandComputed) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.Set(0, 0, 1);
+  a.Set(0, 1, 2);
+  a.Set(1, 0, 3);
+  a.Set(1, 1, 4);
+  b.Set(0, 0, 5);
+  b.Set(0, 1, 6);
+  b.Set(1, 0, 7);
+  b.Set(1, 1, 8);
+  ASSERT_OK_AND_ASSIGN(DenseMatrix c, linalg::MatMulNaive(a, b));
+  EXPECT_EQ(c.At(0, 0), 19);
+  EXPECT_EQ(c.At(0, 1), 22);
+  EXPECT_EQ(c.At(1, 0), 43);
+  EXPECT_EQ(c.At(1, 1), 50);
+}
+
+TEST(DenseTest, ShapeMismatchErrors) {
+  DenseMatrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(linalg::MatMulNaive(a, b).ok());
+  EXPECT_FALSE(linalg::MatMulBlocked(a, b).ok());
+  EXPECT_FALSE(linalg::Add(a, DenseMatrix(3, 2)).ok());
+  EXPECT_FALSE(linalg::MatVec(a, {1.0}).ok());
+}
+
+class GemmAgreementTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GemmAgreementTest, BlockedMatchesNaive) {
+  auto [size, block] = GetParam();
+  Rng rng(static_cast<uint64_t>(size * 31 + block));
+  DenseMatrix a = RandomMatrix(&rng, size, size + 3);
+  DenseMatrix b = RandomMatrix(&rng, size + 3, size - 1);
+  ASSERT_OK_AND_ASSIGN(DenseMatrix naive, linalg::MatMulNaive(a, b));
+  ASSERT_OK_AND_ASSIGN(DenseMatrix blocked, linalg::MatMulBlocked(a, b, block));
+  EXPECT_LT(naive.MaxAbsDiff(blocked), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmAgreementTest,
+    ::testing::Combine(::testing::Values(5, 17, 64, 100),
+                       ::testing::Values(4, 16, 64)));
+
+TEST(DenseTest, TransposeAddElemMulMatVec) {
+  Rng rng(3);
+  DenseMatrix a = RandomMatrix(&rng, 4, 6);
+  DenseMatrix t = linalg::Transpose(a);
+  EXPECT_EQ(t.rows(), 6);
+  EXPECT_EQ(t.At(2, 3), a.At(3, 2));
+  DenseMatrix tt = linalg::Transpose(t);
+  EXPECT_LT(a.MaxAbsDiff(tt), 1e-15);
+
+  ASSERT_OK_AND_ASSIGN(DenseMatrix sum, linalg::Add(a, a, 1.0, 2.0));
+  EXPECT_NEAR(sum.At(1, 1), 3.0 * a.At(1, 1), 1e-12);
+
+  ASSERT_OK_AND_ASSIGN(DenseMatrix had, linalg::ElemMul(a, a));
+  EXPECT_NEAR(had.At(2, 2), a.At(2, 2) * a.At(2, 2), 1e-12);
+
+  std::vector<double> x(6, 1.0);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> y, linalg::MatVec(a, x));
+  double want = 0;
+  for (int64_t c = 0; c < 6; ++c) want += a.At(0, c);
+  EXPECT_NEAR(y[0], want, 1e-12);
+}
+
+TEST(DenseTest, NDArrayRoundTrip) {
+  Rng rng(9);
+  DenseMatrix m = RandomMatrix(&rng, 5, 7);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr arr,
+                       linalg::ToNDArray(m, "r", "c", "v", -2, 10, 4, false));
+  EXPECT_EQ(arr->dim(0).start, -2);
+  EXPECT_EQ(arr->dim(1).start, 10);
+  EXPECT_EQ(arr->NumCellsOccupied(), 35);
+  int64_t rs = 0, cs = 0;
+  ASSERT_OK_AND_ASSIGN(DenseMatrix back, linalg::FromNDArray(*arr, &rs, &cs));
+  EXPECT_EQ(rs, -2);
+  EXPECT_EQ(cs, 10);
+  EXPECT_LT(m.MaxAbsDiff(back), 1e-15);
+}
+
+TEST(DenseTest, FromNDArrayValidation) {
+  auto arr1d = NDArray::Make({DimensionSpec{"i", 0, 3, 2}},
+                             Schema::Make({Field::Attr("v", DataType::kFloat64)})
+                                 .ValueOrDie())
+                   .ValueOrDie();
+  int64_t rs, cs;
+  EXPECT_FALSE(linalg::FromNDArray(*arr1d, &rs, &cs).ok());
+}
+
+TEST(DenseTest, DropZerosSparsifies) {
+  DenseMatrix m(2, 2);
+  m.Set(0, 1, 5.0);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr arr,
+                       linalg::ToNDArray(m, "r", "c", "v", 0, 0, 2, true));
+  EXPECT_EQ(arr->NumCellsOccupied(), 1);
+}
+
+TEST(SparseTest, FromTripletsSumsDuplicatesAndSorts) {
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR m,
+      SparseMatrixCSR::FromTriplets(
+          3, 3, {{2, 1, 1.0}, {0, 2, 3.0}, {2, 1, 2.0}, {0, 0, 1.0}}));
+  EXPECT_EQ(m.nnz(), 3);
+  DenseMatrix d = m.ToDense();
+  EXPECT_EQ(d.At(2, 1), 3.0);
+  EXPECT_EQ(d.At(0, 2), 3.0);
+  EXPECT_EQ(d.At(0, 0), 1.0);
+  EXPECT_FALSE(SparseMatrixCSR::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+}
+
+TEST(SparseTest, SpMVMatchesDense) {
+  Rng rng(17);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < 40; ++i) {
+    trips.push_back(Triplet{rng.NextInt(0, 9), rng.NextInt(0, 7),
+                            rng.NextDouble(-1, 1)});
+  }
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR m,
+                       SparseMatrixCSR::FromTriplets(10, 8, trips));
+  std::vector<double> x(8);
+  for (double& v : x) v = rng.NextDouble(-1, 1);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> y, m.SpMV(x));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> want, linalg::MatVec(m.ToDense(), x));
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], want[i], 1e-12);
+}
+
+class SpGemmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpGemmTest, MatchesDenseProduct) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 5);
+  std::vector<Triplet> ta, tb;
+  for (int i = 0; i < 60; ++i) {
+    ta.push_back(Triplet{rng.NextInt(0, 11), rng.NextInt(0, 9),
+                         rng.NextDouble(-1, 1)});
+    tb.push_back(Triplet{rng.NextInt(0, 9), rng.NextInt(0, 13),
+                         rng.NextDouble(-1, 1)});
+  }
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR a, SparseMatrixCSR::FromTriplets(12, 10, ta));
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR b, SparseMatrixCSR::FromTriplets(10, 14, tb));
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR c, a.SpGEMM(b));
+  ASSERT_OK_AND_ASSIGN(DenseMatrix want,
+                       linalg::MatMulNaive(a.ToDense(), b.ToDense()));
+  EXPECT_LT(c.ToDense().MaxAbsDiff(want), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpGemmTest, ::testing::Range(0, 6));
+
+TEST(SparseTest, TripletRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR m,
+      SparseMatrixCSR::FromTriplets(3, 3, {{0, 1, 2.0}, {2, 2, 4.0}}));
+  std::vector<Triplet> back = m.ToTriplets();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].row, 0);
+  EXPECT_EQ(back[0].col, 1);
+  EXPECT_EQ(back[1].value, 4.0);
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR m, SparseMatrixCSR::FromTriplets(4, 4, {}));
+  EXPECT_EQ(m.nnz(), 0);
+  ASSERT_OK_AND_ASSIGN(auto y, m.SpMV(std::vector<double>(4, 1.0)));
+  for (double v : y) EXPECT_EQ(v, 0.0);
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR c, m.SpGEMM(m));
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace nexus

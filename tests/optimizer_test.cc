@@ -1,0 +1,343 @@
+// Optimizer tests: constant folding, selection pushdown, column pruning,
+// intent recognition — plus semantics-preservation property tests (optimized
+// and unoptimized plans agree on every workload).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/str_util.h"
+#include "core/expansion.h"
+#include "core/schema_inference.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "optimizer/fold.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TEST(FoldTest, ArithmeticAndBooleans) {
+  EXPECT_EQ(FoldConstants(Add(Lit(2), Lit(3)))->ToString(), "5");
+  EXPECT_EQ(FoldConstants(Mul(Add(Lit(1), Lit(1)), Col("x")))->ToString(),
+            "(2 * x)");
+  EXPECT_EQ(FoldConstants(And(Lit(true), Gt(Col("x"), Lit(1))))->ToString(),
+            "(x > 1)");
+  EXPECT_EQ(FoldConstants(And(Lit(false), Gt(Col("x"), Lit(1))))->ToString(),
+            "false");
+  EXPECT_EQ(FoldConstants(Or(Lit(false), Col("b")))->ToString(), "b");
+  EXPECT_EQ(FoldConstants(Or(Col("b"), Lit(true)))->ToString(), "true");
+  EXPECT_EQ(FoldConstants(Not(Not(Col("b"))))->ToString(), "b");
+  EXPECT_EQ(FoldConstants(Func("sqrt", {Lit(16.0)}))->ToString(), "4");
+  EXPECT_EQ(FoldConstants(Div(Lit(1), Lit(0)))->ToString(), "null");
+}
+
+TEST(FoldTest, LeavesNonConstantsAlone) {
+  ExprPtr e = Gt(Add(Col("a"), Col("b")), Lit(3));
+  EXPECT_TRUE(FoldConstants(e)->Equals(*e));
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaPtr orders = MakeSchema({Field::Attr("oid", DataType::kInt64),
+                                   Field::Attr("cid", DataType::kInt64),
+                                   Field::Attr("amount", DataType::kFloat64),
+                                   Field::Attr("region", DataType::kString)});
+    TableBuilder b(orders);
+    Rng rng(1);
+    for (int64_t i = 0; i < 300; ++i) {
+      ASSERT_OK(b.AppendRow(
+          {I(i), I(rng.NextInt(0, 40)), F(rng.NextDouble(0, 100)),
+           S(std::string(1, static_cast<char>('a' + rng.NextBounded(3))))}));
+    }
+    ASSERT_OK(catalog_.Put("orders", Dataset(b.Finish().ValueOrDie())));
+
+    SchemaPtr cust = MakeSchema({Field::Attr("id", DataType::kInt64),
+                                 Field::Attr("tier", DataType::kInt64)});
+    TableBuilder cb(cust);
+    for (int64_t i = 0; i < 40; ++i) {
+      ASSERT_OK(cb.AppendRow({I(i), I(rng.NextInt(1, 3))}));
+    }
+    ASSERT_OK(catalog_.Put("cust", Dataset(cb.Finish().ValueOrDie())));
+
+    SchemaPtr mat = MakeSchema({Field::Dim("i"), Field::Dim("k"),
+                                Field::Attr("a", DataType::kFloat64)});
+    SchemaPtr mat2 = MakeSchema({Field::Dim("k"), Field::Dim("j"),
+                                 Field::Attr("b", DataType::kFloat64)});
+    TableBuilder ma(mat), mb(mat2);
+    for (int64_t i = 0; i < 6; ++i) {
+      for (int64_t k = 0; k < 6; ++k) {
+        ASSERT_OK(ma.AppendRow({I(i), I(k), F(static_cast<double>(rng.NextInt(1, 5)))}));
+        ASSERT_OK(mb.AppendRow({I(i), I(k), F(static_cast<double>(rng.NextInt(1, 5)))}));
+      }
+    }
+    ASSERT_OK(catalog_.Put("A", Dataset(ma.Finish().ValueOrDie())));
+    ASSERT_OK(catalog_.Put("B", Dataset(mb.Finish().ValueOrDie())));
+  }
+
+  // Optimized and raw plans must be schema- and value-equivalent.
+  void CheckPreserves(const PlanPtr& plan, const OptimizerOptions& opts = {}) {
+    OptimizerStats stats;
+    ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(plan, catalog_, opts, &stats));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s1, InferSchema(*plan, catalog_));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s2, InferSchema(*optimized, catalog_));
+    EXPECT_TRUE(s1->Equals(*s2))
+        << s1->ToString() << " vs " << s2->ToString() << "\n"
+        << optimized->ToString();
+    ReferenceExecutor exec(&catalog_);
+    ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*plan));
+    ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*optimized));
+    EXPECT_TRUE(got.LogicallyEquals(want)) << optimized->ToString();
+  }
+
+  InMemoryCatalog catalog_;
+};
+
+TEST_F(OptimizerTest, PushesSelectBelowProjectAndExtend) {
+  PlanPtr p = Plan::Scan("orders");
+  p = Plan::Extend(p, {{"taxed", Mul(Col("amount"), Lit(1.1))}});
+  p = Plan::Project(p, {"cid", "taxed"});
+  p = Plan::Select(p, Gt(Col("taxed"), Lit(50.0)));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_GE(stats.selections_pushed, 2);
+  // The selection now sits below the extend (deeper in the tree rendering).
+  std::string tree = optimized->ToString();
+  EXPECT_GT(tree.find("select"), tree.find("extend")) << tree;
+  EXPECT_NE(tree.find("select"), std::string::npos);
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, SplitsConjunctsAcrossJoin) {
+  PlanPtr join = Plan::Join(Plan::Scan("orders"), Plan::Scan("cust"),
+                            JoinType::kInner, {"cid"}, {"id"});
+  PlanPtr p = Plan::Select(
+      join, And(Gt(Col("amount"), Lit(10.0)), Eq(Col("tier"), Lit(2))));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_EQ(stats.selections_pushed, 2);
+  EXPECT_EQ(optimized->kind(), OpKind::kJoin);  // no residual select left
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, DoesNotPushBelowLeftJoinRightSide) {
+  PlanPtr join = Plan::Join(Plan::Scan("orders"), Plan::Scan("cust"),
+                            JoinType::kLeft, {"cid"}, {"id"});
+  PlanPtr p = Plan::Select(join, Eq(Col("tier"), Lit(2)));
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}));
+  // tier references the null-extended right side: the select must stay above.
+  EXPECT_EQ(optimized->kind(), OpKind::kSelect);
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, PushesThroughRenameAndUnion) {
+  PlanPtr u = Plan::Union(Plan::Scan("orders"), Plan::Scan("orders"));
+  PlanPtr p = Plan::Select(Plan::Rename(u, {{"amount", "amt"}}),
+                           Gt(Col("amt"), Lit(90.0)));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_GE(stats.selections_pushed, 2);  // through rename, then into the union
+  // Both union branches end up with their own selection.
+  std::string tree = optimized->ToString();
+  size_t first = tree.find("select");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(tree.find("select", first + 1), std::string::npos) << tree;
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, PrunesScanColumns) {
+  PlanPtr p = Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(20.0))), {"cid"},
+      {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_EQ(stats.projects_inserted, 1);
+  EXPECT_NE(optimized->ToString().find("project[cid, amount]"), std::string::npos)
+      << optimized->ToString();
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, PruningKeepsRootSchema) {
+  PlanPtr p = Plan::Join(Plan::Scan("orders"), Plan::Scan("cust"),
+                         JoinType::kInner, {"cid"}, {"id"});
+  CheckPreserves(p);  // all columns needed at the root: no visible change
+}
+
+TEST_F(OptimizerTest, RecognizesMatMulPipeline) {
+  // Hand-written matrix multiply as join + multiply + sum.
+  PlanPtr right = Plan::Rename(Plan::Scan("B"),
+                               {{"k", "k2"}, {"j", "j2"}, {"b", "bv"}});
+  PlanPtr joined = Plan::Join(Plan::Scan("A"), right, JoinType::kInner, {"k"},
+                              {"k2"});
+  PlanPtr prod = Plan::Extend(joined, {{"p", Mul(Col("a"), Col("bv"))}});
+  PlanPtr agg = Plan::Aggregate(prod, {"i", "j2"},
+                                {AggSpec{AggFunc::kSum, Col("p"), "c"}});
+  PlanPtr p = Plan::Select(agg, Ne(Col("c"), Lit(0)));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_EQ(stats.intents_recognized, 1);
+  EXPECT_NE(optimized->ToString().find("matmul"), std::string::npos)
+      << optimized->ToString();
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, RecognitionInvertsExpansion) {
+  ASSERT_OK_AND_ASSIGN(SchemaPtr ls, catalog_.GetSchema("A"));
+  ASSERT_OK_AND_ASSIGN(SchemaPtr rs, catalog_.GetSchema("B"));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr expanded,
+      ExpandMatMul(Plan::Scan("A"), Plan::Scan("B"), MatMulOp{"c"}, *ls, *rs));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(expanded, catalog_, {}, &stats));
+  EXPECT_EQ(stats.intents_recognized, 1);
+  CheckPreserves(expanded);
+}
+
+TEST_F(OptimizerTest, RecognitionDisabledLeavesPlanAlone) {
+  PlanPtr right = Plan::Rename(Plan::Scan("B"),
+                               {{"k", "k2"}, {"j", "j2"}, {"b", "bv"}});
+  PlanPtr joined = Plan::Join(Plan::Scan("A"), right, JoinType::kInner, {"k"},
+                              {"k2"});
+  PlanPtr prod = Plan::Extend(joined, {{"p", Mul(Col("a"), Col("bv"))}});
+  PlanPtr agg = Plan::Aggregate(prod, {"i", "j2"},
+                                {AggSpec{AggFunc::kSum, Col("p"), "c"}});
+  PlanPtr p = Plan::Select(agg, Ne(Col("c"), Lit(0)));
+  OptimizerOptions opts;
+  opts.recognize_intent = false;
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, opts, &stats));
+  EXPECT_EQ(stats.intents_recognized, 0);
+  EXPECT_EQ(optimized->ToString().find("matmul"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, NoFalsePositiveRecognition) {
+  // Same shape but aggregate uses avg, not sum: not a matrix multiply.
+  PlanPtr right = Plan::Rename(Plan::Scan("B"),
+                               {{"k", "k2"}, {"j", "j2"}, {"b", "bv"}});
+  PlanPtr joined = Plan::Join(Plan::Scan("A"), right, JoinType::kInner, {"k"},
+                              {"k2"});
+  PlanPtr prod = Plan::Extend(joined, {{"p", Mul(Col("a"), Col("bv"))}});
+  PlanPtr agg = Plan::Aggregate(prod, {"i", "j2"},
+                                {AggSpec{AggFunc::kAvg, Col("p"), "c"}});
+  PlanPtr p = Plan::Select(agg, Ne(Col("c"), Lit(0)));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_EQ(stats.intents_recognized, 0);
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, FoldsInsidePlans) {
+  PlanPtr p = Plan::Select(Plan::Scan("orders"),
+                           And(Lit(true), Gt(Col("amount"), Add(Lit(10.0), Lit(5.0)))));
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}, &stats));
+  EXPECT_GE(stats.expressions_folded, 1);
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, AblationFlagsIsolatePasses) {
+  PlanPtr p = Plan::Select(
+      Plan::Project(Plan::Scan("orders"), {"cid", "amount"}),
+      Gt(Col("amount"), Lit(50.0)));
+  OptimizerOptions off;
+  off.fold_constants = off.push_selections = off.recognize_intent =
+      off.prune_columns = false;
+  ASSERT_OK_AND_ASSIGN(PlanPtr untouched, Optimize(p, catalog_, off));
+  EXPECT_TRUE(untouched->Equals(*p));
+}
+
+TEST_F(OptimizerTest, RandomizedEquivalenceSweep) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    PlanPtr p = Plan::Scan("orders");
+    // Random pipeline of pushdown-relevant operators.
+    int steps = static_cast<int>(rng.NextBounded(4)) + 2;
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.NextBounded(5)) {
+        case 0:
+          p = Plan::Select(p, Gt(Col("amount"), Lit(rng.NextDouble(0, 100))));
+          break;
+        case 1:
+          p = Plan::Extend(
+              p, {{StrCat("e", trial, "_", s), Add(Col("amount"), Lit(1.0))}});
+          break;
+        case 2:
+          p = Plan::Sort(p, {{"oid", rng.NextBool()}});
+          break;
+        case 3:
+          p = Plan::Distinct(p);
+          break;
+        default:
+          p = Plan::Select(p, Ne(Col("region"), Lit("b")));
+          break;
+      }
+    }
+    CheckPreserves(p);
+  }
+}
+
+TEST_F(OptimizerTest, PushesLimitBelowRowPreservingOps) {
+  PlanPtr p = Plan::Limit(
+      Plan::Rename(
+          Plan::Extend(Plan::Scan("orders"), {{"t", Mul(Col("amount"), Lit(2.0))}}),
+          {{"t", "taxed"}}),
+      7, 2);
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}));
+  // The limit should sink below rename and extend, directly onto the scan
+  // side (deepest position in the rendering).
+  std::string tree = optimized->ToString();
+  EXPECT_GT(tree.find("limit"), tree.find("extend")) << tree;
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, ComposesAdjacentLimits) {
+  PlanPtr p = Plan::Limit(Plan::Limit(Plan::Scan("orders"), 20, 5), 10, 3);
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}));
+  ASSERT_EQ(optimized->kind(), OpKind::kLimit);
+  EXPECT_EQ(optimized->As<LimitOp>().offset, 8);
+  EXPECT_EQ(optimized->As<LimitOp>().limit, 10);
+  EXPECT_EQ(optimized->child(0)->kind(), OpKind::kScan);
+  CheckPreserves(p);
+  // Outer window larger than the inner remainder.
+  PlanPtr clipped = Plan::Limit(Plan::Limit(Plan::Scan("orders"), 10, 0), 50, 8);
+  ASSERT_OK_AND_ASSIGN(PlanPtr opt2, Optimize(clipped, catalog_, {}));
+  EXPECT_EQ(opt2->As<LimitOp>().limit, 2);
+  CheckPreserves(clipped);
+}
+
+TEST_F(OptimizerTest, LimitDoesNotCrossFilteringOps) {
+  // Pushing a limit below select/sort/distinct would change results.
+  PlanPtr p = Plan::Limit(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))), 5, 0);
+  ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_, {}));
+  EXPECT_EQ(optimized->kind(), OpKind::kLimit);
+  EXPECT_EQ(optimized->child(0)->kind(), OpKind::kSelect);
+  CheckPreserves(p);
+}
+
+TEST_F(OptimizerTest, OptimizesInsideIterateBody) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  ASSERT_OK(catalog_.Put("st", Dataset(MakeTable(s, {{F(8.0)}}))));
+  IterateOp op;
+  op.body = Plan::Rename(
+      Plan::Project(
+          Plan::Select(
+              Plan::Extend(Plan::LoopVar(), {{"h", Div(Col("v"), Lit(2.0))}}),
+              And(Lit(true), Gt(Col("h"), Lit(-1.0)))),
+          {"h"}),
+      {{"h", "v"}});
+  op.max_iters = 3;
+  PlanPtr p = Plan::Iterate(Plan::Scan("st"), op);
+  CheckPreserves(p);
+}
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,303 @@
+// Property tests over randomly generated plans: the heavy invariants of the
+// framework, checked on hundreds of machine-built pipelines rather than
+// hand-picked cases.
+//
+//   P1  wire round trip:       Parse(Serialize(p)) ≡ p  (structural)
+//   P2  optimizer equivalence: Exec(Optimize(p)) ≡ Exec(p)  (schema + value)
+//   P3  provider agreement:    every claiming provider ≡ reference
+//   P4  federation agreement:  coordinator over a split cluster ≡ local
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/str_util.h"
+#include "core/schema_inference.h"
+#include "core/serialize.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::S;
+
+// ---------------------------------------------------------------------------
+// Random workload + plan generation.
+// ---------------------------------------------------------------------------
+
+TablePtr RandomBaseTable(Rng* rng, int64_t rows) {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("g", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64),
+                            Field::Attr("tag", DataType::kString)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < rows; ++i) {
+    // Integer-valued floats keep sums order-independent (exact comparison).
+    EXPECT_OK(b.AppendRow(
+        {I(rng->NextInt(0, 12)), I(rng->NextInt(0, 4)),
+         F(static_cast<double>(rng->NextInt(-20, 20))),
+         S(std::string(1, static_cast<char>('a' + rng->NextBounded(3))))}));
+  }
+  return b.Finish().ValueOrDie();
+}
+
+TablePtr RandomGridTable(Rng* rng, int64_t extent) {
+  SchemaPtr s = MakeSchema({Field::Dim("x"), Field::Dim("y"),
+                            Field::Attr("v", DataType::kFloat64)});
+  TableBuilder b(s);
+  for (int64_t x = 0; x < extent; ++x) {
+    for (int64_t y = 0; y < extent; ++y) {
+      if (rng->NextBool(0.3)) continue;
+      EXPECT_OK(b.AppendRow(
+          {I(x), I(y), F(static_cast<double>(rng->NextInt(-9, 9)))}));
+    }
+  }
+  return b.Finish().ValueOrDie();
+}
+
+// Random scalar boolean predicate over {k, g, v}.
+ExprPtr RandomPredicate(Rng* rng) {
+  switch (rng->NextBounded(5)) {
+    case 0:
+      return Gt(Col("v"), Lit(static_cast<double>(rng->NextInt(-10, 10))));
+    case 1:
+      return Eq(Col("g"), Lit(rng->NextInt(0, 4)));
+    case 2:
+      return And(Ge(Col("k"), Lit(rng->NextInt(0, 6))),
+                 Lt(Col("v"), Lit(static_cast<double>(rng->NextInt(0, 20)))));
+    case 3:
+      return Or(Eq(Col("tag"), Lit("a")), Gt(Col("v"), Lit(0.0)));
+    default:
+      return Ne(Mod(Col("k"), Lit(3)), Lit(0));
+  }
+}
+
+// Builds a random relational pipeline over table "base" (+ join "side").
+// The generator only produces well-typed stages, tracked via a live schema.
+PlanPtr RandomRelationalPlan(Rng* rng, const Catalog& catalog, int steps) {
+  PlanPtr p = Plan::Scan("base");
+  int extend_id = 0;
+  for (int s = 0; s < steps; ++s) {
+    SchemaPtr schema = InferSchema(*p, catalog).ValueOrDie();
+    bool has_v = schema->FindField("v") >= 0;
+    bool has_k = schema->FindField("k") >= 0;
+    switch (rng->NextBounded(7)) {
+      case 0:
+        if (has_v && has_k && schema->FindField("g") >= 0 &&
+            schema->FindField("tag") >= 0) {
+          p = Plan::Select(p, RandomPredicate(rng));
+        }
+        break;
+      case 1:
+        if (has_v) {
+          p = Plan::Extend(
+              p, {{StrCat("e", extend_id++), Add(Col("v"), Lit(1.0))}});
+        }
+        break;
+      case 2: {
+        SortKey key{schema->field(static_cast<int>(
+                                      rng->NextBounded(static_cast<uint64_t>(
+                                          schema->num_fields()))))
+                        .name,
+                    rng->NextBool()};
+        p = Plan::Sort(p, {key});
+        break;
+      }
+      case 3:
+        p = Plan::Distinct(p);
+        break;
+      case 4:
+        if (has_k && has_v && rng->NextBool(0.5)) {
+          p = Plan::Aggregate(p, {"k"},
+                              {AggSpec{AggFunc::kSum, Col("v"), StrCat("s", s)},
+                               AggSpec{AggFunc::kCount, nullptr, StrCat("n", s)}});
+        }
+        break;
+      case 5:
+        // Joining "side" twice would duplicate its sv column.
+        if (has_k && schema->FindField("sv") < 0 && rng->NextBool(0.5)) {
+          p = Plan::Join(p, Plan::Scan("side"), JoinType::kInner, {"k"},
+                         {"sk"});
+        }
+        break;
+      default:
+        p = Plan::Limit(p, rng->NextInt(5, 50), rng->NextInt(0, 3));
+        break;
+    }
+  }
+  return p;
+}
+
+// Random dimension-aware pipeline over "grid".
+PlanPtr RandomArrayPlan(Rng* rng, int steps) {
+  PlanPtr p = Plan::Scan("grid");
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->NextBounded(5)) {
+      case 0:
+        p = Plan::Slice(p, {{"x", rng->NextInt(-2, 3), rng->NextInt(6, 12)}});
+        break;
+      case 1:
+        p = Plan::Shift(p, {{"x", rng->NextInt(-4, 4)}, {"y", rng->NextInt(-4, 4)}});
+        break;
+      case 2:
+        p = Plan::Regrid(p, {{"x", rng->NextInt(1, 3)}, {"y", rng->NextInt(1, 3)}},
+                         rng->NextBool() ? AggFunc::kSum : AggFunc::kMax);
+        break;
+      case 3:
+        p = Plan::Transpose(p, {"y", "x"});
+        break;
+      default:
+        p = Plan::Select(p, Gt(Col("v"), Lit(static_cast<double>(rng->NextInt(-8, 4)))));
+        break;
+    }
+  }
+  return p;
+}
+
+class PlanFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(static_cast<uint64_t>(GetParam()) * 6151 + 3);
+    base_ = RandomBaseTable(rng_.get(), 150);
+    SchemaPtr side_schema = MakeSchema({Field::Attr("sk", DataType::kInt64),
+                                        Field::Attr("sv", DataType::kFloat64)});
+    TableBuilder sb(side_schema);
+    for (int64_t i = 0; i < 13; ++i) {
+      ASSERT_OK(sb.AppendRow({I(i), F(static_cast<double>(i * 2))}));
+    }
+    side_ = sb.Finish().ValueOrDie();
+    grid_ = RandomGridTable(rng_.get(), 10);
+    ASSERT_OK(catalog_.Put("base", Dataset(base_)));
+    ASSERT_OK(catalog_.Put("side", Dataset(side_)));
+    ASSERT_OK(catalog_.Put("grid", Dataset(grid_)));
+  }
+
+  std::unique_ptr<Rng> rng_;
+  TablePtr base_, side_, grid_;
+  InMemoryCatalog catalog_;
+};
+
+TEST_P(PlanFuzzTest, WireRoundTripIsIdentity) {
+  for (int trial = 0; trial < 8; ++trial) {
+    PlanPtr p = trial % 2 == 0 ? RandomRelationalPlan(rng_.get(), catalog_, 5)
+                               : RandomArrayPlan(rng_.get(), 5);
+    std::string wire = SerializePlan(*p);
+    ASSERT_OK_AND_ASSIGN(PlanPtr back, ParsePlan(wire));
+    EXPECT_TRUE(p->Equals(*back)) << wire;
+    EXPECT_EQ(SerializePlan(*back), wire);
+  }
+}
+
+TEST_P(PlanFuzzTest, OptimizerPreservesSemantics) {
+  ReferenceExecutor exec(&catalog_);
+  for (int trial = 0; trial < 6; ++trial) {
+    PlanPtr p = trial % 2 == 0 ? RandomRelationalPlan(rng_.get(), catalog_, 5)
+                               : RandomArrayPlan(rng_.get(), 4);
+    ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog_));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s1, InferSchema(*p, catalog_));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s2, InferSchema(*optimized, catalog_));
+    ASSERT_TRUE(s1->Equals(*s2))
+        << "schema changed:\n" << p->ToString() << "->\n" << optimized->ToString();
+    ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*p));
+    ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*optimized));
+    EXPECT_TRUE(got.LogicallyEquals(want))
+        << p->ToString() << "->\n" << optimized->ToString();
+  }
+}
+
+TEST_P(PlanFuzzTest, ProvidersAgreeOnClaimedPlans) {
+  std::vector<ProviderPtr> providers = {MakeReferenceProvider(),
+                                        MakeRelationalProvider(),
+                                        MakeArrayProvider()};
+  for (const ProviderPtr& p : providers) {
+    ASSERT_OK(p->catalog()->Put("base", Dataset(base_)));
+    ASSERT_OK(p->catalog()->Put("side", Dataset(side_)));
+    ASSERT_OK(p->catalog()->Put("grid", Dataset(grid_)));
+  }
+  for (int trial = 0; trial < 6; ++trial) {
+    bool dimensioned = trial % 2 != 0;
+    PlanPtr plan = dimensioned ? RandomArrayPlan(rng_.get(), 4)
+                               : RandomRelationalPlan(rng_.get(), catalog_, 4);
+    // Sort-sensitive plans may legally differ in row order across engines;
+    // compare as multisets (LogicallyEquals is unordered).
+    ASSERT_OK_AND_ASSIGN(Dataset want, providers[0]->Execute(*plan));
+    for (size_t i = 1; i < providers.size(); ++i) {
+      if (!providers[i]->ClaimsTree(*plan)) continue;
+      // The array engine needs dimensioned inputs; the planner enforces
+      // this via ServerSuits — mirror that here.
+      if (providers[i]->name() == "arraydb" && !dimensioned) continue;
+      ASSERT_OK_AND_ASSIGN(Dataset got, providers[i]->Execute(*plan));
+      EXPECT_TRUE(got.LogicallyEquals(want))
+          << providers[i]->name() << " diverged on\n" << plan->ToString();
+    }
+  }
+}
+
+TEST_P(PlanFuzzTest, FederatedExecutionMatchesLocal) {
+  Cluster cluster;
+  ASSERT_OK(cluster.AddServer("relstore", MakeRelationalProvider()));
+  ASSERT_OK(cluster.AddServer("arraydb", MakeArrayProvider()));
+  ASSERT_OK(cluster.AddServer("reference", MakeReferenceProvider()));
+  // Split the data across servers.
+  ASSERT_OK(cluster.PutData("relstore", "base", Dataset(base_)));
+  ASSERT_OK(cluster.PutData("relstore", "side", Dataset(side_)));
+  ASSERT_OK(cluster.PutData("arraydb", "grid", Dataset(grid_)));
+  Coordinator coord(&cluster);
+  ReferenceExecutor local(&catalog_);
+  for (int trial = 0; trial < 5; ++trial) {
+    PlanPtr plan = trial % 2 == 0
+                       ? RandomRelationalPlan(rng_.get(), catalog_, 4)
+                       : RandomArrayPlan(rng_.get(), 4);
+    // Limit after an unordered boundary is representation-dependent; the
+    // generator may emit Sort → Limit which is stable, but a bare Limit
+    // over differently-ordered intermediates legitimately differs between
+    // a federated plan (which cuts the tree into fragments) and local
+    // execution. Skip plans whose result depends on physical order.
+    if (plan->ToString().find("limit") != std::string::npos) continue;
+    ASSERT_OK_AND_ASSIGN(Dataset want, local.Execute(*plan));
+    ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(plan));
+    EXPECT_TRUE(got.LogicallyEquals(want)) << plan->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Structural invariants of the fused model.
+// ---------------------------------------------------------------------------
+
+class ReboxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReboxPropertyTest, TableArrayRoundTripIsLossless) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  TablePtr t = RandomGridTable(&rng, 6 + GetParam());
+  for (int64_t chunk : {1, 3, 7, 64}) {
+    ASSERT_OK_AND_ASSIGN(auto arr,
+                         NDArray::FromTable(*t, {"x", "y"}, {chunk, chunk}));
+    ASSERT_OK_AND_ASSIGN(TablePtr back, arr->ToTable());
+    EXPECT_TRUE(Dataset(t).LogicallyEquals(Dataset(back)))
+        << "chunk=" << chunk;
+    EXPECT_EQ(arr->NumCellsOccupied(), t->num_rows());
+  }
+}
+
+TEST_P(ReboxPropertyTest, SerializedArrayKeepsGeometryAndCells) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 2);
+  TablePtr t = RandomGridTable(&rng, 7);
+  if (t->num_rows() == 0) return;
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr arr, Dataset(t).AsArray(5));
+  ASSERT_OK_AND_ASSIGN(Dataset back, ParseDataset(SerializeDataset(Dataset(arr))));
+  ASSERT_TRUE(back.is_array());
+  EXPECT_TRUE(back.array()->Equals(*arr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReboxPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,291 @@
+// Tests for the vectorized relational engine, including differential tests
+// against the reference executor on randomized workloads.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/reference_executor.h"
+#include "expr/builder.h"
+#include "relational/engine.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::B;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TablePtr Employees() {
+  SchemaPtr s = MakeSchema({Field::Attr("id", DataType::kInt64),
+                            Field::Attr("dept", DataType::kInt64),
+                            Field::Attr("salary", DataType::kFloat64)});
+  return MakeTable(s, {{I(1), I(10), F(90)},
+                       {I(2), I(10), F(70)},
+                       {I(3), I(20), F(80)},
+                       {I(4), N(), F(60)}});
+}
+
+TablePtr Departments() {
+  SchemaPtr s = MakeSchema({Field::Attr("did", DataType::kInt64),
+                            Field::Attr("dname", DataType::kString)});
+  return MakeTable(s, {{I(10), S("eng")}, {I(30), S("hr")}});
+}
+
+TEST(RelationalFilterTest, Basic) {
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       relational::Filter(Employees(), *Gt(Col("salary"), Lit(65.0))));
+  EXPECT_EQ(t->num_rows(), 3);
+  ASSERT_OK_AND_ASSIGN(TablePtr none,
+                       relational::Filter(Employees(), *Gt(Col("salary"), Lit(1e9))));
+  EXPECT_EQ(none->num_rows(), 0);
+}
+
+TEST(RelationalProjectTest, SelectsAndErrors) {
+  ASSERT_OK_AND_ASSIGN(TablePtr t, relational::Project(Employees(), {"salary", "id"}));
+  EXPECT_EQ(t->schema()->field(0).name, "salary");
+  EXPECT_FALSE(relational::Project(Employees(), {"zz"}).ok());
+}
+
+TEST(RelationalExtendTest, ChainedDefs) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr t,
+      relational::Extend(Employees(), {{"x", Mul(Col("salary"), Lit(2.0))},
+                                       {"y", Add(Col("x"), Lit(1.0))}}));
+  EXPECT_EQ(t->At(0, 3), F(180.0));
+  EXPECT_EQ(t->At(0, 4), F(181.0));
+}
+
+TEST(RelationalJoinTest, InnerMatchesAndSkipsNullKeys) {
+  JoinOp op;
+  op.type = JoinType::kInner;
+  op.left_keys = {"dept"};
+  op.right_keys = {"did"};
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       relational::HashJoin(Employees(), Departments(), op));
+  EXPECT_EQ(t->num_rows(), 2);  // id 1 and 2 join eng; null dept drops
+  EXPECT_EQ(t->schema()->FindField("did"), -1);
+}
+
+TEST(RelationalJoinTest, LeftJoinNullExtends) {
+  JoinOp op;
+  op.type = JoinType::kLeft;
+  op.left_keys = {"dept"};
+  op.right_keys = {"did"};
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       relational::HashJoin(Employees(), Departments(), op));
+  EXPECT_EQ(t->num_rows(), 4);
+  int dname = t->schema()->FindField("dname");
+  int64_t nulls = 0;
+  for (int64_t r = 0; r < t->num_rows(); ++r) nulls += t->At(r, dname).is_null();
+  EXPECT_EQ(nulls, 2);  // dept 20 and the null dept
+}
+
+TEST(RelationalJoinTest, SemiAntiAndResidual) {
+  JoinOp semi;
+  semi.type = JoinType::kSemi;
+  semi.left_keys = {"dept"};
+  semi.right_keys = {"did"};
+  ASSERT_OK_AND_ASSIGN(TablePtr s,
+                       relational::HashJoin(Employees(), Departments(), semi));
+  EXPECT_EQ(s->num_rows(), 2);
+
+  JoinOp anti = semi;
+  anti.type = JoinType::kAnti;
+  ASSERT_OK_AND_ASSIGN(TablePtr a,
+                       relational::HashJoin(Employees(), Departments(), anti));
+  EXPECT_EQ(a->num_rows(), 2);
+
+  JoinOp resid = semi;
+  resid.type = JoinType::kInner;
+  resid.residual = Gt(Col("salary"), Lit(80.0));
+  ASSERT_OK_AND_ASSIGN(TablePtr r,
+                       relational::HashJoin(Employees(), Departments(), resid));
+  EXPECT_EQ(r->num_rows(), 1);  // only id 1 (salary 90)
+}
+
+TEST(RelationalJoinTest, CrossJoinViaEmptyKeys) {
+  JoinOp op;
+  op.residual = Lit(true);
+  ASSERT_OK_AND_ASSIGN(TablePtr t,
+                       relational::HashJoin(Employees(), Departments(), op));
+  EXPECT_EQ(t->num_rows(), 8);
+}
+
+TEST(RelationalAggregateTest, GroupedSums) {
+  AggregateOp op;
+  op.group_by = {"dept"};
+  op.aggs = {AggSpec{AggFunc::kSum, Col("salary"), "total"},
+             AggSpec{AggFunc::kCount, nullptr, "n"},
+             AggSpec{AggFunc::kMin, Col("salary"), "lo"},
+             AggSpec{AggFunc::kMax, Col("salary"), "hi"},
+             AggSpec{AggFunc::kAvg, Col("salary"), "mean"}};
+  ASSERT_OK_AND_ASSIGN(TablePtr t, relational::HashAggregate(Employees(), op));
+  EXPECT_EQ(t->num_rows(), 3);  // 10, 20, null
+  EXPECT_EQ(t->At(0, 0), I(10));
+  EXPECT_EQ(t->At(0, 1), F(160.0));
+  EXPECT_EQ(t->At(0, 2), I(2));
+  EXPECT_EQ(t->At(0, 3), F(70.0));
+  EXPECT_EQ(t->At(0, 4), F(90.0));
+  EXPECT_EQ(t->At(0, 5), F(80.0));
+}
+
+TEST(RelationalAggregateTest, IntMinMaxStayExact) {
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  int64_t big = (int64_t{1} << 62) + 3;
+  TablePtr t = MakeTable(s, {{I(big)}, {I(big - 1)}});
+  AggregateOp op;
+  op.aggs = {AggSpec{AggFunc::kMax, Col("x"), "hi"},
+             AggSpec{AggFunc::kMin, Col("x"), "lo"}};
+  ASSERT_OK_AND_ASSIGN(TablePtr out, relational::HashAggregate(t, op));
+  EXPECT_EQ(out->At(0, 0), I(big));
+  EXPECT_EQ(out->At(0, 1), I(big - 1));
+}
+
+TEST(RelationalSortTest, TypedComparatorsAndNulls) {
+  ASSERT_OK_AND_ASSIGN(
+      TablePtr t, relational::Sort(Employees(), {{"dept", true}, {"salary", false}}));
+  EXPECT_TRUE(t->At(0, 1).is_null());  // null dept first
+  EXPECT_EQ(t->At(1, 2), F(90.0));
+  EXPECT_EQ(t->At(2, 2), F(70.0));
+}
+
+TEST(RelationalDistinctTest, RemovesDuplicates) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64),
+                            Field::Attr("b", DataType::kString)});
+  TablePtr t = MakeTable(s, {{I(1), S("x")}, {I(1), S("x")}, {I(1), S("y")},
+                             {N(), S("x")}, {N(), S("x")}});
+  ASSERT_OK_AND_ASSIGN(TablePtr d, relational::Distinct(t));
+  EXPECT_EQ(d->num_rows(), 3);
+}
+
+TEST(RelationalUnionRenameLimitTest, Basics) {
+  ASSERT_OK_AND_ASSIGN(TablePtr u, relational::Union(Employees(), Employees()));
+  EXPECT_EQ(u->num_rows(), 8);
+  ASSERT_OK_AND_ASSIGN(TablePtr r,
+                       relational::Rename(Employees(), {{"salary", "pay"}}));
+  EXPECT_GE(r->schema()->FindField("pay"), 0);
+  ASSERT_OK_AND_ASSIGN(TablePtr l, relational::Limit(Employees(), 2, 1));
+  EXPECT_EQ(l->num_rows(), 2);
+  EXPECT_EQ(l->At(0, 0), I(2));
+  EXPECT_FALSE(relational::Union(Employees(), Departments()).ok());
+}
+
+TEST(RelationalHashTest, EqualRowsHashEqual) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64),
+                            Field::Attr("b", DataType::kString)});
+  TablePtr t = MakeTable(s, {{I(1), S("x")}, {I(1), S("x")}, {I(2), S("x")}});
+  ASSERT_OK_AND_ASSIGN(auto hashes, relational::HashRows(*t, {0, 1}));
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_NE(hashes[0], hashes[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing: the engine must agree with the reference executor on
+// randomized tables across a grid of plan shapes.
+// ---------------------------------------------------------------------------
+
+class RelationalDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TablePtr RandomTable(Rng* rng, int64_t rows) {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64),
+                            Field::Attr("tag", DataType::kString)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value k = rng->NextBool(0.05) ? N() : I(rng->NextInt(0, 20));
+    Value v = rng->NextBool(0.05) ? N() : F(rng->NextDouble(-100, 100));
+    Value tag = S(std::string(1, static_cast<char>('a' + rng->NextBounded(4))));
+    EXPECT_OK(b.AppendRow({k, v, tag}));
+  }
+  auto r = b.Finish();
+  EXPECT_OK(r.status());
+  return r.ValueOrDie();
+}
+
+TEST_P(RelationalDifferentialTest, AgreesWithReferenceExecutor) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  InMemoryCatalog catalog;
+  TablePtr left = RandomTable(&rng, 200);
+  TablePtr right = RandomTable(&rng, 150);
+  ASSERT_OK(catalog.Put("L", Dataset(left)));
+  ASSERT_OK(catalog.Put("R", Dataset(right)));
+  ReferenceExecutor ref(&catalog);
+
+  auto check = [&](const PlanPtr& plan, const TablePtr& engine_result) {
+    ASSERT_OK_AND_ASSIGN(Dataset want, ref.Execute(*plan));
+    ASSERT_OK_AND_ASSIGN(TablePtr want_table, want.AsTable());
+    EXPECT_TRUE(engine_result->EqualsUnordered(*want_table))
+        << plan->ToString() << "engine rows=" << engine_result->num_rows()
+        << " reference rows=" << want_table->num_rows();
+  };
+
+  // Filter.
+  ExprPtr pred = And(Gt(Col("v"), Lit(0.0)), Lt(Col("k"), Lit(15)));
+  ASSERT_OK_AND_ASSIGN(TablePtr f, relational::Filter(left, *pred));
+  check(Plan::Select(Plan::Scan("L"), pred), f);
+
+  // Joins of every type.
+  for (JoinType jt : {JoinType::kInner, JoinType::kLeft, JoinType::kSemi,
+                      JoinType::kAnti}) {
+    JoinOp op;
+    op.type = jt;
+    op.left_keys = {"k"};
+    op.right_keys = {"k"};
+    ASSERT_OK_AND_ASSIGN(
+        TablePtr renamed,
+        relational::Rename(right, {{"v", "rv"}, {"tag", "rtag"}}));
+    ASSERT_OK_AND_ASSIGN(TablePtr j, relational::HashJoin(left, renamed, op));
+    PlanPtr rplan = Plan::Rename(Plan::Scan("R"), {{"v", "rv"}, {"tag", "rtag"}});
+    check(Plan::Join(Plan::Scan("L"), rplan, jt, {"k"}, {"k"}), j);
+  }
+
+  // Aggregation.
+  AggregateOp agg;
+  agg.group_by = {"k", "tag"};
+  agg.aggs = {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+              AggSpec{AggFunc::kCount, nullptr, "n"},
+              AggSpec{AggFunc::kAvg, Col("v"), "av"}};
+  ASSERT_OK_AND_ASSIGN(TablePtr a, relational::HashAggregate(left, agg));
+  // Compare sums with tolerance by sorting both sides identically instead of
+  // exact row equality (float addition order differs).
+  ASSERT_OK_AND_ASSIGN(Dataset want, ref.Execute(*Plan::Aggregate(
+                                         Plan::Scan("L"), agg.group_by, agg.aggs)));
+  ASSERT_OK_AND_ASSIGN(TablePtr want_t, want.AsTable());
+  ASSERT_OK_AND_ASSIGN(TablePtr a_sorted,
+                       relational::Sort(a, {{"k", true}, {"tag", true}}));
+  ASSERT_OK_AND_ASSIGN(TablePtr w_sorted,
+                       relational::Sort(want_t, {{"k", true}, {"tag", true}}));
+  ASSERT_EQ(a_sorted->num_rows(), w_sorted->num_rows());
+  for (int64_t r = 0; r < a_sorted->num_rows(); ++r) {
+    EXPECT_EQ(a_sorted->At(r, 0), w_sorted->At(r, 0));
+    EXPECT_EQ(a_sorted->At(r, 1), w_sorted->At(r, 1));
+    if (!a_sorted->At(r, 2).is_null()) {
+      EXPECT_NEAR(a_sorted->At(r, 2).AsDouble(), w_sorted->At(r, 2).AsDouble(), 1e-6);
+    }
+    EXPECT_EQ(a_sorted->At(r, 3), w_sorted->At(r, 3));
+  }
+
+  // Distinct.
+  ASSERT_OK_AND_ASSIGN(TablePtr proj, relational::Project(left, {"k", "tag"}));
+  ASSERT_OK_AND_ASSIGN(TablePtr d, relational::Distinct(proj));
+  check(Plan::Distinct(Plan::Project(Plan::Scan("L"), {"k", "tag"})), d);
+
+  // Sort: fully deterministic (ordered compare).
+  ASSERT_OK_AND_ASSIGN(TablePtr sorted,
+                       relational::Sort(left, {{"k", true}, {"v", false}}));
+  ASSERT_OK_AND_ASSIGN(
+      Dataset want_sorted,
+      ref.Execute(*Plan::Sort(Plan::Scan("L"), {{"k", true}, {"v", false}})));
+  ASSERT_OK_AND_ASSIGN(TablePtr ws, want_sorted.AsTable());
+  EXPECT_TRUE(sorted->Equals(*ws));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationalDifferentialTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace nexus

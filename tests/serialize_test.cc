@@ -1,0 +1,211 @@
+// Round-trip tests for the s-expression wire format: expressions, datasets,
+// and full plans (including nested Iterate bodies and inline Values data).
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "expr/builder.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+void ExpectExprRoundTrip(const ExprPtr& e) {
+  std::string wire = SerializeExpr(*e);
+  ASSERT_OK_AND_ASSIGN(ExprPtr back, ParseExpr(wire));
+  EXPECT_TRUE(e->Equals(*back)) << wire << " -> " << back->ToString();
+}
+
+TEST(ExprSerializeTest, Literals) {
+  ExpectExprRoundTrip(Lit(42));
+  ExpectExprRoundTrip(Lit(-7));
+  ExpectExprRoundTrip(Lit(2.5));
+  ExpectExprRoundTrip(Lit(1e-12));
+  ExpectExprRoundTrip(Lit(3.0));  // float that prints like an int
+  ExpectExprRoundTrip(Lit(true));
+  ExpectExprRoundTrip(Lit(false));
+  ExpectExprRoundTrip(NullLit());
+  ExpectExprRoundTrip(Lit("hello world"));
+  ExpectExprRoundTrip(Lit("quotes \" and \\ and \n"));
+  ExpectExprRoundTrip(Lit(""));
+}
+
+TEST(ExprSerializeTest, Composites) {
+  ExpectExprRoundTrip(Add(Col("a"), Mul(Col("b"), Lit(2))));
+  ExpectExprRoundTrip(And(Ge(Col("x"), Lit(1.5)), Not(Col("flag"))));
+  ExpectExprRoundTrip(Func("pow", {Col("a"), Lit(2.0)}));
+  ExpectExprRoundTrip(Cast(DataType::kString, Col("a")));
+  ExpectExprRoundTrip(Neg(Func("coalesce", {Col("a"), Lit(0)})));
+  ExpectExprRoundTrip(Mod(Col("k"), Lit(16)));
+}
+
+TEST(ExprSerializeTest, FloatPrecisionSurvives) {
+  double tricky = 0.1 + 0.2;  // not representable as a short decimal
+  ASSERT_OK_AND_ASSIGN(ExprPtr back, ParseExpr(SerializeExpr(*Lit(tricky))));
+  EXPECT_EQ(back->literal().AsFloat64(), tricky);
+}
+
+TEST(ExprSerializeTest, ParseErrors) {
+  EXPECT_FALSE(ParseExpr("(col").ok());
+  EXPECT_FALSE(ParseExpr("(bogus 1 2)").ok());
+  EXPECT_FALSE(ParseExpr("(col \"a\") trailing").ok());
+  EXPECT_FALSE(ParseExpr("(+ (col \"a\"))").ok());  // wrong arity
+  EXPECT_FALSE(ParseExpr("(\"unterminated").ok());
+  EXPECT_FALSE(ParseExpr("").ok());
+}
+
+TEST(DatasetSerializeTest, TableRoundTrip) {
+  SchemaPtr s = MakeSchema({Field::Attr("name", DataType::kString),
+                            Field::Attr("age", DataType::kInt64),
+                            Field::Attr("score", DataType::kFloat64),
+                            Field::Attr("ok", DataType::kBool)});
+  TablePtr t = MakeTable(s, {{S("ann"), I(31), F(0.5), testing::B(true)},
+                             {S("bob"), N(), F(-2.25), testing::B(false)},
+                             {S(""), I(0), N(), N()}});
+  Dataset d(t);
+  ASSERT_OK_AND_ASSIGN(Dataset back, ParseDataset(SerializeDataset(d)));
+  EXPECT_TRUE(back.is_table());
+  EXPECT_TRUE(back.table()->Equals(*t));
+}
+
+TEST(DatasetSerializeTest, ArrayKeepsGeometry) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kFloat64)});
+  TablePtr t = MakeTable(s, {{I(0), F(1.0)}, {I(7), F(2.0)}});
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr arr, Dataset(t).AsArray(4));
+  Dataset d(arr);
+  ASSERT_OK_AND_ASSIGN(Dataset back, ParseDataset(SerializeDataset(d)));
+  ASSERT_TRUE(back.is_array());
+  EXPECT_EQ(back.array()->dim(0).chunk_size, 4);
+  EXPECT_TRUE(back.array()->Equals(*arr));
+}
+
+TEST(DatasetSerializeTest, DimensionTagsSurvive) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kInt64)});
+  Dataset d(MakeTable(s, {{I(1), I(10)}}));
+  ASSERT_OK_AND_ASSIGN(Dataset back, ParseDataset(SerializeDataset(d)));
+  EXPECT_TRUE(back.schema()->field(0).is_dimension);
+}
+
+PlanPtr SamplePlanValues() {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  return Plan::Values(Dataset(MakeTable(s, {{I(1), F(2.0)}, {I(2), F(4.0)}})));
+}
+
+void ExpectPlanRoundTrip(const PlanPtr& p) {
+  std::string wire = SerializePlan(*p);
+  ASSERT_OK_AND_ASSIGN(PlanPtr back, ParsePlan(wire));
+  EXPECT_TRUE(p->Equals(*back)) << wire;
+  // Serialization is deterministic.
+  EXPECT_EQ(SerializePlan(*back), wire);
+}
+
+TEST(PlanSerializeTest, RelationalOperators) {
+  PlanPtr scan = Plan::Scan("emp");
+  ExpectPlanRoundTrip(scan);
+  ExpectPlanRoundTrip(SamplePlanValues());
+  ExpectPlanRoundTrip(Plan::Select(scan, Gt(Col("age"), Lit(30))));
+  ExpectPlanRoundTrip(Plan::Project(scan, {"a", "b"}));
+  ExpectPlanRoundTrip(Plan::Extend(scan, {{"x", Add(Col("a"), Lit(1))},
+                                          {"y", Mul(Col("a"), Col("a"))}}));
+  ExpectPlanRoundTrip(Plan::Join(scan, Plan::Scan("dept"), JoinType::kInner,
+                                 {"dept_id"}, {"id"}));
+  ExpectPlanRoundTrip(Plan::Join(scan, Plan::Scan("dept"), JoinType::kLeft,
+                                 {"dept_id"}, {"id"},
+                                 Gt(Col("salary"), Col("budget"))));
+  ExpectPlanRoundTrip(Plan::Join(scan, Plan::Scan("dept"), JoinType::kAnti,
+                                 {"dept_id"}, {"id"}));
+  ExpectPlanRoundTrip(Plan::Aggregate(
+      scan, {"dept"},
+      {AggSpec{AggFunc::kSum, Col("salary"), "total"},
+       AggSpec{AggFunc::kCount, nullptr, "n"},
+       AggSpec{AggFunc::kAvg, Add(Col("a"), Col("b")), "mean"}}));
+  ExpectPlanRoundTrip(Plan::Sort(scan, {{"a", true}, {"b", false}}));
+  ExpectPlanRoundTrip(Plan::Limit(scan, 10, 5));
+  ExpectPlanRoundTrip(Plan::Distinct(scan));
+  ExpectPlanRoundTrip(Plan::Union(scan, Plan::Scan("emp2")));
+  ExpectPlanRoundTrip(Plan::Rename(scan, {{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(PlanSerializeTest, ArrayOperators) {
+  PlanPtr scan = Plan::Scan("grid");
+  ExpectPlanRoundTrip(Plan::Rebox(scan, {"i", "j"}, 32));
+  ExpectPlanRoundTrip(Plan::Unbox(scan));
+  ExpectPlanRoundTrip(Plan::Slice(scan, {{"i", 0, 10}, {"j", -5, 5}}));
+  ExpectPlanRoundTrip(Plan::Shift(scan, {{"i", 3}, {"j", -2}}));
+  ExpectPlanRoundTrip(Plan::Regrid(scan, {{"i", 4}, {"j", 4}}, AggFunc::kAvg));
+  ExpectPlanRoundTrip(Plan::Transpose(scan, {"j", "i"}));
+  ExpectPlanRoundTrip(Plan::Window(scan, {{"i", 1}, {"j", 2}}, AggFunc::kMax));
+  ExpectPlanRoundTrip(Plan::ElemWise(scan, Plan::Scan("grid2"), BinaryOp::kMul));
+}
+
+TEST(PlanSerializeTest, IntentOperators) {
+  ExpectPlanRoundTrip(Plan::MatMul(Plan::Scan("A"), Plan::Scan("B"), "prod"));
+  PageRankOp pr;
+  pr.src_col = "from";
+  pr.dst_col = "to";
+  pr.damping = 0.9;
+  pr.max_iters = 25;
+  pr.epsilon = 1e-6;
+  ExpectPlanRoundTrip(Plan::PageRank(Plan::Scan("edges"), pr));
+}
+
+TEST(PlanSerializeTest, IterateWithNestedPlans) {
+  IterateOp it;
+  it.body = Plan::Extend(Plan::LoopVar(), {{"next", Mul(Col("v"), Lit(0.5))}});
+  it.measure = Plan::Aggregate(
+      Plan::LoopVar(true), {},
+      {AggSpec{AggFunc::kSum, Col("v"), "delta"}});
+  it.epsilon = 1e-3;
+  it.max_iters = 40;
+  ExpectPlanRoundTrip(Plan::Iterate(Plan::Scan("state0"), it));
+
+  IterateOp no_measure;
+  no_measure.body = Plan::Select(Plan::LoopVar(), Gt(Col("v"), Lit(0)));
+  no_measure.max_iters = 3;
+  ExpectPlanRoundTrip(Plan::Iterate(Plan::Scan("s"), no_measure));
+}
+
+TEST(PlanSerializeTest, Exchange) {
+  ExpectPlanRoundTrip(
+      Plan::Exchange(Plan::Scan("t"), "arraydb", TransferMode::kDirect));
+  ExpectPlanRoundTrip(
+      Plan::Exchange(Plan::Scan("t"), "client", TransferMode::kRelay));
+}
+
+TEST(PlanSerializeTest, DeepPipeline) {
+  PlanPtr p = Plan::Scan("events");
+  p = Plan::Select(p, Gt(Col("ts"), Lit(100)));
+  p = Plan::Extend(p, {{"bucket", Mod(Col("ts"), Lit(60))}});
+  p = Plan::Aggregate(p, {"bucket"}, {AggSpec{AggFunc::kCount, nullptr, "n"}});
+  p = Plan::Sort(p, {{"n", false}});
+  p = Plan::Limit(p, 10, 0);
+  ExpectPlanRoundTrip(p);
+  EXPECT_EQ(p->TreeSize(), 6);
+}
+
+TEST(PlanSerializeTest, ParseErrors) {
+  EXPECT_FALSE(ParsePlan("(scan)").ok());
+  EXPECT_FALSE(ParsePlan("(frobnicate (scan \"t\"))").ok());
+  EXPECT_FALSE(ParsePlan("(select (scan \"t\"))").ok());  // missing predicate
+  EXPECT_FALSE(ParsePlan("(join (scan \"a\") (scan \"b\"))").ok());
+  EXPECT_FALSE(ParsePlan("not a sexpr").ok());
+}
+
+TEST(PlanSerializeTest, ValuesDataSurvives) {
+  PlanPtr p = SamplePlanValues();
+  ASSERT_OK_AND_ASSIGN(PlanPtr back, ParsePlan(SerializePlan(*p)));
+  const Dataset& d = back->As<ValuesOp>().data;
+  EXPECT_EQ(d.num_rows(), 2);
+  EXPECT_EQ(d.schema()->field(1).type, DataType::kFloat64);
+}
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,120 @@
+// Tests for the dense linear solvers: LU factorization, solve, determinant,
+// inverse — verified against reconstruction identities on random systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/solve.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using linalg::DenseMatrix;
+
+DenseMatrix RandomWellConditioned(Rng* rng, int64_t n) {
+  DenseMatrix a(n, n);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) a.Set(r, c, rng->NextDouble(-1, 1));
+    a.Set(r, r, a.At(r, r) + static_cast<double>(n));  // diagonal dominance
+  }
+  return a;
+}
+
+TEST(LuTest, SolvesHandComputedSystem) {
+  // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+  DenseMatrix a(2, 2);
+  a.Set(0, 0, 2);
+  a.Set(0, 1, 1);
+  a.Set(1, 0, 1);
+  a.Set(1, 1, 3);
+  ASSERT_OK_AND_ASSIGN(auto x, linalg::SolveLinearSystem(a, {5.0, 10.0}));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, RequiresSquare) {
+  EXPECT_FALSE(linalg::LuFactor(DenseMatrix(2, 3)).ok());
+}
+
+TEST(LuTest, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.Set(0, 0, 1);
+  a.Set(0, 1, 2);
+  a.Set(1, 0, 2);
+  a.Set(1, 1, 4);  // rank 1
+  EXPECT_FALSE(linalg::LuFactor(a).ok());
+  EXPECT_FALSE(linalg::LuFactor(DenseMatrix(3, 3)).ok());  // all-zero
+}
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  DenseMatrix a(2, 2);
+  a.Set(0, 0, 0);
+  a.Set(0, 1, 1);
+  a.Set(1, 0, 1);
+  a.Set(1, 1, 0);
+  ASSERT_OK_AND_ASSIGN(auto x, linalg::SolveLinearSystem(a, {3.0, 7.0}));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  ASSERT_OK_AND_ASSIGN(auto lu, linalg::LuFactor(a));
+  EXPECT_NEAR(lu.Determinant(), -1.0, 1e-12);  // swap flips the sign
+}
+
+TEST(LuTest, DeterminantOfDiagonal) {
+  DenseMatrix a(3, 3);
+  a.Set(0, 0, 2);
+  a.Set(1, 1, 3);
+  a.Set(2, 2, 4);
+  ASSERT_OK_AND_ASSIGN(auto lu, linalg::LuFactor(a));
+  EXPECT_NEAR(lu.Determinant(), 24.0, 1e-12);
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuPropertyTest, SolveSatisfiesSystem) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 89 + 7);
+  for (int64_t n : {1, 2, 5, 12, 30}) {
+    DenseMatrix a = RandomWellConditioned(&rng, n);
+    std::vector<double> b(static_cast<size_t>(n));
+    for (double& v : b) v = rng.NextDouble(-10, 10);
+    ASSERT_OK_AND_ASSIGN(auto x, linalg::SolveLinearSystem(a, b));
+    ASSERT_OK_AND_ASSIGN(auto ax, linalg::MatVec(a, x));
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ax[static_cast<size_t>(i)], b[static_cast<size_t>(i)], 1e-9)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST_P(LuPropertyTest, InverseReconstructsIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 11);
+  for (int64_t n : {2, 6, 15}) {
+    DenseMatrix a = RandomWellConditioned(&rng, n);
+    ASSERT_OK_AND_ASSIGN(DenseMatrix inv, linalg::Invert(a));
+    ASSERT_OK_AND_ASSIGN(DenseMatrix prod, linalg::MatMulNaive(a, inv));
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < n; ++c) {
+        EXPECT_NEAR(prod.At(r, c), r == c ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(LuPropertyTest, DeterminantMatchesProductRule) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 53 + 29);
+  DenseMatrix a = RandomWellConditioned(&rng, 8);
+  DenseMatrix b = RandomWellConditioned(&rng, 8);
+  ASSERT_OK_AND_ASSIGN(auto la, linalg::LuFactor(a));
+  ASSERT_OK_AND_ASSIGN(auto lb, linalg::LuFactor(b));
+  ASSERT_OK_AND_ASSIGN(DenseMatrix ab, linalg::MatMulNaive(a, b));
+  ASSERT_OK_AND_ASSIGN(auto lab, linalg::LuFactor(ab));
+  double expected = la.Determinant() * lb.Determinant();
+  EXPECT_NEAR(lab.Determinant() / expected, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuPropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,63 @@
+// Shared helpers for the nexus test suite.
+#ifndef NEXUS_TESTS_TEST_UTIL_H_
+#define NEXUS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "types/table.h"
+
+namespace nexus {
+namespace testing {
+
+/// Builds a schema from fields, aborting on invalid specs (tests only).
+inline SchemaPtr MakeSchema(std::vector<Field> fields) {
+  auto r = Schema::Make(std::move(fields));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ValueOrDie();
+}
+
+/// Builds a table from rows of boxed values.
+inline TablePtr MakeTable(SchemaPtr schema,
+                          const std::vector<std::vector<Value>>& rows) {
+  TableBuilder b(schema);
+  for (const auto& row : rows) {
+    auto st = b.AppendRow(row);
+    EXPECT_TRUE(st.ok()) << st;
+  }
+  auto r = b.Finish();
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ValueOrDie();
+}
+
+/// Shorthand value constructors.
+inline Value I(int64_t v) { return Value::Int64(v); }
+inline Value F(double v) { return Value::Float64(v); }
+inline Value S(std::string v) { return Value::String(std::move(v)); }
+inline Value B(bool v) { return Value::Bool(v); }
+inline Value N() { return Value::Null(); }
+
+}  // namespace testing
+}  // namespace nexus
+
+#define ASSERT_OK(expr)                                \
+  do {                                                 \
+    auto _assert_status = (expr);                      \
+    ASSERT_TRUE(_assert_status.ok()) << _assert_status; \
+  } while (0)
+
+#define EXPECT_OK(expr)                                \
+  do {                                                 \
+    auto _expect_status = (expr);                      \
+    EXPECT_TRUE(_expect_status.ok()) << _expect_status; \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                 \
+  auto NEXUS_CONCAT(_res_, __LINE__) = (expr);          \
+  ASSERT_TRUE(NEXUS_CONCAT(_res_, __LINE__).ok())       \
+      << NEXUS_CONCAT(_res_, __LINE__).status();        \
+  lhs = NEXUS_CONCAT(_res_, __LINE__).MoveValue()
+
+#endif  // NEXUS_TESTS_TEST_UTIL_H_

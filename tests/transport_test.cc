@@ -1,0 +1,87 @@
+// Unit tests for the metered transport and cluster plumbing — the
+// measurement instrument behind E4/E5/E6 must itself be exact.
+#include <gtest/gtest.h>
+
+#include "federation/cluster.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+TEST(TransportTest, CountsMessagesAndBytes) {
+  Transport t;
+  t.Send("client", "a", 100, MessageKind::kPlan);
+  t.Send("a", "b", 1000, MessageKind::kData);
+  t.Send("b", "client", 50, MessageKind::kData);
+  EXPECT_EQ(t.total_messages(), 3);
+  EXPECT_EQ(t.total_bytes(), 1150);
+  EXPECT_EQ(t.messages_of(MessageKind::kPlan), 1);
+  EXPECT_EQ(t.messages_of(MessageKind::kData), 2);
+  EXPECT_EQ(t.bytes_of(MessageKind::kPlan), 100);
+  EXPECT_EQ(t.bytes_of(MessageKind::kData), 1050);
+}
+
+TEST(TransportTest, ThroughNodeAccounting) {
+  Transport t;
+  t.Send("client", "a", 100, MessageKind::kPlan);
+  t.Send("a", "b", 1000, MessageKind::kData);  // never touches the client
+  t.Send("b", "client", 50, MessageKind::kData);
+  EXPECT_EQ(t.bytes_through("client"), 150);
+  EXPECT_EQ(t.bytes_through("a"), 1100);
+  EXPECT_EQ(t.bytes_through("b"), 1050);
+  EXPECT_EQ(t.messages_through("client"), 2);
+}
+
+TEST(TransportTest, SimulatedTimeIsLatencyPlusBandwidth) {
+  TransportOptions opts;
+  opts.latency_seconds = 0.010;
+  opts.bandwidth_bytes_per_second = 1000.0;
+  Transport t(opts);
+  double s = t.Send("client", "a", 500, MessageKind::kData);
+  EXPECT_DOUBLE_EQ(s, 0.010 + 0.5);
+  t.Send("a", "client", 1000, MessageKind::kData);
+  EXPECT_DOUBLE_EQ(t.simulated_seconds(), 0.010 + 0.5 + 0.010 + 1.0);
+}
+
+TEST(TransportTest, PerLinkBreakdownAndReset) {
+  Transport t;
+  t.Send("client", "a", 10, MessageKind::kPlan);
+  t.Send("client", "a", 20, MessageKind::kPlan);
+  t.Send("a", "client", 5, MessageKind::kData);
+  auto links = t.PerLink();
+  EXPECT_EQ((links[{"client", "a"}].messages), 2);
+  EXPECT_EQ((links[{"client", "a"}].bytes), 30);
+  EXPECT_EQ((links[{"a", "client"}].messages), 1);
+  t.Reset();
+  EXPECT_EQ(t.total_messages(), 0);
+  EXPECT_EQ(t.simulated_seconds(), 0.0);
+}
+
+TEST(ClusterTest, ServerRegistrationRules) {
+  Cluster c;
+  EXPECT_OK(c.AddServer("a", MakeReferenceProvider()));
+  EXPECT_FALSE(c.AddServer("a", MakeReferenceProvider()).ok());  // duplicate
+  EXPECT_FALSE(c.AddServer("client", MakeReferenceProvider()).ok());
+  EXPECT_FALSE(c.AddServer("", MakeReferenceProvider()).ok());
+  EXPECT_FALSE(c.AddServer("b", nullptr).ok());
+  EXPECT_EQ(c.ServerNames(), (std::vector<std::string>{"a"}));
+  EXPECT_NE(c.provider("a"), nullptr);
+  EXPECT_EQ(c.provider("zz"), nullptr);
+}
+
+TEST(ClusterTest, HoldersReflectCatalogs) {
+  Cluster c;
+  ASSERT_OK(c.AddServer("a", MakeReferenceProvider()));
+  ASSERT_OK(c.AddServer("b", MakeReferenceProvider()));
+  SchemaPtr s = testing::MakeSchema({Field::Attr("x", DataType::kInt64)});
+  ASSERT_OK(c.PutData("a", "t", Dataset(Table::Empty(s))));
+  ASSERT_OK(c.PutData("b", "t", Dataset(Table::Empty(s))));
+  ASSERT_OK(c.PutData("b", "u", Dataset(Table::Empty(s))));
+  EXPECT_EQ(c.HoldersOf("t"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(c.HoldersOf("u"), (std::vector<std::string>{"b"}));
+  EXPECT_TRUE(c.HoldersOf("nope").empty());
+  EXPECT_FALSE(c.PutData("zz", "t", Dataset(Table::Empty(s))).ok());
+}
+
+}  // namespace
+}  // namespace nexus

@@ -1,0 +1,379 @@
+// Unit tests for the fused data model: Value, Schema, Column, Table,
+// NDArray, Dataset and the table<->array rebox round trip.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "types/dataset.h"
+#include "types/ndarray.h"
+#include "types/schema.h"
+#include "types/table.h"
+#include "types/value.h"
+
+namespace nexus {
+namespace {
+
+using testing::B;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kFloat64,
+                     DataType::kString}) {
+    ASSERT_OK_AND_ASSIGN(DataType back, DataTypeFromName(DataTypeName(t)));
+    EXPECT_EQ(back, t);
+  }
+  EXPECT_FALSE(DataTypeFromName("decimal").ok());
+}
+
+TEST(DataTypeTest, NumericPromotion) {
+  ASSERT_OK_AND_ASSIGN(DataType t1,
+                       CommonNumericType(DataType::kInt64, DataType::kInt64));
+  EXPECT_EQ(t1, DataType::kInt64);
+  ASSERT_OK_AND_ASSIGN(DataType t2,
+                       CommonNumericType(DataType::kInt64, DataType::kFloat64));
+  EXPECT_EQ(t2, DataType::kFloat64);
+  EXPECT_FALSE(CommonNumericType(DataType::kString, DataType::kInt64).ok());
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(N().is_null());
+  EXPECT_EQ(I(42).AsInt64(), 42);
+  EXPECT_EQ(F(1.5).AsFloat64(), 1.5);
+  EXPECT_EQ(S("x").AsString(), "x");
+  EXPECT_TRUE(B(true).AsBool());
+  EXPECT_EQ(I(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, CrossKindNumericEquality) {
+  EXPECT_EQ(I(3), F(3.0));
+  EXPECT_NE(I(3), F(3.5));
+  EXPECT_EQ(I(3).Hash(), F(3.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderNullsFirst) {
+  EXPECT_LT(N(), B(false));
+  EXPECT_LT(B(true), I(0));
+  EXPECT_LT(I(-1), I(0));
+  EXPECT_LT(F(0.5), I(1));
+  EXPECT_LT(I(99), S("a"));
+  EXPECT_LT(S("a"), S("b"));
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(I(3).CastTo(DataType::kFloat64).ValueOrDie(), F(3.0));
+  EXPECT_EQ(F(3.7).CastTo(DataType::kInt64).ValueOrDie(), I(3));
+  EXPECT_EQ(S("42").CastTo(DataType::kInt64).ValueOrDie(), I(42));
+  EXPECT_EQ(S("1.5").CastTo(DataType::kFloat64).ValueOrDie(), F(1.5));
+  EXPECT_EQ(I(7).CastTo(DataType::kString).ValueOrDie(), S("7"));
+  EXPECT_EQ(B(true).CastTo(DataType::kInt64).ValueOrDie(), I(1));
+  EXPECT_FALSE(S("abc").CastTo(DataType::kInt64).ok());
+  EXPECT_TRUE(N().CastTo(DataType::kInt64).ValueOrDie().is_null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(N().ToString(), "null");
+  EXPECT_EQ(B(false).ToString(), "false");
+  EXPECT_EQ(I(-5).ToString(), "-5");
+  EXPECT_EQ(F(2.5).ToString(), "2.5");
+  EXPECT_EQ(S("a\"b").ToString(), "\"a\\\"b\"");
+}
+
+TEST(SchemaTest, MakeValidates) {
+  EXPECT_FALSE(Schema::Make({Field::Attr("a", DataType::kInt64),
+                             Field::Attr("a", DataType::kInt64)})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({Field{"d", DataType::kFloat64, true}}).ok());
+  EXPECT_FALSE(Schema::Make({Field::Attr("", DataType::kInt64)}).ok());
+  EXPECT_OK(Schema::Make({Field::Dim("i"), Field::Attr("v", DataType::kFloat64)})
+                .status());
+}
+
+TEST(SchemaTest, LookupAndDimensions) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Dim("j"),
+                            Field::Attr("v", DataType::kFloat64)});
+  EXPECT_EQ(s->FindField("j"), 1);
+  EXPECT_EQ(s->FindField("zz"), -1);
+  EXPECT_FALSE(s->FindFieldOrError("zz").ok());
+  EXPECT_EQ(s->DimensionIndices(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(s->AttributeIndices(), (std::vector<int>{2}));
+  EXPECT_EQ(s->num_dimensions(), 2);
+  EXPECT_EQ(s->ToString(), "{i:int64*, j:int64*, v:float64}");
+}
+
+TEST(SchemaTest, WithoutDimensions) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kInt64)});
+  SchemaPtr u = s->WithoutDimensions();
+  EXPECT_TRUE(u->DimensionIndices().empty());
+  EXPECT_EQ(u->field(0).name, "i");
+  EXPECT_FALSE(s->Equals(*u));
+}
+
+TEST(ColumnTest, AppendAndGet) {
+  Column c(DataType::kInt64);
+  EXPECT_OK(c.Append(I(1)));
+  c.AppendNull();
+  EXPECT_OK(c.Append(I(3)));
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.null_count(), 1);
+  EXPECT_EQ(c.GetValue(0), I(1));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.GetValue(2), I(3));
+  EXPECT_FALSE(c.Append(S("x")).ok());
+}
+
+TEST(ColumnTest, FloatColumnCoercesInts) {
+  Column c(DataType::kFloat64);
+  EXPECT_OK(c.Append(I(2)));
+  EXPECT_EQ(c.GetValue(0), F(2.0));
+}
+
+TEST(ColumnTest, SliceAndTake) {
+  Column c = Column::FromInt64({10, 20, 30, 40});
+  Column s = c.Slice(1, 2);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.GetValue(0), I(20));
+  Column t = c.Take({3, 0, 3});
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.GetValue(0), I(40));
+  EXPECT_EQ(t.GetValue(2), I(40));
+}
+
+TEST(ColumnTest, TakePreservesNulls) {
+  Column c(DataType::kString);
+  EXPECT_OK(c.Append(S("a")));
+  c.AppendNull();
+  Column t = c.Take({1, 0});
+  EXPECT_TRUE(t.IsNull(0));
+  EXPECT_EQ(t.GetValue(1), S("a"));
+}
+
+TEST(ColumnTest, SetValueAndFilled) {
+  Column c = Column::Filled(DataType::kFloat64, 3);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.GetValue(1), F(0.0));
+  EXPECT_OK(c.SetValue(1, F(5.5)));
+  EXPECT_EQ(c.GetValue(1), F(5.5));
+  c.SetNull(2);
+  EXPECT_TRUE(c.IsNull(2));
+  EXPECT_OK(c.SetValue(2, F(1.0)));
+  EXPECT_FALSE(c.IsNull(2));
+}
+
+TEST(ColumnTest, AppendColumnConcatenates) {
+  Column a = Column::FromInt64({1, 2});
+  Column b(DataType::kInt64);
+  b.AppendNull();
+  EXPECT_OK(a.AppendColumn(b));
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(a.IsNull(2));
+  EXPECT_FALSE(a.IsNull(0));
+  Column c(DataType::kString);
+  EXPECT_FALSE(a.AppendColumn(c).ok());
+}
+
+TEST(ColumnTest, EqualsAndByteSize) {
+  Column a = Column::FromFloat64({1.0, 2.0});
+  Column b = Column::FromFloat64({1.0, 2.0});
+  Column c = Column::FromFloat64({1.0, 2.5});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.ByteSize(), 16);
+}
+
+TEST(TableTest, MakeValidatesShape) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64),
+                            Field::Attr("b", DataType::kFloat64)});
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInt64({1, 2}));
+  cols.push_back(Column::FromFloat64({1.0}));
+  EXPECT_FALSE(Table::Make(s, cols).ok());  // ragged
+  cols[1] = Column::FromFloat64({1.0, 2.0});
+  EXPECT_OK(Table::Make(s, cols).status());
+  cols[1] = Column::FromInt64({1, 2});
+  EXPECT_FALSE(Table::Make(s, cols).ok());  // wrong type
+}
+
+TEST(TableTest, BuilderAndAccess) {
+  SchemaPtr s = MakeSchema({Field::Attr("name", DataType::kString),
+                            Field::Attr("age", DataType::kInt64)});
+  TablePtr t = MakeTable(s, {{S("ann"), I(31)}, {S("bob"), N()}});
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->At(0, 0), S("ann"));
+  EXPECT_TRUE(t->At(1, 1).is_null());
+  EXPECT_EQ(t->Row(0), (std::vector<Value>{S("ann"), I(31)}));
+  ASSERT_OK_AND_ASSIGN(const Column* c, t->ColumnByName("age"));
+  EXPECT_EQ(c->GetValue(0), I(31));
+}
+
+TEST(TableTest, BuilderRejectsBadRows) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  TableBuilder b(s);
+  EXPECT_FALSE(b.AppendRow({S("no")}).ok());
+  EXPECT_FALSE(b.AppendRow({I(1), I(2)}).ok());
+  EXPECT_OK(b.AppendRow({I(1)}));
+  EXPECT_EQ(b.num_rows(), 1);
+}
+
+TEST(TableTest, SliceClampsBounds) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  TablePtr t = MakeTable(s, {{I(1)}, {I(2)}, {I(3)}});
+  EXPECT_EQ(t->Slice(1, 10)->num_rows(), 2);
+  EXPECT_EQ(t->Slice(5, 2)->num_rows(), 0);
+  EXPECT_EQ(t->Slice(0, 2)->At(1, 0), I(2));
+}
+
+TEST(TableTest, EqualsOrderedAndUnordered) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  TablePtr t1 = MakeTable(s, {{I(1)}, {I(2)}});
+  TablePtr t2 = MakeTable(s, {{I(2)}, {I(1)}});
+  EXPECT_FALSE(t1->Equals(*t2));
+  EXPECT_TRUE(t1->EqualsUnordered(*t2));
+  TablePtr t3 = MakeTable(s, {{I(1)}, {I(1)}});
+  EXPECT_FALSE(t1->EqualsUnordered(*t3));  // multiset counts matter
+}
+
+SchemaPtr CellSchema() {
+  return MakeSchema({Field::Attr("v", DataType::kFloat64)});
+}
+
+TEST(NDArrayTest, MakeValidates) {
+  EXPECT_FALSE(NDArray::Make({}, CellSchema()).ok());
+  EXPECT_FALSE(
+      NDArray::Make({DimensionSpec{"i", 0, 0, 4}}, CellSchema()).ok());
+  EXPECT_FALSE(
+      NDArray::Make({DimensionSpec{"i", 0, 10, 0}}, CellSchema()).ok());
+  SchemaPtr with_dim = MakeSchema({Field::Dim("x")});
+  EXPECT_FALSE(NDArray::Make({DimensionSpec{"i", 0, 10, 4}}, with_dim).ok());
+  SchemaPtr collide = MakeSchema({Field::Attr("i", DataType::kFloat64)});
+  EXPECT_FALSE(NDArray::Make({DimensionSpec{"i", 0, 10, 4}}, collide).ok());
+}
+
+TEST(NDArrayTest, SetGetAcrossChunks) {
+  ASSERT_OK_AND_ASSIGN(
+      auto arr, NDArray::Make({DimensionSpec{"i", 0, 10, 4},
+                               DimensionSpec{"j", 0, 6, 4}},
+                              CellSchema()));
+  EXPECT_OK(arr->Set({0, 0}, {F(1.0)}));
+  EXPECT_OK(arr->Set({9, 5}, {F(2.0)}));
+  EXPECT_OK(arr->Set({4, 3}, {F(3.0)}));
+  EXPECT_TRUE(arr->Has({0, 0}));
+  EXPECT_FALSE(arr->Has({1, 1}));
+  EXPECT_FALSE(arr->Has({20, 0}));
+  ASSERT_OK_AND_ASSIGN(auto cell, arr->Get({4, 3}));
+  EXPECT_EQ(cell[0], F(3.0));
+  EXPECT_FALSE(arr->Get({1, 1}).ok());
+  EXPECT_FALSE(arr->Get({-1, 0}).ok());
+  EXPECT_EQ(arr->NumCellsOccupied(), 3);
+  EXPECT_EQ(arr->NumCellsTotal(), 60);
+  EXPECT_FALSE(arr->IsDense());
+  // 10/4 x 6/4 grid => touched chunks: (0,0), (2,1), (1,0).
+  EXPECT_EQ(arr->chunks().size(), 3u);
+}
+
+TEST(NDArrayTest, EdgeChunksAreClipped) {
+  ASSERT_OK_AND_ASSIGN(auto arr,
+                       NDArray::Make({DimensionSpec{"i", 0, 10, 4}}, CellSchema()));
+  EXPECT_OK(arr->Set({9}, {F(1.0)}));
+  const ArrayChunk* chunk = arr->chunks()[0];
+  EXPECT_EQ(chunk->extent[0], 2);  // last chunk holds cells 8..9
+  EXPECT_EQ(chunk->lo[0], 8);
+}
+
+TEST(NDArrayTest, NegativeStartCoordinates) {
+  ASSERT_OK_AND_ASSIGN(
+      auto arr, NDArray::Make({DimensionSpec{"i", -5, 10, 3}}, CellSchema()));
+  EXPECT_OK(arr->Set({-5}, {F(1.0)}));
+  EXPECT_OK(arr->Set({4}, {F(2.0)}));
+  EXPECT_FALSE(arr->Set({5}, {F(9.0)}).ok());
+  EXPECT_TRUE(arr->Has({-5}));
+  ASSERT_OK_AND_ASSIGN(auto v, arr->Get({4}));
+  EXPECT_EQ(v[0], F(2.0));
+}
+
+TEST(NDArrayTest, SetOverwrites) {
+  ASSERT_OK_AND_ASSIGN(auto arr,
+                       NDArray::Make({DimensionSpec{"i", 0, 4, 2}}, CellSchema()));
+  EXPECT_OK(arr->Set({1}, {F(1.0)}));
+  EXPECT_OK(arr->Set({1}, {F(7.0)}));
+  EXPECT_EQ(arr->NumCellsOccupied(), 1);
+  EXPECT_EQ(arr->Get({1}).ValueOrDie()[0], F(7.0));
+}
+
+TEST(NDArrayTest, ToTableEmitsDimsAndAttrs) {
+  ASSERT_OK_AND_ASSIGN(auto arr,
+                       NDArray::Make({DimensionSpec{"i", 0, 4, 2}}, CellSchema()));
+  EXPECT_OK(arr->Set({2}, {F(5.0)}));
+  EXPECT_OK(arr->Set({0}, {F(3.0)}));
+  ASSERT_OK_AND_ASSIGN(TablePtr t, arr->ToTable());
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->schema()->ToString(), "{i:int64*, v:float64}");
+}
+
+TEST(NDArrayTest, FromTableRoundTrip) {
+  SchemaPtr s = MakeSchema({Field::Attr("i", DataType::kInt64),
+                            Field::Attr("j", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TablePtr t = MakeTable(
+      s, {{I(0), I(0), F(1.0)}, {I(3), I(2), F(2.0)}, {I(1), I(1), F(3.0)}});
+  ASSERT_OK_AND_ASSIGN(auto arr, NDArray::FromTable(*t, {"i", "j"}, {2, 2}));
+  EXPECT_EQ(arr->NumCellsOccupied(), 3);
+  EXPECT_EQ(arr->dim(0).start, 0);
+  EXPECT_EQ(arr->dim(0).length, 4);
+  EXPECT_EQ(arr->dim(1).length, 3);
+  ASSERT_OK_AND_ASSIGN(TablePtr back, arr->ToTable());
+  // Round trip preserves the multiset of rows (dims become tagged).
+  EXPECT_EQ(back->num_rows(), 3);
+  ASSERT_OK_AND_ASSIGN(auto v, arr->Get({3, 2}));
+  EXPECT_EQ(v[0], F(2.0));
+}
+
+TEST(NDArrayTest, FromTableRejectsDuplicatesAndNulls) {
+  SchemaPtr s = MakeSchema({Field::Attr("i", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TablePtr dup = MakeTable(s, {{I(1), F(1.0)}, {I(1), F(2.0)}});
+  EXPECT_FALSE(NDArray::FromTable(*dup, {"i"}, {4}).ok());
+  TablePtr with_null = MakeTable(s, {{N(), F(1.0)}});
+  EXPECT_FALSE(NDArray::FromTable(*with_null, {"i"}, {4}).ok());
+  TablePtr fine = MakeTable(s, {{I(1), F(1.0)}});
+  EXPECT_FALSE(NDArray::FromTable(*fine, {"v"}, {4}).ok());  // non-int dim
+  EXPECT_FALSE(NDArray::FromTable(*fine, {}, {}).ok());
+}
+
+TEST(NDArrayTest, Equals) {
+  ASSERT_OK_AND_ASSIGN(auto a,
+                       NDArray::Make({DimensionSpec{"i", 0, 4, 2}}, CellSchema()));
+  ASSERT_OK_AND_ASSIGN(auto b,
+                       NDArray::Make({DimensionSpec{"i", 0, 4, 2}}, CellSchema()));
+  EXPECT_OK(a->Set({1}, {F(2.0)}));
+  EXPECT_OK(b->Set({1}, {F(2.0)}));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_OK(b->Set({2}, {F(1.0)}));
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(DatasetTest, TableToArrayAndBack) {
+  SchemaPtr s = MakeSchema({Field::Dim("i"), Field::Attr("v", DataType::kFloat64)});
+  TablePtr t = MakeTable(s, {{I(0), F(1.0)}, {I(5), F(2.0)}});
+  Dataset d(t);
+  EXPECT_TRUE(d.is_table());
+  EXPECT_EQ(d.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(NDArrayPtr arr, d.AsArray(4));
+  EXPECT_EQ(arr->NumCellsOccupied(), 2);
+  Dataset da(arr);
+  EXPECT_TRUE(da.is_array());
+  EXPECT_TRUE(d.LogicallyEquals(da));
+  EXPECT_EQ(da.schema()->num_dimensions(), 1);
+}
+
+TEST(DatasetTest, AsArrayRequiresDimensions) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
+  Dataset d(MakeTable(s, {{I(1)}}));
+  EXPECT_FALSE(d.AsArray().ok());
+}
+
+}  // namespace
+}  // namespace nexus
