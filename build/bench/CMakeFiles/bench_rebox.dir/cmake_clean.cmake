@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebox.dir/bench_rebox.cc.o"
+  "CMakeFiles/bench_rebox.dir/bench_rebox.cc.o.d"
+  "bench_rebox"
+  "bench_rebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shipping.dir/bench_shipping.cc.o"
+  "CMakeFiles/bench_shipping.dir/bench_shipping.cc.o.d"
+  "bench_shipping"
+  "bench_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

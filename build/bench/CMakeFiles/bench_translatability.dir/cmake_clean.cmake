@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translatability.dir/bench_translatability.cc.o"
+  "CMakeFiles/bench_translatability.dir/bench_translatability.cc.o.d"
+  "bench_translatability"
+  "bench_translatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

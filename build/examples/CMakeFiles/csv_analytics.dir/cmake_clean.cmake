@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_analytics.dir/csv_analytics.cpp.o"
+  "CMakeFiles/csv_analytics.dir/csv_analytics.cpp.o.d"
+  "csv_analytics"
+  "csv_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_federation.dir/matrix_federation.cpp.o"
+  "CMakeFiles/matrix_federation.dir/matrix_federation.cpp.o.d"
+  "matrix_federation"
+  "matrix_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arraydb/engine.cc" "src/CMakeFiles/nexus.dir/arraydb/engine.cc.o" "gcc" "src/CMakeFiles/nexus.dir/arraydb/engine.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/nexus.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/nexus.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/nexus.dir/common/random.cc.o" "gcc" "src/CMakeFiles/nexus.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/nexus.dir/common/status.cc.o" "gcc" "src/CMakeFiles/nexus.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/nexus.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/nexus.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/CMakeFiles/nexus.dir/core/catalog.cc.o" "gcc" "src/CMakeFiles/nexus.dir/core/catalog.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/CMakeFiles/nexus.dir/core/expansion.cc.o" "gcc" "src/CMakeFiles/nexus.dir/core/expansion.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/CMakeFiles/nexus.dir/core/plan.cc.o" "gcc" "src/CMakeFiles/nexus.dir/core/plan.cc.o.d"
+  "/root/repo/src/core/schema_inference.cc" "src/CMakeFiles/nexus.dir/core/schema_inference.cc.o" "gcc" "src/CMakeFiles/nexus.dir/core/schema_inference.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/nexus.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/nexus.dir/core/serialize.cc.o.d"
+  "/root/repo/src/exec/reference_executor.cc" "src/CMakeFiles/nexus.dir/exec/reference_executor.cc.o" "gcc" "src/CMakeFiles/nexus.dir/exec/reference_executor.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/nexus.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/nexus.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/nexus.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/nexus.dir/expr/expr.cc.o.d"
+  "/root/repo/src/federation/cluster.cc" "src/CMakeFiles/nexus.dir/federation/cluster.cc.o" "gcc" "src/CMakeFiles/nexus.dir/federation/cluster.cc.o.d"
+  "/root/repo/src/federation/coordinator.cc" "src/CMakeFiles/nexus.dir/federation/coordinator.cc.o" "gcc" "src/CMakeFiles/nexus.dir/federation/coordinator.cc.o.d"
+  "/root/repo/src/federation/transport.cc" "src/CMakeFiles/nexus.dir/federation/transport.cc.o" "gcc" "src/CMakeFiles/nexus.dir/federation/transport.cc.o.d"
+  "/root/repo/src/frontend/bdl.cc" "src/CMakeFiles/nexus.dir/frontend/bdl.cc.o" "gcc" "src/CMakeFiles/nexus.dir/frontend/bdl.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/nexus.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/nexus.dir/graph/graph.cc.o.d"
+  "/root/repo/src/linalg/dense.cc" "src/CMakeFiles/nexus.dir/linalg/dense.cc.o" "gcc" "src/CMakeFiles/nexus.dir/linalg/dense.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/CMakeFiles/nexus.dir/linalg/solve.cc.o" "gcc" "src/CMakeFiles/nexus.dir/linalg/solve.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/CMakeFiles/nexus.dir/linalg/sparse.cc.o" "gcc" "src/CMakeFiles/nexus.dir/linalg/sparse.cc.o.d"
+  "/root/repo/src/optimizer/fold.cc" "src/CMakeFiles/nexus.dir/optimizer/fold.cc.o" "gcc" "src/CMakeFiles/nexus.dir/optimizer/fold.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/nexus.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/nexus.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/provider/array_provider.cc" "src/CMakeFiles/nexus.dir/provider/array_provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/array_provider.cc.o.d"
+  "/root/repo/src/provider/graph_provider.cc" "src/CMakeFiles/nexus.dir/provider/graph_provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/graph_provider.cc.o.d"
+  "/root/repo/src/provider/linalg_provider.cc" "src/CMakeFiles/nexus.dir/provider/linalg_provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/linalg_provider.cc.o.d"
+  "/root/repo/src/provider/provider.cc" "src/CMakeFiles/nexus.dir/provider/provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/provider.cc.o.d"
+  "/root/repo/src/provider/reference_provider.cc" "src/CMakeFiles/nexus.dir/provider/reference_provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/reference_provider.cc.o.d"
+  "/root/repo/src/provider/relational_provider.cc" "src/CMakeFiles/nexus.dir/provider/relational_provider.cc.o" "gcc" "src/CMakeFiles/nexus.dir/provider/relational_provider.cc.o.d"
+  "/root/repo/src/relational/engine.cc" "src/CMakeFiles/nexus.dir/relational/engine.cc.o" "gcc" "src/CMakeFiles/nexus.dir/relational/engine.cc.o.d"
+  "/root/repo/src/types/column.cc" "src/CMakeFiles/nexus.dir/types/column.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/column.cc.o.d"
+  "/root/repo/src/types/csv.cc" "src/CMakeFiles/nexus.dir/types/csv.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/csv.cc.o.d"
+  "/root/repo/src/types/dataset.cc" "src/CMakeFiles/nexus.dir/types/dataset.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/dataset.cc.o.d"
+  "/root/repo/src/types/datatype.cc" "src/CMakeFiles/nexus.dir/types/datatype.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/datatype.cc.o.d"
+  "/root/repo/src/types/ndarray.cc" "src/CMakeFiles/nexus.dir/types/ndarray.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/ndarray.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/nexus.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/table.cc" "src/CMakeFiles/nexus.dir/types/table.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/table.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/nexus.dir/types/value.cc.o" "gcc" "src/CMakeFiles/nexus.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

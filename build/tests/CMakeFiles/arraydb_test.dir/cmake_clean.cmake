@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arraydb_test.dir/arraydb_test.cc.o"
+  "CMakeFiles/arraydb_test.dir/arraydb_test.cc.o.d"
+  "arraydb_test"
+  "arraydb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arraydb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
