@@ -30,6 +30,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Plan error";
     case StatusCode::kSerializationError:
       return "Serialization error";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

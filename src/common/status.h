@@ -30,6 +30,8 @@ enum class StatusCode : int {
   kUnsupported = 10,
   kPlanError = 11,
   kSerializationError = 12,
+  kUnavailable = 13,
+  kTimeout = 14,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid argument"...).
@@ -88,6 +90,12 @@ class Status {
   static Status SerializationError(std::string msg) {
     return Status(StatusCode::kSerializationError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -103,6 +111,8 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
@@ -121,6 +131,13 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+/// True for transient failures (lost message, dead link, server-down
+/// window) that a caller may reasonably retry or route around. Every other
+/// code is deterministic: retrying would fail identically.
+inline bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimeout;
 }
 
 }  // namespace nexus

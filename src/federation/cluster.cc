@@ -29,6 +29,22 @@ Status Cluster::PutData(const std::string& server, const std::string& table,
   return p->catalog()->Put(table, std::move(data));
 }
 
+Status Cluster::Replicate(const std::string& table, const std::string& to) {
+  Provider* dst = provider(to);
+  if (dst == nullptr) {
+    return Status::NotFound(StrCat("no server named '", to, "'"));
+  }
+  if (dst->catalog()->Contains(table)) return Status::OK();
+  std::vector<std::string> holders = HoldersOf(table);
+  if (holders.empty()) {
+    return Status::NotFound(StrCat("no server holds '", table, "'"));
+  }
+  NEXUS_ASSIGN_OR_RETURN(Dataset d,
+                         provider(holders[0])->catalog()->Get(table));
+  transport_.Send(holders[0], to, d.ByteSize(), MessageKind::kData);
+  return dst->catalog()->Put(table, std::move(d));
+}
+
 Provider* Cluster::provider(const std::string& server) {
   for (Server& s : servers_) {
     if (s.name == server) return s.provider.get();

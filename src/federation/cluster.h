@@ -31,6 +31,12 @@ class Cluster {
   /// Stores a collection at a server (the "data lives somewhere" primitive).
   Status PutData(const std::string& server, const std::string& table, Dataset data);
 
+  /// Copies `table` from its first holder to `to` so the table has multiple
+  /// holders — the redundancy the coordinator's failover replanning routes
+  /// through when a holder dies. The copy is metered as one server→server
+  /// data message. No-op when `to` already holds the table.
+  Status Replicate(const std::string& table, const std::string& to);
+
   Provider* provider(const std::string& server);
   const Provider* provider(const std::string& server) const;
 

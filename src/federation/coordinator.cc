@@ -20,6 +20,13 @@ std::string ExecutionMetrics::ToString() const {
   if (client_loop_iterations > 0) {
     out += StrCat("  client-loop-iters=", client_loop_iterations);
   }
+  if (retries > 0) out += StrCat("  retries=", retries);
+  if (timeouts > 0) out += StrCat("  timeouts=", timeouts);
+  if (failovers > 0) out += StrCat("  failovers=", failovers);
+  if (replans > 0) out += StrCat("  replans=", replans);
+  if (checkpoint_restores > 0) {
+    out += StrCat("  ckpt-restores=", checkpoint_restores);
+  }
   return out;
 }
 
@@ -166,14 +173,20 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
       [&](const PlanPtr& node) -> Result<std::string> {
     // Leaves.
     if (node->kind() == OpKind::kScan) {
-      std::vector<std::string> holders =
-          cluster_->HoldersOf(node->As<ScanOp>().table);
+      const std::string& table = node->As<ScanOp>().table;
+      std::vector<std::string> holders = cluster_->HoldersOf(table);
       if (holders.empty()) {
-        return Status::NotFound(
-            StrCat("no server holds '", node->As<ScanOp>().table, "'"));
+        return Status::NotFound(StrCat("no server holds '", table, "'"));
       }
-      placement->assign[node.get()] = holders[0];
-      return holders[0];
+      // First holder not failed over away from; replicas (Cluster::
+      // Replicate) make this the redundancy failover routes through.
+      for (const std::string& h : holders) {
+        if (excluded_.count(h) != 0) continue;
+        placement->assign[node.get()] = h;
+        return h;
+      }
+      return Status::Unavailable(
+          StrCat("every holder of '", table, "' is unavailable"));
     }
     if (node->kind() == OpKind::kValues || node->kind() == OpKind::kLoopVar) {
       placement->assign[node.get()] = "";  // flexible: adopts its consumer
@@ -200,6 +213,7 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
         std::string best;
         int best_rank = 1000;
         for (const std::string& s : cluster_->ServerNames()) {
+          if (excluded_.count(s) != 0) continue;
           if (!cluster_->provider(s)->ClaimsTree(*node)) continue;
           int rank = SpecRank(OpKind::kIterate, s) - (s == preferred ? 100 : 0);
           if (rank < best_rank) {
@@ -230,6 +244,7 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
     std::string best;
     int64_t best_score = std::numeric_limits<int64_t>::max();
     for (const std::string& s : cluster_->ServerNames()) {
+      if (excluded_.count(s) != 0) continue;
       if (!ServerSuits(s, *node, child_schemas)) continue;
       int64_t score = static_cast<int64_t>(SpecRank(node->kind(), s)) * 1000000;
       bool local = false;
@@ -292,18 +307,89 @@ void Coordinator::DropTemps() {
   temps_.clear();
 }
 
+Status Coordinator::SendWithRetry(const std::string& from, const std::string& to,
+                                  int64_t bytes, MessageKind kind) {
+  Transport* t = cluster_->transport();
+  const RetryPolicy& rp = options_.retry;
+  const int attempts = std::max(1, rp.max_attempts);
+  double spent = 0.0;  // simulated seconds charged to this message
+  double backoff = rp.initial_backoff_seconds;
+  Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double jitter =
+          1.0 + rp.jitter_fraction * (2.0 * retry_rng_.NextDouble() - 1.0);
+      double pause = backoff * jitter;
+      backoff *= rp.backoff_multiplier;
+      if (rp.fragment_timeout_seconds > 0.0 &&
+          spent + pause > rp.fragment_timeout_seconds) {
+        ++timeouts_;
+        last_failed_server_ = to != kClientNode ? to : from;
+        return Status::Timeout(
+            StrCat("fragment budget of ",
+                   FormatDouble(rp.fragment_timeout_seconds, 3),
+                   "s exhausted after ", attempt, " attempts ", from, " -> ",
+                   to));
+      }
+      t->AdvanceTime(pause);  // backoff waits past scripted down windows
+      spent += pause;
+      ++retries_;
+    }
+    double seconds = 0.0;
+    last = t->TrySend(from, to, bytes, kind, &seconds);
+    spent += seconds;
+    if (last.ok() || !IsRetryable(last)) return last;
+  }
+  // Out of attempts: blame the server end of the link so Execute's failover
+  // loop can replan around it (a down endpoint is a certain culprit).
+  if (from != kClientNode && t->IsDown(from)) {
+    last_failed_server_ = from;
+  } else {
+    last_failed_server_ = to != kClientNode ? to : from;
+  }
+  return last;
+}
+
+bool Coordinator::ExcludeFailedServer() {
+  if (last_failed_server_.empty()) return false;
+  // Never exclude the last surviving server.
+  if (excluded_.size() + 1 >= cluster_->ServerNames().size()) return false;
+  if (!excluded_.insert(last_failed_server_).second) {
+    last_failed_server_.clear();
+    return false;  // already routed around it once; the failure is elsewhere
+  }
+  last_failed_server_.clear();
+  ++failovers_;
+  // Temps on the dead server are unreachable; drop their memo entries so
+  // the re-run recomputes them on a survivor.
+  for (auto it = done_.begin(); it != done_.end();) {
+    if (excluded_.count(it->second.first) != 0) {
+      it = done_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+Result<std::string> Coordinator::AnyAvailableServer() const {
+  for (const std::string& s : cluster_->ServerNames()) {
+    if (excluded_.count(s) == 0) return s;
+  }
+  return Status::Unavailable("no server available");
+}
+
 Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
                                         const PlanPtr& fragment) {
   // Serialize the whole expression tree and ship it — the LINQ property.
   std::string wire = SerializePlan(*fragment);
-  cluster_->transport()->Send(kClientNode, server,
-                              static_cast<int64_t>(wire.size()),
-                              MessageKind::kPlan);
+  NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server,
+                                    static_cast<int64_t>(wire.size()),
+                                    MessageKind::kPlan));
   ++fragments_;
-  NEXUS_ASSIGN_OR_RETURN(PlanPtr parsed, ParsePlan(wire));
   Provider* p = cluster_->provider(server);
   if (p == nullptr) return Status::NotFound(StrCat("no server '", server, "'"));
-  auto result = p->Execute(*parsed);
+  auto result = p->ExecuteWire(wire);
   if (!result.ok()) {
     return result.status().WithContext(StrCat("at server ", server));
   }
@@ -313,7 +399,8 @@ Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
 Result<Dataset> Coordinator::FetchToClient(const std::string& server,
                                            const std::string& temp) {
   NEXUS_ASSIGN_OR_RETURN(Dataset d, cluster_->provider(server)->catalog()->Get(temp));
-  cluster_->transport()->Send(server, kClientNode, d.ByteSize(), MessageKind::kData);
+  NEXUS_RETURN_NOT_OK(
+      SendWithRetry(server, kClientNode, d.ByteSize(), MessageKind::kData));
   return d;
 }
 
@@ -323,10 +410,12 @@ Status Coordinator::TransferTemp(const std::string& from, const std::string& to,
   int64_t bytes = d.ByteSize();
   if (options_.transfer_mode == TransferMode::kDirect) {
     // Desideratum 4: server → server, never touching the client tier.
-    cluster_->transport()->Send(from, to, bytes, MessageKind::kData);
+    NEXUS_RETURN_NOT_OK(SendWithRetry(from, to, bytes, MessageKind::kData));
   } else {
-    cluster_->transport()->Send(from, kClientNode, bytes, MessageKind::kData);
-    cluster_->transport()->Send(kClientNode, to, bytes, MessageKind::kData);
+    NEXUS_RETURN_NOT_OK(
+        SendWithRetry(from, kClientNode, bytes, MessageKind::kData));
+    NEXUS_RETURN_NOT_OK(
+        SendWithRetry(kClientNode, to, bytes, MessageKind::kData));
   }
   temps_.emplace_back(to, temp);  // the copy needs cleanup too
   return cluster_->provider(to)->catalog()->Put(temp, std::move(d));
@@ -340,8 +429,8 @@ Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
   if (placement->client_loops.count(node) != 0) {
     PlanPtr alias(node, [](const Plan*) {});
     NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
-    cluster_->transport()->Send(kClientNode, server, state.ByteSize(),
-                                MessageKind::kData);
+    NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server, state.ByteSize(),
+                                      MessageKind::kData));
     NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(state)));
     return Plan::Scan(temp);
   }
@@ -363,8 +452,19 @@ Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
 
 Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
     const Plan* node, Placement* placement) {
+  // Failover resume: fragments already materialized on a surviving server
+  // are reused instead of recomputed. Only the root placement memoizes —
+  // its nodes stay alive for the whole Execute, while client-loop body
+  // trees are rebuilt (and freed) every iteration.
+  const bool memoize = placement == root_placement_;
+  if (memoize) {
+    auto it = done_.find(node);
+    if (it != done_.end()) return it->second;
+  }
   std::string server = placement->assign[node];
-  if (server.empty()) server = cluster_->ServerNames().front();
+  if (server.empty()) {
+    NEXUS_ASSIGN_OR_RETURN(server, AnyAvailableServer());
+  }
   if (server == kClientNode) {
     // A top-level client loop: run it, keep the result at the client by
     // registering nowhere; callers transfer from "client" — model this by
@@ -373,16 +473,20 @@ Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
     // path covers the root case.)
     PlanPtr alias(node, [](const Plan*) {});
     NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
-    std::string target = cluster_->ServerNames().front();
-    cluster_->transport()->Send(kClientNode, target, state.ByteSize(),
-                                MessageKind::kData);
+    NEXUS_ASSIGN_OR_RETURN(std::string target, AnyAvailableServer());
+    NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, target, state.ByteSize(),
+                                      MessageKind::kData));
     NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(target, std::move(state)));
-    return std::make_pair(target, temp);
+    auto loc = std::make_pair(target, temp);
+    if (memoize) done_[node] = loc;
+    return loc;
   }
   NEXUS_ASSIGN_OR_RETURN(PlanPtr fragment, BuildFragment(node, server, placement));
   NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, fragment));
   NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(result)));
-  return std::make_pair(server, temp);
+  auto loc = std::make_pair(server, temp);
+  if (memoize) done_[node] = loc;
+  return loc;
 }
 
 namespace {
@@ -404,6 +508,35 @@ PlanPtr ReplaceLoopVars(const PlanPtr& plan, const Dataset& curr,
 
 }  // namespace
 
+Result<bool> Coordinator::RunLoopStep(const IterateOp& op, Dataset* state) {
+  // Each round trip re-plans and re-ships the body with the current state
+  // inlined — the client-driven pattern the paper wants to avoid.
+  PlanPtr body = ReplaceLoopVars(op.body, *state, *state);
+  Placement body_placement;
+  NEXUS_RETURN_NOT_OK(AssignServers(body, &body_placement).status());
+  NEXUS_ASSIGN_OR_RETURN(auto body_loc, ExecToTemp(body.get(), &body_placement));
+  NEXUS_ASSIGN_OR_RETURN(Dataset next,
+                         FetchToClient(body_loc.first, body_loc.second));
+  ++client_loop_iterations_;
+  if (op.measure != nullptr) {
+    PlanPtr measure = ReplaceLoopVars(op.measure, next, *state);
+    Placement m_placement;
+    NEXUS_RETURN_NOT_OK(AssignServers(measure, &m_placement).status());
+    NEXUS_ASSIGN_OR_RETURN(auto m_loc, ExecToTemp(measure.get(), &m_placement));
+    NEXUS_ASSIGN_OR_RETURN(Dataset measured,
+                           FetchToClient(m_loc.first, m_loc.second));
+    NEXUS_ASSIGN_OR_RETURN(TablePtr mt, measured.AsTable());
+    if (mt->num_rows() != 1 || mt->num_columns() != 1) {
+      return Status::PlanError("iterate measure must yield one cell");
+    }
+    Value v = mt->At(0, 0);
+    *state = std::move(next);
+    return !v.is_null() && v.AsDouble() < op.epsilon;
+  }
+  *state = std::move(next);
+  return false;
+}
+
 Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
                                            Placement* placement) {
   const auto& op = iterate.As<IterateOp>();
@@ -412,33 +545,35 @@ Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
                          ExecToTemp(iterate.child(0).get(), placement));
   NEXUS_ASSIGN_OR_RETURN(Dataset state,
                          FetchToClient(init_loc.first, init_loc.second));
-  for (int64_t iter = 0; iter < op.max_iters; ++iter) {
-    // Each round trip re-plans and re-ships the body with the current state
-    // inlined — the client-driven pattern the paper wants to avoid.
-    PlanPtr body = ReplaceLoopVars(op.body, state, state);
-    Placement body_placement;
-    NEXUS_RETURN_NOT_OK(AssignServers(body, &body_placement).status());
-    NEXUS_ASSIGN_OR_RETURN(auto body_loc, ExecToTemp(body.get(), &body_placement));
-    NEXUS_ASSIGN_OR_RETURN(Dataset next,
-                           FetchToClient(body_loc.first, body_loc.second));
-    ++client_loop_iterations_;
-    if (op.measure != nullptr) {
-      PlanPtr measure = ReplaceLoopVars(op.measure, next, state);
-      Placement m_placement;
-      NEXUS_RETURN_NOT_OK(AssignServers(measure, &m_placement).status());
-      NEXUS_ASSIGN_OR_RETURN(auto m_loc, ExecToTemp(measure.get(), &m_placement));
-      NEXUS_ASSIGN_OR_RETURN(Dataset measured,
-                             FetchToClient(m_loc.first, m_loc.second));
-      NEXUS_ASSIGN_OR_RETURN(TablePtr mt, measured.AsTable());
-      if (mt->num_rows() != 1 || mt->num_columns() != 1) {
-        return Status::PlanError("iterate measure must yield one cell");
-      }
-      Value v = mt->At(0, 0);
-      state = std::move(next);
-      if (!v.is_null() && v.AsDouble() < op.epsilon) break;
-    } else {
-      state = std::move(next);
+  // The loop variable is checkpointed at the client every K iterations; a
+  // mid-loop server failure rewinds to the last checkpoint (not iteration
+  // 0), fails over away from the dead server, and resumes.
+  const int64_t k = std::max<int64_t>(1, options_.retry.checkpoint_every);
+  Dataset checkpoint = state;
+  int64_t checkpoint_iter = 0;
+  const size_t max_recoveries = cluster_->ServerNames().size();
+  size_t recoveries = 0;
+  int64_t iter = 0;
+  while (iter < op.max_iters) {
+    if (iter % k == 0) {
+      checkpoint = state;
+      checkpoint_iter = iter;
     }
+    auto stepped = RunLoopStep(op, &state);
+    if (!stepped.ok()) {
+      if (IsRetryable(stepped.status()) && recoveries < max_recoveries &&
+          ExcludeFailedServer()) {
+        ++replans_;  // every later iteration replans around the loss
+        ++checkpoint_restores_;
+        ++recoveries;
+        state = checkpoint;
+        iter = checkpoint_iter;
+        continue;
+      }
+      return stepped.status();
+    }
+    ++iter;
+    if (stepped.ValueOrDie()) break;
   }
   return state;
 }
@@ -467,13 +602,28 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
   double sim0 = t->simulated_seconds();
   fragments_ = 0;
   client_loop_iterations_ = 0;
+  retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
+  retry_rng_ = Rng(options_.retry.jitter_seed);
+  excluded_.clear();
+  last_failed_server_.clear();
+  done_.clear();
 
   NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
+  TempGuard temp_guard(this);
   Placement placement;
   NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+  root_placement_ = &placement;
   auto result = Run(prepared, &placement);
-  DropTemps();
-  NEXUS_RETURN_NOT_OK(result.status());
+  // Failover: while the failure is transient and a server can be blamed,
+  // exclude it, replan, and resume from memoized temps on the survivors.
+  while (!result.ok() && IsRetryable(result.status()) && ExcludeFailedServer()) {
+    Placement replanned;
+    if (!AssignServers(prepared, &replanned).ok()) break;  // nowhere to go
+    ++replans_;
+    placement = std::move(replanned);
+    result = Run(prepared, &placement);
+  }
+  root_placement_ = nullptr;
 
   if (metrics != nullptr) {
     metrics->messages = t->total_messages() - msg0;
@@ -487,10 +637,16 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
     metrics->wall_seconds = timer.ElapsedSeconds();
     metrics->fragments = fragments_;
     metrics->client_loop_iterations = client_loop_iterations_;
+    metrics->retries = retries_;
+    metrics->failovers = failovers_;
+    metrics->replans = replans_;
+    metrics->timeouts = timeouts_;
+    metrics->checkpoint_restores = checkpoint_restores_;
     for (const auto& [node, server] : placement.assign) {
       if (!server.empty()) ++metrics->nodes_per_server[server];
     }
   }
+  NEXUS_RETURN_NOT_OK(result.status());
   return result;
 }
 
@@ -507,8 +663,14 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
   int64_t through0 = t->bytes_through(kClientNode);
   double sim0 = t->simulated_seconds();
   fragments_ = 0;
+  retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
+  retry_rng_ = Rng(options_.retry.jitter_seed);
+  excluded_.clear();
+  last_failed_server_.clear();
+  done_.clear();
 
   NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
+  TempGuard temp_guard(this);
   Placement placement;
   NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
 
@@ -524,17 +686,15 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
     }
     std::string server = placement.assign[node.get()];
     if (server.empty() || server == kClientNode) {
-      server = cluster_->ServerNames().front();
+      NEXUS_ASSIGN_OR_RETURN(server, AnyAvailableServer());
     }
     PlanPtr call = node->WithChildren(std::move(inline_children));
     NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, call));
-    cluster_->transport()->Send(server, kClientNode, result.ByteSize(),
-                                MessageKind::kData);
+    NEXUS_RETURN_NOT_OK(SendWithRetry(server, kClientNode, result.ByteSize(),
+                                      MessageKind::kData));
     return result;
   };
   auto result = step(prepared);
-  DropTemps();
-  NEXUS_RETURN_NOT_OK(result.status());
 
   if (metrics != nullptr) {
     metrics->messages = t->total_messages() - msg0;
@@ -547,7 +707,10 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
     metrics->simulated_seconds = t->simulated_seconds() - sim0;
     metrics->wall_seconds = timer.ElapsedSeconds();
     metrics->fragments = fragments_;
+    metrics->retries = retries_;
+    metrics->timeouts = timeouts_;
   }
+  NEXUS_RETURN_NOT_OK(result.status());
   return result;
 }
 

@@ -25,10 +25,34 @@
 #include <set>
 #include <string>
 
+#include "common/random.h"
 #include "federation/cluster.h"
 #include "optimizer/optimizer.h"
 
 namespace nexus {
+
+/// How the coordinator recovers from retryable transport failures
+/// (kUnavailable / kTimeout — see IsRetryable in common/status.h). All
+/// waiting is charged to the transport's simulated clock, so backoff can
+/// outlast a scripted down window.
+struct RetryPolicy {
+  /// Total attempts per message, including the first (1 = never retry).
+  int max_attempts = 4;
+  /// First backoff pause (simulated seconds); doubles-style growth below.
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  /// Each pause is scaled by a uniform factor in [1-j, 1+j] drawn from a
+  /// seeded RNG, so identical seeds yield identical retry traces.
+  double jitter_fraction = 0.2;
+  uint64_t jitter_seed = 17;
+  /// Simulated-time budget per message including its retries and backoff
+  /// pauses; exceeding it fails the fragment with kTimeout. 0 = unlimited.
+  double fragment_timeout_seconds = 0.0;
+  /// Client-driven Iterate loops snapshot the loop variable at the client
+  /// every K iterations; a mid-loop server failure rewinds to the last
+  /// snapshot instead of restarting the loop.
+  int checkpoint_every = 4;
+};
 
 struct CoordinatorOptions {
   /// How cross-server intermediates travel (E4).
@@ -40,6 +64,8 @@ struct CoordinatorOptions {
   /// Run the logical optimizer before planning.
   bool optimize = true;
   OptimizerOptions optimizer;
+  /// Recovery behaviour under transport faults.
+  RetryPolicy retry;
 };
 
 /// Per-execution accounting, sourced from the cluster transport plus the
@@ -56,6 +82,12 @@ struct ExecutionMetrics {
   double wall_seconds = 0.0;
   int64_t fragments = 0;
   int64_t client_loop_iterations = 0;
+  // Fault recovery (all zero when the transport injects no faults).
+  int64_t retries = 0;             // resent messages after a retryable failure
+  int64_t failovers = 0;           // servers excluded after retries ran out
+  int64_t replans = 0;             // AssignServers re-runs caused by failover
+  int64_t timeouts = 0;            // fragment budgets exhausted (kTimeout)
+  int64_t checkpoint_restores = 0; // client-loop rewinds to a checkpoint
   std::map<std::string, int64_t> nodes_per_server;
 
   std::string ToString() const;
@@ -100,6 +132,16 @@ class Coordinator {
     std::set<const Plan*> client_loops;         // Iterates driven client-side
   };
 
+  /// Drops all registered temps when an execution scope exits, so failed or
+  /// aborted executions never leak server-side state.
+  struct TempGuard {
+    explicit TempGuard(Coordinator* c) : coordinator(c) {}
+    ~TempGuard() { coordinator->DropTemps(); }
+    TempGuard(const TempGuard&) = delete;
+    TempGuard& operator=(const TempGuard&) = delete;
+    Coordinator* coordinator;
+  };
+
   Result<PlanPtr> Prepare(const PlanPtr& plan);
   Result<std::string> AssignServers(const PlanPtr& plan, Placement* placement);
   /// Rough output-size estimate (bytes) used as the ship-less tiebreak in
@@ -121,7 +163,21 @@ class Coordinator {
   Status TransferTemp(const std::string& from, const std::string& to,
                       const std::string& temp);
   Result<Dataset> RunClientLoop(const Plan& iterate, Placement* placement);
+  /// One body(+measure) round of a client-driven loop; updates *state.
+  /// Returns true when the loop's convergence measure says stop.
+  Result<bool> RunLoopStep(const IterateOp& op, Dataset* state);
   void DropTemps();
+
+  /// Retry/backoff wrapper around Transport::TrySend, implementing
+  /// options_.retry. On giving up, records the presumed-dead server in
+  /// last_failed_server_ so Execute's failover loop can route around it.
+  Status SendWithRetry(const std::string& from, const std::string& to,
+                       int64_t bytes, MessageKind kind);
+  /// Excludes last_failed_server_ from planning (failover) and invalidates
+  /// memoized temps on it. Returns false when nothing can be excluded.
+  bool ExcludeFailedServer();
+  /// First registered server not excluded by failover.
+  Result<std::string> AnyAvailableServer() const;
 
   Cluster* cluster_;
   CoordinatorOptions options_;
@@ -130,6 +186,22 @@ class Coordinator {
   int64_t fragments_ = 0;
   int64_t client_loop_iterations_ = 0;
   std::vector<std::pair<std::string, std::string>> temps_;  // (server, name)
+
+  // Fault-recovery state, reset per Execute.
+  Rng retry_rng_{17};
+  std::set<std::string> excluded_;       // servers failed over away from
+  std::string last_failed_server_;       // set when retries run out
+  // Fragment results that survived a failed attempt: plan node -> (server,
+  // temp). Only populated for the root placement, whose nodes stay alive
+  // for the whole Execute; replanning resumes from these instead of
+  // recomputing.
+  std::map<const Plan*, std::pair<std::string, std::string>> done_;
+  const Placement* root_placement_ = nullptr;
+  int64_t retries_ = 0;
+  int64_t failovers_ = 0;
+  int64_t replans_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t checkpoint_restores_ = 0;
 };
 
 }  // namespace nexus

@@ -1,14 +1,114 @@
 #include "federation/transport.h"
 
+#include "common/str_util.h"
+
 namespace nexus {
+
+std::string FaultEvent::ToString() const {
+  return StrCat(what, " ", from, "->", to, " @", FormatDouble(time * 1e3, 3),
+                "ms");
+}
 
 double Transport::Send(const std::string& from, const std::string& to,
                        int64_t bytes, MessageKind kind) {
-  log_.push_back(MessageRecord{from, to, bytes, kind});
+  log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/false});
   double seconds = options_.latency_seconds +
                    static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
   simulated_seconds_ += seconds;
   return seconds;
+}
+
+Status Transport::TrySend(const std::string& from, const std::string& to,
+                          int64_t bytes, MessageKind kind, double* seconds) {
+  if (!faults_.enabled) {
+    double s = Send(from, to, bytes, kind);
+    if (seconds != nullptr) *seconds = s;
+    return Status::OK();
+  }
+
+  // A failed attempt charges one latency (the sender waited that long to
+  // learn nothing came back) and is logged as wasted traffic.
+  auto fail = [&](const std::string& what, Status status) {
+    fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, what});
+    log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/true});
+    simulated_seconds_ += options_.latency_seconds;
+    if (seconds != nullptr) *seconds = options_.latency_seconds;
+    return status;
+  };
+
+  if (IsPartitioned(from, to)) {
+    return fail("partition", Status::Unavailable(StrCat(
+                                 "link ", from, " -> ", to, " is partitioned")));
+  }
+  if (IsDown(from)) {
+    return fail(StrCat("down:", from),
+                Status::Unavailable(StrCat("server '", from, "' is down")));
+  }
+  if (IsDown(to)) {
+    return fail(StrCat("down:", to),
+                Status::Unavailable(StrCat("server '", to, "' is down")));
+  }
+  if (faults_.drop_probability > 0.0 &&
+      fault_rng_.NextBool(faults_.drop_probability)) {
+    // The payload left the sender before vanishing: charge the full cost.
+    fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, "drop"});
+    log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/true});
+    double s = options_.latency_seconds +
+               static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
+    simulated_seconds_ += s;
+    if (seconds != nullptr) *seconds = s;
+    return Status::Timeout(
+        StrCat("message ", from, " -> ", to, " lost in flight"));
+  }
+
+  double spike = 0.0;
+  if (faults_.latency_spike_probability > 0.0 &&
+      fault_rng_.NextBool(faults_.latency_spike_probability)) {
+    fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, "spike"});
+    spike = faults_.latency_spike_seconds;
+  }
+  double s = Send(from, to, bytes, kind) + spike;
+  simulated_seconds_ += spike;
+  if (seconds != nullptr) *seconds = s;
+  return Status::OK();
+}
+
+void Transport::SetFaultOptions(FaultOptions faults) {
+  faults_ = std::move(faults);
+  fault_rng_ = Rng(faults_.seed);
+  partitions_.clear();
+  for (const auto& [a, b] : faults_.partitioned_links) {
+    partitions_.insert(NormalizedLink(a, b));
+  }
+}
+
+bool Transport::IsDown(const std::string& server) const {
+  if (!faults_.enabled || server == kClientNode) return false;
+  for (const DownWindow& w : faults_.down_windows) {
+    if (w.server == server && simulated_seconds_ >= w.start_seconds &&
+        simulated_seconds_ < w.end_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::pair<std::string, std::string> Transport::NormalizedLink(
+    const std::string& a, const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+bool Transport::IsPartitioned(const std::string& a, const std::string& b) const {
+  if (!faults_.enabled) return false;
+  return partitions_.count(NormalizedLink(a, b)) != 0;
+}
+
+void Transport::PartitionLink(const std::string& a, const std::string& b) {
+  partitions_.insert(NormalizedLink(a, b));
+}
+
+void Transport::HealLink(const std::string& a, const std::string& b) {
+  partitions_.erase(NormalizedLink(a, b));
 }
 
 int64_t Transport::total_bytes() const {
@@ -27,6 +127,20 @@ int64_t Transport::bytes_of(MessageKind kind) const {
   int64_t sum = 0;
   for (const MessageRecord& m : log_) {
     if (m.kind == kind) sum += m.bytes;
+  }
+  return sum;
+}
+
+int64_t Transport::failed_messages() const {
+  int64_t n = 0;
+  for (const MessageRecord& m : log_) n += m.failed;
+  return n;
+}
+
+int64_t Transport::failed_bytes() const {
+  int64_t sum = 0;
+  for (const MessageRecord& m : log_) {
+    if (m.failed) sum += m.bytes;
   }
   return sum;
 }
@@ -60,7 +174,9 @@ std::map<std::pair<std::string, std::string>, LinkStats> Transport::PerLink()
 
 void Transport::Reset() {
   log_.clear();
+  fault_log_.clear();
   simulated_seconds_ = 0.0;
+  fault_rng_ = Rng(faults_.seed);
 }
 
 }  // namespace nexus

@@ -6,13 +6,26 @@
 // configurable latency + bandwidth cost, so experiments report exact message
 // counts, per-link byte totals, bytes routed through the client, and a
 // simulated wall-clock under realistic network parameters.
+//
+// Real federations also lose messages, stall, and drop servers. The
+// transport therefore carries a deterministic, seeded fault model
+// (FaultOptions): per-message drops, latency spikes, partitioned links, and
+// scripted server-down windows expressed in simulated time. Fault-aware
+// callers use TrySend, which returns kTimeout/kUnavailable when a fault
+// fires; Send stays the raw infallible meter. With faults disabled the two
+// paths are byte-for-byte identical.
 #ifndef NEXUS_FEDERATION_TRANSPORT_H_
 #define NEXUS_FEDERATION_TRANSPORT_H_
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
 
 namespace nexus {
 
@@ -26,6 +39,34 @@ struct TransportOptions {
   double bandwidth_bytes_per_second = 125e6;
 };
 
+/// A scripted outage: `server` is unreachable while the simulated clock is
+/// inside [start_seconds, end_seconds).
+struct DownWindow {
+  std::string server;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Deterministic fault-injection knobs. Everything is driven by a seeded
+/// RNG plus the simulated clock, so a given (options, traffic) pair always
+/// yields the same fault trace.
+struct FaultOptions {
+  /// Master switch. When false, TrySend is exactly Send (zero overhead).
+  bool enabled = false;
+  /// Probability that any one message is lost in flight (kTimeout).
+  double drop_probability = 0.0;
+  /// Probability that a delivered message suffers an extra latency spike.
+  double latency_spike_probability = 0.0;
+  /// Extra one-way delay charged when a spike fires.
+  double latency_spike_seconds = 0.05;
+  /// Seed for the fault RNG (drops and spikes).
+  uint64_t seed = 0x5EEDF417ULL;
+  /// Scripted server outages in simulated time.
+  std::vector<DownWindow> down_windows;
+  /// Unordered endpoint pairs that cannot exchange messages (kUnavailable).
+  std::vector<std::pair<std::string, std::string>> partitioned_links;
+};
+
 /// Why a message was sent (for reporting).
 enum class MessageKind { kPlan, kData, kControl };
 
@@ -34,6 +75,19 @@ struct MessageRecord {
   std::string to;
   int64_t bytes = 0;
   MessageKind kind = MessageKind::kControl;
+  /// True when the fault model failed this attempt (bytes still hit the
+  /// wire and are metered — lost traffic is the overhead of faults).
+  bool failed = false;
+};
+
+/// One injected fault, stamped with the simulated time it fired.
+struct FaultEvent {
+  double time = 0.0;
+  std::string from;
+  std::string to;
+  std::string what;  // "drop" | "partition" | "down:<server>" | "spike"
+
+  std::string ToString() const;
 };
 
 struct LinkStats {
@@ -47,13 +101,47 @@ class Transport {
   explicit Transport(TransportOptions options = {}) : options_(options) {}
 
   /// Records one message and returns the simulated seconds it took.
+  /// Infallible raw meter: the fault model does not apply here.
   double Send(const std::string& from, const std::string& to, int64_t bytes,
               MessageKind kind);
+
+  /// Fault-aware send. With faults disabled, identical to Send. With faults
+  /// enabled, may return kUnavailable (partitioned link, server inside a
+  /// down window) or kTimeout (message dropped). Failed attempts are still
+  /// metered (flagged `failed`) and charged simulated time — a lost message
+  /// costs real network. `*seconds`, when given, receives the time charged
+  /// whether or not the send succeeded.
+  Status TrySend(const std::string& from, const std::string& to, int64_t bytes,
+                 MessageKind kind, double* seconds = nullptr);
+
+  /// Installs (or replaces) the fault model and reseeds its RNG, so two
+  /// transports configured identically produce identical fault traces.
+  void SetFaultOptions(FaultOptions faults);
+  const FaultOptions& fault_options() const { return faults_; }
+
+  /// Advances the simulated clock without sending anything — retry backoff
+  /// pauses charge their wait here so scripted down windows eventually pass.
+  void AdvanceTime(double seconds) { simulated_seconds_ += seconds; }
+
+  /// True when `server` is inside a scripted down window at the current
+  /// simulated time.
+  bool IsDown(const std::string& server) const;
+
+  /// True when the (unordered) pair is currently partitioned.
+  bool IsPartitioned(const std::string& a, const std::string& b) const;
+
+  /// Dynamic partition control (in addition to FaultOptions's script).
+  void PartitionLink(const std::string& a, const std::string& b);
+  void HealLink(const std::string& a, const std::string& b);
 
   int64_t total_messages() const { return static_cast<int64_t>(log_.size()); }
   int64_t total_bytes() const;
   int64_t messages_of(MessageKind kind) const;
   int64_t bytes_of(MessageKind kind) const;
+
+  /// Failed-attempt accounting (subset of the totals above).
+  int64_t failed_messages() const;
+  int64_t failed_bytes() const;
 
   /// Bytes that entered or left the named endpoint ("client" for the
   /// through-the-application measure of desideratum 4).
@@ -68,11 +156,25 @@ class Transport {
 
   const std::vector<MessageRecord>& log() const { return log_; }
 
+  /// Every fault injected so far, in firing order (the chaos trace).
+  const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
+  int64_t faults_injected() const { return static_cast<int64_t>(fault_log_.size()); }
+
+  /// Clears traffic logs, the fault trace, and the simulated clock (down
+  /// windows therefore re-apply), and reseeds the fault RNG. Fault options
+  /// and dynamic partitions are kept.
   void Reset();
 
  private:
+  static std::pair<std::string, std::string> NormalizedLink(
+      const std::string& a, const std::string& b);
+
   TransportOptions options_;
+  FaultOptions faults_;
+  Rng fault_rng_{0x5EEDF417ULL};
+  std::set<std::pair<std::string, std::string>> partitions_;
   std::vector<MessageRecord> log_;
+  std::vector<FaultEvent> fault_log_;
   double simulated_seconds_ = 0.0;
 };
 

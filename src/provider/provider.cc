@@ -1,6 +1,13 @@
 #include "provider/provider.h"
 
+#include "core/serialize.h"
+
 namespace nexus {
+
+Result<Dataset> Provider::ExecuteWire(const std::string& wire) {
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr plan, ParsePlan(wire));
+  return Execute(*plan);
+}
 
 bool Provider::ClaimsTree(const Plan& plan) const {
   if (!Claims(plan.kind())) return false;

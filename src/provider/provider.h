@@ -39,6 +39,11 @@ class Provider {
   /// kinds must be claimed; otherwise returns Unsupported.
   virtual Result<Dataset> Execute(const Plan& plan) = 0;
 
+  /// Executes a serialized expression tree — the form plans arrive in over
+  /// the wire ("Providers accept SQO expressions as input"). Deserialization
+  /// happens here, on the provider side of the link.
+  Result<Dataset> ExecuteWire(const std::string& wire);
+
   /// Local storage (Scan resolves here; the federation layer registers
   /// shipped intermediates here too).
   InMemoryCatalog* catalog() { return &catalog_; }

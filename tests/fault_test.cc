@@ -1,0 +1,240 @@
+// Fault-model tests: the transport's deterministic fault injection
+// (drops, partitions, scripted down windows, latency spikes) and the
+// seeded-chaos property the recovery machinery is verified against —
+// same seed ⇒ same retry/failover trace.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+
+TEST(StatusRetryabilityTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("down")));
+  EXPECT_TRUE(IsRetryable(Status::Timeout("lost")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryable(Status::PlanError("x")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("x")));
+  EXPECT_EQ(std::string(StatusCodeToString(StatusCode::kUnavailable)),
+            "Unavailable");
+  EXPECT_EQ(std::string(StatusCodeToString(StatusCode::kTimeout)), "Timeout");
+}
+
+TEST(FaultInjectionTest, TrySendIsSendWhenDisabled) {
+  Transport plain, faulty;
+  faulty.SetFaultOptions(FaultOptions{});  // enabled = false
+  double s1 = plain.Send("client", "a", 1000, MessageKind::kData);
+  double s2 = 0.0;
+  ASSERT_OK(faulty.TrySend("client", "a", 1000, MessageKind::kData, &s2));
+  EXPECT_DOUBLE_EQ(s1, s2);
+  EXPECT_EQ(plain.total_bytes(), faulty.total_bytes());
+  EXPECT_EQ(plain.total_messages(), faulty.total_messages());
+  EXPECT_DOUBLE_EQ(plain.simulated_seconds(), faulty.simulated_seconds());
+  EXPECT_EQ(faulty.faults_injected(), 0);
+  EXPECT_EQ(faulty.failed_messages(), 0);
+}
+
+TEST(FaultInjectionTest, DropsAreDeterministicPerSeed) {
+  auto trace = [](uint64_t seed) {
+    Transport t;
+    FaultOptions f;
+    f.enabled = true;
+    f.drop_probability = 0.3;
+    f.seed = seed;
+    t.SetFaultOptions(f);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(t.TrySend("client", "a", 100, MessageKind::kData).ok());
+    }
+    return outcomes;
+  };
+  std::vector<bool> a = trace(1);
+  EXPECT_EQ(a, trace(1));   // same seed, same fault pattern
+  EXPECT_NE(a, trace(2));   // different seed, different pattern
+  // Roughly 30% of 64 sends should be lost (sanity, not a tight bound).
+  int64_t drops = 0;
+  for (bool ok : a) drops += !ok;
+  EXPECT_GT(drops, 5);
+  EXPECT_LT(drops, 40);
+}
+
+TEST(FaultInjectionTest, DroppedMessageIsTimeoutAndMeteredAsWaste) {
+  Transport t;
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 1.0;
+  t.SetFaultOptions(f);
+  Status st = t.TrySend("client", "a", 500, MessageKind::kPlan);
+  EXPECT_TRUE(st.IsTimeout());
+  EXPECT_TRUE(IsRetryable(st));
+  EXPECT_EQ(t.failed_messages(), 1);
+  EXPECT_EQ(t.failed_bytes(), 500);
+  EXPECT_EQ(t.total_messages(), 1);  // the wasted attempt is in the log
+  ASSERT_EQ(t.fault_log().size(), 1u);
+  EXPECT_EQ(t.fault_log()[0].what, "drop");
+}
+
+TEST(FaultInjectionTest, PartitionedLinkIsUnavailableUntilHealed) {
+  Transport t;
+  FaultOptions f;
+  f.enabled = true;
+  f.partitioned_links = {{"a", "b"}};
+  t.SetFaultOptions(f);
+  EXPECT_TRUE(t.IsPartitioned("a", "b"));
+  EXPECT_TRUE(t.IsPartitioned("b", "a"));  // unordered pair
+  Status st = t.TrySend("a", "b", 10, MessageKind::kData);
+  EXPECT_TRUE(st.IsUnavailable());
+  ASSERT_OK(t.TrySend("a", "c", 10, MessageKind::kData));  // other links fine
+  t.HealLink("b", "a");
+  ASSERT_OK(t.TrySend("a", "b", 10, MessageKind::kData));
+  t.PartitionLink("a", "c");
+  EXPECT_TRUE(t.TrySend("c", "a", 10, MessageKind::kData).IsUnavailable());
+}
+
+TEST(FaultInjectionTest, DownWindowFollowsSimulatedTime) {
+  Transport t;
+  FaultOptions f;
+  f.enabled = true;
+  f.down_windows = {{"srv", 0.0, 1.0}};
+  t.SetFaultOptions(f);
+  EXPECT_TRUE(t.IsDown("srv"));
+  Status st = t.TrySend("client", "srv", 10, MessageKind::kPlan);
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(t.fault_log().back().what, "down:srv");
+  // The failed attempt charged one latency; waiting out the window works.
+  t.AdvanceTime(1.5);
+  EXPECT_FALSE(t.IsDown("srv"));
+  ASSERT_OK(t.TrySend("client", "srv", 10, MessageKind::kPlan));
+  // The client endpoint can never be down.
+  EXPECT_FALSE(t.IsDown("client"));
+}
+
+TEST(FaultInjectionTest, LatencySpikeChargesExtraTime) {
+  TransportOptions net;
+  net.latency_seconds = 0.001;
+  net.bandwidth_bytes_per_second = 1e9;
+  Transport t(net);
+  FaultOptions f;
+  f.enabled = true;
+  f.latency_spike_probability = 1.0;
+  f.latency_spike_seconds = 0.25;
+  t.SetFaultOptions(f);
+  double s = 0.0;
+  ASSERT_OK(t.TrySend("client", "a", 1000, MessageKind::kData, &s));
+  EXPECT_GT(s, 0.25);
+  EXPECT_GT(t.simulated_seconds(), 0.25);
+  EXPECT_EQ(t.fault_log().back().what, "spike");
+  EXPECT_EQ(t.failed_messages(), 0);  // spikes delay, they don't fail
+}
+
+TEST(FaultInjectionTest, ResetClearsTraceAndReseeds) {
+  Transport t;
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 0.5;
+  f.seed = 9;
+  t.SetFaultOptions(f);
+  std::vector<bool> first;
+  for (int i = 0; i < 32; ++i) {
+    first.push_back(t.TrySend("client", "a", 10, MessageKind::kData).ok());
+  }
+  t.Reset();
+  EXPECT_EQ(t.faults_injected(), 0);
+  EXPECT_EQ(t.total_messages(), 0);
+  std::vector<bool> second;
+  for (int i = 0; i < 32; ++i) {
+    second.push_back(t.TrySend("client", "a", 10, MessageKind::kData).ok());
+  }
+  EXPECT_EQ(first, second);  // reseeded: the run replays identically
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos: end-to-end determinism of retries and failover.
+// ---------------------------------------------------------------------------
+
+struct ChaosRun {
+  std::vector<std::string> fault_trace;
+  std::string metrics;
+  ExecutionMetrics m;
+  bool ok = false;
+};
+
+// Builds a two-holder cluster, injects seeded faults, and runs the same
+// pipeline query; everything downstream of the seed must be reproducible.
+ChaosRun RunChaos(uint64_t fault_seed, uint64_t jitter_seed) {
+  Cluster cluster;
+  EXPECT_OK(cluster.AddServer("relstore", MakeRelationalProvider()));
+  EXPECT_OK(cluster.AddServer("reference", MakeReferenceProvider()));
+  Rng rng(11);
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 500; ++i) {
+    EXPECT_OK(b.AppendRow({I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 10))}));
+  }
+  EXPECT_OK(cluster.PutData("relstore", "events",
+                            Dataset(b.Finish().ValueOrDie())));
+  EXPECT_OK(cluster.Replicate("events", "reference"));
+
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 0.3;
+  f.latency_spike_probability = 0.1;
+  f.seed = fault_seed;
+  cluster.transport()->SetFaultOptions(f);
+
+  CoordinatorOptions opts;
+  opts.retry.max_attempts = 6;
+  opts.retry.jitter_seed = jitter_seed;
+  Coordinator coord(&cluster, opts);
+
+  PlanPtr p = Plan::Aggregate(
+      Plan::Select(Plan::Scan("events"), Gt(Col("v"), Lit(3.0))), {"k"},
+      {AggSpec{AggFunc::kSum, Col("v"), "sv"}});
+  ChaosRun out;
+  for (int q = 0; q < 4; ++q) {  // several executions share the fault stream
+    ExecutionMetrics m;
+    auto r = coord.Execute(p, &m);
+    out.ok = r.ok();
+    if (!r.ok()) break;
+    out.m.retries += m.retries;
+    out.m.failovers += m.failovers;
+    m.wall_seconds = 0.0;  // the only nondeterministic field
+    out.metrics += m.ToString() + "\n";
+  }
+  for (const FaultEvent& e : cluster.transport()->fault_log()) {
+    out.fault_trace.push_back(e.ToString());
+  }
+  return out;
+}
+
+TEST(ChaosTest, SameSeedSameRetryAndFailoverTrace) {
+  ChaosRun a = RunChaos(/*fault_seed=*/5, /*jitter_seed=*/17);
+  ChaosRun b = RunChaos(/*fault_seed=*/5, /*jitter_seed=*/17);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_GT(a.fault_trace.size(), 0u) << "chaos run injected no faults";
+  EXPECT_GT(a.m.retries, 0);
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(ChaosTest, DifferentSeedDifferentTrace) {
+  ChaosRun a = RunChaos(/*fault_seed=*/5, /*jitter_seed=*/17);
+  ChaosRun c = RunChaos(/*fault_seed=*/6, /*jitter_seed=*/17);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(c.ok);
+  EXPECT_NE(a.fault_trace, c.fault_trace);
+}
+
+}  // namespace
+}  // namespace nexus

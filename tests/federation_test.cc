@@ -336,5 +336,200 @@ TEST_F(FederationTest, SimulatedTimeTracksBytesAndLatency) {
   EXPECT_LT(m.simulated_seconds, 0.2);
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: retry/backoff, failover replanning, and checkpoints.
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationTest, ZeroOverheadWhenFaultsAreOff) {
+  // An aggressive retry policy must not change a single metric while the
+  // transport injects no faults: the recovery machinery is pure bystander.
+  PlanPtr p = Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod");
+  Coordinator plain(cluster_.get());
+  ExecutionMetrics pm;
+  ASSERT_OK_AND_ASSIGN(Dataset r1, plain.Execute(p, &pm));
+
+  CoordinatorOptions armed;
+  armed.retry.max_attempts = 16;
+  armed.retry.fragment_timeout_seconds = 0.5;
+  armed.retry.checkpoint_every = 1;
+  Coordinator guarded(cluster_.get(), armed);
+  ExecutionMetrics gm;
+  ASSERT_OK_AND_ASSIGN(Dataset r2, guarded.Execute(p, &gm));
+
+  EXPECT_TRUE(r1.LogicallyEquals(r2));
+  pm.wall_seconds = gm.wall_seconds = 0.0;  // the only wall-clock field
+  EXPECT_EQ(pm.ToString(), gm.ToString());
+  EXPECT_EQ(gm.retries, 0);
+  EXPECT_EQ(gm.failovers, 0);
+  EXPECT_EQ(cluster_->transport()->faults_injected(), 0);
+}
+
+TEST_F(FederationTest, RetriesRideOutMessageDrops) {
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 0.05;
+  f.seed = 9;  // a seed whose early draws do lose messages at p = 0.05
+  cluster_->transport()->SetFaultOptions(f);
+
+  CoordinatorOptions opts;
+  opts.retry.max_attempts = 8;
+  Coordinator coord(cluster_.get(), opts);
+
+  // The fixture's representative queries, all under a lossy network.
+  std::vector<PlanPtr> queries;
+  queries.push_back(Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+      {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}}));
+  queries.push_back(Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod"));
+  queries.push_back(Plan::Join(
+      Plan::Scan("orders"),
+      Plan::Unbox(Plan::Regrid(Plan::Scan("M"), {{"i", 4}, {"k", 16}},
+                               AggFunc::kSum)),
+      JoinType::kInner, {"sensor"}, {"i"}));
+
+  int64_t total_retries = 0;
+  for (const PlanPtr& q : queries) {
+    ExecutionMetrics m;
+    ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(q, &m));
+    EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(q)));
+    total_retries += m.retries;
+  }
+  EXPECT_GT(total_retries, 0);
+  EXPECT_GT(cluster_->transport()->faults_injected(), 0);
+  EXPECT_GT(cluster_->transport()->failed_messages(), 0);
+}
+
+TEST_F(FederationTest, FailoverReplansToReplicaHolder) {
+  // orders lives on relstore; replicate it so a second holder exists, then
+  // script relstore down for far longer than the retry budget.
+  ASSERT_OK(cluster_->Replicate("orders", "reference"));
+  FaultOptions f;
+  f.enabled = true;
+  f.down_windows = {{"relstore", 0.0, 30.0}};
+  cluster_->transport()->SetFaultOptions(f);
+
+  Coordinator coord(cluster_.get());
+  PlanPtr p = Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+      {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(p, &m));
+  EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(p)));
+  EXPECT_GT(m.retries, 0);       // the ship to relstore was retried first
+  EXPECT_GE(m.failovers, 1);     // then relstore was written off
+  EXPECT_GE(m.replans, 1);       // and the plan re-placed on the replica
+  EXPECT_EQ(m.checkpoint_restores, 0);
+}
+
+TEST_F(FederationTest, FailoverImpossibleWithoutReplicaFailsRetryably) {
+  // No replica: once relstore is excluded, no holder of orders remains.
+  FaultOptions f;
+  f.enabled = true;
+  f.down_windows = {{"relstore", 0.0, 30.0}};
+  cluster_->transport()->SetFaultOptions(f);
+  Coordinator coord(cluster_.get());
+  ExecutionMetrics m;
+  auto r = coord.Execute(Plan::Scan("orders"), &m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(IsRetryable(r.status())) << r.status();
+  EXPECT_GT(m.retries, 0);
+  // The failed execution must not leak temps anywhere (RAII guard).
+  for (const std::string& s : cluster_->ServerNames()) {
+    for (const std::string& name : cluster_->provider(s)->catalog()->Names()) {
+      EXPECT_TRUE(name.find("__frag_") == std::string::npos)
+          << "leftover temp " << name << " on " << s;
+    }
+  }
+}
+
+TEST_F(FederationTest, FragmentTimeoutBudgetCutsRetriesShort) {
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 1.0;  // nothing ever arrives
+  cluster_->transport()->SetFaultOptions(f);
+  CoordinatorOptions opts;
+  opts.retry.max_attempts = 100;
+  opts.retry.initial_backoff_seconds = 0.01;
+  opts.retry.fragment_timeout_seconds = 0.05;  // budget < the retry ladder
+  Coordinator coord(cluster_.get(), opts);
+  ExecutionMetrics m;
+  auto r = coord.Execute(Plan::Scan("orders"), &m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(IsRetryable(r.status()));
+  EXPECT_GE(m.timeouts, 1);
+  EXPECT_LT(m.retries, 100);  // the budget fired long before max_attempts
+}
+
+TEST_F(FederationTest, ClientLoopResumesFromCheckpointAfterMidLoopFailure) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  ASSERT_OK(cluster_->PutData("relstore", "state0",
+                              Dataset(MakeTable(s, {{F(1024.0)}}))));
+  IterateOp op;
+  op.body = Plan::Rename(
+      Plan::Project(
+          Plan::Extend(Plan::LoopVar(), {{"h", Div(Col("v"), Lit(2.0))}}),
+          {"h"}),
+      {{"h", "v"}});
+  op.max_iters = 8;
+  PlanPtr it = Plan::Iterate(Plan::Scan("state0"), op);
+
+  // relstore hosts the loop bodies until it dies mid-loop. Messages land at
+  // ~1 ms spacing, so a window opening at 9 ms kills the loop a few
+  // iterations in — mid-checkpoint-interval, since checkpoints are 6 apart.
+  FaultOptions f;
+  f.enabled = true;
+  f.down_windows = {{"relstore", 0.009, 60.0}};
+  cluster_->transport()->SetFaultOptions(f);
+
+  CoordinatorOptions opts;
+  opts.provider_side_iteration = false;  // force the client-driven loop
+  opts.retry.checkpoint_every = 6;
+  Coordinator coord(cluster_.get(), opts);
+  ExecutionMetrics m;
+  ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(it, &m));
+  ASSERT_OK_AND_ASSIGN(TablePtr t, got.AsTable());
+  EXPECT_EQ(t->At(0, 0), F(4.0));  // 1024 / 2^8 despite the mid-loop death
+  EXPECT_GE(m.checkpoint_restores, 1);
+  EXPECT_GE(m.failovers, 1);
+  // The rewind re-ran the iterations between the checkpoint and the death.
+  EXPECT_GT(m.client_loop_iterations, 8);
+}
+
+TEST_F(FederationTest, DownWindowPlusDropsAcceptance) {
+  // The acceptance scenario: 5% drops plus one scripted server-down window;
+  // every query still completes with correct results and the metrics show
+  // the machinery working.
+  ASSERT_OK(cluster_->Replicate("orders", "reference"));
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 0.05;
+  f.seed = 21;  // early draws include a drop at p = 0.05
+  f.down_windows = {{"relstore", 0.0, 10.0}};
+  cluster_->transport()->SetFaultOptions(f);
+
+  CoordinatorOptions opts;
+  opts.retry.max_attempts = 8;
+  Coordinator coord(cluster_.get(), opts);
+
+  std::vector<PlanPtr> queries;
+  queries.push_back(Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+      {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}}));
+  queries.push_back(Plan::MatMul(Plan::Scan("M"), Plan::Scan("N"), "prod"));
+  PageRankOp pr;
+  queries.push_back(Plan::PageRank(Plan::Scan("edges"), pr));
+
+  int64_t retries = 0, failovers = 0;
+  for (const PlanPtr& q : queries) {
+    ExecutionMetrics m;
+    ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(q, &m));
+    EXPECT_TRUE(got.LogicallyEquals(ReferenceResult(q)));
+    retries += m.retries;
+    failovers += m.failovers;
+  }
+  EXPECT_GT(retries, 0);
+  EXPECT_GE(failovers, 1);
+}
+
 }  // namespace
 }  // namespace nexus
