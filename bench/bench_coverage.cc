@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/schema_inference.h"
 #include "expr/builder.h"
 #include "frontend/bdl.h"
@@ -30,8 +32,7 @@ struct CatalogueEntry {
   std::function<Result<PlanPtr>()> build;
 };
 
-InMemoryCatalog MakeDemoCatalog() {
-  InMemoryCatalog cat;
+void FillDemoCatalog(InMemoryCatalog& cat) {
   auto t = [](std::vector<Field> fields) {
     return Dataset(Table::Empty(Schema::Make(std::move(fields)).ValueOrDie()));
   };
@@ -61,7 +62,6 @@ InMemoryCatalog MakeDemoCatalog() {
   NEXUS_CHECK(cat.Put("edges", t({Field::Attr("src", DataType::kInt64),
                                   Field::Attr("dst", DataType::kInt64)}))
                   .ok());
-  return cat;
 }
 
 std::vector<CatalogueEntry> Catalogue() {
@@ -277,7 +277,8 @@ std::vector<CatalogueEntry> Catalogue() {
 }  // namespace
 
 int main() {
-  InMemoryCatalog catalog = MakeDemoCatalog();
+  InMemoryCatalog catalog;
+  FillDemoCatalog(catalog);
   std::vector<CatalogueEntry> entries = Catalogue();
 
   std::printf("E1 Coverage: canonical operations expressible in the algebra\n");
@@ -285,10 +286,14 @@ int main() {
   std::printf("%-16s  %-48s  %s\n", "category", "operation", "covered");
   std::printf("%-16s  %-48s  %s\n", "--------", "---------", "-------");
 
+  benchjson::Recorder json("coverage");
   std::map<std::string, std::pair<int, int>> per_category;  // covered, total
   for (const CatalogueEntry& e : entries) {
+    WallTimer timer;
     auto plan = e.build();
     bool ok = plan.ok() && InferSchema(*plan.ValueOrDie(), catalog).ok();
+    json.Record(std::string(e.category) + "/" + e.operation, 0,
+                timer.ElapsedMillis());
     if (plan.ok() && !ok) {
       auto st = InferSchema(*plan.ValueOrDie(), catalog);
       std::printf("  [type error: %s]\n", st.status().ToString().c_str());

@@ -5,7 +5,10 @@
 // blocked GEMM ablation, SpGEMM), and the graph kernels.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "arraydb/engine.h"
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "expr/builder.h"
@@ -248,6 +251,38 @@ void BM_Triangles(benchmark::State& state) {
 }
 BENCHMARK(BM_Triangles)->Arg(1 << 9)->Arg(1 << 12);
 
+// Console output stays the library's; every per-iteration run is also tapped
+// into BENCH_engines.json. rows is the benchmark's first /arg when present.
+class JsonTapReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTapReporter(benchjson::Recorder* json) : json_(json) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      long long rows = 0;
+      size_t slash = name.find('/');
+      if (slash != std::string::npos) rows = std::atoll(name.c_str() + slash + 1);
+      double ms = run.iterations > 0
+                      ? run.real_accumulated_time /
+                            static_cast<double>(run.iterations) * 1e3
+                      : 0.0;
+      json_->Record(name, rows, ms);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  benchjson::Recorder* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchjson::Recorder json("engines");
+  JsonTapReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

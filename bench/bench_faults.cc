@@ -12,6 +12,7 @@
 // extra row scripts a server-down window to exercise failover replanning.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/str_util.h"
@@ -115,11 +116,14 @@ int main() {
   std::printf(
       "E10 Fault tolerance: drop probability vs completion and cost\n\n");
   const int kQueries = 20;
+  benchjson::Recorder json("faults");
   CellResult base = RunCell(0.0, /*with_down_window=*/false, kQueries);
   std::printf("%9s | %9s %8s %9s %8s | %10s %9s %9s\n", "drop p", "completed",
               "retries", "failovers", "timeouts", "wasted", "sim(ms)",
               "overhead");
   auto report = [&](const char* label, const CellResult& c) {
+    json.Record(std::string("drop_") + label + "_sim", c.attempted,
+                c.sim_seconds * 1e3);
     std::printf("%9s | %6d/%2d %8lld %9lld %8lld | %10s %9.2f %8.2fx\n", label,
                 c.completed, c.attempted, static_cast<long long>(c.retries),
                 static_cast<long long>(c.failovers),

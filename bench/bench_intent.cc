@@ -12,6 +12,7 @@
 // the speedup recognition buys.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -60,6 +61,7 @@ int main() {
   std::printf("%6s  %14s  %14s  %9s  %14s\n", "n", "as-written(ms)",
               "recognized(ms)", "speedup", "intent-op(ms)");
 
+  benchjson::Recorder json("intent");
   for (int64_t n : {24, 48, 96, 160}) {
     Cluster cluster;
     NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
@@ -94,6 +96,9 @@ int main() {
     Dataset intent = coord_on.Execute(direct).ValueOrDie();
     double ms_direct = t3.ElapsedMillis();
 
+    json.Record("as_written", n * n, ms_off);
+    json.Record("recognized", n * n, ms_on);
+    json.Record("intent_op", n * n, ms_direct);
     NEXUS_CHECK(as_written.LogicallyEquals(recognized)) << "n=" << n;
     std::printf("%6lld  %14.2f  %14.2f  %8.2fx  %14.2f\n",
                 static_cast<long long>(n), ms_off, ms_on, ms_off / ms_on,

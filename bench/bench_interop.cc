@@ -10,6 +10,7 @@
 // and simulated network time (1 ms latency, 1 Gbit/s links).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/random.h"
@@ -46,6 +47,7 @@ int main() {
   std::printf("%6s  %12s | %30s | %30s | %7s\n", "", "", "---------- direct ---------",
               "---------- relay ----------", "bytes");
 
+  benchjson::Recorder json("interop");
   for (int64_t n : {16, 32, 64, 128}) {
     Cluster cluster;
     NEXUS_CHECK(cluster.AddServer("arraydb", MakeArrayProvider()).ok());
@@ -75,6 +77,8 @@ int main() {
     Dataset r2 = rc.Execute(mm, &rm).ValueOrDie();
 
     NEXUS_CHECK(r1.LogicallyEquals(r2));
+    json.Record("direct_sim", n * n, dm.simulated_seconds * 1e3);
+    json.Record("relay_sim", n * n, rm.simulated_seconds * 1e3);
     int64_t intermediate = dm.data_bytes - r1.ByteSize();
     double ratio = dm.bytes_through_client > 0
                        ? static_cast<double>(rm.bytes_through_client) /

@@ -11,6 +11,7 @@
 // client, and simulated network time.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/random.h"
@@ -28,6 +29,7 @@ int main() {
   std::printf("%7s %6s | %26s | %26s | %7s\n", "", "",
               "----- provider-side -----", "----- client-driven -----", "ratio");
 
+  benchjson::Recorder json("iteration");
   for (int64_t nodes : {50, 100, 200, 400}) {
     Cluster cluster;
     NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
@@ -69,6 +71,8 @@ int main() {
     TablePtr t1 = r1.AsTable().ValueOrDie();
     TablePtr t2 = r2.AsTable().ValueOrDie();
     NEXUS_CHECK(t1->num_rows() == t2->num_rows());
+    json.Record("provider_side_sim", nodes, sm.simulated_seconds * 1e3);
+    json.Record("client_driven_sim", nodes, cm.simulated_seconds * 1e3);
 
     std::printf("%7lld %6lld | %5lld %10s %8.2f | %5lld %10s %8.2f | %6.2fx\n",
                 static_cast<long long>(nodes),

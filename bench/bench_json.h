@@ -1,0 +1,84 @@
+// Machine-readable benchmark output. Every bench_* binary emits a
+// BENCH_<name>.json next to wherever it runs, one record per measurement:
+//   {"op": ..., "rows": ..., "wall_ms": ..., "threads": ...}
+// so sweeps can be plotted or regression-tracked without scraping the
+// human-oriented tables. Benches that measure simulated network time (the
+// federation experiments) record simulated milliseconds in wall_ms; the op
+// name says which.
+#ifndef NEXUS_BENCH_BENCH_JSON_H_
+#define NEXUS_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace nexus {
+namespace benchjson {
+
+class Recorder {
+ public:
+  explicit Recorder(std::string bench) : bench_(std::move(bench)) {}
+  ~Recorder() { Write(); }
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Appends one measurement. threads <= 0 records the process-wide budget.
+  void Record(const std::string& op, long long rows, double wall_ms,
+              int threads = 0) {
+    entries_.push_back(
+        Entry{op, rows, wall_ms, threads > 0 ? threads : GetThreadCount()});
+  }
+
+  /// Writes BENCH_<bench>.json into the working directory. The destructor
+  /// calls this, so a bench only needs to keep the Recorder alive in main.
+  void Write() const {
+    std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 Escaped(bench_).c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"rows\": %lld, \"wall_ms\": %.6f, "
+                   "\"threads\": %d}%s\n",
+                   Escaped(e.op).c_str(), e.rows, e.wall_ms, e.threads,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    long long rows;
+    double wall_ms;
+    int threads;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');
+        continue;
+      }
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace benchjson
+}  // namespace nexus
+
+#endif  // NEXUS_BENCH_BENCH_JSON_H_

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -28,6 +29,7 @@ int main() {
   std::printf("%11s  %9s  %11s  %11s  %9s  %9s\n", "selectivity", "none(ms)",
               "+pushdown", "+pruning", "all(ms)", "speedup");
 
+  benchjson::Recorder json("optimizer");
   for (double selectivity : {0.5, 0.1, 0.01, 0.001}) {
     Cluster cluster;
     NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
@@ -94,6 +96,12 @@ int main() {
     NEXUS_CHECK(r_none.LogicallyEquals(r_all));
     NEXUS_CHECK(r_push.LogicallyEquals(r_all));
     NEXUS_CHECK(r_prune.LogicallyEquals(r_all));
+    char sel[24];
+    std::snprintf(sel, sizeof(sel), "sel_%.3f", selectivity);
+    json.Record(std::string(sel) + "_none", kFactRows, ms_none);
+    json.Record(std::string(sel) + "_pushdown", kFactRows, ms_push);
+    json.Record(std::string(sel) + "_pruning", kFactRows, ms_prune);
+    json.Record(std::string(sel) + "_all", kFactRows, ms_all);
 
     std::printf("%11.3f  %9.1f  %11.1f  %11.1f  %9.1f  %8.2fx\n", selectivity,
                 ms_none, ms_push, ms_prune, ms_all, ms_none / ms_all);

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -52,6 +53,7 @@ int main() {
   std::printf("%8s %9s  %12s  %12s  %9s\n", "density", "cells", "to-array(ms)",
               "to-table(ms)", "lossless");
 
+  benchjson::Recorder json("rebox");
   for (double density : {0.05, 0.25, 0.5, 1.0}) {
     Rng rng(static_cast<uint64_t>(density * 1000));
     TablePtr t = SparseGrid(&rng, n, density, "v");
@@ -65,6 +67,8 @@ int main() {
     double to_table = t2.ElapsedMillis();
     bool lossless =
         Dataset(t).LogicallyEquals(Dataset(TablePtr(back.ValueOrDie())));
+    json.Record("to_array", t->num_rows(), to_array);
+    json.Record("to_table", t->num_rows(), to_table);
     std::printf("%8.2f %9lld  %12.2f  %12.2f  %9s\n", density,
                 static_cast<long long>(t->num_rows()), to_array, to_table,
                 lossless ? "yes" : "NO");
@@ -104,6 +108,8 @@ int main() {
     auto [array_ms, r1] = run_on("arraydb", MakeArrayProvider());
     auto [rel_ms, r2] = run_on("relstore", MakeRelationalProvider());
     NEXUS_CHECK(r1.LogicallyEquals(r2));
+    json.Record("elemwise_arraydb", a->num_rows(), array_ms);
+    json.Record("elemwise_relstore", a->num_rows(), rel_ms);
     std::printf("%8.2f %9lld  %12.2f  %14.2f  %8.2fx\n", density,
                 static_cast<long long>(a->num_rows()), array_ms, rel_ms,
                 rel_ms / array_ms);

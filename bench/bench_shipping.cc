@@ -12,6 +12,7 @@
 // simulated network time.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/random.h"
@@ -30,6 +31,7 @@ int main() {
               "----------- tree ------------", "---------- per-op -----------",
               "ratio");
 
+  benchjson::Recorder json("shipping");
   for (int64_t rows : {1000, 10000, 50000, 200000}) {
     Cluster cluster;
     NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
@@ -62,6 +64,8 @@ int main() {
     Dataset r1 = coord.Execute(p, &tree).ValueOrDie();
     Dataset r2 = coord.ExecutePerOp(p, &perop).ValueOrDie();
     NEXUS_CHECK(r1.LogicallyEquals(r2));
+    json.Record("tree_sim", rows, tree.simulated_seconds * 1e3);
+    json.Record("perop_sim", rows, perop.simulated_seconds * 1e3);
 
     std::printf(
         "%9lld | %5lld %10s %10s %8.2f | %5lld %10s %10s %8.2f | %6.2fx\n",

@@ -16,7 +16,9 @@
 #include <map>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "common/random.h"
 #include "core/schema_inference.h"
 #include "expr/builder.h"
@@ -203,6 +205,7 @@ int main() {
   for (size_t i = 0; i < providers.size(); ++i) std::printf("  %-10s", "------");
   std::printf("\n");
 
+  benchjson::Recorder json("translatability");
   int total_ops = 0, ops_with_specialist = 0, failures = 0;
   for (const OpCase& c : Cases()) {
     ++total_ops;
@@ -216,7 +219,10 @@ int main() {
         std::printf("  %-10s", "-");
         continue;
       }
+      WallTimer timer;
       auto got = p->Execute(*c.plan);
+      json.Record(std::string(OpKindName(c.kind)) + "@" + p->name(), 0,
+                  timer.ElapsedMillis());
       const char* cell;
       if (!got.ok() || !CloseEnough(got.ValueOrDie(), want.ValueOrDie())) {
         cell = "FAIL";

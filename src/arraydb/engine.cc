@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
@@ -225,35 +226,51 @@ Result<NDArrayPtr> Apply(const NDArray& in,
   NEXUS_ASSIGN_OR_RETURN(SchemaPtr out_attrs, Schema::Make(attr_fields));
   NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> out,
                          NDArray::Make(in.dims(), out_attrs));
-  std::vector<int64_t> offsets;
-  for (const ArrayChunk* chunk : in.chunks()) {
-    NEXUS_ASSIGN_OR_RETURN(TablePtr cells, ChunkTable(in, *chunk, &offsets));
-    ArrayChunk out_chunk = EmptyChunkLike(*chunk, *out_attrs);
-    out_chunk.occupied = chunk->occupied;
-    // Copy existing attributes wholesale.
-    for (size_t a = 0; a < chunk->attrs.size(); ++a) {
-      out_chunk.attrs[a] = chunk->attrs[a];
+  // A chunk is the natural morsel: every chunk's result lands in its own
+  // pre-assigned slot, and PutChunk runs sequentially afterwards in the
+  // deterministic grid order of in.chunks().
+  std::vector<const ArrayChunk*> chunks = in.chunks();
+  std::vector<ArrayChunk> results(chunks.size());
+  std::vector<Status> statuses(chunks.size(), Status::OK());
+  ParallelFor(static_cast<int64_t>(chunks.size()), 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t ci = cb; ci < ce; ++ci) {
+      statuses[static_cast<size_t>(ci)] = [&]() -> Status {
+        const ArrayChunk* chunk = chunks[static_cast<size_t>(ci)];
+        std::vector<int64_t> offsets;
+        NEXUS_ASSIGN_OR_RETURN(TablePtr cells, ChunkTable(in, *chunk, &offsets));
+        ArrayChunk out_chunk = EmptyChunkLike(*chunk, *out_attrs);
+        out_chunk.occupied = chunk->occupied;
+        // Copy existing attributes wholesale.
+        for (size_t a = 0; a < chunk->attrs.size(); ++a) {
+          out_chunk.attrs[a] = chunk->attrs[a];
+        }
+        // Evaluate each definition vectorized over the chunk's cell table,
+        // then scatter into the dense chunk layout.
+        TablePtr working = cells;
+        for (size_t def_i = 0; def_i < defs.size(); ++def_i) {
+          const auto& [name, expr] = defs[def_i];
+          NEXUS_ASSIGN_OR_RETURN(Column result, EvalExprVector(*expr, *working));
+          Column& target = out_chunk.attrs[chunk->attrs.size() + def_i];
+          for (size_t i = 0; i < offsets.size(); ++i) {
+            NEXUS_RETURN_NOT_OK(target.SetValue(
+                offsets[i], result.GetValue(static_cast<int64_t>(i))));
+          }
+          // Extend the working table so later defs can reference earlier ones.
+          std::vector<Field> wf = working->schema()->fields();
+          wf.push_back(Field::Attr(name, result.type()));
+          std::vector<Column> wc = working->columns();
+          wc.push_back(std::move(result));
+          NEXUS_ASSIGN_OR_RETURN(SchemaPtr ws, Schema::Make(std::move(wf)));
+          NEXUS_ASSIGN_OR_RETURN(working, Table::Make(ws, std::move(wc)));
+        }
+        results[static_cast<size_t>(ci)] = std::move(out_chunk);
+        return Status::OK();
+      }();
     }
-    // Evaluate each definition vectorized over the chunk's cell table, then
-    // scatter into the dense chunk layout.
-    TablePtr working = cells;
-    for (size_t def_i = 0; def_i < defs.size(); ++def_i) {
-      const auto& [name, expr] = defs[def_i];
-      NEXUS_ASSIGN_OR_RETURN(Column result, EvalExprVector(*expr, *working));
-      Column& target = out_chunk.attrs[chunk->attrs.size() + def_i];
-      for (size_t i = 0; i < offsets.size(); ++i) {
-        NEXUS_RETURN_NOT_OK(
-            target.SetValue(offsets[i], result.GetValue(static_cast<int64_t>(i))));
-      }
-      // Extend the working table so later defs can reference earlier ones.
-      std::vector<Field> wf = working->schema()->fields();
-      wf.push_back(Field::Attr(name, result.type()));
-      std::vector<Column> wc = working->columns();
-      wc.push_back(std::move(result));
-      NEXUS_ASSIGN_OR_RETURN(SchemaPtr ws, Schema::Make(std::move(wf)));
-      NEXUS_ASSIGN_OR_RETURN(working, Table::Make(ws, std::move(wc)));
-    }
-    NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(out_chunk)));
+  });
+  for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
+  for (ArrayChunk& chunk : results) {
+    NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(chunk)));
   }
   return NDArrayPtr(std::move(out));
 }
@@ -261,20 +278,36 @@ Result<NDArrayPtr> Apply(const NDArray& in,
 Result<NDArrayPtr> FilterCells(const NDArray& in, const Expr& predicate) {
   NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> out,
                          NDArray::Make(in.dims(), in.attr_schema()));
-  std::vector<int64_t> offsets;
-  for (const ArrayChunk* chunk : in.chunks()) {
-    NEXUS_ASSIGN_OR_RETURN(TablePtr cells, ChunkTable(in, *chunk, &offsets));
-    NEXUS_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
-                           EvalPredicate(predicate, *cells));
-    if (sel.empty()) continue;
-    ArrayChunk out_chunk = EmptyChunkLike(*chunk, *in.attr_schema());
-    for (size_t a = 0; a < chunk->attrs.size(); ++a) {
-      out_chunk.attrs[a] = chunk->attrs[a];
+  std::vector<const ArrayChunk*> chunks = in.chunks();
+  std::vector<ArrayChunk> results(chunks.size());
+  std::vector<uint8_t> keep(chunks.size(), 0);
+  std::vector<Status> statuses(chunks.size(), Status::OK());
+  ParallelFor(static_cast<int64_t>(chunks.size()), 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t ci = cb; ci < ce; ++ci) {
+      statuses[static_cast<size_t>(ci)] = [&]() -> Status {
+        const ArrayChunk* chunk = chunks[static_cast<size_t>(ci)];
+        std::vector<int64_t> offsets;
+        NEXUS_ASSIGN_OR_RETURN(TablePtr cells, ChunkTable(in, *chunk, &offsets));
+        NEXUS_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
+                               EvalPredicate(predicate, *cells));
+        if (sel.empty()) return Status::OK();
+        ArrayChunk out_chunk = EmptyChunkLike(*chunk, *in.attr_schema());
+        for (size_t a = 0; a < chunk->attrs.size(); ++a) {
+          out_chunk.attrs[a] = chunk->attrs[a];
+        }
+        for (int64_t s : sel) {
+          out_chunk.occupied[static_cast<size_t>(offsets[static_cast<size_t>(s)])] = 1;
+        }
+        results[static_cast<size_t>(ci)] = std::move(out_chunk);
+        keep[static_cast<size_t>(ci)] = 1;
+        return Status::OK();
+      }();
     }
-    for (int64_t s : sel) {
-      out_chunk.occupied[static_cast<size_t>(offsets[static_cast<size_t>(s)])] = 1;
-    }
-    NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(out_chunk)));
+  });
+  for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
+  for (size_t ci = 0; ci < results.size(); ++ci) {
+    if (!keep[ci]) continue;
+    NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(results[ci])));
   }
   return NDArrayPtr(std::move(out));
 }
@@ -506,59 +539,75 @@ Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op) {
   if (a.dims() == b.dims() && vt == DataType::kFloat64 &&
       a.attr_schema()->field(0).type == DataType::kFloat64 &&
       b.attr_schema()->field(0).type == DataType::kFloat64) {
-    for (const ArrayChunk* ca : a.chunks()) {
-      const ArrayChunk* cb = b.FindChunk(ca->grid);
-      if (cb == nullptr) continue;  // intersection is empty here
-      ArrayChunk oc = EmptyChunkLike(*ca, *schema);
-      const std::vector<double>& av = ca->attrs[0].doubles();
-      const std::vector<double>& bv = cb->attrs[0].doubles();
-      std::vector<double> ov(av.size(), 0.0);
-      int64_t volume = ca->Volume();
-      bool any = false;
-      for (int64_t off = 0; off < volume; ++off) {
-        size_t o = static_cast<size_t>(off);
-        if (!ca->occupied[o] || !cb->occupied[o]) continue;
-        if (ca->attrs[0].IsNull(off) || cb->attrs[0].IsNull(off)) {
+    if (op != BinaryOp::kAdd && op != BinaryOp::kSub && op != BinaryOp::kMul &&
+        op != BinaryOp::kDiv) {
+      return Status::PlanError("elemwise supports + - * / only");
+    }
+    // One morsel per chunk; results land in per-chunk slots and are stored
+    // sequentially in grid order, so the output is thread-count invariant.
+    std::vector<const ArrayChunk*> chunks = a.chunks();
+    std::vector<ArrayChunk> results(chunks.size());
+    std::vector<uint8_t> keep(chunks.size(), 0);
+    ParallelFor(static_cast<int64_t>(chunks.size()), 1,
+                [&](int64_t cbg, int64_t cen) {
+      for (int64_t ci = cbg; ci < cen; ++ci) {
+        const ArrayChunk* ca = chunks[static_cast<size_t>(ci)];
+        const ArrayChunk* cb = b.FindChunk(ca->grid);
+        if (cb == nullptr) continue;  // intersection is empty here
+        ArrayChunk oc = EmptyChunkLike(*ca, *schema);
+        const std::vector<double>& av = ca->attrs[0].doubles();
+        const std::vector<double>& bv = cb->attrs[0].doubles();
+        std::vector<double> ov(av.size(), 0.0);
+        int64_t volume = ca->Volume();
+        bool any = false;
+        for (int64_t off = 0; off < volume; ++off) {
+          size_t o = static_cast<size_t>(off);
+          if (!ca->occupied[o] || !cb->occupied[o]) continue;
+          if (ca->attrs[0].IsNull(off) || cb->attrs[0].IsNull(off)) {
+            oc.occupied[o] = 1;
+            oc.attrs[0].SetNull(off);
+            any = true;
+            continue;
+          }
+          double v = 0.0;
+          switch (op) {
+            case BinaryOp::kAdd:
+              v = av[o] + bv[o];
+              break;
+            case BinaryOp::kSub:
+              v = av[o] - bv[o];
+              break;
+            case BinaryOp::kMul:
+              v = av[o] * bv[o];
+              break;
+            default:  // kDiv (other ops rejected above)
+              if (bv[o] == 0.0) {
+                oc.occupied[o] = 1;
+                oc.attrs[0].SetNull(off);
+                any = true;
+                continue;
+              }
+              v = av[o] / bv[o];
+              break;
+          }
+          ov[o] = v;
           oc.occupied[o] = 1;
-          oc.attrs[0].SetNull(off);
           any = true;
-          continue;
         }
-        double v;
-        switch (op) {
-          case BinaryOp::kAdd:
-            v = av[o] + bv[o];
-            break;
-          case BinaryOp::kSub:
-            v = av[o] - bv[o];
-            break;
-          case BinaryOp::kMul:
-            v = av[o] * bv[o];
-            break;
-          case BinaryOp::kDiv:
-            if (bv[o] == 0.0) {
-              oc.occupied[o] = 1;
-              oc.attrs[0].SetNull(off);
-              any = true;
-              continue;
-            }
-            v = av[o] / bv[o];
-            break;
-          default:
-            return Status::PlanError("elemwise supports + - * / only");
+        if (!any) continue;
+        // Merge the typed buffer under the already-set validity mask.
+        Column merged = Column::FromFloat64(std::move(ov));
+        for (int64_t off = 0; off < volume; ++off) {
+          if (oc.attrs[0].IsNull(off)) merged.SetNull(off);
         }
-        ov[o] = v;
-        oc.occupied[o] = 1;
-        any = true;
+        oc.attrs[0] = std::move(merged);
+        results[static_cast<size_t>(ci)] = std::move(oc);
+        keep[static_cast<size_t>(ci)] = 1;
       }
-      if (!any) continue;
-      // Merge the typed buffer under the already-set validity mask.
-      Column merged = Column::FromFloat64(std::move(ov));
-      for (int64_t off = 0; off < volume; ++off) {
-        if (oc.attrs[0].IsNull(off)) merged.SetNull(off);
-      }
-      oc.attrs[0] = std::move(merged);
-      NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(oc)));
+    });
+    for (size_t ci = 0; ci < results.size(); ++ci) {
+      if (!keep[ci]) continue;
+      NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(results[ci])));
     }
     return NDArrayPtr(std::move(out));
   }

@@ -1,0 +1,214 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nexus {
+
+namespace {
+
+std::atomic<int64_t> g_morsels{0};
+std::atomic<int64_t> g_regions{0};
+
+int ClampThreads(int n) { return std::clamp(n, 1, kMaxThreads); }
+
+int InitialThreadCount() {
+  // NEXUS_THREADS overrides the hardware default, so benches and CI can pin
+  // the budget without touching code.
+  if (const char* env = std::getenv("NEXUS_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return ClampThreads(n);
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int> g_thread_count{0};  // 0 = not yet initialized
+
+/// One parallel region in flight. Workers claim task indices off `next`;
+/// the region is finished when `done` reaches `total`.
+struct TaskGroup {
+  explicit TaskGroup(int64_t n, const std::function<void(int64_t)>& f)
+      : total(n), run(&f) {}
+  const int64_t total;
+  const std::function<void(int64_t)>* run;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  int refs = 1;  // caller + workers inside ExecuteFrom; guarded by pool mutex
+  std::exception_ptr error;  // first failure; guarded by the pool mutex
+};
+
+/// Lazy global worker pool. Workers are spawned on demand (up to the
+/// requested budget) and then parked on a condition variable; they scan the
+/// active-group list and self-schedule morsels. The submitting thread always
+/// participates in its own group and only its own group, which makes nested
+/// parallel regions deadlock-free: a region's caller can always drain it
+/// alone even when every worker is busy elsewhere.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();  // leaked: workers outlive static dtors
+    return *pool;
+  }
+
+  void Run(int64_t tasks, const std::function<void(int64_t)>& fn, int helpers) {
+    TaskGroup group(tasks, fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      EnsureWorkers(helpers);
+      active_.push_back(&group);
+    }
+    work_cv_.notify_all();
+    // The caller is worker zero.
+    ExecuteFrom(&group);
+    {
+      // Wait until every task ran AND no worker still holds a reference —
+      // a worker that claimed the group may otherwise probe its cursor
+      // after this frame (and the group with it) is gone.
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return group.done.load() == group.total && group.refs == 1;
+      });
+      active_.erase(std::find(active_.begin(), active_.end(), &group));
+      if (group.error) std::rethrow_exception(group.error);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  void EnsureWorkers(int target) {  // caller holds mu_
+    target = std::min(target, kMaxThreads - 1);
+    while (static_cast<int>(workers_.size()) < target) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Claims and executes tasks of `group` until its cursor is exhausted.
+  void ExecuteFrom(TaskGroup* group) {
+    for (;;) {
+      int64_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= group->total) return;
+      try {
+        (*group->run)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!group->error) group->error = std::current_exception();
+      }
+      g_morsels.fetch_add(1, std::memory_order_relaxed);
+      if (group->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          group->total) {
+        { std::lock_guard<std::mutex> lock(mu_); }  // pair with done_cv_ wait
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      TaskGroup* group = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          for (TaskGroup* g : active_) {
+            if (g->next.load(std::memory_order_relaxed) < g->total) return true;
+          }
+          return false;
+        });
+        for (TaskGroup* g : active_) {
+          if (g->next.load(std::memory_order_relaxed) < g->total) {
+            group = g;
+            ++group->refs;
+            break;
+          }
+        }
+      }
+      if (group != nullptr) {
+        ExecuteFrom(group);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --group->refs;
+        }
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::vector<TaskGroup*> active_;
+};
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return ClampThreads(hw == 0 ? 1 : static_cast<int>(hw));
+}
+
+void SetThreadCount(int threads) {
+  g_thread_count.store(threads <= 0 ? InitialThreadCount()
+                                    : ClampThreads(threads));
+}
+
+int GetThreadCount() {
+  int n = g_thread_count.load();
+  if (n == 0) {
+    n = InitialThreadCount();
+    g_thread_count.store(n);
+  }
+  return n;
+}
+
+ParallelStats GetParallelStats() {
+  ParallelStats s;
+  s.morsels = g_morsels.load(std::memory_order_relaxed);
+  s.regions = g_regions.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int threads) {
+  if (n <= 0) return;
+  if (grain <= 0) grain = kMorselRows;
+  int64_t morsels = (n + grain - 1) / grain;
+  int budget = threads > 0 ? ClampThreads(threads) : GetThreadCount();
+  if (budget == 1 || morsels == 1) {
+    body(0, n);
+    g_morsels.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_regions.fetch_add(1, std::memory_order_relaxed);
+  std::function<void(int64_t)> run = [&](int64_t m) {
+    int64_t begin = m * grain;
+    body(begin, std::min(n, begin + grain));
+  };
+  Pool::Get().Run(morsels, run, budget - 1);
+}
+
+void ParallelRun(const std::vector<std::function<void()>>& tasks,
+                 int threads) {
+  if (tasks.empty()) return;
+  int budget = threads > 0 ? ClampThreads(threads) : GetThreadCount();
+  if (budget == 1 || tasks.size() == 1) {
+    for (const auto& t : tasks) {
+      t();
+      g_morsels.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  g_regions.fetch_add(1, std::memory_order_relaxed);
+  std::function<void(int64_t)> run = [&](int64_t i) {
+    tasks[static_cast<size_t>(i)]();
+  };
+  Pool::Get().Run(static_cast<int64_t>(tasks.size()), run, budget - 1);
+}
+
+}  // namespace nexus

@@ -1,0 +1,72 @@
+// Morsel-driven parallel execution primitives shared by every engine.
+//
+// The unit of scheduling is a *morsel*: a contiguous index range carved out
+// of a larger job (rows of a table, chunks of an array, row-blocks of a
+// matrix, sibling plan fragments). Workers self-schedule morsels off a
+// shared atomic cursor — a work-stealing discipline in the morsel-driven
+// style of Leis et al.: whichever thread is free next takes the next morsel,
+// so skew in morsel cost balances itself without a static partition.
+//
+// Determinism contract (relied on by the property tests): the *decomposition*
+// of a job into morsels depends only on the job size and the grain, never on
+// the thread count, and every algorithm built on these primitives writes
+// results into pre-assigned slots (or merges partial results in morsel
+// order). Consequently results are byte-identical for any thread count,
+// and `SetThreadCount(1)` executes the exact sequential code path.
+//
+// The pool is process-global and lazy: no threads are created until the
+// first parallel region that wants helpers, and a thread count of 1 never
+// touches the pool at all.
+#ifndef NEXUS_COMMON_PARALLEL_H_
+#define NEXUS_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nexus {
+
+/// Hard ceiling on pool workers (a safety valve, not a tuning knob).
+inline constexpr int kMaxThreads = 64;
+
+/// Default rows per morsel for row-oriented loops: large enough that the
+/// scheduling overhead vanishes, small enough to balance skewed work.
+inline constexpr int64_t kMorselRows = 16 * 1024;
+
+/// Sets the process-wide thread budget for parallel regions. 1 = strictly
+/// sequential (legacy behavior); 0 resets to the hardware default.
+void SetThreadCount(int threads);
+
+/// Current process-wide thread budget (>= 1).
+int GetThreadCount();
+
+/// std::thread::hardware_concurrency, clamped to [1, kMaxThreads].
+int HardwareThreads();
+
+/// Cumulative process-wide counters, snapshot-and-delta'd by callers that
+/// want per-operation accounting (e.g. the federation ExecutionMetrics).
+struct ParallelStats {
+  int64_t morsels = 0;  ///< morsels executed (1 per serial region)
+  int64_t regions = 0;  ///< parallel regions that actually used helpers
+};
+ParallelStats GetParallelStats();
+
+/// Runs body(begin, end) over morsels of [0, n) with the given grain.
+/// Morsel boundaries are i*grain .. min(n, (i+1)*grain) regardless of the
+/// thread budget. `threads` <= 0 uses GetThreadCount(). With an effective
+/// budget of 1 (or a single morsel) the body runs inline on the caller.
+/// The body must not throw status errors across the boundary — engines
+/// collect per-morsel Statuses into pre-sized slots instead.
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int threads = 0);
+
+/// Runs heterogeneous tasks concurrently (the federation's sibling-fragment
+/// fan-out). The caller participates; with an effective budget of 1 the
+/// tasks run inline in index order, exactly like a for loop.
+void ParallelRun(const std::vector<std::function<void()>>& tasks,
+                 int threads = 0);
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_PARALLEL_H_

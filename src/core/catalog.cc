@@ -1,24 +1,37 @@
 #include "core/catalog.h"
 
+#include <mutex>
+
 #include "common/str_util.h"
 
 namespace nexus {
 
+namespace {
+// Lookup shared by Get/GetSchema; caller must hold mu_ (any mode).
+Result<Dataset> FindLocked(const std::map<std::string, Dataset>& entries,
+                           const std::string& name) {
+  auto it = entries.find(name);
+  if (it == entries.end()) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  return it->second;
+}
+}  // namespace
+
 Status InMemoryCatalog::Put(const std::string& name, Dataset data) {
   if (name.empty()) return Status::InvalidArgument("catalog name must be non-empty");
+  std::unique_lock<std::shared_mutex> lock(mu_);
   entries_[name] = std::move(data);
   return Status::OK();
 }
 
 Result<Dataset> InMemoryCatalog::Get(const std::string& name) const {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    return Status::NotFound(StrCat("no collection named '", name, "'"));
-  }
-  return it->second;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindLocked(entries_, name);
 }
 
 Status InMemoryCatalog::Drop(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (entries_.erase(name) == 0) {
     return Status::NotFound(StrCat("no collection named '", name, "'"));
   }
@@ -31,10 +44,12 @@ Result<SchemaPtr> InMemoryCatalog::GetSchema(const std::string& name) const {
 }
 
 bool InMemoryCatalog::Contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return entries_.count(name) > 0;
 }
 
 std::vector<std::string> InMemoryCatalog::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, data] : entries_) out.push_back(name);
@@ -42,6 +57,7 @@ std::vector<std::string> InMemoryCatalog::Names() const {
 }
 
 int64_t InMemoryCatalog::TotalBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t bytes = 0;
   for (const auto& [name, data] : entries_) bytes += data.ByteSize();
   return bytes;

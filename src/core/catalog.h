@@ -4,6 +4,7 @@
 #define NEXUS_CORE_CATALOG_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,9 @@ class Catalog {
 
 /// Catalog backed by an in-memory map, also storing the data itself. This is
 /// what each simulated server uses as its storage layer.
+///
+/// Thread-safe: the coordinator may execute sibling fragments concurrently,
+/// so lookups and temp registrations on one server's catalog can overlap.
 class InMemoryCatalog : public Catalog {
  public:
   /// Registers or replaces a named collection.
@@ -46,6 +50,7 @@ class InMemoryCatalog : public Catalog {
   int64_t TotalBytes() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<std::string, Dataset> entries_;
 };
 

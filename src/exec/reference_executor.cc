@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
@@ -264,8 +265,6 @@ Result<Dataset> ReferenceExecutor::Exec(const Plan& plan) {
         }
         NEXUS_ASSIGN_OR_RETURN(residual_schema, Schema::Make(std::move(combined)));
       }
-      TableBuilder builder(out_schema);
-      std::vector<Value> row;
       auto residual_passes = [&](int64_t lr, int64_t rr) -> Result<bool> {
         if (op.residual == nullptr) return true;
         std::vector<Value> combined = left->Row(lr);
@@ -274,44 +273,74 @@ Result<Dataset> ReferenceExecutor::Exec(const Plan& plan) {
                                EvalExprRow(*op.residual, *residual_schema, combined));
         return !v.is_null() && v.AsBool();
       };
-      for (int64_t lr = 0; lr < left->num_rows(); ++lr) {
-        bool null_key = false;
-        for (int c : lk) {
-          if (left->column(c).IsNull(lr)) {
-            null_key = true;
-            break;
+      // Morsel-parallel probe: each morsel of left rows appends its matches
+      // to a private builder; the per-morsel tables are concatenated in
+      // morsel order below, reproducing the sequential row order exactly.
+      // (A sequential run covers all rows in one call landing in slot 0.)
+      const int64_t nl = left->num_rows();
+      const int64_t grain = kMorselRows;
+      const size_t morsels =
+          static_cast<size_t>(std::max<int64_t>(1, (nl + grain - 1) / grain));
+      std::vector<TablePtr> parts(morsels);
+      std::vector<Status> statuses(morsels, Status::OK());
+      ParallelFor(nl, grain, [&](int64_t begin, int64_t end) {
+        size_t slot = static_cast<size_t>(begin / grain);
+        statuses[slot] = [&]() -> Status {
+          TableBuilder builder(out_schema);
+          std::vector<Value> row;
+          for (int64_t lr = begin; lr < end; ++lr) {
+            bool null_key = false;
+            for (int c : lk) {
+              if (left->column(c).IsNull(lr)) {
+                null_key = true;
+                break;
+              }
+            }
+            const std::vector<int64_t>* matches = nullptr;
+            if (!null_key) {
+              auto it = hash.find(RowKey(*left, lr, lk));
+              if (it != hash.end()) matches = &it->second;
+            }
+            int64_t match_count = 0;
+            if (matches != nullptr) {
+              for (int64_t rr : *matches) {
+                NEXUS_ASSIGN_OR_RETURN(bool pass, residual_passes(lr, rr));
+                if (!pass) continue;
+                ++match_count;
+                if (op.type == JoinType::kSemi || op.type == JoinType::kAnti) break;
+                row = left->Row(lr);
+                for (int c : right_out_cols) row.push_back(right->At(rr, c));
+                NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
+              }
+            }
+            if (match_count == 0 && op.type == JoinType::kLeft) {
+              row = left->Row(lr);
+              for (size_t i = 0; i < right_out_cols.size(); ++i) {
+                row.push_back(Value::Null());
+              }
+              NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
+            }
+            if ((op.type == JoinType::kSemi && match_count > 0) ||
+                (op.type == JoinType::kAnti && match_count == 0)) {
+              NEXUS_RETURN_NOT_OK(builder.AppendRow(left->Row(lr)));
+            }
           }
-        }
-        const std::vector<int64_t>* matches = nullptr;
-        if (!null_key) {
-          auto it = hash.find(RowKey(*left, lr, lk));
-          if (it != hash.end()) matches = &it->second;
-        }
-        int64_t match_count = 0;
-        if (matches != nullptr) {
-          for (int64_t rr : *matches) {
-            NEXUS_ASSIGN_OR_RETURN(bool pass, residual_passes(lr, rr));
-            if (!pass) continue;
-            ++match_count;
-            if (op.type == JoinType::kSemi || op.type == JoinType::kAnti) break;
-            row = left->Row(lr);
-            for (int c : right_out_cols) row.push_back(right->At(rr, c));
-            NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
-          }
-        }
-        if (match_count == 0 && op.type == JoinType::kLeft) {
-          row = left->Row(lr);
-          for (size_t i = 0; i < right_out_cols.size(); ++i) {
-            row.push_back(Value::Null());
-          }
-          NEXUS_RETURN_NOT_OK(builder.AppendRow(row));
-        }
-        if ((op.type == JoinType::kSemi && match_count > 0) ||
-            (op.type == JoinType::kAnti && match_count == 0)) {
-          NEXUS_RETURN_NOT_OK(builder.AppendRow(left->Row(lr)));
+          NEXUS_ASSIGN_OR_RETURN(parts[slot], builder.Finish());
+          return Status::OK();
+        }();
+      });
+      for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
+      std::vector<Column> joined_cols;
+      for (const Field& f : out_schema->fields()) joined_cols.emplace_back(f.type);
+      for (const TablePtr& part : parts) {
+        if (part == nullptr) continue;
+        for (int c = 0; c < part->num_columns(); ++c) {
+          NEXUS_RETURN_NOT_OK(
+              joined_cols[static_cast<size_t>(c)].AppendColumn(part->column(c)));
         }
       }
-      NEXUS_ASSIGN_OR_RETURN(TablePtr out, builder.Finish());
+      NEXUS_ASSIGN_OR_RETURN(TablePtr out,
+                             Table::Make(out_schema, std::move(joined_cols)));
       return Dataset(out);
     }
     case OpKind::kAggregate: {

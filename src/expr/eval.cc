@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 
 namespace nexus {
@@ -259,15 +260,18 @@ bool FastPathEligible(const Expr& expr, const Table& table) {
   }
 }
 
-// Evaluates eligible expressions into a dense double buffer (bools as 0/1).
-void EvalFast(const Expr& expr, const Table& table, std::vector<double>* out) {
-  int64_t n = table.num_rows();
-  out->resize(static_cast<size_t>(n));
+// Evaluates eligible expressions over rows [begin, end) into `out`, where
+// out[i] holds row begin+i (bools as 0/1). Range-oriented so morsels of one
+// table can evaluate concurrently; each output slot depends only on its own
+// row, so any morsel decomposition yields byte-identical results.
+void EvalFast(const Expr& expr, const Table& table, int64_t begin, int64_t end,
+              double* out) {
+  size_t len = static_cast<size_t>(end - begin);
   switch (expr.kind()) {
     case ExprKind::kLiteral: {
       double v = expr.literal().is_bool() ? (expr.literal().AsBool() ? 1.0 : 0.0)
                                           : expr.literal().AsDouble();
-      std::fill(out->begin(), out->end(), v);
+      std::fill(out, out + len, v);
       return;
     }
     case ExprKind::kColumnRef: {
@@ -275,36 +279,36 @@ void EvalFast(const Expr& expr, const Table& table, std::vector<double>* out) {
           table.column(table.schema()->FindField(expr.column_name()));
       if (c.type() == DataType::kInt64) {
         const auto& src = c.ints();
-        for (int64_t i = 0; i < n; ++i) {
-          (*out)[static_cast<size_t>(i)] = static_cast<double>(src[static_cast<size_t>(i)]);
+        for (size_t i = 0; i < len; ++i) {
+          out[i] = static_cast<double>(src[static_cast<size_t>(begin) + i]);
         }
       } else if (c.type() == DataType::kFloat64) {
         const auto& src = c.doubles();
-        std::copy(src.begin(), src.end(), out->begin());
+        std::copy(src.begin() + begin, src.begin() + end, out);
       } else {
         const auto& src = c.bools();
-        for (int64_t i = 0; i < n; ++i) {
-          (*out)[static_cast<size_t>(i)] = src[static_cast<size_t>(i)] ? 1.0 : 0.0;
+        for (size_t i = 0; i < len; ++i) {
+          out[i] = src[static_cast<size_t>(begin) + i] ? 1.0 : 0.0;
         }
       }
       return;
     }
     case ExprKind::kUnary: {
-      EvalFast(*expr.child(0), table, out);
+      EvalFast(*expr.child(0), table, begin, end, out);
       if (expr.unary_op() == UnaryOp::kNeg) {
-        for (double& v : *out) v = -v;
+        for (size_t i = 0; i < len; ++i) out[i] = -out[i];
       } else {
-        for (double& v : *out) v = (v != 0.0) ? 0.0 : 1.0;
+        for (size_t i = 0; i < len; ++i) out[i] = (out[i] != 0.0) ? 0.0 : 1.0;
       }
       return;
     }
     case ExprKind::kBinary: {
-      std::vector<double> rhs;
-      EvalFast(*expr.child(0), table, out);
-      EvalFast(*expr.child(1), table, &rhs);
-      double* a = out->data();
+      std::vector<double> rhs(len);
+      EvalFast(*expr.child(0), table, begin, end, out);
+      EvalFast(*expr.child(1), table, begin, end, rhs.data());
+      double* a = out;
       const double* b = rhs.data();
-      size_t sz = out->size();
+      size_t sz = len;
       switch (expr.binary_op()) {
         case BinaryOp::kAdd:
           for (size_t i = 0; i < sz; ++i) a[i] += b[i];
@@ -354,27 +358,15 @@ void EvalFast(const Expr& expr, const Table& table, std::vector<double>* out) {
 
 }  // namespace
 
-Result<Column> EvalExprVector(const Expr& expr, const Table& table) {
-  NEXUS_ASSIGN_OR_RETURN(DataType out_type,
-                         InferExprType(expr, *table.schema()));
-  int64_t n = table.num_rows();
-  // The fast path computes in double; int64 outputs take the boxed path so
-  // integer arithmetic stays exact beyond 2^53.
-  if (out_type != DataType::kInt64 && FastPathEligible(expr, table)) {
-    std::vector<double> buf;
-    EvalFast(expr, table, &buf);
-    if (out_type == DataType::kFloat64) {
-      return Column::FromFloat64(std::move(buf));
-    }
-    if (out_type == DataType::kBool) {
-      std::vector<uint8_t> bools(buf.size());
-      for (size_t i = 0; i < buf.size(); ++i) bools[i] = buf[i] != 0.0 ? 1 : 0;
-      return Column::FromBool(std::move(bools));
-    }
-  }
+namespace {
+
+// Boxed evaluation of rows [begin, end) into a fresh column piece; the
+// parallel driver concatenates pieces in morsel order.
+Result<Column> EvalBoxedRange(const Expr& expr, const Table& table,
+                              DataType out_type, int64_t begin, int64_t end) {
   Column out(out_type);
-  out.Reserve(n);
-  for (int64_t r = 0; r < n; ++r) {
+  out.Reserve(end - begin);
+  for (int64_t r = begin; r < end; ++r) {
     NEXUS_ASSIGN_OR_RETURN(Value v, EvalExprRow(expr, *table.schema(), table.Row(r)));
     if (v.is_null()) {
       out.AppendNull();
@@ -387,6 +379,50 @@ Result<Column> EvalExprVector(const Expr& expr, const Table& table) {
   return out;
 }
 
+}  // namespace
+
+Result<Column> EvalExprVector(const Expr& expr, const Table& table) {
+  NEXUS_ASSIGN_OR_RETURN(DataType out_type,
+                         InferExprType(expr, *table.schema()));
+  int64_t n = table.num_rows();
+  // The fast path computes in double; int64 outputs take the boxed path so
+  // integer arithmetic stays exact beyond 2^53.
+  if (out_type != DataType::kInt64 && FastPathEligible(expr, table)) {
+    std::vector<double> buf(static_cast<size_t>(n));
+    ParallelFor(n, kMorselRows, [&](int64_t begin, int64_t end) {
+      EvalFast(expr, table, begin, end, buf.data() + begin);
+    });
+    if (out_type == DataType::kFloat64) {
+      return Column::FromFloat64(std::move(buf));
+    }
+    if (out_type == DataType::kBool) {
+      std::vector<uint8_t> bools(buf.size());
+      for (size_t i = 0; i < buf.size(); ++i) bools[i] = buf[i] != 0.0 ? 1 : 0;
+      return Column::FromBool(std::move(bools));
+    }
+  }
+  // Boxed path: evaluate morsels into per-morsel column pieces, then stitch
+  // them back together in morsel order (identical to one sequential pass).
+  const int64_t grain = kMorselRows;
+  int64_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  if (morsels <= 1 || GetThreadCount() == 1) {
+    return EvalBoxedRange(expr, table, out_type, 0, n);
+  }
+  std::vector<Result<Column>> parts(static_cast<size_t>(morsels),
+                                    Status::Internal("morsel not evaluated"));
+  ParallelFor(n, grain, [&](int64_t begin, int64_t end) {
+    parts[static_cast<size_t>(begin / grain)] =
+        EvalBoxedRange(expr, table, out_type, begin, end);
+  });
+  Column out(out_type);
+  out.Reserve(n);
+  for (Result<Column>& part : parts) {
+    NEXUS_RETURN_NOT_OK(part.status());
+    NEXUS_RETURN_NOT_OK(out.AppendColumn(part.ValueOrDie()));
+  }
+  return out;
+}
+
 Result<std::vector<int64_t>> EvalPredicate(const Expr& expr, const Table& table) {
   NEXUS_ASSIGN_OR_RETURN(DataType t, InferExprType(expr, *table.schema()));
   if (t != DataType::kBool) {
@@ -395,10 +431,26 @@ Result<std::vector<int64_t>> EvalPredicate(const Expr& expr, const Table& table)
                expr.ToString()));
   }
   NEXUS_ASSIGN_OR_RETURN(Column mask, EvalExprVector(expr, table));
-  std::vector<int64_t> selection;
   const auto& bits = mask.bools();
-  for (int64_t i = 0; i < mask.size(); ++i) {
-    if (!mask.IsNull(i) && bits[static_cast<size_t>(i)]) selection.push_back(i);
+  int64_t n = mask.size();
+  // Morsel-local selection vectors concatenated in morsel order reproduce
+  // the ascending row order of the sequential scan exactly.
+  const int64_t grain = kMorselRows;
+  int64_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<std::vector<int64_t>> local(
+      static_cast<size_t>(std::max<int64_t>(morsels, 1)));
+  ParallelFor(n, grain, [&](int64_t begin, int64_t end) {
+    std::vector<int64_t>& sel = local[static_cast<size_t>(begin / grain)];
+    for (int64_t i = begin; i < end; ++i) {
+      if (!mask.IsNull(i) && bits[static_cast<size_t>(i)]) sel.push_back(i);
+    }
+  });
+  size_t total = 0;
+  for (const auto& sel : local) total += sel.size();
+  std::vector<int64_t> selection;
+  selection.reserve(total);
+  for (const auto& sel : local) {
+    selection.insert(selection.end(), sel.begin(), sel.end());
   }
   return selection;
 }

@@ -1,8 +1,10 @@
 #include "federation/coordinator.h"
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "core/schema_inference.h"
@@ -26,6 +28,11 @@ std::string ExecutionMetrics::ToString() const {
   if (replans > 0) out += StrCat("  replans=", replans);
   if (checkpoint_restores > 0) {
     out += StrCat("  ckpt-restores=", checkpoint_restores);
+  }
+  if (threads_used > 1) out += StrCat("  threads=", threads_used);
+  if (morsels > 0) out += StrCat("  morsels=", morsels);
+  if (parallel_fragments > 0) {
+    out += StrCat("  parallel-fragments=", parallel_fragments);
   }
   return out;
 }
@@ -166,6 +173,10 @@ int64_t Coordinator::EstimateBytes(const Plan& plan) const {
 
 Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
                                                Placement* placement) {
+  // Planning reads failover state (excluded_) and may run inside a fragment
+  // task (client-driven loops); it never executes fragments, so holding the
+  // coordinator lock throughout serializes it without stalling compute.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   InferContext ctx;
   ctx.catalog = &fed_catalog_;
 
@@ -289,8 +300,14 @@ Result<PlanPtr> Coordinator::Prepare(const PlanPtr& plan) {
   return Optimize(plan, fed_catalog_, options_.optimizer);
 }
 
+int Coordinator::EffectiveThreads() const {
+  if (options_.thread_count <= 0) return GetThreadCount();
+  return std::min(options_.thread_count, kMaxThreads);
+}
+
 Result<std::string> Coordinator::RegisterTemp(const std::string& server,
                                               Dataset data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string name = StrCat("__frag_", temp_counter_++);
   NEXUS_RETURN_NOT_OK(cluster_->provider(server)->catalog()->Put(name, std::move(data)));
   temps_.emplace_back(server, name);
@@ -298,6 +315,7 @@ Result<std::string> Coordinator::RegisterTemp(const std::string& server,
 }
 
 void Coordinator::DropTemps() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& [server, name] : temps_) {
     Provider* p = cluster_->provider(server);
     if (p != nullptr) {
@@ -309,6 +327,10 @@ void Coordinator::DropTemps() {
 
 Status Coordinator::SendWithRetry(const std::string& from, const std::string& to,
                                   int64_t bytes, MessageKind kind) {
+  // The transport is a single-client simulation (clock, counters, fault
+  // schedule): all traffic is serialized here even when sibling fragments
+  // execute concurrently. Compute (ExecuteWire) stays outside this lock.
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Transport* t = cluster_->transport();
   const RetryPolicy& rp = options_.retry;
   const int attempts = std::max(1, rp.max_attempts);
@@ -351,6 +373,7 @@ Status Coordinator::SendWithRetry(const std::string& from, const std::string& to
 }
 
 bool Coordinator::ExcludeFailedServer() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (last_failed_server_.empty()) return false;
   // Never exclude the last surviving server.
   if (excluded_.size() + 1 >= cluster_->ServerNames().size()) return false;
@@ -386,7 +409,10 @@ Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
   NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server,
                                     static_cast<int64_t>(wire.size()),
                                     MessageKind::kPlan));
-  ++fragments_;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    ++fragments_;
+  }
   Provider* p = cluster_->provider(server);
   if (p == nullptr) return Status::NotFound(StrCat("no server '", server, "'"));
   auto result = p->ExecuteWire(wire);
@@ -417,7 +443,10 @@ Status Coordinator::TransferTemp(const std::string& from, const std::string& to,
     NEXUS_RETURN_NOT_OK(
         SendWithRetry(kClientNode, to, bytes, MessageKind::kData));
   }
-  temps_.emplace_back(to, temp);  // the copy needs cleanup too
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    temps_.emplace_back(to, temp);  // the copy needs cleanup too
+  }
   return cluster_->provider(to)->catalog()->Put(temp, std::move(d));
 }
 
@@ -434,18 +463,65 @@ Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
     NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(state)));
     return Plan::Scan(temp);
   }
-  std::vector<PlanPtr> children;
-  children.reserve(node->children().size());
-  for (const PlanPtr& c : node->children()) {
-    const std::string& cs = placement->assign[c.get()];
-    if (cs.empty() || cs == server) {
-      NEXUS_ASSIGN_OR_RETURN(PlanPtr built, BuildFragment(c.get(), server, placement));
-      children.push_back(std::move(built));
-    } else {
-      NEXUS_ASSIGN_OR_RETURN(auto produced, ExecToTemp(c.get(), placement));
-      NEXUS_RETURN_NOT_OK(TransferTemp(produced.first, server, produced.second));
-      children.push_back(Plan::Scan(produced.second));
+  const size_t nc = node->children().size();
+  std::vector<std::string> child_servers(nc);
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    for (size_t i = 0; i < nc; ++i) {
+      child_servers[i] = placement->assign[node->children()[i].get()];
     }
+  }
+  const int threads = EffectiveThreads();
+  std::vector<PlanPtr> children(nc);
+  if (threads == 1) {
+    // Exact legacy dispatch: children in order, one at a time. This is the
+    // path the seeded-chaos trace invariant is promised on.
+    for (size_t i = 0; i < nc; ++i) {
+      const Plan* c = node->children()[i].get();
+      const std::string& cs = child_servers[i];
+      if (cs.empty() || cs == server) {
+        NEXUS_ASSIGN_OR_RETURN(children[i], BuildFragment(c, server, placement));
+      } else {
+        NEXUS_ASSIGN_OR_RETURN(auto produced, ExecToTemp(c, placement));
+        NEXUS_RETURN_NOT_OK(TransferTemp(produced.first, server, produced.second));
+        children[i] = Plan::Scan(produced.second);
+      }
+    }
+    return node->WithChildren(std::move(children));
+  }
+  // Morsel-driven sibling dispatch: every child that needs its own fragment
+  // (placed on a different server) becomes one task; tasks run concurrently
+  // and write pre-assigned child slots, so the rebuilt tree is identical to
+  // the sequential one. Errors are reported by lowest child index, making
+  // the failure surfaced independent of completion order.
+  std::vector<std::function<void()>> tasks;
+  std::vector<Status> statuses(nc, Status::OK());
+  for (size_t i = 0; i < nc; ++i) {
+    const std::string& cs = child_servers[i];
+    if (cs.empty() || cs == server) continue;
+    const Plan* c = node->children()[i].get();
+    tasks.push_back([this, i, c, server, placement, &children, &statuses] {
+      statuses[i] = [&]() -> Status {
+        NEXUS_ASSIGN_OR_RETURN(auto produced, ExecToTemp(c, placement));
+        NEXUS_RETURN_NOT_OK(TransferTemp(produced.first, server, produced.second));
+        children[i] = Plan::Scan(produced.second);
+        return Status::OK();
+      }();
+    });
+  }
+  if (tasks.size() > 1) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    parallel_fragments_ += static_cast<int64_t>(tasks.size());
+  }
+  ParallelRun(tasks, threads);
+  for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
+  // Same-server children fold into this fragment on the caller's thread
+  // (they may fan out recursively themselves).
+  for (size_t i = 0; i < nc; ++i) {
+    const std::string& cs = child_servers[i];
+    if (!cs.empty() && cs != server) continue;
+    NEXUS_ASSIGN_OR_RETURN(
+        children[i], BuildFragment(node->children()[i].get(), server, placement));
   }
   return node->WithChildren(std::move(children));
 }
@@ -457,11 +533,15 @@ Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
   // its nodes stay alive for the whole Execute, while client-loop body
   // trees are rebuilt (and freed) every iteration.
   const bool memoize = placement == root_placement_;
-  if (memoize) {
-    auto it = done_.find(node);
-    if (it != done_.end()) return it->second;
+  std::string server;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    if (memoize) {
+      auto it = done_.find(node);
+      if (it != done_.end()) return it->second;
+    }
+    server = placement->assign[node];
   }
-  std::string server = placement->assign[node];
   if (server.empty()) {
     NEXUS_ASSIGN_OR_RETURN(server, AnyAvailableServer());
   }
@@ -478,14 +558,20 @@ Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
                                       MessageKind::kData));
     NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(target, std::move(state)));
     auto loc = std::make_pair(target, temp);
-    if (memoize) done_[node] = loc;
+    if (memoize) {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      done_[node] = loc;
+    }
     return loc;
   }
   NEXUS_ASSIGN_OR_RETURN(PlanPtr fragment, BuildFragment(node, server, placement));
   NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, fragment));
   NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(result)));
   auto loc = std::make_pair(server, temp);
-  if (memoize) done_[node] = loc;
+  if (memoize) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    done_[node] = loc;
+  }
   return loc;
 }
 
@@ -600,7 +686,9 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
   int64_t data_bytes0 = t->bytes_of(MessageKind::kData);
   int64_t through0 = t->bytes_through(kClientNode);
   double sim0 = t->simulated_seconds();
+  ParallelStats par0 = GetParallelStats();
   fragments_ = 0;
+  parallel_fragments_ = 0;
   client_loop_iterations_ = 0;
   retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
   retry_rng_ = Rng(options_.retry.jitter_seed);
@@ -642,6 +730,9 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
     metrics->replans = replans_;
     metrics->timeouts = timeouts_;
     metrics->checkpoint_restores = checkpoint_restores_;
+    metrics->threads_used = EffectiveThreads();
+    metrics->morsels = GetParallelStats().morsels - par0.morsels;
+    metrics->parallel_fragments = parallel_fragments_;
     for (const auto& [node, server] : placement.assign) {
       if (!server.empty()) ++metrics->nodes_per_server[server];
     }
@@ -662,7 +753,9 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
   int64_t data_bytes0 = t->bytes_of(MessageKind::kData);
   int64_t through0 = t->bytes_through(kClientNode);
   double sim0 = t->simulated_seconds();
+  ParallelStats par0 = GetParallelStats();
   fragments_ = 0;
+  parallel_fragments_ = 0;
   retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
   retry_rng_ = Rng(options_.retry.jitter_seed);
   excluded_.clear();
@@ -709,6 +802,8 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
     metrics->fragments = fragments_;
     metrics->retries = retries_;
     metrics->timeouts = timeouts_;
+    metrics->threads_used = EffectiveThreads();
+    metrics->morsels = GetParallelStats().morsels - par0.morsels;
   }
   NEXUS_RETURN_NOT_OK(result.status());
   return result;

@@ -22,6 +22,7 @@
 #define NEXUS_FEDERATION_COORDINATOR_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -66,6 +67,11 @@ struct CoordinatorOptions {
   OptimizerOptions optimizer;
   /// Recovery behaviour under transport faults.
   RetryPolicy retry;
+  /// Thread budget for concurrent sibling-fragment dispatch. 0 = inherit the
+  /// process-wide budget (SetThreadCount / NEXUS_THREADS); 1 = the exact
+  /// legacy sequential dispatch order (required for reproducible fault
+  /// traces — see DESIGN.md's determinism contract).
+  int thread_count = 0;
 };
 
 /// Per-execution accounting, sourced from the cluster transport plus the
@@ -88,6 +94,10 @@ struct ExecutionMetrics {
   int64_t replans = 0;             // AssignServers re-runs caused by failover
   int64_t timeouts = 0;            // fragment budgets exhausted (kTimeout)
   int64_t checkpoint_restores = 0; // client-loop rewinds to a checkpoint
+  // Parallel execution (morsel-driven; see common/parallel.h).
+  int64_t threads_used = 0;        // effective thread budget for this call
+  int64_t morsels = 0;             // engine morsels executed during this call
+  int64_t parallel_fragments = 0;  // sibling fragments dispatched concurrently
   std::map<std::string, int64_t> nodes_per_server;
 
   std::string ToString() const;
@@ -178,14 +188,24 @@ class Coordinator {
   bool ExcludeFailedServer();
   /// First registered server not excluded by failover.
   Result<std::string> AnyAvailableServer() const;
+  /// Resolved thread budget: options_.thread_count, or the process-wide
+  /// budget when 0.
+  int EffectiveThreads() const;
 
   Cluster* cluster_;
   CoordinatorOptions options_;
   FederatedCatalog fed_catalog_;
   int64_t temp_counter_ = 0;
   int64_t fragments_ = 0;
+  int64_t parallel_fragments_ = 0;
   int64_t client_loop_iterations_ = 0;
   std::vector<std::pair<std::string, std::string>> temps_;  // (server, name)
+  /// Serializes coordinator bookkeeping (temps, memo, counters, retry RNG)
+  /// and all transport traffic when sibling fragments execute concurrently.
+  /// Held only around that bookkeeping — never across Provider::ExecuteWire,
+  /// so fragment compute genuinely overlaps. Recursive because dispatch
+  /// nests (a fragment's child may itself fan out on the caller's thread).
+  mutable std::recursive_mutex mu_;
 
   // Fault-recovery state, reset per Execute.
   Rng retry_rng_{17};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 
 namespace nexus {
@@ -40,15 +41,19 @@ Result<DenseMatrix> MatMulNaive(const DenseMatrix& a, const DenseMatrix& b) {
   const double* bd = b.data().data();
   double* cd = c.data().data();
   int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      double av = ad[i * k + kk];
-      if (av == 0.0) continue;
-      const double* brow = bd + kk * m;
-      double* crow = cd + i * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // Each output row is owned by exactly one morsel and accumulated in the
+  // same kk order as the sequential loop, so the result is bit-identical.
+  ParallelFor(n, 16, [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        double av = ad[i * k + kk];
+        if (av == 0.0) continue;
+        const double* brow = bd + kk * m;
+        double* crow = cd + i * m;
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -61,8 +66,10 @@ Result<DenseMatrix> MatMulBlocked(const DenseMatrix& a, const DenseMatrix& b,
   const double* bd = b.data().data();
   double* cd = c.data().data();
   int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (int64_t i0 = 0; i0 < n; i0 += block) {
-    int64_t i1 = std::min(n, i0 + block);
+  // Morsel = one i0 row-block. Row blocks partition the output rows, and
+  // within a block every row keeps the sequential k0/j0 tile order, so the
+  // floating-point accumulation order per output element is unchanged.
+  ParallelFor(n, block, [&](int64_t i0, int64_t i1) {
     for (int64_t k0 = 0; k0 < k; k0 += block) {
       int64_t k1 = std::min(k, k0 + block);
       for (int64_t j0 = 0; j0 < m; j0 += block) {
@@ -77,7 +84,7 @@ Result<DenseMatrix> MatMulBlocked(const DenseMatrix& a, const DenseMatrix& b,
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -95,9 +102,13 @@ Result<DenseMatrix> Add(const DenseMatrix& a, const DenseMatrix& b,
     return Status::InvalidArgument("matrix add shape mismatch");
   }
   DenseMatrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.data().size(); ++i) {
-    c.data()[i] = alpha * a.data()[i] + beta * b.data()[i];
-  }
+  ParallelFor(static_cast<int64_t>(a.data().size()), kMorselRows,
+              [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      c.data()[static_cast<size_t>(i)] = alpha * a.data()[static_cast<size_t>(i)] +
+                                         beta * b.data()[static_cast<size_t>(i)];
+    }
+  });
   return c;
 }
 
@@ -106,9 +117,13 @@ Result<DenseMatrix> ElemMul(const DenseMatrix& a, const DenseMatrix& b) {
     return Status::InvalidArgument("elementwise mul shape mismatch");
   }
   DenseMatrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.data().size(); ++i) {
-    c.data()[i] = a.data()[i] * b.data()[i];
-  }
+  ParallelFor(static_cast<int64_t>(a.data().size()), kMorselRows,
+              [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      c.data()[static_cast<size_t>(i)] =
+          a.data()[static_cast<size_t>(i)] * b.data()[static_cast<size_t>(i)];
+    }
+  });
   return c;
 }
 
@@ -118,11 +133,13 @@ Result<std::vector<double>> MatVec(const DenseMatrix& a,
     return Status::InvalidArgument("matvec shape mismatch");
   }
   std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double s = 0.0;
-    for (int64_t c = 0; c < a.cols(); ++c) s += a.At(r, c) * x[static_cast<size_t>(c)];
-    y[static_cast<size_t>(r)] = s;
-  }
+  ParallelFor(a.rows(), 1024, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      double s = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) s += a.At(r, c) * x[static_cast<size_t>(c)];
+      y[static_cast<size_t>(r)] = s;
+    }
+  });
   return y;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/parallel.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
@@ -73,46 +74,62 @@ constexpr uint64_t kNullHash = 0x6E756C6CULL;
 
 Result<std::vector<uint64_t>> HashRows(const Table& input,
                                        const std::vector<int>& key_cols) {
-  std::vector<uint64_t> hashes(static_cast<size_t>(input.num_rows()),
-                               0x9E3779B97F4A7C15ULL);
+  const int64_t n = input.num_rows();
+  std::vector<uint64_t> hashes(static_cast<size_t>(n), 0x9E3779B97F4A7C15ULL);
+  // Each morsel owns a disjoint slot range of `hashes`, so the combine below
+  // is race-free and the result is independent of the thread count.
   for (int c : key_cols) {
     const Column& col = input.column(c);
     switch (col.type()) {
       case DataType::kInt64: {
         const auto& v = col.ints();
-        for (size_t r = 0; r < v.size(); ++r) {
-          uint64_t h = col.IsNull(static_cast<int64_t>(r))
-                           ? kNullHash
-                           : HashInt64(static_cast<uint64_t>(v[r]));
-          hashes[r] = HashCombine(hashes[r], h);
-        }
+        ParallelFor(n, kMorselRows, [&](int64_t b, int64_t e) {
+          for (int64_t r = b; r < e; ++r) {
+            uint64_t h =
+                col.IsNull(r)
+                    ? kNullHash
+                    : HashInt64(static_cast<uint64_t>(v[static_cast<size_t>(r)]));
+            hashes[static_cast<size_t>(r)] =
+                HashCombine(hashes[static_cast<size_t>(r)], h);
+          }
+        });
         break;
       }
       case DataType::kFloat64: {
-        for (int64_t r = 0; r < col.size(); ++r) {
-          hashes[static_cast<size_t>(r)] = HashCombine(
-              hashes[static_cast<size_t>(r)],
-              col.IsNull(r) ? kNullHash : col.GetValue(r).Hash());
-        }
+        ParallelFor(n, kMorselRows, [&](int64_t b, int64_t e) {
+          for (int64_t r = b; r < e; ++r) {
+            hashes[static_cast<size_t>(r)] = HashCombine(
+                hashes[static_cast<size_t>(r)],
+                col.IsNull(r) ? kNullHash : col.GetValue(r).Hash());
+          }
+        });
         break;
       }
       case DataType::kBool: {
         const auto& v = col.bools();
-        for (size_t r = 0; r < v.size(); ++r) {
-          uint64_t h = col.IsNull(static_cast<int64_t>(r))
-                           ? kNullHash
-                           : (v[r] ? 0x74727565ULL : 0x66616C73ULL);
-          hashes[r] = HashCombine(hashes[r], h);
-        }
+        ParallelFor(n, kMorselRows, [&](int64_t b, int64_t e) {
+          for (int64_t r = b; r < e; ++r) {
+            uint64_t h = col.IsNull(r)
+                             ? kNullHash
+                             : (v[static_cast<size_t>(r)] ? 0x74727565ULL
+                                                          : 0x66616C73ULL);
+            hashes[static_cast<size_t>(r)] =
+                HashCombine(hashes[static_cast<size_t>(r)], h);
+          }
+        });
         break;
       }
       case DataType::kString: {
         const auto& v = col.strings();
-        for (size_t r = 0; r < v.size(); ++r) {
-          uint64_t h = col.IsNull(static_cast<int64_t>(r)) ? kNullHash
-                                                           : HashString(v[r]);
-          hashes[r] = HashCombine(hashes[r], h);
-        }
+        ParallelFor(n, kMorselRows, [&](int64_t b, int64_t e) {
+          for (int64_t r = b; r < e; ++r) {
+            uint64_t h = col.IsNull(r)
+                             ? kNullHash
+                             : HashString(v[static_cast<size_t>(r)]);
+            hashes[static_cast<size_t>(r)] =
+                HashCombine(hashes[static_cast<size_t>(r)], h);
+          }
+        });
         break;
       }
     }
@@ -169,39 +186,87 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
   NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> lh, HashRows(*left, lk));
   NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> rh, HashRows(*right, rk));
 
-  // Build side: hash → right row ids (chained buckets).
-  std::unordered_map<uint64_t, std::vector<int64_t>> table;
-  table.reserve(static_cast<size_t>(right->num_rows()));
+  const int64_t nl = left->num_rows();
+  const int64_t nr = right->num_rows();
   auto row_has_null_key = [](const Table& t, int64_t r, const std::vector<int>& cols) {
     for (int c : cols) {
       if (t.column(c).IsNull(r)) return true;
     }
     return false;
   };
-  for (int64_t r = 0; r < right->num_rows(); ++r) {
-    if (row_has_null_key(*right, r, rk)) continue;
-    table[rh[static_cast<size_t>(r)]].push_back(r);
-  }
 
-  // Probe: collect surviving (left, right) row pairs.
   std::vector<int64_t> li, ri;
   bool cross = lk.empty();  // keys-free join (residual-only): cross product
-  for (int64_t l = 0; l < left->num_rows(); ++l) {
-    if (cross) {
-      for (int64_t r = 0; r < right->num_rows(); ++r) {
-        li.push_back(l);
-        ri.push_back(r);
+  if (cross) {
+    // Pair (l, r) owns slot l*nr + r: exact-size allocation up front instead
+    // of the old push_back assembly that reallocated O(log n) times on an
+    // |L|·|R| output, and each left-row morsel fills disjoint slots.
+    li.resize(static_cast<size_t>(nl * nr));
+    ri.resize(static_cast<size_t>(nl * nr));
+    int64_t rows_per_morsel =
+        std::max<int64_t>(1, kMorselRows / std::max<int64_t>(1, nr));
+    ParallelFor(nl, rows_per_morsel, [&](int64_t b, int64_t e) {
+      for (int64_t l = b; l < e; ++l) {
+        size_t base = static_cast<size_t>(l * nr);
+        for (int64_t r = 0; r < nr; ++r) {
+          li[base + static_cast<size_t>(r)] = l;
+          ri[base + static_cast<size_t>(r)] = r;
+        }
       }
-      continue;
-    }
-    if (row_has_null_key(*left, l, lk)) continue;
-    auto it = table.find(lh[static_cast<size_t>(l)]);
-    if (it == table.end()) continue;
-    for (int64_t r : it->second) {
-      if (KeysEqual(*left, l, lk, *right, r, rk)) {
-        li.push_back(l);
-        ri.push_back(r);
+    });
+  } else {
+    // Partitioned build: partition p owns every hash h with (h & mask) == p
+    // and builds its chained-bucket table independently. A bucket lives in
+    // exactly one partition and receives its rows in ascending row order, so
+    // bucket chains are identical to the old single-threaded build.
+    int parts = 1;
+    while (parts < GetThreadCount() && parts < 64) parts *= 2;
+    const uint64_t mask = static_cast<uint64_t>(parts - 1);
+    std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables(
+        static_cast<size_t>(parts));
+    ParallelFor(parts, 1, [&](int64_t pb, int64_t pe) {
+      for (int64_t p = pb; p < pe; ++p) {
+        auto& table = tables[static_cast<size_t>(p)];
+        table.reserve(static_cast<size_t>(nr / parts + 1));
+        for (int64_t r = 0; r < nr; ++r) {
+          uint64_t h = rh[static_cast<size_t>(r)];
+          if ((h & mask) != static_cast<uint64_t>(p)) continue;
+          if (row_has_null_key(*right, r, rk)) continue;
+          table[h].push_back(r);
+        }
       }
+    });
+
+    // Probe: each morsel of left rows collects matches into its own pair
+    // vectors; concatenating them in morsel order reproduces the sequential
+    // (left-ascending, bucket-chain) pair order exactly.
+    const int64_t grain = kMorselRows;
+    const size_t morsels = static_cast<size_t>((nl + grain - 1) / grain);
+    std::vector<std::vector<int64_t>> lparts(morsels), rparts(morsels);
+    ParallelFor(nl, grain, [&](int64_t b, int64_t e) {
+      std::vector<int64_t>& lo = lparts[static_cast<size_t>(b / grain)];
+      std::vector<int64_t>& ro = rparts[static_cast<size_t>(b / grain)];
+      for (int64_t l = b; l < e; ++l) {
+        if (row_has_null_key(*left, l, lk)) continue;
+        uint64_t h = lh[static_cast<size_t>(l)];
+        const auto& table = tables[static_cast<size_t>(h & mask)];
+        auto it = table.find(h);
+        if (it == table.end()) continue;
+        for (int64_t r : it->second) {
+          if (KeysEqual(*left, l, lk, *right, r, rk)) {
+            lo.push_back(l);
+            ro.push_back(r);
+          }
+        }
+      }
+    });
+    size_t total = 0;
+    for (const auto& p : lparts) total += p.size();
+    li.reserve(total);
+    ri.reserve(total);
+    for (size_t m = 0; m < morsels; ++m) {
+      li.insert(li.end(), lparts[m].begin(), lparts[m].end());
+      ri.insert(ri.end(), rparts[m].begin(), rparts[m].end());
     }
   }
 
@@ -233,11 +298,12 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
   }
 
   if (spec.type == JoinType::kSemi || spec.type == JoinType::kAnti) {
-    std::vector<uint8_t> matched(static_cast<size_t>(left->num_rows()), 0);
+    std::vector<uint8_t> matched(static_cast<size_t>(nl), 0);
     for (int64_t l : li) matched[static_cast<size_t>(l)] = 1;
     std::vector<int64_t> keep;
+    keep.reserve(static_cast<size_t>(nl));
     bool want = spec.type == JoinType::kSemi;
-    for (int64_t l = 0; l < left->num_rows(); ++l) {
+    for (int64_t l = 0; l < nl; ++l) {
       if ((matched[static_cast<size_t>(l)] != 0) == want) keep.push_back(l);
     }
     return left->TakeRows(keep);
@@ -259,15 +325,34 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
   }
   NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
 
+  // Gather output columns in parallel: every task writes one pre-assigned
+  // slot of out_cols, so completion order cannot reorder the result.
+  const size_t ncols =
+      static_cast<size_t>(left->num_columns()) + right_out.size();
   std::vector<Column> out_cols;
-  for (const Column& c : left->columns()) out_cols.push_back(c.Take(li));
-  for (int c : right_out) out_cols.push_back(right->column(c).Take(ri));
+  out_cols.reserve(ncols);
+  for (const Column& c : left->columns()) out_cols.emplace_back(c.type());
+  for (int c : right_out) out_cols.emplace_back(right->column(c).type());
+  std::vector<std::function<void()>> gathers;
+  gathers.reserve(ncols);
+  for (int c = 0; c < left->num_columns(); ++c) {
+    gathers.push_back(
+        [&, c] { out_cols[static_cast<size_t>(c)] = left->column(c).Take(li); });
+  }
+  for (size_t j = 0; j < right_out.size(); ++j) {
+    gathers.push_back([&, j] {
+      out_cols[static_cast<size_t>(left->num_columns()) + j] =
+          right->column(right_out[j]).Take(ri);
+    });
+  }
+  ParallelRun(gathers);
 
   if (spec.type == JoinType::kLeft) {
-    std::vector<uint8_t> matched(static_cast<size_t>(left->num_rows()), 0);
+    std::vector<uint8_t> matched(static_cast<size_t>(nl), 0);
     for (int64_t l : li) matched[static_cast<size_t>(l)] = 1;
     std::vector<int64_t> unmatched;
-    for (int64_t l = 0; l < left->num_rows(); ++l) {
+    unmatched.reserve(static_cast<size_t>(nl));
+    for (int64_t l = 0; l < nl; ++l) {
       if (!matched[static_cast<size_t>(l)]) unmatched.push_back(l);
     }
     if (!unmatched.empty()) {
@@ -277,6 +362,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
       }
       for (size_t c = 0; c < right_out.size(); ++c) {
         Column& col = out_cols[static_cast<size_t>(left->num_columns()) + c];
+        col.Reserve(col.size() + static_cast<int64_t>(unmatched.size()));
         for (size_t i = 0; i < unmatched.size(); ++i) col.AppendNull();
       }
     }
@@ -322,6 +408,70 @@ struct TypedAggState {
     }
   }
 };
+
+/// One hash partition's aggregation state (the sequential path uses a single
+/// partition covering every hash).
+struct AggPartition {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<int64_t> rep_row;
+  std::vector<std::vector<TypedAggState>> states;
+};
+
+/// Accumulates every row whose group hash satisfies (h & mask) == want into
+/// `part`, scanning rows in ascending order. With mask == 0 this is exactly
+/// the single-pass sequential aggregation. With a partition mask, a group —
+/// whose rows all share one hash — is accumulated entirely by one partition
+/// in the same ascending row order as the sequential pass, so per-group
+/// state (including the order-sensitive float sums) is bit-identical for any
+/// partition or thread count.
+Status AccumulateGroups(const Table& input, const AggregateOp& spec,
+                        const std::vector<int>& group_cols,
+                        const std::vector<Column>& agg_inputs,
+                        const std::vector<uint64_t>& hashes, uint64_t mask,
+                        uint64_t want, AggPartition* part) {
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    uint64_t h = hashes[static_cast<size_t>(r)];
+    if ((h & mask) != want) continue;
+    std::vector<size_t>& bucket = part->buckets[h];
+    size_t group = SIZE_MAX;
+    for (size_t g : bucket) {
+      if (GroupKeysEqual(input, part->rep_row[g], r, group_cols)) {
+        group = g;
+        break;
+      }
+    }
+    if (group == SIZE_MAX) {
+      group = part->states.size();
+      bucket.push_back(group);
+      part->rep_row.push_back(r);
+      part->states.emplace_back(spec.aggs.size());
+    }
+    std::vector<TypedAggState>& gs = part->states[group];
+    for (size_t a = 0; a < spec.aggs.size(); ++a) {
+      if (spec.aggs[a].input == nullptr) {
+        ++gs[a].count;
+        continue;
+      }
+      const Column& c = agg_inputs[a];
+      if (c.IsNull(r)) continue;
+      switch (c.type()) {
+        case DataType::kInt64:
+          gs[a].UpdateNumeric(static_cast<double>(c.ints()[static_cast<size_t>(r)]),
+                              c.ints()[static_cast<size_t>(r)], true);
+          break;
+        case DataType::kFloat64:
+          gs[a].UpdateNumeric(c.doubles()[static_cast<size_t>(r)], 0, false);
+          break;
+        case DataType::kString:
+          gs[a].UpdateString(c.strings()[static_cast<size_t>(r)]);
+          break;
+        case DataType::kBool:
+          return Status::TypeError("cannot aggregate bool input");
+      }
+    }
+  }
+  return Status::OK();
+}
 
 Result<Value> FinishTyped(const TypedAggState& st, AggFunc func, DataType in) {
   switch (func) {
@@ -373,47 +523,59 @@ Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
     }
   }
   NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> hashes, HashRows(*input, group_cols));
-  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
   std::vector<int64_t> rep_row;
   std::vector<std::vector<TypedAggState>> states;
-  for (int64_t r = 0; r < input->num_rows(); ++r) {
-    uint64_t h = hashes[static_cast<size_t>(r)];
-    std::vector<size_t>& bucket = buckets[h];
-    size_t group = SIZE_MAX;
-    for (size_t g : bucket) {
-      if (GroupKeysEqual(*input, rep_row[g], r, group_cols)) {
-        group = g;
-        break;
+  const int64_t n = input->num_rows();
+  if (GetThreadCount() == 1 || group_cols.empty() || n < 2 * kMorselRows) {
+    // Sequential single-pass aggregation (mask 0 admits every row).
+    AggPartition all;
+    NEXUS_RETURN_NOT_OK(AccumulateGroups(*input, spec, group_cols, agg_inputs,
+                                         hashes, 0, 0, &all));
+    rep_row = std::move(all.rep_row);
+    states = std::move(all.states);
+  } else {
+    // Partition-by-hash: each partition accumulates its share of the groups
+    // independently; the merge below restores first-occurrence order.
+    int parts = 1;
+    while (parts < GetThreadCount() && parts < 64) parts *= 2;
+    const uint64_t mask = static_cast<uint64_t>(parts - 1);
+    std::vector<AggPartition> partitions(static_cast<size_t>(parts));
+    std::vector<Status> statuses(static_cast<size_t>(parts), Status::OK());
+    ParallelFor(parts, 1, [&](int64_t pb, int64_t pe) {
+      for (int64_t p = pb; p < pe; ++p) {
+        statuses[static_cast<size_t>(p)] =
+            AccumulateGroups(*input, spec, group_cols, agg_inputs, hashes,
+                             mask, static_cast<uint64_t>(p),
+                             &partitions[static_cast<size_t>(p)]);
+      }
+    });
+    for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
+    // A group's rep_row is its globally first occurrence (its partition saw
+    // all of its rows, in order), so sorting by rep_row reproduces the
+    // sequential first-seen group order exactly.
+    struct GroupRef {
+      int64_t row;
+      int part;
+      size_t idx;
+    };
+    std::vector<GroupRef> order;
+    size_t total = 0;
+    for (const AggPartition& p : partitions) total += p.states.size();
+    order.reserve(total);
+    for (int p = 0; p < parts; ++p) {
+      const AggPartition& part = partitions[static_cast<size_t>(p)];
+      for (size_t g = 0; g < part.states.size(); ++g) {
+        order.push_back({part.rep_row[g], p, g});
       }
     }
-    if (group == SIZE_MAX) {
-      group = states.size();
-      bucket.push_back(group);
-      rep_row.push_back(r);
-      states.emplace_back(spec.aggs.size());
-    }
-    std::vector<TypedAggState>& gs = states[group];
-    for (size_t a = 0; a < spec.aggs.size(); ++a) {
-      if (spec.aggs[a].input == nullptr) {
-        ++gs[a].count;
-        continue;
-      }
-      const Column& c = agg_inputs[a];
-      if (c.IsNull(r)) continue;
-      switch (c.type()) {
-        case DataType::kInt64:
-          gs[a].UpdateNumeric(static_cast<double>(c.ints()[static_cast<size_t>(r)]),
-                              c.ints()[static_cast<size_t>(r)], true);
-          break;
-        case DataType::kFloat64:
-          gs[a].UpdateNumeric(c.doubles()[static_cast<size_t>(r)], 0, false);
-          break;
-        case DataType::kString:
-          gs[a].UpdateString(c.strings()[static_cast<size_t>(r)]);
-          break;
-        case DataType::kBool:
-          return Status::TypeError("cannot aggregate bool input");
-      }
+    std::sort(order.begin(), order.end(),
+              [](const GroupRef& a, const GroupRef& b) { return a.row < b.row; });
+    rep_row.reserve(total);
+    states.reserve(total);
+    for (const GroupRef& gr : order) {
+      rep_row.push_back(gr.row);
+      states.push_back(
+          std::move(partitions[static_cast<size_t>(gr.part)].states[gr.idx]));
     }
   }
   // SQL semantics: a global aggregate over empty input yields one row.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/parallel.h"
 #include "common/str_util.h"
 
 namespace nexus {
@@ -344,10 +345,27 @@ Result<std::shared_ptr<NDArray>> NDArray::FromTable(
     }
     int64_t lo = 0, hi = 0;
     if (table.num_rows() > 0) {
-      lo = hi = c.ints()[0];
-      for (int64_t v : c.ints()) {
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
+      // Morsel-parallel min/max: each morsel reduces its slot, the final
+      // reduction is over the (order-insensitive) per-morsel extremes.
+      const std::vector<int64_t>& vals = c.ints();
+      const int64_t n = static_cast<int64_t>(vals.size());
+      const size_t morsels =
+          static_cast<size_t>((n + kMorselRows - 1) / kMorselRows);
+      std::vector<int64_t> los(morsels), his(morsels);
+      ParallelFor(n, kMorselRows, [&](int64_t b, int64_t e) {
+        int64_t mlo = vals[static_cast<size_t>(b)], mhi = mlo;
+        for (int64_t r = b + 1; r < e; ++r) {
+          mlo = std::min(mlo, vals[static_cast<size_t>(r)]);
+          mhi = std::max(mhi, vals[static_cast<size_t>(r)]);
+        }
+        los[static_cast<size_t>(b / kMorselRows)] = mlo;
+        his[static_cast<size_t>(b / kMorselRows)] = mhi;
+      });
+      lo = los[0];
+      hi = his[0];
+      for (size_t m = 1; m < morsels; ++m) {
+        lo = std::min(lo, los[m]);
+        hi = std::max(hi, his[m]);
       }
     }
     DimensionSpec spec;

@@ -4,6 +4,7 @@
 // same seed ⇒ same retry/failover trace.
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "expr/builder.h"
 #include "federation/coordinator.h"
@@ -195,6 +196,12 @@ ChaosRun RunChaos(uint64_t fault_seed, uint64_t jitter_seed) {
   CoordinatorOptions opts;
   opts.retry.max_attempts = 6;
   opts.retry.jitter_seed = jitter_seed;
+  // The same-seed ⇒ same-trace invariant is promised at sequential dispatch
+  // only: concurrent siblings interleave their transport sends, so the fault
+  // stream's consumption order depends on scheduling. Pinning thread_count
+  // keeps this harness reproducible under any process-wide budget
+  // (NEXUS_THREADS, TSan CI).
+  opts.thread_count = 1;
   Coordinator coord(&cluster, opts);
 
   PlanPtr p = Plan::Aggregate(
@@ -234,6 +241,123 @@ TEST(ChaosTest, DifferentSeedDifferentTrace) {
   ASSERT_TRUE(a.ok);
   ASSERT_TRUE(c.ok);
   EXPECT_NE(a.fault_trace, c.fault_trace);
+}
+
+TEST(ChaosTest, TraceInvariantHoldsUnderAnyProcessBudget) {
+  // RunChaos pins CoordinatorOptions::thread_count = 1, which must shield
+  // the trace from the process-wide budget (e.g. NEXUS_THREADS=4 in CI).
+  struct Guard {
+    int saved = GetThreadCount();
+    ~Guard() { SetThreadCount(saved); }
+  } guard;
+  SetThreadCount(1);
+  ChaosRun a = RunChaos(/*fault_seed=*/5, /*jitter_seed=*/17);
+  SetThreadCount(4);
+  ChaosRun b = RunChaos(/*fault_seed=*/5, /*jitter_seed=*/17);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sibling-fragment dispatch under faults: the retry ladder and
+// failover replanning must hold when fragments execute in parallel.
+// ---------------------------------------------------------------------------
+
+// Two matrix holders plus a linalg specialist: MatMul lands on linalg and
+// both scan children become remote sibling fragments, so they dispatch
+// concurrently when the thread budget allows.
+void FillMatMulCluster(Cluster* cluster, bool with_replicas) {
+  EXPECT_OK(cluster->AddServer("relstore", MakeRelationalProvider()));
+  EXPECT_OK(cluster->AddServer("relsmall", MakeRelationalProvider()));
+  EXPECT_OK(cluster->AddServer("linalg", MakeLinalgProvider()));
+  EXPECT_OK(cluster->AddServer("reference", MakeReferenceProvider()));
+  auto matrix = [](uint64_t seed, const char* d0, const char* d1,
+                   const char* attr) {
+    Rng rng(seed);
+    SchemaPtr s = MakeSchema({Field::Dim(d0), Field::Dim(d1),
+                              Field::Attr(attr, DataType::kFloat64)});
+    TableBuilder b(s);
+    for (int64_t r = 0; r < 12; ++r) {
+      for (int64_t c = 0; c < 12; ++c) {
+        EXPECT_OK(b.AppendRow({I(r), I(c), F(rng.NextDouble(0.1, 1.0))}));
+      }
+    }
+    return Dataset(b.Finish().ValueOrDie());
+  };
+  EXPECT_OK(cluster->PutData("relstore", "MA", matrix(31, "i", "k", "a")));
+  EXPECT_OK(cluster->PutData("relsmall", "MB", matrix(32, "k", "j", "b")));
+  if (with_replicas) {
+    EXPECT_OK(cluster->Replicate("MA", "reference"));
+    EXPECT_OK(cluster->Replicate("MB", "reference"));
+  }
+}
+
+TEST(ParallelDispatchTest, ConcurrentSiblingsHonorRetryPolicy) {
+  PlanPtr mm = Plan::MatMul(Plan::Scan("MA"), Plan::Scan("MB"), "c");
+
+  // Fault-free sequential baseline.
+  Cluster clean;
+  FillMatMulCluster(&clean, /*with_replicas=*/false);
+  CoordinatorOptions seq;
+  seq.thread_count = 1;
+  Dataset want = Coordinator(&clean, seq).Execute(mm).ValueOrDie();
+
+  // Lossy transport, concurrent dispatch: completion via retries, and the
+  // result must not change.
+  Cluster faulty;
+  FillMatMulCluster(&faulty, /*with_replicas=*/false);
+  FaultOptions f;
+  f.enabled = true;
+  f.drop_probability = 0.25;
+  f.seed = 7;
+  faulty.transport()->SetFaultOptions(f);
+  CoordinatorOptions par;
+  par.retry.max_attempts = 8;
+  par.thread_count = 4;
+  Coordinator coord(&faulty, par);
+  // Several executions share the fault stream; every one must complete and
+  // agree with the clean baseline.
+  int64_t retries = 0, parallel_fragments = 0;
+  for (int q = 0; q < 4; ++q) {
+    ExecutionMetrics m;
+    Dataset got = coord.Execute(mm, &m).ValueOrDie();
+    EXPECT_TRUE(got.LogicallyEquals(want)) << "query " << q;
+    EXPECT_EQ(m.threads_used, 4);
+    retries += m.retries;
+    parallel_fragments += m.parallel_fragments;
+  }
+  EXPECT_GE(parallel_fragments, 2) << "siblings did not dispatch concurrently";
+  EXPECT_GT(retries, 0) << "the lossy transport injected no retries";
+}
+
+TEST(ParallelDispatchTest, ConcurrentDispatchFailsOverDownServer) {
+  PlanPtr mm = Plan::MatMul(Plan::Scan("MA"), Plan::Scan("MB"), "c");
+
+  Cluster clean;
+  FillMatMulCluster(&clean, /*with_replicas=*/true);
+  CoordinatorOptions seq;
+  seq.thread_count = 1;
+  Dataset want = Coordinator(&clean, seq).Execute(mm).ValueOrDie();
+
+  // relstore stays down long past the retry ladder; the replica on the
+  // reference server is the only way through.
+  Cluster faulty;
+  FillMatMulCluster(&faulty, /*with_replicas=*/true);
+  FaultOptions f;
+  f.enabled = true;
+  f.down_windows = {{"relstore", 0.0, 1000.0}};
+  faulty.transport()->SetFaultOptions(f);
+  CoordinatorOptions par;
+  par.retry.max_attempts = 3;
+  par.thread_count = 4;
+  Coordinator coord(&faulty, par);
+  ExecutionMetrics m;
+  Dataset got = coord.Execute(mm, &m).ValueOrDie();
+  EXPECT_TRUE(got.LogicallyEquals(want));
+  EXPECT_GE(m.failovers, 1) << "the down server was never excluded";
+  EXPECT_GE(m.replans, 1);
 }
 
 }  // namespace

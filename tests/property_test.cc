@@ -6,8 +6,11 @@
 //   P2  optimizer equivalence: Exec(Optimize(p)) ≡ Exec(p)  (schema + value)
 //   P3  provider agreement:    every claiming provider ≡ reference
 //   P4  federation agreement:  coordinator over a split cluster ≡ local
+//   P5  parallel determinism:  Exec at threads ∈ {2,4,8} byte-identical to
+//                              threads = 1 (morsel scheduler contract)
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
@@ -263,6 +266,36 @@ TEST_P(PlanFuzzTest, FederatedExecutionMatchesLocal) {
     ASSERT_OK_AND_ASSIGN(Dataset want, local.Execute(*plan));
     ASSERT_OK_AND_ASSIGN(Dataset got, coord.Execute(plan));
     EXPECT_TRUE(got.LogicallyEquals(want)) << plan->ToString();
+  }
+}
+
+TEST_P(PlanFuzzTest, ParallelExecutionIsByteIdentical) {
+  // Stronger than LogicallyEquals: the morsel scheduler's determinism
+  // contract promises byte-identical results (row order, chunk layout,
+  // float sums) for any thread budget.
+  struct Guard {
+    int saved = GetThreadCount();
+    ~Guard() { SetThreadCount(saved); }
+  } guard;
+  ReferenceExecutor exec(&catalog_);
+  for (int trial = 0; trial < 5; ++trial) {
+    PlanPtr plan = trial % 2 == 0
+                       ? RandomRelationalPlan(rng_.get(), catalog_, 5)
+                       : RandomArrayPlan(rng_.get(), 4);
+    SetThreadCount(1);
+    ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*plan));
+    for (int threads : {2, 4, 8}) {
+      SetThreadCount(threads);
+      ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*plan));
+      ASSERT_EQ(got.kind(), want.kind()) << plan->ToString();
+      if (want.is_table()) {
+        EXPECT_TRUE(got.table()->Equals(*want.table()))
+            << "threads=" << threads << "\n" << plan->ToString();
+      } else {
+        EXPECT_TRUE(got.array()->Equals(*want.array()))
+            << "threads=" << threads << "\n" << plan->ToString();
+      }
+    }
   }
 }
 
