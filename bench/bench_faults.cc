@@ -30,6 +30,8 @@ struct CellResult {
   int64_t retries = 0;
   int64_t failovers = 0;
   int64_t timeouts = 0;
+  int64_t fragments = 0;
+  int64_t messages = 0;
   int64_t wasted_bytes = 0;
   double sim_seconds = 0.0;
 };
@@ -104,6 +106,8 @@ CellResult RunCell(double drop_probability, bool with_down_window,
     cell.retries += m.retries;
     cell.failovers += m.failovers;
     cell.timeouts += m.timeouts;
+    cell.fragments += m.fragments;
+    cell.messages += m.messages;
   }
   cell.wasted_bytes = cluster.transport()->failed_bytes();
   cell.sim_seconds = cluster.transport()->simulated_seconds();
@@ -122,8 +126,9 @@ int main() {
               "retries", "failovers", "timeouts", "wasted", "sim(ms)",
               "overhead");
   auto report = [&](const char* label, const CellResult& c) {
-    json.Record(std::string("drop_") + label + "_sim", c.attempted,
-                c.sim_seconds * 1e3);
+    json.RecordFederated(std::string("drop_") + label + "_sim", c.attempted,
+                         c.sim_seconds * 1e3, c.fragments, c.messages,
+                         c.retries);
     std::printf("%9s | %6d/%2d %8lld %9lld %8lld | %10s %9.2f %8.2fx\n", label,
                 c.completed, c.attempted, static_cast<long long>(c.retries),
                 static_cast<long long>(c.failovers),

@@ -1,6 +1,7 @@
 // Machine-readable benchmark output. Every bench_* binary emits a
 // BENCH_<name>.json next to wherever it runs, one record per measurement:
-//   {"op": ..., "rows": ..., "wall_ms": ..., "threads": ...}
+//   {"op": ..., "rows": ..., "wall_ms": ..., "threads": ...,
+//    "fragments": ..., "messages": ..., "retries": ...}
 // so sweeps can be plotted or regression-tracked without scraping the
 // human-oriented tables. Benches that measure simulated network time (the
 // federation experiments) record simulated milliseconds in wall_ms; the op
@@ -28,8 +29,18 @@ class Recorder {
   /// Appends one measurement. threads <= 0 records the process-wide budget.
   void Record(const std::string& op, long long rows, double wall_ms,
               int threads = 0) {
-    entries_.push_back(
-        Entry{op, rows, wall_ms, threads > 0 ? threads : GetThreadCount()});
+    entries_.push_back(Entry{op, rows, wall_ms,
+                             threads > 0 ? threads : GetThreadCount(), 0, 0, 0});
+  }
+
+  /// Federation measurement: also records the per-call ExecutionMetrics
+  /// counts that matter for regression-tracking distributed runs.
+  void RecordFederated(const std::string& op, long long rows, double wall_ms,
+                       long long fragments, long long messages,
+                       long long retries, int threads = 0) {
+    entries_.push_back(Entry{op, rows, wall_ms,
+                             threads > 0 ? threads : GetThreadCount(), fragments,
+                             messages, retries});
   }
 
   /// Writes BENCH_<bench>.json into the working directory. The destructor
@@ -44,8 +55,10 @@ class Recorder {
       const Entry& e = entries_[i];
       std::fprintf(f,
                    "    {\"op\": \"%s\", \"rows\": %lld, \"wall_ms\": %.6f, "
-                   "\"threads\": %d}%s\n",
+                   "\"threads\": %d, \"fragments\": %lld, \"messages\": %lld, "
+                   "\"retries\": %lld}%s\n",
                    Escaped(e.op).c_str(), e.rows, e.wall_ms, e.threads,
+                   e.fragments, e.messages, e.retries,
                    i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -58,6 +71,10 @@ class Recorder {
     long long rows;
     double wall_ms;
     int threads;
+    // Federation accounting (zero for pure-engine benches).
+    long long fragments;
+    long long messages;
+    long long retries;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -64,8 +64,10 @@ int main() {
     Dataset r1 = coord.Execute(p, &tree).ValueOrDie();
     Dataset r2 = coord.ExecutePerOp(p, &perop).ValueOrDie();
     NEXUS_CHECK(r1.LogicallyEquals(r2));
-    json.Record("tree_sim", rows, tree.simulated_seconds * 1e3);
-    json.Record("perop_sim", rows, perop.simulated_seconds * 1e3);
+    json.RecordFederated("tree_sim", rows, tree.simulated_seconds * 1e3,
+                         tree.fragments, tree.messages, tree.retries);
+    json.RecordFederated("perop_sim", rows, perop.simulated_seconds * 1e3,
+                         perop.fragments, perop.messages, perop.retries);
 
     std::printf(
         "%9lld | %5lld %10s %10s %8.2f | %5lld %10s %10s %8.2f | %6.2fx\n",

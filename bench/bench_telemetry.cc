@@ -1,0 +1,211 @@
+// E12 — Telemetry overhead: the tracing hooks ride inside every engine
+// kernel, operator, fragment dispatch, and morsel, so their cost decides
+// whether tracing can stay compiled in. Measure the E11 workloads (1M-row
+// hash join, 1M-row hash aggregate, blocked GEMM) with tracing off and on;
+// the off arm must price a disabled hook at one relaxed atomic load, and
+// the on arm's overhead stays small because spans are recorded per morsel
+// and kernel, not per row.
+//
+// A second section runs a federated query on a lossy transport with
+// tracing enabled and exports the stitched Chrome trace to E12_trace.json
+// (load it in Perfetto / chrome://tracing; CI validates it parses).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "linalg/dense.h"
+#include "relational/engine.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace_export.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+namespace {
+
+TablePtr MakeFactTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  SchemaPtr s = Schema::Make({Field::Attr("k", DataType::kInt64),
+                              Field::Attr("v", DataType::kFloat64)})
+                    .ValueOrDie();
+  std::vector<int64_t> ks(static_cast<size_t>(rows));
+  std::vector<double> vs(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    ks[static_cast<size_t>(i)] = rng.NextInt(0, rows / 16 + 1);
+    vs[static_cast<size_t>(i)] = rng.NextDouble(0, 100);
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInt64(std::move(ks)));
+  cols.push_back(Column::FromFloat64(std::move(vs)));
+  return Table::Make(s, std::move(cols)).ValueOrDie();
+}
+
+// Best-of-N wall time of fn() with tracing off and on. Reps interleave the
+// two arms so host-load drift cancels instead of landing on one side, and
+// recorded spans are dropped between reps so the on arm times the hooks,
+// not an ever-growing span vector.
+template <typename Fn>
+void BestMsOffOn(Fn fn, double* off_ms, double* on_ms) {
+  *off_ms = 1e30;
+  *on_ms = 1e30;
+  for (int rep = 0; rep < 7; ++rep) {
+    for (bool enabled : {false, true}) {
+      telemetry::SetEnabled(enabled);
+      telemetry::ClearSpans();
+      WallTimer t;
+      fn();
+      double ms = t.ElapsedMillis();
+      double& best = enabled ? *on_ms : *off_ms;
+      best = std::min(best, ms);
+    }
+  }
+  telemetry::SetEnabled(false);
+  telemetry::ClearSpans();
+}
+
+void LoadMatMulCluster(Cluster* cluster) {
+  NEXUS_CHECK(cluster->AddServer("relstore", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster->AddServer("relsmall", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster->AddServer("linalg", MakeLinalgProvider()).ok());
+  auto matrix = [](uint64_t seed, const char* d0, const char* d1,
+                   const char* attr) {
+    Rng rng(seed);
+    SchemaPtr s = Schema::Make({Field::Dim(d0), Field::Dim(d1),
+                                Field::Attr(attr, DataType::kFloat64)})
+                      .ValueOrDie();
+    TableBuilder b(s);
+    for (int64_t r = 0; r < 16; ++r) {
+      for (int64_t c = 0; c < 16; ++c) {
+        NEXUS_CHECK(
+            b.AppendRow({Value::Int64(r), Value::Int64(c),
+                         Value::Float64(rng.NextDouble(0.1, 1.0))})
+                .ok());
+      }
+    }
+    return Dataset(b.Finish().ValueOrDie());
+  };
+  NEXUS_CHECK(cluster->PutData("relstore", "MA", matrix(31, "i", "k", "a")).ok());
+  NEXUS_CHECK(cluster->PutData("relsmall", "MB", matrix(32, "k", "j", "b")).ok());
+}
+
+}  // namespace
+
+int main() {
+  const int restore = GetThreadCount();
+  const int64_t kRows = 1 << 20;
+  SetThreadCount(4);  // morsel hooks only fire where parallel regions run
+  std::printf("E12 Telemetry overhead: tracing off vs on (E11 workloads)\n\n");
+  std::printf("%-10s %9s | %10s %10s | %8s\n", "op", "rows", "off(ms)",
+              "on(ms)", "overhead");
+
+  benchjson::Recorder json("telemetry");
+  double worst_overhead = 0.0;
+
+  auto compare = [&](const char* op, int64_t rows, auto fn) {
+    double off = 0.0, on = 0.0;
+    BestMsOffOn(fn, &off, &on);
+    double overhead = (on - off) / off * 100.0;
+    worst_overhead = std::max(worst_overhead, overhead);
+    json.Record(std::string(op) + "_off", rows, off, 4);
+    json.Record(std::string(op) + "_on", rows, on, 4);
+    std::printf("%-10s %9lld | %10.2f %10.2f | %+7.1f%%\n", op,
+                static_cast<long long>(rows), off, on, overhead);
+  };
+
+  {
+    TablePtr probe = MakeFactTable(kRows, 2);
+    TablePtr build = relational::Rename(MakeFactTable(kRows / 8, 3),
+                                        {{"k", "bk"}, {"v", "bv"}})
+                         .ValueOrDie();
+    JoinOp op;
+    op.left_keys = {"k"};
+    op.right_keys = {"bk"};
+    compare("join", kRows, [&] {
+      return relational::HashJoin(probe, build, op).ValueOrDie();
+    });
+  }
+  {
+    TablePtr t = MakeFactTable(kRows, 4);
+    AggregateOp op;
+    op.group_by = {"k"};
+    op.aggs = {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+               AggSpec{AggFunc::kCount, nullptr, "n"}};
+    compare("aggregate", kRows, [&] {
+      return relational::HashAggregate(t, op).ValueOrDie();
+    });
+  }
+  {
+    Rng rng(9);
+    const int64_t n = 384;
+    linalg::DenseMatrix a(n, n), b(n, n);
+    for (double& v : a.data()) v = rng.NextDouble(-1, 1);
+    for (double& v : b.data()) v = rng.NextDouble(-1, 1);
+    compare("matmul", n * n,
+            [&] { return linalg::MatMulBlocked(a, b, 64).ValueOrDie(); });
+  }
+
+  // -------------------------------------------------------------------------
+  // Federated trace export: one faulty multi-server query, fully traced.
+  // -------------------------------------------------------------------------
+  std::printf("\nfederated trace export:\n");
+  {
+    Cluster cluster;
+    LoadMatMulCluster(&cluster);
+    FaultOptions f;
+    f.enabled = true;
+    f.drop_probability = 0.25;
+    f.seed = 7;
+    cluster.transport()->SetFaultOptions(f);
+    CoordinatorOptions opts;
+    opts.retry.max_attempts = 8;
+    opts.thread_count = 1;
+    Coordinator coord(&cluster, opts);
+    PlanPtr mm = Plan::MatMul(Plan::Scan("MA"), Plan::Scan("MB"), "c");
+
+    telemetry::SetEnabled(true);
+    telemetry::ClearSpans();
+    // Walk the deterministic fault stream until a query pays a retry, so
+    // the exported trace shows the recovery machinery, not a clean run.
+    uint64_t trace = 0;
+    ExecutionMetrics m;
+    for (int q = 0; q < 8 && trace == 0; ++q) {
+      ExecutionMetrics qm;
+      NEXUS_CHECK(coord.Execute(mm, &qm).ok());
+      if (qm.retries > 0) {
+        trace = coord.last_trace_id();
+        m = qm;
+      }
+    }
+    telemetry::SetEnabled(false);
+    NEXUS_CHECK(trace != 0) << "fault stream never dropped a message";
+    NEXUS_CHECK(
+        telemetry::WriteChromeTrace("E12_trace.json", telemetry::Spans(), trace)
+            .ok());
+    int64_t spans = 0;
+    for (const auto& s : telemetry::Spans()) spans += s.trace == trace;
+    std::printf(
+        "  E12_trace.json: %lld spans, %lld fragments, %lld messages, "
+        "%lld retries (load in Perfetto)\n",
+        static_cast<long long>(spans), static_cast<long long>(m.fragments),
+        static_cast<long long>(m.messages), static_cast<long long>(m.retries));
+    json.RecordFederated("traced_query_sim", spans, m.simulated_seconds * 1e3,
+                         m.fragments, m.messages, m.retries, 1);
+    telemetry::ClearSpans();
+  }
+
+  SetThreadCount(restore);
+  std::printf(
+      "\nshape expectation: the off arms match a build without telemetry (a\n"
+      "disabled hook is one relaxed atomic load) and the on arms stay within\n"
+      "single-digit percent — spans are per kernel/morsel, never per row.\n"
+      "worst overhead this run: %+.1f%% (target < 5%%, noise permitting)\n",
+      worst_overhead);
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 namespace arraydb {
@@ -341,6 +342,8 @@ Result<NDArrayPtr> ProjectAttrs(const NDArray& in,
 Result<NDArrayPtr> Regrid(
     const NDArray& in,
     const std::vector<std::pair<std::string, int64_t>>& factors, AggFunc func) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "ad.Regrid");
+  span.AddCounter("cells", in.NumCellsOccupied());
   std::vector<int64_t> factor(static_cast<size_t>(in.num_dims()), 1);
   for (const auto& [name, f] : factors) {
     NEXUS_ASSIGN_OR_RETURN(int d, DimIndexOrError(in, name));
@@ -413,6 +416,8 @@ Result<NDArrayPtr> Regrid(
 Result<NDArrayPtr> Window(
     const NDArray& in,
     const std::vector<std::pair<std::string, int64_t>>& radii, AggFunc func) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "ad.Window");
+  span.AddCounter("cells", in.NumCellsOccupied());
   std::vector<int64_t> radius(static_cast<size_t>(in.num_dims()), 0);
   for (const auto& [name, r] : radii) {
     NEXUS_ASSIGN_OR_RETURN(int d, DimIndexOrError(in, name));

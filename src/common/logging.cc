@@ -1,13 +1,41 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace nexus {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<int> g_log_level{-1};  // -1 = not yet initialized
+
+/// NEXUS_LOG_LEVEL seeds the threshold (SetLogLevel still overrides), so
+/// benches and CI can turn logging up without touching code — same contract
+/// as NEXUS_THREADS in common/parallel. Accepts a level name
+/// (debug/info/warning/error/fatal, case-insensitive) or its integer 0–4.
+int InitialLogLevel() {
+  const char* env = std::getenv("NEXUS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::isdigit(static_cast<unsigned char>(env[0]))) {
+    int n = std::atoi(env);
+    if (n >= 0 && n <= static_cast<int>(LogLevel::kFatal)) return n;
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  std::string name;
+  for (const char* p = env; *p; ++p) {
+    name.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (name == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (name == "info") return static_cast<int>(LogLevel::kInfo);
+  if (name == "warning" || name == "warn") return static_cast<int>(LogLevel::kWarning);
+  if (name == "error") return static_cast<int>(LogLevel::kError);
+  if (name == "fatal") return static_cast<int>(LogLevel::kFatal);
+  return static_cast<int>(LogLevel::kWarning);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,10 +54,19 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  int n = g_log_level.load();
+  if (n < 0) {
+    n = InitialLogLevel();
+    g_log_level.store(n);
+  }
+  return static_cast<LogLevel>(n);
+}
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
 namespace internal {
+
+LogLevel LogLevelFromEnv() { return static_cast<LogLevel>(InitialLogLevel()); }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = file;

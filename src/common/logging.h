@@ -12,11 +12,18 @@ namespace nexus {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Global log threshold; messages below it are dropped. Default kWarning so
-/// library users get quiet benches/tests unless they opt in.
+/// library users get quiet benches/tests unless they opt in. The initial
+/// threshold can be seeded with the NEXUS_LOG_LEVEL environment variable
+/// (a level name like "debug"/"info", or its integer 0–4); SetLogLevel
+/// overrides it at any time.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal {
+
+/// Re-reads NEXUS_LOG_LEVEL from the environment (testing seam for the
+/// env-var parsing; production code relies on the lazy first-use read).
+LogLevel LogLevelFromEnv();
 
 class LogMessage {
  public:

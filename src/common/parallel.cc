@@ -14,6 +14,34 @@ namespace {
 
 std::atomic<int64_t> g_morsels{0};
 std::atomic<int64_t> g_regions{0};
+std::atomic<const ParallelHooks*> g_hooks{nullptr};
+
+/// RAII region observation: captures the hook table once so a region sees
+/// a consistent table even if telemetry flips mid-flight.
+struct RegionScope {
+  RegionScope() : hooks(g_hooks.load(std::memory_order_acquire)) {
+    if (hooks != nullptr) token = hooks->region_begin();
+  }
+  ~RegionScope() {
+    if (hooks != nullptr) hooks->region_end(token);
+  }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+  template <typename Fn>
+  void RunMorsel(int64_t index, Fn&& body) const {
+    if (hooks == nullptr) {
+      body();
+      return;
+    }
+    uint64_t handle = hooks->morsel_begin(token, index);
+    body();
+    hooks->morsel_end(handle);
+  }
+
+  const ParallelHooks* hooks;
+  uint64_t token = 0;
+};
 
 int ClampThreads(int n) { return std::clamp(n, 1, kMaxThreads); }
 
@@ -173,6 +201,10 @@ ParallelStats GetParallelStats() {
   return s;
 }
 
+void SetParallelHooks(const ParallelHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
 void ParallelFor(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body,
                  int threads) {
@@ -180,15 +212,18 @@ void ParallelFor(int64_t n, int64_t grain,
   if (grain <= 0) grain = kMorselRows;
   int64_t morsels = (n + grain - 1) / grain;
   int budget = threads > 0 ? ClampThreads(threads) : GetThreadCount();
+  RegionScope region;
   if (budget == 1 || morsels == 1) {
-    body(0, n);
+    region.RunMorsel(0, [&] { body(0, n); });
     g_morsels.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   g_regions.fetch_add(1, std::memory_order_relaxed);
   std::function<void(int64_t)> run = [&](int64_t m) {
-    int64_t begin = m * grain;
-    body(begin, std::min(n, begin + grain));
+    region.RunMorsel(m, [&] {
+      int64_t begin = m * grain;
+      body(begin, std::min(n, begin + grain));
+    });
   };
   Pool::Get().Run(morsels, run, budget - 1);
 }
@@ -197,16 +232,17 @@ void ParallelRun(const std::vector<std::function<void()>>& tasks,
                  int threads) {
   if (tasks.empty()) return;
   int budget = threads > 0 ? ClampThreads(threads) : GetThreadCount();
+  RegionScope region;
   if (budget == 1 || tasks.size() == 1) {
-    for (const auto& t : tasks) {
-      t();
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      region.RunMorsel(static_cast<int64_t>(i), [&] { tasks[i](); });
       g_morsels.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
   g_regions.fetch_add(1, std::memory_order_relaxed);
   std::function<void(int64_t)> run = [&](int64_t i) {
-    tasks[static_cast<size_t>(i)]();
+    region.RunMorsel(i, [&] { tasks[static_cast<size_t>(i)](); });
   };
   Pool::Get().Run(static_cast<int64_t>(tasks.size()), run, budget - 1);
 }

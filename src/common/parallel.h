@@ -67,6 +67,31 @@ void ParallelFor(int64_t n, int64_t grain,
 void ParallelRun(const std::vector<std::function<void()>>& tasks,
                  int threads = 0);
 
+/// Observer hooks for per-morsel telemetry. The pool stays telemetry-
+/// agnostic: a hook table is installed by the telemetry layer (while
+/// tracing is enabled) and every callback is gated on one atomic pointer
+/// load, so the uninstrumented path costs a single branch per region.
+///
+/// Lifecycle per parallel region: `region_begin` runs on the submitting
+/// thread before any morsel and returns an opaque token (0 = don't
+/// observe); each morsel is bracketed by `morsel_begin`/`morsel_end` on
+/// the thread that executes it (the handle returned by begin is passed to
+/// end); `region_end` runs on the submitting thread after every morsel
+/// finished. Both the inline (budget 1) and pooled paths fire the hooks,
+/// so morsel decomposition reported by telemetry matches the determinism
+/// contract above.
+struct ParallelHooks {
+  uint64_t (*region_begin)();
+  void (*region_end)(uint64_t token);
+  uint64_t (*morsel_begin)(uint64_t token, int64_t index);
+  void (*morsel_end)(uint64_t handle);
+};
+
+/// Atomically installs (or, with nullptr, removes) the hook table. The
+/// table must outlive its installation; regions in flight during a switch
+/// finish with the table they started with.
+void SetParallelHooks(const ParallelHooks* hooks);
+
 }  // namespace nexus
 
 #endif  // NEXUS_COMMON_PARALLEL_H_

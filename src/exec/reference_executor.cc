@@ -9,6 +9,7 @@
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -160,6 +161,17 @@ Result<TablePtr> ReferenceExecutor::ExecTable(const Plan& plan) {
 }
 
 Result<Dataset> ReferenceExecutor::Exec(const Plan& plan) {
+  if (!telemetry::Enabled()) return ExecNode(plan);
+  telemetry::SpanGuard span(telemetry::kCategoryOperator, plan.NodeLabel());
+  auto result = ExecNode(plan);
+  if (result.ok() && span.active()) {
+    span.AddCounter("rows", result.ValueOrDie().num_rows());
+    span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+  }
+  return result;
+}
+
+Result<Dataset> ReferenceExecutor::ExecNode(const Plan& plan) {
   switch (plan.kind()) {
     case OpKind::kScan: {
       if (catalog_ == nullptr) {

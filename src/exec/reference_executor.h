@@ -43,7 +43,10 @@ class ReferenceExecutor {
   int64_t iterations_run() const { return iterations_run_; }
 
  private:
+  /// Per-operator tracing shim around ExecNode (one span per plan node
+  /// while telemetry is enabled; recursion re-enters through here).
   Result<Dataset> Exec(const Plan& plan);
+  Result<Dataset> ExecNode(const Plan& plan);
   Result<TablePtr> ExecTable(const Plan& plan);
 
   const InMemoryCatalog* catalog_;

@@ -4,11 +4,15 @@
 #include <functional>
 #include <limits>
 
+#include <optional>
+
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "core/schema_inference.h"
 #include "core/serialize.h"
+#include "telemetry/explain.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -35,6 +39,50 @@ std::string ExecutionMetrics::ToString() const {
     out += StrCat("  parallel-fragments=", parallel_fragments);
   }
   return out;
+}
+
+Coordinator::Instruments Coordinator::Instruments::Resolve() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  return Instruments{
+      reg.counter("coordinator.fragments"),
+      reg.counter("coordinator.parallel_fragments"),
+      reg.counter("coordinator.client_loop_iterations"),
+      reg.counter("coordinator.retries"),
+      reg.counter("coordinator.failovers"),
+      reg.counter("coordinator.replans"),
+      reg.counter("coordinator.timeouts"),
+      reg.counter("coordinator.checkpoint_restores"),
+      reg.gauge("coordinator.threads"),
+      reg.histogram("coordinator.backoff_seconds"),
+      reg.histogram("coordinator.fragment_plan_bytes"),
+  };
+}
+
+Coordinator::InstrumentBase Coordinator::SnapshotInstruments() const {
+  InstrumentBase base;
+  base.fragments = ins_.fragments->value();
+  base.parallel_fragments = ins_.parallel_fragments->value();
+  base.client_loop_iterations = ins_.client_loop_iterations->value();
+  base.retries = ins_.retries->value();
+  base.failovers = ins_.failovers->value();
+  base.replans = ins_.replans->value();
+  base.timeouts = ins_.timeouts->value();
+  base.checkpoint_restores = ins_.checkpoint_restores->value();
+  return base;
+}
+
+void Coordinator::FillMetricsFromInstruments(ExecutionMetrics* metrics) const {
+  metrics->fragments = ins_.fragments->value() - base_.fragments;
+  metrics->parallel_fragments =
+      ins_.parallel_fragments->value() - base_.parallel_fragments;
+  metrics->client_loop_iterations =
+      ins_.client_loop_iterations->value() - base_.client_loop_iterations;
+  metrics->retries = ins_.retries->value() - base_.retries;
+  metrics->failovers = ins_.failovers->value() - base_.failovers;
+  metrics->replans = ins_.replans->value() - base_.replans;
+  metrics->timeouts = ins_.timeouts->value() - base_.timeouts;
+  metrics->checkpoint_restores =
+      ins_.checkpoint_restores->value() - base_.checkpoint_restores;
 }
 
 Result<SchemaPtr> FederatedCatalog::GetSchema(const std::string& name) const {
@@ -345,7 +393,7 @@ Status Coordinator::SendWithRetry(const std::string& from, const std::string& to
       backoff *= rp.backoff_multiplier;
       if (rp.fragment_timeout_seconds > 0.0 &&
           spent + pause > rp.fragment_timeout_seconds) {
-        ++timeouts_;
+        ins_.timeouts->Increment();
         last_failed_server_ = to != kClientNode ? to : from;
         return Status::Timeout(
             StrCat("fragment budget of ",
@@ -353,9 +401,17 @@ Status Coordinator::SendWithRetry(const std::string& from, const std::string& to
                    "s exhausted after ", attempt, " attempts ", from, " -> ",
                    to));
       }
+      double backoff_start = t->simulated_seconds();
       t->AdvanceTime(pause);  // backoff waits past scripted down windows
       spent += pause;
-      ++retries_;
+      ins_.retries->Increment();
+      ins_.backoff_seconds->Record(pause);
+      if (telemetry::Enabled()) {
+        telemetry::RecordComplete(telemetry::kCategoryCoordinator,
+                                  StrCat("retry ", from, "->", to), "",
+                                  backoff_start, pause,
+                                  {{"attempt", attempt}});
+      }
     }
     double seconds = 0.0;
     last = t->TrySend(from, to, bytes, kind, &seconds);
@@ -381,8 +437,15 @@ bool Coordinator::ExcludeFailedServer() {
     last_failed_server_.clear();
     return false;  // already routed around it once; the failure is elsewhere
   }
+  std::string failed = std::move(last_failed_server_);
   last_failed_server_.clear();
-  ++failovers_;
+  ins_.failovers->Increment();
+  if (telemetry::Enabled()) {
+    telemetry::RecordComplete(telemetry::kCategoryCoordinator,
+                              StrCat("failover away from ", failed), "",
+                              cluster_->transport()->simulated_seconds(), 0.0,
+                              {});
+  }
   // Temps on the dead server are unreachable; drop their memo entries so
   // the re-run recomputes them on a survivor.
   for (auto it = done_.begin(); it != done_.end();) {
@@ -406,16 +469,32 @@ Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
                                         const PlanPtr& fragment) {
   // Serialize the whole expression tree and ship it — the LINQ property.
   std::string wire = SerializePlan(*fragment);
+  telemetry::SpanGuard span(telemetry::kCategoryCoordinator,
+                            StrCat("fragment -> ", server), server);
+  int64_t retries_before = 0;
+  if (span.active()) {
+    // Context rides inside the plan message, so the receiver's spans stitch
+    // under this fragment. The header bytes are metered like any payload.
+    wire.insert(0, telemetry::WireHeader(span.trace(), span.id(), server));
+    retries_before = ins_.retries->value();
+  }
+  ins_.fragment_plan_bytes->Record(static_cast<double>(wire.size()));
   NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server,
                                     static_cast<int64_t>(wire.size()),
                                     MessageKind::kPlan));
-  {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    ++fragments_;
-  }
+  ins_.fragments->Increment();
   Provider* p = cluster_->provider(server);
   if (p == nullptr) return Status::NotFound(StrCat("no server '", server, "'"));
   auto result = p->ExecuteWire(wire);
+  if (span.active()) {
+    span.AddCounter("plan_bytes", static_cast<int64_t>(wire.size()));
+    int64_t r = ins_.retries->value() - retries_before;
+    if (r > 0) span.AddCounter("retries", r);
+    if (result.ok()) {
+      span.AddCounter("rows", result.ValueOrDie().num_rows());
+      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+    }
+  }
   if (!result.ok()) {
     return result.status().WithContext(StrCat("at server ", server));
   }
@@ -510,8 +589,7 @@ Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
     });
   }
   if (tasks.size() > 1) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    parallel_fragments_ += static_cast<int64_t>(tasks.size());
+    ins_.parallel_fragments->Add(static_cast<int64_t>(tasks.size()));
   }
   ParallelRun(tasks, threads);
   for (const Status& s : statuses) NEXUS_RETURN_NOT_OK(s);
@@ -603,7 +681,7 @@ Result<bool> Coordinator::RunLoopStep(const IterateOp& op, Dataset* state) {
   NEXUS_ASSIGN_OR_RETURN(auto body_loc, ExecToTemp(body.get(), &body_placement));
   NEXUS_ASSIGN_OR_RETURN(Dataset next,
                          FetchToClient(body_loc.first, body_loc.second));
-  ++client_loop_iterations_;
+  ins_.client_loop_iterations->Increment();
   if (op.measure != nullptr) {
     PlanPtr measure = ReplaceLoopVars(op.measure, next, *state);
     Placement m_placement;
@@ -649,8 +727,14 @@ Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
     if (!stepped.ok()) {
       if (IsRetryable(stepped.status()) && recoveries < max_recoveries &&
           ExcludeFailedServer()) {
-        ++replans_;  // every later iteration replans around the loss
-        ++checkpoint_restores_;
+        ins_.replans->Increment();  // later iterations replan around the loss
+        ins_.checkpoint_restores->Increment();
+        if (telemetry::Enabled()) {
+          telemetry::RecordComplete(
+              telemetry::kCategoryCoordinator, "checkpoint-restore", "",
+              cluster_->transport()->simulated_seconds(), 0.0,
+              {{"rewind_to_iteration", checkpoint_iter}});
+        }
         ++recoveries;
         state = checkpoint;
         iter = checkpoint_iter;
@@ -687,31 +771,49 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
   int64_t through0 = t->bytes_through(kClientNode);
   double sim0 = t->simulated_seconds();
   ParallelStats par0 = GetParallelStats();
-  fragments_ = 0;
-  parallel_fragments_ = 0;
-  client_loop_iterations_ = 0;
-  retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
+  base_ = SnapshotInstruments();
+  ins_.threads->Set(static_cast<double>(EffectiveThreads()));
   retry_rng_ = Rng(options_.retry.jitter_seed);
   excluded_.clear();
   last_failed_server_.clear();
   done_.clear();
 
+  // Spans stamp both clocks while tracing is on; the simulated side comes
+  // from this cluster's transport.
+  std::optional<telemetry::ScopedSimClock> sim_clock;
+  if (telemetry::Enabled()) {
+    sim_clock.emplace([t] { return t->simulated_seconds(); });
+  }
+  telemetry::SpanGuard query_span(telemetry::kCategoryCoordinator, "query");
+  if (query_span.active()) last_trace_id_ = query_span.trace();
+
   NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
   TempGuard temp_guard(this);
   Placement placement;
-  NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+  {
+    telemetry::SpanGuard plan_span(telemetry::kCategoryCoordinator, "plan");
+    NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
+  }
   root_placement_ = &placement;
   auto result = Run(prepared, &placement);
   // Failover: while the failure is transient and a server can be blamed,
   // exclude it, replan, and resume from memoized temps on the survivors.
   while (!result.ok() && IsRetryable(result.status()) && ExcludeFailedServer()) {
     Placement replanned;
-    if (!AssignServers(prepared, &replanned).ok()) break;  // nowhere to go
-    ++replans_;
+    {
+      telemetry::SpanGuard replan_span(telemetry::kCategoryCoordinator,
+                                       "replan");
+      if (!AssignServers(prepared, &replanned).ok()) break;  // nowhere to go
+    }
+    ins_.replans->Increment();
     placement = std::move(replanned);
     result = Run(prepared, &placement);
   }
   root_placement_ = nullptr;
+  if (query_span.active() && result.ok()) {
+    query_span.AddCounter("rows", result.ValueOrDie().num_rows());
+    query_span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+  }
 
   if (metrics != nullptr) {
     metrics->messages = t->total_messages() - msg0;
@@ -723,16 +825,9 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
     metrics->bytes_through_client = t->bytes_through(kClientNode) - through0;
     metrics->simulated_seconds = t->simulated_seconds() - sim0;
     metrics->wall_seconds = timer.ElapsedSeconds();
-    metrics->fragments = fragments_;
-    metrics->client_loop_iterations = client_loop_iterations_;
-    metrics->retries = retries_;
-    metrics->failovers = failovers_;
-    metrics->replans = replans_;
-    metrics->timeouts = timeouts_;
-    metrics->checkpoint_restores = checkpoint_restores_;
+    FillMetricsFromInstruments(metrics);
     metrics->threads_used = EffectiveThreads();
     metrics->morsels = GetParallelStats().morsels - par0.morsels;
-    metrics->parallel_fragments = parallel_fragments_;
     for (const auto& [node, server] : placement.assign) {
       if (!server.empty()) ++metrics->nodes_per_server[server];
     }
@@ -754,13 +849,20 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
   int64_t through0 = t->bytes_through(kClientNode);
   double sim0 = t->simulated_seconds();
   ParallelStats par0 = GetParallelStats();
-  fragments_ = 0;
-  parallel_fragments_ = 0;
-  retries_ = failovers_ = replans_ = timeouts_ = checkpoint_restores_ = 0;
+  base_ = SnapshotInstruments();
+  ins_.threads->Set(static_cast<double>(EffectiveThreads()));
   retry_rng_ = Rng(options_.retry.jitter_seed);
   excluded_.clear();
   last_failed_server_.clear();
   done_.clear();
+
+  std::optional<telemetry::ScopedSimClock> sim_clock;
+  if (telemetry::Enabled()) {
+    sim_clock.emplace([t] { return t->simulated_seconds(); });
+  }
+  telemetry::SpanGuard query_span(telemetry::kCategoryCoordinator,
+                                  "query (per-op)");
+  if (query_span.active()) last_trace_id_ = query_span.trace();
 
   NEXUS_ASSIGN_OR_RETURN(PlanPtr prepared, Prepare(plan));
   TempGuard temp_guard(this);
@@ -799,9 +901,7 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
     metrics->bytes_through_client = t->bytes_through(kClientNode) - through0;
     metrics->simulated_seconds = t->simulated_seconds() - sim0;
     metrics->wall_seconds = timer.ElapsedSeconds();
-    metrics->fragments = fragments_;
-    metrics->retries = retries_;
-    metrics->timeouts = timeouts_;
+    FillMetricsFromInstruments(metrics);
     metrics->threads_used = EffectiveThreads();
     metrics->morsels = GetParallelStats().morsels - par0.morsels;
   }
@@ -828,6 +928,21 @@ Result<std::string> Coordinator::ExplainPlacement(const PlanPtr& plan) {
   };
   print(prepared, 0);
   return out;
+}
+
+Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
+                                                ExecutionMetrics* metrics) {
+  // Trace one execution (restoring the caller's tracing state after) and
+  // render the span tree. The run is real: faults fire, retries happen, and
+  // the report shows them.
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(true);
+  auto result = Execute(plan, metrics);
+  std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
+                                                 last_trace_id_);
+  telemetry::SetEnabled(was_enabled);
+  NEXUS_RETURN_NOT_OK(result.status());
+  return report;
 }
 
 }  // namespace nexus

@@ -29,6 +29,7 @@
 #include "common/random.h"
 #include "federation/cluster.h"
 #include "optimizer/optimizer.h"
+#include "telemetry/metrics.h"
 
 namespace nexus {
 
@@ -74,8 +75,11 @@ struct CoordinatorOptions {
   int thread_count = 0;
 };
 
-/// Per-execution accounting, sourced from the cluster transport plus the
-/// coordinator's own counters.
+/// Per-execution accounting: a *view* over cumulative telemetry — the
+/// transport's message log, the parallel pool's morsel counters, and the
+/// coordinator's MetricsRegistry counters are snapshotted when Execute
+/// starts and every field below is the delta at the end of that call, so
+/// repeated executions on one coordinator never double-count.
 struct ExecutionMetrics {
   int64_t messages = 0;
   int64_t plan_messages = 0;
@@ -132,6 +136,19 @@ class Coordinator {
 
   /// Renders the placement decision for every node ("node @ server").
   Result<std::string> ExplainPlacement(const PlanPtr& plan);
+
+  /// EXPLAIN ANALYZE: executes `plan` with tracing enabled (restoring the
+  /// previous tracing state afterwards) and renders the recorded span tree
+  /// — per fragment and operator: rows, bytes, wall/simulated ms, morsels,
+  /// retries, and the server it ran on. `metrics`, when given, receives
+  /// the same per-call accounting Execute would report.
+  Result<std::string> ExplainAnalyze(const PlanPtr& plan,
+                                     ExecutionMetrics* metrics = nullptr);
+
+  /// Trace id of the most recent (traced) Execute on this coordinator;
+  /// 0 when tracing was disabled. Pass to telemetry::ToChromeTraceJson /
+  /// ExplainAnalyze to select exactly that query's spans.
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
   const CoordinatorOptions& options() const { return options_; }
   void set_options(const CoordinatorOptions& o) { options_ = o; }
@@ -192,13 +209,46 @@ class Coordinator {
   /// budget when 0.
   int EffectiveThreads() const;
 
+  /// Handles into the process-global MetricsRegistry — the coordinator's
+  /// counters are ordinary named metrics ("coordinator.fragments", ...),
+  /// cumulative across calls and coordinators. Resolved once.
+  struct Instruments {
+    telemetry::Counter* fragments;
+    telemetry::Counter* parallel_fragments;
+    telemetry::Counter* client_loop_iterations;
+    telemetry::Counter* retries;
+    telemetry::Counter* failovers;
+    telemetry::Counter* replans;
+    telemetry::Counter* timeouts;
+    telemetry::Counter* checkpoint_restores;
+    telemetry::Gauge* threads;
+    telemetry::Histogram* backoff_seconds;
+    telemetry::Histogram* fragment_plan_bytes;
+    static Instruments Resolve();
+  };
+
+  /// Instrument values when the current Execute/ExecutePerOp began;
+  /// ExecutionMetrics reports instrument-minus-base (the "view").
+  struct InstrumentBase {
+    int64_t fragments = 0;
+    int64_t parallel_fragments = 0;
+    int64_t client_loop_iterations = 0;
+    int64_t retries = 0;
+    int64_t failovers = 0;
+    int64_t replans = 0;
+    int64_t timeouts = 0;
+    int64_t checkpoint_restores = 0;
+  };
+  InstrumentBase SnapshotInstruments() const;
+  void FillMetricsFromInstruments(ExecutionMetrics* metrics) const;
+
   Cluster* cluster_;
   CoordinatorOptions options_;
   FederatedCatalog fed_catalog_;
+  Instruments ins_ = Instruments::Resolve();
+  InstrumentBase base_;
+  uint64_t last_trace_id_ = 0;
   int64_t temp_counter_ = 0;
-  int64_t fragments_ = 0;
-  int64_t parallel_fragments_ = 0;
-  int64_t client_loop_iterations_ = 0;
   std::vector<std::pair<std::string, std::string>> temps_;  // (server, name)
   /// Serializes coordinator bookkeeping (temps, memo, counters, retry RNG)
   /// and all transport traffic when sibling fragments execute concurrently.
@@ -217,11 +267,6 @@ class Coordinator {
   // recomputing.
   std::map<const Plan*, std::pair<std::string, std::string>> done_;
   const Placement* root_placement_ = nullptr;
-  int64_t retries_ = 0;
-  int64_t failovers_ = 0;
-  int64_t replans_ = 0;
-  int64_t timeouts_ = 0;
-  int64_t checkpoint_restores_ = 0;
 };
 
 }  // namespace nexus

@@ -1,8 +1,59 @@
 #include "federation/transport.h"
 
 #include "common/str_util.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
+
+namespace {
+
+const char* KindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPlan:
+      return "plan";
+    case MessageKind::kData:
+      return "data";
+    case MessageKind::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+/// Registry instruments, resolved once (pointers are stable forever).
+/// Always on: these are cumulative process counters; per-call accounting
+/// still deltas the transport's own log.
+struct TransportInstruments {
+  telemetry::Counter* messages;
+  telemetry::Counter* bytes;
+  telemetry::Counter* failed_messages;
+  telemetry::Counter* faults;
+  telemetry::Histogram* message_bytes;
+
+  static const TransportInstruments& Get() {
+    static const TransportInstruments in{
+        telemetry::MetricsRegistry::Global().counter("transport.messages"),
+        telemetry::MetricsRegistry::Global().counter("transport.bytes"),
+        telemetry::MetricsRegistry::Global().counter("transport.failed_messages"),
+        telemetry::MetricsRegistry::Global().counter("transport.faults"),
+        telemetry::MetricsRegistry::Global().histogram("transport.message_bytes"),
+    };
+    return in;
+  }
+};
+
+/// One trace span per wire message, on the receiving server's lane.
+void TraceMessage(const std::string& from, const std::string& to, int64_t bytes,
+                  MessageKind kind, bool failed, double sim_start,
+                  double sim_dur) {
+  if (!telemetry::Enabled()) return;
+  telemetry::RecordComplete(
+      telemetry::kCategoryTransport, StrCat(KindName(kind), " ", from, "->", to),
+      to == kClientNode ? "" : to, sim_start, sim_dur,
+      {{"bytes", bytes}, {"failed", failed ? 1 : 0}});
+}
+
+}  // namespace
 
 std::string FaultEvent::ToString() const {
   return StrCat(what, " ", from, "->", to, " @", FormatDouble(time * 1e3, 3),
@@ -14,7 +65,13 @@ double Transport::Send(const std::string& from, const std::string& to,
   log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/false});
   double seconds = options_.latency_seconds +
                    static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
+  double start = simulated_seconds_;
   simulated_seconds_ += seconds;
+  const TransportInstruments& in = TransportInstruments::Get();
+  in.messages->Increment();
+  in.bytes->Add(bytes);
+  in.message_bytes->Record(static_cast<double>(bytes));
+  TraceMessage(from, to, bytes, kind, /*failed=*/false, start, seconds);
   return seconds;
 }
 
@@ -26,13 +83,22 @@ Status Transport::TrySend(const std::string& from, const std::string& to,
     return Status::OK();
   }
 
+  const TransportInstruments& in = TransportInstruments::Get();
+
   // A failed attempt charges one latency (the sender waited that long to
   // learn nothing came back) and is logged as wasted traffic.
   auto fail = [&](const std::string& what, Status status) {
     fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, what});
     log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/true});
+    double start = simulated_seconds_;
     simulated_seconds_ += options_.latency_seconds;
     if (seconds != nullptr) *seconds = options_.latency_seconds;
+    in.messages->Increment();
+    in.bytes->Add(bytes);
+    in.failed_messages->Increment();
+    in.faults->Increment();
+    TraceMessage(from, to, bytes, kind, /*failed=*/true, start,
+                 options_.latency_seconds);
     return status;
   };
 
@@ -53,10 +119,16 @@ Status Transport::TrySend(const std::string& from, const std::string& to,
     // The payload left the sender before vanishing: charge the full cost.
     fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, "drop"});
     log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/true});
+    double start = simulated_seconds_;
     double s = options_.latency_seconds +
                static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
     simulated_seconds_ += s;
     if (seconds != nullptr) *seconds = s;
+    in.messages->Increment();
+    in.bytes->Add(bytes);
+    in.failed_messages->Increment();
+    in.faults->Increment();
+    TraceMessage(from, to, bytes, kind, /*failed=*/true, start, s);
     return Status::Timeout(
         StrCat("message ", from, " -> ", to, " lost in flight"));
   }
@@ -65,6 +137,7 @@ Status Transport::TrySend(const std::string& from, const std::string& to,
   if (faults_.latency_spike_probability > 0.0 &&
       fault_rng_.NextBool(faults_.latency_spike_probability)) {
     fault_log_.push_back(FaultEvent{simulated_seconds_, from, to, "spike"});
+    in.faults->Increment();
     spike = faults_.latency_spike_seconds;
   }
   double s = Send(from, to, bytes, kind) + spike;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 namespace graph {
@@ -53,6 +54,9 @@ Result<CsrGraph> CsrGraph::FromTable(const Table& edges, const std::string& src_
 }
 
 PageRankResult PageRank(const CsrGraph& g, const PageRankOptions& opts) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "graph.PageRank");
+  span.AddCounter("nodes", g.num_nodes());
+  span.AddCounter("edges", g.num_edges());
   PageRankResult out;
   int64_t n = g.num_nodes();
   if (n == 0) return out;

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/str_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 namespace linalg {
@@ -59,6 +60,9 @@ Result<DenseMatrix> MatMulNaive(const DenseMatrix& a, const DenseMatrix& b) {
 
 Result<DenseMatrix> MatMulBlocked(const DenseMatrix& a, const DenseMatrix& b,
                                   int64_t block) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "la.MatMulBlk");
+  span.AddCounter("rows", a.rows());
+  span.AddCounter("cols", b.cols());
   NEXUS_RETURN_NOT_OK(CheckMulShapes(a, b));
   if (block <= 0) block = 64;
   DenseMatrix c(a.rows(), b.cols());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 namespace linalg {
@@ -62,6 +63,8 @@ Result<std::vector<double>> SparseMatrixCSR::SpMV(
 }
 
 Result<SparseMatrixCSR> SparseMatrixCSR::SpGEMM(const SparseMatrixCSR& b) const {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "la.SpGEMM");
+  span.AddCounter("nnz_left", static_cast<int64_t>(values_.size()));
   if (cols_ != b.rows_) {
     return Status::InvalidArgument("SpGEMM shape mismatch");
   }

@@ -5,6 +5,7 @@
 #include "arraydb/engine.h"
 #include "exec/reference_executor.h"
 #include "provider/provider.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -43,7 +44,19 @@ class ArrayProvider : public Provider {
   }
 
  private:
-  Result<Dataset> Exec(const Plan& plan);
+  /// Per-operator tracing shim around ExecNode; recursion re-enters here,
+  /// so every plan node gets a span when tracing is on.
+  Result<Dataset> Exec(const Plan& plan) {
+    if (!telemetry::Enabled()) return ExecNode(plan);
+    telemetry::SpanGuard span(telemetry::kCategoryOperator, plan.NodeLabel());
+    auto result = ExecNode(plan);
+    if (result.ok() && span.active()) {
+      span.AddCounter("rows", result.ValueOrDie().num_rows());
+      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+    }
+    return result;
+  }
+  Result<Dataset> ExecNode(const Plan& plan);
   Result<NDArrayPtr> ExecA(const Plan& plan) {
     NEXUS_ASSIGN_OR_RETURN(Dataset d, Exec(plan));
     return d.AsArray();
@@ -52,7 +65,7 @@ class ArrayProvider : public Provider {
   std::vector<ExecLoopFrame> loop_stack_;
 };
 
-Result<Dataset> ArrayProvider::Exec(const Plan& plan) {
+Result<Dataset> ArrayProvider::ExecNode(const Plan& plan) {
   switch (plan.kind()) {
     case OpKind::kScan:
       return catalog_.Get(plan.As<ScanOp>().table);

@@ -3,6 +3,7 @@
 // Intent Preservation (desideratum 3) exists to reach.
 #include "graph/graph.h"
 #include "provider/provider.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -30,7 +31,20 @@ class GraphProvider : public Provider {
   int64_t last_iterations() const { return last_iterations_; }
 
  private:
+  /// Per-operator tracing shim around ExecNode; recursion re-enters here,
+  /// so every plan node gets a span when tracing is on.
   Result<Dataset> Exec(const Plan& plan) {
+    if (!telemetry::Enabled()) return ExecNode(plan);
+    telemetry::SpanGuard span(telemetry::kCategoryOperator, plan.NodeLabel());
+    auto result = ExecNode(plan);
+    if (result.ok() && span.active()) {
+      span.AddCounter("rows", result.ValueOrDie().num_rows());
+      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+    }
+    return result;
+  }
+
+  Result<Dataset> ExecNode(const Plan& plan) {
     switch (plan.kind()) {
       case OpKind::kScan:
         return catalog_.Get(plan.As<ScanOp>().table);

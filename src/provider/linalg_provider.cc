@@ -4,6 +4,7 @@
 #include "linalg/dense.h"
 #include "linalg/sparse.h"
 #include "provider/provider.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -30,7 +31,19 @@ class LinalgProvider : public Provider {
   Result<Dataset> Execute(const Plan& plan) override { return Exec(plan); }
 
  private:
-  Result<Dataset> Exec(const Plan& plan);
+  /// Per-operator tracing shim around ExecNode; recursion re-enters here,
+  /// so every plan node gets a span when tracing is on.
+  Result<Dataset> Exec(const Plan& plan) {
+    if (!telemetry::Enabled()) return ExecNode(plan);
+    telemetry::SpanGuard span(telemetry::kCategoryOperator, plan.NodeLabel());
+    auto result = ExecNode(plan);
+    if (result.ok() && span.active()) {
+      span.AddCounter("rows", result.ValueOrDie().num_rows());
+      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+    }
+    return result;
+  }
+  Result<Dataset> ExecNode(const Plan& plan);
   Result<NDArrayPtr> ExecA(const Plan& plan) {
     NEXUS_ASSIGN_OR_RETURN(Dataset d, Exec(plan));
     return d.AsArray();
@@ -62,7 +75,7 @@ Result<std::vector<linalg::Triplet>> ToTriplets(const NDArray& a,
   return out;
 }
 
-Result<Dataset> LinalgProvider::Exec(const Plan& plan) {
+Result<Dataset> LinalgProvider::ExecNode(const Plan& plan) {
   switch (plan.kind()) {
     case OpKind::kScan:
       return catalog_.Get(plan.As<ScanOp>().table);

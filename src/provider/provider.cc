@@ -1,12 +1,32 @@
 #include "provider/provider.h"
 
 #include "core/serialize.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
 Result<Dataset> Provider::ExecuteWire(const std::string& wire) {
-  NEXUS_ASSIGN_OR_RETURN(PlanPtr plan, ParsePlan(wire));
-  return Execute(*plan);
+  // Trace context travels in-band: a wire built under tracing starts with a
+  // %NEXUS-TRACE header naming the trace, the sender's span, and this
+  // server. Adopting it stitches every span recorded here — operators,
+  // kernels, morsels — under the coordinator's fragment span, so a
+  // multi-server query renders as one tree. The header is recognized (and
+  // stripped) even when tracing is off, so a cached wire stays parseable.
+  telemetry::TraceContext ctx;
+  size_t offset = telemetry::StripWireHeader(wire, &ctx);
+  std::string stripped;
+  if (offset != 0) stripped = wire.substr(offset);
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr plan, ParsePlan(offset == 0 ? wire : stripped));
+  if (offset == 0 || !telemetry::Enabled()) return Execute(*plan);
+
+  telemetry::ContextScope scope(ctx);
+  telemetry::SpanGuard span(telemetry::kCategoryServer, name(), ctx.server);
+  auto result = Execute(*plan);
+  if (result.ok() && span.active()) {
+    span.AddCounter("rows", result.ValueOrDie().num_rows());
+    span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+  }
+  return result;
 }
 
 bool Provider::ClaimsTree(const Plan& plan) const {

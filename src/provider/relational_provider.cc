@@ -10,6 +10,7 @@
 #include "expr/builder.h"
 #include "provider/provider.h"
 #include "relational/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 
@@ -36,7 +37,19 @@ class RelationalProvider : public Provider {
   }
 
  private:
-  Result<Dataset> Exec(const Plan& plan);
+  /// Per-operator tracing shim around ExecNode; recursion re-enters here,
+  /// so every plan node gets a span when tracing is on.
+  Result<Dataset> Exec(const Plan& plan) {
+    if (!telemetry::Enabled()) return ExecNode(plan);
+    telemetry::SpanGuard span(telemetry::kCategoryOperator, plan.NodeLabel());
+    auto result = ExecNode(plan);
+    if (result.ok() && span.active()) {
+      span.AddCounter("rows", result.ValueOrDie().num_rows());
+      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+    }
+    return result;
+  }
+  Result<Dataset> ExecNode(const Plan& plan);
   Result<TablePtr> ExecT(const Plan& plan) {
     NEXUS_ASSIGN_OR_RETURN(Dataset d, Exec(plan));
     return d.AsTable();
@@ -63,7 +76,7 @@ Result<TablePtr> Retag(const TablePtr& t, const std::vector<std::string>& dims) 
   return Table::Make(schema, t->columns());
 }
 
-Result<Dataset> RelationalProvider::Exec(const Plan& plan) {
+Result<Dataset> RelationalProvider::ExecNode(const Plan& plan) {
   switch (plan.kind()) {
     case OpKind::kScan:
       return catalog_.Get(plan.As<ScanOp>().table);

@@ -8,6 +8,7 @@
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
+#include "telemetry/telemetry.h"
 
 namespace nexus {
 namespace relational {
@@ -138,8 +139,13 @@ Result<std::vector<uint64_t>> HashRows(const Table& input,
 }
 
 Result<TablePtr> Filter(const TablePtr& input, const Expr& predicate) {
+  // Kernel names stay short (SSO) so a disabled-tracing span costs only the
+  // one atomic load inside SpanGuard — no allocation.
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "rel.Filter");
   NEXUS_ASSIGN_OR_RETURN(std::vector<int64_t> sel,
                          EvalPredicate(predicate, *input));
+  span.AddCounter("rows_in", input->num_rows());
+  span.AddCounter("rows", static_cast<int64_t>(sel.size()));
   return input->TakeRows(sel);
 }
 
@@ -174,6 +180,9 @@ Result<TablePtr> Extend(
 
 Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
                           const JoinOp& spec) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "rel.HashJoin");
+  span.AddCounter("rows_left", left->num_rows());
+  span.AddCounter("rows_right", right->num_rows());
   std::vector<int> lk, rk;
   for (const std::string& k : spec.left_keys) {
     NEXUS_ASSIGN_OR_RETURN(int i, left->schema()->FindFieldOrError(k));
@@ -501,6 +510,8 @@ Result<Value> FinishTyped(const TypedAggState& st, AggFunc func, DataType in) {
 }  // namespace
 
 Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "rel.HashAgg");
+  span.AddCounter("rows_in", input->num_rows());
   std::vector<int> group_cols;
   for (const std::string& g : spec.group_by) {
     NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(g));
@@ -609,6 +620,8 @@ Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
 }
 
 Result<TablePtr> Sort(const TablePtr& input, const std::vector<SortKey>& keys) {
+  telemetry::SpanGuard span(telemetry::kCategoryEngine, "rel.Sort");
+  span.AddCounter("rows_in", input->num_rows());
   std::vector<int> key_cols;
   for (const SortKey& k : keys) {
     NEXUS_ASSIGN_OR_RETURN(int i, input->schema()->FindFieldOrError(k.column));

@@ -1,0 +1,106 @@
+#include "telemetry/explain.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace telemetry {
+
+namespace {
+
+bool IsMorsel(const SpanRecord& s) {
+  return std::strcmp(s.category, kCategoryMorsel) == 0;
+}
+
+std::string FormatMs(double us) { return FormatDouble(us / 1e3, 3); }
+
+struct Node {
+  const SpanRecord* span = nullptr;
+  std::vector<size_t> children;  // indices into the node pool
+  int64_t morsels = 0;           // collapsed morsel children
+};
+
+void Render(const std::vector<Node>& nodes, size_t at, const std::string& prefix,
+            bool last, bool root, std::string* out) {
+  const Node& node = nodes[at];
+  const SpanRecord& s = *node.span;
+  if (!root) {
+    *out += prefix;
+    *out += last ? "`- " : "|- ";
+  }
+  *out += s.name;
+  if (!s.server.empty()) *out += StrCat(" @", s.server);
+  int64_t rows = s.CounterOr("rows", -1);
+  if (rows >= 0) *out += StrCat("  rows=", rows);
+  int64_t bytes = s.CounterOr("bytes", -1);
+  if (bytes >= 0) *out += StrCat("  bytes=", bytes);
+  *out += StrCat("  wall=", FormatMs(s.wall_dur_us), "ms");
+  if (s.sim_dur_us > 0.0) *out += StrCat("  sim=", FormatMs(s.sim_dur_us), "ms");
+  if (node.morsels > 0) *out += StrCat("  morsels=", node.morsels);
+  int64_t retries = s.CounterOr("retries", 0);
+  if (retries > 0) *out += StrCat("  retries=", retries);
+  for (const auto& [key, value] : s.counters) {
+    if (key == "rows" || key == "bytes" || key == "retries" || key == "index") {
+      continue;
+    }
+    *out += StrCat("  ", key, "=", value);
+  }
+  *out += "\n";
+  std::string child_prefix = root ? "" : StrCat(prefix, last ? "   " : "|  ");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    Render(nodes, node.children[i], child_prefix,
+           i + 1 == node.children.size(), false, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const std::vector<SpanRecord>& spans,
+                           uint64_t trace) {
+  if (trace == 0) {
+    for (const SpanRecord& s : spans) trace = std::max(trace, s.trace);
+  }
+  if (trace == 0) return "";
+
+  // Build the node pool in span-id order so sibling order is creation
+  // order (deterministic under sequential dispatch).
+  std::vector<Node> nodes;
+  std::map<SpanId, size_t> by_id;
+  std::vector<const SpanRecord*> in_trace;
+  for (const SpanRecord& s : spans) {
+    if (s.trace == trace) in_trace.push_back(&s);
+  }
+  std::sort(in_trace.begin(), in_trace.end(),
+            [](const SpanRecord* a, const SpanRecord* b) { return a->id < b->id; });
+  for (const SpanRecord* s : in_trace) {
+    if (IsMorsel(*s)) continue;
+    by_id[s->id] = nodes.size();
+    nodes.push_back(Node{s, {}, 0});
+  }
+  std::vector<size_t> roots;
+  for (const SpanRecord* s : in_trace) {
+    if (IsMorsel(*s)) {
+      auto it = by_id.find(s->parent);
+      if (it != by_id.end()) ++nodes[it->second].morsels;
+      continue;
+    }
+    auto it = by_id.find(s->parent);
+    if (it != by_id.end()) {
+      nodes[it->second].children.push_back(by_id[s->id]);
+    } else {
+      roots.push_back(by_id[s->id]);
+    }
+  }
+
+  std::string out;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Render(nodes, roots[i], "", i + 1 == roots.size(), true, &out);
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace nexus

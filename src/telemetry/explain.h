@@ -1,0 +1,27 @@
+// EXPLAIN ANALYZE: renders one query's span tree as an annotated plaintext
+// plan — per fragment and per operator: output rows, bytes, wall and
+// simulated milliseconds, morsel count, retries, and the server it ran on.
+// The LaraDB idea applied to the federation: measure at the algebra-
+// operator grain so the trace speaks the language of the plan.
+#ifndef NEXUS_TELEMETRY_EXPLAIN_H_
+#define NEXUS_TELEMETRY_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace nexus {
+namespace telemetry {
+
+/// Renders the span tree of `trace` (0 = the highest trace id present,
+/// i.e. the most recent query). Morsel spans are not printed individually;
+/// each parent line reports `morsels=N` instead. Returns "" when the trace
+/// has no spans (e.g. tracing was disabled).
+std::string ExplainAnalyze(const std::vector<SpanRecord>& spans,
+                           uint64_t trace = 0);
+
+}  // namespace telemetry
+}  // namespace nexus
+
+#endif  // NEXUS_TELEMETRY_EXPLAIN_H_

@@ -1,0 +1,102 @@
+#include "telemetry/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace telemetry {
+
+namespace {
+
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              uint64_t trace) {
+  // Server → pid. The client tier ("" server) is pid 1.
+  std::map<std::string, int> pids;
+  pids[""] = 1;
+  for (const SpanRecord& s : spans) {
+    if (trace != 0 && s.trace != trace) continue;
+    if (pids.emplace(s.server, 0).second) {
+      // placeholder; numbered below in name order for determinism
+    }
+  }
+  int next_pid = 1;
+  for (auto& [server, pid] : pids) {
+    if (server.empty()) continue;
+    pid = ++next_pid;
+  }
+
+  std::vector<std::string> events;
+  for (const auto& [server, pid] : pids) {
+    events.push_back(
+        StrCat("  {\"ph\": \"M\", \"pid\": ", pid,
+               ", \"name\": \"process_name\", \"args\": {\"name\": \"",
+               JsonEscaped(server.empty() ? "client" : server), "\"}}"));
+  }
+  for (const SpanRecord& s : spans) {
+    if (trace != 0 && s.trace != trace) continue;
+    std::string out =
+        StrCat("  {\"ph\": \"X\", \"pid\": ", pids[s.server],
+                  ", \"tid\": ", s.tid, ", \"ts\": ", JsonNumber(s.wall_start_us),
+                  ", \"dur\": ", JsonNumber(s.wall_dur_us), ", \"name\": \"",
+                  JsonEscaped(s.name), "\", \"cat\": \"", s.category,
+                  "\", \"args\": {\"trace\": ", s.trace, ", \"span\": ", s.id,
+                  ", \"parent\": ", s.parent,
+                  ", \"sim_start_ms\": ", JsonNumber(s.sim_start_us / 1e3),
+                  ", \"sim_dur_ms\": ", JsonNumber(s.sim_dur_us / 1e3));
+    for (const auto& [key, value] : s.counters) {
+      out += StrCat(", \"", JsonEscaped(key), "\": ", value);
+    }
+    out += "}}";
+    events.push_back(std::move(out));
+  }
+  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    json += events[i];
+    json += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  json += "]}\n";
+  return json;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<SpanRecord>& spans, uint64_t trace) {
+  std::string json = ToChromeTraceJson(spans, trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(StrCat("cannot open '", path, "' for writing"));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError(StrCat("short write to '", path, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace telemetry
+}  // namespace nexus

@@ -1,0 +1,37 @@
+// Chrome trace-event exporter: serializes recorded spans as the JSON
+// format Perfetto / chrome://tracing load directly.
+//
+// Mapping: every distinct server becomes a trace *process* (with a
+// process_name metadata event), the client tier is pid 1, and each
+// recording thread is a lane within its process — so a federated query
+// renders as slices flowing across server swim-lanes, stitched by the
+// trace context that traveled inside the plan messages. Timestamps are
+// wall-clock microseconds; each slice's args carry the simulated-clock
+// interval, the span/parent ids, and all span counters (rows, bytes,
+// retries, ...).
+#ifndef NEXUS_TELEMETRY_TRACE_EXPORT_H_
+#define NEXUS_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace nexus {
+namespace telemetry {
+
+/// Renders `spans` (all of them when `trace` is 0, else that trace only)
+/// as a Chrome trace-event JSON document.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans,
+                              uint64_t trace = 0);
+
+/// Writes ToChromeTraceJson to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<SpanRecord>& spans,
+                        uint64_t trace = 0);
+
+}  // namespace telemetry
+}  // namespace nexus
+
+#endif  // NEXUS_TELEMETRY_TRACE_EXPORT_H_
