@@ -30,7 +30,8 @@ class Recorder {
   void Record(const std::string& op, long long rows, double wall_ms,
               int threads = 0) {
     entries_.push_back(Entry{op, rows, wall_ms,
-                             threads > 0 ? threads : GetThreadCount(), 0, 0, 0});
+                             threads > 0 ? threads : GetThreadCount(), 0, 0, 0,
+                             0, 0});
   }
 
   /// Federation measurement: also records the per-call ExecutionMetrics
@@ -40,7 +41,19 @@ class Recorder {
                        long long retries, int threads = 0) {
     entries_.push_back(Entry{op, rows, wall_ms,
                              threads > 0 ? threads : GetThreadCount(), fragments,
-                             messages, retries});
+                             messages, retries, 0, 0});
+  }
+
+  /// Wire-level measurement (E13): federation counts plus the bytes that
+  /// actually crossed the simulated network and the provider plan-cache
+  /// hits, so the text-vs-binary ablation is regression-trackable.
+  void RecordWire(const std::string& op, long long rows, double wall_ms,
+                  long long fragments, long long messages, long long retries,
+                  long long bytes_on_wire, long long plan_cache_hits,
+                  int threads = 0) {
+    entries_.push_back(Entry{op, rows, wall_ms,
+                             threads > 0 ? threads : GetThreadCount(), fragments,
+                             messages, retries, bytes_on_wire, plan_cache_hits});
   }
 
   /// Writes BENCH_<bench>.json into the working directory. The destructor
@@ -56,10 +69,11 @@ class Recorder {
       std::fprintf(f,
                    "    {\"op\": \"%s\", \"rows\": %lld, \"wall_ms\": %.6f, "
                    "\"threads\": %d, \"fragments\": %lld, \"messages\": %lld, "
-                   "\"retries\": %lld}%s\n",
+                   "\"retries\": %lld, \"bytes_on_wire\": %lld, "
+                   "\"plan_cache_hits\": %lld}%s\n",
                    Escaped(e.op).c_str(), e.rows, e.wall_ms, e.threads,
-                   e.fragments, e.messages, e.retries,
-                   i + 1 < entries_.size() ? "," : "");
+                   e.fragments, e.messages, e.retries, e.bytes_on_wire,
+                   e.plan_cache_hits, i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -75,6 +89,9 @@ class Recorder {
     long long fragments;
     long long messages;
     long long retries;
+    // Wire-level accounting (zero unless recorded via RecordWire).
+    long long bytes_on_wire;
+    long long plan_cache_hits;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -1,7 +1,13 @@
 #include "core/serialize.h"
 
+#include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <cstring>
+#include <unordered_map>
 
+#include "common/hash.h"
+#include "common/logging.h"
 #include "common/str_util.h"
 
 namespace nexus {
@@ -13,10 +19,10 @@ namespace nexus {
 namespace {
 
 struct Sexpr {
-  enum class Kind { kList, kSymbol, kString, kInt, kFloat };
+  enum class Kind { kList, kSymbol, kString, kInt, kFloat, kBlob };
   Kind kind = Kind::kList;
   std::vector<Sexpr> items;  // kList
-  std::string text;          // kSymbol / kString
+  std::string text;          // kSymbol / kString / kBlob (raw bytes)
   int64_t i = 0;             // kInt
   double f = 0.0;            // kFloat
 
@@ -50,12 +56,19 @@ struct Sexpr {
     s.f = v;
     return s;
   }
+  static Sexpr Blob(std::string bytes) {
+    Sexpr s;
+    s.kind = Kind::kBlob;
+    s.text = std::move(bytes);
+    return s;
+  }
 
   bool is_list() const { return kind == Kind::kList; }
   bool is_symbol() const { return kind == Kind::kSymbol; }
   bool is_string() const { return kind == Kind::kString; }
   bool is_int() const { return kind == Kind::kInt; }
   bool is_float() const { return kind == Kind::kFloat; }
+  bool is_blob() const { return kind == Kind::kBlob; }
   double as_number() const { return is_int() ? static_cast<double>(i) : f; }
 };
 
@@ -92,12 +105,21 @@ void WriteSexpr(const Sexpr& s, std::string* out) {
       out->append(t);
       return;
     }
+    case Sexpr::Kind::kBlob:
+      // Netstring-style raw-byte literal: the length prefix makes the
+      // payload 8-bit clean without any escaping (it may contain NUL, ')',
+      // quotes — the parser consumes exactly `len` bytes).
+      out->push_back('#');
+      out->append(StrCat(static_cast<int64_t>(s.text.size())));
+      out->push_back(':');
+      out->append(s.text);
+      return;
   }
 }
 
 class SexprParser {
  public:
-  explicit SexprParser(const std::string& input) : input_(input) {}
+  explicit SexprParser(std::string_view input) : input_(input) {}
 
   Result<Sexpr> Parse() {
     NEXUS_ASSIGN_OR_RETURN(Sexpr s, ParseOne());
@@ -140,10 +162,33 @@ class SexprParser {
       }
     }
     if (c == '"') return ParseString();
+    if (c == '#') return ParseBlob();
     if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
       return ParseNumberOrSymbol();
     }
     return ParseSymbol();
+  }
+
+  Result<Sexpr> ParseBlob() {
+    ++pos_;  // '#'
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || pos_ >= input_.size() || input_[pos_] != ':') {
+      return Status::SerializationError("malformed blob length prefix");
+    }
+    unsigned long long len =
+        std::strtoull(std::string(input_.substr(start, pos_ - start)).c_str(),
+                      nullptr, 10);
+    ++pos_;  // ':'
+    if (len > input_.size() - pos_) {
+      return Status::SerializationError("blob length exceeds input");
+    }
+    Sexpr s = Sexpr::Blob(std::string(input_.substr(pos_, len)));
+    pos_ += len;
+    return s;
   }
 
   Result<Sexpr> ParseString() {
@@ -177,7 +222,7 @@ class SexprParser {
            input_[pos_] != '(' && input_[pos_] != ')') {
       ++pos_;
     }
-    std::string tok = input_.substr(start, pos_ - start);
+    std::string tok(input_.substr(start, pos_ - start));
     if (tok == "-" || tok == "+") return Sexpr::Sym(std::move(tok));
     char* end = nullptr;
     if (tok.find('.') == std::string::npos && tok.find('e') == std::string::npos &&
@@ -200,10 +245,10 @@ class SexprParser {
       return Status::SerializationError(
           StrCat("unexpected character '", input_[pos_], "' at offset ", pos_));
     }
-    return Sexpr::Sym(input_.substr(start, pos_ - start));
+    return Sexpr::Sym(std::string(input_.substr(start, pos_ - start)));
   }
 
-  const std::string& input_;
+  std::string_view input_;
   size_t pos_ = 0;
 };
 
@@ -335,6 +380,725 @@ Result<ExprPtr> ExprFromSexpr(const Sexpr& s) {
 }
 
 // ---------------------------------------------------------------------------
+// NXB1: binary columnar dataset blocks.
+//
+// Layout (all integers little-endian):
+//   "NXB1"  u16 version  u8 flags(bit0=array)  u16 nfields
+//   nfields × { u8 type  u8 is_dim  u16 name_len  name }
+//   [array]  u16 ndims  ndims × u64 chunk_size      (array()->dims() order)
+//   u64 nrows
+//   nfields × column block:
+//     u8 has_nulls  [null bitmap ceil(nrows/8), bit i set = row i null]
+//     u8 encoding   u32 payload_len  payload
+//
+// Payloads by (type, encoding) — null slots carry canonical defaults
+// (0 / 0.0 / false / "") so equal datasets encode to equal bytes:
+//   bool/raw     packed value bits, ceil(n/8)
+//   int64/raw    8n bytes, straight memcpy of the column vector
+//   int64/rle    u32 nruns, nruns × { u32 len  i64 value }
+//   int64/for    i64 min  u8 bit_width  bit-packed (v - min) deltas
+//   f64/raw      8n bytes, memcpy
+//   f64/rle      u32 nruns, nruns × { u32 len  f64 value }   (bit-equality)
+//   string/raw   (n+1) × u32 cumulative offsets, then the byte blob
+//   string/dict  u32 ndict, ndict × { u32 len  bytes },
+//                u8 code_width(1|2|4), n × code   (first-occurrence order)
+//
+// The encoder computes every candidate's size and keeps the smallest
+// (ties prefer raw, then RLE) — deterministically, so a given dataset
+// always encodes to the same bytes and fingerprints are stable. The
+// decoder bounds-checks every read and rejects trailing bytes.
+// ---------------------------------------------------------------------------
+
+constexpr char kNxb1Magic[4] = {'N', 'X', 'B', '1'};
+constexpr uint16_t kNxb1Version = 1;
+constexpr uint8_t kNxb1FlagArray = 0x01;
+
+constexpr uint8_t kEncRaw = 0;
+constexpr uint8_t kEncRle = 1;
+constexpr uint8_t kEncDict = 2;
+constexpr uint8_t kEncFor = 3;
+
+// A corrupt row count must not drive a giant allocation before any payload
+// bytes are validated: everything in this system is an in-memory dataset,
+// so a frame claiming more rows than this is corruption, not data.
+constexpr uint64_t kMaxWireRows = uint64_t{1} << 28;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v & 0xff));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Bytes(const void* p, size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
+
+ private:
+  std::string* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view in) : in_(in) {}
+
+  Result<uint8_t> U8() {
+    NEXUS_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(in_[pos_++]);
+  }
+  Result<uint16_t> U16() {
+    NEXUS_RETURN_NOT_OK(Need(2));
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<uint16_t>(static_cast<uint8_t>(in_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  Result<uint32_t> U32() {
+    NEXUS_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(in_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  Result<uint64_t> U64() {
+    NEXUS_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(in_[pos_++])) << (8 * i);
+    }
+    return v;
+  }
+  Result<int64_t> I64() {
+    NEXUS_ASSIGN_OR_RETURN(uint64_t v, U64());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> F64() {
+    NEXUS_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  Result<std::string_view> Bytes(size_t n) {
+    NEXUS_RETURN_NOT_OK(Need(n));
+    std::string_view v = in_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  size_t remaining() const { return in_.size() - pos_; }
+  bool done() const { return pos_ == in_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (in_.size() - pos_ < n) {
+      return Status::SerializationError(
+          StrCat("truncated NXB1 buffer at offset ", pos_));
+    }
+    return Status::OK();
+  }
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+void PackBits(const std::vector<uint64_t>& vals, int width, ByteWriter* w) {
+  unsigned __int128 acc = 0;
+  int bits = 0;
+  for (uint64_t v : vals) {
+    acc |= static_cast<unsigned __int128>(v) << bits;
+    bits += width;
+    while (bits >= 8) {
+      w->U8(static_cast<uint8_t>(acc & 0xff));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) w->U8(static_cast<uint8_t>(acc & 0xff));
+}
+
+Result<std::vector<uint64_t>> UnpackBits(std::string_view bytes, size_t n,
+                                         int width) {
+  if (bytes.size() != (n * static_cast<size_t>(width) + 7) / 8) {
+    return Status::SerializationError("bit-packed payload has wrong length");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  unsigned __int128 acc = 0;
+  int bits = 0;
+  size_t bi = 0;
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    while (bits < width) {
+      acc |= static_cast<unsigned __int128>(static_cast<uint8_t>(bytes[bi++]))
+             << bits;
+      bits += 8;
+    }
+    out.push_back(static_cast<uint64_t>(acc) & mask);
+    acc >>= width;
+    bits -= width;
+  }
+  return out;
+}
+
+// --- per-type payload encoders; each returns the encoding it chose ---------
+
+uint8_t EncodeBoolPayload(const Column& col, bool has_nulls, int64_t n,
+                          std::string* payload) {
+  std::string bits(static_cast<size_t>((n + 7) / 8), '\0');
+  const std::vector<uint8_t>& v = col.bools();
+  for (int64_t i = 0; i < n; ++i) {
+    if (v[static_cast<size_t>(i)] != 0 && !(has_nulls && col.IsNull(i))) {
+      bits[static_cast<size_t>(i >> 3)] |= static_cast<char>(1 << (i & 7));
+    }
+  }
+  payload->assign(bits);
+  return kEncRaw;
+}
+
+uint8_t EncodeInt64Payload(const Column& col, bool has_nulls, int64_t n,
+                           std::string* payload) {
+  std::vector<int64_t> canon;
+  const std::vector<int64_t>* src = &col.ints();
+  if (has_nulls) {
+    canon = col.ints();
+    for (int64_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) canon[static_cast<size_t>(i)] = 0;
+    }
+    src = &canon;
+  }
+  ByteWriter w(payload);
+  if (n == 0) return kEncRaw;
+  const std::vector<int64_t>& v = *src;
+  const size_t un = static_cast<size_t>(n);
+
+  size_t nruns = 1;
+  for (size_t i = 1; i < un; ++i) {
+    if (v[i] != v[i - 1]) ++nruns;
+  }
+  int64_t mn = v[0], mx = v[0];
+  for (size_t i = 1; i < un; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  const uint64_t range =
+      static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+  const int width = range == 0 ? 0 : std::bit_width(range);
+  const size_t raw_size = 8 * un;
+  const size_t rle_size = 4 + 12 * nruns;
+  const size_t for_size = 9 + (un * static_cast<size_t>(width) + 7) / 8;
+
+  if (raw_size <= rle_size && raw_size <= for_size) {
+    if constexpr (std::endian::native == std::endian::little) {
+      w.Bytes(v.data(), raw_size);
+    } else {
+      for (int64_t x : v) w.I64(x);
+    }
+    return kEncRaw;
+  }
+  if (rle_size <= for_size) {
+    w.U32(static_cast<uint32_t>(nruns));
+    size_t i = 0;
+    while (i < un) {
+      size_t j = i;
+      while (j < un && v[j] == v[i]) ++j;
+      w.U32(static_cast<uint32_t>(j - i));
+      w.I64(v[i]);
+      i = j;
+    }
+    return kEncRle;
+  }
+  w.I64(mn);
+  w.U8(static_cast<uint8_t>(width));
+  if (width > 0) {
+    std::vector<uint64_t> deltas;
+    deltas.reserve(un);
+    for (int64_t x : v) {
+      deltas.push_back(static_cast<uint64_t>(x) - static_cast<uint64_t>(mn));
+    }
+    PackBits(deltas, width, &w);
+  }
+  return kEncFor;
+}
+
+uint8_t EncodeFloat64Payload(const Column& col, bool has_nulls, int64_t n,
+                             std::string* payload) {
+  std::vector<double> canon;
+  const std::vector<double>* src = &col.doubles();
+  if (has_nulls) {
+    canon = col.doubles();
+    for (int64_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) canon[static_cast<size_t>(i)] = 0.0;
+    }
+    src = &canon;
+  }
+  ByteWriter w(payload);
+  if (n == 0) return kEncRaw;
+  const std::vector<double>& v = *src;
+  const size_t un = static_cast<size_t>(n);
+  // Runs compare bit patterns so NaN-valued runs stay deterministic.
+  auto bits_of = [](double d) {
+    uint64_t b;
+    std::memcpy(&b, &d, sizeof b);
+    return b;
+  };
+  size_t nruns = 1;
+  for (size_t i = 1; i < un; ++i) {
+    if (bits_of(v[i]) != bits_of(v[i - 1])) ++nruns;
+  }
+  const size_t raw_size = 8 * un;
+  const size_t rle_size = 4 + 12 * nruns;
+  if (raw_size <= rle_size) {
+    if constexpr (std::endian::native == std::endian::little) {
+      w.Bytes(v.data(), raw_size);
+    } else {
+      for (double x : v) w.F64(x);
+    }
+    return kEncRaw;
+  }
+  w.U32(static_cast<uint32_t>(nruns));
+  size_t i = 0;
+  while (i < un) {
+    size_t j = i;
+    while (j < un && bits_of(v[j]) == bits_of(v[i])) ++j;
+    w.U32(static_cast<uint32_t>(j - i));
+    w.F64(v[i]);
+    i = j;
+  }
+  return kEncRle;
+}
+
+uint8_t EncodeStringPayload(const Column& col, bool has_nulls, int64_t n,
+                            std::string* payload) {
+  const std::vector<std::string>& stored = col.strings();
+  std::vector<std::string_view> canon;
+  canon.reserve(static_cast<size_t>(n));
+  size_t blob_len = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    std::string_view sv = (has_nulls && col.IsNull(i))
+                              ? std::string_view{}
+                              : std::string_view(stored[static_cast<size_t>(i)]);
+    blob_len += sv.size();
+    canon.push_back(sv);
+  }
+  // u32 offsets cap a single column's blob at 4 GiB — far beyond anything
+  // the simulated wire carries.
+  NEXUS_CHECK(blob_len < UINT32_MAX);
+
+  std::unordered_map<std::string_view, uint32_t> dict;
+  std::vector<std::string_view> dict_order;
+  std::vector<uint32_t> codes;
+  codes.reserve(canon.size());
+  size_t dict_blob = 0;
+  for (std::string_view sv : canon) {
+    auto [it, inserted] =
+        dict.emplace(sv, static_cast<uint32_t>(dict_order.size()));
+    if (inserted) {
+      dict_order.push_back(sv);
+      dict_blob += sv.size();
+    }
+    codes.push_back(it->second);
+  }
+  const size_t ndict = dict_order.size();
+  const int code_width = ndict <= 256 ? 1 : ndict <= 65536 ? 2 : 4;
+  const size_t raw_size = 4 * (canon.size() + 1) + blob_len;
+  const size_t dict_size = 4 + 4 * ndict + dict_blob + 1 +
+                           canon.size() * static_cast<size_t>(code_width);
+
+  ByteWriter w(payload);
+  if (raw_size <= dict_size) {
+    uint32_t off = 0;
+    w.U32(0);
+    for (std::string_view sv : canon) {
+      off += static_cast<uint32_t>(sv.size());
+      w.U32(off);
+    }
+    for (std::string_view sv : canon) w.Bytes(sv.data(), sv.size());
+    return kEncRaw;
+  }
+  w.U32(static_cast<uint32_t>(ndict));
+  for (std::string_view sv : dict_order) {
+    w.U32(static_cast<uint32_t>(sv.size()));
+    w.Bytes(sv.data(), sv.size());
+  }
+  w.U8(static_cast<uint8_t>(code_width));
+  for (uint32_t c : codes) {
+    for (int b = 0; b < code_width; ++b) {
+      w.U8(static_cast<uint8_t>((c >> (8 * b)) & 0xff));
+    }
+  }
+  return kEncDict;
+}
+
+void EncodeColumn(const Column& col, int64_t n, ByteWriter* w) {
+  const bool has_nulls = col.null_count() > 0;
+  w->U8(has_nulls ? 1 : 0);
+  if (has_nulls) {
+    std::string bitmap(static_cast<size_t>((n + 7) / 8), '\0');
+    for (int64_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) {
+        bitmap[static_cast<size_t>(i >> 3)] |= static_cast<char>(1 << (i & 7));
+      }
+    }
+    w->Bytes(bitmap.data(), bitmap.size());
+  }
+  std::string payload;
+  uint8_t enc = kEncRaw;
+  switch (col.type()) {
+    case DataType::kBool:
+      enc = EncodeBoolPayload(col, has_nulls, n, &payload);
+      break;
+    case DataType::kInt64:
+      enc = EncodeInt64Payload(col, has_nulls, n, &payload);
+      break;
+    case DataType::kFloat64:
+      enc = EncodeFloat64Payload(col, has_nulls, n, &payload);
+      break;
+    case DataType::kString:
+      enc = EncodeStringPayload(col, has_nulls, n, &payload);
+      break;
+  }
+  w->U8(enc);
+  w->U32(static_cast<uint32_t>(payload.size()));
+  w->Bytes(payload.data(), payload.size());
+}
+
+std::string EncodeNxb1(const Dataset& data) {
+  std::string out;
+  ByteWriter w(&out);
+  TablePtr table = data.AsTable().ValueOrDie();
+  const Schema& schema = *table->schema();
+  w.Bytes(kNxb1Magic, sizeof kNxb1Magic);
+  w.U16(kNxb1Version);
+  w.U8(data.is_array() ? kNxb1FlagArray : 0);
+  w.U16(static_cast<uint16_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    NEXUS_CHECK(f.name.size() <= UINT16_MAX);
+    w.U8(static_cast<uint8_t>(f.type));
+    w.U8(f.is_dimension ? 1 : 0);
+    w.U16(static_cast<uint16_t>(f.name.size()));
+    w.Bytes(f.name.data(), f.name.size());
+  }
+  if (data.is_array()) {
+    const auto& dims = data.array()->dims();
+    w.U16(static_cast<uint16_t>(dims.size()));
+    for (const DimensionSpec& d : dims) {
+      w.U64(static_cast<uint64_t>(d.chunk_size));
+    }
+  }
+  w.U64(static_cast<uint64_t>(table->num_rows()));
+  for (int c = 0; c < table->num_columns(); ++c) {
+    EncodeColumn(table->column(c), table->num_rows(), &w);
+  }
+  return out;
+}
+
+// --- per-type payload decoders ---------------------------------------------
+
+Result<Column> DecodeBoolPayload(std::string_view payload, uint8_t enc,
+                                 size_t n) {
+  if (enc != kEncRaw) {
+    return Status::SerializationError("bool column has unknown encoding");
+  }
+  if (payload.size() != (n + 7) / 8) {
+    return Status::SerializationError("bool payload has wrong length");
+  }
+  std::vector<uint8_t> v(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (static_cast<uint8_t>(payload[i >> 3]) >> (i & 7)) & 1;
+  }
+  return Column::FromBool(std::move(v));
+}
+
+Result<Column> DecodeInt64Payload(std::string_view payload, uint8_t enc,
+                                  size_t n) {
+  std::vector<int64_t> v;
+  if (enc == kEncRaw) {
+    if (payload.size() != 8 * n) {
+      return Status::SerializationError("int64 raw payload has wrong length");
+    }
+    v.resize(n);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(v.data(), payload.data(), payload.size());
+    } else {
+      ByteReader pr(payload);
+      for (size_t i = 0; i < n; ++i) v[i] = pr.I64().ValueOrDie();
+    }
+    return Column::FromInt64(std::move(v));
+  }
+  ByteReader pr(payload);
+  if (enc == kEncRle) {
+    NEXUS_ASSIGN_OR_RETURN(uint32_t nruns, pr.U32());
+    if (nruns > pr.remaining() / 12) {
+      return Status::SerializationError("int64 RLE run count exceeds payload");
+    }
+    for (uint32_t r = 0; r < nruns; ++r) {
+      NEXUS_ASSIGN_OR_RETURN(uint32_t len, pr.U32());
+      NEXUS_ASSIGN_OR_RETURN(int64_t val, pr.I64());
+      if (len > n - v.size()) {
+        return Status::SerializationError("int64 RLE runs overflow row count");
+      }
+      v.insert(v.end(), len, val);
+    }
+    if (v.size() != n || !pr.done()) {
+      return Status::SerializationError("int64 RLE runs do not cover rows");
+    }
+    return Column::FromInt64(std::move(v));
+  }
+  if (enc == kEncFor) {
+    NEXUS_ASSIGN_OR_RETURN(int64_t mn, pr.I64());
+    NEXUS_ASSIGN_OR_RETURN(uint8_t width, pr.U8());
+    if (width > 64) {
+      return Status::SerializationError("int64 FOR bit width out of range");
+    }
+    if (width == 0) {
+      if (!pr.done()) {
+        return Status::SerializationError("int64 FOR payload has extra bytes");
+      }
+      v.assign(n, mn);
+      return Column::FromInt64(std::move(v));
+    }
+    NEXUS_ASSIGN_OR_RETURN(std::string_view packed, pr.Bytes(pr.remaining()));
+    NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> deltas,
+                           UnpackBits(packed, n, width));
+    v.reserve(n);
+    for (uint64_t d : deltas) {
+      v.push_back(static_cast<int64_t>(static_cast<uint64_t>(mn) + d));
+    }
+    return Column::FromInt64(std::move(v));
+  }
+  return Status::SerializationError("int64 column has unknown encoding");
+}
+
+Result<Column> DecodeFloat64Payload(std::string_view payload, uint8_t enc,
+                                    size_t n) {
+  std::vector<double> v;
+  if (enc == kEncRaw) {
+    if (payload.size() != 8 * n) {
+      return Status::SerializationError("float64 raw payload has wrong length");
+    }
+    v.resize(n);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(v.data(), payload.data(), payload.size());
+    } else {
+      ByteReader pr(payload);
+      for (size_t i = 0; i < n; ++i) v[i] = pr.F64().ValueOrDie();
+    }
+    return Column::FromFloat64(std::move(v));
+  }
+  if (enc == kEncRle) {
+    ByteReader pr(payload);
+    NEXUS_ASSIGN_OR_RETURN(uint32_t nruns, pr.U32());
+    if (nruns > pr.remaining() / 12) {
+      return Status::SerializationError(
+          "float64 RLE run count exceeds payload");
+    }
+    for (uint32_t r = 0; r < nruns; ++r) {
+      NEXUS_ASSIGN_OR_RETURN(uint32_t len, pr.U32());
+      NEXUS_ASSIGN_OR_RETURN(double val, pr.F64());
+      if (len > n - v.size()) {
+        return Status::SerializationError(
+            "float64 RLE runs overflow row count");
+      }
+      v.insert(v.end(), len, val);
+    }
+    if (v.size() != n || !pr.done()) {
+      return Status::SerializationError("float64 RLE runs do not cover rows");
+    }
+    return Column::FromFloat64(std::move(v));
+  }
+  return Status::SerializationError("float64 column has unknown encoding");
+}
+
+Result<Column> DecodeStringPayload(std::string_view payload, uint8_t enc,
+                                   size_t n) {
+  std::vector<std::string> v;
+  ByteReader pr(payload);
+  if (enc == kEncRaw) {
+    if (payload.size() / 4 < n + 1) {
+      return Status::SerializationError("string offset table exceeds payload");
+    }
+    std::vector<uint32_t> offsets(n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(offsets[i], pr.U32());
+    }
+    if (offsets[0] != 0) {
+      return Status::SerializationError("string offsets must start at 0");
+    }
+    NEXUS_ASSIGN_OR_RETURN(std::string_view blob, pr.Bytes(pr.remaining()));
+    if (offsets[n] != blob.size()) {
+      return Status::SerializationError("string blob length mismatch");
+    }
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (offsets[i + 1] < offsets[i]) {
+        return Status::SerializationError("string offsets must be monotone");
+      }
+      v.emplace_back(blob.substr(offsets[i], offsets[i + 1] - offsets[i]));
+    }
+    return Column::FromString(std::move(v));
+  }
+  if (enc == kEncDict) {
+    NEXUS_ASSIGN_OR_RETURN(uint32_t ndict, pr.U32());
+    if (ndict > pr.remaining() / 4) {
+      return Status::SerializationError("string dict size exceeds payload");
+    }
+    std::vector<std::string_view> dict(ndict);
+    for (uint32_t i = 0; i < ndict; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(uint32_t len, pr.U32());
+      NEXUS_ASSIGN_OR_RETURN(dict[i], pr.Bytes(len));
+    }
+    NEXUS_ASSIGN_OR_RETURN(uint8_t code_width, pr.U8());
+    if (code_width != 1 && code_width != 2 && code_width != 4) {
+      return Status::SerializationError("string dict code width invalid");
+    }
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t code = 0;
+      for (int b = 0; b < code_width; ++b) {
+        NEXUS_ASSIGN_OR_RETURN(uint8_t byte, pr.U8());
+        code |= static_cast<uint32_t>(byte) << (8 * b);
+      }
+      if (code >= ndict) {
+        return Status::SerializationError("string dict code out of range");
+      }
+      v.emplace_back(dict[code]);
+    }
+    if (!pr.done()) {
+      return Status::SerializationError("string dict payload has extra bytes");
+    }
+    return Column::FromString(std::move(v));
+  }
+  return Status::SerializationError("string column has unknown encoding");
+}
+
+Result<Column> DecodeColumn(ByteReader* r, DataType type, int64_t n) {
+  NEXUS_ASSIGN_OR_RETURN(uint8_t has_nulls, r->U8());
+  if (has_nulls > 1) {
+    return Status::SerializationError("column null flag must be 0 or 1");
+  }
+  std::string_view null_bitmap;
+  if (has_nulls != 0) {
+    NEXUS_ASSIGN_OR_RETURN(null_bitmap,
+                           r->Bytes(static_cast<size_t>((n + 7) / 8)));
+  }
+  NEXUS_ASSIGN_OR_RETURN(uint8_t enc, r->U8());
+  NEXUS_ASSIGN_OR_RETURN(uint32_t payload_len, r->U32());
+  NEXUS_ASSIGN_OR_RETURN(std::string_view payload, r->Bytes(payload_len));
+  const size_t un = static_cast<size_t>(n);
+  auto decode = [&]() -> Result<Column> {
+    switch (type) {
+      case DataType::kBool:
+        return DecodeBoolPayload(payload, enc, un);
+      case DataType::kInt64:
+        return DecodeInt64Payload(payload, enc, un);
+      case DataType::kFloat64:
+        return DecodeFloat64Payload(payload, enc, un);
+      case DataType::kString:
+        return DecodeStringPayload(payload, enc, un);
+    }
+    return Status::SerializationError("unknown column type");
+  };
+  NEXUS_ASSIGN_OR_RETURN(Column out, decode());
+  if (has_nulls != 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      if ((static_cast<uint8_t>(null_bitmap[static_cast<size_t>(i >> 3)]) >>
+           (i & 7)) &
+          1) {
+        out.SetNull(i);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Dataset> DecodeNxb1(std::string_view wire) {
+  ByteReader r(wire);
+  NEXUS_ASSIGN_OR_RETURN(std::string_view magic, r.Bytes(4));
+  if (std::memcmp(magic.data(), kNxb1Magic, 4) != 0) {
+    return Status::SerializationError("bad NXB1 magic");
+  }
+  NEXUS_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kNxb1Version) {
+    return Status::SerializationError(
+        StrCat("unsupported NXB1 version ", version));
+  }
+  NEXUS_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
+  if ((flags & ~kNxb1FlagArray) != 0) {
+    return Status::SerializationError("unknown NXB1 flags");
+  }
+  const bool is_array = (flags & kNxb1FlagArray) != 0;
+  NEXUS_ASSIGN_OR_RETURN(uint16_t nfields, r.U16());
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint16_t i = 0; i < nfields; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(uint8_t type_code, r.U8());
+    if (type_code > static_cast<uint8_t>(DataType::kString)) {
+      return Status::SerializationError("unknown NXB1 field type");
+    }
+    NEXUS_ASSIGN_OR_RETURN(uint8_t is_dim, r.U8());
+    if (is_dim > 1) {
+      return Status::SerializationError("field dim flag must be 0 or 1");
+    }
+    NEXUS_ASSIGN_OR_RETURN(uint16_t name_len, r.U16());
+    NEXUS_ASSIGN_OR_RETURN(std::string_view name, r.Bytes(name_len));
+    fields.push_back(Field{std::string(name), static_cast<DataType>(type_code),
+                           is_dim != 0});
+  }
+  std::vector<int64_t> chunk_sizes;
+  if (is_array) {
+    NEXUS_ASSIGN_OR_RETURN(uint16_t ndims, r.U16());
+    chunk_sizes.reserve(ndims);
+    for (uint16_t i = 0; i < ndims; ++i) {
+      NEXUS_ASSIGN_OR_RETURN(uint64_t c, r.U64());
+      chunk_sizes.push_back(static_cast<int64_t>(c));
+    }
+  }
+  NEXUS_ASSIGN_OR_RETURN(uint64_t nrows, r.U64());
+  if (nrows > kMaxWireRows) {
+    return Status::SerializationError("NXB1 row count exceeds sanity bound");
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  std::vector<Column> columns;
+  columns.reserve(schema->num_fields());
+  for (int c = 0; c < schema->num_fields(); ++c) {
+    NEXUS_ASSIGN_OR_RETURN(
+        Column col,
+        DecodeColumn(&r, schema->field(c).type, static_cast<int64_t>(nrows)));
+    columns.push_back(std::move(col));
+  }
+  if (!r.done()) {
+    return Status::SerializationError("trailing bytes after NXB1 columns");
+  }
+  NEXUS_ASSIGN_OR_RETURN(TablePtr table,
+                         Table::Make(schema, std::move(columns)));
+  if (!is_array) return Dataset(table);
+  std::vector<std::string> dim_names;
+  for (int i : schema->DimensionIndices()) {
+    dim_names.push_back(schema->field(i).name);
+  }
+  if (dim_names.size() != chunk_sizes.size()) {
+    return Status::SerializationError("chunk list does not match dimensions");
+  }
+  NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> arr,
+                         NDArray::FromTable(*table, dim_names, chunk_sizes));
+  return Dataset(NDArrayPtr(std::move(arr)));
+}
+
+// ---------------------------------------------------------------------------
 // Datasets.
 // ---------------------------------------------------------------------------
 
@@ -394,7 +1158,8 @@ Result<SchemaPtr> SchemaFromSexpr(const Sexpr& s) {
   return Schema::Make(std::move(fields));
 }
 
-Sexpr DatasetToSexpr(const Dataset& data) {
+Sexpr DatasetToSexpr(const Dataset& data, WireFormat format) {
+  if (format == WireFormat::kBinary) return Sexpr::Blob(EncodeNxb1(data));
   std::vector<Sexpr> items = {Sexpr::Sym("dataset")};
   TablePtr table = data.AsTable().ValueOrDie();
   items.push_back(SchemaToSexpr(*table->schema()));
@@ -419,6 +1184,7 @@ Sexpr DatasetToSexpr(const Dataset& data) {
 }
 
 Result<Dataset> DatasetFromSexpr(const Sexpr& s) {
+  if (s.is_blob()) return DecodeNxb1(s.text);
   NEXUS_RETURN_NOT_OK(Expect(s, 3, "dataset"));
   if (s.items[0].text != "dataset") {
     return Status::SerializationError("expected (dataset ...)");
@@ -477,22 +1243,24 @@ Result<Dataset> DatasetFromSexpr(const Sexpr& s) {
 // Plans.
 // ---------------------------------------------------------------------------
 
-Sexpr PlanToSexpr(const Plan& p);
+Sexpr PlanToSexpr(const Plan& p, WireFormat format);
 
 Sexpr OptionalExprToSexpr(const ExprPtr& e) {
   if (e == nullptr) return Sexpr::Sym("none");
   return ExprToSexpr(*e);
 }
 
-Sexpr PlanToSexpr(const Plan& p) {
+Sexpr PlanToSexpr(const Plan& p, WireFormat format) {
   std::vector<Sexpr> items = {Sexpr::Sym(OpKindName(p.kind()))};
-  for (const PlanPtr& c : p.children()) items.push_back(PlanToSexpr(*c));
+  for (const PlanPtr& c : p.children()) {
+    items.push_back(PlanToSexpr(*c, format));
+  }
   switch (p.kind()) {
     case OpKind::kScan:
       items.push_back(Sexpr::Str(p.As<ScanOp>().table));
       break;
     case OpKind::kValues:
-      items.push_back(DatasetToSexpr(p.As<ValuesOp>().data));
+      items.push_back(DatasetToSexpr(p.As<ValuesOp>().data, format));
       break;
     case OpKind::kLoopVar:
       items.push_back(Sexpr::Sym(p.As<LoopVarOp>().previous ? "prev" : "curr"));
@@ -614,9 +1382,9 @@ Sexpr PlanToSexpr(const Plan& p) {
     }
     case OpKind::kIterate: {
       const auto& op = p.As<IterateOp>();
-      items.push_back(PlanToSexpr(*op.body));
+      items.push_back(PlanToSexpr(*op.body, format));
       items.push_back(op.measure == nullptr ? Sexpr::Sym("none")
-                                            : PlanToSexpr(*op.measure));
+                                            : PlanToSexpr(*op.measure, format));
       items.push_back(Sexpr::Float(op.epsilon));
       items.push_back(Sexpr::Int(op.max_iters));
       break;
@@ -947,12 +1715,16 @@ Result<PlanPtr> PlanFromSexpr(const Sexpr& s) {
 }  // namespace
 
 std::string SerializePlan(const Plan& plan) {
+  return SerializePlanWire(plan, WireFormat::kText);
+}
+
+std::string SerializePlanWire(const Plan& plan, WireFormat format) {
   std::string out;
-  WriteSexpr(PlanToSexpr(plan), &out);
+  WriteSexpr(PlanToSexpr(plan, format), &out);
   return out;
 }
 
-Result<PlanPtr> ParsePlan(const std::string& wire) {
+Result<PlanPtr> ParsePlan(std::string_view wire) {
   SexprParser parser(wire);
   NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
   return PlanFromSexpr(s);
@@ -964,7 +1736,7 @@ std::string SerializeExpr(const Expr& expr) {
   return out;
 }
 
-Result<ExprPtr> ParseExpr(const std::string& wire) {
+Result<ExprPtr> ParseExpr(std::string_view wire) {
   SexprParser parser(wire);
   NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
   return ExprFromSexpr(s);
@@ -972,14 +1744,142 @@ Result<ExprPtr> ParseExpr(const std::string& wire) {
 
 std::string SerializeDataset(const Dataset& data) {
   std::string out;
-  WriteSexpr(DatasetToSexpr(data), &out);
+  WriteSexpr(DatasetToSexpr(data, WireFormat::kText), &out);
   return out;
 }
 
-Result<Dataset> ParseDataset(const std::string& wire) {
+Result<Dataset> ParseDataset(std::string_view wire) {
   SexprParser parser(wire);
   NEXUS_ASSIGN_OR_RETURN(Sexpr s, parser.Parse());
   return DatasetFromSexpr(s);
+}
+
+std::string SerializeDatasetWire(const Dataset& data, WireFormat format) {
+  if (format == WireFormat::kBinary) return EncodeNxb1(data);
+  return SerializeDataset(data);
+}
+
+Result<Dataset> ParseDatasetWire(std::string_view wire) {
+  if (wire.size() >= 4 && std::memcmp(wire.data(), kNxb1Magic, 4) == 0) {
+    return DecodeNxb1(wire);
+  }
+  return ParseDataset(wire);
+}
+
+uint64_t FingerprintWire(std::string_view wire) {
+  uint64_t fp = HashInt64(HashBytes(wire.data(), wire.size()));
+  return fp == 0 ? 1 : fp;
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache envelope.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kPlanTag = "%NXB1-PLAN ";
+constexpr std::string_view kExecTag = "%NXB1-EXEC ";
+
+void AppendNetstring(std::string_view bytes, std::string* out) {
+  out->append(StrCat(static_cast<int64_t>(bytes.size())));
+  out->push_back(':');
+  out->append(bytes);
+}
+
+// Parses "<len>:<bytes>" at the reader position.
+Result<std::string_view> ParseNetstring(std::string_view in, size_t* pos) {
+  size_t start = *pos;
+  while (*pos < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[*pos]))) {
+    ++*pos;
+  }
+  if (*pos == start || *pos >= in.size() || in[*pos] != ':') {
+    return Status::SerializationError("malformed envelope length prefix");
+  }
+  unsigned long long len = std::strtoull(
+      std::string(in.substr(start, *pos - start)).c_str(), nullptr, 10);
+  ++*pos;  // ':'
+  if (len > in.size() - *pos) {
+    return Status::SerializationError("envelope segment exceeds input");
+  }
+  std::string_view v = in.substr(*pos, len);
+  *pos += len;
+  return v;
+}
+
+}  // namespace
+
+std::string BuildWireEnvelope(
+    WireEnvelope::Kind kind, uint64_t fingerprint,
+    const std::vector<std::pair<std::string, std::string>>& bindings,
+    std::string_view plan_wire) {
+  if (kind == WireEnvelope::Kind::kNone) return std::string(plan_wire);
+  std::string out;
+  size_t reserve = 48 + plan_wire.size();
+  for (const auto& [name, wire] : bindings) {
+    reserve += name.size() + wire.size() + 24;
+  }
+  out.reserve(reserve);
+  out.append(kind == WireEnvelope::Kind::kPlanStore ? kPlanTag : kExecTag);
+  out.append(std::to_string(fingerprint));
+  out.push_back(' ');
+  out.append(StrCat(static_cast<int64_t>(bindings.size())));
+  out.push_back('\n');
+  for (const auto& [name, wire] : bindings) {
+    AppendNetstring(name, &out);
+    AppendNetstring(wire, &out);
+  }
+  if (kind == WireEnvelope::Kind::kPlanStore) out.append(plan_wire);
+  return out;
+}
+
+Result<WireEnvelope> ParseWireEnvelope(std::string_view wire) {
+  WireEnvelope env;
+  if (wire.substr(0, kPlanTag.size()) == kPlanTag) {
+    env.kind = WireEnvelope::Kind::kPlanStore;
+  } else if (wire.substr(0, kExecTag.size()) == kExecTag) {
+    env.kind = WireEnvelope::Kind::kExecCached;
+  } else {
+    env.plan_wire = wire;
+    return env;
+  }
+  size_t pos = kPlanTag.size();
+  size_t start = pos;
+  while (pos < wire.size() &&
+         std::isdigit(static_cast<unsigned char>(wire[pos]))) {
+    ++pos;
+  }
+  if (pos == start || pos >= wire.size() || wire[pos] != ' ') {
+    return Status::SerializationError("malformed envelope fingerprint");
+  }
+  env.fingerprint = std::strtoull(
+      std::string(wire.substr(start, pos - start)).c_str(), nullptr, 10);
+  ++pos;  // ' '
+  start = pos;
+  while (pos < wire.size() &&
+         std::isdigit(static_cast<unsigned char>(wire[pos]))) {
+    ++pos;
+  }
+  if (pos == start || pos >= wire.size() || wire[pos] != '\n') {
+    return Status::SerializationError("malformed envelope binding count");
+  }
+  unsigned long long nbind = std::strtoull(
+      std::string(wire.substr(start, pos - start)).c_str(), nullptr, 10);
+  ++pos;  // '\n'
+  env.bindings.reserve(nbind);
+  for (unsigned long long i = 0; i < nbind; ++i) {
+    NEXUS_ASSIGN_OR_RETURN(std::string_view name, ParseNetstring(wire, &pos));
+    NEXUS_ASSIGN_OR_RETURN(std::string_view data, ParseNetstring(wire, &pos));
+    env.bindings.emplace_back(name, data);
+  }
+  env.plan_wire = wire.substr(pos);
+  if (env.kind == WireEnvelope::Kind::kExecCached && !env.plan_wire.empty()) {
+    return Status::SerializationError("exec envelope carries trailing bytes");
+  }
+  if (env.kind == WireEnvelope::Kind::kPlanStore && env.plan_wire.empty()) {
+    return Status::SerializationError("plan envelope is missing its plan");
+  }
+  return env;
 }
 
 }  // namespace nexus

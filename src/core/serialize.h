@@ -1,34 +1,111 @@
-// Wire format for algebra plans: s-expressions.
+// Wire formats for algebra plans and datasets.
 //
 // "It can pass queries to Providers in the form of an expression tree,
 // rather than as a series of remote function calls" — this module is that
-// capability. The format is textual, stable, and self-contained: a plan
-// serialized on the client parses back identically on a server (including
-// inline Values data, nested Iterate bodies, and scalar expressions).
+// capability. Two encodings exist:
+//
+//  * The textual s-expression form: stable, human-readable, accepted by
+//    every peer. A plan serialized on the client parses back identically on
+//    a server (including inline Values data, nested Iterate bodies, and
+//    scalar expressions).
+//  * NXB1, a versioned binary columnar form for datasets: length-prefixed
+//    typed column blocks lifted straight out of types/column.h's native
+//    vectors (memcpy for fixed-width data, offset-table strings, bitmap
+//    nulls, chunk geometry for arrays) with optional RLE / dictionary /
+//    frame-of-reference encoding chosen per block by encoded size.
+//
+// Plans always stay textual; with WireFormat::kBinary their embedded Values
+// datasets become length-prefixed NXB1 blobs (`#<len>:<bytes>`), so a binary
+// plan wire is 8-bit clean but still structurally an s-expression.
+//
+// On top of the wire sits a small envelope used by the provider plan cache:
+// the coordinator fingerprints each plan wire and, once a provider has
+// parsed + optimized that fingerprint, ships only the fingerprint plus the
+// changed LoopVar bindings (`%NXB1-EXEC`) instead of the whole plan.
 #ifndef NEXUS_CORE_SERIALIZE_H_
 #define NEXUS_CORE_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/plan.h"
+#include "core/wire_format.h"
 
 namespace nexus {
 
-/// Serializes a plan tree to the s-expression wire form.
+/// Serializes a plan tree to the textual s-expression wire form
+/// (equivalent to SerializePlanWire with WireFormat::kText).
 std::string SerializePlan(const Plan& plan);
 
-/// Parses a serialized plan. Inverse of SerializePlan (round-trip exact up
-/// to structural equality).
-Result<PlanPtr> ParsePlan(const std::string& wire);
+/// Serializes a plan tree for shipping in the given wire format. With
+/// kBinary, embedded Values datasets are emitted as NXB1 blobs.
+std::string SerializePlanWire(const Plan& plan, WireFormat format);
+
+/// Parses a serialized plan (either format — blobs are self-describing).
+/// Inverse of SerializePlan / SerializePlanWire (round-trip exact up to
+/// structural equality).
+Result<PlanPtr> ParsePlan(std::string_view wire);
 
 /// Serializes a scalar expression (exposed for tests and debugging).
 std::string SerializeExpr(const Expr& expr);
-Result<ExprPtr> ParseExpr(const std::string& wire);
+Result<ExprPtr> ParseExpr(std::string_view wire);
 
-/// Serializes a dataset (schema + rows; array datasets keep their chunk
-/// geometry so they re-materialize as arrays).
+/// Serializes a dataset to the textual form (schema + rows; array datasets
+/// keep their chunk geometry so they re-materialize as arrays).
 std::string SerializeDataset(const Dataset& data);
-Result<Dataset> ParseDataset(const std::string& wire);
+Result<Dataset> ParseDataset(std::string_view wire);
+
+/// Serializes a dataset in the given wire format (kBinary → NXB1 blocks).
+std::string SerializeDatasetWire(const Dataset& data, WireFormat format);
+
+/// Parses a dataset in either format, sniffing the NXB1 magic. Every read
+/// is bounds-checked: truncated or corrupt buffers come back as
+/// SerializationError, never a crash.
+Result<Dataset> ParseDatasetWire(std::string_view wire);
+
+/// 64-bit fingerprint of a serialized plan wire (FNV-1a over the bytes with
+/// an fmix64 finalizer). Never returns 0, so 0 can mean "no fingerprint".
+uint64_t FingerprintWire(std::string_view wire);
+
+// ---------------------------------------------------------------------------
+// Plan-cache envelope.
+// ---------------------------------------------------------------------------
+
+/// A parsed shipping envelope. Views point into the input buffer and are
+/// only valid while it lives.
+struct WireEnvelope {
+  enum class Kind {
+    kNone,        ///< bare plan wire, no envelope
+    kPlanStore,   ///< full plan + bindings; provider should cache it
+    kExecCached,  ///< fingerprint + bindings only; provider must have it
+  };
+  Kind kind = Kind::kNone;
+  uint64_t fingerprint = 0;
+  /// Named datasets (name → dataset wire in either format) the provider
+  /// registers for the duration of this execution — LoopVar bindings.
+  std::vector<std::pair<std::string_view, std::string_view>> bindings;
+  /// The plan wire (kNone / kPlanStore; empty for kExecCached).
+  std::string_view plan_wire;
+};
+
+/// Builds the shipping envelope. kNone returns plan_wire untouched (callers
+/// should not pay the envelope when they don't need bindings or caching).
+std::string BuildWireEnvelope(
+    WireEnvelope::Kind kind, uint64_t fingerprint,
+    const std::vector<std::pair<std::string, std::string>>& bindings,
+    std::string_view plan_wire);
+
+/// Parses a shipping envelope; bare plan wires come back as kNone with
+/// plan_wire = the whole input.
+Result<WireEnvelope> ParseWireEnvelope(std::string_view wire);
+
+/// Message substring of the NotFound status a provider returns for an
+/// kExecCached fingerprint it no longer has; the coordinator re-ships the
+/// full plan when it sees this marker.
+inline constexpr std::string_view kPlanCacheMissMarker = "plan-cache miss";
 
 }  // namespace nexus
 

@@ -1,6 +1,7 @@
 #include "federation/cluster.h"
 
 #include "common/str_util.h"
+#include "core/serialize.h"
 
 namespace nexus {
 
@@ -16,6 +17,10 @@ Status Cluster::AddServer(const std::string& name, ProviderPtr provider) {
   if (provider == nullptr) {
     return Status::InvalidArgument("null provider");
   }
+  // The provider's wire capability becomes part of the transport's
+  // negotiation table: links to a text-only peer fall back to the textual
+  // format.
+  transport_.SetNodeBinaryCapable(name, provider->AcceptsBinaryWire());
   servers_.push_back(Server{name, std::move(provider)});
   return Status::OK();
 }
@@ -41,8 +46,14 @@ Status Cluster::Replicate(const std::string& table, const std::string& to) {
   }
   NEXUS_ASSIGN_OR_RETURN(Dataset d,
                          provider(holders[0])->catalog()->Get(table));
-  transport_.Send(holders[0], to, d.ByteSize(), MessageKind::kData);
-  return dst->catalog()->Put(table, std::move(d));
+  // Real serialization end to end: the copy is encoded in the negotiated
+  // link format, metered at its actual wire size, and decoded on arrival.
+  std::string wire = SerializeDatasetWire(
+      d, transport_.NegotiatedFormat(holders[0], to));
+  transport_.Send(holders[0], to, static_cast<int64_t>(wire.size()),
+                  MessageKind::kData);
+  NEXUS_ASSIGN_OR_RETURN(Dataset copy, ParseDatasetWire(wire));
+  return dst->catalog()->Put(table, std::move(copy));
 }
 
 Provider* Cluster::provider(const std::string& server) {

@@ -38,6 +38,13 @@ std::string ExecutionMetrics::ToString() const {
   if (parallel_fragments > 0) {
     out += StrCat("  parallel-fragments=", parallel_fragments);
   }
+  if (plan_cache_hits > 0 || plan_cache_misses > 0) {
+    out += StrCat("  plan-cache=", plan_cache_hits, "h/", plan_cache_misses, "m");
+  }
+  if (wire_bytes_saved > 0) {
+    out += StrCat("  wire-saved=",
+                  FormatBytes(static_cast<uint64_t>(wire_bytes_saved)));
+  }
   return out;
 }
 
@@ -55,6 +62,9 @@ Coordinator::Instruments Coordinator::Instruments::Resolve() {
       reg.gauge("coordinator.threads"),
       reg.histogram("coordinator.backoff_seconds"),
       reg.histogram("coordinator.fragment_plan_bytes"),
+      reg.counter("transport.bytes_saved"),
+      reg.counter("provider.plan_cache_hit"),
+      reg.counter("provider.plan_cache_miss"),
   };
 }
 
@@ -68,6 +78,9 @@ Coordinator::InstrumentBase Coordinator::SnapshotInstruments() const {
   base.replans = ins_.replans->value();
   base.timeouts = ins_.timeouts->value();
   base.checkpoint_restores = ins_.checkpoint_restores->value();
+  base.bytes_saved = ins_.bytes_saved->value();
+  base.plan_cache_hit = ins_.plan_cache_hit->value();
+  base.plan_cache_miss = ins_.plan_cache_miss->value();
   return base;
 }
 
@@ -83,6 +96,10 @@ void Coordinator::FillMetricsFromInstruments(ExecutionMetrics* metrics) const {
   metrics->timeouts = ins_.timeouts->value() - base_.timeouts;
   metrics->checkpoint_restores =
       ins_.checkpoint_restores->value() - base_.checkpoint_restores;
+  metrics->wire_bytes_saved = ins_.bytes_saved->value() - base_.bytes_saved;
+  metrics->plan_cache_hits = ins_.plan_cache_hit->value() - base_.plan_cache_hit;
+  metrics->plan_cache_misses =
+      ins_.plan_cache_miss->value() - base_.plan_cache_miss;
 }
 
 Result<SchemaPtr> FederatedCatalog::GetSchema(const std::string& name) const {
@@ -468,31 +485,101 @@ Result<std::string> Coordinator::AnyAvailableServer() const {
 Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
                                         const PlanPtr& fragment) {
   // Serialize the whole expression tree and ship it — the LINQ property.
-  std::string wire = SerializePlan(*fragment);
+  // The encoding is negotiated per link: NXB1 blobs for embedded datasets
+  // when both ends speak it, the legacy textual form otherwise.
+  WireFormat fmt =
+      cluster_->transport()->NegotiatedFormat(kClientNode, server);
+  std::string wire = SerializePlanWire(*fragment, fmt);
+  return ShipWire(server, wire, FingerprintWire(wire), {});
+}
+
+Result<Dataset> Coordinator::ShipWire(
+    const std::string& server, const std::string& plan_wire, uint64_t fp,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  const bool cache = options_.plan_cache && fp != 0;
+  bool have = false;
+  if (cache) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    auto it = shipped_.find(server);
+    have = it != shipped_.end() && it->second.fps.count(fp) != 0;
+  }
   telemetry::SpanGuard span(telemetry::kCategoryCoordinator,
                             StrCat("fragment -> ", server), server);
-  int64_t retries_before = 0;
-  if (span.active()) {
-    // Context rides inside the plan message, so the receiver's spans stitch
-    // under this fragment. The header bytes are metered like any payload.
-    wire.insert(0, telemetry::WireHeader(span.trace(), span.id(), server));
-    retries_before = ins_.retries->value();
-  }
-  ins_.fragment_plan_bytes->Record(static_cast<double>(wire.size()));
-  NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server,
-                                    static_cast<int64_t>(wire.size()),
-                                    MessageKind::kPlan));
-  ins_.fragments->Increment();
   Provider* p = cluster_->provider(server);
   if (p == nullptr) return Status::NotFound(StrCat("no server '", server, "'"));
-  auto result = p->ExecuteWire(wire);
-  if (span.active()) {
-    span.AddCounter("plan_bytes", static_cast<int64_t>(wire.size()));
-    int64_t r = ins_.retries->value() - retries_before;
-    if (r > 0) span.AddCounter("retries", r);
-    if (result.ok()) {
-      span.AddCounter("rows", result.ValueOrDie().num_rows());
-      span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+  // Two passes at most: an %NXB1-EXEC reference the provider has evicted
+  // comes back as NotFound + kPlanCacheMissMarker, and the second pass
+  // re-ships the full plan.
+  Result<Dataset> result = Status::NotFound("unsent");
+  for (int pass = 0; pass < 2; ++pass) {
+    std::string wire;
+    if (!cache) {
+      wire = plan_wire;  // legacy framing: the bare serialized plan
+    } else if (have) {
+      wire = BuildWireEnvelope(WireEnvelope::Kind::kExecCached, fp, bindings,
+                               std::string_view());
+    } else {
+      wire = BuildWireEnvelope(WireEnvelope::Kind::kPlanStore, fp, bindings,
+                               plan_wire);
+    }
+    int64_t retries_before = 0;
+    if (span.active()) {
+      // Context rides inside the plan message, so the receiver's spans
+      // stitch under this fragment. The header bytes are metered like any
+      // payload.
+      wire.insert(0, telemetry::WireHeader(span.trace(), span.id(), server));
+      retries_before = ins_.retries->value();
+    }
+    ins_.fragment_plan_bytes->Record(static_cast<double>(wire.size()));
+    NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server,
+                                      static_cast<int64_t>(wire.size()),
+                                      MessageKind::kPlan));
+    ins_.fragments->Increment();
+    result = p->ExecuteWire(wire);
+    if (span.active()) {
+      span.AddCounter("plan_bytes", static_cast<int64_t>(wire.size()));
+      int64_t r = ins_.retries->value() - retries_before;
+      if (r > 0) span.AddCounter("retries", r);
+      if (result.ok()) {
+        span.AddCounter("rows", result.ValueOrDie().num_rows());
+        span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+      }
+    }
+    if (have && !result.ok() &&
+        result.status().code() == StatusCode::kNotFound &&
+        result.status().message().find(kPlanCacheMissMarker) !=
+            std::string::npos) {
+      // The provider evicted this fingerprint: forget it here too and send
+      // the whole plan again (one extra round trip, never a wrong answer).
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      ShippedSet& s = shipped_[server];
+      s.fps.erase(fp);
+      for (auto it = s.order.begin(); it != s.order.end(); ++it) {
+        if (*it == fp) {
+          s.order.erase(it);
+          break;
+        }
+      }
+      have = false;
+      continue;
+    }
+    break;
+  }
+  if (cache && have && result.ok()) {
+    // The reference resolved: the plan body never traveled this time.
+    ins_.bytes_saved->Add(static_cast<int64_t>(plan_wire.size()));
+  }
+  if (cache && !have && result.ok()) {
+    // The provider parsed and cached this fingerprint; reference it from
+    // now on. FIFO-bounded exactly like the provider side.
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    ShippedSet& s = shipped_[server];
+    if (s.fps.insert(fp).second) {
+      s.order.push_back(fp);
+      if (s.order.size() > Provider::kPlanCacheCapacity) {
+        s.fps.erase(s.order.front());
+        s.order.pop_front();
+      }
     }
   }
   if (!result.ok()) {
@@ -501,18 +588,32 @@ Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
   return result;
 }
 
+Result<Dataset> Coordinator::SendData(const std::string& from,
+                                      const std::string& to,
+                                      const Dataset& data) {
+  // Real serialization end to end: encoded once in the link's negotiated
+  // format, metered at the actual encoded size, decoded on arrival.
+  std::string wire =
+      SerializeDatasetWire(data, cluster_->transport()->NegotiatedFormat(from, to));
+  NEXUS_RETURN_NOT_OK(SendWithRetry(from, to, static_cast<int64_t>(wire.size()),
+                                    MessageKind::kData));
+  return ParseDatasetWire(wire);
+}
+
 Result<Dataset> Coordinator::FetchToClient(const std::string& server,
                                            const std::string& temp) {
   NEXUS_ASSIGN_OR_RETURN(Dataset d, cluster_->provider(server)->catalog()->Get(temp));
-  NEXUS_RETURN_NOT_OK(
-      SendWithRetry(server, kClientNode, d.ByteSize(), MessageKind::kData));
-  return d;
+  return SendData(server, kClientNode, d);
 }
 
 Status Coordinator::TransferTemp(const std::string& from, const std::string& to,
                                  const std::string& temp) {
   NEXUS_ASSIGN_OR_RETURN(Dataset d, cluster_->provider(from)->catalog()->Get(temp));
-  int64_t bytes = d.ByteSize();
+  // One encode at the source; the relay forwards the same bytes, so both
+  // hops meter the identical payload size.
+  std::string wire = SerializeDatasetWire(
+      d, cluster_->transport()->NegotiatedFormat(from, to));
+  int64_t bytes = static_cast<int64_t>(wire.size());
   if (options_.transfer_mode == TransferMode::kDirect) {
     // Desideratum 4: server → server, never touching the client tier.
     NEXUS_RETURN_NOT_OK(SendWithRetry(from, to, bytes, MessageKind::kData));
@@ -526,7 +627,8 @@ Status Coordinator::TransferTemp(const std::string& from, const std::string& to,
     std::lock_guard<std::recursive_mutex> lock(mu_);
     temps_.emplace_back(to, temp);  // the copy needs cleanup too
   }
-  return cluster_->provider(to)->catalog()->Put(temp, std::move(d));
+  NEXUS_ASSIGN_OR_RETURN(Dataset arrived, ParseDatasetWire(wire));
+  return cluster_->provider(to)->catalog()->Put(temp, std::move(arrived));
 }
 
 Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
@@ -537,9 +639,10 @@ Result<PlanPtr> Coordinator::BuildFragment(const Plan* node,
   if (placement->client_loops.count(node) != 0) {
     PlanPtr alias(node, [](const Plan*) {});
     NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
-    NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, server, state.ByteSize(),
-                                      MessageKind::kData));
-    NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(server, std::move(state)));
+    NEXUS_ASSIGN_OR_RETURN(Dataset arrived,
+                           SendData(kClientNode, server, state));
+    NEXUS_ASSIGN_OR_RETURN(std::string temp,
+                           RegisterTemp(server, std::move(arrived)));
     return Plan::Scan(temp);
   }
   const size_t nc = node->children().size();
@@ -632,9 +735,10 @@ Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
     PlanPtr alias(node, [](const Plan*) {});
     NEXUS_ASSIGN_OR_RETURN(Dataset state, RunClientLoop(*alias, placement));
     NEXUS_ASSIGN_OR_RETURN(std::string target, AnyAvailableServer());
-    NEXUS_RETURN_NOT_OK(SendWithRetry(kClientNode, target, state.ByteSize(),
-                                      MessageKind::kData));
-    NEXUS_ASSIGN_OR_RETURN(std::string temp, RegisterTemp(target, std::move(state)));
+    NEXUS_ASSIGN_OR_RETURN(Dataset arrived,
+                           SendData(kClientNode, target, state));
+    NEXUS_ASSIGN_OR_RETURN(std::string temp,
+                           RegisterTemp(target, std::move(arrived)));
     auto loc = std::make_pair(target, temp);
     if (memoize) {
       std::lock_guard<std::recursive_mutex> lock(mu_);
@@ -670,11 +774,131 @@ PlanPtr ReplaceLoopVars(const PlanPtr& plan, const Dataset& curr,
   return plan->WithChildren(std::move(children));
 }
 
+// The serialize-once variant: loop variables become Scans of the per-loop
+// binding names, so the template is state-independent and its wire (and
+// fingerprint) can be reused every round. Records which variables the tree
+// actually references, so unused bindings never travel.
+PlanPtr BindLoopVars(const PlanPtr& plan, const std::string& curr_name,
+                     const std::string& prev_name, bool* uses_curr,
+                     bool* uses_prev) {
+  if (plan->kind() == OpKind::kLoopVar) {
+    if (plan->As<LoopVarOp>().previous) {
+      *uses_prev = true;
+      return Plan::Scan(prev_name);
+    }
+    *uses_curr = true;
+    return Plan::Scan(curr_name);
+  }
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children().size());
+  for (const PlanPtr& c : plan->children()) {
+    children.push_back(
+        BindLoopVars(c, curr_name, prev_name, uses_curr, uses_prev));
+  }
+  return plan->WithChildren(std::move(children));
+}
+
 }  // namespace
 
-Result<bool> Coordinator::RunLoopStep(const IterateOp& op, Dataset* state) {
-  // Each round trip re-plans and re-ships the body with the current state
-  // inlined — the client-driven pattern the paper wants to avoid.
+void Coordinator::ProbeLoopShip(const IterateOp& op, const Dataset& state,
+                                LoopShip* ship) {
+  ship->probed = true;
+  ship->usable = false;
+  if (!options_.plan_cache) return;
+  // Placement is probed with the current state inlined (the template itself
+  // scans binding names no catalog knows about). The fast path engages only
+  // when the whole body — and measure — lands on one server; anything that
+  // fragments across servers keeps the general per-round machinery.
+  auto single_server = [&](const PlanPtr& tree) -> std::string {
+    PlanPtr probe = ReplaceLoopVars(tree, state, state);
+    Placement p;
+    if (!AssignServers(probe, &p).ok()) return std::string();
+    if (!p.client_loops.empty()) return std::string();
+    std::string server;
+    for (const auto& [node, s] : p.assign) {
+      if (s.empty()) continue;
+      if (s == kClientNode) return std::string();
+      if (!server.empty() && server != s) return std::string();
+      server = s;
+    }
+    return server;
+  };
+  std::string server = single_server(op.body);
+  if (server.empty()) return;
+  if (op.measure != nullptr && single_server(op.measure) != server) return;
+  int64_t id;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    id = loop_seq_++;
+  }
+  ship->curr_name = StrCat("__nxbind_", id, "_curr");
+  ship->prev_name = StrCat("__nxbind_", id, "_prev");
+  ship->format = cluster_->transport()->NegotiatedFormat(kClientNode, server);
+  PlanPtr body = BindLoopVars(op.body, ship->curr_name, ship->prev_name,
+                              &ship->body_curr, &ship->body_prev);
+  ship->body_wire = SerializePlanWire(*body, ship->format);
+  ship->body_fp = FingerprintWire(ship->body_wire);
+  if (op.measure != nullptr) {
+    PlanPtr measure = BindLoopVars(op.measure, ship->curr_name,
+                                   ship->prev_name, &ship->measure_curr,
+                                   &ship->measure_prev);
+    ship->measure_wire = SerializePlanWire(*measure, ship->format);
+    ship->measure_fp = FingerprintWire(ship->measure_wire);
+  }
+  ship->server = server;
+  ship->usable = true;
+}
+
+Result<bool> Coordinator::RunLoopStepShipped(const IterateOp& op,
+                                             Dataset* state, LoopShip* ship) {
+  // Same message shape as the general path — one plan message out, one data
+  // message back, per body and per measure — so seeded chaos schedules see
+  // an identical decision sequence; only the byte counts shrink.
+  auto bind = [&](bool use_curr, bool use_prev, const Dataset& curr,
+                  const Dataset& prev) {
+    std::vector<std::pair<std::string, std::string>> b;
+    if (use_curr) {
+      b.emplace_back(ship->curr_name, SerializeDatasetWire(curr, ship->format));
+    }
+    if (use_prev) {
+      b.emplace_back(ship->prev_name, SerializeDatasetWire(prev, ship->format));
+    }
+    return b;
+  };
+  NEXUS_ASSIGN_OR_RETURN(
+      Dataset produced,
+      ShipWire(ship->server, ship->body_wire, ship->body_fp,
+               bind(ship->body_curr, ship->body_prev, *state, *state)));
+  NEXUS_ASSIGN_OR_RETURN(Dataset next,
+                         SendData(ship->server, kClientNode, produced));
+  ins_.client_loop_iterations->Increment();
+  if (op.measure != nullptr) {
+    NEXUS_ASSIGN_OR_RETURN(
+        Dataset measured_remote,
+        ShipWire(ship->server, ship->measure_wire, ship->measure_fp,
+                 bind(ship->measure_curr, ship->measure_prev, next, *state)));
+    NEXUS_ASSIGN_OR_RETURN(Dataset measured,
+                           SendData(ship->server, kClientNode, measured_remote));
+    NEXUS_ASSIGN_OR_RETURN(TablePtr mt, measured.AsTable());
+    if (mt->num_rows() != 1 || mt->num_columns() != 1) {
+      return Status::PlanError("iterate measure must yield one cell");
+    }
+    Value v = mt->At(0, 0);
+    *state = std::move(next);
+    return !v.is_null() && v.AsDouble() < op.epsilon;
+  }
+  *state = std::move(next);
+  return false;
+}
+
+Result<bool> Coordinator::RunLoopStep(const IterateOp& op, Dataset* state,
+                                      LoopShip* ship) {
+  if (!ship->probed) ProbeLoopShip(op, *state, ship);
+  if (ship->usable) return RunLoopStepShipped(op, state, ship);
+  // General path: each round trip re-plans and re-ships the body with the
+  // current state inlined — the client-driven pattern the paper wants to
+  // avoid. Needed whenever the body fragments across servers (or the plan
+  // cache is off).
   PlanPtr body = ReplaceLoopVars(op.body, *state, *state);
   Placement body_placement;
   NEXUS_RETURN_NOT_OK(AssignServers(body, &body_placement).status());
@@ -718,12 +942,13 @@ Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
   const size_t max_recoveries = cluster_->ServerNames().size();
   size_t recoveries = 0;
   int64_t iter = 0;
+  LoopShip ship;
   while (iter < op.max_iters) {
     if (iter % k == 0) {
       checkpoint = state;
       checkpoint_iter = iter;
     }
-    auto stepped = RunLoopStep(op, &state);
+    auto stepped = RunLoopStep(op, &state, &ship);
     if (!stepped.ok()) {
       if (IsRetryable(stepped.status()) && recoveries < max_recoveries &&
           ExcludeFailedServer()) {
@@ -738,6 +963,7 @@ Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
         ++recoveries;
         state = checkpoint;
         iter = checkpoint_iter;
+        ship = LoopShip();  // re-probe placement away from the dead server
         continue;
       }
       return stepped.status();
@@ -777,6 +1003,7 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
   excluded_.clear();
   last_failed_server_.clear();
   done_.clear();
+  loop_seq_ = 0;  // re-running a plan regenerates identical binding names
 
   // Spans stamp both clocks while tracing is on; the simulated side comes
   // from this cluster's transport.
@@ -855,6 +1082,7 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
   excluded_.clear();
   last_failed_server_.clear();
   done_.clear();
+  loop_seq_ = 0;
 
   std::optional<telemetry::ScopedSimClock> sim_clock;
   if (telemetry::Enabled()) {
@@ -885,9 +1113,7 @@ Result<Dataset> Coordinator::ExecutePerOp(const PlanPtr& plan,
     }
     PlanPtr call = node->WithChildren(std::move(inline_children));
     NEXUS_ASSIGN_OR_RETURN(Dataset result, ShipAndRun(server, call));
-    NEXUS_RETURN_NOT_OK(SendWithRetry(server, kClientNode, result.ByteSize(),
-                                      MessageKind::kData));
-    return result;
+    return SendData(server, kClientNode, result);
   };
   auto result = step(prepared);
 
@@ -937,11 +1163,22 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   // the report shows them.
   const bool was_enabled = telemetry::Enabled();
   telemetry::SetEnabled(true);
-  auto result = Execute(plan, metrics);
+  ExecutionMetrics local;
+  ExecutionMetrics* m = metrics != nullptr ? metrics : &local;
+  auto result = Execute(plan, m);
   std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
                                                  last_trace_id_);
   telemetry::SetEnabled(was_enabled);
   NEXUS_RETURN_NOT_OK(result.status());
+  // Wire-format summary: how much of the plan traffic the fingerprint cache
+  // elided this execution.
+  if (m->plan_cache_hits + m->plan_cache_misses > 0) {
+    report += StrCat(
+        "wire: plan-cache ", m->plan_cache_hits, " hit / ",
+        m->plan_cache_misses, " miss, saved ",
+        FormatBytes(static_cast<uint64_t>(m->wire_bytes_saved)), " (",
+        WireFormatName(ProcessWireFormat()), " wire)\n");
+  }
   return report;
 }
 

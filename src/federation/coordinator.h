@@ -21,12 +21,17 @@
 #ifndef NEXUS_FEDERATION_COORDINATOR_H_
 #define NEXUS_FEDERATION_COORDINATOR_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
+#include "core/wire_format.h"
 #include "federation/cluster.h"
 #include "optimizer/optimizer.h"
 #include "telemetry/metrics.h"
@@ -73,6 +78,12 @@ struct CoordinatorOptions {
   /// legacy sequential dispatch order (required for reproducible fault
   /// traces — see DESIGN.md's determinism contract).
   int thread_count = 0;
+  /// Ship each distinct plan wire to a server at most once: later shipments
+  /// of the same fingerprint send a fixed-size %NXB1-EXEC reference and the
+  /// provider re-executes its cached parse (Provider::kPlanCacheCapacity).
+  /// Also enables the serialize-once fast path for client-driven loops,
+  /// where only the changed loop-variable bindings travel per round.
+  bool plan_cache = true;
 };
 
 /// Per-execution accounting: a *view* over cumulative telemetry — the
@@ -102,6 +113,10 @@ struct ExecutionMetrics {
   int64_t threads_used = 0;        // effective thread budget for this call
   int64_t morsels = 0;             // engine morsels executed during this call
   int64_t parallel_fragments = 0;  // sibling fragments dispatched concurrently
+  // Wire format + plan cache (see DESIGN.md, "The binary wire format").
+  int64_t plan_cache_hits = 0;     // %NXB1-EXEC references resolved remotely
+  int64_t plan_cache_misses = 0;   // full plans parsed (incl. evicted refs)
+  int64_t wire_bytes_saved = 0;    // plan bytes not re-shipped thanks to refs
   std::map<std::string, int64_t> nodes_per_server;
 
   std::string ToString() const;
@@ -185,14 +200,49 @@ class Coordinator {
   Result<PlanPtr> BuildFragment(const Plan* node, const std::string& server,
                                 Placement* placement);
   Result<Dataset> ShipAndRun(const std::string& server, const PlanPtr& fragment);
+  /// Ships an already-serialized plan wire (plus optional dataset bindings)
+  /// to `server`, going through the plan-cache envelope when enabled: a
+  /// fingerprint this coordinator already shipped there travels as a
+  /// %NXB1-EXEC reference, and a provider-side eviction (NotFound carrying
+  /// kPlanCacheMissMarker) falls back to re-shipping the full plan.
+  Result<Dataset> ShipWire(
+      const std::string& server, const std::string& plan_wire, uint64_t fp,
+      const std::vector<std::pair<std::string, std::string>>& bindings);
+  /// Sends `data` over the negotiated wire for (from, to): serialized once,
+  /// metered at its actual encoded size, decoded on arrival.
+  Result<Dataset> SendData(const std::string& from, const std::string& to,
+                           const Dataset& data);
   Result<Dataset> FetchToClient(const std::string& server, const std::string& temp);
   Result<std::string> RegisterTemp(const std::string& server, Dataset data);
   Status TransferTemp(const std::string& from, const std::string& to,
                       const std::string& temp);
+
+  /// Serialize-once state for one client-driven loop: when the body (and
+  /// measure) place whole on a single server, the loop variables are
+  /// rewritten into Scans of per-loop binding names, the template wires and
+  /// fingerprints are computed once, and every round ships only a cache
+  /// reference plus the bindings that actually changed.
+  struct LoopShip {
+    bool probed = false;
+    bool usable = false;
+    std::string server;
+    WireFormat format = WireFormat::kText;
+    std::string curr_name, prev_name;
+    std::string body_wire;
+    uint64_t body_fp = 0;
+    bool body_curr = false, body_prev = false;
+    std::string measure_wire;
+    uint64_t measure_fp = 0;
+    bool measure_curr = false, measure_prev = false;
+  };
   Result<Dataset> RunClientLoop(const Plan& iterate, Placement* placement);
   /// One body(+measure) round of a client-driven loop; updates *state.
   /// Returns true when the loop's convergence measure says stop.
-  Result<bool> RunLoopStep(const IterateOp& op, Dataset* state);
+  Result<bool> RunLoopStep(const IterateOp& op, Dataset* state, LoopShip* ship);
+  /// Detects the single-server case and builds the reusable templates.
+  void ProbeLoopShip(const IterateOp& op, const Dataset& state, LoopShip* ship);
+  Result<bool> RunLoopStepShipped(const IterateOp& op, Dataset* state,
+                                  LoopShip* ship);
   void DropTemps();
 
   /// Retry/backoff wrapper around Transport::TrySend, implementing
@@ -224,6 +274,12 @@ class Coordinator {
     telemetry::Gauge* threads;
     telemetry::Histogram* backoff_seconds;
     telemetry::Histogram* fragment_plan_bytes;
+    /// Plan bytes *not* sent because a cache reference sufficed.
+    telemetry::Counter* bytes_saved;
+    /// The provider-side cache counters (the same registry instruments the
+    /// providers increment), snapshotted so metrics can delta them.
+    telemetry::Counter* plan_cache_hit;
+    telemetry::Counter* plan_cache_miss;
     static Instruments Resolve();
   };
 
@@ -238,6 +294,9 @@ class Coordinator {
     int64_t replans = 0;
     int64_t timeouts = 0;
     int64_t checkpoint_restores = 0;
+    int64_t bytes_saved = 0;
+    int64_t plan_cache_hit = 0;
+    int64_t plan_cache_miss = 0;
   };
   InstrumentBase SnapshotInstruments() const;
   void FillMetricsFromInstruments(ExecutionMetrics* metrics) const;
@@ -267,6 +326,20 @@ class Coordinator {
   // recomputing.
   std::map<const Plan*, std::pair<std::string, std::string>> done_;
   const Placement* root_placement_ = nullptr;
+
+  // Plan-cache bookkeeping: which fingerprints this coordinator has already
+  // shipped to each server. Mirrors the provider's FIFO capacity so the two
+  // sides agree in steady state; divergence (a provider eviction we missed)
+  // is repaired by the kPlanCacheMissMarker re-ship fallback. Kept across
+  // Execute calls — that is where repeated-query hits come from.
+  struct ShippedSet {
+    std::set<uint64_t> fps;
+    std::deque<uint64_t> order;
+  };
+  std::map<std::string, ShippedSet> shipped_;
+  // Per-loop sequence for binding names; reset each Execute so re-running
+  // the same plan regenerates identical template wires (and cache hits).
+  int64_t loop_seq_ = 0;
 };
 
 }  // namespace nexus

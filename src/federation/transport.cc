@@ -146,6 +146,21 @@ Status Transport::TrySend(const std::string& from, const std::string& to,
   return Status::OK();
 }
 
+void Transport::SetNodeBinaryCapable(const std::string& node,
+                                     bool accepts_binary) {
+  binary_capable_[node] = accepts_binary;
+}
+
+WireFormat Transport::NegotiatedFormat(const std::string& a,
+                                       const std::string& b) const {
+  if (ProcessWireFormat() == WireFormat::kText) return WireFormat::kText;
+  auto capable = [this](const std::string& n) {
+    auto it = binary_capable_.find(n);
+    return it == binary_capable_.end() || it->second;
+  };
+  return capable(a) && capable(b) ? WireFormat::kBinary : WireFormat::kText;
+}
+
 void Transport::SetFaultOptions(FaultOptions faults) {
   faults_ = std::move(faults);
   fault_rng_ = Rng(faults_.seed);

@@ -26,6 +26,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/wire_format.h"
 
 namespace nexus {
 
@@ -119,6 +120,15 @@ class Transport {
   void SetFaultOptions(FaultOptions faults);
   const FaultOptions& fault_options() const { return faults_; }
 
+  /// Registers whether `node` accepts the binary wire format. Unregistered
+  /// endpoints (including the client tier) are assumed binary-capable;
+  /// legacy peers register false at AddServer time.
+  void SetNodeBinaryCapable(const std::string& node, bool accepts_binary);
+
+  /// The format both endpoints of a link speak: binary unless either peer
+  /// only accepts text or the process is pinned to text (NEXUS_WIRE=text).
+  WireFormat NegotiatedFormat(const std::string& a, const std::string& b) const;
+
   /// Advances the simulated clock without sending anything — retry backoff
   /// pauses charge their wait here so scripted down windows eventually pass.
   void AdvanceTime(double seconds) { simulated_seconds_ += seconds; }
@@ -171,6 +181,7 @@ class Transport {
 
   TransportOptions options_;
   FaultOptions faults_;
+  std::map<std::string, bool> binary_capable_;
   Rng fault_rng_{0x5EEDF417ULL};
   std::set<std::pair<std::string, std::string>> partitions_;
   std::vector<MessageRecord> log_;

@@ -15,6 +15,10 @@ class ArrayProvider : public Provider {
  public:
   std::string name() const override { return "arraydb"; }
 
+  // arraydb speaks NXB1 natively: its operands live in the same
+  // columnar vectors the wire blocks are lifted from.
+  bool AcceptsBinaryWire() const override { return true; }
+
   bool Claims(OpKind kind) const override {
     switch (kind) {
       case OpKind::kScan:

@@ -13,6 +13,10 @@ class GraphProvider : public Provider {
  public:
   std::string name() const override { return "graphd"; }
 
+  // graphd speaks NXB1 natively: its operands live in the same
+  // columnar vectors the wire blocks are lifted from.
+  bool AcceptsBinaryWire() const override { return true; }
+
   bool Claims(OpKind kind) const override {
     switch (kind) {
       case OpKind::kScan:

@@ -14,6 +14,10 @@ class LinalgProvider : public Provider {
  public:
   std::string name() const override { return "linalg"; }
 
+  // linalg speaks NXB1 natively: its operands live in the same
+  // columnar vectors the wire blocks are lifted from.
+  bool AcceptsBinaryWire() const override { return true; }
+
   bool Claims(OpKind kind) const override {
     switch (kind) {
       case OpKind::kScan:

@@ -1,9 +1,30 @@
 #include "provider/provider.h"
 
+#include "common/str_util.h"
 #include "core/serialize.h"
+#include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
 namespace nexus {
+
+namespace {
+
+/// Registry instruments, resolved once (pointers are stable forever).
+struct ProviderInstruments {
+  telemetry::Counter* plan_cache_hit;
+  telemetry::Counter* plan_cache_miss;
+
+  static const ProviderInstruments& Get() {
+    static const ProviderInstruments in{
+        telemetry::MetricsRegistry::Global().counter("provider.plan_cache_hit"),
+        telemetry::MetricsRegistry::Global().counter(
+            "provider.plan_cache_miss"),
+    };
+    return in;
+  }
+};
+
+}  // namespace
 
 Result<Dataset> Provider::ExecuteWire(const std::string& wire) {
   // Trace context travels in-band: a wire built under tracing starts with a
@@ -14,19 +35,100 @@ Result<Dataset> Provider::ExecuteWire(const std::string& wire) {
   // stripped) even when tracing is off, so a cached wire stays parseable.
   telemetry::TraceContext ctx;
   size_t offset = telemetry::StripWireHeader(wire, &ctx);
-  std::string stripped;
-  if (offset != 0) stripped = wire.substr(offset);
-  NEXUS_ASSIGN_OR_RETURN(PlanPtr plan, ParsePlan(offset == 0 ? wire : stripped));
-  if (offset == 0 || !telemetry::Enabled()) return Execute(*plan);
+  // Everything behind the header is consumed as a view; large payloads are
+  // never copied on the receive path.
+  std::string_view body(wire);
+  body.remove_prefix(offset);
+  if (offset == 0 || !telemetry::Enabled()) return ExecuteWireBody(body);
 
   telemetry::ContextScope scope(ctx);
   telemetry::SpanGuard span(telemetry::kCategoryServer, name(), ctx.server);
-  auto result = Execute(*plan);
+  auto result = ExecuteWireBody(body);
   if (result.ok() && span.active()) {
     span.AddCounter("rows", result.ValueOrDie().num_rows());
     span.AddCounter("bytes", result.ValueOrDie().ByteSize());
   }
   return result;
+}
+
+Result<Dataset> Provider::ExecuteWireBody(std::string_view body) {
+  NEXUS_ASSIGN_OR_RETURN(WireEnvelope env, ParseWireEnvelope(body));
+  const ProviderInstruments& in = ProviderInstruments::Get();
+  PlanPtr plan;
+  switch (env.kind) {
+    case WireEnvelope::Kind::kNone: {
+      NEXUS_ASSIGN_OR_RETURN(plan, ParsePlan(env.plan_wire));
+      break;
+    }
+    case WireEnvelope::Kind::kPlanStore: {
+      NEXUS_ASSIGN_OR_RETURN(plan, ParsePlan(env.plan_wire));
+      CachePlan(env.fingerprint, plan);
+      in.plan_cache_miss->Increment();
+      break;
+    }
+    case WireEnvelope::Kind::kExecCached: {
+      plan = LookupCachedPlan(env.fingerprint);
+      if (plan == nullptr) {
+        in.plan_cache_miss->Increment();
+        return Status::NotFound(
+            StrCat(kPlanCacheMissMarker, ": fingerprint ", env.fingerprint,
+                   " not cached on ", name()));
+      }
+      in.plan_cache_hit->Increment();
+      break;
+    }
+  }
+  if (env.bindings.empty()) return Execute(*plan);
+  return ExecuteBound(*plan, env.bindings);
+}
+
+Result<Dataset> Provider::ExecuteBound(
+    const Plan& plan,
+    const std::vector<std::pair<std::string_view, std::string_view>>&
+        bindings) {
+  std::vector<std::string> registered;
+  registered.reserve(bindings.size());
+  auto drop_all = [&] {
+    for (const std::string& n : registered) (void)catalog_.Drop(n);
+  };
+  for (const auto& [bname, bwire] : bindings) {
+    auto data = ParseDatasetWire(bwire);
+    if (!data.ok()) {
+      drop_all();
+      return data.status();
+    }
+    std::string key(bname);
+    Status st = catalog_.Put(key, std::move(data).ValueOrDie());
+    if (!st.ok()) {
+      drop_all();
+      return st;
+    }
+    registered.push_back(std::move(key));
+  }
+  auto result = Execute(plan);
+  drop_all();
+  return result;
+}
+
+PlanPtr Provider::LookupCachedPlan(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = plan_cache_.find(fingerprint);
+  return it == plan_cache_.end() ? nullptr : it->second;
+}
+
+void Provider::CachePlan(uint64_t fingerprint, PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = plan_cache_.find(fingerprint);
+  if (it != plan_cache_.end()) {
+    it->second = std::move(plan);
+    return;
+  }
+  plan_cache_.emplace(fingerprint, std::move(plan));
+  plan_cache_order_.push_back(fingerprint);
+  if (plan_cache_order_.size() > kPlanCacheCapacity) {
+    plan_cache_.erase(plan_cache_order_.front());
+    plan_cache_order_.pop_front();
+  }
 }
 
 bool Provider::ClaimsTree(const Plan& plan) const {

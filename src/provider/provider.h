@@ -12,8 +12,15 @@
 #ifndef NEXUS_PROVIDER_PROVIDER_H_
 #define NEXUS_PROVIDER_PROVIDER_H_
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/catalog.h"
 #include "core/plan.h"
@@ -23,6 +30,11 @@ namespace nexus {
 /// Abstract back-end service.
 class Provider {
  public:
+  /// Parsed + optimized plans kept per provider, keyed by the fingerprint of
+  /// the shipped wire. Small and bounded: the cache exists for repeated
+  /// shipments (Iterate rounds, re-executed queries), not as a plan store.
+  static constexpr size_t kPlanCacheCapacity = 64;
+
   virtual ~Provider() = default;
 
   /// Stable identifier ("relstore", "arraydb", ...).
@@ -41,8 +53,18 @@ class Provider {
 
   /// Executes a serialized expression tree — the form plans arrive in over
   /// the wire ("Providers accept SQO expressions as input"). Deserialization
-  /// happens here, on the provider side of the link.
+  /// happens here, on the provider side of the link. The wire may carry a
+  /// plan-cache envelope (%NXB1-PLAN / %NXB1-EXEC, see core/serialize.h):
+  /// %NXB1-PLAN caches the parsed plan under its fingerprint, %NXB1-EXEC
+  /// executes a previously cached plan — or returns NotFound (containing
+  /// kPlanCacheMissMarker) when the fingerprint was evicted, telling the
+  /// coordinator to re-ship the full plan. Envelope bindings are registered
+  /// in the catalog for the duration of the execution.
   Result<Dataset> ExecuteWire(const std::string& wire);
+
+  /// True when this provider accepts NXB1 binary payloads. Legacy peers
+  /// return false and the transport negotiates their links down to text.
+  virtual bool AcceptsBinaryWire() const { return true; }
 
   /// Local storage (Scan resolves here; the federation layer registers
   /// shipped intermediates here too).
@@ -51,12 +73,26 @@ class Provider {
 
  protected:
   InMemoryCatalog catalog_;
+
+ private:
+  Result<Dataset> ExecuteWireBody(std::string_view body);
+  Result<Dataset> ExecuteBound(
+      const Plan& plan,
+      const std::vector<std::pair<std::string_view, std::string_view>>&
+          bindings);
+  PlanPtr LookupCachedPlan(uint64_t fingerprint);
+  void CachePlan(uint64_t fingerprint, PlanPtr plan);
+
+  std::mutex cache_mu_;
+  std::map<uint64_t, PlanPtr> plan_cache_;
+  std::deque<uint64_t> plan_cache_order_;  // insertion order, for eviction
 };
 
 using ProviderPtr = std::shared_ptr<Provider>;
 
-/// Factory helpers.
-ProviderPtr MakeReferenceProvider();
+/// Factory helpers. `text_only` makes the reference provider behave like a
+/// legacy peer that never learned NXB1 (negotiation-fallback tests).
+ProviderPtr MakeReferenceProvider(bool text_only = false);
 ProviderPtr MakeRelationalProvider();
 ProviderPtr MakeArrayProvider();
 ProviderPtr MakeLinalgProvider();

@@ -10,20 +10,30 @@ namespace {
 
 class ReferenceProvider : public Provider {
  public:
+  explicit ReferenceProvider(bool text_only) : text_only_(text_only) {}
+
   std::string name() const override { return "reference"; }
 
   bool Claims(OpKind) const override { return true; }
+
+  // As the compatibility backstop, the reference provider can also stand in
+  // for a legacy peer that predates NXB1: with text_only it advertises no
+  // binary support and the transport keeps its links on the textual wire.
+  bool AcceptsBinaryWire() const override { return !text_only_; }
 
   Result<Dataset> Execute(const Plan& plan) override {
     ReferenceExecutor exec(&catalog_);
     return exec.Execute(plan);
   }
+
+ private:
+  const bool text_only_;
 };
 
 }  // namespace
 
-ProviderPtr MakeReferenceProvider() {
-  return std::make_shared<ReferenceProvider>();
+ProviderPtr MakeReferenceProvider(bool text_only) {
+  return std::make_shared<ReferenceProvider>(text_only);
 }
 
 }  // namespace nexus

@@ -22,6 +22,10 @@ class RelationalProvider : public Provider {
  public:
   std::string name() const override { return "relstore"; }
 
+  // relstore speaks NXB1 natively: its operands live in the same
+  // columnar vectors the wire blocks are lifted from.
+  bool AcceptsBinaryWire() const override { return true; }
+
   bool Claims(OpKind kind) const override {
     // Window would need per-cell range self-joins; left to array providers
     // (the planner routes around it — "a combination of such systems").

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/serialize.h"
+#include "core/wire_format.h"
 #include "exec/reference_executor.h"
 #include "expr/builder.h"
 #include "federation/coordinator.h"
@@ -164,9 +166,16 @@ TEST_F(FederationTest, DirectTransferBypassesClient) {
   // client only in relay mode; both modes pay the final result delivery.
   EXPECT_LT(dm.bytes_through_client, rm.bytes_through_client);
   EXPECT_GT(rm.data_messages, dm.data_messages);
-  // Total intermediate bytes are identical; relay pays them twice.
-  int64_t intermediate_direct = dm.data_bytes - d1.ByteSize();
-  int64_t intermediate_relay = rm.data_bytes - d2.ByteSize();
+  // Total intermediate bytes are identical; relay pays them twice. Data is
+  // metered at its serialized wire size, so the result delivery (identical
+  // in both modes) is isolated the same way.
+  int64_t result_wire = static_cast<int64_t>(
+      SerializeDatasetWire(d1, cluster_->transport()->NegotiatedFormat(
+                                   "linalg", kClientNode))
+          .size());
+  int64_t intermediate_direct = dm.data_bytes - result_wire;
+  int64_t intermediate_relay = rm.data_bytes - result_wire;
+  EXPECT_GT(intermediate_direct, 0);
   EXPECT_EQ(intermediate_relay, 2 * intermediate_direct);
 }
 
@@ -529,6 +538,210 @@ TEST_F(FederationTest, DownWindowPlusDropsAcceptance) {
   }
   EXPECT_GT(retries, 0);
   EXPECT_GE(failovers, 1);
+}
+
+// --- Binary wire format + plan-fingerprint cache (E13) ---------------------
+
+TEST_F(FederationTest, BinaryWireMatchesTextResultsAndMovesFewerBytes) {
+  PlanPtr q = Plan::Join(
+      Plan::Scan("orders"),
+      Plan::Unbox(Plan::Regrid(Plan::Scan("M"), {{"i", 4}, {"k", 16}},
+                               AggFunc::kSum)),
+      JoinType::kInner, {"sensor"}, {"i"});
+
+  SetWireFormatOverride(WireFormat::kText);
+  Coordinator text_coord(cluster_.get());
+  ExecutionMetrics text_m;
+  Result<Dataset> text_r = text_coord.Execute(q, &text_m);
+  ClearWireFormatOverride();
+  ASSERT_OK(text_r.status());
+
+  Coordinator bin_coord(cluster_.get());
+  ExecutionMetrics bin_m;
+  ASSERT_OK_AND_ASSIGN(Dataset bin_d, bin_coord.Execute(q, &bin_m));
+
+  // Value identity across formats, against each other and the reference.
+  EXPECT_TRUE(bin_d.LogicallyEquals(text_r.ValueOrDie()));
+  EXPECT_TRUE(bin_d.LogicallyEquals(ReferenceResult(q)));
+  // Same conversation shape, smaller payloads.
+  EXPECT_EQ(bin_m.messages, text_m.messages);
+  EXPECT_LT(bin_m.bytes_total, text_m.bytes_total);
+}
+
+TEST_F(FederationTest, TextOnlyPeerNegotiatesFallbackAndStillAnswers) {
+  auto cluster = std::make_unique<Cluster>();
+  ASSERT_OK(cluster->AddServer("modern", MakeRelationalProvider()));
+  ASSERT_OK(cluster->AddServer(
+      "legacy", MakeReferenceProvider(/*text_only=*/true)));
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64),
+                            Field::Attr("y", DataType::kFloat64)});
+  TablePtr t = MakeTable(s, {{I(1), F(2.0)}, {I(2), F(4.0)}, {I(3), F(8.0)}});
+  ASSERT_OK(cluster->PutData("legacy", "t", Dataset(t)));
+
+  EXPECT_EQ(cluster->transport()->NegotiatedFormat("legacy", kClientNode),
+            WireFormat::kText);
+  EXPECT_EQ(cluster->transport()->NegotiatedFormat("modern", kClientNode),
+            WireFormat::kBinary);
+
+  Coordinator coord(cluster.get());
+  PlanPtr q = Plan::Aggregate(Plan::Scan("t"), {},
+                              {AggSpec{AggFunc::kSum, Col("y"), "total"}});
+  ASSERT_OK_AND_ASSIGN(Dataset d, coord.Execute(q));
+  ASSERT_EQ(d.table()->num_rows(), 1);
+  ASSERT_OK_AND_ASSIGN(const Column* total, d.table()->ColumnByName("total"));
+  EXPECT_DOUBLE_EQ(total->GetValue(0).AsDouble(), 14.0);
+}
+
+TEST_F(FederationTest, RepeatedExecuteHitsProviderPlanCache) {
+  PlanPtr q = Plan::Aggregate(
+      Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(50.0))),
+      {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+
+  Coordinator coord(cluster_.get());
+  ExecutionMetrics m1, m2;
+  ASSERT_OK_AND_ASSIGN(Dataset d1, coord.Execute(q, &m1));
+  ASSERT_OK_AND_ASSIGN(Dataset d2, coord.Execute(q, &m2));
+  EXPECT_TRUE(d1.LogicallyEquals(d2));
+
+  // First execution ships the full plan (a cache miss on the provider);
+  // the second sends a fixed-size fingerprint reference.
+  EXPECT_EQ(m1.plan_cache_hits, 0);
+  EXPECT_GE(m1.plan_cache_misses, 1);
+  EXPECT_GE(m2.plan_cache_hits, 1);
+  EXPECT_GT(m2.wire_bytes_saved, 0);
+  EXPECT_LT(m2.plan_bytes, m1.plan_bytes);
+
+  // With the cache off, repeat executions keep re-shipping the full plan.
+  CoordinatorOptions off;
+  off.plan_cache = false;
+  Coordinator cold(cluster_.get(), off);
+  ExecutionMetrics c1, c2;
+  ASSERT_OK(cold.Execute(q, &c1).status());
+  ASSERT_OK(cold.Execute(q, &c2).status());
+  EXPECT_EQ(c1.plan_cache_hits, 0);
+  EXPECT_EQ(c2.plan_cache_hits, 0);
+  EXPECT_EQ(c2.plan_bytes, c1.plan_bytes);
+}
+
+TEST_F(FederationTest, ClientLoopShipsBodyOnceAndBindingsPerRound) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  ASSERT_OK(cluster_->PutData("relstore", "state0",
+                              Dataset(MakeTable(s, {{F(1024.0)}}))));
+  IterateOp op;
+  op.body = Plan::Rename(
+      Plan::Project(
+          Plan::Extend(Plan::LoopVar(), {{"h", Div(Col("v"), Lit(2.0))}}),
+          {"h"}),
+      {{"h", "v"}});
+  op.max_iters = 8;
+  PlanPtr it = Plan::Iterate(Plan::Scan("state0"), op);
+
+  CoordinatorOptions cached;
+  cached.provider_side_iteration = false;
+  cached.plan_cache = true;
+  Coordinator hot(cluster_.get(), cached);
+  ExecutionMetrics hot_m;
+  ASSERT_OK_AND_ASSIGN(Dataset hot_d, hot.Execute(it, &hot_m));
+
+  CoordinatorOptions uncached = cached;
+  uncached.plan_cache = false;
+  Coordinator cold(cluster_.get(), uncached);
+  ExecutionMetrics cold_m;
+  ASSERT_OK_AND_ASSIGN(Dataset cold_d, cold.Execute(it, &cold_m));
+
+  // Identical fixpoint either way: 1024 / 2^8 = 4.
+  EXPECT_TRUE(hot_d.LogicallyEquals(cold_d));
+  ASSERT_OK_AND_ASSIGN(const Column* vc, hot_d.table()->ColumnByName("v"));
+  EXPECT_DOUBLE_EQ(vc->GetValue(0).AsDouble(), 4.0);
+
+  // The body template travels once; rounds 2..8 hit the provider cache.
+  EXPECT_GE(hot_m.plan_cache_hits, op.max_iters - 1);
+  EXPECT_EQ(cold_m.plan_cache_hits, 0);
+  EXPECT_LT(hot_m.plan_bytes, cold_m.plan_bytes);
+  // Same loop, same conversation shape: only payload contents changed.
+  EXPECT_EQ(hot_m.messages, cold_m.messages);
+
+  // The cache shows up in the human-readable execution report.
+  ASSERT_OK_AND_ASSIGN(std::string report, hot.ExplainAnalyze(it));
+  EXPECT_NE(report.find("plan-cache"), std::string::npos) << report;
+}
+
+// Chaos determinism: the fault model draws once per message, so identical
+// conversations must yield identical fault decisions regardless of wire
+// format or plan caching. Each arm gets a fresh, identically seeded cluster
+// because the fault RNG advances with every message ever sent through it.
+class WireChaosTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<Cluster> BuildCluster() {
+    auto cluster = std::make_unique<Cluster>();
+    EXPECT_OK(cluster->AddServer("relstore", MakeRelationalProvider()));
+    EXPECT_OK(cluster->AddServer("reference", MakeReferenceProvider()));
+    Rng rng(3);
+    SchemaPtr orders = MakeSchema({Field::Attr("sensor", DataType::kInt64),
+                                   Field::Attr("amount", DataType::kFloat64)});
+    TableBuilder ob(orders);
+    for (int64_t i = 0; i < 120; ++i) {
+      EXPECT_OK(
+          ob.AppendRow({I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 100))}));
+    }
+    EXPECT_OK(cluster->PutData("relstore", "orders",
+                               Dataset(ob.Finish().ValueOrDie())));
+    SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+    EXPECT_OK(cluster->PutData("relstore", "state0",
+                               Dataset(MakeTable(s, {{F(512.0)}}))));
+    return cluster;
+  }
+
+  // Runs the same lossy workload and returns the fault decision sequence:
+  // (what, from, to) only — payload sizes legitimately differ across arms.
+  static std::vector<std::string> RunArm(WireFormat format, bool plan_cache) {
+    std::unique_ptr<Cluster> cluster = BuildCluster();
+    if (format == WireFormat::kText) SetWireFormatOverride(WireFormat::kText);
+    FaultOptions f;
+    f.enabled = true;
+    f.drop_probability = 0.08;
+    f.latency_spike_probability = 0.1;
+    f.seed = 11;
+    cluster->transport()->SetFaultOptions(f);
+
+    CoordinatorOptions opts;
+    opts.thread_count = 1;  // sequential dispatch, reproducible trace
+    opts.plan_cache = plan_cache;
+    opts.provider_side_iteration = false;
+    opts.retry.max_attempts = 10;
+    Coordinator coord(cluster.get(), opts);
+
+    PlanPtr agg = Plan::Aggregate(
+        Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(25.0))),
+        {"sensor"}, {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+    IterateOp op;
+    op.body = Plan::Rename(
+        Plan::Project(
+            Plan::Extend(Plan::LoopVar(), {{"h", Div(Col("v"), Lit(2.0))}}),
+            {"h"}),
+        {{"h", "v"}});
+    op.max_iters = 6;
+    PlanPtr loop = Plan::Iterate(Plan::Scan("state0"), op);
+
+    EXPECT_OK(coord.Execute(agg).status());
+    EXPECT_OK(coord.Execute(agg).status());  // cached arm sends EXEC refs here
+    EXPECT_OK(coord.Execute(loop).status());
+    if (format == WireFormat::kText) ClearWireFormatOverride();
+
+    std::vector<std::string> decisions;
+    for (const FaultEvent& e : cluster->transport()->fault_log()) {
+      decisions.push_back(e.what + " " + e.from + "->" + e.to);
+    }
+    return decisions;
+  }
+};
+
+TEST_F(WireChaosTest, FaultDecisionsInvariantAcrossWireFormatAndCache) {
+  std::vector<std::string> base = RunArm(WireFormat::kBinary, true);
+  EXPECT_FALSE(base.empty());  // the arm must actually exercise faults
+  EXPECT_EQ(RunArm(WireFormat::kText, true), base);
+  EXPECT_EQ(RunArm(WireFormat::kBinary, false), base);
+  EXPECT_EQ(RunArm(WireFormat::kText, false), base);
 }
 
 }  // namespace

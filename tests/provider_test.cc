@@ -8,6 +8,8 @@
 #include "core/expansion.h"
 #include "core/schema_inference.h"
 #include "expr/builder.h"
+#include "core/serialize.h"
+#include "core/wire_format.h"
 #include "provider/provider.h"
 #include "tests/test_util.h"
 
@@ -272,6 +274,127 @@ TEST_F(ProviderTest, UnclaimedPlanFailsCleanly) {
   auto st = graphd_->Execute(*join);
   EXPECT_FALSE(st.ok());
   EXPECT_TRUE(st.status().IsUnsupported()) << st.status();
+}
+
+// --- Plan-cache envelope protocol -----------------------------------------
+//
+// The coordinator ships %NXB1-PLAN (full plan, cache it) and later
+// %NXB1-EXEC (fingerprint reference). These tests pin the provider half of
+// that contract: store-then-exec equivalence, the miss marker for unknown
+// fingerprints, binding registration hygiene, and FIFO eviction.
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    provider_ = MakeReferenceProvider();
+    SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+    TablePtr t = MakeTable(s, {{I(1)}, {I(2)}, {I(3)}});
+    ASSERT_OK(provider_->catalog()->Put("t", Dataset(t)));
+  }
+
+  ProviderPtr provider_;
+};
+
+TEST_F(PlanCacheTest, StoreThenExecByFingerprintMatchesDirectExecution) {
+  PlanPtr plan = Plan::Limit(Plan::Scan("t"), 2);
+  std::string wire = SerializePlanWire(*plan, WireFormat::kBinary);
+  uint64_t fp = FingerprintWire(wire);
+  ASSERT_NE(fp, 0u);
+
+  ASSERT_OK_AND_ASSIGN(
+      Dataset stored,
+      provider_->ExecuteWire(
+          BuildWireEnvelope(WireEnvelope::Kind::kPlanStore, fp, {}, wire)));
+  ASSERT_OK_AND_ASSIGN(
+      Dataset cached,
+      provider_->ExecuteWire(
+          BuildWireEnvelope(WireEnvelope::Kind::kExecCached, fp, {}, "")));
+  ASSERT_OK_AND_ASSIGN(Dataset direct, provider_->Execute(*plan));
+  EXPECT_TRUE(stored.LogicallyEquals(direct));
+  EXPECT_TRUE(cached.LogicallyEquals(direct));
+}
+
+TEST_F(PlanCacheTest, UnknownFingerprintIsNotFoundWithMissMarker) {
+  Result<Dataset> r = provider_->ExecuteWire(BuildWireEnvelope(
+      WireEnvelope::Kind::kExecCached, 0xdeadbeefcafe, {}, ""));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find(kPlanCacheMissMarker),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(PlanCacheTest, BindingsAreVisibleDuringExecutionAndDroppedAfter) {
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kFloat64)});
+  Dataset bound(MakeTable(s, {{F(64.0)}}));
+  std::string bound_wire = SerializeDatasetWire(bound, WireFormat::kBinary);
+
+  PlanPtr plan = Plan::Scan("__nxbind_state");
+  std::string wire = SerializePlanWire(*plan, WireFormat::kBinary);
+  uint64_t fp = FingerprintWire(wire);
+
+  ASSERT_OK_AND_ASSIGN(
+      Dataset out,
+      provider_->ExecuteWire(BuildWireEnvelope(
+          WireEnvelope::Kind::kPlanStore, fp,
+          {{"__nxbind_state", bound_wire}}, wire)));
+  EXPECT_TRUE(out.LogicallyEquals(bound));
+  // The binding must not leak into the catalog after the call.
+  EXPECT_FALSE(provider_->catalog()->Get("__nxbind_state").ok());
+
+  // Re-exec by fingerprint with a different binding value: the cached plan
+  // runs against the new binding, not a stale one.
+  Dataset bound2(MakeTable(s, {{F(32.0)}}));
+  ASSERT_OK_AND_ASSIGN(
+      Dataset out2,
+      provider_->ExecuteWire(BuildWireEnvelope(
+          WireEnvelope::Kind::kExecCached, fp,
+          {{"__nxbind_state",
+            SerializeDatasetWire(bound2, WireFormat::kBinary)}},
+          "")));
+  EXPECT_TRUE(out2.LogicallyEquals(bound2));
+}
+
+TEST_F(PlanCacheTest, FifoEvictionForgetsOldestPlan) {
+  // Cache the victim, then flood the cache with kPlanCacheCapacity distinct
+  // plans so the victim is evicted; its fingerprint must then miss.
+  PlanPtr victim = Plan::Scan("t");
+  std::string victim_wire = SerializePlanWire(*victim, WireFormat::kBinary);
+  uint64_t victim_fp = FingerprintWire(victim_wire);
+  ASSERT_OK(provider_
+                ->ExecuteWire(BuildWireEnvelope(WireEnvelope::Kind::kPlanStore,
+                                                victim_fp, {}, victim_wire))
+                .status());
+
+  for (size_t i = 0; i < Provider::kPlanCacheCapacity; ++i) {
+    PlanPtr filler =
+        Plan::Limit(Plan::Scan("t"), static_cast<int64_t>(i + 1));
+    std::string w = SerializePlanWire(*filler, WireFormat::kBinary);
+    ASSERT_OK(provider_
+                  ->ExecuteWire(BuildWireEnvelope(
+                      WireEnvelope::Kind::kPlanStore, FingerprintWire(w), {},
+                      w))
+                  .status());
+  }
+
+  Result<Dataset> r = provider_->ExecuteWire(BuildWireEnvelope(
+      WireEnvelope::Kind::kExecCached, victim_fp, {}, ""));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find(kPlanCacheMissMarker),
+            std::string::npos);
+}
+
+TEST(ProviderWireTest, TextOnlyProviderRefusesNothingButAdvertisesText) {
+  ProviderPtr legacy = MakeReferenceProvider(/*text_only=*/true);
+  EXPECT_FALSE(legacy->AcceptsBinaryWire());
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  ASSERT_OK(legacy->catalog()->Put("t", Dataset(MakeTable(s, {{I(7)}}))));
+  // A text plan wire still executes fine.
+  std::string wire =
+      SerializePlanWire(*Plan::Scan("t"), WireFormat::kText);
+  ASSERT_OK_AND_ASSIGN(Dataset d, legacy->ExecuteWire(wire));
+  EXPECT_EQ(d.table()->num_rows(), 1);
 }
 
 }  // namespace

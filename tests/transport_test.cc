@@ -83,5 +83,44 @@ TEST(ClusterTest, HoldersReflectCatalogs) {
   EXPECT_FALSE(c.PutData("zz", "t", Dataset(Table::Empty(s))).ok());
 }
 
+TEST(TransportTest, WireFormatNegotiationRequiresBothEndsBinary) {
+  Transport t;
+  t.SetNodeBinaryCapable("modern", true);
+  t.SetNodeBinaryCapable("legacy", false);
+  // Both ends binary-capable (the client is never registered and is always
+  // capable) -> binary.
+  EXPECT_EQ(t.NegotiatedFormat("modern", kClientNode), WireFormat::kBinary);
+  EXPECT_EQ(t.NegotiatedFormat(kClientNode, "modern"), WireFormat::kBinary);
+  // Unregistered endpoints are assumed capable: absence means "no objection".
+  EXPECT_EQ(t.NegotiatedFormat("modern", "never-registered"),
+            WireFormat::kBinary);
+  // A text-only end drags any pairing down to text.
+  EXPECT_EQ(t.NegotiatedFormat("modern", "legacy"), WireFormat::kText);
+  EXPECT_EQ(t.NegotiatedFormat("legacy", kClientNode), WireFormat::kText);
+  EXPECT_EQ(t.NegotiatedFormat("legacy", "legacy"), WireFormat::kText);
+}
+
+TEST(TransportTest, ProcessWideTextPinOverridesNegotiation) {
+  Transport t;
+  t.SetNodeBinaryCapable("modern", true);
+  SetWireFormatOverride(WireFormat::kText);
+  EXPECT_EQ(t.NegotiatedFormat("modern", kClientNode), WireFormat::kText);
+  ClearWireFormatOverride();
+  EXPECT_EQ(t.NegotiatedFormat("modern", kClientNode), WireFormat::kBinary);
+}
+
+TEST(ClusterTest, AddServerRegistersBinaryCapability) {
+  Cluster c;
+  ASSERT_OK(c.AddServer("modern", MakeReferenceProvider()));
+  ASSERT_OK(c.AddServer("legacy", MakeReferenceProvider(/*text_only=*/true)));
+  EXPECT_EQ(c.transport()->NegotiatedFormat("modern", kClientNode),
+            WireFormat::kBinary);
+  EXPECT_EQ(c.transport()->NegotiatedFormat("legacy", kClientNode),
+            WireFormat::kText);
+  EXPECT_EQ(c.transport()->NegotiatedFormat("modern", "legacy"),
+            WireFormat::kText);
+}
+
+
 }  // namespace
 }  // namespace nexus
