@@ -34,6 +34,7 @@ struct CellResult {
   int64_t messages = 0;
   int64_t wasted_bytes = 0;
   double sim_seconds = 0.0;
+  OptimizerStats opt;
 };
 
 void LoadData(Cluster* cluster) {
@@ -111,6 +112,7 @@ CellResult RunCell(double drop_probability, bool with_down_window,
   }
   cell.wasted_bytes = cluster.transport()->failed_bytes();
   cell.sim_seconds = cluster.transport()->simulated_seconds();
+  cell.opt = coord.last_optimizer_stats();
   return cell;
 }
 
@@ -129,6 +131,7 @@ int main() {
     json.RecordFederated(std::string("drop_") + label + "_sim", c.attempted,
                          c.sim_seconds * 1e3, c.fragments, c.messages,
                          c.retries);
+    json.AnnotateOptimizer(c.opt);
     std::printf("%9s | %6d/%2d %8lld %9lld %8lld | %10s %9.2f %8.2fx\n", label,
                 c.completed, c.attempted, static_cast<long long>(c.retries),
                 static_cast<long long>(c.failovers),

@@ -97,8 +97,11 @@ int main() {
     double ms_direct = t3.ElapsedMillis();
 
     json.Record("as_written", n * n, ms_off);
+    json.AnnotateOptimizer(coord_off.last_optimizer_stats());
     json.Record("recognized", n * n, ms_on);
+    json.AnnotateOptimizer(coord_on.last_optimizer_stats());
     json.Record("intent_op", n * n, ms_direct);
+    json.AnnotateOptimizer(coord_on.last_optimizer_stats());
     NEXUS_CHECK(as_written.LogicallyEquals(recognized)) << "n=" << n;
     std::printf("%6lld  %14.2f  %14.2f  %8.2fx  %14.2f\n",
                 static_cast<long long>(n), ms_off, ms_on, ms_off / ms_on,

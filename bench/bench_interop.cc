@@ -78,7 +78,9 @@ int main() {
 
     NEXUS_CHECK(r1.LogicallyEquals(r2));
     json.Record("direct_sim", n * n, dm.simulated_seconds * 1e3);
+    json.AnnotateOptimizer(dc.last_optimizer_stats());
     json.Record("relay_sim", n * n, rm.simulated_seconds * 1e3);
+    json.AnnotateOptimizer(rc.last_optimizer_stats());
     int64_t intermediate = dm.data_bytes - r1.ByteSize();
     double ratio = dm.bytes_through_client > 0
                        ? static_cast<double>(rm.bytes_through_client) /

@@ -90,12 +90,15 @@ int main() {
     NEXUS_CHECK(t1->num_rows() == t2->num_rows());
     NEXUS_CHECK(t2->num_rows() == t3->num_rows());
     json.Record("provider_side_sim", nodes, sm.simulated_seconds * 1e3);
+    json.AnnotateOptimizer(sc.last_optimizer_stats());
     json.RecordWire("client_driven_sim", nodes, cm.simulated_seconds * 1e3,
                     cm.fragments, cm.messages, cm.retries, cm.bytes_total,
                     cm.plan_cache_hits);
+    json.AnnotateOptimizer(cc.last_optimizer_stats());
     json.RecordWire("client_nocache_sim", nodes, nm.simulated_seconds * 1e3,
                     nm.fragments, nm.messages, nm.retries, nm.bytes_total,
                     nm.plan_cache_hits);
+    json.AnnotateOptimizer(nc.last_optimizer_stats());
     cache_rows.push_back({nodes, cm.plan_bytes, nm.plan_bytes,
                           cm.plan_cache_hits, cm.simulated_seconds,
                           nm.simulated_seconds});

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "optimizer/optimizer.h"
 
 namespace nexus {
 namespace benchjson {
@@ -29,9 +30,12 @@ class Recorder {
   /// Appends one measurement. threads <= 0 records the process-wide budget.
   void Record(const std::string& op, long long rows, double wall_ms,
               int threads = 0) {
-    entries_.push_back(Entry{op, rows, wall_ms,
-                             threads > 0 ? threads : GetThreadCount(), 0, 0, 0,
-                             0, 0});
+    Entry e;
+    e.op = op;
+    e.rows = rows;
+    e.wall_ms = wall_ms;
+    e.threads = threads > 0 ? threads : GetThreadCount();
+    entries_.push_back(std::move(e));
   }
 
   /// Federation measurement: also records the per-call ExecutionMetrics
@@ -39,9 +43,11 @@ class Recorder {
   void RecordFederated(const std::string& op, long long rows, double wall_ms,
                        long long fragments, long long messages,
                        long long retries, int threads = 0) {
-    entries_.push_back(Entry{op, rows, wall_ms,
-                             threads > 0 ? threads : GetThreadCount(), fragments,
-                             messages, retries, 0, 0});
+    Record(op, rows, wall_ms, threads);
+    Entry& e = entries_.back();
+    e.fragments = fragments;
+    e.messages = messages;
+    e.retries = retries;
   }
 
   /// Wire-level measurement (E13): federation counts plus the bytes that
@@ -51,9 +57,19 @@ class Recorder {
                   long long fragments, long long messages, long long retries,
                   long long bytes_on_wire, long long plan_cache_hits,
                   int threads = 0) {
-    entries_.push_back(Entry{op, rows, wall_ms,
-                             threads > 0 ? threads : GetThreadCount(), fragments,
-                             messages, retries, bytes_on_wire, plan_cache_hits});
+    RecordFederated(op, rows, wall_ms, fragments, messages, retries, threads);
+    Entry& e = entries_.back();
+    e.bytes_on_wire = bytes_on_wire;
+    e.plan_cache_hits = plan_cache_hits;
+  }
+
+  /// Attaches the optimizer's pass counters to the most recent measurement
+  /// (E7/E14: what the planner did, next to what the run cost).
+  void AnnotateOptimizer(const OptimizerStats& s) {
+    if (entries_.empty()) return;
+    Entry& e = entries_.back();
+    e.has_optimizer = true;
+    e.opt = s;
   }
 
   /// Writes BENCH_<bench>.json into the working directory. The destructor
@@ -70,10 +86,26 @@ class Recorder {
                    "    {\"op\": \"%s\", \"rows\": %lld, \"wall_ms\": %.6f, "
                    "\"threads\": %d, \"fragments\": %lld, \"messages\": %lld, "
                    "\"retries\": %lld, \"bytes_on_wire\": %lld, "
-                   "\"plan_cache_hits\": %lld}%s\n",
+                   "\"plan_cache_hits\": %lld",
                    Escaped(e.op).c_str(), e.rows, e.wall_ms, e.threads,
                    e.fragments, e.messages, e.retries, e.bytes_on_wire,
-                   e.plan_cache_hits, i + 1 < entries_.size() ? "," : "");
+                   e.plan_cache_hits);
+      if (e.has_optimizer) {
+        std::fprintf(f,
+                     ", \"selections_pushed\": %lld, "
+                     "\"intents_recognized\": %lld, "
+                     "\"projects_inserted\": %lld, "
+                     "\"expressions_folded\": %lld, "
+                     "\"joins_reordered\": %lld, "
+                     "\"estimated_rows_root\": %lld",
+                     static_cast<long long>(e.opt.selections_pushed),
+                     static_cast<long long>(e.opt.intents_recognized),
+                     static_cast<long long>(e.opt.projects_inserted),
+                     static_cast<long long>(e.opt.expressions_folded),
+                     static_cast<long long>(e.opt.joins_reordered),
+                     static_cast<long long>(e.opt.estimated_rows_root));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -82,16 +114,19 @@ class Recorder {
  private:
   struct Entry {
     std::string op;
-    long long rows;
-    double wall_ms;
-    int threads;
+    long long rows = 0;
+    double wall_ms = 0.0;
+    int threads = 0;
     // Federation accounting (zero for pure-engine benches).
-    long long fragments;
-    long long messages;
-    long long retries;
+    long long fragments = 0;
+    long long messages = 0;
+    long long retries = 0;
     // Wire-level accounting (zero unless recorded via RecordWire).
-    long long bytes_on_wire;
-    long long plan_cache_hits;
+    long long bytes_on_wire = 0;
+    long long plan_cache_hits = 0;
+    // Optimizer pass counters (present only after AnnotateOptimizer).
+    bool has_optimizer = false;
+    OptimizerStats opt;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -12,6 +12,7 @@
 //       engine.
 #include <cstdio>
 #include <string>
+#include <tuple>
 
 #include "bench_json.h"
 #include "common/logging.h"
@@ -103,13 +104,16 @@ int main() {
       NEXUS_CHECK(coord.Execute(combine).ok());  // warm-up
       WallTimer t;
       Dataset r = coord.Execute(combine).ValueOrDie();
-      return std::make_pair(t.ElapsedMillis(), r);
+      return std::make_tuple(t.ElapsedMillis(), r,
+                             coord.last_optimizer_stats());
     };
-    auto [array_ms, r1] = run_on("arraydb", MakeArrayProvider());
-    auto [rel_ms, r2] = run_on("relstore", MakeRelationalProvider());
+    auto [array_ms, r1, opt1] = run_on("arraydb", MakeArrayProvider());
+    auto [rel_ms, r2, opt2] = run_on("relstore", MakeRelationalProvider());
     NEXUS_CHECK(r1.LogicallyEquals(r2));
     json.Record("elemwise_arraydb", a->num_rows(), array_ms);
+    json.AnnotateOptimizer(opt1);
     json.Record("elemwise_relstore", a->num_rows(), rel_ms);
+    json.AnnotateOptimizer(opt2);
     std::printf("%8.2f %9lld  %12.2f  %14.2f  %8.2fx\n", density,
                 static_cast<long long>(a->num_rows()), array_ms, rel_ms,
                 rel_ms / array_ms);

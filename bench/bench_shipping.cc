@@ -111,8 +111,10 @@ int main() {
     NEXUS_CHECK(r1.LogicallyEquals(r2));
     json.RecordFederated("tree_sim", rows, tree.simulated_seconds * 1e3,
                          tree.fragments, tree.messages, tree.retries);
+    json.AnnotateOptimizer(coord.last_optimizer_stats());
     json.RecordFederated("perop_sim", rows, perop.simulated_seconds * 1e3,
                          perop.fragments, perop.messages, perop.retries);
+    json.AnnotateOptimizer(coord.last_optimizer_stats());
 
     std::printf(
         "%9lld | %5lld %10s %10s %8.2f | %5lld %10s %10s %8.2f | %6.2fx\n",
@@ -161,12 +163,15 @@ int main() {
     json.RecordWire("e13_text", rows, text_m.simulated_seconds * 1e3,
                     text_m.fragments, text_m.messages, text_m.retries,
                     text_m.bytes_total, text_m.plan_cache_hits);
+    json.AnnotateOptimizer(text_coord.last_optimizer_stats());
     json.RecordWire("e13_binary", rows, bin_m.simulated_seconds * 1e3,
                     bin_m.fragments, bin_m.messages, bin_m.retries,
                     bin_m.bytes_total, bin_m.plan_cache_hits);
+    json.AnnotateOptimizer(bin_coord.last_optimizer_stats());
     json.RecordWire("e13_binary_repeat", rows, rep_m.simulated_seconds * 1e3,
                     rep_m.fragments, rep_m.messages, rep_m.retries,
                     rep_m.bytes_total, rep_m.plan_cache_hits);
+    json.AnnotateOptimizer(bin_coord.last_optimizer_stats());
 
     std::printf("%9lld | %10s %10s %5.1fx | %10s %6s %5lld\n",
                 static_cast<long long>(rows),

@@ -197,6 +197,7 @@ int main() {
         static_cast<long long>(m.messages), static_cast<long long>(m.retries));
     json.RecordFederated("traced_query_sim", spans, m.simulated_seconds * 1e3,
                          m.fragments, m.messages, m.retries, 1);
+    json.AnnotateOptimizer(coord.last_optimizer_stats());
     telemetry::ClearSpans();
   }
 

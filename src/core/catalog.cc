@@ -18,10 +18,18 @@ Result<Dataset> FindLocked(const std::map<std::string, Dataset>& entries,
 }
 }  // namespace
 
+Result<TableStats> Catalog::GetStats(const std::string& name) const {
+  return Status::NotFound(StrCat("no statistics for '", name, "'"));
+}
+
 Status InMemoryCatalog::Put(const std::string& name, Dataset data) {
   if (name.empty()) return Status::InvalidArgument("catalog name must be non-empty");
+  // Compute stats outside the lock: registration is the natural (and only
+  // cheap) moment to scan, and concurrent readers shouldn't wait on it.
+  TableStats stats = ComputeStats(data);
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_[name] = std::move(data);
+  stats_[name] = std::move(stats);
   return Status::OK();
 }
 
@@ -32,9 +40,36 @@ Result<Dataset> InMemoryCatalog::Get(const std::string& name) const {
 
 Status InMemoryCatalog::Drop(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.erase(name);
   if (entries_.erase(name) == 0) {
     return Status::NotFound(StrCat("no collection named '", name, "'"));
   }
+  return Status::OK();
+}
+
+Result<TableStats> InMemoryCatalog::GetStats(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    return Status::NotFound(StrCat("no statistics for '", name, "'"));
+  }
+  return it->second;
+}
+
+Status InMemoryCatalog::RefreshStats(const std::string& name) {
+  NEXUS_ASSIGN_OR_RETURN(Dataset d, Get(name));
+  TableStats stats = ComputeStats(d);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_[name] = std::move(stats);
+  return Status::OK();
+}
+
+Status InMemoryCatalog::OverrideStats(const std::string& name, TableStats stats) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.count(name) == 0) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  stats_[name] = std::move(stats);
   return Status::OK();
 }
 

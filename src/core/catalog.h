@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "optimizer/stats.h"
 #include "types/dataset.h"
 
 namespace nexus {
@@ -23,6 +24,10 @@ class Catalog {
 
   /// True when the collection exists.
   virtual bool Contains(const std::string& name) const = 0;
+
+  /// Statistics of the named collection, for cost-based planning. The base
+  /// implementation reports none; catalogs that store data override it.
+  virtual Result<TableStats> GetStats(const std::string& name) const;
 };
 
 /// Catalog backed by an in-memory map, also storing the data itself. This is
@@ -32,7 +37,10 @@ class Catalog {
 /// so lookups and temp registrations on one server's catalog can overlap.
 class InMemoryCatalog : public Catalog {
  public:
-  /// Registers or replaces a named collection.
+  /// Registers or replaces a named collection. Statistics are computed here
+  /// (one scan, NDV from a bounded sample) so every registered collection —
+  /// including the coordinator's fragment temps — is immediately plannable
+  /// with real numbers.
   Status Put(const std::string& name, Dataset data);
 
   /// The stored collection.
@@ -42,6 +50,14 @@ class InMemoryCatalog : public Catalog {
 
   Result<SchemaPtr> GetSchema(const std::string& name) const override;
   bool Contains(const std::string& name) const override;
+  Result<TableStats> GetStats(const std::string& name) const override;
+
+  /// Recomputes statistics for the named collection from its current data.
+  Status RefreshStats(const std::string& name);
+
+  /// Replaces the stored statistics wholesale (tests and what-if planning;
+  /// the next Put or RefreshStats of the name overwrites it again).
+  Status OverrideStats(const std::string& name, TableStats stats);
 
   /// Registered names in lexicographic order.
   std::vector<std::string> Names() const;
@@ -52,6 +68,7 @@ class InMemoryCatalog : public Catalog {
  private:
   mutable std::shared_mutex mu_;
   std::map<std::string, Dataset> entries_;
+  std::map<std::string, TableStats> stats_;
 };
 
 }  // namespace nexus

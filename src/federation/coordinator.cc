@@ -6,11 +6,14 @@
 
 #include <optional>
 
+#include <cmath>
+
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "core/schema_inference.h"
 #include "core/serialize.h"
+#include "optimizer/cardinality.h"
 #include "telemetry/explain.h"
 #include "telemetry/telemetry.h"
 
@@ -112,6 +115,14 @@ Result<SchemaPtr> FederatedCatalog::GetSchema(const std::string& name) const {
 
 bool FederatedCatalog::Contains(const std::string& name) const {
   return !cluster_->HoldersOf(name).empty();
+}
+
+Result<TableStats> FederatedCatalog::GetStats(const std::string& name) const {
+  std::vector<std::string> holders = cluster_->HoldersOf(name);
+  if (holders.empty()) {
+    return Status::NotFound(StrCat("no server holds '", name, "'"));
+  }
+  return cluster_->provider(holders[0])->catalog().GetStats(name);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +255,9 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
   std::lock_guard<std::recursive_mutex> lock(mu_);
   InferContext ctx;
   ctx.catalog = &fed_catalog_;
+  // Stats-based wire-byte estimates for cost-based placement. One memoizing
+  // estimator per planning pass: sibling candidates share subtrees.
+  CardinalityEstimator wire_est(&fed_catalog_);
 
   std::function<Result<std::string>(const PlanPtr&)> assign =
       [&](const PlanPtr& node) -> Result<std::string> {
@@ -309,13 +323,27 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
 
     // Regular operator: candidates are suitable servers. Score layers, most
     // significant first: locality beats specialization rank, which beats the
-    // ship-less tiebreak (host where the bulkier input already lives).
+    // wire-byte tiebreak. With cost_based_placement the tiebreak charges
+    // each candidate the estimated bytes it must pull across the wire
+    // (catalog statistics × NXB1 column widths); otherwise the legacy
+    // bulkier-input credit applies.
     bool intent_like = node->kind() == OpKind::kMatMul ||
                        node->kind() == OpKind::kPageRank ||
                        node->kind() == OpKind::kWindow;
     std::vector<int64_t> child_bytes(node->children().size(), 0);
+    int64_t total_child_bytes = 0;
     for (size_t i = 0; i < node->children().size(); ++i) {
-      child_bytes[i] = EstimateBytes(*node->children()[i]);
+      child_bytes[i] = -1;
+      if (options_.cost_based_placement) {
+        auto est = wire_est.Estimate(*node->children()[i]);
+        if (est.ok()) {
+          child_bytes[i] = static_cast<int64_t>(est.ValueOrDie().Bytes());
+        }
+      }
+      // Legacy byte-size heuristic when cost-based placement is off or the
+      // child is inestimable (e.g. a loop binding only the remote end knows).
+      if (child_bytes[i] < 0) child_bytes[i] = EstimateBytes(*node->children()[i]);
+      total_child_bytes += child_bytes[i];
     }
     std::string best;
     int64_t best_score = std::numeric_limits<int64_t>::max();
@@ -337,8 +365,14 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
       if (local && !(intent_like && options_.prefer_specialist)) {
         score -= 1000000000;
       }
-      // Ship-less tiebreak, bounded below one rank step.
-      score -= std::min<int64_t>(local_bytes / 64, 900000);
+      // Wire-byte tiebreak, bounded below one rank step.
+      if (options_.cost_based_placement) {
+        // Charge what this candidate would have to pull over.
+        score += std::min<int64_t>((total_child_bytes - local_bytes) / 64, 900000);
+      } else {
+        // Legacy: credit the host of the bulkier input.
+        score -= std::min<int64_t>(local_bytes / 64, 900000);
+      }
       if (score < best_score) {
         best_score = score;
         best = s;
@@ -361,8 +395,10 @@ Result<std::string> Coordinator::AssignServers(const PlanPtr& plan,
 Result<PlanPtr> Coordinator::Prepare(const PlanPtr& plan) {
   // Type-check against the federated catalog, then optimize.
   NEXUS_RETURN_NOT_OK(InferSchema(*plan, fed_catalog_).status());
+  last_optimizer_stats_ = OptimizerStats{};
   if (!options_.optimize) return plan;
-  return Optimize(plan, fed_catalog_, options_.optimizer);
+  return Optimize(plan, fed_catalog_, options_.optimizer,
+                  &last_optimizer_stats_);
 }
 
 int Coordinator::EffectiveThreads() const {
@@ -490,12 +526,20 @@ Result<Dataset> Coordinator::ShipAndRun(const std::string& server,
   WireFormat fmt =
       cluster_->transport()->NegotiatedFormat(kClientNode, server);
   std::string wire = SerializePlanWire(*fragment, fmt);
-  return ShipWire(server, wire, FingerprintWire(wire), {});
+  int64_t est_rows = telemetry::Enabled() ? EstimateFragmentRows(*fragment) : -1;
+  return ShipWire(server, wire, FingerprintWire(wire), {}, est_rows);
+}
+
+int64_t Coordinator::EstimateFragmentRows(const Plan& fragment) const {
+  auto est = EstimateCardinality(fragment, fed_catalog_);
+  if (!est.ok()) return -1;
+  return static_cast<int64_t>(std::llround(est.ValueOrDie()));
 }
 
 Result<Dataset> Coordinator::ShipWire(
     const std::string& server, const std::string& plan_wire, uint64_t fp,
-    const std::vector<std::pair<std::string, std::string>>& bindings) {
+    const std::vector<std::pair<std::string, std::string>>& bindings,
+    int64_t est_rows) {
   const bool cache = options_.plan_cache && fp != 0;
   bool have = false;
   if (cache) {
@@ -543,6 +587,9 @@ Result<Dataset> Coordinator::ShipWire(
       if (result.ok()) {
         span.AddCounter("rows", result.ValueOrDie().num_rows());
         span.AddCounter("bytes", result.ValueOrDie().ByteSize());
+        // Planner's guess next to the actual; EXPLAIN ANALYZE turns the
+        // pair into a per-fragment q-error.
+        if (est_rows >= 0) span.AddCounter("est_rows", est_rows);
       }
     }
     if (have && !result.ok() &&
@@ -1140,6 +1187,7 @@ Result<std::string> Coordinator::ExplainPlacement(const PlanPtr& plan) {
   Placement placement;
   NEXUS_RETURN_NOT_OK(AssignServers(prepared, &placement).status());
   std::string out;
+  CardinalityEstimator est(&fed_catalog_);
   std::function<void(const PlanPtr&, int)> print = [&](const PlanPtr& node,
                                                        int indent) {
     out.append(static_cast<size_t>(indent) * 2, ' ');
@@ -1149,6 +1197,12 @@ Result<std::string> Coordinator::ExplainPlacement(const PlanPtr& plan) {
         it == placement.assign.end() || it->second.empty() ? "inherit" : it->second;
     out += StrCat("  @", server);
     if (placement.client_loops.count(node.get()) != 0) out += " (client-driven)";
+    auto stats = est.Estimate(*node);
+    if (stats.ok()) {
+      out += StrCat("  est_rows=", std::llround(stats.ValueOrDie().rows),
+                    " est_bytes=",
+                    static_cast<int64_t>(stats.ValueOrDie().Bytes()));
+    }
     out += "\n";
     for (const PlanPtr& c : node->children()) print(c, indent + 1);
   };

@@ -68,6 +68,11 @@ struct CoordinatorOptions {
   bool provider_side_iteration = true;
   /// Route intent ops to specialist providers even when data is elsewhere.
   bool prefer_specialist = true;
+  /// Cost-based fragment placement (E14): break placement ties by the
+  /// estimated bytes each candidate server would pull across the wire
+  /// (cardinality × NXB1 row width from catalog statistics). Off = the
+  /// legacy "host where the bulkier input lives" heuristic.
+  bool cost_based_placement = true;
   /// Run the logical optimizer before planning.
   bool optimize = true;
   OptimizerOptions optimizer;
@@ -129,6 +134,10 @@ class FederatedCatalog : public Catalog {
   explicit FederatedCatalog(const Cluster* cluster) : cluster_(cluster) {}
   Result<SchemaPtr> GetSchema(const std::string& name) const override;
   bool Contains(const std::string& name) const override;
+  /// Statistics from the first holder's catalog — includes fragment temps
+  /// the coordinator registered mid-execution, which is how observed
+  /// actuals feed back into later planning rounds.
+  Result<TableStats> GetStats(const std::string& name) const override;
 
  private:
   const Cluster* cluster_;
@@ -168,6 +177,13 @@ class Coordinator {
   const CoordinatorOptions& options() const { return options_; }
   void set_options(const CoordinatorOptions& o) { options_ = o; }
 
+  /// What the optimizer did during the most recent Prepare (Execute /
+  /// ExecutePerOp / Explain*): pass counters plus the estimated root
+  /// cardinality. Zeroed when options().optimize is false.
+  const OptimizerStats& last_optimizer_stats() const {
+    return last_optimizer_stats_;
+  }
+
  private:
   struct Placement {
     std::map<const Plan*, std::string> assign;  // "" = flexible
@@ -187,7 +203,8 @@ class Coordinator {
   Result<PlanPtr> Prepare(const PlanPtr& plan);
   Result<std::string> AssignServers(const PlanPtr& plan, Placement* placement);
   /// Rough output-size estimate (bytes) used as the ship-less tiebreak in
-  /// placement: prefer hosting an operator where its bulkier input lives.
+  /// placement when cost_based_placement is off: prefer hosting an operator
+  /// where its bulkier input lives.
   int64_t EstimateBytes(const Plan& plan) const;
   bool ServerSuits(const std::string& server, const Plan& node,
                    const std::vector<SchemaPtr>& child_schemas) const;
@@ -200,6 +217,11 @@ class Coordinator {
   Result<PlanPtr> BuildFragment(const Plan* node, const std::string& server,
                                 Placement* placement);
   Result<Dataset> ShipAndRun(const std::string& server, const PlanPtr& fragment);
+  /// Estimated output rows of `fragment` against the federated catalog
+  /// (which sees temp stats, i.e. observed actuals), or -1 when the
+  /// estimator cannot resolve a leaf. Only evaluated while tracing, to
+  /// stamp est_rows (and thus q-error) onto fragment spans.
+  int64_t EstimateFragmentRows(const Plan& fragment) const;
   /// Ships an already-serialized plan wire (plus optional dataset bindings)
   /// to `server`, going through the plan-cache envelope when enabled: a
   /// fingerprint this coordinator already shipped there travels as a
@@ -207,7 +229,8 @@ class Coordinator {
   /// kPlanCacheMissMarker) falls back to re-shipping the full plan.
   Result<Dataset> ShipWire(
       const std::string& server, const std::string& plan_wire, uint64_t fp,
-      const std::vector<std::pair<std::string, std::string>>& bindings);
+      const std::vector<std::pair<std::string, std::string>>& bindings,
+      int64_t est_rows = -1);
   /// Sends `data` over the negotiated wire for (from, to): serialized once,
   /// metered at its actual encoded size, decoded on arrival.
   Result<Dataset> SendData(const std::string& from, const std::string& to,
@@ -304,6 +327,7 @@ class Coordinator {
   Cluster* cluster_;
   CoordinatorOptions options_;
   FederatedCatalog fed_catalog_;
+  OptimizerStats last_optimizer_stats_;
   Instruments ins_ = Instruments::Resolve();
   InstrumentBase base_;
   uint64_t last_trace_id_ = 0;

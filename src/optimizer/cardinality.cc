@@ -1,0 +1,567 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "core/schema_inference.h"
+
+namespace nexus {
+
+namespace {
+
+constexpr double kDefaultRows = 1000.0;  // scan with schema but no stats
+constexpr double kDefaultNdv = 100.0;
+constexpr double kUnknownComparisonSel = 1.0 / 3.0;
+constexpr double kUnknownPredicateSel = 0.5;
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+double ColumnNdv(const PlanStats& in, const std::string& name) {
+  auto it = in.columns.find(name);
+  if (it == in.columns.end() || it->second.distinct <= 0.0) {
+    return std::max(1.0, in.rows);  // unknown: assume all-distinct (no overlap)
+  }
+  return std::max(1.0, it->second.distinct);
+}
+
+double NonNullFraction(const PlanStats& in, const std::string& name) {
+  auto it = in.columns.find(name);
+  if (it == in.columns.end() || in.rows <= 0.0) return 1.0;
+  return Clamp01(1.0 - static_cast<double>(it->second.null_count) / in.rows);
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // eq/ne are symmetric
+  }
+}
+
+// col `op` literal, with the column on the left.
+double ColumnLiteralSelectivity(BinaryOp op, const std::string& col,
+                                const Value& lit, const PlanStats& in) {
+  double nonnull = NonNullFraction(in, col);
+  double ndv = ColumnNdv(in, col);
+  if (op == BinaryOp::kEq) return Clamp01(nonnull / ndv);
+  if (op == BinaryOp::kNe) return Clamp01(nonnull * (1.0 - 1.0 / ndv));
+  auto it = in.columns.find(col);
+  if (it == in.columns.end() || !it->second.has_minmax || !lit.is_numeric()) {
+    return Clamp01(nonnull * kUnknownComparisonSel);
+  }
+  double v = lit.AsDouble();
+  double lo = it->second.min, hi = it->second.max;
+  if (hi <= lo) {
+    // Single-point range: the comparison is decidable.
+    bool holds = (op == BinaryOp::kLt && lo < v) ||
+                 (op == BinaryOp::kLe && lo <= v) ||
+                 (op == BinaryOp::kGt && lo > v) ||
+                 (op == BinaryOp::kGe && lo >= v);
+    return holds ? nonnull : 0.0;
+  }
+  double frac = Clamp01((v - lo) / (hi - lo));
+  double point = 1.0 / ndv;  // width of one distinct value
+  switch (op) {
+    case BinaryOp::kLt: return Clamp01(nonnull * frac);
+    case BinaryOp::kLe: return Clamp01(nonnull * (frac + point));
+    case BinaryOp::kGt: return Clamp01(nonnull * (1.0 - frac - point));
+    case BinaryOp::kGe: return Clamp01(nonnull * (1.0 - frac));
+    default: return Clamp01(nonnull * kUnknownComparisonSel);
+  }
+}
+
+// Narrows per-column ranges/NDVs for conjuncts of the form col cmp literal,
+// so stacked filters and join keys downstream see the filtered domain.
+void NarrowByPredicate(const Expr& pred, PlanStats* out) {
+  if (pred.kind() == ExprKind::kBinary && pred.binary_op() == BinaryOp::kAnd) {
+    NarrowByPredicate(*pred.child(0), out);
+    NarrowByPredicate(*pred.child(1), out);
+    return;
+  }
+  if (pred.kind() != ExprKind::kBinary || !IsComparison(pred.binary_op())) return;
+  BinaryOp op = pred.binary_op();
+  const Expr* cref = pred.child(0).get();
+  const Expr* lref = pred.child(1).get();
+  if (cref->kind() != ExprKind::kColumnRef || lref->kind() != ExprKind::kLiteral) {
+    if (lref->kind() == ExprKind::kColumnRef &&
+        cref->kind() == ExprKind::kLiteral) {
+      std::swap(cref, lref);
+      op = FlipComparison(op);
+    } else {
+      return;
+    }
+  }
+  if (!lref->literal().is_numeric()) return;
+  auto it = out->columns.find(cref->column_name());
+  if (it == out->columns.end() || !it->second.has_minmax) return;
+  double v = lref->literal().AsDouble();
+  ColumnStats& c = it->second;
+  switch (op) {
+    case BinaryOp::kEq:
+      c.min = c.max = v;
+      c.distinct = 1.0;
+      break;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      c.max = std::min(c.max, v);
+      break;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      c.min = std::max(c.min, v);
+      break;
+    default:
+      break;
+  }
+  if (c.min > c.max) c.min = c.max;
+}
+
+// Caps per-column NDVs and null counts at the (new) output cardinality.
+void CapToRows(PlanStats* s) {
+  for (auto& [name, c] : s->columns) {
+    c.distinct = std::min(c.distinct, std::max(1.0, s->rows));
+    c.null_count = std::min<int64_t>(
+        c.null_count, static_cast<int64_t>(std::ceil(s->rows)));
+  }
+}
+
+PlanStats FromTableStats(const TableStats& t) {
+  PlanStats s;
+  s.rows = static_cast<double>(t.row_count);
+  s.columns = t.columns;
+  return s;
+}
+
+}  // namespace
+
+double PlanStats::RowWidth() const {
+  if (columns.empty()) return 8.0;
+  double w = 0.0;
+  for (const auto& [name, c] : columns) w += c.avg_width + 0.125;
+  return w;
+}
+
+double PlanStats::Bytes() const { return std::max(0.0, rows) * RowWidth(); }
+
+double EstimateSelectivity(const Expr& pred, const PlanStats& input) {
+  switch (pred.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = pred.literal();
+      if (v.is_null()) return 0.0;
+      if (v.is_bool()) return v.AsBool() ? 1.0 : 0.0;
+      return 1.0;
+    }
+    case ExprKind::kColumnRef:
+      return kUnknownPredicateSel;  // bare bool column
+    case ExprKind::kUnary:
+      if (pred.unary_op() == UnaryOp::kNot) {
+        return Clamp01(1.0 - EstimateSelectivity(*pred.child(0), input));
+      }
+      return kUnknownPredicateSel;
+    case ExprKind::kBinary: {
+      BinaryOp op = pred.binary_op();
+      if (op == BinaryOp::kAnd) {
+        return Clamp01(EstimateSelectivity(*pred.child(0), input) *
+                       EstimateSelectivity(*pred.child(1), input));
+      }
+      if (op == BinaryOp::kOr) {
+        double a = EstimateSelectivity(*pred.child(0), input);
+        double b = EstimateSelectivity(*pred.child(1), input);
+        return Clamp01(a + b - a * b);
+      }
+      if (!IsComparison(op)) return kUnknownPredicateSel;
+      const Expr& l = *pred.child(0);
+      const Expr& r = *pred.child(1);
+      if (l.kind() == ExprKind::kColumnRef && r.kind() == ExprKind::kLiteral) {
+        return ColumnLiteralSelectivity(op, l.column_name(), r.literal(), input);
+      }
+      if (r.kind() == ExprKind::kColumnRef && l.kind() == ExprKind::kLiteral) {
+        return ColumnLiteralSelectivity(FlipComparison(op), r.column_name(),
+                                        l.literal(), input);
+      }
+      if (l.kind() == ExprKind::kColumnRef && r.kind() == ExprKind::kColumnRef) {
+        if (op == BinaryOp::kEq) {
+          return Clamp01(1.0 / std::max(ColumnNdv(input, l.column_name()),
+                                        ColumnNdv(input, r.column_name())));
+        }
+        return kUnknownComparisonSel;
+      }
+      // ne over an opaque expression (mod, function, …): most rows survive.
+      if (op == BinaryOp::kNe) return 1.0 - kUnknownComparisonSel;
+      return kUnknownComparisonSel;
+    }
+    default:
+      return kUnknownPredicateSel;
+  }
+}
+
+PlanStats EstimateJoinStats(const PlanStats& left, const PlanStats& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys) {
+  PlanStats out;
+  // Containment assumption per key pair: matching values are the smaller
+  // distinct set, spread uniformly over the larger.
+  double sel = 1.0;
+  for (size_t i = 0; i < left_keys.size() && i < right_keys.size(); ++i) {
+    sel /= std::max(ColumnNdv(left, left_keys[i]),
+                    ColumnNdv(right, right_keys[i]));
+  }
+  out.rows = std::max(0.0, left.rows) * std::max(0.0, right.rows) * sel;
+  // Output columns: all of the left, then the right minus its key columns
+  // (the algebra drops them — they are redundant with the left keys).
+  out.columns = left.columns;
+  for (const auto& [name, c] : right.columns) {
+    if (std::find(right_keys.begin(), right_keys.end(), name) !=
+        right_keys.end()) {
+      continue;
+    }
+    out.columns.emplace(name, c);  // keeps left's entry on (invalid) clashes
+  }
+  // Surviving key columns take the overlap of both sides' domains — chained
+  // joins on the same key then see the already-restricted range.
+  for (size_t i = 0; i < left_keys.size() && i < right_keys.size(); ++i) {
+    auto lit = out.columns.find(left_keys[i]);
+    if (lit == out.columns.end()) continue;
+    auto rit = right.columns.find(right_keys[i]);
+    if (rit == right.columns.end()) continue;
+    lit->second.distinct =
+        std::min(std::max(1.0, lit->second.distinct),
+                 std::max(1.0, rit->second.distinct));
+    if (lit->second.has_minmax && rit->second.has_minmax) {
+      lit->second.min = std::max(lit->second.min, rit->second.min);
+      lit->second.max = std::min(lit->second.max, rit->second.max);
+      if (lit->second.min > lit->second.max) {
+        lit->second.min = lit->second.max;
+      }
+    }
+  }
+  CapToRows(&out);
+  return out;
+}
+
+Result<PlanStats> CardinalityEstimator::Estimate(const Plan& plan) {
+  auto it = memo_.find(&plan);
+  if (it != memo_.end()) return it->second;
+  NEXUS_ASSIGN_OR_RETURN(PlanStats s, Compute(plan));
+  memo_[&plan] = s;
+  return s;
+}
+
+Result<PlanStats> CardinalityEstimator::Compute(const Plan& plan) {
+  switch (plan.kind()) {
+    case OpKind::kScan: {
+      const std::string& table = plan.As<ScanOp>().table;
+      auto stats = catalog_->GetStats(table);
+      if (stats.ok()) return FromTableStats(stats.ValueOrDie());
+      // Schema known but never profiled (a catalog that only answers
+      // schemas): textbook defaults beat refusing to plan.
+      NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, catalog_->GetSchema(table));
+      PlanStats s;
+      s.rows = kDefaultRows;
+      for (const Field& f : schema->fields()) {
+        ColumnStats c;
+        c.distinct = kDefaultNdv;
+        c.avg_width = EstimatedWireWidth(f.type, 8.0);
+        s.columns[f.name] = c;
+      }
+      return s;
+    }
+    case OpKind::kValues:
+      return FromTableStats(ComputeStats(plan.As<ValuesOp>().data, 4096));
+    case OpKind::kLoopVar: {
+      if (loop_stack_.empty()) {
+        return Status::PlanError("loop variable outside an iterate scope");
+      }
+      return loop_stack_.back();
+    }
+    default:
+      break;
+  }
+
+  std::vector<PlanStats> in;
+  in.reserve(plan.children().size());
+  for (const PlanPtr& c : plan.children()) {
+    NEXUS_ASSIGN_OR_RETURN(PlanStats cs, Estimate(*c));
+    in.push_back(std::move(cs));
+  }
+
+  switch (plan.kind()) {
+    case OpKind::kSelect: {
+      const ExprPtr& pred = plan.As<SelectOp>().predicate;
+      PlanStats out = in[0];
+      out.rows = in[0].rows * EstimateSelectivity(*pred, in[0]);
+      NarrowByPredicate(*pred, &out);
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kProject: {
+      PlanStats out;
+      out.rows = in[0].rows;
+      for (const std::string& col : plan.As<ProjectOp>().columns) {
+        auto cit = in[0].columns.find(col);
+        if (cit != in[0].columns.end()) out.columns[col] = cit->second;
+      }
+      return out;
+    }
+    case OpKind::kExtend: {
+      PlanStats out = in[0];
+      for (const auto& [name, e] : plan.As<ExtendOp>().defs) {
+        ColumnStats c;
+        c.distinct = std::max(1.0, out.rows);
+        out.columns[name] = c;
+      }
+      return out;
+    }
+    case OpKind::kJoin: {
+      const auto& op = plan.As<JoinOp>();
+      PlanStats out;
+      switch (op.type) {
+        case JoinType::kInner:
+          out = EstimateJoinStats(in[0], in[1], op.left_keys, op.right_keys);
+          break;
+        case JoinType::kLeft: {
+          out = EstimateJoinStats(in[0], in[1], op.left_keys, op.right_keys);
+          out.rows = std::max(out.rows, in[0].rows);  // unmatched rows survive
+          break;
+        }
+        case JoinType::kSemi:
+        case JoinType::kAnti: {
+          // Fraction of left keys with a match, per containment.
+          double frac = 1.0;
+          for (size_t i = 0;
+               i < op.left_keys.size() && i < op.right_keys.size(); ++i) {
+            double l = ColumnNdv(in[0], op.left_keys[i]);
+            double r = ColumnNdv(in[1], op.right_keys[i]);
+            frac *= std::min(l, r) / std::max(1.0, l);
+          }
+          out = in[0];
+          out.rows = in[0].rows *
+                     (op.type == JoinType::kSemi ? frac : 1.0 - frac);
+          break;
+        }
+      }
+      if (op.residual != nullptr && op.type == JoinType::kInner) {
+        out.rows *= EstimateSelectivity(*op.residual, out);
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kAggregate: {
+      const auto& op = plan.As<AggregateOp>();
+      PlanStats out;
+      if (op.group_by.empty()) {
+        out.rows = in[0].rows > 0.0 ? 1.0 : 0.0;
+      } else {
+        double groups = 1.0;
+        for (const std::string& g : op.group_by) {
+          groups *= ColumnNdv(in[0], g);
+        }
+        out.rows = std::min(groups, std::max(in[0].rows, 0.0));
+        for (const std::string& g : op.group_by) {
+          auto cit = in[0].columns.find(g);
+          if (cit != in[0].columns.end()) out.columns[g] = cit->second;
+        }
+      }
+      for (const AggSpec& a : op.aggs) {
+        ColumnStats c;
+        c.distinct = std::max(1.0, out.rows);
+        out.columns[a.output_name] = c;
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kSort:
+      return in[0];
+    case OpKind::kLimit: {
+      const auto& op = plan.As<LimitOp>();
+      PlanStats out = in[0];
+      double avail = std::max(0.0, in[0].rows - static_cast<double>(op.offset));
+      out.rows = std::min(static_cast<double>(op.limit), avail);
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kDistinct: {
+      PlanStats out = in[0];
+      double combos = 1.0;
+      for (const auto& [name, c] : in[0].columns) {
+        combos *= std::max(1.0, c.distinct);
+        if (combos >= in[0].rows) break;  // saturated
+      }
+      out.rows = in[0].columns.empty() ? in[0].rows
+                                       : std::min(combos, in[0].rows);
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kUnion: {
+      PlanStats out = in[0];
+      out.rows = in[0].rows + in[1].rows;
+      for (auto& [name, c] : out.columns) {
+        auto rit = in[1].columns.find(name);
+        if (rit == in[1].columns.end()) continue;
+        c.distinct += rit->second.distinct;  // upper bound; capped below
+        c.null_count += rit->second.null_count;
+        if (c.has_minmax && rit->second.has_minmax) {
+          c.min = std::min(c.min, rit->second.min);
+          c.max = std::max(c.max, rit->second.max);
+        }
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kRename: {
+      PlanStats out;
+      out.rows = in[0].rows;
+      const auto& mapping = plan.As<RenameOp>().mapping;
+      for (const auto& [name, c] : in[0].columns) {
+        std::string renamed = name;
+        for (const auto& [from, to] : mapping) {
+          if (from == name) renamed = to;
+        }
+        out.columns[renamed] = c;
+      }
+      return out;
+    }
+    case OpKind::kRebox:
+    case OpKind::kUnbox:
+    case OpKind::kTranspose:
+    case OpKind::kWindow:
+    case OpKind::kExchange:
+      return in[0];  // representation/order changes, cardinality preserved
+    case OpKind::kSlice: {
+      PlanStats out = in[0];
+      for (const DimRange& r : plan.As<SliceOp>().ranges) {
+        double frac = kUnknownPredicateSel;
+        auto cit = out.columns.find(r.dim);
+        if (cit != out.columns.end() && cit->second.has_minmax &&
+            cit->second.max >= cit->second.min) {
+          double extent = cit->second.max - cit->second.min + 1.0;
+          double kept =
+              std::min(cit->second.max + 1.0, static_cast<double>(r.hi)) -
+              std::max(cit->second.min, static_cast<double>(r.lo));
+          frac = Clamp01(kept / extent);
+          cit->second.min = std::max(cit->second.min, static_cast<double>(r.lo));
+          cit->second.max =
+              std::min(cit->second.max, static_cast<double>(r.hi) - 1.0);
+          if (cit->second.min > cit->second.max) cit->second.max = cit->second.min;
+        }
+        out.rows *= frac;
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kShift: {
+      PlanStats out = in[0];
+      for (const auto& [dim, delta] : plan.As<ShiftOp>().offsets) {
+        auto cit = out.columns.find(dim);
+        if (cit != out.columns.end() && cit->second.has_minmax) {
+          cit->second.min += static_cast<double>(delta);
+          cit->second.max += static_cast<double>(delta);
+        }
+      }
+      return out;
+    }
+    case OpKind::kRegrid: {
+      PlanStats out = in[0];
+      for (const auto& [dim, factor] : plan.As<RegridOp>().factors) {
+        double f = std::max<double>(1.0, static_cast<double>(factor));
+        out.rows /= f;
+        auto cit = out.columns.find(dim);
+        if (cit != out.columns.end()) {
+          cit->second.distinct = std::max(1.0, cit->second.distinct / f);
+          if (cit->second.has_minmax) {
+            cit->second.min = std::floor(cit->second.min / f);
+            cit->second.max = std::floor(cit->second.max / f);
+          }
+        }
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kElemWise: {
+      PlanStats out = in[0];
+      out.rows = std::min(in[0].rows, in[1].rows);  // cells must align
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kMatMul: {
+      PlanStats out;
+      // The relational reading: join on the contracted dimension, then
+      // aggregate by (row dim, col dim) — so the estimate is the join
+      // estimate capped at the output grid size.
+      auto schema = InferSchema(plan, *catalog_);
+      double contracted = 1.0;
+      for (const auto& [name, c] : in[0].columns) {
+        if (in[1].columns.count(name) != 0) {
+          contracted = std::max(
+              contracted, std::max(c.distinct, in[1].columns.at(name).distinct));
+        }
+      }
+      double join_rows = in[0].rows * in[1].rows / contracted;
+      if (schema.ok() && schema.ValueOrDie()->num_fields() == 3) {
+        const Schema& s = *schema.ValueOrDie();
+        double grid = 1.0;
+        for (int i = 0; i < 2; ++i) {
+          const std::string& dim = s.field(i).name;
+          ColumnStats c;
+          auto lit = in[0].columns.find(dim);
+          auto rit = in[1].columns.find(dim);
+          if (lit != in[0].columns.end()) c = lit->second;
+          else if (rit != in[1].columns.end()) c = rit->second;
+          else c.distinct = std::sqrt(std::max(1.0, join_rows));
+          out.columns[dim] = c;
+          grid *= std::max(1.0, c.distinct);
+        }
+        ColumnStats val;
+        val.distinct = std::max(1.0, std::min(join_rows, grid));
+        out.columns[s.field(2).name] = val;
+        out.rows = std::min(join_rows, grid);
+      } else {
+        out.rows = std::max(in[0].rows, in[1].rows);
+      }
+      CapToRows(&out);
+      return out;
+    }
+    case OpKind::kPageRank: {
+      const auto& op = plan.As<PageRankOp>();
+      PlanStats out;
+      double nodes = std::max(ColumnNdv(in[0], op.src_col),
+                              ColumnNdv(in[0], op.dst_col));
+      out.rows = std::min(nodes, std::max(1.0, in[0].rows));
+      ColumnStats node;
+      auto sit = in[0].columns.find(op.src_col);
+      if (sit != in[0].columns.end()) node = sit->second;
+      node.distinct = out.rows;
+      out.columns["node"] = node;
+      ColumnStats rank;
+      rank.distinct = out.rows;
+      out.columns["rank"] = rank;
+      return out;
+    }
+    case OpKind::kIterate:
+      // Schema-preserving fixpoint: the loop state stays the shape of its
+      // initializer (the feedback loop refines this with observed actuals
+      // once the first round's temps are registered).
+      return in[0];
+    default:
+      break;
+  }
+  // Anything new defaults to cardinality-preserving.
+  PlanStats out = in.empty() ? PlanStats{} : in[0];
+  return out;
+}
+
+Result<double> EstimateCardinality(const Plan& plan, const Catalog& catalog) {
+  CardinalityEstimator est(&catalog);
+  NEXUS_ASSIGN_OR_RETURN(PlanStats s, est.Estimate(plan));
+  return std::max(0.0, s.rows);
+}
+
+Result<int64_t> EstimateWireBytes(const Plan& plan, const Catalog& catalog) {
+  CardinalityEstimator est(&catalog);
+  NEXUS_ASSIGN_OR_RETURN(PlanStats s, est.Estimate(plan));
+  return static_cast<int64_t>(s.Bytes());
+}
+
+}  // namespace nexus

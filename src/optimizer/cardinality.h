@@ -1,0 +1,80 @@
+// Cardinality estimation over algebra plans.
+//
+// Every OpKind gets a rule: filters use min/max interpolation and 1/NDV
+// equality selectivity, joins use the containment assumption
+// |L ⋈ R| = |L|·|R| / max(ndv_L, ndv_R) per key, aggregates use the product
+// of group-key NDVs. Estimates carry per-column stats forward (ranges narrow
+// under filters, NDVs cap at the output cardinality) so chained operators
+// compound sensibly. The numbers feed the DP join enumerator
+// (optimizer/join_order.h), the coordinator's byte-minimizing placement, and
+// EXPLAIN ANALYZE's estimated-vs-actual q-error report.
+#ifndef NEXUS_OPTIMIZER_CARDINALITY_H_
+#define NEXUS_OPTIMIZER_CARDINALITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+#include "expr/expr.h"
+#include "optimizer/stats.h"
+
+namespace nexus {
+
+/// Estimated shape of a plan node's output: cardinality plus per-column
+/// stats (by output column name) for the columns we can still track.
+struct PlanStats {
+  double rows = 0.0;
+  std::map<std::string, ColumnStats> columns;
+
+  /// Estimated NXB1 bytes per output row (8 per column when untracked).
+  double RowWidth() const;
+  /// rows × RowWidth(), floored at 0.
+  double Bytes() const;
+};
+
+/// Selectivity of `pred` against an input described by `input` — in [0, 1].
+/// Unknown shapes fall back to the classic 1/3 (comparisons) and 1/2
+/// (everything else) guesses.
+double EstimateSelectivity(const Expr& pred, const PlanStats& input);
+
+/// Output stats of an inner equi-join given both input estimates — shared
+/// between the per-node estimator and the DP join enumerator, which scores
+/// candidate joins without materializing plan nodes. Column names follow the
+/// algebra's join schema: left columns, then right columns minus the right
+/// keys.
+PlanStats EstimateJoinStats(const PlanStats& left, const PlanStats& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys);
+
+/// Memoizing estimator. Memoization is by node identity, so estimating a
+/// DAG-shaped search space (DP subsets sharing subtrees) stays linear.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Estimated output stats of `plan`. Errors when a leaf resolves against
+  /// neither stats nor schema (e.g. a loop-binding scan only the remote end
+  /// knows) — callers treat that as "don't cost this one".
+  Result<PlanStats> Estimate(const Plan& plan);
+
+  /// Loop-variable scope for estimating inside Iterate bodies.
+  void PushLoop(PlanStats stats) { loop_stack_.push_back(std::move(stats)); }
+  void PopLoop() { loop_stack_.pop_back(); }
+
+ private:
+  Result<PlanStats> Compute(const Plan& plan);
+
+  const Catalog* catalog_;
+  std::map<const Plan*, PlanStats> memo_;
+  std::vector<PlanStats> loop_stack_;
+};
+
+/// One-shot conveniences over a fresh estimator.
+Result<double> EstimateCardinality(const Plan& plan, const Catalog& catalog);
+Result<int64_t> EstimateWireBytes(const Plan& plan, const Catalog& catalog);
+
+}  // namespace nexus
+
+#endif  // NEXUS_OPTIMIZER_CARDINALITY_H_

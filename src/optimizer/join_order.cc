@@ -1,0 +1,401 @@
+#include "optimizer/join_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/schema_inference.h"
+#include "optimizer/cardinality.h"
+
+namespace nexus {
+
+namespace {
+
+// A join is fair game for reordering only when commuting it cannot change
+// the result set: inner, equi-only (no residual to re-scope).
+bool IsReorderableJoin(const Plan& p) {
+  return p.kind() == OpKind::kJoin &&
+         p.As<JoinOp>().type == JoinType::kInner &&
+         p.As<JoinOp>().residual == nullptr;
+}
+
+// A column of one base relation of a cluster.
+struct ColRef {
+  int rel = -1;
+  std::string col;
+};
+
+struct Rel {
+  PlanPtr plan;
+  SchemaPtr schema;
+  PlanStats stats;
+};
+
+// Union-find over (rel, col) ids: join equality edges merge key columns
+// into equivalence classes, so any surviving member can stand in for the
+// class when two subsets are joined.
+class UnionFind {
+ public:
+  int Id(int rel, const std::string& col) {
+    auto [it, inserted] = ids_.emplace(std::make_pair(rel, col),
+                                       static_cast<int>(parent_.size()));
+    if (inserted) parent_.push_back(it->second);
+    return it->second;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::map<std::pair<int, std::string>, int> ids_;
+  std::vector<int> parent_;
+};
+
+// One enumerated subset: its best plan so far, the Cout cost, the estimated
+// output stats, and which original column each visible output name carries.
+struct Entry {
+  bool valid = false;
+  double cost = 0.0;
+  PlanStats stats;
+  PlanPtr plan;
+  std::map<std::string, ColRef> visible;
+};
+
+class Reorderer {
+ public:
+  Reorderer(const Catalog& catalog, int64_t* reordered, int max_dp)
+      : est_(&catalog), reordered_(reordered), max_dp_(max_dp) {
+    ctx_.catalog = &catalog;
+  }
+
+  Result<PlanPtr> Rewrite(const PlanPtr& plan) {
+    if (plan->kind() == OpKind::kIterate) {
+      IterateOp op = plan->As<IterateOp>();
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr init, Rewrite(plan->child(0)));
+      NEXUS_ASSIGN_OR_RETURN(SchemaPtr init_schema, InferSchema(*init, &ctx_));
+      auto init_stats = est_.Estimate(*init);
+      ctx_.loop_stack.push_back(init_schema);
+      est_.PushLoop(init_stats.ok() ? init_stats.ValueOrDie() : PlanStats{});
+      auto body = Rewrite(op.body);
+      Result<PlanPtr> measure = PlanPtr(nullptr);
+      if (body.ok() && op.measure != nullptr) measure = Rewrite(op.measure);
+      est_.PopLoop();
+      ctx_.loop_stack.pop_back();
+      NEXUS_ASSIGN_OR_RETURN(op.body, body);
+      if (op.measure != nullptr) {
+        NEXUS_ASSIGN_OR_RETURN(op.measure, measure);
+      }
+      return Plan::Iterate(init, std::move(op));
+    }
+    if (IsReorderableJoin(*plan)) {
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr r, TryReorderCluster(plan));
+      if (r != nullptr) return r;
+    }
+    std::vector<PlanPtr> children;
+    children.reserve(plan->children().size());
+    for (const PlanPtr& c : plan->children()) {
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr nc, Rewrite(c));
+      children.push_back(std::move(nc));
+    }
+    return plan->WithChildren(std::move(children));
+  }
+
+ private:
+  // Flattened cluster state, built bottom-up over the original join tree.
+  struct Flat {
+    bool ok = true;  // false: cluster not reorderable, fall back
+    std::vector<int> rels;  // indices into rels_ under this subtree
+    std::map<std::string, ColRef> visible;
+    PlanStats stats;   // estimate of the subtree as originally written
+    double cost = 0.0; // Cout of the subtree as originally written
+  };
+
+  Result<Flat> Flatten(const PlanPtr& node,
+                       std::vector<Rel>* rels,
+                       std::vector<std::pair<ColRef, ColRef>>* edges) {
+    Flat out;
+    if (!IsReorderableJoin(*node)) {
+      // Base relation: reorder anything nested inside it first.
+      NEXUS_ASSIGN_OR_RETURN(PlanPtr rewritten, Rewrite(node));
+      auto schema = InferSchema(*rewritten, &ctx_);
+      if (!schema.ok()) {
+        out.ok = false;
+        return out;
+      }
+      for (const Field& f : schema.ValueOrDie()->fields()) {
+        if (f.is_dimension) {
+          // Join drops right-side dimension tags; commuting sides would
+          // change which tags survive. Leave such clusters alone.
+          out.ok = false;
+          return out;
+        }
+      }
+      auto stats = est_.Estimate(*rewritten);
+      if (!stats.ok()) {
+        out.ok = false;
+        return out;
+      }
+      int idx = static_cast<int>(rels->size());
+      rels->push_back(Rel{rewritten, schema.ValueOrDie(), stats.ValueOrDie()});
+      out.rels.push_back(idx);
+      for (const Field& f : (*rels)[idx].schema->fields()) {
+        out.visible[f.name] = ColRef{idx, f.name};
+      }
+      out.stats = (*rels)[idx].stats;
+      return out;
+    }
+    const auto& op = node->As<JoinOp>();
+    NEXUS_ASSIGN_OR_RETURN(Flat l, Flatten(node->child(0), rels, edges));
+    if (!l.ok) return l;
+    NEXUS_ASSIGN_OR_RETURN(Flat r, Flatten(node->child(1), rels, edges));
+    if (!r.ok) return r;
+    for (size_t i = 0; i < op.left_keys.size(); ++i) {
+      auto lit = l.visible.find(op.left_keys[i]);
+      auto rit = r.visible.find(op.right_keys[i]);
+      if (lit == l.visible.end() || rit == r.visible.end()) {
+        out.ok = false;
+        return out;
+      }
+      const ColRef& a = lit->second;
+      const ColRef& b = rit->second;
+      DataType ta = (*rels)[a.rel].schema->field(
+          (*rels)[a.rel].schema->FindField(a.col)).type;
+      DataType tb = (*rels)[b.rel].schema->field(
+          (*rels)[b.rel].schema->FindField(b.col)).type;
+      if (ta != tb) {
+        out.ok = false;  // coercing keys: equality classes would be lossy
+        return out;
+      }
+      edges->push_back({a, b});
+    }
+    out.rels = l.rels;
+    out.rels.insert(out.rels.end(), r.rels.begin(), r.rels.end());
+    out.visible = l.visible;
+    for (const auto& [name, ref] : r.visible) {
+      if (std::find(op.right_keys.begin(), op.right_keys.end(), name) !=
+          op.right_keys.end()) {
+        continue;  // the algebra drops right key columns
+      }
+      if (!out.visible.emplace(name, ref).second) {
+        out.ok = false;  // would not have type-checked; be safe
+        return out;
+      }
+    }
+    out.stats = EstimateJoinStats(l.stats, r.stats, op.left_keys, op.right_keys);
+    out.cost = l.cost + r.cost + out.stats.rows;
+    return out;
+  }
+
+  // Output name in `visible` whose column is join-equivalent to `ref`.
+  static const std::string* FindEquivalent(
+      const std::map<std::string, ColRef>& visible, const ColRef& ref,
+      UnionFind* uf) {
+    int want = uf->Find(uf->Id(ref.rel, ref.col));
+    for (const auto& [name, r] : visible) {
+      if (uf->Find(uf->Id(r.rel, r.col)) == want) return &name;
+    }
+    return nullptr;
+  }
+
+  // Joins two enumerated subsets along every crossing edge. Returns an
+  // invalid Entry when no edge crosses (cross product) or names collide.
+  Entry JoinEntries(const Entry& a, const Entry& b,
+                    const std::vector<std::pair<ColRef, ColRef>>& edges,
+                    const std::vector<uint64_t>& rel_bit, uint64_t mask_a,
+                    uint64_t mask_b, UnionFind* uf) {
+    Entry out;
+    std::vector<std::string> lkeys, rkeys;
+    for (const auto& [x, y] : edges) {
+      const ColRef* l = nullptr;
+      const ColRef* r = nullptr;
+      if ((rel_bit[x.rel] & mask_a) && (rel_bit[y.rel] & mask_b)) {
+        l = &x;
+        r = &y;
+      } else if ((rel_bit[y.rel] & mask_a) && (rel_bit[x.rel] & mask_b)) {
+        l = &y;
+        r = &x;
+      } else {
+        continue;
+      }
+      const std::string* lname = FindEquivalent(a.visible, *l, uf);
+      const std::string* rname = FindEquivalent(b.visible, *r, uf);
+      if (lname == nullptr || rname == nullptr) continue;
+      bool dup = false;
+      for (size_t i = 0; i < lkeys.size(); ++i) {
+        if (lkeys[i] == *lname && rkeys[i] == *rname) dup = true;
+      }
+      if (dup) continue;
+      lkeys.push_back(*lname);
+      rkeys.push_back(*rname);
+    }
+    if (lkeys.empty()) return out;  // avoid cross products
+    out.visible = a.visible;
+    for (const auto& [name, ref] : b.visible) {
+      if (std::find(rkeys.begin(), rkeys.end(), name) != rkeys.end()) continue;
+      if (!out.visible.emplace(name, ref).second) return Entry{};
+    }
+    out.stats = EstimateJoinStats(a.stats, b.stats, lkeys, rkeys);
+    out.cost = a.cost + b.cost + out.stats.rows;
+    out.plan = Plan::Join(a.plan, b.plan, JoinType::kInner, std::move(lkeys),
+                          std::move(rkeys), nullptr);
+    out.valid = true;
+    return out;
+  }
+
+  // Returns the reordered cluster, nullptr to keep the original, or an
+  // error only for malformed plans.
+  Result<PlanPtr> TryReorderCluster(const PlanPtr& root) {
+    std::vector<Rel> rels;
+    std::vector<std::pair<ColRef, ColRef>> edges;
+    NEXUS_ASSIGN_OR_RETURN(Flat flat, Flatten(root, &rels, &edges));
+    int n = static_cast<int>(rels.size());
+    if (!flat.ok || n < 3 || n > 62 || edges.empty()) return PlanPtr(nullptr);
+
+    UnionFind uf;
+    for (int i = 0; i < n; ++i) {
+      for (const Field& f : rels[i].schema->fields()) uf.Id(i, f.name);
+    }
+    for (const auto& [a, b] : edges) {
+      uf.Union(uf.Id(a.rel, a.col), uf.Id(b.rel, b.col));
+    }
+    std::vector<uint64_t> rel_bit(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) rel_bit[static_cast<size_t>(i)] = 1ULL << i;
+
+    auto leaf_entry = [&](int i) {
+      Entry e;
+      e.valid = true;
+      e.cost = 0.0;
+      e.stats = rels[static_cast<size_t>(i)].stats;
+      e.plan = rels[static_cast<size_t>(i)].plan;
+      for (const Field& f : rels[static_cast<size_t>(i)].schema->fields()) {
+        e.visible[f.name] = ColRef{i, f.name};
+      }
+      return e;
+    };
+
+    Entry best;
+    if (n <= max_dp_) {
+      // DPsize over connected subsets; invalid entries (cross products)
+      // simply never seed larger masks.
+      std::vector<Entry> dp(static_cast<size_t>(1) << n);
+      for (int i = 0; i < n; ++i) dp[rel_bit[static_cast<size_t>(i)]] = leaf_entry(i);
+      uint64_t full = (static_cast<uint64_t>(1) << n) - 1;
+      for (uint64_t mask = 1; mask <= full; ++mask) {
+        if ((mask & (mask - 1)) == 0) continue;  // singletons seeded above
+        Entry& slot = dp[mask];
+        for (uint64_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+          uint64_t other = mask ^ sub;
+          if (sub > other) continue;  // each split once; both orientations below
+          const Entry& a = dp[sub];
+          const Entry& b = dp[other];
+          if (!a.valid || !b.valid) continue;
+          for (int orient = 0; orient < 2; ++orient) {
+            Entry cand = orient == 0
+                             ? JoinEntries(a, b, edges, rel_bit, sub, other, &uf)
+                             : JoinEntries(b, a, edges, rel_bit, other, sub, &uf);
+            if (cand.valid && (!slot.valid || cand.cost < slot.cost - 1e-9)) {
+              slot = std::move(cand);
+            }
+          }
+        }
+      }
+      best = dp[full];
+    } else {
+      // Left-deep greedy: start from the cheapest connected pair, then keep
+      // absorbing the relation that yields the smallest join.
+      std::vector<bool> used(static_cast<size_t>(n), false);
+      Entry seed;
+      int si = -1, sj = -1;
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          Entry cand = JoinEntries(leaf_entry(i), leaf_entry(j), edges, rel_bit,
+                                   rel_bit[static_cast<size_t>(i)],
+                                   rel_bit[static_cast<size_t>(j)], &uf);
+          if (cand.valid && (!seed.valid || cand.cost < seed.cost)) {
+            seed = std::move(cand);
+            si = i;
+            sj = j;
+          }
+        }
+      }
+      if (!seed.valid) return PlanPtr(nullptr);
+      used[static_cast<size_t>(si)] = used[static_cast<size_t>(sj)] = true;
+      uint64_t mask = rel_bit[static_cast<size_t>(si)] | rel_bit[static_cast<size_t>(sj)];
+      best = std::move(seed);
+      for (int step = 2; step < n; ++step) {
+        Entry next;
+        int pick = -1;
+        for (int i = 0; i < n; ++i) {
+          if (used[static_cast<size_t>(i)]) continue;
+          Entry cand = JoinEntries(best, leaf_entry(i), edges, rel_bit, mask,
+                                   rel_bit[static_cast<size_t>(i)], &uf);
+          if (cand.valid && (!next.valid || cand.cost < next.cost)) {
+            next = std::move(cand);
+            pick = i;
+          }
+        }
+        if (pick < 0) return PlanPtr(nullptr);  // disconnected remainder
+        used[static_cast<size_t>(pick)] = true;
+        mask |= rel_bit[static_cast<size_t>(pick)];
+        best = std::move(next);
+      }
+    }
+    if (!best.valid) return PlanPtr(nullptr);
+    // Strict improvement required: ties keep the written order (stability —
+    // a replan with identical stats must produce the identical plan).
+    if (best.cost >= flat.cost * 0.999) return PlanPtr(nullptr);
+
+    // Restore the original output schema: rename each surviving class
+    // representative back to the original name, then project the original
+    // column order.
+    NEXUS_ASSIGN_OR_RETURN(SchemaPtr target, InferSchema(*root, &ctx_));
+    std::vector<std::pair<std::string, std::string>> renames;
+    std::vector<std::string> order;
+    for (const Field& f : target->fields()) {
+      auto oit = flat.visible.find(f.name);
+      if (oit == flat.visible.end()) return PlanPtr(nullptr);
+      const std::string* have = FindEquivalent(best.visible, oit->second, &uf);
+      if (have == nullptr) return PlanPtr(nullptr);
+      if (*have != f.name) {
+        // A rename target colliding with a surviving column, or two targets
+        // sharing one source, would shadow columns; valid original schemas
+        // make both impossible, but the guards are cheap.
+        if (best.visible.count(f.name) != 0) return PlanPtr(nullptr);
+        for (const auto& [from, to] : renames) {
+          if (from == *have) return PlanPtr(nullptr);
+        }
+        renames.emplace_back(*have, f.name);
+      }
+      order.push_back(f.name);
+    }
+    PlanPtr out = best.plan;
+    if (out->Equals(*root)) return PlanPtr(nullptr);  // same order found
+    if (!renames.empty()) out = Plan::Rename(out, std::move(renames));
+    out = Plan::Project(out, std::move(order));
+    if (reordered_ != nullptr) ++*reordered_;
+    return out;
+  }
+
+  InferContext ctx_;
+  CardinalityEstimator est_;
+  int64_t* reordered_;
+  int max_dp_;
+};
+
+}  // namespace
+
+Result<PlanPtr> ReorderJoins(const PlanPtr& plan, const Catalog& catalog,
+                             int64_t* joins_reordered, int max_dp_relations) {
+  Reorderer r(catalog, joins_reordered, max_dp_relations);
+  return r.Rewrite(plan);
+}
+
+}  // namespace nexus

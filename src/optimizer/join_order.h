@@ -1,0 +1,35 @@
+// Cost-based join reordering (Selinger-style).
+//
+// Clusters of adjacent inner equi-joins (no residuals, no dimension-tagged
+// inputs) are flattened into a relation set + equality-edge graph and
+// re-enumerated: DPsize over connected subsets for up to `max_dp_relations`
+// relations, a left-deep greedy heuristic past that. Cross products are
+// never considered. The cost model is Cout (sum of estimated intermediate
+// cardinalities, optimizer/cardinality.h). The winning order is wrapped in
+// Rename+Project so the output schema — names, order, types — is exactly
+// the original plan's; on ties (or estimation failure) the written order is
+// kept untouched.
+#ifndef NEXUS_OPTIMIZER_JOIN_ORDER_H_
+#define NEXUS_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstdint>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace nexus {
+
+/// Default DP width: 2^10 subsets is where enumeration cost starts to rival
+/// small-query execution, the classic switchover point.
+inline constexpr int kMaxDpRelations = 10;
+
+/// Rewrites every reorderable join cluster in `plan` into its cheapest
+/// estimated order. `joins_reordered` (may be null) is incremented once per
+/// cluster whose order actually changed.
+Result<PlanPtr> ReorderJoins(const PlanPtr& plan, const Catalog& catalog,
+                             int64_t* joins_reordered,
+                             int max_dp_relations = kMaxDpRelations);
+
+}  // namespace nexus
+
+#endif  // NEXUS_OPTIMIZER_JOIN_ORDER_H_

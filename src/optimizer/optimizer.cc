@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <set>
@@ -8,7 +9,9 @@
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/builder.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/fold.h"
+#include "optimizer/join_order.h"
 
 namespace nexus {
 
@@ -52,6 +55,13 @@ class Optimizer {
         NEXUS_ASSIGN_OR_RETURN(p, PushdownPass(p, &changed));
         if (!changed) break;
       }
+    }
+    if (options_.reorder_joins) {
+      // After pushdown: filters sit on the join inputs, so the cost model
+      // sees post-filter cardinalities when scoring orders.
+      NEXUS_ASSIGN_OR_RETURN(
+          p, ReorderJoins(p, *ctx_.catalog,
+                          stats_ != nullptr ? &stats_->joins_reordered : nullptr));
     }
     if (options_.recognize_intent) {
       NEXUS_ASSIGN_OR_RETURN(p, RecognizePass(p));
@@ -568,7 +578,13 @@ class Optimizer {
 Result<PlanPtr> Optimize(const PlanPtr& plan, const Catalog& catalog,
                          const OptimizerOptions& options, OptimizerStats* stats) {
   Optimizer opt(catalog, options, stats);
-  return opt.Run(plan);
+  NEXUS_ASSIGN_OR_RETURN(PlanPtr p, opt.Run(plan));
+  if (stats != nullptr) {
+    auto est = EstimateCardinality(*p, catalog);
+    stats->estimated_rows_root =
+        est.ok() ? static_cast<int64_t>(std::llround(est.ValueOrDie())) : -1;
+  }
+  return p;
 }
 
 }  // namespace nexus

@@ -1,0 +1,68 @@
+// Table and column statistics — the raw material of cost-based planning.
+//
+// Stats are computed when a collection is registered in an InMemoryCatalog
+// (one scan at Put time, NDV from a bounded sample) and are refreshable on
+// demand. The cardinality estimator (optimizer/cardinality.h) consumes them
+// to predict operator output sizes; the coordinator consumes the estimates
+// to place fragments where the fewest estimated bytes cross the wire.
+#ifndef NEXUS_OPTIMIZER_STATS_H_
+#define NEXUS_OPTIMIZER_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "types/dataset.h"
+
+namespace nexus {
+
+/// Per-column summary: enough to estimate range/equality selectivity and
+/// the column's width on the NXB1 wire.
+struct ColumnStats {
+  /// Estimated number of distinct non-null values (KMV sketch; exact for
+  /// small columns).
+  double distinct = 0.0;
+  int64_t null_count = 0;
+  /// Numeric min/max (ints widened to double). Meaningless unless
+  /// has_minmax; string columns never set it.
+  bool has_minmax = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Estimated bytes per value on the NXB1 wire: the fixed width for
+  /// numerics/bools, average length + 4 offset bytes for strings.
+  double avg_width = 8.0;
+};
+
+/// Per-table summary keyed by column name.
+struct TableStats {
+  int64_t row_count = 0;
+  /// Rows the NDV sketch actually saw (== row_count unless sampled).
+  int64_t sampled_rows = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  /// Estimated NXB1 bytes for one full row (sum of column widths, plus the
+  /// per-column validity overhead). Columns without stats count 8 bytes.
+  double RowWidth() const;
+
+  std::string ToString() const;
+};
+
+/// Rows the NDV sketch scans at most; min/max and null counts always scan
+/// the full column (they are branch-light single passes).
+inline constexpr int64_t kStatsSampleLimit = 65536;
+
+/// One-pass statistics over a dataset. Tables get full per-column stats;
+/// array datasets get row_count only (their dimension geometry already
+/// lives in the chunk index, and converting to a table just to sketch it
+/// would dwarf the registration itself).
+TableStats ComputeStats(const Dataset& data,
+                        int64_t sample_limit = kStatsSampleLimit);
+
+/// Estimated NXB1 wire bytes per value for a column of `type` whose average
+/// in-memory payload is `avg_value_bytes` (only used for strings: their
+/// frame stores (n+1) u32 offsets plus the byte blob).
+double EstimatedWireWidth(DataType type, double avg_value_bytes);
+
+}  // namespace nexus
+
+#endif  // NEXUS_OPTIMIZER_STATS_H_

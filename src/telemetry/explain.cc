@@ -35,6 +35,18 @@ void Render(const std::vector<Node>& nodes, size_t at, const std::string& prefix
   if (!s.server.empty()) *out += StrCat(" @", s.server);
   int64_t rows = s.CounterOr("rows", -1);
   if (rows >= 0) *out += StrCat("  rows=", rows);
+  int64_t est = s.CounterOr("est_rows", -1);
+  if (est >= 0) {
+    *out += StrCat("  est=", est);
+    if (rows >= 0) {
+      // q-error: max ratio between estimate and actual, 1.0 = exact. The
+      // max(1, .) guards keep empty fragments finite.
+      double hi = static_cast<double>(std::max<int64_t>(est, 1));
+      double lo = static_cast<double>(std::max<int64_t>(rows, 1));
+      if (hi < lo) std::swap(hi, lo);
+      *out += StrCat("  q-err=", FormatDouble(hi / lo, 2));
+    }
+  }
   int64_t bytes = s.CounterOr("bytes", -1);
   if (bytes >= 0) *out += StrCat("  bytes=", bytes);
   *out += StrCat("  wall=", FormatMs(s.wall_dur_us), "ms");
@@ -43,7 +55,8 @@ void Render(const std::vector<Node>& nodes, size_t at, const std::string& prefix
   int64_t retries = s.CounterOr("retries", 0);
   if (retries > 0) *out += StrCat("  retries=", retries);
   for (const auto& [key, value] : s.counters) {
-    if (key == "rows" || key == "bytes" || key == "retries" || key == "index") {
+    if (key == "rows" || key == "bytes" || key == "retries" || key == "index" ||
+        key == "est_rows") {
       continue;
     }
     *out += StrCat("  ", key, "=", value);

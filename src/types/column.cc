@@ -54,12 +54,6 @@ int64_t Column::size() const {
                     data_);
 }
 
-int64_t Column::null_count() const {
-  int64_t n = 0;
-  for (uint8_t v : validity_) n += (v == 0);
-  return n;
-}
-
 Value Column::GetValue(int64_t i) const {
   if (IsNull(i)) return Value::Null();
   size_t idx = static_cast<size_t>(i);
@@ -128,6 +122,7 @@ void Column::AppendNull() {
       break;
   }
   validity_.push_back(0);
+  ++null_count_;
 }
 
 Status Column::SetValue(int64_t i, const Value& v) {
@@ -159,7 +154,9 @@ Status Column::SetValue(int64_t i, const Value& v) {
 
 void Column::SetNull(int64_t i) {
   EnsureValidity();
-  validity_[static_cast<size_t>(i)] = 0;
+  uint8_t& v = validity_[static_cast<size_t>(i)];
+  null_count_ += (v != 0);
+  v = 0;
 }
 
 void Column::Reserve(int64_t n) {
@@ -184,6 +181,7 @@ Column Column::Slice(int64_t offset, int64_t length) const {
   if (!validity_.empty()) {
     out.validity_.assign(validity_.begin() + offset,
                          validity_.begin() + offset + length);
+    out.RecountNulls();
   }
   return out;
 }
@@ -200,6 +198,7 @@ Column Column::Take(const std::vector<int64_t>& indices) const {
   if (!validity_.empty()) {
     out.validity_.reserve(indices.size());
     for (int64_t i : indices) out.validity_.push_back(validity_[static_cast<size_t>(i)]);
+    out.RecountNulls();
   }
   return out;
 }
@@ -217,6 +216,7 @@ Status Column::AppendColumn(const Column& other) {
     } else {
       validity_.insert(validity_.end(), other.validity_.begin(),
                        other.validity_.end());
+      null_count_ += other.null_count_;
     }
   }
   std::visit(

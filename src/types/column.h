@@ -41,9 +41,11 @@ class Column {
   bool IsNull(int64_t i) const {
     return !validity_.empty() && validity_[static_cast<size_t>(i)] == 0;
   }
-  /// Number of null entries.
-  int64_t null_count() const;
-  bool has_nulls() const { return null_count() > 0; }
+  /// Number of null entries. O(1): the count is maintained on every
+  /// mutation rather than recounted from the validity mask — has_nulls()
+  /// sits on hot kernel-dispatch paths.
+  int64_t null_count() const { return null_count_; }
+  bool has_nulls() const { return null_count_ > 0; }
 
   /// Boxed access; returns Value::Null() for null rows.
   Value GetValue(int64_t i) const;
@@ -118,15 +120,24 @@ class Column {
     if (!validity_.empty()) validity_.push_back(1);
   }
   void MarkValid(int64_t i) {
-    if (!validity_.empty()) validity_[static_cast<size_t>(i)] = 1;
+    if (validity_.empty()) return;
+    uint8_t& v = validity_[static_cast<size_t>(i)];
+    null_count_ -= (v == 0);
+    v = 1;
   }
   void EnsureValidity();
+  // Rebuilds null_count_ from validity_ (bulk constructions: Slice/Take).
+  void RecountNulls() {
+    null_count_ = 0;
+    for (uint8_t v : validity_) null_count_ += (v == 0);
+  }
 
   DataType type_;
   std::variant<std::vector<uint8_t>, std::vector<int64_t>, std::vector<double>,
                std::vector<std::string>>
       data_;
   std::vector<uint8_t> validity_;  // empty == all valid
+  int64_t null_count_ = 0;         // invariant: zeros in validity_
 };
 
 }  // namespace nexus

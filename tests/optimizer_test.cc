@@ -3,14 +3,21 @@
 // and unoptimized plans agree on every workload).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <set>
+
 #include "common/random.h"
 #include "common/str_util.h"
 #include "core/expansion.h"
 #include "core/schema_inference.h"
 #include "exec/reference_executor.h"
 #include "expr/builder.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/fold.h"
+#include "optimizer/join_order.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/stats.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -337,6 +344,207 @@ TEST_F(OptimizerTest, OptimizesInsideIterateBody) {
   op.max_iters = 3;
   PlanPtr p = Plan::Iterate(Plan::Scan("st"), op);
   CheckPreserves(p);
+}
+
+// ---------------------------------------------------------------------------
+// E14: statistics, cardinality estimation, and join reordering.
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, ComputesColumnStatistics) {
+  SchemaPtr s = Schema::Make({Field::Attr("k", DataType::kInt64),
+                              Field::Attr("name", DataType::kString)})
+                    .ValueOrDie();
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(b.AppendRow({Value::Int64(i % 50), Value::String("row")}));
+  }
+  ASSERT_OK(b.AppendRow({Value::Null(), Value::Null()}));
+  TableStats stats = ComputeStats(Dataset(b.Finish().ValueOrDie()));
+  EXPECT_EQ(stats.row_count, 1001);
+  const ColumnStats& k = stats.columns.at("k");
+  EXPECT_TRUE(k.has_minmax);
+  EXPECT_EQ(k.min, 0.0);
+  EXPECT_EQ(k.max, 49.0);
+  EXPECT_EQ(k.null_count, 1);
+  // Small column: the KMV sketch is exact.
+  EXPECT_NEAR(k.distinct, 50.0, 1.0);
+  const ColumnStats& name = stats.columns.at("name");
+  EXPECT_FALSE(name.has_minmax);
+  // "row" is 3 bytes + 4 offset bytes on the NXB1 wire.
+  EXPECT_NEAR(name.avg_width, 7.0, 0.5);
+}
+
+TEST(StatsTest, CatalogComputesRefreshesAndOverrides) {
+  InMemoryCatalog catalog;
+  SchemaPtr s = Schema::Make({Field::Attr("v", DataType::kInt64)}).ValueOrDie();
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_OK(b.AppendRow({Value::Int64(i)}));
+  ASSERT_OK(catalog.Put("t", Dataset(b.Finish().ValueOrDie())));
+
+  ASSERT_OK_AND_ASSIGN(TableStats stats, catalog.GetStats("t"));
+  EXPECT_EQ(stats.row_count, 10);
+  EXPECT_FALSE(catalog.GetStats("missing").ok());
+
+  stats.row_count = 777;
+  ASSERT_OK(catalog.OverrideStats("t", stats));
+  ASSERT_OK_AND_ASSIGN(TableStats forged, catalog.GetStats("t"));
+  EXPECT_EQ(forged.row_count, 777);
+  ASSERT_OK(catalog.RefreshStats("t"));
+  ASSERT_OK_AND_ASSIGN(TableStats fresh, catalog.GetStats("t"));
+  EXPECT_EQ(fresh.row_count, 10);
+
+  ASSERT_OK(catalog.Drop("t"));
+  EXPECT_FALSE(catalog.GetStats("t").ok());
+}
+
+// Single-predicate filters over uniform data must estimate within a q-error
+// of 2 (the issue's acceptance bar; uniform data is the model's home turf).
+TEST(CardinalityTest, FilterQErrorWithinTwoOnUniformData) {
+  InMemoryCatalog catalog;
+  SchemaPtr s = Schema::Make({Field::Attr("u", DataType::kInt64),
+                              Field::Attr("w", DataType::kFloat64)})
+                    .ValueOrDie();
+  TableBuilder b(s);
+  Rng rng(5);
+  const int64_t kRows = 10000;
+  for (int64_t i = 0; i < kRows; ++i) {
+    ASSERT_OK(b.AppendRow(
+        {Value::Int64(rng.NextInt(0, 999)), Value::Float64(rng.NextDouble(0, 1))}));
+  }
+  ASSERT_OK(catalog.Put("t", Dataset(b.Finish().ValueOrDie())));
+  ReferenceExecutor exec(&catalog);
+
+  std::vector<ExprPtr> preds = {
+      Eq(Col("u"), Lit(int64_t{123})),  Lt(Col("u"), Lit(int64_t{100})),
+      Ge(Col("u"), Lit(int64_t{900})),  Lt(Col("w"), Lit(0.25)),
+      Gt(Col("w"), Lit(0.9)),           Ne(Col("u"), Lit(int64_t{4})),
+  };
+  for (const ExprPtr& pred : preds) {
+    PlanPtr p = Plan::Select(Plan::Scan("t"), pred);
+    ASSERT_OK_AND_ASSIGN(double est, EstimateCardinality(*p, catalog));
+    ASSERT_OK_AND_ASSIGN(Dataset actual, exec.Execute(*p));
+    double act = std::max<double>(1.0, static_cast<double>(actual.num_rows()));
+    double e = std::max(1.0, est);
+    double q = std::max(e / act, act / e);
+    EXPECT_LE(q, 2.0) << "pred " << pred->ToString() << ": est " << est
+                      << " actual " << actual.num_rows();
+  }
+}
+
+TEST(CardinalityTest, JoinUsesContainmentAssumption) {
+  InMemoryCatalog catalog;
+  SchemaPtr ls = Schema::Make({Field::Attr("k", DataType::kInt64)}).ValueOrDie();
+  SchemaPtr rs = Schema::Make({Field::Attr("k", DataType::kInt64),
+                               Field::Attr("p", DataType::kInt64)})
+                     .ValueOrDie();
+  TableBuilder lb(ls), rb(rs);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(lb.AppendRow({Value::Int64(i % 100)}));  // 100 distinct keys
+  }
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(rb.AppendRow({Value::Int64(i), Value::Int64(i)}));  // pk side
+  }
+  ASSERT_OK(catalog.Put("l", Dataset(lb.Finish().ValueOrDie())));
+  ASSERT_OK(catalog.Put("r", Dataset(rb.Finish().ValueOrDie())));
+  PlanPtr p = Plan::Join(Plan::Scan("l"), Plan::Scan("r"), JoinType::kInner,
+                         {"k"}, {"k"});
+  // |L ⋈ R| = 1000·100 / max(100, 100) = 1000 (every fact row survives).
+  ASSERT_OK_AND_ASSIGN(double est, EstimateCardinality(*p, catalog));
+  EXPECT_NEAR(est, 1000.0, 150.0);
+}
+
+class JoinOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(13);
+    // Skewed pair: a ⋈ b on x explodes (10 distinct x), b ⋈ c on y is
+    // selective (1000 distinct y, c holds 5 of them).
+    SchemaPtr sa = MakeSchema({Field::Attr("x", DataType::kInt64),
+                               Field::Attr("a_val", DataType::kFloat64)});
+    TableBuilder ab(sa);
+    for (int64_t i = 0; i < 400; ++i) {
+      ASSERT_OK(ab.AppendRow({I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 1))}));
+    }
+    ASSERT_OK(catalog_.Put("a", Dataset(ab.Finish().ValueOrDie())));
+    SchemaPtr sb = MakeSchema({Field::Attr("x", DataType::kInt64),
+                               Field::Attr("y", DataType::kInt64)});
+    TableBuilder bb(sb);
+    for (int64_t i = 0; i < 400; ++i) {
+      ASSERT_OK(bb.AppendRow({I(rng.NextInt(0, 9)), I(rng.NextInt(0, 999))}));
+    }
+    ASSERT_OK(catalog_.Put("b", Dataset(bb.Finish().ValueOrDie())));
+    SchemaPtr sc = MakeSchema({Field::Attr("y", DataType::kInt64),
+                               Field::Attr("label", DataType::kString)});
+    TableBuilder cb(sc);
+    for (int64_t i = 0; i < 5; ++i) {
+      ASSERT_OK(cb.AppendRow({I(i), S(StrCat("c", i))}));
+    }
+    ASSERT_OK(catalog_.Put("c", Dataset(cb.Finish().ValueOrDie())));
+  }
+
+  PlanPtr WrittenOrder() {
+    PlanPtr p = Plan::Join(Plan::Scan("a"), Plan::Scan("b"), JoinType::kInner,
+                           {"x"}, {"x"});
+    return Plan::Join(p, Plan::Scan("c"), JoinType::kInner, {"y"}, {"y"});
+  }
+
+  InMemoryCatalog catalog_;
+};
+
+TEST_F(JoinOrderTest, ReordersSkewedJoinAndPreservesResults) {
+  PlanPtr p = WrittenOrder();
+  int64_t reordered = 0;
+  ASSERT_OK_AND_ASSIGN(PlanPtr better, ReorderJoins(p, catalog_, &reordered));
+  EXPECT_GE(reordered, 1);
+  // Same schema, same rows.
+  ASSERT_OK_AND_ASSIGN(SchemaPtr s1, InferSchema(*p, catalog_));
+  ASSERT_OK_AND_ASSIGN(SchemaPtr s2, InferSchema(*better, catalog_));
+  EXPECT_TRUE(s1->Equals(*s2)) << s1->ToString() << " vs " << s2->ToString();
+  ReferenceExecutor exec(&catalog_);
+  ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*p));
+  ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*better));
+  EXPECT_TRUE(got.LogicallyEquals(want)) << better->ToString();
+  // The selective pair must sit at the bottom now: some join of two bare
+  // scans over exactly {b, c}.
+  bool bc_at_bottom = false;
+  std::function<void(const Plan&)> walk = [&](const Plan& node) {
+    if (node.kind() == OpKind::kJoin && node.child(0)->kind() == OpKind::kScan &&
+        node.child(1)->kind() == OpKind::kScan) {
+      std::set<std::string> tables = {node.child(0)->As<ScanOp>().table,
+                                      node.child(1)->As<ScanOp>().table};
+      if (tables == std::set<std::string>{"b", "c"}) bc_at_bottom = true;
+    }
+    for (const PlanPtr& c : node.children()) walk(*c);
+  };
+  walk(*better);
+  EXPECT_TRUE(bc_at_bottom) << better->ToString();
+}
+
+TEST_F(JoinOrderTest, DisabledPassLeavesWrittenOrder) {
+  PlanPtr p = WrittenOrder();
+  OptimizerOptions off;
+  off.reorder_joins = false;
+  OptimizerStats stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr untouched, Optimize(p, catalog_, off, &stats));
+  EXPECT_EQ(stats.joins_reordered, 0);
+  // Both joins still in written nesting: a ⋈ b below, c on top.
+  ASSERT_EQ(untouched->kind(), OpKind::kJoin);
+  EXPECT_EQ(untouched->child(0)->kind(), OpKind::kJoin);
+
+  OptimizerStats on_stats;
+  ASSERT_OK_AND_ASSIGN(PlanPtr reordered, Optimize(p, catalog_, {}, &on_stats));
+  EXPECT_GE(on_stats.joins_reordered, 1);
+  EXPECT_GT(on_stats.estimated_rows_root, 0);
+}
+
+TEST_F(JoinOrderTest, OuterJoinsAreNotReordered) {
+  PlanPtr p = Plan::Join(Plan::Scan("a"), Plan::Scan("b"), JoinType::kLeft,
+                         {"x"}, {"x"});
+  p = Plan::Join(p, Plan::Scan("c"), JoinType::kLeft, {"y"}, {"y"});
+  int64_t reordered = 0;
+  ASSERT_OK_AND_ASSIGN(PlanPtr out, ReorderJoins(p, catalog_, &reordered));
+  EXPECT_EQ(reordered, 0);
+  EXPECT_TRUE(out->Equals(*p));
 }
 
 }  // namespace

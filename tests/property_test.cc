@@ -8,7 +8,12 @@
 //   P4  federation agreement:  coordinator over a split cluster ≡ local
 //   P5  parallel determinism:  Exec at threads ∈ {2,4,8} byte-identical to
 //                              threads = 1 (morsel scheduler contract)
+//   P6  cost-model soundness:  Optimize under arbitrary (even forged)
+//                              statistics ≡ Exec(p) — stats steer join
+//                              order, never results
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "common/parallel.h"
 #include "common/random.h"
@@ -207,6 +212,67 @@ TEST_P(PlanFuzzTest, OptimizerPreservesSemantics) {
     ASSERT_OK_AND_ASSIGN(SchemaPtr s2, InferSchema(*optimized, catalog_));
     ASSERT_TRUE(s1->Equals(*s2))
         << "schema changed:\n" << p->ToString() << "->\n" << optimized->ToString();
+    ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*p));
+    ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*optimized));
+    EXPECT_TRUE(got.LogicallyEquals(want))
+        << p->ToString() << "->\n" << optimized->ToString();
+  }
+}
+
+TEST_P(PlanFuzzTest, CostBasedPlansAreValueEquivalentUnderAnyStats) {
+  // P6: randomized chain joins × randomized statistics distortions. The
+  // DP enumerator may pick any order the (possibly forged) stats favor;
+  // the rows coming back must be exactly the written plan's rows.
+  Rng& rng = *rng_;
+  for (int trial = 0; trial < 4; ++trial) {
+    InMemoryCatalog catalog;
+    int n_rels = 3 + static_cast<int>(rng.NextBounded(2));
+    for (int r = 0; r < n_rels; ++r) {
+      // rel_r carries join keys c{r-1} (into the previous relation) and
+      // c{r} (into the next), plus a payload column.
+      std::vector<Field> fields;
+      if (r > 0) fields.push_back(Field::Attr(StrCat("c", r - 1), DataType::kInt64));
+      if (r + 1 < n_rels) fields.push_back(Field::Attr(StrCat("c", r), DataType::kInt64));
+      fields.push_back(Field::Attr(StrCat("p", r), DataType::kInt64));
+      TableBuilder b(MakeSchema(fields));
+      int64_t rows = rng.NextInt(5, 120);
+      int64_t domain = rng.NextInt(2, 40);
+      for (int64_t i = 0; i < rows; ++i) {
+        std::vector<Value> row;
+        if (r > 0) row.push_back(I(rng.NextInt(0, domain - 1)));
+        if (r + 1 < n_rels) row.push_back(I(rng.NextInt(0, domain - 1)));
+        row.push_back(I(i));
+        ASSERT_OK(b.AppendRow(row));
+      }
+      ASSERT_OK(catalog.Put(StrCat("rel", r), Dataset(b.Finish().ValueOrDie())));
+    }
+    // Written order: the plain left-deep chain.
+    PlanPtr p = Plan::Scan("rel0");
+    for (int r = 1; r < n_rels; ++r) {
+      std::string key = StrCat("c", r - 1);
+      p = Plan::Join(p, Plan::Scan(StrCat("rel", r)), JoinType::kInner, {key},
+                     {key});
+    }
+    // Distort the statistics: scale cardinalities and NDVs by up to 100x
+    // either way, sometimes drop ranges entirely.
+    for (int r = 0; r < n_rels; ++r) {
+      if (rng.NextBool()) continue;
+      ASSERT_OK_AND_ASSIGN(TableStats stats, catalog.GetStats(StrCat("rel", r)));
+      double factor = std::pow(10.0, rng.NextDouble(-2.0, 2.0));
+      stats.row_count = std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(stats.row_count) * factor));
+      for (auto& [name, cs] : stats.columns) {
+        cs.distinct = std::max(1.0, cs.distinct * factor);
+        if (rng.NextBool()) cs.has_minmax = false;
+      }
+      ASSERT_OK(catalog.OverrideStats(StrCat("rel", r), stats));
+    }
+    ASSERT_OK_AND_ASSIGN(PlanPtr optimized, Optimize(p, catalog));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s1, InferSchema(*p, catalog));
+    ASSERT_OK_AND_ASSIGN(SchemaPtr s2, InferSchema(*optimized, catalog));
+    ASSERT_TRUE(s1->Equals(*s2))
+        << "schema changed:\n" << p->ToString() << "->\n" << optimized->ToString();
+    ReferenceExecutor exec(&catalog);
     ASSERT_OK_AND_ASSIGN(Dataset want, exec.Execute(*p));
     ASSERT_OK_AND_ASSIGN(Dataset got, exec.Execute(*optimized));
     EXPECT_TRUE(got.LogicallyEquals(want))

@@ -2,7 +2,10 @@
 // NDArray, Dataset and the table<->array rebox round trip.
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "common/timer.h"
 #include "tests/test_util.h"
+#include "types/column.h"
 #include "types/dataset.h"
 #include "types/ndarray.h"
 #include "types/schema.h"
@@ -373,6 +376,71 @@ TEST(DatasetTest, AsArrayRequiresDimensions) {
   SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64)});
   Dataset d(MakeTable(s, {{I(1)}}));
   EXPECT_FALSE(d.AsArray().ok());
+}
+
+TEST(ColumnTest, NullCountStaysConsistentUnderMutation) {
+  // The cached count must agree with a brute-force validity recount after
+  // any interleaving of appends, nulls, and overwrites.
+  auto brute = [](const Column& col) {
+    int64_t n = 0;
+    for (int64_t i = 0; i < col.size(); ++i) n += col.IsNull(i) ? 1 : 0;
+    return n;
+  };
+  Rng rng(3);
+  Column c(DataType::kInt64);
+  for (int step = 0; step < 500; ++step) {
+    int64_t last = c.size() - 1;
+    switch (rng.NextBounded(6)) {
+      case 0:
+        ASSERT_OK(c.Append(Value::Int64(rng.NextInt(0, 9))));
+        break;
+      case 1:
+        c.AppendNull();
+        break;
+      case 2:
+        if (last >= 0) c.SetNull(rng.NextInt(0, last));
+        break;
+      case 3:
+        if (last >= 0) {
+          ASSERT_OK(c.SetValue(rng.NextInt(0, last), Value::Int64(7)));
+        }
+        break;
+      case 4:
+        if (last >= 0) ASSERT_OK(c.SetValue(rng.NextInt(0, last), Value::Null()));
+        break;
+      default:
+        c.AppendInt64(rng.NextInt(0, 9));
+        break;
+    }
+    ASSERT_EQ(c.null_count(), brute(c)) << "after step " << step;
+    ASSERT_EQ(c.has_nulls(), brute(c) > 0);
+  }
+  // Bulk constructions maintain the invariant too.
+  Column sliced = c.Slice(2, c.size() / 2);
+  EXPECT_EQ(sliced.null_count(), brute(sliced));
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < c.size(); i += 3) idx.push_back(i);
+  Column taken = c.Take(idx);
+  EXPECT_EQ(taken.null_count(), brute(taken));
+  ASSERT_OK(taken.AppendColumn(sliced));
+  EXPECT_EQ(taken.null_count(), brute(taken));
+  ASSERT_OK(taken.AppendColumn(Column::FromInt64({1, 2, 3})));  // no mask
+  EXPECT_EQ(taken.null_count(), brute(taken));
+}
+
+TEST(ColumnTest, NullCountIsConstantTime) {
+  // has_nulls() sits on kernel dispatch paths: repeated calls must not
+  // rescan the validity mask. Ten million calls against a million-row
+  // column finish in well under the (generous, CI-noise-proof) bound when
+  // O(1); an O(n) rescan would need ~10^13 loads.
+  Column c(DataType::kInt64);
+  for (int64_t i = 0; i < 1000000; ++i) c.AppendInt64(i);
+  c.SetNull(12345);
+  WallTimer t;
+  int64_t sum = 0;
+  for (int i = 0; i < 10000000; ++i) sum += c.null_count();
+  EXPECT_EQ(sum, 10000000);
+  EXPECT_LT(t.ElapsedMillis(), 2000.0);
 }
 
 }  // namespace
