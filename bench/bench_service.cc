@@ -1,0 +1,283 @@
+// E15 — Multi-tenant overload: admission control, budget kills, and
+// graceful degradation under 4x oversubscription. A shared Server runs 8
+// tenants (interactive / standard / batch classes) from twice as many
+// client threads as it has execution slots; every query must complete or
+// fail with a retryable status (rejected at the queue or killed by the
+// governor), no tenant class may starve, and a 10x-memory-oversubscribed
+// tenant must be kill-or-queued without perturbing its neighbors' results.
+//
+// The JSON gates are schedule-independent invariants, not exact timings:
+// rejections observed at saturation, zero starved classes, zero
+// non-retryable failures, p99 latency bounded, per-tenant completion
+// counts present, and byte-identical neighbor results under memory
+// pressure.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "provider/provider.h"
+#include "service/server.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+using service::QueryClass;
+using service::QueryOptions;
+using service::QueryReport;
+using service::ServerOptions;
+using service::TenantOptions;
+
+namespace {
+
+constexpr int kTenants = 8;
+constexpr int kThreadsPerTenant = 2;
+constexpr int kQueriesPerThread = 6;
+
+void LoadData(Cluster* cluster) {
+  Rng rng(42);
+  SchemaPtr orders = Schema::Make({Field::Attr("oid", DataType::kInt64),
+                                   Field::Attr("cust", DataType::kInt64),
+                                   Field::Attr("amount", DataType::kFloat64)})
+                         .ValueOrDie();
+  TableBuilder b(orders);
+  for (int64_t i = 0; i < 20000; ++i) {
+    NEXUS_CHECK(b.AppendRow({Value::Int64(i),
+                             Value::Int64(rng.NextInt(0, 199)),
+                             Value::Float64(rng.NextDouble(0, 1000))})
+                    .ok());
+  }
+  NEXUS_CHECK(
+      cluster->PutData("relstore", "orders", Dataset(b.Finish().ValueOrDie()))
+          .ok());
+}
+
+QueryClass ClassOf(int tenant) {
+  if (tenant < 3) return QueryClass::kInteractive;
+  if (tenant < 6) return QueryClass::kStandard;
+  return QueryClass::kBatch;
+}
+
+// Per-class workload: cheap scan for interactive, group-by for standard,
+// sort for batch — different memory and CPU shapes under one queue.
+PlanPtr PlanFor(QueryClass cls, int64_t salt) {
+  double cut = 100.0 + static_cast<double>(salt % 7) * 50.0;
+  switch (cls) {
+    case QueryClass::kInteractive:
+      return Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(cut)));
+    case QueryClass::kStandard: {
+      AggregateOp agg;
+      agg.group_by = {"cust"};
+      agg.aggs.push_back({AggFunc::kSum, Col("amount"), "total"});
+      return Plan::Aggregate(
+          Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(cut))),
+          agg.group_by, agg.aggs);
+    }
+    case QueryClass::kBatch:
+      return Plan::Sort(
+          Plan::Select(Plan::Scan("orders"), Gt(Col("amount"), Lit(cut))),
+          {{"amount", false}});
+  }
+  return Plan::Scan("orders");
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct TenantStats {
+  std::atomic<int> completed{0};
+  std::atomic<int> retryable_failures{0};
+  std::atomic<int> fatal_failures{0};
+  std::mutex mu;
+  std::vector<double> latencies_ms;  // guarded by mu
+};
+
+// One client thread: issue queries back-to-back, retrying retryable
+// rejections/kills with a short backoff. Overload is sustained because
+// 16 threads share 4 slots.
+void ClientLoop(service::Server* server, int64_t session, int tenant,
+                TenantStats* stats) {
+  QueryClass cls = ClassOf(tenant);
+  for (int q = 0; q < kQueriesPerThread; ++q) {
+    QueryOptions opts;
+    opts.query_class = cls;
+    bool done = false;
+    for (int attempt = 0; attempt < 200 && !done; ++attempt) {
+      QueryReport report;
+      Status s = server
+                     ->Execute(session, PlanFor(cls, tenant * 31 + q), opts,
+                               &report)
+                     .status();
+      if (s.ok()) {
+        stats->completed.fetch_add(1);
+        std::lock_guard<std::mutex> lock(stats->mu);
+        stats->latencies_ms.push_back(report.queue_wait_ms +
+                                      report.latency_ms);
+        done = true;
+      } else if (IsRetryable(s)) {
+        stats->retryable_failures.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      } else {
+        stats->fatal_failures.fetch_add(1);
+        done = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchjson::Recorder rec("service");
+
+  // ----- Phase 1: 8 tenants at ~4x overload. -------------------------------
+  Cluster cluster;
+  NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+  LoadData(&cluster);
+
+  ServerOptions options;
+  options.max_concurrent = 4;
+  options.queue_capacity = 6;  // < client threads - slots: saturation rejects
+  service::Server server(&cluster, options);
+  std::vector<int64_t> sessions;
+  for (int t = 0; t < kTenants; ++t) {
+    NEXUS_CHECK(
+        server.RegisterTenant(StrCat("tenant", t), TenantOptions{0, 1}).ok());
+    sessions.push_back(
+        server.OpenSession(StrCat("tenant", t)).ValueOrDie());
+  }
+
+  TenantStats stats[kTenants];
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kTenants; ++t) {
+    for (int k = 0; k < kThreadsPerTenant; ++k) {
+      clients.emplace_back(ClientLoop, &server, sessions[t], t, &stats[t]);
+    }
+  }
+  for (std::thread& th : clients) th.join();
+  double wall_ms = timer.ElapsedSeconds() * 1e3;
+
+  std::vector<double> all_lat, interactive_lat;
+  int total_completed = 0, total_retryable = 0, total_fatal = 0;
+  int starved_classes = 0;
+  int class_completed[3] = {0, 0, 0};
+  for (int t = 0; t < kTenants; ++t) {
+    total_completed += stats[t].completed.load();
+    total_retryable += stats[t].retryable_failures.load();
+    total_fatal += stats[t].fatal_failures.load();
+    class_completed[static_cast<int>(ClassOf(t))] +=
+        stats[t].completed.load();
+    double mean = 0.0;
+    for (double l : stats[t].latencies_ms) mean += l;
+    if (!stats[t].latencies_ms.empty()) {
+      mean /= static_cast<double>(stats[t].latencies_ms.size());
+    }
+    all_lat.insert(all_lat.end(), stats[t].latencies_ms.begin(),
+                   stats[t].latencies_ms.end());
+    if (ClassOf(t) == QueryClass::kInteractive) {
+      interactive_lat.insert(interactive_lat.end(),
+                             stats[t].latencies_ms.begin(),
+                             stats[t].latencies_ms.end());
+    }
+    rec.Record(StrCat("e15_tenant_", t), stats[t].completed.load(), mean);
+  }
+  for (int c = 0; c < 3; ++c) {
+    if (class_completed[c] == 0) ++starved_classes;
+  }
+
+  const int expected = kTenants * kThreadsPerTenant * kQueriesPerThread;
+  rec.Record("e15_overload_wall", total_completed, wall_ms,
+             kTenants * kThreadsPerTenant);
+  rec.Record("e15_overload_p50_interactive", total_completed,
+             Percentile(interactive_lat, 0.50));
+  rec.Record("e15_overload_p99_interactive", total_completed,
+             Percentile(interactive_lat, 0.99));
+  rec.Record("e15_overload_p99_all", total_completed,
+             Percentile(all_lat, 0.99));
+  rec.Record("e15_rejections", server.admission().rejected(), 0.0);
+  rec.Record("e15_retryable_failures", total_retryable, 0.0);
+  rec.Record("e15_non_retryable_failures", total_fatal, 0.0);
+  rec.Record("e15_starved_classes", starved_classes, 0.0);
+  rec.Record("e15_completed_all", total_completed == expected ? 1 : 0, 0.0);
+
+  std::printf("E15 overload: %d/%d completed, %lld rejected, %d retryable, "
+              "%d fatal, %d starved classes, wall %.0f ms\n",
+              total_completed, expected,
+              static_cast<long long>(server.admission().rejected()),
+              total_retryable, total_fatal, starved_classes, wall_ms);
+  std::printf("  latency p50(interactive)=%.1f ms  p99(interactive)=%.1f ms"
+              "  p99(all)=%.1f ms\n",
+              Percentile(interactive_lat, 0.50),
+              Percentile(interactive_lat, 0.99), Percentile(all_lat, 0.99));
+
+  // ----- Phase 2: 10x memory oversubscription without collateral damage. --
+  // Measure the hog query's real reservation on an unlimited budget, then
+  // re-register the hog at a tenth of it. Its queries must be killed (or
+  // queued) with a retryable status while a neighbor's concurrent results
+  // stay byte-identical to its solo run.
+  service::Server over(&cluster, ServerOptions{});
+  NEXUS_CHECK(over.RegisterTenant("probe", TenantOptions{0, 1}).ok());
+  int64_t probe = over.OpenSession("probe").ValueOrDie();
+  QueryReport probe_report;
+  PlanPtr hog_plan = PlanFor(QueryClass::kBatch, 3);
+  NEXUS_CHECK(
+      over.Execute(probe, hog_plan, {}, &probe_report).status().ok());
+  int64_t hog_budget = std::max<int64_t>(1, probe_report.reserved_bytes / 10);
+
+  NEXUS_CHECK(
+      over.RegisterTenant("hog", TenantOptions{hog_budget, 1}).ok());
+  NEXUS_CHECK(over.RegisterTenant("neighbor", TenantOptions{0, 1}).ok());
+  int64_t hog_session = over.OpenSession("hog").ValueOrDie();
+  int64_t nb_session = over.OpenSession("neighbor").ValueOrDie();
+
+  PlanPtr nb_plan = PlanFor(QueryClass::kStandard, 1);
+  Dataset nb_solo = over.Execute(nb_session, nb_plan).ValueOrDie();
+
+  std::atomic<int> hog_killed{0}, hog_fatal{0};
+  std::thread hog_thread([&] {
+    for (int i = 0; i < 8; ++i) {
+      Status s = over.Execute(hog_session, hog_plan).status();
+      if (s.ok()) continue;  // squeaked under the budget this round
+      if (IsRetryable(s)) {
+        hog_killed.fetch_add(1);
+      } else {
+        hog_fatal.fetch_add(1);
+      }
+    }
+  });
+  int nb_identical = 0, nb_runs = 12;
+  for (int i = 0; i < nb_runs; ++i) {
+    auto got = over.Execute(nb_session, nb_plan);
+    if (got.ok() && got.ValueOrDie().LogicallyEquals(nb_solo)) ++nb_identical;
+  }
+  hog_thread.join();
+
+  rec.Record("e15_oversub_identical", nb_identical == nb_runs ? 1 : 0, 0.0);
+  rec.Record("e15_oversub_hog_kills", hog_killed.load(), 0.0);
+  rec.Record("e15_oversub_hog_fatal", hog_fatal.load(), 0.0);
+  rec.Record("e15_governor_kills", over.governor().kills(), 0.0);
+
+  std::printf("E15 oversubscription: budget=%lld B, neighbor identical "
+              "%d/%d, hog retryable-killed %d, hog fatal %d, governor "
+              "kills %lld\n",
+              static_cast<long long>(hog_budget), nb_identical, nb_runs,
+              hog_killed.load(), hog_fatal.load(),
+              static_cast<long long>(over.governor().kills()));
+  return total_fatal == 0 && hog_fatal.load() == 0 && starved_classes == 0
+             ? 0
+             : 1;
+}

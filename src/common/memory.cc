@@ -1,0 +1,17 @@
+#include "common/memory.h"
+
+#include "common/parallel.h"
+
+namespace nexus {
+
+MemoryMeter* CurrentMemoryMeter() {
+  const TaskContext* ctx = CurrentTaskContext();
+  return ctx != nullptr ? ctx->meter : nullptr;
+}
+
+void ChargeAllocation(int64_t bytes) {
+  if (bytes <= 0) return;
+  if (MemoryMeter* meter = CurrentMemoryMeter()) meter->Charge(bytes);
+}
+
+}  // namespace nexus

@@ -1,0 +1,43 @@
+// Memory metering: how collection allocations are attributed to tenants.
+//
+// The type layer (Table::Make, NDArray chunk creation) reports the bytes of
+// every collection it materializes to the calling thread's installed
+// MemoryMeter — a thread-local pointer carried across worker threads by the
+// parallel pool's TaskContext, so morsels executing on pool workers charge
+// the query that submitted them. With no meter installed (every standalone
+// use of the library) the hook is one thread-local load and a branch.
+//
+// Charges are deliberately gross, not net: a meter sees what a query
+// *materialized*, including short-lived intermediates and zero-copy views,
+// and the service's MemoryGovernor releases the whole charge when the query
+// finishes. That over-approximation is exactly the conservative signal an
+// admission governor wants — a query that churns intermediates is expensive
+// even when its peak resident set is small.
+#ifndef NEXUS_COMMON_MEMORY_H_
+#define NEXUS_COMMON_MEMORY_H_
+
+#include <cstdint>
+
+namespace nexus {
+
+/// Receiver of allocation charges. Implementations must be thread-safe:
+/// morsels of one query charge concurrently from many pool workers.
+class MemoryMeter {
+ public:
+  virtual ~MemoryMeter() = default;
+  /// Reports `bytes` of newly materialized collection data. May react by
+  /// cancelling work (flip a CancelToken) but must not throw or block for
+  /// long — it runs inside engine hot loops.
+  virtual void Charge(int64_t bytes) = 0;
+};
+
+/// The calling thread's meter, or nullptr. Installed via the parallel
+/// pool's TaskContext (see common/parallel.h), never directly.
+MemoryMeter* CurrentMemoryMeter();
+
+/// Charges the current thread's meter, if any.
+void ChargeAllocation(int64_t bytes);
+
+}  // namespace nexus
+
+#endif  // NEXUS_COMMON_MEMORY_H_

@@ -16,6 +16,8 @@ std::atomic<int64_t> g_morsels{0};
 std::atomic<int64_t> g_regions{0};
 std::atomic<const ParallelHooks*> g_hooks{nullptr};
 
+thread_local const TaskContext* t_task_context = nullptr;
+
 /// RAII region observation: captures the hook table once so a region sees
 /// a consistent table even if telemetry flips mid-flight.
 struct RegionScope {
@@ -45,6 +47,14 @@ struct RegionScope {
 
 int ClampThreads(int n) { return std::clamp(n, 1, kMaxThreads); }
 
+/// True when the calling thread's installed context has a fired cancel
+/// token — the inline (budget 1) paths use this to skip remaining morsels,
+/// mirroring the pooled claim-and-skip drain.
+bool CallerCancelled() {
+  return t_task_context != nullptr && t_task_context->cancel != nullptr &&
+         t_task_context->cancel->cancelled();
+}
+
 int InitialThreadCount() {
   // NEXUS_THREADS overrides the hardware default, so benches and CI can pin
   // the budget without touching code.
@@ -61,13 +71,22 @@ std::atomic<int> g_thread_count{0};  // 0 = not yet initialized
 /// the region is finished when `done` reaches `total`.
 struct TaskGroup {
   explicit TaskGroup(int64_t n, const std::function<void(int64_t)>& f)
-      : total(n), run(&f) {}
+      : total(n), run(&f) {
+    if (t_task_context != nullptr) ctx = *t_task_context;
+  }
   const int64_t total;
   const std::function<void(int64_t)>* run;
+  /// Submitter's scheduling/attribution context, by value: the pointers
+  /// inside outlive the region (the submitter blocks until it drains).
+  TaskContext ctx;
   std::atomic<int64_t> next{0};
   std::atomic<int64_t> done{0};
   int refs = 1;  // caller + workers inside ExecuteFrom; guarded by pool mutex
   std::exception_ptr error;  // first failure; guarded by the pool mutex
+
+  bool Cancelled() const {
+    return ctx.cancel != nullptr && ctx.cancel->cancelled();
+  }
 };
 
 /// Lazy global worker pool. Workers are spawned on demand (up to the
@@ -117,23 +136,55 @@ class Pool {
   }
 
   /// Claims and executes tasks of `group` until its cursor is exhausted.
+  /// The group's TaskContext is installed for the duration, so morsel
+  /// bodies see the submitting query's cancel token and memory meter even
+  /// on pool workers. A cancelled group's remaining morsels are claimed
+  /// and skipped — the region drains at memory speed and the submitter's
+  /// own token check surfaces the cancellation.
   void ExecuteFrom(TaskGroup* group) {
+    const TaskContext* saved = t_task_context;
+    t_task_context = &group->ctx;
     for (;;) {
       int64_t i = group->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= group->total) return;
-      try {
-        (*group->run)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (!group->error) group->error = std::current_exception();
+      if (i >= group->total) break;
+      if (!group->Cancelled()) {
+        try {
+          (*group->run)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!group->error) group->error = std::current_exception();
+        }
+        g_morsels.fetch_add(1, std::memory_order_relaxed);
       }
-      g_morsels.fetch_add(1, std::memory_order_relaxed);
       if (group->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           group->total) {
         { std::lock_guard<std::mutex> lock(mu_); }  // pair with done_cv_ wait
         done_cv_.notify_all();
       }
     }
+    t_task_context = saved;
+  }
+
+  /// Weighted-deficit region pick (caller holds mu_): among regions with
+  /// unclaimed morsels, take the one with the lowest claimed/weight ratio.
+  /// With equal weights (the default) and one region this degrades to the
+  /// legacy first-active pick; with mixed weights, heavier classes claim
+  /// proportionally more workers, so a flood of weight-1 batch regions
+  /// cannot starve a weight-8 interactive region.
+  TaskGroup* PickGroup() {
+    TaskGroup* best = nullptr;
+    double best_key = 0.0;
+    for (TaskGroup* g : active_) {
+      int64_t claimed = g->next.load(std::memory_order_relaxed);
+      if (claimed >= g->total) continue;
+      double key = static_cast<double>(claimed) /
+                   static_cast<double>(g->ctx.weight < 1 ? 1 : g->ctx.weight);
+      if (best == nullptr || key < best_key) {
+        best = g;
+        best_key = key;
+      }
+    }
+    return best;
   }
 
   void WorkerLoop() {
@@ -147,13 +198,8 @@ class Pool {
           }
           return false;
         });
-        for (TaskGroup* g : active_) {
-          if (g->next.load(std::memory_order_relaxed) < g->total) {
-            group = g;
-            ++group->refs;
-            break;
-          }
-        }
+        group = PickGroup();
+        if (group != nullptr) ++group->refs;
       }
       if (group != nullptr) {
         ExecuteFrom(group);
@@ -205,6 +251,15 @@ void SetParallelHooks(const ParallelHooks* hooks) {
   g_hooks.store(hooks, std::memory_order_release);
 }
 
+const TaskContext* CurrentTaskContext() { return t_task_context; }
+
+ScopedTaskContext::ScopedTaskContext(const TaskContext* ctx)
+    : saved_(t_task_context) {
+  t_task_context = ctx;
+}
+
+ScopedTaskContext::~ScopedTaskContext() { t_task_context = saved_; }
+
 void ParallelFor(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body,
                  int threads) {
@@ -214,8 +269,10 @@ void ParallelFor(int64_t n, int64_t grain,
   int budget = threads > 0 ? ClampThreads(threads) : GetThreadCount();
   RegionScope region;
   if (budget == 1 || morsels == 1) {
-    region.RunMorsel(0, [&] { body(0, n); });
-    g_morsels.fetch_add(1, std::memory_order_relaxed);
+    if (!CallerCancelled()) {
+      region.RunMorsel(0, [&] { body(0, n); });
+      g_morsels.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   g_regions.fetch_add(1, std::memory_order_relaxed);
@@ -235,6 +292,7 @@ void ParallelRun(const std::vector<std::function<void()>>& tasks,
   RegionScope region;
   if (budget == 1 || tasks.size() == 1) {
     for (size_t i = 0; i < tasks.size(); ++i) {
+      if (CallerCancelled()) return;
       region.RunMorsel(static_cast<int64_t>(i), [&] { tasks[i](); });
       g_morsels.fetch_add(1, std::memory_order_relaxed);
     }

@@ -24,7 +24,11 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace nexus {
+
+class MemoryMeter;  // common/memory.h
 
 /// Hard ceiling on pool workers (a safety valve, not a tuning knob).
 inline constexpr int kMaxThreads = 64;
@@ -66,6 +70,43 @@ void ParallelFor(int64_t n, int64_t grain,
 /// tasks run inline in index order, exactly like a for loop.
 void ParallelRun(const std::vector<std::function<void()>>& tasks,
                  int threads = 0);
+
+/// Per-task scheduling and attribution context — the multi-tenant service's
+/// handle into the shared pool. A TaskContext is installed thread-locally
+/// (ScopedTaskContext) by whoever owns the work, snapshot by value into
+/// every parallel region the thread submits, and re-installed around each
+/// morsel on whichever worker executes it, so:
+///   - `cancel`: morsel loops are cooperatively cancellable — once the token
+///     fires, remaining morsels of the region are claimed-and-skipped (the
+///     region still completes, fast, and the caller observes the token);
+///   - `weight`: when several regions are in flight, idle workers pick the
+///     region with the lowest claimed-morsels/weight ratio, a deficit
+///     discipline that keeps one heavy tenant from starving light ones;
+///   - `meter`: collection allocations on worker threads charge the
+///     submitting query's memory meter (see common/memory.h).
+/// With no context installed (all single-query uses) behavior is exactly
+/// the legacy pool: FIFO region pick, weight 1, no cancellation, no meter.
+struct TaskContext {
+  const CancelToken* cancel = nullptr;  ///< not owned; may be null
+  int weight = 1;                       ///< scheduling-class weight (>= 1)
+  MemoryMeter* meter = nullptr;         ///< not owned; may be null
+};
+
+/// The calling thread's context, or nullptr.
+const TaskContext* CurrentTaskContext();
+
+/// RAII install/restore of the thread's TaskContext. The context must
+/// outlive every parallel region submitted within the scope.
+class ScopedTaskContext {
+ public:
+  explicit ScopedTaskContext(const TaskContext* ctx);
+  ~ScopedTaskContext();
+  ScopedTaskContext(const ScopedTaskContext&) = delete;
+  ScopedTaskContext& operator=(const ScopedTaskContext&) = delete;
+
+ private:
+  const TaskContext* saved_;
+};
 
 /// Observer hooks for per-morsel telemetry. The pool stays telemetry-
 /// agnostic: a hook table is installed by the telemetry layer (while

@@ -34,6 +34,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -32,6 +32,8 @@ enum class StatusCode : int {
   kSerializationError = 12,
   kUnavailable = 13,
   kTimeout = 14,
+  kResourceExhausted = 15,
+  kCancelled = 16,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("Invalid argument"...).
@@ -96,6 +98,12 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -113,6 +121,10 @@ class Status {
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
@@ -133,11 +145,16 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
-/// True for transient failures (lost message, dead link, server-down
-/// window) that a caller may reasonably retry or route around. Every other
-/// code is deterministic: retrying would fail identically.
+/// True for transient failures that a caller may reasonably retry or route
+/// around: lost message, dead link, server-down window, or a resource limit
+/// (admission queue full, tenant memory budget) that frees up as other work
+/// drains. Every other code is deterministic: retrying would fail
+/// identically. kCancelled is deliberately NOT retryable — a cancellation
+/// was requested and retrying would override that request.
 inline bool IsRetryable(const Status& s) {
-  return s.code() == StatusCode::kUnavailable || s.code() == StatusCode::kTimeout;
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kTimeout ||
+         s.code() == StatusCode::kResourceExhausted;
 }
 
 }  // namespace nexus

@@ -406,10 +406,35 @@ int Coordinator::EffectiveThreads() const {
   return std::min(options_.thread_count, kMaxThreads);
 }
 
+Status Coordinator::CheckCancelled() {
+  const CancelToken* token = options_.cancel.get();
+  if (token != nullptr && token->cancelled()) return token->status();
+  if (options_.deadline_simulated_seconds > 0.0 &&
+      cluster_->transport()->simulated_seconds() >
+          options_.deadline_simulated_seconds) {
+    Status timeout = Status::Timeout(
+        StrCat("deadline of ",
+               FormatDouble(options_.deadline_simulated_seconds, 3),
+               "s (simulated) exceeded"));
+    if (options_.cancel != nullptr) {
+      // Fire the token so engine morsel loops drain too, then report
+      // whatever the token holds (a concurrent governor kill wins the race
+      // and its status is the one the client should see).
+      options_.cancel->Cancel(StatusCode::kTimeout, timeout.ToString());
+      return options_.cancel->status();
+    }
+    return timeout;
+  }
+  return Status::OK();
+}
+
 Result<std::string> Coordinator::RegisterTemp(const std::string& server,
                                               Dataset data) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  std::string name = StrCat("__frag_", temp_counter_++);
+  std::string name =
+      options_.temp_namespace.empty()
+          ? StrCat("__frag_", temp_counter_++)
+          : StrCat("__frag_", options_.temp_namespace, "_", temp_counter_++);
   NEXUS_RETURN_NOT_OK(cluster_->provider(server)->catalog()->Put(name, std::move(data)));
   temps_.emplace_back(server, name);
   return name;
@@ -428,6 +453,7 @@ void Coordinator::DropTemps() {
 
 Status Coordinator::SendWithRetry(const std::string& from, const std::string& to,
                                   int64_t bytes, MessageKind kind) {
+  NEXUS_RETURN_NOT_OK(CheckCancelled());
   // The transport is a single-client simulation (clock, counters, fault
   // schedule): all traffic is serialized here even when sibling fragments
   // execute concurrently. Compute (ExecuteWire) stays outside this lock.
@@ -761,6 +787,7 @@ Result<std::pair<std::string, std::string>> Coordinator::ExecToTemp(
   // its nodes stay alive for the whole Execute, while client-loop body
   // trees are rebuilt (and freed) every iteration.
   const bool memoize = placement == root_placement_;
+  NEXUS_RETURN_NOT_OK(CheckCancelled());
   std::string server;
   {
     std::lock_guard<std::recursive_mutex> lock(mu_);
@@ -991,6 +1018,7 @@ Result<Dataset> Coordinator::RunClientLoop(const Plan& iterate,
   int64_t iter = 0;
   LoopShip ship;
   while (iter < op.max_iters) {
+    NEXUS_RETURN_NOT_OK(CheckCancelled());
     if (iter % k == 0) {
       checkpoint = state;
       checkpoint_iter = iter;
@@ -1072,7 +1100,11 @@ Result<Dataset> Coordinator::Execute(const PlanPtr& plan,
   auto result = Run(prepared, &placement);
   // Failover: while the failure is transient and a server can be blamed,
   // exclude it, replan, and resume from memoized temps on the survivors.
-  while (!result.ok() && IsRetryable(result.status()) && ExcludeFailedServer()) {
+  // A cancelled query never fails over: kResourceExhausted/kTimeout from
+  // the token mean "stop", not "the server is sick".
+  while (!result.ok() && IsRetryable(result.status()) &&
+         !(options_.cancel != nullptr && options_.cancel->cancelled()) &&
+         ExcludeFailedServer()) {
     Placement replanned;
     {
       telemetry::SpanGuard replan_span(telemetry::kCategoryCoordinator,

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "core/wire_format.h"
 #include "federation/cluster.h"
@@ -89,6 +90,19 @@ struct CoordinatorOptions {
   /// Also enables the serialize-once fast path for client-driven loops,
   /// where only the changed loop-variable bindings travel per round.
   bool plan_cache = true;
+  /// Cooperative cancellation (the multi-tenant service's kill switch).
+  /// Checked at every fragment/message/loop boundary; when the token fires
+  /// mid-execution, Execute unwinds with the token's status and the
+  /// TempGuard releases all registered temps. Null = never cancelled.
+  CancelTokenPtr cancel;
+  /// Absolute deadline on the transport's simulated clock (seconds);
+  /// crossing it cancels the token (kTimeout) at the next check. 0 = none.
+  double deadline_simulated_seconds = 0.0;
+  /// Disambiguates temp names when several coordinators share one cluster:
+  /// temps become "__frag_<ns>_<n>". Empty (default) keeps the legacy
+  /// "__frag_<n>" names — and the byte-identical wire traces the seeded
+  /// chaos tests assert on.
+  std::string temp_namespace;
 };
 
 /// Per-execution accounting: a *view* over cumulative telemetry — the
@@ -281,6 +295,11 @@ class Coordinator {
   /// Resolved thread budget: options_.thread_count, or the process-wide
   /// budget when 0.
   int EffectiveThreads() const;
+  /// Cooperative cancellation checkpoint: OK unless options_.cancel fired
+  /// (returns its status) or the simulated clock crossed
+  /// options_.deadline_simulated_seconds (fires the token with kTimeout and
+  /// returns that). Called at fragment, message, and loop boundaries.
+  Status CheckCancelled();
 
   /// Handles into the process-global MetricsRegistry — the coordinator's
   /// counters are ordinary named metrics ("coordinator.fragments", ...),

@@ -62,6 +62,7 @@ std::string FaultEvent::ToString() const {
 
 double Transport::Send(const std::string& from, const std::string& to,
                        int64_t bytes, MessageKind kind) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   log_.push_back(MessageRecord{from, to, bytes, kind, /*failed=*/false});
   double seconds = options_.latency_seconds +
                    static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
@@ -77,6 +78,7 @@ double Transport::Send(const std::string& from, const std::string& to,
 
 Status Transport::TrySend(const std::string& from, const std::string& to,
                           int64_t bytes, MessageKind kind, double* seconds) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!faults_.enabled) {
     double s = Send(from, to, bytes, kind);
     if (seconds != nullptr) *seconds = s;
@@ -148,11 +150,13 @@ Status Transport::TrySend(const std::string& from, const std::string& to,
 
 void Transport::SetNodeBinaryCapable(const std::string& node,
                                      bool accepts_binary) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   binary_capable_[node] = accepts_binary;
 }
 
 WireFormat Transport::NegotiatedFormat(const std::string& a,
                                        const std::string& b) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (ProcessWireFormat() == WireFormat::kText) return WireFormat::kText;
   auto capable = [this](const std::string& n) {
     auto it = binary_capable_.find(n);
@@ -162,6 +166,7 @@ WireFormat Transport::NegotiatedFormat(const std::string& a,
 }
 
 void Transport::SetFaultOptions(FaultOptions faults) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   faults_ = std::move(faults);
   fault_rng_ = Rng(faults_.seed);
   partitions_.clear();
@@ -171,6 +176,7 @@ void Transport::SetFaultOptions(FaultOptions faults) {
 }
 
 bool Transport::IsDown(const std::string& server) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!faults_.enabled || server == kClientNode) return false;
   for (const DownWindow& w : faults_.down_windows) {
     if (w.server == server && simulated_seconds_ >= w.start_seconds &&
@@ -187,31 +193,37 @@ std::pair<std::string, std::string> Transport::NormalizedLink(
 }
 
 bool Transport::IsPartitioned(const std::string& a, const std::string& b) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!faults_.enabled) return false;
   return partitions_.count(NormalizedLink(a, b)) != 0;
 }
 
 void Transport::PartitionLink(const std::string& a, const std::string& b) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   partitions_.insert(NormalizedLink(a, b));
 }
 
 void Transport::HealLink(const std::string& a, const std::string& b) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   partitions_.erase(NormalizedLink(a, b));
 }
 
 int64_t Transport::total_bytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t sum = 0;
   for (const MessageRecord& m : log_) sum += m.bytes;
   return sum;
 }
 
 int64_t Transport::messages_of(MessageKind kind) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t n = 0;
   for (const MessageRecord& m : log_) n += (m.kind == kind);
   return n;
 }
 
 int64_t Transport::bytes_of(MessageKind kind) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t sum = 0;
   for (const MessageRecord& m : log_) {
     if (m.kind == kind) sum += m.bytes;
@@ -220,12 +232,14 @@ int64_t Transport::bytes_of(MessageKind kind) const {
 }
 
 int64_t Transport::failed_messages() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t n = 0;
   for (const MessageRecord& m : log_) n += m.failed;
   return n;
 }
 
 int64_t Transport::failed_bytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t sum = 0;
   for (const MessageRecord& m : log_) {
     if (m.failed) sum += m.bytes;
@@ -234,6 +248,7 @@ int64_t Transport::failed_bytes() const {
 }
 
 int64_t Transport::bytes_through(const std::string& node) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t sum = 0;
   for (const MessageRecord& m : log_) {
     if (m.from == node || m.to == node) sum += m.bytes;
@@ -242,6 +257,7 @@ int64_t Transport::bytes_through(const std::string& node) const {
 }
 
 int64_t Transport::messages_through(const std::string& node) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   int64_t n = 0;
   for (const MessageRecord& m : log_) {
     if (m.from == node || m.to == node) ++n;
@@ -251,6 +267,7 @@ int64_t Transport::messages_through(const std::string& node) const {
 
 std::map<std::pair<std::string, std::string>, LinkStats> Transport::PerLink()
     const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::map<std::pair<std::string, std::string>, LinkStats> out;
   for (const MessageRecord& m : log_) {
     LinkStats& s = out[{m.from, m.to}];
@@ -261,6 +278,7 @@ std::map<std::pair<std::string, std::string>, LinkStats> Transport::PerLink()
 }
 
 void Transport::Reset() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   log_.clear();
   fault_log_.clear();
   simulated_seconds_ = 0.0;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -96,7 +97,15 @@ struct LinkStats {
   int64_t bytes = 0;
 };
 
-/// Records and prices all traffic. Not thread-safe (single-client model).
+/// Records and prices all traffic. Thread-safe: the multi-tenant service
+/// runs many coordinators against one shared transport, so every mutating
+/// or aggregating method takes an internal (recursive) lock. The simulated
+/// clock remains a single global sequence — concurrent sends serialize on
+/// the lock in arrival order, which models one shared wire.
+///
+/// The reference-returning accessors (`log()`, `fault_log()`,
+/// `fault_options()`) are snapshots for single-threaded inspection; do not
+/// call them while other threads are sending.
 class Transport {
  public:
   explicit Transport(TransportOptions options = {}) : options_(options) {}
@@ -131,7 +140,10 @@ class Transport {
 
   /// Advances the simulated clock without sending anything — retry backoff
   /// pauses charge their wait here so scripted down windows eventually pass.
-  void AdvanceTime(double seconds) { simulated_seconds_ += seconds; }
+  void AdvanceTime(double seconds) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    simulated_seconds_ += seconds;
+  }
 
   /// True when `server` is inside a scripted down window at the current
   /// simulated time.
@@ -144,7 +156,10 @@ class Transport {
   void PartitionLink(const std::string& a, const std::string& b);
   void HealLink(const std::string& a, const std::string& b);
 
-  int64_t total_messages() const { return static_cast<int64_t>(log_.size()); }
+  int64_t total_messages() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return static_cast<int64_t>(log_.size());
+  }
   int64_t total_bytes() const;
   int64_t messages_of(MessageKind kind) const;
   int64_t bytes_of(MessageKind kind) const;
@@ -159,7 +174,10 @@ class Transport {
   int64_t messages_through(const std::string& node) const;
 
   /// Total simulated seconds across all messages (serialized link model).
-  double simulated_seconds() const { return simulated_seconds_; }
+  double simulated_seconds() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return simulated_seconds_;
+  }
 
   /// Per ordered endpoint pair.
   std::map<std::pair<std::string, std::string>, LinkStats> PerLink() const;
@@ -168,7 +186,10 @@ class Transport {
 
   /// Every fault injected so far, in firing order (the chaos trace).
   const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
-  int64_t faults_injected() const { return static_cast<int64_t>(fault_log_.size()); }
+  int64_t faults_injected() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return static_cast<int64_t>(fault_log_.size());
+  }
 
   /// Clears traffic logs, the fault trace, and the simulated clock (down
   /// windows therefore re-apply), and reseeds the fault RNG. Fault options
@@ -179,6 +200,9 @@ class Transport {
   static std::pair<std::string, std::string> NormalizedLink(
       const std::string& a, const std::string& b);
 
+  /// Recursive: TrySend holds the lock across its internal Send / IsDown /
+  /// IsPartitioned calls so one logical attempt is atomic on the wire.
+  mutable std::recursive_mutex mu_;
   TransportOptions options_;
   FaultOptions faults_;
   std::map<std::string, bool> binary_capable_;

@@ -1,0 +1,156 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace service {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kInteractive:
+      return "interactive";
+    case QueryClass::kStandard:
+      return "standard";
+    case QueryClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+int QueryClassWeight(QueryClass c) {
+  switch (c) {
+    case QueryClass::kInteractive:
+      return 8;
+    case QueryClass::kStandard:
+      return 4;
+    case QueryClass::kBatch:
+      return 1;
+  }
+  return 1;
+}
+
+Status AdmissionController::Admit(QueryClass cls, const std::string& tenant,
+                                  const CancelToken* cancel,
+                                  std::function<bool()> eligible,
+                                  double* queue_wait_ms) {
+  if (queue_wait_ms != nullptr) *queue_wait_ms = 0.0;
+  auto start = std::chrono::steady_clock::now();
+  Ticket ticket;
+  ticket.cls = cls;
+  ticket.eligible = eligible ? &eligible : nullptr;
+  std::unique_lock<std::mutex> lock(mu_);
+  ticket.seq = next_seq_++;
+  // Optimistically enqueue and dispatch; capacity only gates tickets that
+  // actually end up waiting. A ticket granted straight into a free slot never
+  // occupies a queue position, while an ineligible ticket does even when
+  // slots are free.
+  waiting_.push_back(&ticket);
+  Dispatch();
+  if (!ticket.granted &&
+      static_cast<int>(waiting_.size()) > options_.queue_capacity) {
+    waiting_.remove(&ticket);
+    ++rejected_;
+    return Status::ResourceExhausted(
+        StrCat("admission queue full (", waiting_.size(),
+               " waiting) for tenant '", tenant, "'; retry after ~",
+               static_cast<int64_t>(RetryAfterMillisLocked() + 0.5), "ms"));
+  }
+  cv_.wait(lock, [&] {
+    if (ticket.granted) return true;
+    if (cancel != nullptr && cancel->cancelled()) return true;
+    // Re-poll eligibility: a Poke may have made this ticket grantable.
+    Dispatch();
+    return ticket.granted;
+  });
+  if (!ticket.granted) {
+    // Cancelled while queued: withdraw the ticket; the caller unwinds and
+    // releases whatever it staged before admission (bindings, temps).
+    waiting_.remove(&ticket);
+    Dispatch();  // our departure may unblock a later ticket
+    cv_.notify_all();
+    return cancel->status();
+  }
+  ++admitted_;
+  if (queue_wait_ms != nullptr) {
+    *queue_wait_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Dispatch() {
+  while (free_slots_ > 0) {
+    Ticket* best = nullptr;
+    for (Ticket* t : waiting_) {
+      if (t->granted) continue;
+      if (t->eligible != nullptr && !(*t->eligible)()) continue;
+      if (best == nullptr || t->cls < best->cls ||
+          (t->cls == best->cls && t->seq < best->seq)) {
+        best = t;
+      }
+    }
+    if (best == nullptr) return;
+    best->granted = true;
+    --free_slots_;
+    waiting_.remove(best);
+    cv_.notify_all();
+  }
+}
+
+void AdmissionController::Release(double service_wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++free_slots_;
+  if (service_wall_ms >= 0.0) {
+    constexpr double kAlpha = 0.3;
+    ewma_service_ms_ = ewma_seeded_
+                           ? (1.0 - kAlpha) * ewma_service_ms_ +
+                                 kAlpha * service_wall_ms
+                           : service_wall_ms;
+    ewma_seeded_ = true;
+  }
+  Dispatch();
+  cv_.notify_all();
+}
+
+void AdmissionController::Poke() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Dispatch();
+  cv_.notify_all();
+}
+
+int64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+int64_t AdmissionController::queued_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(waiting_.size());
+}
+
+double AdmissionController::RetryAfterMillis() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterMillisLocked();
+}
+
+double AdmissionController::RetryAfterMillisLocked() const {
+  // Expected drain time of one queue position: every query ahead of a
+  // retrying client must pass through one of max_concurrent slots.
+  double per_slot = ewma_seeded_ ? ewma_service_ms_ : 10.0;  // cold guess
+  double depth = static_cast<double>(waiting_.size() + 1);
+  return std::max(1.0, per_slot * depth /
+                           std::max(1, options_.max_concurrent));
+}
+
+}  // namespace service
+}  // namespace nexus

@@ -1,0 +1,116 @@
+// Admission control: the service's front door.
+//
+// Desideratum: a shared big-data service must degrade gracefully, not
+// collapse, when offered more work than it can run. The controller bounds
+// both the running set (max_concurrent execution slots) and the waiting set
+// (queue_capacity); work beyond both is rejected *deterministically* with
+// kResourceExhausted and a retry-after hint derived from observed service
+// times — the client-visible contract is "come back in ~N ms", never a
+// hang or a crash.
+//
+// Queued work is released in (class, arrival) order: all waiting
+// kInteractive tickets beat all kStandard beat all kBatch, FIFO within a
+// class. An injected eligibility predicate lets the memory governor hold
+// back tickets of an over-budget tenant without ejecting them — the
+// "queue" half of its kill-or-queue policy.
+#ifndef NEXUS_SERVICE_ADMISSION_H_
+#define NEXUS_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/status.h"
+
+namespace nexus {
+namespace service {
+
+/// Scheduling class of one query. Order is priority order: lower enum
+/// value admits (and schedules) first.
+enum class QueryClass {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+
+const char* QueryClassName(QueryClass c);
+
+/// Morsel-pool scheduling weight of each class (see TaskContext::weight):
+/// interactive regions claim workers 8× as fast as batch regions.
+int QueryClassWeight(QueryClass c);
+
+struct AdmissionOptions {
+  /// Execution slots: queries running at once.
+  int max_concurrent = 4;
+  /// Tickets allowed to wait for a slot; arrivals beyond this are rejected.
+  int queue_capacity = 16;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options)
+      : options_(options), free_slots_(options.max_concurrent) {}
+
+  /// Blocks until an execution slot is granted, then returns OK.
+  /// Immediately returns kResourceExhausted (retryable, with a retry-after
+  /// hint) when the wait queue is full. Returns the cancel token's status
+  /// if it fires while queued (the caller still owns any state it staged
+  /// before admission — release it). `eligible`, when set, must be true for
+  /// the ticket to be granted a slot; it is re-polled on every wake.
+  /// `queue_wait_ms`, when set, receives the wall milliseconds spent
+  /// waiting (0 for immediate admission).
+  Status Admit(QueryClass cls, const std::string& tenant,
+               const CancelToken* cancel, std::function<bool()> eligible,
+               double* queue_wait_ms);
+
+  /// Returns an execution slot and feeds the observed service time (wall
+  /// ms) into the retry-after estimate.
+  void Release(double service_wall_ms);
+
+  /// Wakes all waiters to re-poll their eligibility (call after anything
+  /// that may have turned an ineligible tenant eligible, e.g. a query
+  /// finished and released its memory).
+  void Poke();
+
+  int64_t admitted() const;
+  int64_t rejected() const;
+  /// Tickets currently waiting.
+  int64_t queued_now() const;
+  /// Milliseconds a client should wait before retrying after a rejection:
+  /// expected queue drain time from the service-time EWMA.
+  double RetryAfterMillis() const;
+
+ private:
+  struct Ticket {
+    QueryClass cls;
+    int64_t seq = 0;
+    bool granted = false;
+    const std::function<bool()>* eligible = nullptr;  // null = always
+  };
+
+  /// Grants free slots to waiting eligible tickets in (class, seq) order.
+  /// Caller holds mu_.
+  void Dispatch();
+  double RetryAfterMillisLocked() const;  // caller holds mu_
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int free_slots_;
+  int64_t next_seq_ = 0;
+  std::list<Ticket*> waiting_;  // unordered; Dispatch scans for the best
+  int64_t admitted_ = 0;
+  int64_t rejected_ = 0;
+  /// EWMA of observed service times (wall ms); seeds the retry-after hint.
+  double ewma_service_ms_ = 0.0;
+  bool ewma_seeded_ = false;
+};
+
+}  // namespace service
+}  // namespace nexus
+
+#endif  // NEXUS_SERVICE_ADMISSION_H_

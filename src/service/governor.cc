@@ -1,0 +1,112 @@
+#include "service/governor.h"
+
+#include "common/str_util.h"
+
+namespace nexus {
+namespace service {
+
+Status MemoryGovernor::RegisterTenant(const std::string& name,
+                                      TenantOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.count(name) != 0) {
+    return Status::AlreadyExists(StrCat("tenant '", name, "' already registered"));
+  }
+  if (options.weight < 1) options.weight = 1;
+  tenants_[name].options = options;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MemoryGovernor::QueryMeter>> MemoryGovernor::StartQuery(
+    const std::string& tenant, CancelTokenPtr token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound(StrCat("unknown tenant '", tenant, "'"));
+  }
+  auto meter = std::make_unique<QueryMeter>();
+  meter->governor_ = this;
+  meter->tenant_ = tenant;
+  meter->id_ = next_query_id_++;
+  meter->token_ = std::move(token);
+  it->second.live[meter->id_] = meter.get();
+  return meter;
+}
+
+void MemoryGovernor::FinishQuery(QueryMeter* meter) {
+  if (meter == nullptr || meter->governor_ != this) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(meter->tenant_);
+  if (it == tenants_.end()) return;
+  it->second.live.erase(meter->id_);
+  it->second.usage -= meter->charged();
+  if (it->second.usage < 0) it->second.usage = 0;
+  meter->governor_ = nullptr;
+}
+
+void MemoryGovernor::QueryMeter::Charge(int64_t bytes) {
+  if (bytes <= 0 || governor_ == nullptr) return;
+  charged_.fetch_add(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(governor_->mu_);
+  auto it = governor_->tenants_.find(tenant_);
+  if (it == governor_->tenants_.end()) return;
+  it->second.usage += bytes;
+  governor_->EnforceLocked(&it->second);
+}
+
+void MemoryGovernor::EnforceLocked(Tenant* tenant) {
+  int64_t budget = tenant->options.memory_budget_bytes;
+  if (budget <= 0 || tenant->usage <= budget) return;
+  // One dying victim at a time: its charge comes back at FinishQuery, and
+  // piling on more kills while it unwinds would overshoot the correction.
+  for (const auto& [id, m] : tenant->live) {
+    if (m->token_ != nullptr && m->token_->cancelled()) return;
+  }
+  // Victim choice, deterministic: the cheapest query whose removal brings
+  // the tenant back under budget (least work wasted); if none suffices
+  // alone, the most expensive one (biggest step toward recovery). Ties
+  // break on the lower query id. Queries without a token can't be killed.
+  int64_t over = tenant->usage - budget;
+  QueryMeter* victim = nullptr;
+  bool victim_sufficient = false;
+  for (const auto& [id, m] : tenant->live) {
+    if (m->token_ == nullptr) continue;
+    int64_t c = m->charged();
+    bool sufficient = c >= over;
+    if (victim == nullptr) {
+      victim = m;
+      victim_sufficient = sufficient;
+      continue;
+    }
+    int64_t vc = victim->charged();
+    bool better = sufficient ? (!victim_sufficient || c < vc)
+                             : (!victim_sufficient && c > vc);
+    if (better) {
+      victim = m;
+      victim_sufficient = sufficient;
+    }
+  }
+  if (victim == nullptr) return;
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  victim->token_->Cancel(
+      StatusCode::kResourceExhausted,
+      StrCat("tenant '", victim->tenant_, "' over memory budget (",
+             tenant->usage, " > ", budget, " bytes); query killed to recover ",
+             victim->charged(), " bytes — retry later"));
+}
+
+bool MemoryGovernor::UnderBudget(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  int64_t budget = it->second.options.memory_budget_bytes;
+  return budget <= 0 || it->second.usage < budget;
+}
+
+int64_t MemoryGovernor::Usage(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.usage;
+}
+
+}  // namespace service
+}  // namespace nexus

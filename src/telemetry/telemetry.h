@@ -42,6 +42,7 @@ inline constexpr const char kCategoryOperator[] = "operator";
 inline constexpr const char kCategoryEngine[] = "engine";
 inline constexpr const char kCategoryMorsel[] = "morsel";
 inline constexpr const char kCategoryTransport[] = "transport";
+inline constexpr const char kCategoryService[] = "service";
 
 /// One finished span. `sim_*` fields are stamped from the simulated clock
 /// when one is installed (SetSimulatedClock), else 0.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 
@@ -17,6 +18,19 @@ int64_t ArrayChunk::Volume() const {
   for (int64_t e : extent) v *= e;
   return v;
 }
+
+namespace {
+
+/// Charges a freshly materialized chunk to the calling thread's memory
+/// meter, if one is installed (service-managed queries only).
+void ChargeChunk(const ArrayChunk& chunk) {
+  if (CurrentMemoryMeter() == nullptr) return;
+  int64_t bytes = static_cast<int64_t>(chunk.occupied.size());
+  for (const Column& c : chunk.attrs) bytes += c.ByteSize();
+  ChargeAllocation(bytes);
+}
+
+}  // namespace
 
 int64_t ArrayChunk::LocalOffset(const std::vector<int64_t>& local) const {
   int64_t off = 0;
@@ -153,6 +167,7 @@ Result<ArrayChunk*> NDArray::ChunkFor(const std::vector<int64_t>& coords,
       chunk.attrs.push_back(Column::Filled(f.type, volume));
     }
     chunk.occupied.assign(static_cast<size_t>(volume), 0);
+    ChargeChunk(chunk);
     it = chunks_.emplace(key, std::move(chunk)).first;
   }
   *local_offset = it->second.LocalOffset(local);
@@ -184,6 +199,7 @@ Status NDArray::PutChunk(ArrayChunk chunk) {
       return Status::InvalidArgument("PutChunk: attribute column mismatch");
     }
   }
+  ChargeChunk(chunk);
   int64_t key = GridKey(chunk.grid);
   chunks_[key] = std::move(chunk);
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/memory.h"
 #include "common/str_util.h"
 
 namespace nexus {
@@ -28,7 +29,11 @@ Result<TablePtr> Table::Make(SchemaPtr schema, std::vector<Column> columns) {
                  " != ", rows));
     }
   }
-  return TablePtr(new Table(std::move(schema), std::move(columns), rows));
+  TablePtr table(new Table(std::move(schema), std::move(columns), rows));
+  // Metering hook: only a metered thread (service-managed query) pays for
+  // the ByteSize walk, which is O(rows) for string columns.
+  if (CurrentMemoryMeter() != nullptr) ChargeAllocation(table->ByteSize());
+  return table;
 }
 
 TablePtr Table::Empty(SchemaPtr schema) {

@@ -1,9 +1,13 @@
 // Unit tests for src/common: Status/Result, string utils, RNG, hashing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/hash.h"
+#include "common/memory.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -36,9 +40,29 @@ TEST(StatusTest, WithContextPrepends) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= 12; ++c) {
+  for (int c = 0; c <= 16; ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhaustedAndCancelled) {
+  Status re = Status::ResourceExhausted("queue full");
+  EXPECT_TRUE(re.IsResourceExhausted());
+  EXPECT_EQ(re.ToString(), "Resource exhausted: queue full");
+  Status c = Status::Cancelled("client gave up");
+  EXPECT_TRUE(c.IsCancelled());
+  EXPECT_EQ(c.ToString(), "Cancelled: client gave up");
+}
+
+TEST(StatusTest, RetryableCodes) {
+  // Overload (kResourceExhausted) is transient — a client that backs off
+  // may succeed. An explicit cancellation is final.
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("down")));
+  EXPECT_TRUE(IsRetryable(Status::Timeout("slow")));
+  EXPECT_TRUE(IsRetryable(Status::ResourceExhausted("busy")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
 }
 
 TEST(StatusTest, CopyPreservesError) {
@@ -46,6 +70,59 @@ TEST(StatusTest, CopyPreservesError) {
   Status b = a;
   EXPECT_TRUE(b.IsTypeError());
   EXPECT_EQ(b.message(), "t");
+}
+
+TEST(CancelTokenTest, FirstCancelWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_OK(token.status());
+  token.Cancel(StatusCode::kResourceExhausted, "killed by governor");
+  token.Cancel(StatusCode::kTimeout, "deadline too");  // ignored
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.status().IsResourceExhausted());
+  EXPECT_EQ(token.status().message(), "killed by governor");
+}
+
+TEST(TaskContextTest, ScopedInstallAndMeter) {
+  EXPECT_EQ(CurrentTaskContext(), nullptr);
+  EXPECT_EQ(CurrentMemoryMeter(), nullptr);
+  struct CountingMeter : MemoryMeter {
+    int64_t total = 0;
+    void Charge(int64_t bytes) override { total += bytes; }
+  } meter;
+  TaskContext ctx;
+  ctx.weight = 4;
+  ctx.meter = &meter;
+  {
+    ScopedTaskContext scoped(&ctx);
+    ASSERT_NE(CurrentTaskContext(), nullptr);
+    EXPECT_EQ(CurrentTaskContext()->weight, 4);
+    EXPECT_EQ(CurrentMemoryMeter(), &meter);
+    ChargeAllocation(128);
+    ChargeAllocation(-5);  // ignored
+  }
+  EXPECT_EQ(meter.total, 128);
+  EXPECT_EQ(CurrentTaskContext(), nullptr);
+}
+
+TEST(TaskContextTest, CancelDrainsParallelFor) {
+  CancelToken token;
+  TaskContext ctx;
+  ctx.cancel = &token;
+  ScopedTaskContext scoped(&ctx);
+  token.Cancel(StatusCode::kCancelled, "stop before the region starts");
+  std::atomic<int64_t> ran{0};
+  // A cancelled region drains without running its body and without
+  // deadlocking the pool — both the pooled and the inline path.
+  ParallelFor(
+      1000, 1, [&](int64_t, int64_t) { ran.fetch_add(1); }, /*threads=*/4);
+  EXPECT_EQ(ran.load(), 0);
+  ParallelFor(
+      1000, 1, [&](int64_t, int64_t) { ran.fetch_add(1); }, /*threads=*/1);
+  EXPECT_EQ(ran.load(), 0);
+  std::vector<std::function<void()>> tasks(8, [&] { ran.fetch_add(1); });
+  ParallelRun(tasks, /*threads=*/4);
+  EXPECT_EQ(ran.load(), 0);
 }
 
 Result<int> ParsePositive(int v) {

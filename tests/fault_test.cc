@@ -4,10 +4,16 @@
 // same seed ⇒ same retry/failover trace.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/str_util.h"
 #include "expr/builder.h"
 #include "federation/coordinator.h"
+#include "service/server.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -21,6 +27,8 @@ using testing::MakeSchema;
 TEST(StatusRetryabilityTest, OnlyTransientCodesAreRetryable) {
   EXPECT_TRUE(IsRetryable(Status::Unavailable("down")));
   EXPECT_TRUE(IsRetryable(Status::Timeout("lost")));
+  EXPECT_TRUE(IsRetryable(Status::ResourceExhausted("overloaded")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("client asked")));
   EXPECT_FALSE(IsRetryable(Status::OK()));
   EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
   EXPECT_FALSE(IsRetryable(Status::PlanError("x")));
@@ -358,6 +366,100 @@ TEST(ParallelDispatchTest, ConcurrentDispatchFailsOverDownServer) {
   EXPECT_TRUE(got.LogicallyEquals(want));
   EXPECT_GE(m.failovers, 1) << "the down server was never excluded";
   EXPECT_GE(m.replans, 1);
+}
+
+bool AnyTempLeft(Cluster* cluster) {
+  for (const std::string& s : cluster->ServerNames()) {
+    for (const std::string& name : cluster->provider(s)->catalog()->Names()) {
+      if (name.rfind("__frag_", 0) == 0 || name.rfind("__svc_", 0) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(ConcurrentCoordinatorTest, ManyCoordinatorsOneSharedCatalog) {
+  // Thread-safety soak: several client threads, each with its own
+  // Coordinator in its own temp namespace, hammer one shared cluster (one
+  // transport, one set of InMemoryCatalogs). Every execution must agree
+  // with the sequential baseline and no temp may leak — under TSan in CI
+  // this is also the data-race check for the shared-transport locking.
+  PlanPtr mm = Plan::MatMul(Plan::Scan("MA"), Plan::Scan("MB"), "c");
+  Cluster shared;
+  FillMatMulCluster(&shared, /*with_replicas=*/false);
+  CoordinatorOptions seq;
+  seq.thread_count = 1;
+  Dataset want = Coordinator(&shared, seq).Execute(mm).ValueOrDie();
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesEach = 4;
+  std::atomic<int> disagreements{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      CoordinatorOptions o;
+      o.thread_count = 1;  // concurrency comes from the client threads
+      o.temp_namespace = StrCat("w", i);
+      Coordinator coordinator(&shared, o);
+      for (int q = 0; q < kQueriesEach; ++q) {
+        auto r = coordinator.Execute(mm);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+        } else if (!r.ValueOrDie().LogicallyEquals(want)) {
+          disagreements.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(disagreements.load(), 0);
+  EXPECT_FALSE(AnyTempLeft(&shared));
+}
+
+TEST(ServiceFaultTest, CancelledWhileQueuedReleasesStagedTemps) {
+  // Regression: a query admitted to the service queue — its bindings
+  // already staged server-side — then cancelled before it ever executed
+  // must release those temps. (The window used to be unguarded: cleanup
+  // only ran on the execution path.)
+  Cluster cluster;
+  FillMatMulCluster(&cluster, /*with_replicas=*/false);
+  service::ServerOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 2;
+  service::Server server(&cluster, options);
+  ASSERT_OK(server.RegisterTenant("held", service::TenantOptions{100, 1}));
+  ASSERT_OK_AND_ASSIGN(int64_t session, server.OpenSession("held"));
+  // Pin the tenant over budget so its query waits, ineligible, in queue.
+  ASSERT_OK_AND_ASSIGN(auto pin, server.governor().StartQuery("held", nullptr));
+  pin->Charge(1000);
+
+  Rng rng(5);
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64),
+                            Field::Attr("y", DataType::kFloat64)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_OK(b.AppendRow({I(i), F(rng.NextDouble(0, 1))}));
+  }
+  std::vector<std::pair<std::string, Dataset>> bindings;
+  bindings.emplace_back("staged", Dataset(b.Finish().ValueOrDie()));
+  ASSERT_OK_AND_ASSIGN(
+      int64_t query,
+      server.Submit(session, Plan::Scan("staged"), {}, std::move(bindings)));
+  for (int i = 0; i < 20000 && server.admission().queued_now() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.admission().queued_now(), 1);
+  EXPECT_TRUE(AnyTempLeft(&cluster));  // the staged binding is live
+
+  ASSERT_OK(server.Cancel(query));
+  Status st = server.Wait(query).status();
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_FALSE(AnyTempLeft(&cluster)) << "queued-cancel leaked staged temps";
+  server.governor().FinishQuery(pin.get());
 }
 
 }  // namespace
