@@ -1,0 +1,201 @@
+// E16 — Compiled expression bytecode + fused pipelines ("as fast as the
+// hardware allows"): the interpreter walks a boxed Value tree per row; the
+// bytecode VM runs a register program over whole morsels.
+//
+// Arms:
+//   e16_expr_interp / e16_expr_compiled: one expression-heavy scan (nulls,
+//     conditionals, math builtins — off the legacy fast path) evaluated by
+//     the row-at-a-time interpreter vs the compiled VM. Gate: >= 5x, and
+//     byte-identical output columns.
+//   e16_pipe_interp / e16_pipe_compiled / e16_pipe_fused: a
+//     filter→extend→aggregate pipeline through the relational provider with
+//     compilation off, compilation on, and compilation+fusion on.
+//     Gate: byte-identical tables across all three arms.
+//   e16_cache_cold / e16_cache_warm: the same plan executed twice; the warm
+//     run must compile zero programs and hit the program cache.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "expr/bytecode.h"
+#include "expr/eval.h"
+#include "optimizer/fusion.h"
+#include "provider/provider.h"
+#include "telemetry/metrics.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+namespace {
+
+constexpr int64_t kExprRows = 1'000'000;
+constexpr int64_t kPipeRows = 1'000'000;
+
+TablePtr ExprTable(int64_t rows) {
+  SchemaPtr s = Schema::Make({Field::Attr("a", DataType::kInt64),
+                              Field::Attr("b", DataType::kFloat64),
+                              Field::Attr("flag", DataType::kBool)})
+                    .ValueOrDie();
+  Rng rng(17);
+  TableBuilder b(s);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row = {Value::Int64(rng.NextInt(-100, 100)),
+                              Value::Float64(rng.NextDouble(-8.0, 8.0)),
+                              Value::Bool(rng.NextBool())};
+    if (rng.NextBool(0.08)) row[rng.NextBounded(3)] = Value::Null();
+    NEXUS_CHECK(b.AppendRow(row).ok());
+  }
+  return b.Finish().ValueOrDie();
+}
+
+double MinMillis(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
+}
+
+// Expression-heavy scan: nulls + conditionals + math keep the interpreter on
+// its boxed row path; the whole tree compiles to one register program.
+void RunExprArm(benchjson::Recorder* json) {
+  TablePtr t = ExprTable(kExprRows);
+  ExprPtr e = Add(
+      Add(Mul(Func("coalesce", {Col("b"), Lit(0.5)}), Lit(2.0)),
+          Func("if", {Func("is_null", {Col("flag")}), Mul(Col("b"), Col("b")),
+                      Func("sqrt", {Func("abs", {Col("b")})})})),
+      Func("min", {Func("coalesce", {Cast(DataType::kFloat64, Col("a")),
+                                     Lit(0.0)}),
+                   Lit(50.0)}));
+
+  SetExprCompileOverride(false);
+  Column interp = EvalExprVector(*e, *t).ValueOrDie();
+  double ms_interp =
+      MinMillis([&] { EvalExprVector(*e, *t).ValueOrDie(); });
+  SetExprCompileOverride(true);
+  Column compiled = EvalExprVector(*e, *t).ValueOrDie();
+  double ms_compiled =
+      MinMillis([&] { EvalExprVector(*e, *t).ValueOrDie(); });
+  ClearExprCompileOverride();
+
+  NEXUS_CHECK(compiled.Equals(interp));  // byte-identical, not just close
+  json->Record("e16_expr_interp", kExprRows, ms_interp);
+  json->Record("e16_expr_compiled", kExprRows, ms_compiled);
+  std::printf("expression-heavy scan over %lld rows\n",
+              static_cast<long long>(kExprRows));
+  std::printf("  interpreter  %9.2f ms\n", ms_interp);
+  std::printf("  compiled VM  %9.2f ms   (%.2fx)\n", ms_compiled,
+              ms_interp / ms_compiled);
+  NEXUS_CHECK(ms_interp / ms_compiled >= 5.0);
+}
+
+PlanPtr PipelinePlan() {
+  return Plan::Aggregate(
+      Plan::Extend(
+          Plan::Select(Plan::Scan("fact"),
+                       And(Gt(Col("k"), Lit(5)), Lt(Col("k"), Lit(95)))),
+          {{"z", Add(Mul(Col("v"), Lit(3.0)), Col("w"))},
+           {"z2", Func("if", {Gt(Col("v"), Lit(0.0)), Col("v"),
+                              Mul(Col("v"), Lit(-1.0))})}}),
+      {"g"},
+      {AggSpec{AggFunc::kSum, Col("z"), "sz"},
+       AggSpec{AggFunc::kSum, Col("z2"), "sz2"},
+       AggSpec{AggFunc::kCount, nullptr, "n"}});
+}
+
+void RunPipelineArm(benchjson::Recorder* json) {
+  SchemaPtr s = Schema::Make({Field::Attr("k", DataType::kInt64),
+                              Field::Attr("g", DataType::kInt64),
+                              Field::Attr("v", DataType::kFloat64),
+                              Field::Attr("w", DataType::kFloat64)})
+                    .ValueOrDie();
+  Rng rng(23);
+  TableBuilder b(s);
+  for (int64_t i = 0; i < kPipeRows; ++i) {
+    // Integer-valued doubles keep the grouped sums exact, so the three arms
+    // can be compared byte-for-byte.
+    NEXUS_CHECK(b.AppendRow({Value::Int64(rng.NextInt(0, 99)),
+                             Value::Int64(rng.NextInt(0, 15)),
+                             Value::Float64(static_cast<double>(
+                                 rng.NextInt(-50, 50))),
+                             Value::Float64(static_cast<double>(
+                                 rng.NextInt(-10, 10)))})
+                    .ok());
+  }
+  ProviderPtr relstore = MakeRelationalProvider();
+  NEXUS_CHECK(relstore->catalog()->Put("fact", Dataset(b.Finish().ValueOrDie()))
+                  .ok());
+  PlanPtr plan = PipelinePlan();
+
+  auto run_arm = [&](bool compile, bool fuse) {
+    SetExprCompileOverride(compile);
+    SetPipelineFusionOverride(fuse);
+    Dataset out = relstore->Execute(*plan).ValueOrDie();
+    double ms = MinMillis([&] { relstore->Execute(*plan).ValueOrDie(); });
+    return std::make_pair(ms, out.table());
+  };
+  auto [ms_interp, t_interp] = run_arm(false, false);
+  auto [ms_compiled, t_compiled] = run_arm(true, false);
+  auto [ms_fused, t_fused] = run_arm(true, true);
+  ClearExprCompileOverride();
+  ClearPipelineFusionOverride();
+
+  NEXUS_CHECK(t_compiled->Equals(*t_interp));
+  NEXUS_CHECK(t_fused->Equals(*t_interp));
+  json->Record("e16_pipe_interp", kPipeRows, ms_interp);
+  json->Record("e16_pipe_compiled", kPipeRows, ms_compiled);
+  json->Record("e16_pipe_fused", kPipeRows, ms_fused);
+  std::printf("\nfilter->extend->aggregate pipeline over %lld rows\n",
+              static_cast<long long>(kPipeRows));
+  std::printf("  interpreter        %9.2f ms\n", ms_interp);
+  std::printf("  compiled           %9.2f ms   (%.2fx)\n", ms_compiled,
+              ms_interp / ms_compiled);
+  std::printf("  compiled + fused   %9.2f ms   (%.2fx)\n", ms_fused,
+              ms_interp / ms_fused);
+
+  // Cache arm: re-executing the same plan must compile nothing.
+  auto& reg = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* compiles = reg.counter("expr.compile");
+  telemetry::Counter* hits = reg.counter("expr.compile_cache_hit");
+  ClearProgramCacheForTest();
+  const int64_t c0 = compiles->value();
+  WallTimer cold_t;
+  NEXUS_CHECK(relstore->Execute(*plan).ok());
+  double ms_cold = cold_t.ElapsedMillis();
+  const int64_t cold_compiles = compiles->value() - c0;
+  const int64_t c1 = compiles->value();
+  const int64_t h1 = hits->value();
+  WallTimer warm_t;
+  NEXUS_CHECK(relstore->Execute(*plan).ok());
+  double ms_warm = warm_t.ElapsedMillis();
+  const int64_t warm_compiles = compiles->value() - c1;
+  const int64_t warm_hits = hits->value() - h1;
+  NEXUS_CHECK(cold_compiles > 0);
+  NEXUS_CHECK(warm_compiles == 0);
+  NEXUS_CHECK(warm_hits > 0);
+  json->Record("e16_cache_cold", cold_compiles, ms_cold);
+  json->Record("e16_cache_warm", warm_hits, ms_warm);
+  std::printf("\nprogram cache: cold run compiled %lld program(s); "
+              "warm run compiled 0, hit cache %lld time(s)\n",
+              static_cast<long long>(cold_compiles),
+              static_cast<long long>(warm_hits));
+}
+
+}  // namespace
+
+int main() {
+  benchjson::Recorder json("compile");
+  std::printf("E16: compiled expression bytecode vs interpreter\n");
+  std::printf("threads=%d\n\n", GetThreadCount());
+  RunExprArm(&json);
+  RunPipelineArm(&json);
+  std::printf("\nall byte-identity checks passed\n");
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include "common/parallel.h"
 #include "common/str_util.h"
+#include "expr/bytecode.h"
+#include "expr/vm.h"
 
 namespace nexus {
 
@@ -233,6 +235,75 @@ Result<Value> EvalExprRow(const Expr& expr, const Schema& schema,
 
 namespace {
 
+// True when `expr` is exact integer arithmetic over null-free int64 data:
+// int64 literals/columns combined with neg/add/sub/mul. Comparisons between
+// two such subtrees run in exact int64 loops instead of the double fast path
+// (doubles lose integer precision above 2^53). Callers must already have
+// checked FastPathEligible on the tree.
+bool Int64Pure(const Expr& expr, const Table& table) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return expr.literal().is_int64();
+    case ExprKind::kColumnRef: {
+      int i = table.schema()->FindField(expr.column_name());
+      return i >= 0 && table.column(i).type() == DataType::kInt64;
+    }
+    case ExprKind::kUnary:
+      return expr.unary_op() == UnaryOp::kNeg &&
+             Int64Pure(*expr.child(0), table);
+    case ExprKind::kBinary: {
+      BinaryOp op = expr.binary_op();
+      if (op != BinaryOp::kAdd && op != BinaryOp::kSub &&
+          op != BinaryOp::kMul) {
+        return false;
+      }
+      return Int64Pure(*expr.child(0), table) &&
+             Int64Pure(*expr.child(1), table);
+    }
+    default:
+      return false;
+  }
+}
+
+// Evaluates an Int64Pure expression over rows [begin, end) into `out`.
+void EvalFastInt(const Expr& expr, const Table& table, int64_t begin,
+                 int64_t end, int64_t* out) {
+  size_t len = static_cast<size_t>(end - begin);
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      std::fill(out, out + len, expr.literal().AsInt64());
+      return;
+    case ExprKind::kColumnRef: {
+      const auto& src =
+          table.column(table.schema()->FindField(expr.column_name())).ints();
+      std::copy(src.begin() + begin, src.begin() + end, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      EvalFastInt(*expr.child(0), table, begin, end, out);
+      for (size_t i = 0; i < len; ++i) out[i] = -out[i];
+      return;
+    case ExprKind::kBinary: {
+      std::vector<int64_t> rhs(len);
+      EvalFastInt(*expr.child(0), table, begin, end, out);
+      EvalFastInt(*expr.child(1), table, begin, end, rhs.data());
+      switch (expr.binary_op()) {
+        case BinaryOp::kAdd:
+          for (size_t i = 0; i < len; ++i) out[i] += rhs[i];
+          return;
+        case BinaryOp::kSub:
+          for (size_t i = 0; i < len; ++i) out[i] -= rhs[i];
+          return;
+        default:
+          for (size_t i = 0; i < len; ++i) out[i] *= rhs[i];
+          return;
+      }
+    }
+    default:
+      return;  // excluded by Int64Pure
+  }
+}
+
 // True when `expr` only touches null-free numeric/bool columns, so the typed
 // double-based fast path is exact. String ops, casts, and functions beyond
 // simple math are excluded.
@@ -303,6 +374,34 @@ void EvalFast(const Expr& expr, const Table& table, int64_t begin, int64_t end,
       return;
     }
     case ExprKind::kBinary: {
+      if (IsComparison(expr.binary_op()) && Int64Pure(*expr.child(0), table) &&
+          Int64Pure(*expr.child(1), table)) {
+        // Exact int64 comparison loop: the double loops below would collapse
+        // distinct integers above 2^53.
+        std::vector<int64_t> li(len), ri(len);
+        EvalFastInt(*expr.child(0), table, begin, end, li.data());
+        EvalFastInt(*expr.child(1), table, begin, end, ri.data());
+        switch (expr.binary_op()) {
+          case BinaryOp::kEq:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] == ri[i] ? 1.0 : 0.0;
+            return;
+          case BinaryOp::kNe:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] != ri[i] ? 1.0 : 0.0;
+            return;
+          case BinaryOp::kLt:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] < ri[i] ? 1.0 : 0.0;
+            return;
+          case BinaryOp::kLe:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] <= ri[i] ? 1.0 : 0.0;
+            return;
+          case BinaryOp::kGt:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] > ri[i] ? 1.0 : 0.0;
+            return;
+          default:
+            for (size_t i = 0; i < len; ++i) out[i] = li[i] >= ri[i] ? 1.0 : 0.0;
+            return;
+        }
+      }
       std::vector<double> rhs(len);
       EvalFast(*expr.child(0), table, begin, end, out);
       EvalFast(*expr.child(1), table, begin, end, rhs.data());
@@ -360,6 +459,44 @@ void EvalFast(const Expr& expr, const Table& table, int64_t begin, int64_t end,
 
 namespace {
 
+// Compiled evaluation: runs the cached bytecode program morsel-at-a-time.
+// Sequential executions reuse one VM (constants materialize once); parallel
+// executions evaluate per-morsel pieces stitched in morsel order, which is
+// byte-identical to the sequential pass because every output lane depends
+// only on its own row.
+Result<Column> EvalCompiled(const ExprProgramPtr& prog, const Table& table,
+                            DataType out_type) {
+  int64_t n = table.num_rows();
+  const int64_t grain = kMorselRows;
+  int64_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  if (morsels <= 1 || GetThreadCount() == 1) {
+    Column out(out_type);
+    out.Reserve(n);
+    ExprVM vm(prog.get());
+    vm.Bind(table, std::min<int64_t>(n, grain));
+    for (int64_t begin = 0; begin < n; begin += grain) {
+      vm.Run(begin, std::min<int64_t>(begin + grain, n));
+      vm.AppendOutput(0, &out);
+    }
+    return out;
+  }
+  std::vector<Column> parts(static_cast<size_t>(morsels), Column(out_type));
+  ParallelFor(n, grain, [&](int64_t begin, int64_t end) {
+    ExprVM vm(prog.get());
+    vm.Bind(table, end - begin);
+    vm.Run(begin, end);
+    Column& piece = parts[static_cast<size_t>(begin / grain)];
+    piece.Reserve(end - begin);
+    vm.AppendOutput(0, &piece);
+  });
+  Column out(out_type);
+  out.Reserve(n);
+  for (Column& part : parts) {
+    NEXUS_RETURN_NOT_OK(out.AppendColumn(part));
+  }
+  return out;
+}
+
 // Boxed evaluation of rows [begin, end) into a fresh column piece; the
 // parallel driver concatenates pieces in morsel order.
 Result<Column> EvalBoxedRange(const Expr& expr, const Table& table,
@@ -385,6 +522,21 @@ Result<Column> EvalExprVector(const Expr& expr, const Table& table) {
   NEXUS_ASSIGN_OR_RETURN(DataType out_type,
                          InferExprType(expr, *table.schema()));
   int64_t n = table.num_rows();
+  // Compiled path: lower to register bytecode (cached process-wide) and run
+  // the vectorized VM. Falls through to the interpreter paths when the
+  // expression does not fit the ISA (bytecode.h documents the contract: a
+  // program that compiles is byte-identical to the interpreter).
+  if (ExprCompileEnabled()) {
+    Result<ExprProgramPtr> prog = GetOrCompileProgram(expr, *table.schema());
+    if (prog.ok()) {
+      const ExprProgramPtr& p = prog.ValueOrDie();
+      if (p->out_types[0] == out_type) {
+        return EvalCompiled(p, table, out_type);
+      }
+    } else if (!prog.status().IsUnsupported()) {
+      return prog.status();
+    }
+  }
   // The fast path computes in double; int64 outputs take the boxed path so
   // integer arithmetic stays exact beyond 2^53.
   if (out_type != DataType::kInt64 && FastPathEligible(expr, table)) {

@@ -20,11 +20,13 @@ Result<Value> EvalExprRow(const Expr& expr, const Schema& schema,
                           const std::vector<Value>& row);
 
 /// Evaluates `expr` over every row of `table`, producing a column of the
-/// inferred type. Uses typed loops when all referenced columns are
-/// null-free numerics; otherwise falls back to the row interpreter.
-/// Int64-valued expressions always use the exact boxed path; comparisons
-/// over int64 inputs use the double fast path and are exact for magnitudes
-/// below 2^53.
+/// inferred type. Prefers the compiled bytecode VM (expr/bytecode.h; exact
+/// typed opcodes, byte-identical to the interpreter, switchable via
+/// NEXUS_EXPR_COMPILE); expressions outside the ISA use typed double loops
+/// when all referenced columns are null-free numerics, else the row
+/// interpreter. Comparisons whose operands are pure int64 arithmetic run in
+/// exact int64 loops on every path, so they stay exact beyond 2^53;
+/// int64-valued outputs never round-trip through double.
 Result<Column> EvalExprVector(const Expr& expr, const Table& table);
 
 /// Convenience: evaluates a boolean predicate to a selection vector of row

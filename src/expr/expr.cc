@@ -250,6 +250,8 @@ ExprPtr Expr::SubstituteColumns(
   return nullptr;
 }
 
+ExprPtr Expr::Clone() const { return SubstituteColumns({}); }
+
 namespace {
 struct FuncSig {
   const char* name;

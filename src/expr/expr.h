@@ -107,6 +107,10 @@ class Expr {
   ExprPtr SubstituteColumns(
       const std::vector<std::pair<std::string, ExprPtr>>& mapping) const;
 
+  /// Deep copy. Used by callers holding only a reference that need shared
+  /// ownership (e.g. the bytecode program cache retains its key exprs).
+  ExprPtr Clone() const;
+
  private:
   explicit Expr(ExprKind kind) : kind_(kind) {}
 

@@ -1,0 +1,135 @@
+// Vectorized virtual machine for compiled expression programs: one
+// instruction dispatch processes a whole morsel, reading and writing typed
+// register vectors instead of boxed Values.
+//
+// Lifecycle: construct over a program, Bind to an input table with the
+// largest morsel length Run will see (constants materialize once here),
+// then Run per morsel. Column-load instructions bind zero-copy views into
+// the input columns each Run, so re-running over successive morsels costs
+// no per-column copies; computed registers own reusable buffers.
+//
+// Null representation matches Column: a register with `valid == nullptr`
+// has no null lanes; otherwise `valid[i] == 0` marks lane i null and the
+// payload of a null lane is the type's default (0 / 0.0 / false / ""), the
+// same normalization Column::AppendNull performs. Null-bitmap-aware
+// instruction variants compute only valid lanes, so garbage payloads can
+// never feed arithmetic (and the tight no-null loops stay branch-free).
+//
+// Programs are infallible by construction (bytecode.h refuses the only
+// runtime-fallible ops), so Run returns void: division/modulo by zero,
+// sqrt of negatives and log of non-positives yield null lanes exactly like
+// the row interpreter.
+#ifndef NEXUS_EXPR_VM_H_
+#define NEXUS_EXPR_VM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/bytecode.h"
+#include "types/column.h"
+#include "types/table.h"
+
+namespace nexus {
+
+/// One virtual register: typed read views (into an input column or into the
+/// register's own storage) plus lazily used owned buffers.
+struct VMReg {
+  DataType type = DataType::kInt64;
+  // Read views; only the pointer matching `type` is meaningful.
+  const int64_t* i = nullptr;
+  const double* d = nullptr;
+  const uint8_t* b = nullptr;  // bools as 0/1
+  const std::string* s = nullptr;
+  const uint8_t* valid = nullptr;  ///< nullptr = all lanes valid (1 = valid)
+
+  // Owned storage for computed registers.
+  std::vector<int64_t> vi;
+  std::vector<double> vd;
+  std::vector<uint8_t> vb;
+  std::vector<std::string> vs;
+  std::vector<uint8_t> vvalid;
+
+  bool LaneValid(int64_t lane) const {
+    return valid == nullptr || valid[lane] != 0;
+  }
+
+  // Buffer claims: size the owned vector, point the read view at it, and
+  // return the mutable pointer.
+  int64_t* OwnI(int64_t n) {
+    vi.resize(static_cast<size_t>(n));
+    i = vi.data();
+    return vi.data();
+  }
+  double* OwnD(int64_t n) {
+    vd.resize(static_cast<size_t>(n));
+    d = vd.data();
+    return vd.data();
+  }
+  uint8_t* OwnB(int64_t n) {
+    vb.resize(static_cast<size_t>(n));
+    b = vb.data();
+    return vb.data();
+  }
+  std::string* OwnS(int64_t n) {
+    vs.resize(static_cast<size_t>(n));
+    s = vs.data();
+    return vs.data();
+  }
+  uint8_t* OwnValid(int64_t n) {
+    vvalid.assign(static_cast<size_t>(n), 1);
+    valid = vvalid.data();
+    return vvalid.data();
+  }
+  void ClearValid() { valid = nullptr; }
+};
+
+/// Executes one ExprProgram morsel-at-a-time. Not thread-safe: parallel
+/// drivers use one VM per morsel (or per worker).
+class ExprVM {
+ public:
+  explicit ExprVM(const ExprProgram* prog) : prog_(prog) {}
+
+  /// Prepares registers for `table`. `capacity` must be >= the largest
+  /// (end - begin) later passed to Run; constants materialize here once.
+  void Bind(const Table& table, int64_t capacity);
+
+  /// Executes the program over rows [begin, end) of the bound table.
+  void Run(int64_t begin, int64_t end);
+
+  /// Rows evaluated by the last Run.
+  int64_t len() const { return len_; }
+
+  /// Register holding compiled output `k`, lanes [0, len()).
+  const VMReg& out_reg(int k) const {
+    return regs_[prog_->outputs[static_cast<size_t>(k)]];
+  }
+
+  /// Appends lanes [0, len()) of output `k` to `*out` (null lanes append
+  /// null). The column's type must equal the output's type.
+  void AppendOutput(int k, Column* out) const;
+
+  /// Appends only the given lanes of output `k`, in order.
+  void AppendOutputLanes(int k, const std::vector<int64_t>& lanes,
+                         Column* out) const;
+
+ private:
+  void Exec(const Instr& in, int64_t begin, int64_t n);
+
+  const ExprProgram* prog_;
+  const Table* table_ = nullptr;
+  std::vector<VMReg> regs_;
+  std::vector<const Instr*> body_;  ///< non-prologue instructions
+  int64_t len_ = 0;
+};
+
+/// Appends lanes [0, n) of `r` to `*out` — the free-function core of
+/// ExprVM::AppendOutput, shared with the fused-pipeline executor.
+void AppendRegister(const VMReg& r, int64_t n, Column* out);
+/// Appends the given lanes of `r`, in order.
+void AppendRegisterLanes(const VMReg& r, const std::vector<int64_t>& lanes,
+                         Column* out);
+
+}  // namespace nexus
+
+#endif  // NEXUS_EXPR_VM_H_

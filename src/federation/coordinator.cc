@@ -1251,7 +1251,14 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   telemetry::SetEnabled(true);
   ExecutionMetrics local;
   ExecutionMetrics* m = metrics != nullptr ? metrics : &local;
+  auto& mreg = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* compiles_c = mreg.counter("expr.compile");
+  telemetry::Counter* compile_hits_c = mreg.counter("expr.compile_cache_hit");
+  const int64_t compiles0 = compiles_c->value();
+  const int64_t compile_hits0 = compile_hits_c->value();
   auto result = Execute(plan, m);
+  const int64_t compiles = compiles_c->value() - compiles0;
+  const int64_t compile_hits = compile_hits_c->value() - compile_hits0;
   std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
                                                  last_trace_id_);
   telemetry::SetEnabled(was_enabled);
@@ -1264,6 +1271,12 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
         m->plan_cache_misses, " miss, saved ",
         FormatBytes(static_cast<uint64_t>(m->wire_bytes_saved)), " (",
         WireFormatName(ProcessWireFormat()), " wire)\n");
+  }
+  // Expression-compilation summary: a warm program cache shows 0 compiled
+  // with hits > 0 on re-execution of a cached plan.
+  if (compiles + compile_hits > 0) {
+    report += StrCat("expr: ", compiles, " compiled / ", compile_hits,
+                     " program-cache hits\n");
   }
   return report;
 }

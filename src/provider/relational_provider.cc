@@ -8,8 +8,11 @@
 #include "core/expansion.h"
 #include "exec/reference_executor.h"
 #include "expr/builder.h"
+#include "expr/bytecode.h"
+#include "optimizer/fusion.h"
 #include "provider/provider.h"
 #include "relational/engine.h"
+#include "relational/fused.h"
 #include "telemetry/telemetry.h"
 
 namespace nexus {
@@ -62,6 +65,39 @@ class RelationalProvider : public Provider {
   std::vector<ExecLoopFrame> loop_stack_;
 };
 
+/// Applies a matched-but-refused chain with the per-operator kernels against
+/// an already-executed source (avoids re-running the source subtree).
+Result<TablePtr> ApplyChainUnfused(const std::vector<const Plan*>& ops,
+                                   TablePtr t) {
+  for (const Plan* op : ops) {
+    switch (op->kind()) {
+      case OpKind::kSelect: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::Filter(t, *op->As<SelectOp>().predicate));
+        break;
+      }
+      case OpKind::kProject: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::Project(t, op->As<ProjectOp>().columns));
+        break;
+      }
+      case OpKind::kExtend: {
+        NEXUS_ASSIGN_OR_RETURN(t,
+                               relational::Extend(t, op->As<ExtendOp>().defs));
+        break;
+      }
+      case OpKind::kAggregate: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::HashAggregate(t, op->As<AggregateOp>()));
+        break;
+      }
+      default:
+        return Status::Internal("non-fusable operator in matched chain");
+    }
+  }
+  return t;
+}
+
 // Retags a table's schema (shared by rebox/unbox translation).
 Result<TablePtr> Retag(const TablePtr& t, const std::vector<std::string>& dims) {
   std::vector<Field> fields = t->schema()->fields();
@@ -81,6 +117,28 @@ Result<TablePtr> Retag(const TablePtr& t, const std::vector<std::string>& dims) 
 }
 
 Result<Dataset> RelationalProvider::ExecNode(const Plan& plan) {
+  // Operator fusion: a Filter→Extend/Project(→Aggregate) chain rooted here
+  // executes as one compiled morsel loop over the chain's source instead of
+  // materializing a table per operator. Lowering refuses (kUnsupported)
+  // whenever byte-identity cannot be proven; then the chain runs through the
+  // regular per-operator kernels below on the already-executed source.
+  if (PipelineFusionEnabled() && ExprCompileEnabled()) {
+    std::optional<FusedChain> chain = MatchFusedChain(plan);
+    if (chain.has_value()) {
+      NEXUS_ASSIGN_OR_RETURN(TablePtr src, ExecT(*chain->source));
+      Result<relational::FusedPipeline> fp =
+          relational::CompileFusedPipeline(chain->ops, src->schema());
+      if (fp.ok()) {
+        NEXUS_ASSIGN_OR_RETURN(TablePtr out,
+                               relational::ExecuteFused(fp.ValueOrDie(), src));
+        return Dataset(out);
+      }
+      if (!fp.status().IsUnsupported()) return fp.status();
+      NEXUS_ASSIGN_OR_RETURN(TablePtr out,
+                             ApplyChainUnfused(chain->ops, std::move(src)));
+      return Dataset(out);
+    }
+  }
   switch (plan.kind()) {
     case OpKind::kScan:
       return catalog_.Get(plan.As<ScanOp>().table);

@@ -87,6 +87,11 @@ class Column {
     return std::get<std::vector<std::string>>(data_);
   }
 
+  /// Raw validity mask (empty == all valid; 1 marks a valid row). Exposed so
+  /// the bytecode VM can take zero-copy null-bitmap views; check has_nulls()
+  /// first — the mask may be allocated yet all-ones.
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
   /// Numeric read widened to double (works for int64 and float64 columns).
   double NumericAt(int64_t i) const;
 

@@ -6,7 +6,9 @@
 
 #include "common/random.h"
 #include "expr/builder.h"
+#include "expr/bytecode.h"
 #include "expr/eval.h"
+#include "expr/vm.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -280,6 +282,180 @@ TEST(BuiltinsTest, CatalogNonEmptyAndInferable) {
     }
   }
   EXPECT_EQ(inferable, static_cast<int>(names.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Register bytecode + VM (expr/bytecode.h, expr/vm.h).
+// ---------------------------------------------------------------------------
+
+Column RunCompiled(const ExprPtr& e, const TablePtr& t) {
+  auto prog = CompileExpr(e, *t->schema());
+  EXPECT_TRUE(prog.ok()) << prog.status() << " for " << e->ToString();
+  const ExprProgram& p = prog.ValueOrDie();
+  ExprVM vm(&p);
+  vm.Bind(*t, t->num_rows());
+  vm.Run(0, t->num_rows());
+  Column out(p.out_types[0]);
+  vm.AppendOutput(0, &out);
+  return out;
+}
+
+TEST(BytecodeTest, CompiledProgramMatchesRowInterpreter) {
+  SchemaPtr s = TestSchema();
+  TablePtr t = MakeTable(
+      s, {{I(1), F(0.5), S("a"), B(true)},
+          {I(-3), F(2.0), S("bb"), B(false)},
+          {N(), F(-1.0), S(""), B(true)},
+          {I(100), N(), S("Ccc"), N()},
+          {I(7), F(0.0), N(), B(false)}});
+  std::vector<ExprPtr> cases = {
+      Add(Col("a"), Lit(1)),
+      Mul(Add(Col("a"), Lit(2)), Sub(Col("a"), Lit(2))),
+      Add(Col("a"), Col("b")),
+      Div(Col("a"), Col("b")),        // always double; /0 → null
+      Div(Col("a"), Lit(0)),
+      Mod(Col("a"), Lit(3)),
+      Neg(Col("b")),
+      Not(Col("flag")),
+      And(Gt(Col("a"), Lit(0)), Col("flag")),  // Kleene
+      Or(Func("is_null", {Col("a")}), Col("flag")),
+      Eq(Col("a"), Lit(1)),
+      Lt(Col("a"), Col("b")),         // mixed compare → double, like Compare
+      Le(Col("s"), Lit("b")),
+      Func("abs", {Col("a")}),
+      Func("sign", {Col("b")}),
+      Func("sqrt", {Col("b")}),       // sqrt(neg) → null
+      Func("log", {Col("b")}),        // log(≤0) → null
+      Func("floor", {Col("b")}),
+      Func("round", {Col("b")}),
+      Func("pow", {Col("b"), Lit(2.0)}),
+      Func("min", {Col("a"), Lit(5)}),
+      Func("max", {Col("b"), Lit(1.5)}),
+      Func("coalesce", {Col("a"), Lit(0)}),
+      Func("if", {Col("flag"), Col("b"), Neg(Col("b"))}),
+      Func("length", {Col("s")}),
+      Func("concat", {Col("s"), Lit("!"), Col("s")}),
+      Func("lower", {Col("s")}),
+      Func("upper", {Col("s")}),
+      Func("substr", {Col("s"), Lit(0), Lit(2)}),
+      Cast(DataType::kFloat64, Col("a")),
+      Cast(DataType::kString, Col("a")),
+      Cast(DataType::kBool, Col("a")),
+  };
+  for (const ExprPtr& e : cases) {
+    Column got = RunCompiled(e, t);
+    ASSERT_OK_AND_ASSIGN(DataType out_t, InferExprType(*e, *s));
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      ASSERT_OK_AND_ASSIGN(Value row_v, EvalExprRow(*e, *s, t->Row(r)));
+      if (row_v.is_null()) {
+        EXPECT_TRUE(got.GetValue(r).is_null()) << e->ToString() << " row " << r;
+      } else {
+        ASSERT_OK_AND_ASSIGN(Value want, row_v.CastTo(out_t));
+        EXPECT_EQ(got.GetValue(r), want) << e->ToString() << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(BytecodeTest, CommonSubtreesCompileOnce) {
+  SchemaPtr s = TestSchema();
+  ExprPtr shared = Mul(Add(Col("a"), Lit(1)), Lit(3));
+  ASSERT_OK_AND_ASSIGN(
+      ExprProgram p,
+      CompileExprs({shared, Add(shared->Clone(), Lit(2)), Gt(shared->Clone(), Lit(0))},
+                   *s));
+  int muls = 0;
+  for (const Instr& in : p.instrs) {
+    if (in.op == OpCode::kMulInt) ++muls;
+  }
+  EXPECT_EQ(muls, 1) << p.ToString();  // the shared subtree lowered once
+  EXPECT_EQ(p.outputs.size(), 3u);
+}
+
+TEST(BytecodeTest, RefusesWhatItCannotProveByteIdentical) {
+  SchemaPtr s = TestSchema();
+  // Runtime-fallible string parses.
+  EXPECT_TRUE(CompileExpr(Cast(DataType::kInt64, Col("s")), *s).status()
+                  .IsUnsupported());
+  // Mixed int64/float64 min/if/coalesce pass values through with their
+  // dynamic type in the interpreter — refused, not promoted.
+  EXPECT_TRUE(CompileExpr(Func("min", {Col("a"), Col("b")}), *s).status()
+                  .IsUnsupported());
+  EXPECT_TRUE(
+      CompileExpr(Func("if", {Col("flag"), Col("a"), Col("b")}), *s).status()
+          .IsUnsupported());
+  EXPECT_TRUE(CompileExpr(Func("coalesce", {Col("a"), Col("b")}), *s).status()
+                  .IsUnsupported());
+  // Plain type errors are kUnsupported too: the interpreter's own inference
+  // reports them.
+  EXPECT_TRUE(CompileExpr(Add(Col("a"), Col("s")), *s).status().IsUnsupported());
+}
+
+TEST(BytecodeTest, DisassemblyNamesEveryInstruction) {
+  SchemaPtr s = TestSchema();
+  ASSERT_OK_AND_ASSIGN(
+      ExprProgram p,
+      CompileExpr(And(Gt(Add(Col("a"), Lit(1)), Col("b")), Col("flag")), *s));
+  std::string dis = p.ToString();
+  EXPECT_NE(dis.find("load_col"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("add_i"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("and_b"), std::string::npos) << dis;
+}
+
+TEST(BytecodeTest, Int64ComparisonsAreExactBeyond2Pow53) {
+  // 2^53 is the first integer double cannot distinguish from its successor;
+  // both the compiled path and the legacy vectorized path must compare
+  // statically-int64 operands exactly.
+  constexpr int64_t kBig = int64_t{1} << 53;
+  SchemaPtr s = MakeSchema({Field::Attr("x", DataType::kInt64),
+                            Field::Attr("y", DataType::kInt64)});
+  TablePtr t = MakeTable(s, {{I(kBig), I(kBig + 1)},
+                             {I(kBig + 1), I(kBig)},
+                             {I(-kBig - 1), I(-kBig)},
+                             {I(kBig), I(kBig)}});
+  struct Case {
+    ExprPtr e;
+    std::vector<bool> want;
+  };
+  std::vector<Case> cases;
+  cases.push_back({Eq(Col("x"), Col("y")), {false, false, false, true}});
+  cases.push_back({Ne(Col("x"), Col("y")), {true, true, true, false}});
+  cases.push_back({Lt(Col("x"), Col("y")), {true, false, true, false}});
+  cases.push_back({Ge(Col("x"), Col("y")), {false, true, false, true}});
+  cases.push_back(
+      {Eq(Add(Col("x"), Lit(1)), Col("y")), {true, false, true, false}});
+  for (bool compile : {true, false}) {
+    SetExprCompileOverride(compile);
+    for (const Case& c : cases) {
+      ASSERT_OK_AND_ASSIGN(Column got, EvalExprVector(*c.e, *t));
+      for (int64_t r = 0; r < t->num_rows(); ++r) {
+        EXPECT_EQ(got.GetValue(r), B(c.want[static_cast<size_t>(r)]))
+            << c.e->ToString() << " row " << r << " compile=" << compile;
+      }
+    }
+  }
+  ClearExprCompileOverride();
+}
+
+TEST(BytecodeTest, ProgramCacheReturnsSameProgram) {
+  ClearProgramCacheForTest();
+  SchemaPtr s = TestSchema();
+  ExprPtr e = Mul(Add(Col("a"), Lit(1)), Lit(7));
+  ASSERT_OK_AND_ASSIGN(ExprProgramPtr p1, GetOrCompileProgram(*e, *s));
+  ASSERT_OK_AND_ASSIGN(ExprProgramPtr p2, GetOrCompileProgram(*e, *s));
+  EXPECT_EQ(p1.get(), p2.get());  // second lookup is a cache hit
+  // Negative caching: an uncompilable tree is refused from cache as well.
+  ExprPtr bad = Cast(DataType::kInt64, Col("s"));
+  EXPECT_TRUE(GetOrCompileProgram(*bad, *s).status().IsUnsupported());
+  EXPECT_TRUE(GetOrCompileProgram(*bad, *s).status().IsUnsupported());
+}
+
+TEST(BytecodeTest, CompileSwitchDisablesTheVM) {
+  SetExprCompileOverride(false);
+  EXPECT_FALSE(ExprCompileEnabled());
+  SetExprCompileOverride(true);
+  EXPECT_TRUE(ExprCompileEnabled());
+  ClearExprCompileOverride();
 }
 
 }  // namespace

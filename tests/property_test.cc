@@ -11,6 +11,9 @@
 //   P6  cost-model soundness:  Optimize under arbitrary (even forged)
 //                              statistics ≡ Exec(p) — stats steer join
 //                              order, never results
+//   P7  compile equivalence:   bytecode VM ≡ vectorized interpreter ≡ row
+//                              interpreter on random expressions (nulls,
+//                              3VL, conditionals, strings), byte-identical
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -22,6 +25,8 @@
 #include "core/serialize.h"
 #include "exec/reference_executor.h"
 #include "expr/builder.h"
+#include "expr/bytecode.h"
+#include "expr/eval.h"
 #include "federation/coordinator.h"
 #include "optimizer/optimizer.h"
 #include "tests/test_util.h"
@@ -397,6 +402,182 @@ TEST_P(ReboxPropertyTest, SerializedArrayKeepsGeometryAndCells) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReboxPropertyTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// P7: the bytecode VM is byte-identical to both interpreters on random
+// typed expression trees over nullable data.
+// ---------------------------------------------------------------------------
+
+TablePtr RandomNullableTable(Rng* rng, int64_t rows) {
+  SchemaPtr s = MakeSchema({Field::Attr("a", DataType::kInt64),
+                            Field::Attr("b", DataType::kFloat64),
+                            Field::Attr("s", DataType::kString),
+                            Field::Attr("flag", DataType::kBool)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row = {
+        Value::Int64(rng->NextInt(-6, 6)),
+        Value::Float64(static_cast<double>(rng->NextInt(-40, 40)) / 8.0),
+        Value::String(std::string(rng->NextBounded(3) + 1,
+                                  static_cast<char>('A' + rng->NextBounded(26)))),
+        Value::Bool(rng->NextBool())};
+    if (rng->NextBool(0.15)) row[rng->NextBounded(4)] = Value::Null();
+    EXPECT_OK(b.AppendRow(row));
+  }
+  return b.Finish().ValueOrDie();
+}
+
+// Builds a random expression of the requested static type. Stays inside the
+// NaN-free, non-overflowing envelope: what it generates exercises nulls,
+// Kleene logic, conditionals, strings, casts, and math builtins.
+ExprPtr RandomTypedExpr(Rng* rng, DataType want, int depth);
+
+ExprPtr RandomIntExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBool(0.3)) {
+    return rng->NextBool() ? Col("a") : Lit(rng->NextInt(-4, 4));
+  }
+  switch (rng->NextBounded(7)) {
+    case 0:
+      return Add(RandomIntExpr(rng, depth - 1), RandomIntExpr(rng, depth - 1));
+    case 1:
+      return Sub(RandomIntExpr(rng, depth - 1), RandomIntExpr(rng, depth - 1));
+    case 2:
+      return Mod(RandomIntExpr(rng, depth - 1), RandomIntExpr(rng, depth - 1));
+    case 3:
+      return Neg(RandomIntExpr(rng, depth - 1));
+    case 4:
+      return Func("coalesce",
+                  {RandomIntExpr(rng, depth - 1), RandomIntExpr(rng, depth - 1)});
+    case 5:
+      return Func("if", {RandomTypedExpr(rng, DataType::kBool, depth - 1),
+                         RandomIntExpr(rng, depth - 1),
+                         RandomIntExpr(rng, depth - 1)});
+    default:
+      return Func("length", {RandomTypedExpr(rng, DataType::kString, depth - 1)});
+  }
+}
+
+ExprPtr RandomDoubleExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBool(0.3)) {
+    return rng->NextBool() ? Col("b") : Lit(rng->NextDouble(-3.0, 3.0));
+  }
+  switch (rng->NextBounded(7)) {
+    case 0:
+      return Add(RandomDoubleExpr(rng, depth - 1),
+                 RandomDoubleExpr(rng, depth - 1));
+    case 1:
+      return Mul(RandomDoubleExpr(rng, depth - 1),
+                 RandomDoubleExpr(rng, depth - 1));
+    case 2:
+      return Div(RandomDoubleExpr(rng, depth - 1),
+                 RandomDoubleExpr(rng, depth - 1));  // /0 → null on all paths
+    case 3:
+      return Func("sqrt", {RandomDoubleExpr(rng, depth - 1)});  // <0 → null
+    case 4:
+      return Func("abs", {RandomDoubleExpr(rng, depth - 1)});
+    case 5:
+      return Func("min", {RandomDoubleExpr(rng, depth - 1),
+                          RandomDoubleExpr(rng, depth - 1)});
+    default:
+      return Func("if", {RandomTypedExpr(rng, DataType::kBool, depth - 1),
+                         RandomDoubleExpr(rng, depth - 1),
+                         RandomDoubleExpr(rng, depth - 1)});
+  }
+}
+
+ExprPtr RandomStringExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBool(0.4)) {
+    return rng->NextBool() ? Col("s") : Lit(std::string(1, static_cast<char>(
+                                                'a' + rng->NextBounded(26))));
+  }
+  switch (rng->NextBounded(5)) {
+    case 0:
+      return Add(RandomStringExpr(rng, depth - 1),
+                 RandomStringExpr(rng, depth - 1));
+    case 1:
+      return Func("lower", {RandomStringExpr(rng, depth - 1)});
+    case 2:
+      return Func("upper", {RandomStringExpr(rng, depth - 1)});
+    case 3:
+      return Func("substr", {RandomStringExpr(rng, depth - 1),
+                             Lit(rng->NextInt(0, 2)), Lit(rng->NextInt(0, 3))});
+    default:
+      return Cast(DataType::kString, RandomIntExpr(rng, depth - 1));
+  }
+}
+
+ExprPtr RandomBoolExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextBool(0.3)) {
+    return rng->NextBool() ? Col("flag") : Lit(rng->NextBool());
+  }
+  switch (rng->NextBounded(7)) {
+    case 0:
+      return And(RandomBoolExpr(rng, depth - 1), RandomBoolExpr(rng, depth - 1));
+    case 1:
+      return Or(RandomBoolExpr(rng, depth - 1), RandomBoolExpr(rng, depth - 1));
+    case 2:
+      return Not(RandomBoolExpr(rng, depth - 1));
+    case 3:
+      return Lt(RandomIntExpr(rng, depth - 1), RandomIntExpr(rng, depth - 1));
+    case 4:
+      return Eq(RandomDoubleExpr(rng, depth - 1),
+                RandomDoubleExpr(rng, depth - 1));
+    case 5:
+      return Ge(RandomStringExpr(rng, depth - 1),
+                RandomStringExpr(rng, depth - 1));
+    default:
+      return Func("is_null", {RandomIntExpr(rng, depth - 1)});
+  }
+}
+
+ExprPtr RandomTypedExpr(Rng* rng, DataType want, int depth) {
+  switch (want) {
+    case DataType::kInt64:
+      return RandomIntExpr(rng, depth);
+    case DataType::kFloat64:
+      return RandomDoubleExpr(rng, depth);
+    case DataType::kString:
+      return RandomStringExpr(rng, depth);
+    default:
+      return RandomBoolExpr(rng, depth);
+  }
+}
+
+class ExprCompileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprCompileTest, CompiledAndInterpretedAreByteIdentical) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 11);
+  TablePtr t = RandomNullableTable(&rng, 160);
+  const DataType kTypes[] = {DataType::kInt64, DataType::kFloat64,
+                             DataType::kString, DataType::kBool};
+  struct Guard {
+    ~Guard() { ClearExprCompileOverride(); }
+  } guard;
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprPtr e = RandomTypedExpr(&rng, kTypes[trial % 4], 4);
+    if (!InferExprType(*e, *t->schema()).ok()) continue;
+    SetExprCompileOverride(false);
+    ASSERT_OK_AND_ASSIGN(Column interp, EvalExprVector(*e, *t));
+    SetExprCompileOverride(true);
+    ASSERT_OK_AND_ASSIGN(Column compiled, EvalExprVector(*e, *t));
+    EXPECT_TRUE(compiled.Equals(interp)) << e->ToString();
+    // Spot-check both against the row interpreter (ground truth).
+    ASSERT_OK_AND_ASSIGN(DataType out_t, InferExprType(*e, *t->schema()));
+    for (int64_t r = 0; r < t->num_rows(); r += 17) {
+      ASSERT_OK_AND_ASSIGN(Value row_v,
+                           EvalExprRow(*e, *t->schema(), t->Row(r)));
+      if (row_v.is_null()) {
+        EXPECT_TRUE(compiled.GetValue(r).is_null())
+            << e->ToString() << " row " << r;
+      } else {
+        ASSERT_OK_AND_ASSIGN(Value want_v, row_v.CastTo(out_t));
+        EXPECT_EQ(compiled.GetValue(r), want_v) << e->ToString() << " row " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprCompileTest, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace nexus

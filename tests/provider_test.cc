@@ -10,7 +10,10 @@
 #include "expr/builder.h"
 #include "core/serialize.h"
 #include "core/wire_format.h"
+#include "expr/bytecode.h"
+#include "optimizer/fusion.h"
 #include "provider/provider.h"
+#include "telemetry/metrics.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -395,6 +398,81 @@ TEST(ProviderWireTest, TextOnlyProviderRefusesNothingButAdvertisesText) {
       SerializePlanWire(*Plan::Scan("t"), WireFormat::kText);
   ASSERT_OK_AND_ASSIGN(Dataset d, legacy->ExecuteWire(wire));
   EXPECT_EQ(d.table()->num_rows(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Expression program cache across provider executions.
+// ---------------------------------------------------------------------------
+
+TEST(ExprProgramCacheTest, SecondExecuteCompilesNothing) {
+  ClearProgramCacheForTest();
+  ProviderPtr relstore = MakeRelationalProvider();
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TableBuilder b(s);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(b.AppendRow({I(i % 100), F(static_cast<double>(i % 7))}));
+  }
+  ASSERT_OK(relstore->catalog()->Put("t", Dataset(b.Finish().ValueOrDie())));
+  PlanPtr plan = Plan::Aggregate(
+      Plan::Extend(Plan::Select(Plan::Scan("t"), Gt(Col("k"), Lit(10))),
+                   {{"v2", Mul(Col("v"), Col("v"))}}),
+      {"k"}, {AggSpec{AggFunc::kSum, Col("v2"), "ss"}});
+
+  auto& reg = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* compiles = reg.counter("expr.compile");
+  telemetry::Counter* hits = reg.counter("expr.compile_cache_hit");
+
+  const int64_t c0 = compiles->value();
+  ASSERT_OK_AND_ASSIGN(Dataset first, relstore->Execute(*plan));
+  const int64_t compiled_first = compiles->value() - c0;
+  EXPECT_GT(compiled_first, 0);  // cold cache: the pipeline compiled
+
+  const int64_t c1 = compiles->value();
+  const int64_t h1 = hits->value();
+  ASSERT_OK_AND_ASSIGN(Dataset second, relstore->Execute(*plan));
+  EXPECT_EQ(compiles->value() - c1, 0);  // warm cache: nothing recompiled
+  EXPECT_GT(hits->value() - h1, 0);
+  EXPECT_TRUE(second.table()->Equals(*first.table()));
+}
+
+TEST(ExprProgramCacheTest, FusionAndCompileTogglesAreByteIdentical) {
+  ClearProgramCacheForTest();
+  ProviderPtr relstore = MakeRelationalProvider();
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TableBuilder b(s);
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_OK(b.AppendRow({I(rng.NextInt(0, 50)),
+                           F(static_cast<double>(rng.NextInt(-9, 9)))}));
+  }
+  ASSERT_OK(relstore->catalog()->Put("t", Dataset(b.Finish().ValueOrDie())));
+  PlanPtr plan = Plan::Project(
+      Plan::Extend(Plan::Select(Plan::Scan("t"), Gt(Col("k"), Lit(7))),
+                   {{"z", Add(Mul(Col("v"), Lit(2.0)), Col("v"))}}),
+      {"z", "k"});
+
+  struct Guard {
+    ~Guard() {
+      ClearExprCompileOverride();
+      ClearPipelineFusionOverride();
+    }
+  } guard;
+  TablePtr want;
+  for (bool compile : {true, false}) {
+    for (bool fuse : {true, false}) {
+      SetExprCompileOverride(compile);
+      SetPipelineFusionOverride(fuse);
+      ASSERT_OK_AND_ASSIGN(Dataset got, relstore->Execute(*plan));
+      if (want == nullptr) {
+        want = got.table();
+      } else {
+        EXPECT_TRUE(got.table()->Equals(*want))
+            << "compile=" << compile << " fuse=" << fuse;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 // against the reference executor on randomized workloads.
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "exec/reference_executor.h"
 #include "expr/builder.h"
+#include "optimizer/fusion.h"
 #include "relational/engine.h"
+#include "relational/fused.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -286,6 +289,149 @@ TEST_P(RelationalDifferentialTest, AgreesWithReferenceExecutor) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RelationalDifferentialTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Fused morsel pipelines (optimizer/fusion.h + relational/fused.h).
+// ---------------------------------------------------------------------------
+
+TablePtr SalesTable(int64_t rows) {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("g", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64),
+                            Field::Attr("tag", DataType::kString)});
+  Rng rng(99);
+  TableBuilder b(s);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<Value> row = {I(rng.NextInt(0, 1000)), I(rng.NextInt(0, 7)),
+                              F(static_cast<double>(rng.NextInt(-50, 50))),
+                              S(std::string(1, static_cast<char>('a' + rng.NextBounded(4))))};
+    if (rng.NextBool(0.1)) row[rng.NextBounded(4)] = N();
+    EXPECT_OK(b.AppendRow(row));
+  }
+  return b.Finish().ValueOrDie();
+}
+
+// Applies the matched chain one operator at a time — the baseline the fused
+// loop must reproduce byte-for-byte.
+Result<TablePtr> ApplyUnfused(const std::vector<const Plan*>& ops, TablePtr t) {
+  for (const Plan* op : ops) {
+    switch (op->kind()) {
+      case OpKind::kSelect: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::Filter(t, *op->As<SelectOp>().predicate));
+        break;
+      }
+      case OpKind::kProject: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::Project(t, op->As<ProjectOp>().columns));
+        break;
+      }
+      case OpKind::kExtend: {
+        NEXUS_ASSIGN_OR_RETURN(t,
+                               relational::Extend(t, op->As<ExtendOp>().defs));
+        break;
+      }
+      case OpKind::kAggregate: {
+        NEXUS_ASSIGN_OR_RETURN(
+            t, relational::HashAggregate(t, op->As<AggregateOp>()));
+        break;
+      }
+      default:
+        return Status::Internal("bad chain op");
+    }
+  }
+  return t;
+}
+
+void ExpectFusedMatchesUnfused(const PlanPtr& root, const TablePtr& t,
+                               size_t want_ops) {
+  std::optional<FusedChain> chain = MatchFusedChain(*root);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->ops.size(), want_ops);
+  ASSERT_OK_AND_ASSIGN(
+      relational::FusedPipeline fp,
+      relational::CompileFusedPipeline(chain->ops, t->schema()));
+  ASSERT_OK_AND_ASSIGN(TablePtr want, ApplyUnfused(chain->ops, t));
+  struct Guard {
+    int saved = GetThreadCount();
+    ~Guard() { SetThreadCount(saved); }
+  } guard;
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    ASSERT_OK_AND_ASSIGN(TablePtr fused, relational::ExecuteFused(fp, t));
+    EXPECT_TRUE(fused->Equals(*want)) << "threads=" << threads;
+    EXPECT_TRUE(fused->schema()->Equals(*want->schema()))
+        << "threads=" << threads;
+  }
+}
+
+TEST(FusedPipelineTest, FilterExtendProjectMatchesUnfused) {
+  TablePtr t = SalesTable(40000);  // multiple morsels at kMorselRows = 16k
+  PlanPtr root = Plan::Project(
+      Plan::Extend(
+          Plan::Select(Plan::Values(Dataset(t)), Gt(Col("k"), Lit(200))),
+          {{"z", Add(Mul(Col("k"), Lit(3)), Col("g"))},
+           {"w", Func("if", {Func("is_null", {Col("v")}), Lit(0.0), Col("v")})}}),
+      {"z", "w", "tag"});
+  ExpectFusedMatchesUnfused(root, t, 3);
+}
+
+TEST(FusedPipelineTest, ChainEndingInAggregateMatchesUnfused) {
+  TablePtr t = SalesTable(40000);
+  PlanPtr root = Plan::Aggregate(
+      Plan::Extend(
+          Plan::Select(Plan::Values(Dataset(t)),
+                       And(Gt(Col("k"), Lit(100)), Lt(Col("k"), Lit(900)))),
+          {{"v2", Mul(Col("v"), Col("v"))}}),
+      {"g"},
+      {AggSpec{AggFunc::kSum, Col("v2"), "ss"},
+       AggSpec{AggFunc::kCount, nullptr, "n"},
+       AggSpec{AggFunc::kMin, Col("k"), "lo"},
+       AggSpec{AggFunc::kAvg, Col("v"), "mean"}});
+  ExpectFusedMatchesUnfused(root, t, 3);
+}
+
+TEST(FusedPipelineTest, ExtendChainsSeeEarlierDefinitions) {
+  TablePtr t = SalesTable(5000);
+  // The second Extend references the first's output; lowering must inline
+  // the definition, and projecting it away afterwards must not disturb it.
+  PlanPtr root = Plan::Project(
+      Plan::Extend(
+          Plan::Extend(Plan::Values(Dataset(t)), {{"d", Add(Col("k"), Col("g"))}}),
+          {{"d2", Mul(Col("d"), Col("d"))}}),
+      {"d2", "k"});
+  ExpectFusedMatchesUnfused(root, t, 3);
+}
+
+TEST(FusedPipelineTest, RefusesWhatTheProgramCannotCompile) {
+  TablePtr t = SalesTable(64);
+  // String→int parse cast is runtime-fallible: bytecode refuses, so fusion
+  // must refuse too (the caller falls back to per-operator execution).
+  PlanPtr root = Plan::Project(
+      Plan::Extend(Plan::Select(Plan::Values(Dataset(t)), Gt(Col("k"), Lit(1))),
+                   {{"p", Cast(DataType::kInt64, Col("tag"))}}),
+      {"p"});
+  std::optional<FusedChain> chain = MatchFusedChain(*root);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(relational::CompileFusedPipeline(chain->ops, t->schema())
+                  .status()
+                  .IsUnsupported());
+}
+
+TEST(FusedPipelineTest, SingleOperatorDoesNotMatch) {
+  TablePtr t = SalesTable(16);
+  PlanPtr one = Plan::Select(Plan::Values(Dataset(t)), Gt(Col("k"), Lit(1)));
+  EXPECT_FALSE(MatchFusedChain(*one).has_value());
+  EXPECT_FALSE(MatchFusedChain(*Plan::Values(Dataset(t))).has_value());
+}
+
+TEST(FusedPipelineTest, FusionSwitchToggles) {
+  SetPipelineFusionOverride(false);
+  EXPECT_FALSE(PipelineFusionEnabled());
+  SetPipelineFusionOverride(true);
+  EXPECT_TRUE(PipelineFusionEnabled());
+  ClearPipelineFusionOverride();
+}
 
 }  // namespace
 }  // namespace nexus
