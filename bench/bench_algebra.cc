@@ -1,0 +1,231 @@
+// E17 — Semi-ring kernel subsystem ("one algebra under all four engines"):
+// the same ⊕/⊗ programs run as algebra kernels (Ext/Join/Union on the shared
+// morsel pool) and as the engines' native loops, byte-identically.
+//
+// Arms:
+//   e17_spmv_native / e17_spmv_algebra: y = A·x by the CSR loop (lowering
+//     off) vs Join⊕ over plus_times (lowering on). Gate: bitwise-equal y —
+//     recorded as e17_spmv_identical (rows=1).
+//   e17_spgemm_native / e17_spgemm_algebra: C = A·B, Gustavson vs
+//     Join⊗+Reduce⊕; bitwise-equal triplets.
+//   e17_agg_<engine>: one SUM/MIN/MAX/COUNT aggregate-as-Union⊕ plan
+//     executed by every provider — reference, relstore, arraydb, linalg,
+//     graphd. Gate: all byte-identical to reference — recorded as
+//     e17_agg_engines_identical (rows = agreeing engines).
+//   e17_lower_offon_identical: the same plan through relstore with
+//     NEXUS_SEMIRING off vs on, byte-identical (rows=1).
+//   e17_ops_lowered: a coordinator run; the lower_semiring pass must count
+//     the aggregate (last_optimizer_stats().ops_lowered > 0) and
+//     ExplainAnalyze must carry the "algebra:" summary line.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algebra/semiring.h"
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "linalg/sparse.h"
+#include "provider/provider.h"
+
+using namespace nexus;         // NOLINT
+using namespace nexus::exprs;  // NOLINT
+
+namespace {
+
+constexpr int64_t kAggRows = 1'000'000;
+
+double MinMillis(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
+}
+
+std::vector<linalg::Triplet> RandomTriplets(int64_t rows, int64_t cols,
+                                            int64_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<linalg::Triplet> out;
+  out.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < nnz; ++i) {
+    out.push_back(linalg::Triplet{rng.NextInt(0, rows - 1),
+                                  rng.NextInt(0, cols - 1),
+                                  rng.NextDouble(-1, 1)});
+  }
+  return out;
+}
+
+void RunSparseArms(benchjson::Recorder* json) {
+  const int64_t n = 2000;
+  linalg::SparseMatrixCSR a =
+      linalg::SparseMatrixCSR::FromTriplets(n, n, RandomTriplets(n, n, 40000, 7))
+          .ValueOrDie();
+  Rng rng(11);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) v = rng.NextDouble(-1, 1);
+
+  algebra::SetSemiringLoweringOverride(false);
+  std::vector<double> y_native = a.SpMV(x).ValueOrDie();
+  double ms_native = MinMillis([&] { a.SpMV(x).ValueOrDie(); });
+  algebra::SetSemiringLoweringOverride(true);
+  std::vector<double> y_algebra = a.SpMV(x).ValueOrDie();
+  double ms_algebra = MinMillis([&] { a.SpMV(x).ValueOrDie(); });
+
+  NEXUS_CHECK(y_native.size() == y_algebra.size());
+  for (size_t i = 0; i < y_native.size(); ++i) {
+    NEXUS_CHECK(y_native[i] == y_algebra[i]);  // bitwise, not approximate
+  }
+  json->Record("e17_spmv_native", n, ms_native);
+  json->Record("e17_spmv_algebra", n, ms_algebra);
+  json->Record("e17_spmv_identical", 1, 0.0);
+  std::printf("SpMV %lldx%lld (nnz=%lld)\n", static_cast<long long>(n),
+              static_cast<long long>(n), static_cast<long long>(a.nnz()));
+  std::printf("  native CSR loop   %9.2f ms\n", ms_native);
+  std::printf("  algebra Join+     %9.2f ms   (bitwise identical)\n",
+              ms_algebra);
+
+  const int64_t m = 300;
+  linalg::SparseMatrixCSR ga =
+      linalg::SparseMatrixCSR::FromTriplets(m, m, RandomTriplets(m, m, 6000, 5))
+          .ValueOrDie();
+  linalg::SparseMatrixCSR gb =
+      linalg::SparseMatrixCSR::FromTriplets(m, m, RandomTriplets(m, m, 6000, 9))
+          .ValueOrDie();
+  algebra::SetSemiringLoweringOverride(false);
+  linalg::SparseMatrixCSR c_native = ga.SpGEMM(gb).ValueOrDie();
+  double ms_gn = MinMillis([&] { ga.SpGEMM(gb).ValueOrDie(); });
+  algebra::SetSemiringLoweringOverride(true);
+  linalg::SparseMatrixCSR c_algebra = ga.SpGEMM(gb).ValueOrDie();
+  double ms_ga = MinMillis([&] { ga.SpGEMM(gb).ValueOrDie(); });
+  std::vector<linalg::Triplet> tn = c_native.ToTriplets();
+  std::vector<linalg::Triplet> ta = c_algebra.ToTriplets();
+  NEXUS_CHECK(tn.size() == ta.size());
+  for (size_t i = 0; i < tn.size(); ++i) {
+    NEXUS_CHECK(tn[i].row == ta[i].row && tn[i].col == ta[i].col &&
+                tn[i].value == ta[i].value);
+  }
+  json->Record("e17_spgemm_native", m, ms_gn);
+  json->Record("e17_spgemm_algebra", m, ms_ga);
+  std::printf("SpGEMM %lldx%lld (nnz=%lld)\n", static_cast<long long>(m),
+              static_cast<long long>(m), static_cast<long long>(ga.nnz()));
+  std::printf("  native Gustavson  %9.2f ms\n", ms_gn);
+  std::printf("  algebra Join+Red  %9.2f ms   (bitwise identical)\n", ms_ga);
+  algebra::ClearSemiringLoweringOverride();
+}
+
+TablePtr Fact17() {
+  SchemaPtr s = Schema::Make({Field::Attr("g", DataType::kInt64),
+                              Field::Attr("v", DataType::kFloat64),
+                              Field::Attr("c", DataType::kInt64)})
+                    .ValueOrDie();
+  Rng rng(23);
+  TableBuilder b(s);
+  // Integer-valued doubles keep the grouped sums exact, so every engine's
+  // fold can be compared byte-for-byte.
+  for (int64_t i = 0; i < kAggRows; ++i) {
+    NEXUS_CHECK(
+        b.AppendRow({Value::Int64(rng.NextInt(0, 63)),
+                     Value::Float64(static_cast<double>(rng.NextInt(-50, 50))),
+                     Value::Int64(rng.NextInt(-10, 10))})
+            .ok());
+  }
+  return b.Finish().ValueOrDie();
+}
+
+PlanPtr AggPlan() {
+  return Plan::Aggregate(Plan::Scan("fact17"), {"g"},
+                         {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+                          AggSpec{AggFunc::kSum, Col("c"), "sc"},
+                          AggSpec{AggFunc::kMin, Col("v"), "lo"},
+                          AggSpec{AggFunc::kMax, Col("c"), "hi"},
+                          AggSpec{AggFunc::kCount, nullptr, "n"}});
+}
+
+void RunEngineArms(benchjson::Recorder* json) {
+  TablePtr fact = Fact17();
+  PlanPtr plan = AggPlan();
+  struct Engine {
+    const char* name;
+    ProviderPtr provider;
+  };
+  std::vector<Engine> engines = {{"reference", MakeReferenceProvider()},
+                                 {"relstore", MakeRelationalProvider()},
+                                 {"arraydb", MakeArrayProvider()},
+                                 {"linalg", MakeLinalgProvider()},
+                                 {"graphd", MakeGraphProvider()}};
+  for (Engine& e : engines) {
+    NEXUS_CHECK(e.provider->catalog()->Put("fact17", Dataset(fact)).ok());
+  }
+
+  algebra::SetSemiringLoweringOverride(true);
+  std::printf("\nSUM/MIN/MAX/COUNT aggregate over %lld rows\n",
+              static_cast<long long>(kAggRows));
+  TablePtr baseline;
+  int identical = 0;
+  for (Engine& e : engines) {
+    NEXUS_CHECK(e.provider->ClaimsTree(*plan));
+    Dataset out = e.provider->Execute(*plan).ValueOrDie();
+    double ms = MinMillis([&] { e.provider->Execute(*plan).ValueOrDie(); });
+    TablePtr t = out.table();
+    NEXUS_CHECK(t != nullptr);
+    if (baseline == nullptr) {
+      baseline = t;
+    } else {
+      NEXUS_CHECK(t->Equals(*baseline));
+      ++identical;
+    }
+    json->Record(std::string("e17_agg_") + e.name,
+                 static_cast<long long>(t->num_rows()), ms);
+    std::printf("  %-10s %9.2f ms\n", e.name, ms);
+  }
+  json->Record("e17_agg_engines_identical", identical, 0.0);
+  std::printf("  all %d engines byte-identical to reference\n", identical);
+
+  // Off vs on through the relational provider: the switch must not change a
+  // single byte.
+  algebra::SetSemiringLoweringOverride(false);
+  TablePtr off = engines[1].provider->Execute(*plan).ValueOrDie().table();
+  algebra::SetSemiringLoweringOverride(true);
+  TablePtr on = engines[1].provider->Execute(*plan).ValueOrDie().table();
+  NEXUS_CHECK(off->Equals(*on));
+  json->Record("e17_lower_offon_identical", 1, 0.0);
+  std::printf("  NEXUS_SEMIRING off vs on: byte-identical\n");
+
+  // Planner visibility: the lower_semiring pass counts the aggregate and
+  // ExplainAnalyze carries the algebra summary line.
+  Cluster cluster;
+  NEXUS_CHECK(cluster.AddServer("relstore", MakeRelationalProvider()).ok());
+  NEXUS_CHECK(cluster.AddServer("reference", MakeReferenceProvider()).ok());
+  NEXUS_CHECK(cluster.PutData("relstore", "fact17", Dataset(fact)).ok());
+  Coordinator coord(&cluster);
+  Dataset via_coord = coord.Execute(plan).ValueOrDie();
+  NEXUS_CHECK(via_coord.table()->Equals(*baseline));
+  OptimizerStats stats = coord.last_optimizer_stats();
+  NEXUS_CHECK(stats.ops_lowered > 0);
+  std::string explain = coord.ExplainAnalyze(plan).ValueOrDie();
+  NEXUS_CHECK(explain.find("algebra:") != std::string::npos);
+  json->Record("e17_ops_lowered", stats.ops_lowered, 0.0);
+  json->AnnotateOptimizer(stats);
+  std::printf("  optimizer ops_lowered=%lld; ExplainAnalyze has algebra line\n",
+              static_cast<long long>(stats.ops_lowered));
+  algebra::ClearSemiringLoweringOverride();
+}
+
+}  // namespace
+
+int main() {
+  benchjson::Recorder json("algebra");
+  std::printf("E17: one semi-ring algebra under all four engines\n");
+  std::printf("threads=%d\n\n", GetThreadCount());
+  RunSparseArms(&json);
+  RunEngineArms(&json);
+  std::printf("\nall byte-identity checks passed\n");
+  return 0;
+}

@@ -1254,11 +1254,20 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   auto& mreg = telemetry::MetricsRegistry::Global();
   telemetry::Counter* compiles_c = mreg.counter("expr.compile");
   telemetry::Counter* compile_hits_c = mreg.counter("expr.compile_cache_hit");
+  telemetry::Counter* lowered_c = mreg.counter("algebra.ops_lowered");
+  telemetry::Counter* alg_join_c = mreg.counter("algebra.join");
+  telemetry::Counter* alg_union_c = mreg.counter("algebra.union");
   const int64_t compiles0 = compiles_c->value();
   const int64_t compile_hits0 = compile_hits_c->value();
+  const int64_t lowered0 = lowered_c->value();
+  const int64_t alg_join0 = alg_join_c->value();
+  const int64_t alg_union0 = alg_union_c->value();
   auto result = Execute(plan, m);
   const int64_t compiles = compiles_c->value() - compiles0;
   const int64_t compile_hits = compile_hits_c->value() - compile_hits0;
+  const int64_t lowered = lowered_c->value() - lowered0;
+  const int64_t alg_joins = alg_join_c->value() - alg_join0;
+  const int64_t alg_unions = alg_union_c->value() - alg_union0;
   std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
                                                  last_trace_id_);
   telemetry::SetEnabled(was_enabled);
@@ -1277,6 +1286,12 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   if (compiles + compile_hits > 0) {
     report += StrCat("expr: ", compiles, " compiled / ", compile_hits,
                      " program-cache hits\n");
+  }
+  // Semi-ring lowering summary: operators the engines routed through the
+  // shared algebra kernels this execution (desideratum: one algebra).
+  if (lowered + alg_joins + alg_unions > 0) {
+    report += StrCat("algebra: ", lowered, " ops lowered (", alg_joins,
+                     " join⊗ / ", alg_unions, " union⊕ kernel calls)\n");
   }
   return report;
 }

@@ -2,9 +2,12 @@
 // chunk-natively. Purely relational operators (join, sort, aggregate, …)
 // are not claimed — the planner combines this provider with relstore for
 // mixed plans.
+#include "algebra/kernels.h"
+#include "algebra/semiring.h"
 #include "arraydb/engine.h"
 #include "exec/reference_executor.h"
 #include "provider/provider.h"
+#include "relational/engine.h"
 #include "telemetry/telemetry.h"
 
 namespace nexus {
@@ -37,6 +40,10 @@ class ArrayProvider : public Provider {
       case OpKind::kIterate:
       case OpKind::kExchange:
         return true;
+      case OpKind::kAggregate:
+        // Semi-ring lowering lets arraydb run ⊕-fold aggregates through the
+        // shared algebra kernels — byte-identical on every engine.
+        return algebra::SemiringLoweringEnabled();
       default:
         return false;
     }
@@ -90,6 +97,18 @@ Result<Dataset> ArrayProvider::ExecNode(const Plan& plan) {
       NEXUS_ASSIGN_OR_RETURN(NDArrayPtr in, ExecA(*plan.child(0)));
       NEXUS_ASSIGN_OR_RETURN(NDArrayPtr out,
                              arraydb::Apply(*in, plan.As<ExtendOp>().defs));
+      return Dataset(out);
+    }
+    case OpKind::kAggregate: {
+      NEXUS_ASSIGN_OR_RETURN(Dataset in_ds, Exec(*plan.child(0)));
+      NEXUS_ASSIGN_OR_RETURN(TablePtr in, in_ds.AsTable());
+      const auto& spec = plan.As<AggregateOp>();
+      if (algebra::SemiringLoweringEnabled() &&
+          algebra::AggregateLowerable(spec)) {
+        NEXUS_ASSIGN_OR_RETURN(TablePtr out, algebra::LowerAggregate(in, spec));
+        return Dataset(out);
+      }
+      NEXUS_ASSIGN_OR_RETURN(TablePtr out, relational::HashAggregate(in, spec));
       return Dataset(out);
     }
     case OpKind::kRebox: {

@@ -1,9 +1,12 @@
 // The linear-algebra provider ("linalg"): claims MatMul, ElemWise, and 2-d
 // Transpose natively. MatMul picks a dense blocked GEMM or a sparse SpGEMM
 // by occupancy — the choice a numeric package would make internally.
+#include "algebra/kernels.h"
+#include "algebra/semiring.h"
 #include "linalg/dense.h"
 #include "linalg/sparse.h"
 #include "provider/provider.h"
+#include "relational/engine.h"
 #include "telemetry/telemetry.h"
 
 namespace nexus {
@@ -27,6 +30,10 @@ class LinalgProvider : public Provider {
       case OpKind::kTranspose:
       case OpKind::kExchange:
         return true;
+      case OpKind::kAggregate:
+        // Semi-ring lowering lets linalg run ⊕-fold aggregates through the
+        // shared algebra kernels — byte-identical on every engine.
+        return algebra::SemiringLoweringEnabled();
       default:
         return false;
     }
@@ -168,6 +175,18 @@ Result<Dataset> LinalgProvider::ExecNode(const Plan& plan) {
                                      {Value::Float64(t.value)}));
       }
       return Dataset(NDArrayPtr(std::move(out)));
+    }
+    case OpKind::kAggregate: {
+      NEXUS_ASSIGN_OR_RETURN(Dataset in_ds, Exec(*plan.child(0)));
+      NEXUS_ASSIGN_OR_RETURN(TablePtr in, in_ds.AsTable());
+      const auto& spec = plan.As<AggregateOp>();
+      if (algebra::SemiringLoweringEnabled() &&
+          algebra::AggregateLowerable(spec)) {
+        NEXUS_ASSIGN_OR_RETURN(TablePtr out, algebra::LowerAggregate(in, spec));
+        return Dataset(out);
+      }
+      NEXUS_ASSIGN_OR_RETURN(TablePtr out, relational::HashAggregate(in, spec));
+      return Dataset(out);
     }
     case OpKind::kElemWise: {
       NEXUS_ASSIGN_OR_RETURN(NDArrayPtr a, ExecA(*plan.child(0)));

@@ -21,6 +21,8 @@ struct TenantInstruments {
   telemetry::Counter* queued;
   telemetry::Counter* rejected;
   telemetry::Counter* killed;
+  telemetry::Counter* expr_compiles;
+  telemetry::Counter* expr_cache_hits;
   telemetry::Counter* completed;
   telemetry::Counter* failed;
   telemetry::Counter* requeued;
@@ -36,6 +38,7 @@ struct TenantInstruments {
     return TenantInstruments{
         reg.counter(name("admitted")),      reg.counter(name("queued")),
         reg.counter(name("rejected")),      reg.counter(name("killed")),
+        reg.counter(name("expr_compiles")), reg.counter(name("expr_cache_hits")),
         reg.counter(name("completed")),     reg.counter(name("failed")),
         reg.counter(name("requeued")),      reg.histogram(name("queue_wait_ms")),
         reg.histogram(name("latency_ms")),  reg.histogram(name("reserved_bytes")),
@@ -234,6 +237,16 @@ Result<Dataset> Server::RunAttempt(const std::string& tenant,
   }
   coordinator->set_options(co);
 
+  // Attribute expression-compiler activity to the tenant: snapshot the
+  // process-wide counters around the run and charge the delta. Best-effort
+  // under concurrency (overlapping queries may swap some counts), exact in
+  // the common serial case — good enough for per-tenant cache dashboards.
+  auto& mreg = telemetry::MetricsRegistry::Global();
+  telemetry::Counter* compile_c = mreg.counter("expr.compile");
+  telemetry::Counter* cache_hit_c = mreg.counter("expr.compile_cache_hit");
+  const int64_t compiles0 = compile_c->value();
+  const int64_t cache_hits0 = cache_hit_c->value();
+
   Result<Dataset> result{Status::Internal("query did not run")};
   {
     TaskContext ctx;
@@ -266,6 +279,13 @@ Result<Dataset> Server::RunAttempt(const std::string& tenant,
   co.retry.fragment_timeout_seconds =
       options_.coordinator.retry.fragment_timeout_seconds;
   coordinator->set_options(co);
+
+  const int64_t expr_compiles = compile_c->value() - compiles0;
+  const int64_t expr_cache_hits = cache_hit_c->value() - cache_hits0;
+  if (expr_compiles > 0) ins.expr_compiles->Add(expr_compiles);
+  if (expr_cache_hits > 0) ins.expr_cache_hits->Add(expr_cache_hits);
+  report->expr_compiles += expr_compiles;
+  report->expr_cache_hits += expr_cache_hits;
 
   report->reserved_bytes += meter->charged();
   ins.reserved_bytes->Record(static_cast<double>(meter->charged()));

@@ -77,6 +77,11 @@ struct QueryReport {
   double latency_ms = 0.0;
   int64_t reserved_bytes = 0;  ///< bytes the query charged to its tenant
   int requeues = 0;
+  /// Expression programs compiled / served from the program cache while this
+  /// query ran (best-effort attribution: deltas of the process-wide
+  /// expr.compile / expr.compile_cache_hit counters across the run).
+  int64_t expr_compiles = 0;
+  int64_t expr_cache_hits = 0;
 };
 
 class Server {

@@ -1,0 +1,422 @@
+// Tests for the semi-ring kernel subsystem: registry contracts, the
+// associative-array bridge, the Ext/Join/Union kernels, and the lowering
+// entry points' byte-identity to the engines they replace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "algebra/assoc_array.h"
+#include "algebra/kernels.h"
+#include "algebra/semiring.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "expr/builder.h"
+#include "graph/graph.h"
+#include "linalg/sparse.h"
+#include "optimizer/lower_semiring.h"
+#include "relational/engine.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using algebra::AssocArray;
+using algebra::Semiring;
+using linalg::SparseMatrixCSR;
+using linalg::Triplet;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::N;
+using testing::S;
+
+/// Restores the process-wide lowering switch (and thread count) on exit.
+struct LoweringGuard {
+  int saved_threads = GetThreadCount();
+  ~LoweringGuard() {
+    algebra::ClearSemiringLoweringOverride();
+    SetThreadCount(saved_threads);
+  }
+};
+
+const Semiring& Ring(const std::string& name) {
+  const Semiring* s = algebra::FindSemiring(name);
+  EXPECT_NE(s, nullptr) << name;
+  return *s;
+}
+
+// ---------------------------------------------------------------------------
+// Registry and contracts.
+// ---------------------------------------------------------------------------
+
+TEST(SemiringTest, RegistryShipsTheFiveRingsAndAllPassContracts) {
+  const auto& rings = algebra::SemiringRegistry();
+  ASSERT_EQ(rings.size(), 5u);
+  for (const Semiring& s : rings) {
+    EXPECT_OK(algebra::VerifyContracts(s));
+    EXPECT_EQ(algebra::FindSemiring(s.name), &s);
+  }
+  EXPECT_EQ(algebra::FindSemiring("frobnicate"), nullptr);
+}
+
+TEST(SemiringTest, TropicalIdentities) {
+  const Semiring& mp = Ring("min_plus");
+  EXPECT_EQ(mp.zero_f, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(mp.one_f, 0.0);
+  EXPECT_EQ(algebra::ApplyF(mp.plus, 3.0, 5.0), 3.0);
+  EXPECT_EQ(algebra::ApplyF(mp.times, 3.0, 5.0), 8.0);
+  const Semiring& mt = Ring("max_times");
+  EXPECT_EQ(algebra::ApplyF(mt.plus, 0.25, 0.5), 0.5);
+  EXPECT_EQ(algebra::ApplyF(mt.times, 0.25, 0.5), 0.125);
+  const Semiring& oa = Ring("or_and");
+  EXPECT_EQ(algebra::ApplyI(oa.plus, 0, 1), 1);
+  EXPECT_EQ(algebra::ApplyI(oa.times, 1, 0), 0);
+  EXPECT_TRUE(Ring("count").lift);
+}
+
+TEST(SemiringTest, BrokenRingFailsContracts) {
+  // (−, ×) is not a semi-ring: ⊕ is neither associative nor commutative.
+  Semiring bad;
+  bad.name = "sub_times";
+  bad.plus = algebra::MonoidOp::kMul;  // 1 is not a ⊕-identity with zero_f=0
+  EXPECT_FALSE(algebra::VerifyContracts(bad).ok());
+}
+
+TEST(SemiringTest, OverrideSwitch) {
+  LoweringGuard guard;
+  algebra::SetSemiringLoweringOverride(false);
+  EXPECT_FALSE(algebra::SemiringLoweringEnabled());
+  algebra::SetSemiringLoweringOverride(true);
+  EXPECT_TRUE(algebra::SemiringLoweringEnabled());
+}
+
+// ---------------------------------------------------------------------------
+// Associative arrays.
+// ---------------------------------------------------------------------------
+
+TEST(AssocArrayTest, FromTableProjectsKeysAndValue) {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("junk", DataType::kString),
+                            Field::Attr("v", DataType::kFloat64)});
+  TablePtr t = MakeTable(s, {{I(7), S("x"), F(1.5)}, {I(3), S("y"), F(2.5)}});
+  ASSERT_OK_AND_ASSIGN(AssocArray a, AssocArray::FromTable(t, {"k"}, "v"));
+  EXPECT_EQ(a.num_keys(), 1);
+  EXPECT_EQ(a.num_entries(), 2);
+  EXPECT_EQ(a.key_name(0), "k");
+  EXPECT_EQ(a.value_name(), "v");
+  // Entry order is preserved from the table.
+  EXPECT_EQ(a.key_column(0).ints()[0], 7);
+  EXPECT_EQ(a.value_column().doubles()[1], 2.5);
+}
+
+TEST(AssocArrayTest, RejectsNullKeysAndNonNumericValues) {
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TablePtr null_key = MakeTable(s, {{N(), F(1.0)}});
+  EXPECT_FALSE(AssocArray::FromTable(null_key, {"k"}, "v").ok());
+  SchemaPtr s2 = MakeSchema({Field::Attr("k", DataType::kInt64),
+                             Field::Attr("v", DataType::kBool)});
+  TablePtr bool_val = MakeTable(s2, {{I(1), testing::B(true)}});
+  EXPECT_FALSE(AssocArray::FromTable(bool_val, {"k"}, "v").ok());
+}
+
+TEST(AssocArrayTest, TripletAndDenseVectorBridges) {
+  std::vector<Triplet> trips = {{1, 0, 2.0}, {0, 2, 3.0}};
+  ASSERT_OK_AND_ASSIGN(AssocArray a,
+                       AssocArray::FromTriplets(trips, "i", "j", "v"));
+  ASSERT_OK_AND_ASSIGN(std::vector<Triplet> back, a.ToTriplets());
+  ASSERT_EQ(back.size(), 2u);
+  // FromTriplets preserves the given order (unlike CSR construction).
+  EXPECT_EQ(back[0].row, 1);
+  EXPECT_EQ(back[1].col, 2);
+  ASSERT_OK_AND_ASSIGN(AssocArray x,
+                       AssocArray::FromDenseVector({0.5, 0.0, -2.0}, "k", "x"));
+  EXPECT_EQ(x.num_entries(), 3);  // explicit zeros are entries
+  EXPECT_EQ(x.key_column(0).ints()[2], 2);
+  EXPECT_EQ(x.value_column().doubles()[2], -2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels.
+// ---------------------------------------------------------------------------
+
+AssocArray Entries(const std::vector<std::pair<int64_t, double>>& kv,
+                   const std::string& key = "k",
+                   const std::string& val = "v") {
+  SchemaPtr s = MakeSchema({Field::Attr(key, DataType::kInt64),
+                            Field::Attr(val, DataType::kFloat64)});
+  std::vector<std::vector<Value>> rows;
+  for (const auto& [k, v] : kv) rows.push_back({I(k), F(v)});
+  auto r = AssocArray::FromTable(MakeTable(s, rows), {key}, val);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.MoveValue();
+}
+
+TEST(KernelTest, ExtFlatmapsInEntryOrder) {
+  AssocArray a = Entries({{1, 2.0}, {2, 3.0}});
+  // Emit (k, v) and (k + 10, v * 2) per entry.
+  ASSERT_OK_AND_ASSIGN(
+      AssocArray out,
+      algebra::Ext(a, {Field::Attr("k", DataType::kInt64)},
+                   Field::Attr("v", DataType::kFloat64),
+                   [](const std::vector<Value>& keys, const Value& v,
+                      const std::function<void(std::vector<Value>, Value)>& emit)
+                       -> Status {
+                     emit({keys[0]}, v);
+                     emit({Value::Int64(keys[0].AsInt64() + 10)},
+                          Value::Float64(v.AsDouble() * 2));
+                     return Status::OK();
+                   }));
+  ASSERT_EQ(out.num_entries(), 4);
+  EXPECT_EQ(out.key_column(0).ints()[0], 1);
+  EXPECT_EQ(out.key_column(0).ints()[1], 11);
+  EXPECT_EQ(out.value_column().doubles()[1], 4.0);
+  EXPECT_EQ(out.key_column(0).ints()[2], 2);
+}
+
+TEST(KernelTest, JoinCombinesWithTimesInProbeOrder) {
+  AssocArray a = Entries({{1, 2.0}, {2, 3.0}, {1, 5.0}});
+  AssocArray b = Entries({{1, 10.0}, {1, 100.0}}, "k", "w");
+  ASSERT_OK_AND_ASSIGN(AssocArray j, algebra::Join(a, b, Ring("plus_times")));
+  // a-entry order, with b-matches in b-entry order; value name is "v_w".
+  ASSERT_EQ(j.num_entries(), 4);
+  EXPECT_EQ(j.value_name(), "v_w");
+  const auto& vals = j.value_column().doubles();
+  EXPECT_EQ(vals[0], 20.0);
+  EXPECT_EQ(vals[1], 200.0);
+  EXPECT_EQ(vals[2], 50.0);
+  EXPECT_EQ(vals[3], 500.0);
+  // No shared key name at all is an error, not a cross product.
+  AssocArray c = Entries({{1, 1.0}}, "other");
+  EXPECT_FALSE(algebra::Join(a, c, Ring("plus_times")).ok());
+}
+
+TEST(KernelTest, JoinUnderLiftedRingCountsPairs) {
+  AssocArray a = Entries({{1, 2.0}, {2, 3.0}});
+  AssocArray b = Entries({{1, 9.0}, {1, 8.0}}, "k", "w");
+  ASSERT_OK_AND_ASSIGN(AssocArray j, algebra::Join(a, b, Ring("count")));
+  ASSERT_EQ(j.num_entries(), 2);
+  for (double v : j.value_column().doubles()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(KernelTest, UnionFoldsDuplicatesFirstSeenOrder) {
+  AssocArray a = Entries({{5, 1.0}, {3, 2.0}});
+  AssocArray b = Entries({{3, 10.0}, {9, 4.0}});
+  ASSERT_OK_AND_ASSIGN(AssocArray u, algebra::Union(a, b, Ring("plus_times")));
+  ASSERT_EQ(u.num_entries(), 3);
+  // First-seen key order: 5, 3, 9; key 3 folds 2.0 ⊕ 10.0.
+  EXPECT_EQ(u.key_column(0).ints()[0], 5);
+  EXPECT_EQ(u.key_column(0).ints()[1], 3);
+  EXPECT_EQ(u.key_column(0).ints()[2], 9);
+  EXPECT_EQ(u.value_column().doubles()[1], 12.0);
+  // min_plus ⊕ keeps the smaller value.
+  ASSERT_OK_AND_ASSIGN(AssocArray m, algebra::Union(a, b, Ring("min_plus")));
+  EXPECT_EQ(m.value_column().doubles()[1], 2.0);
+  // Schema mismatches are type errors.
+  AssocArray c = Entries({{1, 1.0}}, "other");
+  EXPECT_FALSE(algebra::Union(a, c, Ring("plus_times")).ok());
+}
+
+TEST(KernelTest, ReduceProjectsThenFolds) {
+  // Two-key array reduced to its first key: ⊕-sums across the dropped key.
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 4.0}};
+  ASSERT_OK_AND_ASSIGN(AssocArray a,
+                       AssocArray::FromTriplets(trips, "i", "j", "v"));
+  ASSERT_OK_AND_ASSIGN(AssocArray r,
+                       algebra::Reduce(a, {"i"}, Ring("plus_times")));
+  ASSERT_EQ(r.num_entries(), 2);
+  EXPECT_EQ(r.value_column().doubles()[0], 3.0);
+  EXPECT_EQ(r.value_column().doubles()[1], 4.0);
+  // A full scalar reduction must keep at least one key.
+  EXPECT_FALSE(algebra::Reduce(a, {}, Ring("plus_times")).ok());
+}
+
+TEST(KernelTest, OrAndReachabilityStep) {
+  // frontier ∨⊗∧ edges: one step of boolean reachability.
+  AssocArray frontier = Entries({{0, 1.0}}, "u", "f");
+  std::vector<Triplet> edges = {{0, 1, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}};
+  ASSERT_OK_AND_ASSIGN(AssocArray e,
+                       AssocArray::FromTriplets(edges, "u", "w", "f"));
+  ASSERT_OK_AND_ASSIGN(AssocArray step,
+                       algebra::Join(frontier, e, Ring("or_and")));
+  ASSERT_OK_AND_ASSIGN(AssocArray reached,
+                       algebra::Reduce(step, {"w"}, Ring("or_and")));
+  ASSERT_EQ(reached.num_entries(), 2);  // nodes 1 and 2, not 3
+  for (double v : reached.value_column().doubles()) EXPECT_EQ(v, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// LowerAggregate ≡ HashAggregate.
+// ---------------------------------------------------------------------------
+
+TablePtr RandomSales(int64_t n, uint64_t seed) {
+  SchemaPtr s = MakeSchema({Field::Attr("g", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64),
+                            Field::Attr("c", DataType::kInt64)});
+  TableBuilder b(s);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    Value v = rng.NextInt(0, 9) == 0 ? Value::Null()
+                                     : F(rng.NextDouble(-100, 100));
+    EXPECT_OK(b.AppendRow({I(rng.NextInt(0, 11)), v, I(rng.NextInt(-5, 5))}));
+  }
+  return b.Finish().ValueOrDie();
+}
+
+void ExpectLoweredMatchesEngine(const TablePtr& t, const AggregateOp& op) {
+  ASSERT_TRUE(algebra::AggregateLowerable(op));
+  ASSERT_OK_AND_ASSIGN(TablePtr want, relational::HashAggregate(t, op));
+  LoweringGuard guard;
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    ASSERT_OK_AND_ASSIGN(TablePtr got, algebra::LowerAggregate(t, op));
+    EXPECT_TRUE(got->Equals(*want)) << "threads=" << threads;
+    EXPECT_TRUE(got->schema()->Equals(*want->schema()));
+  }
+}
+
+TEST(LowerAggregateTest, GroupedFoldsMatchHashAggregate) {
+  TablePtr t = RandomSales(40000, 17);  // multiple morsels
+  AggregateOp op;
+  op.group_by = {"g"};
+  op.aggs = {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+             AggSpec{AggFunc::kSum, Col("c"), "sc"},
+             AggSpec{AggFunc::kMin, Col("v"), "lo"},
+             AggSpec{AggFunc::kMax, Col("c"), "hi"},
+             AggSpec{AggFunc::kCount, Col("v"), "nv"},
+             AggSpec{AggFunc::kCount, nullptr, "n"}};
+  ExpectLoweredMatchesEngine(t, op);
+}
+
+TEST(LowerAggregateTest, GlobalAndEmptyInputsMatchHashAggregate) {
+  AggregateOp global;
+  global.aggs = {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+                 AggSpec{AggFunc::kMin, Col("v"), "lo"},
+                 AggSpec{AggFunc::kCount, nullptr, "n"}};
+  ExpectLoweredMatchesEngine(RandomSales(500, 3), global);
+  // Empty input: global aggregates yield one all-null/zero row.
+  ExpectLoweredMatchesEngine(RandomSales(0, 3), global);
+  AggregateOp grouped = global;
+  grouped.group_by = {"g"};
+  ExpectLoweredMatchesEngine(RandomSales(0, 3), grouped);
+}
+
+TEST(LowerAggregateTest, AvgIsNotLowerable) {
+  AggregateOp op;
+  op.aggs = {AggSpec{AggFunc::kAvg, Col("v"), "m"}};
+  EXPECT_FALSE(algebra::AggregateLowerable(op));
+}
+
+// ---------------------------------------------------------------------------
+// Engine routing: byte-identity with lowering off vs on.
+// ---------------------------------------------------------------------------
+
+std::vector<Triplet> RandomTriplets(int64_t rows, int64_t cols, int n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Triplet{rng.NextInt(0, rows - 1), rng.NextInt(0, cols - 1),
+                          rng.NextDouble(-1, 1)});
+  }
+  return out;
+}
+
+TEST(LoweringTest, SpMVOffOnBitIdentical) {
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR m,
+      SparseMatrixCSR::FromTriplets(30, 20, RandomTriplets(30, 20, 150, 7)));
+  Rng rng(11);
+  std::vector<double> x(20);
+  for (double& v : x) v = rng.NextDouble(-1, 1);
+  LoweringGuard guard;
+  algebra::SetSemiringLoweringOverride(false);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> off, m.SpMV(x));
+  algebra::SetSemiringLoweringOverride(true);
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    ASSERT_OK_AND_ASSIGN(std::vector<double> on, m.SpMV(x));
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t i = 0; i < on.size(); ++i) {
+      EXPECT_EQ(on[i], off[i]) << "row " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LoweringTest, SpGEMMOffOnBitIdentical) {
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR a,
+      SparseMatrixCSR::FromTriplets(12, 10, RandomTriplets(12, 10, 60, 5)));
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR b,
+      SparseMatrixCSR::FromTriplets(10, 14, RandomTriplets(10, 14, 60, 9)));
+  LoweringGuard guard;
+  algebra::SetSemiringLoweringOverride(false);
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR off, a.SpGEMM(b));
+  algebra::SetSemiringLoweringOverride(true);
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    ASSERT_OK_AND_ASSIGN(SparseMatrixCSR on, a.SpGEMM(b));
+    std::vector<Triplet> to = off.ToTriplets(), tn = on.ToTriplets();
+    ASSERT_EQ(to.size(), tn.size()) << "threads=" << threads;
+    for (size_t i = 0; i < to.size(); ++i) {
+      EXPECT_EQ(to[i].row, tn[i].row);
+      EXPECT_EQ(to[i].col, tn[i].col);
+      EXPECT_EQ(to[i].value, tn[i].value) << "entry " << i;
+    }
+  }
+}
+
+TEST(LoweringTest, BfsAndPageRankOffOnIdentical) {
+  Rng rng(23);
+  std::vector<int64_t> src, dst;
+  for (int i = 0; i < 300; ++i) {
+    src.push_back(rng.NextInt(0, 49));
+    dst.push_back(rng.NextInt(0, 49));
+  }
+  graph::CsrGraph g = graph::CsrGraph::FromEdges(src, dst);
+  LoweringGuard guard;
+  algebra::SetSemiringLoweringOverride(false);
+  std::vector<int64_t> bfs_off = graph::Bfs(g, 0);
+  graph::PageRankOptions opts;
+  opts.max_iters = 30;
+  graph::PageRankResult pr_off = graph::PageRank(g, opts);
+  algebra::SetSemiringLoweringOverride(true);
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    EXPECT_EQ(graph::Bfs(g, 0), bfs_off) << "threads=" << threads;
+    graph::PageRankResult pr_on = graph::PageRank(g, opts);
+    EXPECT_EQ(pr_on.iterations, pr_off.iterations);
+    ASSERT_EQ(pr_on.rank.size(), pr_off.rank.size());
+    for (size_t i = 0; i < pr_on.rank.size(); ++i) {
+      EXPECT_EQ(pr_on.rank[i], pr_off.rank[i])
+          << "node " << i << " threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer recognition.
+// ---------------------------------------------------------------------------
+
+TEST(LowerSemiringPassTest, CountsLowerableOps) {
+  PlanPtr agg = Plan::Aggregate(Plan::Scan("t"), {"g"},
+                                {AggSpec{AggFunc::kSum, Col("v"), "s"}});
+  EXPECT_TRUE(SemiringLowerable(*agg));
+  EXPECT_EQ(CountLowerableOps(*agg), 1);
+  PlanPtr avg = Plan::Aggregate(Plan::Scan("t"), {"g"},
+                                {AggSpec{AggFunc::kAvg, Col("v"), "m"}});
+  EXPECT_FALSE(SemiringLowerable(*avg));
+  PlanPtr mm = Plan::MatMul(Plan::Scan("a"), Plan::Scan("b"));
+  EXPECT_TRUE(SemiringLowerable(*mm));
+  // Nested: Aggregate over MatMul counts both.
+  PlanPtr both = Plan::Aggregate(mm, {"i"},
+                                 {AggSpec{AggFunc::kSum, Col("v"), "s"}});
+  EXPECT_EQ(CountLowerableOps(*both), 2);
+}
+
+}  // namespace
+}  // namespace nexus

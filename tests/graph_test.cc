@@ -97,6 +97,55 @@ TEST(BfsTest, LevelsAndUnreachable) {
   EXPECT_EQ(levels[3], -1);
 }
 
+TEST(BfsTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdges({}, {});
+  EXPECT_TRUE(graph::Bfs(g, 0).empty());
+}
+
+TEST(BfsTest, SingleSelfLoop) {
+  CsrGraph g = CsrGraph::FromEdges({5}, {5});
+  ASSERT_EQ(g.num_nodes(), 1);
+  std::vector<int64_t> levels = graph::Bfs(g, 0);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0], 0);  // the self-loop must not re-level the source
+  // Out-of-range sources leave every node unreached.
+  for (int64_t lvl : graph::Bfs(g, 7)) EXPECT_EQ(lvl, -1);
+  for (int64_t lvl : graph::Bfs(g, -1)) EXPECT_EQ(lvl, -1);
+}
+
+TEST(BfsTest, DisconnectedComponentStaysMinusOne) {
+  // Two components: {0,1} and {2,3}; no path crosses.
+  CsrGraph g = CsrGraph::FromEdges({0, 2}, {1, 3});
+  std::vector<int64_t> from0 = graph::Bfs(g, 0);
+  EXPECT_EQ(from0[0], 0);
+  EXPECT_EQ(from0[1], 1);
+  EXPECT_EQ(from0[2], -1);
+  EXPECT_EQ(from0[3], -1);
+  std::vector<int64_t> from2 = graph::Bfs(g, 2);
+  EXPECT_EQ(from2[0], -1);
+  EXPECT_EQ(from2[1], -1);
+  EXPECT_EQ(from2[2], 0);
+  EXPECT_EQ(from2[3], 1);
+}
+
+TEST(PageRankTest, DanglingChainConverges) {
+  // 0 -> 1 -> 2 with 2 dangling: every step pours rank into the dangling
+  // tail, the classic slow-convergence shape. Must still converge under
+  // max_iters and keep a proper distribution.
+  CsrGraph g = CsrGraph::FromEdges({0, 1}, {1, 2});
+  graph::PageRankOptions opts;
+  opts.epsilon = 1e-12;
+  opts.max_iters = 300;
+  graph::PageRankResult r = graph::PageRank(g, opts);
+  EXPECT_LT(r.iterations, 300);
+  double total = 0;
+  for (double v : r.rank) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Rank accumulates down the chain.
+  EXPECT_LT(r.rank[0], r.rank[1]);
+  EXPECT_LT(r.rank[1], r.rank[2]);
+}
+
 TEST(ShortestPathsTest, DijkstraPicksCheaperLongerPath) {
   // 0->1 (cost 10), 0->2 (1), 2->1 (2): best 0->1 is 3 via 2.
   CsrGraph g = CsrGraph::FromEdges({0, 0, 2}, {1, 2, 1});

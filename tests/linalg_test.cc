@@ -189,5 +189,58 @@ TEST(SparseTest, EmptyMatrix) {
   EXPECT_EQ(c.nnz(), 0);
 }
 
+TEST(SparseTest, ExplicitZerosAreStoredEntries) {
+  // A 0-valued triplet (and duplicates summing to exactly 0) stays stored:
+  // absent and explicit-zero entries agree numerically but not structurally.
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR m,
+      SparseMatrixCSR::FromTriplets(
+          2, 2, {{0, 0, 0.0}, {1, 1, 3.0}, {1, 0, 1.0}, {1, 0, -1.0}}));
+  EXPECT_EQ(m.nnz(), 3);  // (0,0)=0.0, (1,0)=0.0, (1,1)=3.0 all stored
+  ASSERT_OK_AND_ASSIGN(auto y, m.SpMV({5.0, 7.0}));
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[1], 21.0);
+  // SpGEMM drops exact-zero *output* cells even when inputs store zeros.
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR c, m.SpGEMM(m));
+  for (const Triplet& t : c.ToTriplets()) EXPECT_NE(t.value, 0.0);
+}
+
+TEST(SparseTest, AllZeroRowsStayZero) {
+  // Rows 0 and 2 have no stored entries: SpMV must leave them exactly 0.0
+  // and SpGEMM must emit nothing for them.
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR m,
+                       SparseMatrixCSR::FromTriplets(3, 3, {{1, 0, 2.0}}));
+  ASSERT_OK_AND_ASSIGN(auto y, m.SpMV({1.0, 1.0, 1.0}));
+  EXPECT_EQ(y[0], 0.0);
+  EXPECT_EQ(y[1], 2.0);
+  EXPECT_EQ(y[2], 0.0);
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR c, m.SpGEMM(m));
+  for (const Triplet& t : c.ToTriplets()) EXPECT_EQ(t.row, 1);
+}
+
+TEST(SparseTest, OneByNAndOuterProduct) {
+  // 1xN row vector times N-vector: a single dot product.
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR row,
+      SparseMatrixCSR::FromTriplets(1, 4, {{0, 1, 2.0}, {0, 3, -1.0}}));
+  ASSERT_OK_AND_ASSIGN(auto y, row.SpMV({9.0, 4.0, 9.0, 6.0}));
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 2.0);
+  // Nx1 times 1xM: outer product hits every (i, j) pair.
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR col,
+      SparseMatrixCSR::FromTriplets(3, 1, {{0, 0, 1.0}, {2, 0, 4.0}}));
+  ASSERT_OK_AND_ASSIGN(
+      SparseMatrixCSR wide,
+      SparseMatrixCSR::FromTriplets(1, 2, {{0, 0, 3.0}, {0, 1, 5.0}}));
+  ASSERT_OK_AND_ASSIGN(SparseMatrixCSR outer, col.SpGEMM(wide));
+  DenseMatrix d = outer.ToDense();
+  EXPECT_EQ(d.At(0, 0), 3.0);
+  EXPECT_EQ(d.At(0, 1), 5.0);
+  EXPECT_EQ(d.At(2, 0), 12.0);
+  EXPECT_EQ(d.At(2, 1), 20.0);
+  EXPECT_EQ(d.At(1, 0), 0.0);
+}
+
 }  // namespace
 }  // namespace nexus

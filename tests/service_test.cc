@@ -12,6 +12,7 @@
 #include "expr/builder.h"
 #include "federation/coordinator.h"
 #include "service/server.h"
+#include "telemetry/metrics.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -245,6 +246,35 @@ TEST_F(ServiceTest, ExecuteMatchesDirectCoordinator) {
   EXPECT_EQ(report.tenant, "acme");
   EXPECT_GT(report.reserved_bytes, 0);  // the meter saw the materialization
   EXPECT_FALSE(AnyTempWithPrefix("__frag_"));  // all temps released
+  ASSERT_OK(server.CloseSession(session));
+}
+
+TEST_F(ServiceTest, PerTenantExprCompileMetrics) {
+  Server server(cluster_.get());
+  ASSERT_OK(server.RegisterTenant("acme", TenantOptions{}));
+  ASSERT_OK_AND_ASSIGN(int64_t session, server.OpenSession("acme"));
+
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const int64_t tenant_compiles0 =
+      reg.counter("service.acme.expr_compiles")->value();
+  const int64_t tenant_hits0 =
+      reg.counter("service.acme.expr_cache_hits")->value();
+
+  QueryReport first;
+  ASSERT_OK(server.Execute(session, FilterPlan(), {}, &first).status());
+  QueryReport second;
+  ASSERT_OK(server.Execute(session, FilterPlan(), {}, &second).status());
+
+  // The filter predicate compiles (or is served from the program cache) on
+  // every run, and the per-tenant counters mirror the per-query reports.
+  EXPECT_GT(first.expr_compiles + first.expr_cache_hits + second.expr_compiles +
+                second.expr_cache_hits,
+            0);
+  EXPECT_EQ(
+      reg.counter("service.acme.expr_compiles")->value() - tenant_compiles0,
+      first.expr_compiles + second.expr_compiles);
+  EXPECT_EQ(reg.counter("service.acme.expr_cache_hits")->value() - tenant_hits0,
+            first.expr_cache_hits + second.expr_cache_hits);
   ASSERT_OK(server.CloseSession(session));
 }
 
