@@ -4,9 +4,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
+#include "exec/spill/spill.h"
 #include "expr/eval.h"
 #include "relational/engine.h"
 #include "telemetry/metrics.h"
@@ -214,6 +216,85 @@ struct GroupFoldOut {
   std::vector<std::vector<MonoidState>> states;
 };
 
+// Out-of-core grouped ⊕-fold, the algebra twin of relational's spilled
+// aggregation: Grace-partition a (keys + fold inputs) working table by group
+// hash, fold each loaded partition with the ordinary sequential pass, and
+// sort the merged groups by their global rep row. A group's rows share one
+// hash, so one partition folds them all in ascending original-row order —
+// the sequential ⊕ order — and the merge restores first-seen group order.
+Result<GroupFoldOut> SpillGroupFold(const Table& input,
+                                    const std::vector<int>& group_cols,
+                                    const std::vector<FoldSpec>& folds,
+                                    const std::vector<Column>& fold_inputs,
+                                    const std::vector<uint64_t>& hashes) {
+  std::vector<Field> wfields;
+  std::vector<Column> wcols;
+  std::vector<int> wgroup_cols;
+  for (size_t g = 0; g < group_cols.size(); ++g) {
+    Field f = input.schema()->field(group_cols[g]);
+    f.is_dimension = false;
+    wfields.push_back(std::move(f));
+    wcols.push_back(input.column(group_cols[g]));
+    wgroup_cols.push_back(static_cast<int>(g));
+  }
+  std::vector<int> fold_slot(folds.size(), -1);
+  for (size_t a = 0; a < folds.size(); ++a) {
+    if (folds[a].count_star) continue;  // never reads its column
+    fold_slot[a] = static_cast<int>(wcols.size());
+    wfields.push_back(Field::Attr(StrCat("__fold_", static_cast<int64_t>(a)),
+                                  fold_inputs[a].type()));
+    wcols.push_back(fold_inputs[a]);
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr wschema, Schema::Make(std::move(wfields)));
+  NEXUS_ASSIGN_OR_RETURN(TablePtr working,
+                         Table::Make(wschema, std::move(wcols)));
+
+  spill::PartitionedSpiller::Options opts;
+  opts.budget_bytes = spill::SpillBudgetBytes();
+  opts.tag = "fold";
+  opts.release_inputs = true;
+  spill::PartitionedSpiller spiller(&spill::SpillManager::Global(), opts);
+
+  std::vector<std::pair<int64_t, std::vector<MonoidState>>> groups;
+  Status st = spiller.Run(
+      {{working, &hashes}},
+      [&](const std::vector<TablePtr>& parts) -> Status {
+        const Table& wp = *parts[0];
+        const auto& rows = wp.column(wp.num_columns() - 2).ints();
+        const auto& hbits = wp.column(wp.num_columns() - 1).ints();
+        std::vector<uint64_t> local_hashes;
+        local_hashes.reserve(hbits.size());
+        for (int64_t h : hbits) local_hashes.push_back(static_cast<uint64_t>(h));
+        std::vector<Column> local_inputs;
+        for (size_t a = 0; a < folds.size(); ++a) {
+          local_inputs.push_back(fold_slot[a] < 0 ? Column(DataType::kInt64)
+                                                  : wp.column(fold_slot[a]));
+        }
+        FoldPartition part;
+        NEXUS_RETURN_NOT_OK(AccumulateFold(wp, wgroup_cols, folds,
+                                           local_inputs, local_hashes, 0, 0,
+                                           &part));
+        for (size_t g = 0; g < part.states.size(); ++g) {
+          groups.emplace_back(rows[static_cast<size_t>(part.rep_row[g])],
+                              std::move(part.states[g]));
+        }
+        return Status::OK();
+      });
+  working.reset();
+  NEXUS_RETURN_NOT_OK(st);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  GroupFoldOut out;
+  out.rep_row.reserve(groups.size());
+  out.states.reserve(groups.size());
+  for (auto& [row, gs] : groups) {
+    out.rep_row.push_back(row);
+    out.states.push_back(std::move(gs));
+  }
+  Count("algebra.spilled_folds");
+  return out;
+}
+
 /// The full grouped ⊕-fold with relational::HashAggregate's exact parallel
 /// skeleton: same hashes, same sequential-path condition, same pow-2
 /// partition count, and the same rep_row sort restoring first-seen group
@@ -227,6 +308,15 @@ Result<GroupFoldOut> GroupFold(const Table& input,
                          relational::HashRows(input, group_cols));
   GroupFoldOut out;
   const int64_t n = input.num_rows();
+  // Out-of-core path (mirrors relational::HashAggregate's spill branch).
+  if (!group_cols.empty() && n > 0) {
+    int64_t working_bytes = 0;
+    for (int c : group_cols) working_bytes += input.column(c).ByteSize();
+    for (const Column& c : fold_inputs) working_bytes += c.ByteSize();
+    if (spill::ShouldSpill(working_bytes)) {
+      return SpillGroupFold(input, group_cols, folds, fold_inputs, hashes);
+    }
+  }
   if (GetThreadCount() == 1 || group_cols.empty() || n < 2 * kMorselRows) {
     FoldPartition all;
     NEXUS_RETURN_NOT_OK(AccumulateFold(input, group_cols, folds, fold_inputs,
@@ -274,6 +364,68 @@ Result<GroupFoldOut> GroupFold(const Table& input,
         std::move(partitions[static_cast<size_t>(gr.part)].states[gr.idx]));
   }
   return out;
+}
+
+// Out-of-core ⊗-join pair computation — the algebra twin of relational's
+// spilled HashJoin: partition both sides by key hash, build/probe each
+// partition in memory, and sort the merged pairs of original entry indices
+// by (a, b). The in-memory probe emits pairs in exactly that lexicographic
+// order (a-entries ascending, each probing one ascending bucket chain), so
+// the sorted pairs — and everything gathered from them — are bit-identical.
+Status SpillJoinPairs(const TablePtr& ta_ptr, const TablePtr& tb_ptr,
+                      const std::vector<uint64_t>& ah,
+                      const std::vector<uint64_t>& bh,
+                      const std::vector<int>& ak, const std::vector<int>& bk,
+                      std::vector<int64_t>* li, std::vector<int64_t>* ri,
+                      telemetry::SpanGuard* span) {
+  spill::PartitionedSpiller::Options opts;
+  opts.budget_bytes = spill::SpillBudgetBytes();
+  opts.tag = "alg-join";
+  spill::PartitionedSpiller spiller(&spill::SpillManager::Global(), opts);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  ScopedCharge pair_charge;
+  Status st = spiller.Run(
+      {{ta_ptr, &ah}, {tb_ptr, &bh}},
+      [&](const std::vector<TablePtr>& parts) -> Status {
+        const Table& ap = *parts[0];
+        const Table& bp = *parts[1];
+        const auto& arows = ap.column(ap.num_columns() - 2).ints();
+        const auto& ahash = ap.column(ap.num_columns() - 1).ints();
+        const auto& brows = bp.column(bp.num_columns() - 2).ints();
+        const auto& bhash = bp.column(bp.num_columns() - 1).ints();
+        ScopedCharge build_charge;
+        build_charge.Add(bp.num_rows() * 48);
+        std::unordered_map<uint64_t, std::vector<int64_t>> table;
+        table.reserve(static_cast<size_t>(bp.num_rows()) + 1);
+        for (int64_t r = 0; r < bp.num_rows(); ++r) {
+          table[static_cast<uint64_t>(bhash[static_cast<size_t>(r)])].push_back(r);
+        }
+        size_t before = pairs.size();
+        for (int64_t l = 0; l < ap.num_rows(); ++l) {
+          auto it = table.find(static_cast<uint64_t>(ahash[static_cast<size_t>(l)]));
+          if (it == table.end()) continue;
+          for (int64_t r : it->second) {
+            if (PairKeysEqual(ap, l, ak, bp, r, bk)) {
+              pairs.emplace_back(arows[static_cast<size_t>(l)],
+                                 brows[static_cast<size_t>(r)]);
+            }
+          }
+        }
+        pair_charge.Add(static_cast<int64_t>(pairs.size() - before) * 16);
+        return Status::OK();
+      });
+  NEXUS_RETURN_NOT_OK(st);
+  std::sort(pairs.begin(), pairs.end());
+  li->reserve(pairs.size());
+  ri->reserve(pairs.size());
+  for (const auto& [l, r] : pairs) {
+    li->push_back(l);
+    ri->push_back(r);
+  }
+  Count("algebra.spilled_joins");
+  span->AddCounter("spill_partitions", spiller.stats().partitions);
+  span->AddCounter("spill_bytes", spiller.stats().bytes_spilled);
+  return Status::OK();
 }
 
 }  // namespace
@@ -393,54 +545,64 @@ Result<AssocArray> Join(const AssocArray& a, const AssocArray& b,
   const int64_t na = ta.num_rows();
   const int64_t nb = tb.num_rows();
 
-  // Partitioned build on b (ascending bucket chains), morsel-order probe of
-  // a — the HashJoin determinism recipe: pair order is a-entry order with
-  // matches in b-entry order, independent of the thread count.
-  int parts = 1;
-  while (parts < GetThreadCount() && parts < 64) parts *= 2;
-  const uint64_t mask = static_cast<uint64_t>(parts - 1);
-  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables(
-      static_cast<size_t>(parts));
-  ParallelFor(parts, 1, [&](int64_t pb, int64_t pe) {
-    for (int64_t p = pb; p < pe; ++p) {
-      auto& table = tables[static_cast<size_t>(p)];
-      table.reserve(static_cast<size_t>(nb / parts + 1));
-      for (int64_t r = 0; r < nb; ++r) {
-        uint64_t h = bh[static_cast<size_t>(r)];
-        if ((h & mask) != static_cast<uint64_t>(p)) continue;
-        table[h].push_back(r);
-      }
-    }
-  });
-
+  std::vector<int64_t> li, ri;
+  ScopedCharge working_set;  // released when the join returns
   const int64_t grain = kMorselRows;
-  const size_t morsels = static_cast<size_t>((na + grain - 1) / grain);
-  std::vector<std::vector<int64_t>> lparts(std::max<size_t>(morsels, 1));
-  std::vector<std::vector<int64_t>> rparts(std::max<size_t>(morsels, 1));
-  ParallelFor(na, grain, [&](int64_t bgn, int64_t end) {
-    std::vector<int64_t>& lo = lparts[static_cast<size_t>(bgn / grain)];
-    std::vector<int64_t>& ro = rparts[static_cast<size_t>(bgn / grain)];
-    for (int64_t l = bgn; l < end; ++l) {
-      uint64_t h = ah[static_cast<size_t>(l)];
-      const auto& table = tables[static_cast<size_t>(h & mask)];
-      auto it = table.find(h);
-      if (it == table.end()) continue;
-      for (int64_t r : it->second) {
-        if (PairKeysEqual(ta, l, ak, tb, r, bk)) {
-          lo.push_back(l);
-          ro.push_back(r);
+  // Out-of-core path: Grace-partition both sides when the build-side
+  // working set would cross the query's budget.
+  if (nb > 0 && spill::ShouldSpill(ta.ByteSize() + tb.ByteSize() + nb * 48)) {
+    NEXUS_RETURN_NOT_OK(
+        SpillJoinPairs(a.table(), b.table(), ah, bh, ak, bk, &li, &ri, &span));
+  } else {
+    // Partitioned build on b (ascending bucket chains), morsel-order probe of
+    // a — the HashJoin determinism recipe: pair order is a-entry order with
+    // matches in b-entry order, independent of the thread count.
+    int parts = 1;
+    while (parts < GetThreadCount() && parts < 64) parts *= 2;
+    const uint64_t mask = static_cast<uint64_t>(parts - 1);
+    working_set.Add(nb * 48);
+    std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables(
+        static_cast<size_t>(parts));
+    ParallelFor(parts, 1, [&](int64_t pb, int64_t pe) {
+      for (int64_t p = pb; p < pe; ++p) {
+        auto& table = tables[static_cast<size_t>(p)];
+        table.reserve(static_cast<size_t>(nb / parts + 1));
+        for (int64_t r = 0; r < nb; ++r) {
+          uint64_t h = bh[static_cast<size_t>(r)];
+          if ((h & mask) != static_cast<uint64_t>(p)) continue;
+          table[h].push_back(r);
         }
       }
+    });
+
+    const size_t morsels = static_cast<size_t>((na + grain - 1) / grain);
+    std::vector<std::vector<int64_t>> lparts(std::max<size_t>(morsels, 1));
+    std::vector<std::vector<int64_t>> rparts(std::max<size_t>(morsels, 1));
+    ParallelFor(na, grain, [&](int64_t bgn, int64_t end) {
+      std::vector<int64_t>& lo = lparts[static_cast<size_t>(bgn / grain)];
+      std::vector<int64_t>& ro = rparts[static_cast<size_t>(bgn / grain)];
+      for (int64_t l = bgn; l < end; ++l) {
+        uint64_t h = ah[static_cast<size_t>(l)];
+        const auto& table = tables[static_cast<size_t>(h & mask)];
+        auto it = table.find(h);
+        if (it == table.end()) continue;
+        for (int64_t r : it->second) {
+          if (PairKeysEqual(ta, l, ak, tb, r, bk)) {
+            lo.push_back(l);
+            ro.push_back(r);
+          }
+        }
+      }
+    });
+    size_t total = 0;
+    for (const auto& p : lparts) total += p.size();
+    working_set.Add(static_cast<int64_t>(total) * 16);
+    li.reserve(total);
+    ri.reserve(total);
+    for (size_t m = 0; m < lparts.size(); ++m) {
+      li.insert(li.end(), lparts[m].begin(), lparts[m].end());
+      ri.insert(ri.end(), rparts[m].begin(), rparts[m].end());
     }
-  });
-  std::vector<int64_t> li, ri;
-  size_t total = 0;
-  for (const auto& p : lparts) total += p.size();
-  li.reserve(total);
-  ri.reserve(total);
-  for (size_t m = 0; m < lparts.size(); ++m) {
-    li.insert(li.end(), lparts[m].begin(), lparts[m].end());
-    ri.insert(ri.end(), rparts[m].begin(), rparts[m].end());
   }
 
   // Output schema: a's keys, b's non-shared keys, then the ⊗ value.

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "core/schema_inference.h"
 #include "expr/eval.h"
+#include "exec/spill/chunk_pager.h"
 #include "telemetry/telemetry.h"
 
 namespace nexus {
@@ -117,6 +118,16 @@ struct NumAcc {
   }
 };
 
+/// Hands a freshly built result to the spill policy: when out-of-core
+/// execution is on and the array exceeds the query's budget, the tail
+/// chunks park in the scratch store (SpillChunkPager) and fault back in
+/// lazily, so a big-op result counts against the budget only for its
+/// resident prefix.
+Result<NDArrayPtr> Finish(std::shared_ptr<NDArray> out) {
+  NEXUS_RETURN_NOT_OK(spill::ShedArray(out, "array").status());
+  return NDArrayPtr(std::move(out));
+}
+
 }  // namespace
 
 Result<NDArrayPtr> Slice(const NDArray& in, const std::vector<DimRange>& ranges) {
@@ -147,7 +158,7 @@ Result<NDArrayPtr> Slice(const NDArray& in, const std::vector<DimRange>& ranges)
   }
   NEXUS_ASSIGN_OR_RETURN(std::shared_ptr<NDArray> out,
                          NDArray::Make(std::move(dims), in.attr_schema()));
-  if (empty) return NDArrayPtr(std::move(out));
+  if (empty) return Finish(std::move(out));
   for (const ArrayChunk* chunk : in.chunks()) {
     // Chunk pruning: skip chunks whose box misses the slice box entirely.
     bool overlaps = true;
@@ -181,7 +192,7 @@ Result<NDArrayPtr> Slice(const NDArray& in, const std::vector<DimRange>& ranges)
       NEXUS_RETURN_NOT_OK(out->Set(coords, attrs));
     }
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> Shift(
@@ -205,7 +216,7 @@ Result<NDArrayPtr> Shift(
     }
     NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(moved)));
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> Apply(const NDArray& in,
@@ -273,7 +284,7 @@ Result<NDArrayPtr> Apply(const NDArray& in,
   for (ArrayChunk& chunk : results) {
     NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(chunk)));
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> FilterCells(const NDArray& in, const Expr& predicate) {
@@ -310,7 +321,7 @@ Result<NDArrayPtr> FilterCells(const NDArray& in, const Expr& predicate) {
     if (!keep[ci]) continue;
     NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(results[ci])));
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> ProjectAttrs(const NDArray& in,
@@ -336,7 +347,7 @@ Result<NDArrayPtr> ProjectAttrs(const NDArray& in,
     }
     NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(out_chunk)));
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> Regrid(
@@ -410,7 +421,7 @@ Result<NDArrayPtr> Regrid(
     }
     NEXUS_RETURN_NOT_OK(out->Set(coords, attrs));
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> Window(
@@ -483,7 +494,7 @@ Result<NDArrayPtr> Window(
       NEXUS_RETURN_NOT_OK(out->Set(coords, attrs));
     }
   }
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> Transpose(const NDArray& in,
@@ -513,7 +524,7 @@ Result<NDArrayPtr> Transpose(const NDArray& in,
     st = out->Set(permuted, attrs);
   });
   NEXUS_RETURN_NOT_OK(st);
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op) {
@@ -550,6 +561,9 @@ Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op) {
     }
     // One morsel per chunk; results land in per-chunk slots and are stored
     // sequentially in grid order, so the output is thread-count invariant.
+    // b is probed from parallel morsels below — fault its evicted chunks
+    // in up front rather than racing the lazy path.
+    NEXUS_RETURN_NOT_OK(b.EnsureAllResident());
     std::vector<const ArrayChunk*> chunks = a.chunks();
     std::vector<ArrayChunk> results(chunks.size());
     std::vector<uint8_t> keep(chunks.size(), 0);
@@ -614,7 +628,7 @@ Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op) {
       if (!keep[ci]) continue;
       NEXUS_RETURN_NOT_OK(out->PutChunk(std::move(results[ci])));
     }
-    return NDArrayPtr(std::move(out));
+    return Finish(std::move(out));
   }
   Status st = Status::OK();
   a.ForEachCell([&](const std::vector<int64_t>& coords, std::vector<Value> attrs) {
@@ -655,7 +669,7 @@ Result<NDArrayPtr> ElemWise(const NDArray& a, const NDArray& b, BinaryOp op) {
     st = out->Set(coords, {v});
   });
   NEXUS_RETURN_NOT_OK(st);
-  return NDArrayPtr(std::move(out));
+  return Finish(std::move(out));
 }
 
 }  // namespace arraydb

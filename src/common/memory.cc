@@ -14,4 +14,9 @@ void ChargeAllocation(int64_t bytes) {
   if (MemoryMeter* meter = CurrentMemoryMeter()) meter->Charge(bytes);
 }
 
+void ReleaseAllocation(int64_t bytes) {
+  if (bytes <= 0) return;
+  if (MemoryMeter* meter = CurrentMemoryMeter()) meter->Release(bytes);
+}
+
 }  // namespace nexus

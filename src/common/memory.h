@@ -13,6 +13,12 @@
 // finishes. That over-approximation is exactly the conservative signal an
 // admission governor wants — a query that churns intermediates is expensive
 // even when its peak resident set is small.
+//
+// The one exception to gross accounting is the out-of-core path: the spill
+// subsystem (src/exec/spill) explicitly Release()s the bytes it parks on
+// disk and the transient working sets it frees, so a query that cooperates
+// by spilling sheds its charge instead of accumulating it. Release is a
+// no-op on the base class — only governed QueryMeters net it out.
 #ifndef NEXUS_COMMON_MEMORY_H_
 #define NEXUS_COMMON_MEMORY_H_
 
@@ -29,6 +35,23 @@ class MemoryMeter {
   /// cancelling work (flip a CancelToken) but must not throw or block for
   /// long — it runs inside engine hot loops.
   virtual void Charge(int64_t bytes) = 0;
+
+  /// Reports `bytes` previously Charge()d that are no longer resident —
+  /// either written to a spill file or a freed operator working set. The
+  /// default ignores the report (gross accounting); governed meters net it
+  /// out of the tenant's usage. Implementations must clamp: cumulative
+  /// releases never exceed cumulative charges.
+  virtual void Release(int64_t bytes) { (void)bytes; }
+
+  /// Bytes an operator may keep resident before it should partition to
+  /// disk; <= 0 means "no budget" (never spill preemptively). Governed
+  /// meters report their tenant's budget here.
+  virtual int64_t SpillBudget() const { return 0; }
+
+  /// True once the governor has asked this query to shed memory (the
+  /// ask-to-spill alternative to being killed). Operators poll this at
+  /// partition boundaries and spill even under their budget when set.
+  virtual bool SpillRequested() const { return false; }
 };
 
 /// The calling thread's meter, or nullptr. Installed via the parallel
@@ -37,6 +60,32 @@ MemoryMeter* CurrentMemoryMeter();
 
 /// Charges the current thread's meter, if any.
 void ChargeAllocation(int64_t bytes);
+
+/// Releases previously charged bytes on the current thread's meter, if any.
+void ReleaseAllocation(int64_t bytes);
+
+/// RAII working-set charge: operators that build transient structures the
+/// type layer cannot see (hash-table chains, pair vectors) Add() their
+/// estimated bytes while the structure lives; destruction releases the
+/// whole sum, so cooperative operators show the governor their true
+/// resident working set rather than an ever-growing gross total.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+  ~ScopedCharge() { ReleaseAllocation(bytes_); }
+
+  void Add(int64_t bytes) {
+    if (bytes <= 0) return;
+    ChargeAllocation(bytes);
+    bytes_ += bytes;
+  }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  int64_t bytes_ = 0;
+};
 
 }  // namespace nexus
 

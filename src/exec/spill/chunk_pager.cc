@@ -1,0 +1,118 @@
+#include "exec/spill/chunk_pager.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "telemetry/metrics.h"
+#include "types/schema.h"
+
+namespace nexus {
+namespace spill {
+
+namespace {
+
+struct PagerCounters {
+  telemetry::Counter* paged_out;
+  telemetry::Counter* paged_in;
+};
+
+PagerCounters& Counters() {
+  static PagerCounters c = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    return PagerCounters{reg.counter("spill.chunks_paged_out"),
+                         reg.counter("spill.chunks_paged_in")};
+  }();
+  return c;
+}
+
+}  // namespace
+
+SpillChunkPager::SpillChunkPager(SpillManager* manager, std::string tag)
+    : manager_(manager), tag_(std::move(tag)) {}
+
+Status SpillChunkPager::PageOut(int64_t key, ArrayChunk chunk) {
+  // Payload table: attribute columns (names synthesized — the array owns
+  // the real schema) plus the occupancy mask as int64 0/1.
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  fields.reserve(chunk.attrs.size() + 1);
+  cols.reserve(chunk.attrs.size() + 1);
+  for (size_t a = 0; a < chunk.attrs.size(); ++a) {
+    fields.push_back(Field::Attr(StrCat("a", a), chunk.attrs[a].type()));
+    cols.push_back(std::move(chunk.attrs[a]));
+  }
+  fields.push_back(Field::Attr("__occ", DataType::kInt64));
+  cols.push_back(Column::FromInt64(
+      std::vector<int64_t>(chunk.occupied.begin(), chunk.occupied.end())));
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Make(std::move(fields)));
+  NEXUS_ASSIGN_OR_RETURN(TablePtr payload, Table::Make(schema, std::move(cols)));
+
+  NEXUS_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> file,
+                         manager_->Create(StrCat(tag_, "-chunk", key)));
+  NEXUS_RETURN_NOT_OK(file->Append(payload));
+  ReleaseTable(payload);  // transient: it lives on disk now
+  Counters().paged_out->Increment();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  e.file = std::move(file);
+  e.grid = std::move(chunk.grid);
+  e.lo = std::move(chunk.lo);
+  e.extent = std::move(chunk.extent);
+  e.schema = std::move(schema);
+  ++paged_out_;
+  return Status::OK();
+}
+
+Result<ArrayChunk> SpillChunkPager::PageIn(int64_t key) {
+  Entry* e = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return Status::NotFound(StrCat("no chunk parked under key ", key));
+    }
+    e = &it->second;  // node-stable; fault-ins of one key are serialized
+    ++paged_in_;
+  }
+  NEXUS_ASSIGN_OR_RETURN(TablePtr payload, e->file->ReadAll(e->schema));
+  ArrayChunk chunk;
+  chunk.grid = e->grid;
+  chunk.lo = e->lo;
+  chunk.extent = e->extent;
+  int nattrs = payload->num_columns() - 1;
+  chunk.attrs.reserve(static_cast<size_t>(nattrs));
+  for (int a = 0; a < nattrs; ++a) chunk.attrs.push_back(payload->column(a));
+  const std::vector<int64_t>& occ = payload->column(nattrs).ints();
+  chunk.occupied.assign(occ.begin(), occ.end());
+  ReleaseTable(payload);  // the caller re-charges the rebuilt chunk
+  Counters().paged_in->Increment();
+  return chunk;
+}
+
+void SpillChunkPager::Drop(int64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(key);  // RAII unlinks the scratch file
+}
+
+int64_t SpillChunkPager::paged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  for (const auto& [key, e] : entries_) bytes += e.file->bytes_written();
+  return bytes;
+}
+
+Result<int64_t> ShedArray(const std::shared_ptr<NDArray>& array,
+                          const std::string& tag) {
+  if (array == nullptr) return 0;
+  int64_t budget = SpillBudgetBytes();
+  if (!ShouldSpill(array->ResidentBytes()) || budget <= 0) return 0;
+  if (array->pager() == nullptr) {
+    array->SetPager(
+        std::make_shared<SpillChunkPager>(&SpillManager::Global(), tag));
+  }
+  return array->EvictToBudget(budget);
+}
+
+}  // namespace spill
+}  // namespace nexus

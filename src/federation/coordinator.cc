@@ -1257,17 +1257,26 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   telemetry::Counter* lowered_c = mreg.counter("algebra.ops_lowered");
   telemetry::Counter* alg_join_c = mreg.counter("algebra.join");
   telemetry::Counter* alg_union_c = mreg.counter("algebra.union");
+  telemetry::Counter* spill_ops_c = mreg.counter("spill.ops");
+  telemetry::Counter* spill_parts_c = mreg.counter("spill.partitions");
+  telemetry::Counter* spill_bytes_c = mreg.counter("spill.bytes_written");
   const int64_t compiles0 = compiles_c->value();
   const int64_t compile_hits0 = compile_hits_c->value();
   const int64_t lowered0 = lowered_c->value();
   const int64_t alg_join0 = alg_join_c->value();
   const int64_t alg_union0 = alg_union_c->value();
+  const int64_t spill_ops0 = spill_ops_c->value();
+  const int64_t spill_parts0 = spill_parts_c->value();
+  const int64_t spill_bytes0 = spill_bytes_c->value();
   auto result = Execute(plan, m);
   const int64_t compiles = compiles_c->value() - compiles0;
   const int64_t compile_hits = compile_hits_c->value() - compile_hits0;
   const int64_t lowered = lowered_c->value() - lowered0;
   const int64_t alg_joins = alg_join_c->value() - alg_join0;
   const int64_t alg_unions = alg_union_c->value() - alg_union0;
+  const int64_t spill_ops = spill_ops_c->value() - spill_ops0;
+  const int64_t spill_parts = spill_parts_c->value() - spill_parts0;
+  const int64_t spill_bytes = spill_bytes_c->value() - spill_bytes0;
   std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
                                                  last_trace_id_);
   telemetry::SetEnabled(was_enabled);
@@ -1292,6 +1301,13 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   if (lowered + alg_joins + alg_unions > 0) {
     report += StrCat("algebra: ", lowered, " ops lowered (", alg_joins,
                      " join⊗ / ", alg_unions, " union⊕ kernel calls)\n");
+  }
+  // Out-of-core summary: Grace partitions written by operators whose
+  // working set crossed the budget this execution.
+  if (spill_ops > 0) {
+    report += StrCat("spill: ", spill_parts, " partitions / ",
+                     FormatBytes(static_cast<uint64_t>(spill_bytes)),
+                     " across ", spill_ops, " operators\n");
   }
   return report;
 }

@@ -4,9 +4,11 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "core/schema_inference.h"
+#include "exec/spill/spill.h"
 #include "expr/eval.h"
 #include "telemetry/telemetry.h"
 
@@ -70,6 +72,85 @@ bool GroupKeysEqual(const Table& t, int64_t ar, int64_t br,
 }
 
 constexpr uint64_t kNullHash = 0x6E756C6CULL;
+
+bool RowHasNullKey(const Table& t, int64_t r, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (t.column(c).IsNull(r)) return true;
+  }
+  return false;
+}
+
+// Approximate per-row cost of a chained hash-table build (map node + chain
+// slot) and per-candidate cost of the (l, r) pair vectors — the operator
+// working sets the type layer cannot meter on its own.
+constexpr int64_t kBuildBytesPerRow = 48;
+constexpr int64_t kBytesPerPair = 2 * static_cast<int64_t>(sizeof(int64_t));
+
+// Out-of-core candidate-pair computation: Grace-partition both sides by
+// their key hashes, build/probe each partition pair in memory, and emit
+// pairs of ORIGINAL row indices. Identity argument: the in-memory probe
+// emits pairs in lexicographic (l, r) order — left rows ascending, and each
+// left row matches within exactly one bucket whose chain holds right rows
+// ascending — and equal keys share a full hash, so every bucket lands
+// intact in exactly one partition. Sorting the merged per-partition pairs
+// by (l, r) therefore reproduces the in-memory pair order exactly, and the
+// unchanged residual/semi/anti/left/gather tail does the rest.
+Status SpillJoinPairs(const TablePtr& left, const TablePtr& right,
+                      const std::vector<uint64_t>& lh,
+                      const std::vector<uint64_t>& rh,
+                      const std::vector<int>& lk, const std::vector<int>& rk,
+                      std::vector<int64_t>* li, std::vector<int64_t>* ri,
+                      telemetry::SpanGuard* span) {
+  spill::PartitionedSpiller::Options opts;
+  opts.budget_bytes = spill::SpillBudgetBytes();
+  opts.tag = "join";
+  spill::PartitionedSpiller spiller(&spill::SpillManager::Global(), opts);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  ScopedCharge pair_charge;
+  Status st = spiller.Run(
+      {{left, &lh}, {right, &rh}},
+      [&](const std::vector<TablePtr>& parts) -> Status {
+        const Table& lp = *parts[0];
+        const Table& rp = *parts[1];
+        const auto& lrows = lp.column(lp.num_columns() - 2).ints();
+        const auto& lhash = lp.column(lp.num_columns() - 1).ints();
+        const auto& rrows = rp.column(rp.num_columns() - 2).ints();
+        const auto& rhash = rp.column(rp.num_columns() - 1).ints();
+        ScopedCharge build_charge;
+        build_charge.Add(rp.num_rows() * kBuildBytesPerRow);
+        std::unordered_map<uint64_t, std::vector<int64_t>> table;
+        table.reserve(static_cast<size_t>(rp.num_rows()) + 1);
+        for (int64_t r = 0; r < rp.num_rows(); ++r) {
+          if (RowHasNullKey(rp, r, rk)) continue;
+          table[static_cast<uint64_t>(rhash[static_cast<size_t>(r)])].push_back(r);
+        }
+        size_t before = pairs.size();
+        for (int64_t l = 0; l < lp.num_rows(); ++l) {
+          if (RowHasNullKey(lp, l, lk)) continue;
+          auto it = table.find(static_cast<uint64_t>(lhash[static_cast<size_t>(l)]));
+          if (it == table.end()) continue;
+          for (int64_t r : it->second) {
+            if (KeysEqual(lp, l, lk, rp, r, rk)) {
+              pairs.emplace_back(lrows[static_cast<size_t>(l)],
+                                 rrows[static_cast<size_t>(r)]);
+            }
+          }
+        }
+        pair_charge.Add(static_cast<int64_t>(pairs.size() - before) * kBytesPerPair);
+        return Status::OK();
+      });
+  NEXUS_RETURN_NOT_OK(st);
+  std::sort(pairs.begin(), pairs.end());
+  li->reserve(pairs.size());
+  ri->reserve(pairs.size());
+  for (const auto& [l, r] : pairs) {
+    li->push_back(l);
+    ri->push_back(r);
+  }
+  span->AddCounter("spill_partitions", spiller.stats().partitions);
+  span->AddCounter("spill_bytes", spiller.stats().bytes_spilled);
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -197,16 +278,21 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
 
   const int64_t nl = left->num_rows();
   const int64_t nr = right->num_rows();
-  auto row_has_null_key = [](const Table& t, int64_t r, const std::vector<int>& cols) {
-    for (int c : cols) {
-      if (t.column(c).IsNull(r)) return true;
-    }
-    return false;
-  };
 
   std::vector<int64_t> li, ri;
+  ScopedCharge working_set;  // released when the join returns
   bool cross = lk.empty();  // keys-free join (residual-only): cross product
-  if (cross) {
+  // Out-of-core path: when the estimated working set crosses the query's
+  // budget (or the governor asked this query to shed memory), compute the
+  // candidate pairs via Grace partitioning instead of one big build.
+  bool spilled =
+      !cross && nr > 0 &&
+      spill::ShouldSpill(left->ByteSize() + right->ByteSize() +
+                         nr * kBuildBytesPerRow);
+  if (spilled) {
+    NEXUS_RETURN_NOT_OK(
+        SpillJoinPairs(left, right, lh, rh, lk, rk, &li, &ri, &span));
+  } else if (cross) {
     // Pair (l, r) owns slot l*nr + r: exact-size allocation up front instead
     // of the old push_back assembly that reallocated O(log n) times on an
     // |L|·|R| output, and each left-row morsel fills disjoint slots.
@@ -231,6 +317,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
     int parts = 1;
     while (parts < GetThreadCount() && parts < 64) parts *= 2;
     const uint64_t mask = static_cast<uint64_t>(parts - 1);
+    working_set.Add(nr * kBuildBytesPerRow);
     std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables(
         static_cast<size_t>(parts));
     ParallelFor(parts, 1, [&](int64_t pb, int64_t pe) {
@@ -240,7 +327,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
         for (int64_t r = 0; r < nr; ++r) {
           uint64_t h = rh[static_cast<size_t>(r)];
           if ((h & mask) != static_cast<uint64_t>(p)) continue;
-          if (row_has_null_key(*right, r, rk)) continue;
+          if (RowHasNullKey(*right, r, rk)) continue;
           table[h].push_back(r);
         }
       }
@@ -256,7 +343,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
       std::vector<int64_t>& lo = lparts[static_cast<size_t>(b / grain)];
       std::vector<int64_t>& ro = rparts[static_cast<size_t>(b / grain)];
       for (int64_t l = b; l < e; ++l) {
-        if (row_has_null_key(*left, l, lk)) continue;
+        if (RowHasNullKey(*left, l, lk)) continue;
         uint64_t h = lh[static_cast<size_t>(l)];
         const auto& table = tables[static_cast<size_t>(h & mask)];
         auto it = table.find(h);
@@ -271,6 +358,7 @@ Result<TablePtr> HashJoin(const TablePtr& left, const TablePtr& right,
     });
     size_t total = 0;
     for (const auto& p : lparts) total += p.size();
+    working_set.Add(static_cast<int64_t>(total) * kBytesPerPair);
     li.reserve(total);
     ri.reserve(total);
     for (size_t m = 0; m < morsels; ++m) {
@@ -507,6 +595,102 @@ Result<Value> FinishTyped(const TypedAggState& st, AggFunc func, DataType in) {
   return Status::Internal("unhandled aggregate");
 }
 
+/// First-seen group order plus its accumulated states, ready for the shared
+/// finish tail of HashAggregate.
+struct GroupedStates {
+  std::vector<int64_t> rep_row;
+  std::vector<std::vector<TypedAggState>> states;
+};
+
+// Out-of-core aggregation: materialize a working table of the group keys
+// and evaluated aggregate inputs, Grace-partition it by group hash, and run
+// the ordinary single-pass accumulation per loaded partition. Identity
+// argument: all rows of one group share a hash, so a group lives entirely
+// in one partition and is accumulated in ascending original-row order —
+// exactly the sequential pass's per-group order (bit-identical float sums).
+// Each group's rep row is its globally first row, so sorting the merged
+// groups by rep row restores the first-seen group order of the in-memory
+// path.
+Result<GroupedStates> SpillAggregate(const TablePtr& input,
+                                     const AggregateOp& spec,
+                                     const std::vector<int>& group_cols,
+                                     const std::vector<Column>& agg_inputs,
+                                     const std::vector<uint64_t>& hashes,
+                                     telemetry::SpanGuard* span) {
+  // Working table: group keys, then the evaluated input of each aggregate
+  // that has one (count-only aggregates carry no column; the leaf rebuilds
+  // their placeholder). Dimension tags drop — this is a plain scratch table.
+  std::vector<Field> wfields;
+  std::vector<Column> wcols;
+  std::vector<int> wgroup_cols;
+  for (size_t g = 0; g < group_cols.size(); ++g) {
+    Field f = input->schema()->field(group_cols[g]);
+    f.is_dimension = false;
+    wfields.push_back(std::move(f));
+    wcols.push_back(input->column(group_cols[g]));
+    wgroup_cols.push_back(static_cast<int>(g));
+  }
+  std::vector<int> agg_slot(spec.aggs.size(), -1);
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    if (spec.aggs[a].input == nullptr) continue;
+    agg_slot[a] = static_cast<int>(wcols.size());
+    wfields.push_back(Field::Attr(StrCat("__agg_", static_cast<int64_t>(a)),
+                                  agg_inputs[a].type()));
+    wcols.push_back(agg_inputs[a]);
+  }
+  NEXUS_ASSIGN_OR_RETURN(SchemaPtr wschema, Schema::Make(std::move(wfields)));
+  NEXUS_ASSIGN_OR_RETURN(TablePtr working,
+                         Table::Make(wschema, std::move(wcols)));
+
+  spill::PartitionedSpiller::Options opts;
+  opts.budget_bytes = spill::SpillBudgetBytes();
+  opts.tag = "agg";
+  // The working table exists solely to be partitioned; shed its charge the
+  // moment level 0 is on disk.
+  opts.release_inputs = true;
+  spill::PartitionedSpiller spiller(&spill::SpillManager::Global(), opts);
+
+  std::vector<std::pair<int64_t, std::vector<TypedAggState>>> groups;
+  Status st = spiller.Run(
+      {{working, &hashes}},
+      [&](const std::vector<TablePtr>& parts) -> Status {
+        const Table& wp = *parts[0];
+        const auto& rows = wp.column(wp.num_columns() - 2).ints();
+        const auto& hbits = wp.column(wp.num_columns() - 1).ints();
+        std::vector<uint64_t> local_hashes;
+        local_hashes.reserve(hbits.size());
+        for (int64_t h : hbits) local_hashes.push_back(static_cast<uint64_t>(h));
+        std::vector<Column> local_inputs;
+        for (size_t a = 0; a < spec.aggs.size(); ++a) {
+          local_inputs.push_back(agg_slot[a] < 0 ? Column(DataType::kInt64)
+                                                 : wp.column(agg_slot[a]));
+        }
+        AggPartition part;
+        NEXUS_RETURN_NOT_OK(AccumulateGroups(wp, spec, wgroup_cols,
+                                             local_inputs, local_hashes, 0, 0,
+                                             &part));
+        for (size_t g = 0; g < part.states.size(); ++g) {
+          groups.emplace_back(rows[static_cast<size_t>(part.rep_row[g])],
+                              std::move(part.states[g]));
+        }
+        return Status::OK();
+      });
+  working.reset();
+  NEXUS_RETURN_NOT_OK(st);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  GroupedStates out;
+  out.rep_row.reserve(groups.size());
+  out.states.reserve(groups.size());
+  for (auto& [row, gs] : groups) {
+    out.rep_row.push_back(row);
+    out.states.push_back(std::move(gs));
+  }
+  span->AddCounter("spill_partitions", spiller.stats().partitions);
+  span->AddCounter("spill_bytes", spiller.stats().bytes_spilled);
+  return out;
+}
+
 }  // namespace
 
 Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
@@ -536,8 +720,28 @@ Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
   NEXUS_ASSIGN_OR_RETURN(std::vector<uint64_t> hashes, HashRows(*input, group_cols));
   std::vector<int64_t> rep_row;
   std::vector<std::vector<TypedAggState>> states;
+  ScopedCharge working_set;  // released when the aggregate returns
   const int64_t n = input->num_rows();
-  if (GetThreadCount() == 1 || group_cols.empty() || n < 2 * kMorselRows) {
+  // Out-of-core path: partition the (keys + aggregate inputs) working table
+  // to disk when it would cross the query's budget; grouping a partition at
+  // a time preserves the first-seen order and per-group accumulation order.
+  bool spilled = false;
+  if (!group_cols.empty() && n > 0) {
+    int64_t working_bytes = 0;
+    for (int c : group_cols) working_bytes += input->column(c).ByteSize();
+    for (const Column& c : agg_inputs) working_bytes += c.ByteSize();
+    if (spill::ShouldSpill(working_bytes)) {
+      NEXUS_ASSIGN_OR_RETURN(
+          GroupedStates grouped,
+          SpillAggregate(input, spec, group_cols, agg_inputs, hashes, &span));
+      rep_row = std::move(grouped.rep_row);
+      states = std::move(grouped.states);
+      spilled = true;
+    }
+  }
+  if (spilled) {
+    // Grouped out of core above.
+  } else if (GetThreadCount() == 1 || group_cols.empty() || n < 2 * kMorselRows) {
     // Sequential single-pass aggregation (mask 0 admits every row).
     AggPartition all;
     NEXUS_RETURN_NOT_OK(AccumulateGroups(*input, spec, group_cols, agg_inputs,
@@ -589,6 +793,10 @@ Result<TablePtr> HashAggregate(const TablePtr& input, const AggregateOp& spec) {
           std::move(partitions[static_cast<size_t>(gr.part)].states[gr.idx]));
     }
   }
+  // The accumulated group states are an operator working set the type layer
+  // cannot see; meter them while the finish loop runs.
+  working_set.Add(static_cast<int64_t>(states.size()) *
+                  static_cast<int64_t>(spec.aggs.size() * sizeof(TypedAggState) + 64));
   // SQL semantics: a global aggregate over empty input yields one row.
   if (group_cols.empty() && states.empty()) {
     rep_row.push_back(0);  // unused: no group columns to gather

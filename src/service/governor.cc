@@ -1,6 +1,9 @@
 #include "service/governor.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
+#include "exec/spill/spill.h"
 
 namespace nexus {
 namespace service {
@@ -28,6 +31,10 @@ Result<std::unique_ptr<MemoryGovernor::QueryMeter>> MemoryGovernor::StartQuery(
   meter->tenant_ = tenant;
   meter->id_ = next_query_id_++;
   meter->token_ = std::move(token);
+  // Captured once: a query is spill-capable when out-of-core execution is
+  // on process-wide, and its spill threshold is the tenant's budget.
+  meter->spill_capable_ = spill::SpillEnabled();
+  meter->spill_budget_ = it->second.options.memory_budget_bytes;
   it->second.live[meter->id_] = meter.get();
   return meter;
 }
@@ -38,7 +45,9 @@ void MemoryGovernor::FinishQuery(QueryMeter* meter) {
   auto it = tenants_.find(meter->tenant_);
   if (it == tenants_.end()) return;
   it->second.live.erase(meter->id_);
-  it->second.usage -= meter->charged();
+  // Releases already left the tenant's usage as they happened — only the
+  // net remainder comes back now.
+  it->second.usage -= meter->charged() - meter->released();
   if (it->second.usage < 0) it->second.usage = 0;
   meter->governor_ = nullptr;
 }
@@ -53,6 +62,22 @@ void MemoryGovernor::QueryMeter::Charge(int64_t bytes) {
   governor_->EnforceLocked(&it->second);
 }
 
+void MemoryGovernor::QueryMeter::Release(int64_t bytes) {
+  if (bytes <= 0 || governor_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(governor_->mu_);
+  // Clamp under the lock: never return more than is still outstanding.
+  int64_t outstanding =
+      charged_.load(std::memory_order_relaxed) -
+      released_.load(std::memory_order_relaxed);
+  int64_t give = std::min(bytes, outstanding);
+  if (give <= 0) return;
+  released_.fetch_add(give, std::memory_order_relaxed);
+  auto it = governor_->tenants_.find(tenant_);
+  if (it == governor_->tenants_.end()) return;
+  it->second.usage -= give;
+  if (it->second.usage < 0) it->second.usage = 0;
+}
+
 void MemoryGovernor::EnforceLocked(Tenant* tenant) {
   int64_t budget = tenant->options.memory_budget_bytes;
   if (budget <= 0 || tenant->usage <= budget) return;
@@ -61,23 +86,45 @@ void MemoryGovernor::EnforceLocked(Tenant* tenant) {
   for (const auto& [id, m] : tenant->live) {
     if (m->token_ != nullptr && m->token_->cancelled()) return;
   }
+  // Ask-to-spill first: flip the flag on every spill-capable query that
+  // has not been asked yet and give the round a chance to shed before any
+  // kill. Operators poll the flag at partition boundaries and Release what
+  // they park on disk.
+  bool asked_now = false;
+  bool any_capable = false;
+  for (const auto& [id, m] : tenant->live) {
+    if (!m->spill_capable_) continue;
+    any_capable = true;
+    bool was = m->spill_requested_.exchange(true, std::memory_order_relaxed);
+    asked_now = asked_now || !was;
+  }
+  if (asked_now) {
+    spill_requests_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Shedding works at block granularity: a cooperating query charges each
+  // loaded partition before its releases land, so tolerate spill-capable
+  // tenants up to 2× budget while an ask is outstanding.
+  if (any_capable && tenant->usage <= 2 * budget) return;
   // Victim choice, deterministic: the cheapest query whose removal brings
   // the tenant back under budget (least work wasted); if none suffices
   // alone, the most expensive one (biggest step toward recovery). Ties
   // break on the lower query id. Queries without a token can't be killed.
+  // Cost is the *net* charge — bytes a victim already released by spilling
+  // return nothing when it dies, so they must not count toward recovery.
   int64_t over = tenant->usage - budget;
   QueryMeter* victim = nullptr;
   bool victim_sufficient = false;
   for (const auto& [id, m] : tenant->live) {
     if (m->token_ == nullptr) continue;
-    int64_t c = m->charged();
+    int64_t c = m->net();
     bool sufficient = c >= over;
     if (victim == nullptr) {
       victim = m;
       victim_sufficient = sufficient;
       continue;
     }
-    int64_t vc = victim->charged();
+    int64_t vc = victim->net();
     bool better = sufficient ? (!victim_sufficient || c < vc)
                              : (!victim_sufficient && c > vc);
     if (better) {
@@ -91,7 +138,7 @@ void MemoryGovernor::EnforceLocked(Tenant* tenant) {
       StatusCode::kResourceExhausted,
       StrCat("tenant '", victim->tenant_, "' over memory budget (",
              tenant->usage, " > ", budget, " bytes); query killed to recover ",
-             victim->charged(), " bytes — retry later"));
+             victim->net(), " bytes — retry later"));
 }
 
 bool MemoryGovernor::UnderBudget(const std::string& tenant) const {

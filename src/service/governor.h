@@ -18,6 +18,18 @@
 //     eligibility predicate) holds the tenant's queued queries back until
 //     finished queries return enough memory.
 //
+// With out-of-core execution enabled (src/exec/spill), a third, gentler
+// reaction comes first: ask-to-spill. Spill-capable queries are asked to
+// shed memory (their SpillRequested flag flips; operators partition to
+// disk at the next boundary and Release the parked bytes), and the tenant
+// is tolerated up to 2× its budget while shedding is in flight — spilling
+// works at block granularity, so a cooperating query transiently overshoots
+// before its releases land. Only when shedding fails to bring the tenant
+// back does the governor fall back to killing, and the victim choice then
+// uses each query's *net* charge (charged − released): bytes a query
+// already parked on disk come back from a kill anyway, so counting them
+// would overstate the recovery and pick the wrong victim.
+//
 // Other tenants are never touched: budgets, usage, and victims are all
 // per-tenant, so one tenant oversubscribing its budget 10× cannot perturb
 // another tenant's results or schedule.
@@ -56,7 +68,25 @@ class MemoryGovernor {
   class QueryMeter : public MemoryMeter {
    public:
     void Charge(int64_t bytes) override;
+    /// Net accounting for the out-of-core path: bytes the query parked on
+    /// disk (or freed from a working set) leave the tenant's usage.
+    /// Clamped — cumulative releases never exceed cumulative charges.
+    void Release(int64_t bytes) override;
+    /// The tenant's budget, handed to operators as their spill threshold.
+    int64_t SpillBudget() const override {
+      return spill_budget_;
+    }
+    bool SpillRequested() const override {
+      return spill_requested_.load(std::memory_order_relaxed);
+    }
+
     int64_t charged() const { return charged_.load(std::memory_order_relaxed); }
+    int64_t released() const { return released_.load(std::memory_order_relaxed); }
+    /// Bytes still attributed to this query (charged − released).
+    int64_t net() const { return charged() - released(); }
+    /// Whether this query can answer an ask-to-spill (captured from
+    /// spill::SpillEnabled() at StartQuery).
+    bool spill_capable() const { return spill_capable_; }
     const std::string& tenant() const { return tenant_; }
     uint64_t id() const { return id_; }
 
@@ -67,6 +97,10 @@ class MemoryGovernor {
     uint64_t id_ = 0;
     CancelTokenPtr token_;
     std::atomic<int64_t> charged_{0};
+    std::atomic<int64_t> released_{0};  // mutated under governor mu_
+    std::atomic<bool> spill_requested_{false};
+    int64_t spill_budget_ = 0;   // immutable after StartQuery
+    bool spill_capable_ = false; // immutable after StartQuery
   };
 
   Status RegisterTenant(const std::string& name, TenantOptions options);
@@ -90,6 +124,11 @@ class MemoryGovernor {
   /// Queries killed by budget enforcement so far.
   int64_t kills() const { return kills_.load(std::memory_order_relaxed); }
 
+  /// Ask-to-spill rounds issued instead of (or before) kills.
+  int64_t spill_requests() const {
+    return spill_requests_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Tenant {
     TenantOptions options;
@@ -105,6 +144,7 @@ class MemoryGovernor {
   std::map<std::string, Tenant> tenants_;
   uint64_t next_query_id_ = 1;
   std::atomic<int64_t> kills_{0};
+  std::atomic<int64_t> spill_requests_{0};
 };
 
 }  // namespace service

@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "exec/spill/spill.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -26,6 +27,9 @@ struct TenantInstruments {
   telemetry::Counter* completed;
   telemetry::Counter* failed;
   telemetry::Counter* requeued;
+  telemetry::Counter* spill_ops;
+  telemetry::Counter* spill_partitions;
+  telemetry::Counter* spill_bytes;
   telemetry::Histogram* queue_wait_ms;
   telemetry::Histogram* latency_ms;
   telemetry::Histogram* reserved_bytes;
@@ -40,7 +44,9 @@ struct TenantInstruments {
         reg.counter(name("rejected")),      reg.counter(name("killed")),
         reg.counter(name("expr_compiles")), reg.counter(name("expr_cache_hits")),
         reg.counter(name("completed")),     reg.counter(name("failed")),
-        reg.counter(name("requeued")),      reg.histogram(name("queue_wait_ms")),
+        reg.counter(name("requeued")),      reg.counter(name("spill_ops")),
+        reg.counter(name("spill_partitions")), reg.counter(name("spill_bytes")),
+        reg.histogram(name("queue_wait_ms")),
         reg.histogram(name("latency_ms")),  reg.histogram(name("reserved_bytes")),
     };
   }
@@ -91,6 +97,9 @@ Server::~Server() {
   }
   admission_.Poke();
   for (std::thread& w : workers) w.join();
+  // Queries unwound via RAII just unlinked their scratch files; sweep the
+  // directory for any orphan left by a crashier path (belt and braces).
+  spill::SpillManager::Global().Sweep();
 }
 
 Status Server::RegisterTenant(const std::string& name, TenantOptions options) {
@@ -244,8 +253,14 @@ Result<Dataset> Server::RunAttempt(const std::string& tenant,
   auto& mreg = telemetry::MetricsRegistry::Global();
   telemetry::Counter* compile_c = mreg.counter("expr.compile");
   telemetry::Counter* cache_hit_c = mreg.counter("expr.compile_cache_hit");
+  telemetry::Counter* spill_ops_c = mreg.counter("spill.ops");
+  telemetry::Counter* spill_parts_c = mreg.counter("spill.partitions");
+  telemetry::Counter* spill_bytes_c = mreg.counter("spill.bytes_written");
   const int64_t compiles0 = compile_c->value();
   const int64_t cache_hits0 = cache_hit_c->value();
+  const int64_t spill_ops0 = spill_ops_c->value();
+  const int64_t spill_parts0 = spill_parts_c->value();
+  const int64_t spill_bytes0 = spill_bytes_c->value();
 
   Result<Dataset> result{Status::Internal("query did not run")};
   {
@@ -286,6 +301,16 @@ Result<Dataset> Server::RunAttempt(const std::string& tenant,
   if (expr_cache_hits > 0) ins.expr_cache_hits->Add(expr_cache_hits);
   report->expr_compiles += expr_compiles;
   report->expr_cache_hits += expr_cache_hits;
+
+  const int64_t spill_ops = spill_ops_c->value() - spill_ops0;
+  const int64_t spill_parts = spill_parts_c->value() - spill_parts0;
+  const int64_t spill_bytes = spill_bytes_c->value() - spill_bytes0;
+  if (spill_ops > 0) ins.spill_ops->Add(spill_ops);
+  if (spill_parts > 0) ins.spill_partitions->Add(spill_parts);
+  if (spill_bytes > 0) ins.spill_bytes->Add(spill_bytes);
+  report->spill_partitions += spill_parts;
+  report->spill_bytes += spill_bytes;
+  report->released_bytes += meter->released();
 
   report->reserved_bytes += meter->charged();
   ins.reserved_bytes->Record(static_cast<double>(meter->charged()));

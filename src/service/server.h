@@ -82,6 +82,14 @@ struct QueryReport {
   /// expr.compile / expr.compile_cache_hit counters across the run).
   int64_t expr_compiles = 0;
   int64_t expr_cache_hits = 0;
+  /// Bytes the query returned to its tenant before finishing — working
+  /// sets it freed and data it parked in spill files (net accounting).
+  int64_t released_bytes = 0;
+  /// Out-of-core activity while this query ran (same best-effort
+  /// counter-delta attribution as the expr fields): Grace partitions
+  /// written and spill bytes parked on disk.
+  int64_t spill_partitions = 0;
+  int64_t spill_bytes = 0;
 };
 
 class Server {

@@ -30,6 +30,12 @@ void ChargeChunk(const ArrayChunk& chunk) {
   ChargeAllocation(bytes);
 }
 
+int64_t ChunkBytes(const ArrayChunk& chunk) {
+  int64_t bytes = static_cast<int64_t>(chunk.occupied.size());
+  for (const Column& c : chunk.attrs) bytes += c.ByteSize();
+  return bytes;
+}
+
 }  // namespace
 
 int64_t ArrayChunk::LocalOffset(const std::vector<int64_t>& local) const {
@@ -114,6 +120,7 @@ int64_t NDArray::NumCellsTotal() const {
 }
 
 int64_t NDArray::NumCellsOccupied() const {
+  (void)EnsureAllResident();
   int64_t n = 0;
   for (const auto& [key, chunk] : chunks_) n += chunk.OccupiedCount();
   return n;
@@ -140,6 +147,91 @@ Status NDArray::CheckBounds(const std::vector<int64_t>& coords) const {
   return Status::OK();
 }
 
+Status NDArray::EnsureResident(int64_t key) const {
+  if (evicted_count_.load(std::memory_order_acquire) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(page_mu_);
+  if (evicted_.count(key) == 0) return Status::OK();
+  NEXUS_ASSIGN_OR_RETURN(ArrayChunk chunk, pager_->PageIn(key));
+  ChargeChunk(chunk);  // faulting back in re-materializes the payload
+  chunks_.emplace(key, std::move(chunk));
+  evicted_.erase(key);
+  evicted_count_.store(static_cast<int64_t>(evicted_.size()),
+                       std::memory_order_release);
+  pager_->Drop(key);
+  return Status::OK();
+}
+
+Status NDArray::EnsureAllResident() const {
+  while (evicted_count_.load(std::memory_order_acquire) > 0) {
+    int64_t key;
+    {
+      std::lock_guard<std::mutex> lock(page_mu_);
+      if (evicted_.empty()) break;
+      key = *evicted_.begin();
+    }
+    NEXUS_RETURN_NOT_OK(EnsureResident(key));
+  }
+  return Status::OK();
+}
+
+Status NDArray::EvictKey(int64_t key) {
+  if (pager_ == nullptr) {
+    return Status::InvalidArgument("EvictChunk: no chunk pager installed");
+  }
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) return Status::NotFound("chunk is not resident");
+  int64_t bytes = ChunkBytes(it->second);
+  NEXUS_RETURN_NOT_OK(pager_->PageOut(key, std::move(it->second)));
+  chunks_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(page_mu_);
+    evicted_.insert(key);
+    evicted_count_.store(static_cast<int64_t>(evicted_.size()),
+                         std::memory_order_release);
+  }
+  ReleaseAllocation(bytes);  // the payload is on disk, not resident
+  return Status::OK();
+}
+
+Status NDArray::EvictChunk(const std::vector<int64_t>& grid) {
+  if (static_cast<int>(grid.size()) != num_dims()) {
+    return Status::InvalidArgument("EvictChunk: wrong dimensionality");
+  }
+  for (size_t d = 0; d < grid.size(); ++d) {
+    if (grid[d] < 0 || grid[d] >= grid_extent_[d]) {
+      return Status::IndexError("EvictChunk: grid position out of range");
+    }
+  }
+  return EvictKey(GridKey(grid));
+}
+
+Result<int64_t> NDArray::EvictToBudget(int64_t budget_bytes) {
+  if (pager_ == nullptr) {
+    return Status::InvalidArgument("EvictToBudget: no chunk pager installed");
+  }
+  std::vector<int64_t> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [key, chunk] : chunks_) keys.push_back(key);
+  int64_t resident = ResidentBytes();
+  int64_t evicted = 0;
+  // Highest grid key first: sequential consumers revisit low coordinates
+  // soonest, so the tail of the grid is the coldest payload.
+  for (auto rit = keys.rbegin(); rit != keys.rend(); ++rit) {
+    if (resident <= budget_bytes) break;
+    int64_t bytes = ChunkBytes(chunks_.at(*rit));
+    NEXUS_RETURN_NOT_OK(EvictKey(*rit));
+    resident -= bytes;
+    ++evicted;
+  }
+  return evicted;
+}
+
+int64_t NDArray::ResidentBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [key, chunk] : chunks_) bytes += ChunkBytes(chunk);
+  return bytes;
+}
+
 Result<ArrayChunk*> NDArray::ChunkFor(const std::vector<int64_t>& coords,
                                       int64_t* local_offset) {
   NEXUS_RETURN_NOT_OK(CheckBounds(coords));
@@ -150,6 +242,7 @@ Result<ArrayChunk*> NDArray::ChunkFor(const std::vector<int64_t>& coords,
     local[d] = rel % dims_[d].chunk_size;
   }
   int64_t key = GridKey(grid);
+  NEXUS_RETURN_NOT_OK(EnsureResident(key));
   auto it = chunks_.find(key);
   if (it == chunks_.end()) {
     ArrayChunk chunk;
@@ -201,6 +294,15 @@ Status NDArray::PutChunk(ArrayChunk chunk) {
   }
   ChargeChunk(chunk);
   int64_t key = GridKey(chunk.grid);
+  if (evicted_count_.load(std::memory_order_acquire) > 0) {
+    // Replacing a parked chunk: the new payload supersedes the disk copy.
+    std::lock_guard<std::mutex> lock(page_mu_);
+    if (evicted_.erase(key) > 0) {
+      pager_->Drop(key);
+      evicted_count_.store(static_cast<int64_t>(evicted_.size()),
+                           std::memory_order_release);
+    }
+  }
   chunks_[key] = std::move(chunk);
   return Status::OK();
 }
@@ -232,7 +334,9 @@ bool NDArray::FindCell(const std::vector<int64_t>& coords,
     grid[d] = rel / spec.chunk_size;
     local[d] = rel % spec.chunk_size;
   }
-  auto it = chunks_.find(GridKey(grid));
+  int64_t key = GridKey(grid);
+  if (!EnsureResident(key).ok()) return false;
+  auto it = chunks_.find(key);
   if (it == chunks_.end()) return false;
   int64_t off = it->second.LocalOffset(local);
   if (!it->second.occupied[static_cast<size_t>(off)]) return false;
@@ -249,7 +353,9 @@ bool NDArray::Has(const std::vector<int64_t>& coords) const {
     grid[d] = rel / dims_[d].chunk_size;
     local[d] = rel % dims_[d].chunk_size;
   }
-  auto it = chunks_.find(GridKey(grid));
+  int64_t key = GridKey(grid);
+  if (!EnsureResident(key).ok()) return false;
+  auto it = chunks_.find(key);
   if (it == chunks_.end()) return false;
   return it->second.occupied[static_cast<size_t>(it->second.LocalOffset(local))] != 0;
 }
@@ -262,7 +368,9 @@ Result<std::vector<Value>> NDArray::Get(const std::vector<int64_t>& coords) cons
     grid[d] = rel / dims_[d].chunk_size;
     local[d] = rel % dims_[d].chunk_size;
   }
-  auto it = chunks_.find(GridKey(grid));
+  int64_t key = GridKey(grid);
+  NEXUS_RETURN_NOT_OK(EnsureResident(key));
+  auto it = chunks_.find(key);
   if (it == chunks_.end()) {
     return Status::NotFound("cell is empty");
   }
@@ -278,6 +386,7 @@ Result<std::vector<Value>> NDArray::Get(const std::vector<int64_t>& coords) cons
 }
 
 std::vector<const ArrayChunk*> NDArray::chunks() const {
+  (void)EnsureAllResident();
   std::vector<const ArrayChunk*> out;
   out.reserve(chunks_.size());
   for (const auto& [key, chunk] : chunks_) out.push_back(&chunk);
@@ -289,11 +398,14 @@ const ArrayChunk* NDArray::FindChunk(const std::vector<int64_t>& grid) const {
   for (size_t d = 0; d < grid.size(); ++d) {
     if (grid[d] < 0 || grid[d] >= grid_extent_[d]) return nullptr;
   }
-  auto it = chunks_.find(GridKey(grid));
+  int64_t key = GridKey(grid);
+  if (!EnsureResident(key).ok()) return nullptr;
+  auto it = chunks_.find(key);
   return it == chunks_.end() ? nullptr : &it->second;
 }
 
 std::vector<ArrayChunk*> NDArray::mutable_chunks() {
+  (void)EnsureAllResident();
   std::vector<ArrayChunk*> out;
   out.reserve(chunks_.size());
   for (auto& [key, chunk] : chunks_) out.push_back(&chunk);
@@ -303,6 +415,7 @@ std::vector<ArrayChunk*> NDArray::mutable_chunks() {
 void NDArray::ForEachCell(
     const std::function<void(const std::vector<int64_t>&, std::vector<Value>)>& fn)
     const {
+  (void)EnsureAllResident();
   for (const auto& [key, chunk] : chunks_) {
     int64_t volume = chunk.Volume();
     for (int64_t off = 0; off < volume; ++off) {
@@ -423,11 +536,8 @@ Result<std::shared_ptr<NDArray>> NDArray::FromTable(
 }
 
 int64_t NDArray::ByteSize() const {
-  int64_t bytes = 0;
-  for (const auto& [key, chunk] : chunks_) {
-    bytes += static_cast<int64_t>(chunk.occupied.size());
-    for (const Column& c : chunk.attrs) bytes += c.ByteSize();
-  }
+  int64_t bytes = ResidentBytes();
+  if (pager_ != nullptr) bytes += pager_->paged_bytes();
   return bytes;
 }
 

@@ -8,9 +8,12 @@
 #ifndef NEXUS_TYPES_NDARRAY_H_
 #define NEXUS_TYPES_NDARRAY_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +58,23 @@ struct ArrayChunk {
   /// Inverse of LocalOffset.
   std::vector<int64_t> LocalCoords(int64_t offset) const;
   int64_t OccupiedCount() const;
+};
+
+/// Backing store for evicted chunks — the type layer's view of the spill
+/// subsystem (the NXB1-backed implementation lives in src/exec/spill, which
+/// this layer must not depend on). Implementations own the parked payloads;
+/// keys are the array's linearized grid indices. Must be thread-safe.
+class ChunkPager {
+ public:
+  virtual ~ChunkPager() = default;
+  /// Parks a chunk's payload under `key`, taking ownership.
+  virtual Status PageOut(int64_t key, ArrayChunk chunk) = 0;
+  /// Restores the chunk parked under `key` (which stays parked until Drop).
+  virtual Result<ArrayChunk> PageIn(int64_t key) = 0;
+  /// Discards the parked payload for `key`, if any.
+  virtual void Drop(int64_t key) = 0;
+  /// Bytes currently parked (serialized size).
+  virtual int64_t paged_bytes() const = 0;
 };
 
 class NDArray;
@@ -136,9 +156,41 @@ class NDArray {
       const Table& table, const std::vector<std::string>& dim_names,
       const std::vector<int64_t>& chunk_sizes);
 
+  /// Resident bytes plus the serialized size of parked chunks — an
+  /// approximation while chunks are evicted, exact otherwise. Never faults
+  /// pages in (metering must not defeat eviction).
   int64_t ByteSize() const;
   bool Equals(const NDArray& other) const;
   std::string ToString() const;
+
+  // -- Out-of-core chunk eviction (src/exec/spill supplies the pager) --
+
+  /// Installs the backing store for evicted chunks. Must be set before the
+  /// first EvictChunk; replacing the pager while chunks are parked is an
+  /// error the caller must avoid.
+  void SetPager(std::shared_ptr<ChunkPager> pager) { pager_ = std::move(pager); }
+  const std::shared_ptr<ChunkPager>& pager() const { return pager_; }
+
+  /// Parks the chunk at `grid` in the pager and releases its metered
+  /// charge. The chunk faults back in transparently (and is re-charged) on
+  /// the next access. Errors when no pager is installed.
+  Status EvictChunk(const std::vector<int64_t>& grid);
+
+  /// Evicts chunks (highest grid key first) until the resident payload is
+  /// within `budget_bytes`. Returns the number of chunks parked.
+  Result<int64_t> EvictToBudget(int64_t budget_bytes);
+
+  /// Bytes of chunk payload currently in memory (evicted chunks excluded).
+  int64_t ResidentBytes() const;
+  /// Chunks currently parked in the pager.
+  int64_t EvictedChunks() const {
+    return evicted_count_.load(std::memory_order_acquire);
+  }
+
+  /// Faults every evicted chunk back in. Engines call this before reading
+  /// an array from parallel morsels: the lazy fault path serializes on a
+  /// mutex but concurrent readers must not race a mutating fault.
+  Status EnsureAllResident() const;
 
  private:
   NDArray(std::vector<DimensionSpec> dims, SchemaPtr attr_schema);
@@ -146,11 +198,20 @@ class NDArray {
   /// Linearized grid index of a chunk-grid coordinate.
   int64_t GridKey(const std::vector<int64_t>& grid) const;
   Status CheckBounds(const std::vector<int64_t>& coords) const;
+  Status EvictKey(int64_t key);
+  /// Faults `key` back in when it is parked; no-op otherwise.
+  Status EnsureResident(int64_t key) const;
 
   std::vector<DimensionSpec> dims_;
   std::vector<int64_t> grid_extent_;  // chunks per dimension
   SchemaPtr attr_schema_;
-  std::map<int64_t, ArrayChunk> chunks_;  // ordered => deterministic iteration
+  // Ordered => deterministic iteration. Mutable: evicted chunks fault back
+  // in lazily from const accessors.
+  mutable std::map<int64_t, ArrayChunk> chunks_;
+  std::shared_ptr<ChunkPager> pager_;
+  mutable std::mutex page_mu_;          // serializes fault-in
+  mutable std::set<int64_t> evicted_;   // guarded by page_mu_
+  mutable std::atomic<int64_t> evicted_count_{0};
 };
 
 }  // namespace nexus

@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/str_util.h"
+#include "exec/spill/spill.h"
 #include "expr/builder.h"
 #include "federation/coordinator.h"
 #include "service/server.h"
@@ -460,6 +461,82 @@ TEST(ServiceFaultTest, CancelledWhileQueuedReleasesStagedTemps) {
   EXPECT_TRUE(st.IsCancelled());
   EXPECT_FALSE(AnyTempLeft(&cluster)) << "queued-cancel leaked staged temps";
   server.governor().FinishQuery(pin.get());
+}
+
+TEST(ServiceFaultTest, SpillScratchIsReapedOnEveryUnwindPath) {
+  // Leak regression for out-of-core execution: scratch files are RAII
+  // handles, so every unwind path — clean completion, deadline timeout,
+  // budget kill, client cancel, retry/failover storms, and server
+  // shutdown with queries still in flight — must leave zero live spill
+  // files behind.
+  struct Guard {
+    ~Guard() {
+      spill::ClearSpillOverride();
+      spill::ClearSpillBudgetOverride();
+    }
+  } guard;
+  spill::SetSpillOverride(true);
+  spill::SetSpillBudgetOverride(1);  // every join/aggregate goes out of core
+  auto& manager = spill::SpillManager::Global();
+  const int64_t created_before = manager.files_created();
+
+  Cluster cluster;
+  ASSERT_OK(cluster.AddServer("relstore", MakeRelationalProvider()));
+  Rng rng(11);
+  SchemaPtr s = MakeSchema({Field::Attr("k", DataType::kInt64),
+                            Field::Attr("v", DataType::kFloat64)});
+  TableBuilder b(s);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_OK(b.AppendRow({I(rng.NextInt(0, 9)), F(rng.NextDouble(0, 10))}));
+  }
+  ASSERT_OK(cluster.PutData("relstore", "events",
+                            Dataset(b.Finish().ValueOrDie())));
+  PlanPtr plan = Plan::Aggregate(
+      Plan::Select(Plan::Scan("events"), Gt(Col("v"), Lit(3.0))), {"k"},
+      {AggSpec{AggFunc::kSum, Col("v"), "sv"}});
+
+  {
+    service::Server server(&cluster);
+    ASSERT_OK(server.RegisterTenant("acme", service::TenantOptions{}));
+    ASSERT_OK(server.RegisterTenant("hog", service::TenantOptions{1, 1}));
+    ASSERT_OK_AND_ASSIGN(int64_t session, server.OpenSession("acme"));
+    ASSERT_OK_AND_ASSIGN(int64_t hog_session, server.OpenSession("hog"));
+
+    // Clean completion: the query really spilled, and reaped its scratch.
+    ASSERT_OK(server.Execute(session, plan).status());
+    EXPECT_GT(manager.files_created(), created_before);
+    EXPECT_EQ(manager.live_files(), 0);
+
+    // Deadline exceeded mid-flight (deterministic under simulated time).
+    service::QueryOptions dl;
+    dl.deadline_seconds = 1e-4;
+    EXPECT_TRUE(server.Execute(session, plan, dl).status().IsTimeout());
+    EXPECT_EQ(manager.live_files(), 0);
+
+    // Budget kill: even spilling can't fit a 1-byte tenant, so the query
+    // unwinds through the kResourceExhausted path mid-spill.
+    Status killed = server.Execute(hog_session, plan).status();
+    EXPECT_TRUE(killed.IsResourceExhausted()) << killed;
+    EXPECT_EQ(manager.live_files(), 0);
+
+    // Client cancel racing the run: whichever side wins, nothing leaks.
+    ASSERT_OK_AND_ASSIGN(int64_t q, server.Submit(session, plan));
+    (void)server.Cancel(q);
+    (void)server.Wait(q);
+    EXPECT_EQ(manager.live_files(), 0);
+
+    // Leave a query in flight for the shutdown path below.
+    ASSERT_OK_AND_ASSIGN(int64_t in_flight, server.Submit(session, plan));
+    (void)in_flight;
+  }
+  // ~Server cancelled and joined the in-flight query, then swept scratch.
+  EXPECT_EQ(manager.live_files(), 0);
+  EXPECT_EQ(manager.live_bytes(), 0);
+
+  // Retry/failover storms under injected faults reap scratch too.
+  ChaosRun chaos = RunChaos(/*fault_seed=*/7, /*jitter_seed=*/9);
+  (void)chaos;
+  EXPECT_EQ(manager.live_files(), 0);
 }
 
 }  // namespace

@@ -17,6 +17,11 @@
 //   P8  algebra equivalence:   random associative-array programs on the
 //                              semi-ring kernels ≡ direct scalar folds, for
 //                              every registered ring, at 1 and 4 threads
+//   P9  out-of-core identity:  join / aggregate / semi-ring reduce with
+//                              spilling forced under randomized budgets
+//                              (including ones forcing recursive
+//                              repartition) ≡ the in-memory result,
+//                              byte-identical at 1 and 4 threads
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -29,11 +34,13 @@
 #include "core/schema_inference.h"
 #include "core/serialize.h"
 #include "exec/reference_executor.h"
+#include "exec/spill/spill.h"
 #include "expr/builder.h"
 #include "expr/bytecode.h"
 #include "expr/eval.h"
 #include "federation/coordinator.h"
 #include "optimizer/optimizer.h"
+#include "relational/engine.h"
 #include "tests/test_util.h"
 
 namespace nexus {
@@ -687,6 +694,91 @@ TEST_P(AssocProgramTest, KernelProgramsMatchDirectFoldsAcrossRegistry) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AssocProgramTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// P9: out-of-core identity. Joins, aggregations, and semi-ring reductions
+// with spilling forced under a randomized budget — drawn log-uniformly from
+// [1, 64 KiB], so most draws force partitioning and the smallest force
+// recursive repartition — are byte-identical (Table::Equals) to the
+// in-memory spill-off result at 1 and 4 threads.
+// ---------------------------------------------------------------------------
+
+class SpillIdentityPropTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpillIdentityPropTest, SpilledExecutionIsByteIdenticalUnderAnyBudget) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 13);
+  struct Guard {
+    int saved = GetThreadCount();
+    ~Guard() {
+      spill::ClearSpillOverride();
+      spill::ClearSpillBudgetOverride();
+      SetThreadCount(saved);
+    }
+  } guard;
+
+  // Random co-keyed tables (dup keys, null keys, null payloads).
+  const int64_t key_range = rng.NextInt(4, 64);
+  TablePtr left = RandomBaseTable(&rng, rng.NextInt(100, 500));
+  SchemaPtr right_schema = MakeSchema({Field::Attr("k", DataType::kInt64),
+                                       Field::Attr("w", DataType::kFloat64)});
+  TableBuilder rb(right_schema);
+  const int64_t nright = rng.NextInt(80, 400);
+  for (int64_t i = 0; i < nright; ++i) {
+    ASSERT_OK(rb.AppendRow(
+        {rng.NextBounded(20) == 0 ? testing::N() : I(rng.NextInt(0, key_range)),
+         F(static_cast<double>(rng.NextInt(-100, 100)))}));
+  }
+  ASSERT_OK_AND_ASSIGN(TablePtr right, rb.Finish());
+
+  JoinOp join;
+  join.left_keys = {"k"};
+  join.right_keys = {"k"};
+  AggregateOp agg;
+  agg.group_by = {"g", "tag"};
+  agg.aggs = {AggSpec{AggFunc::kSum, Col("v"), "sv"},
+              AggSpec{AggFunc::kCount, nullptr, "n"},
+              AggSpec{AggFunc::kMin, Col("v"), "lo"},
+              AggSpec{AggFunc::kAvg, Col("v"), "mean"}};
+  const algebra::Semiring& ring =
+      algebra::SemiringRegistry()[static_cast<size_t>(
+          rng.NextInt(0, static_cast<int64_t>(
+                             algebra::SemiringRegistry().size()) - 1))];
+  ASSERT_OK_AND_ASSIGN(
+      algebra::AssocArray arr,
+      algebra::AssocArray::FromTable(left, {"k", "g"}, "v"));
+
+  // In-memory baselines, sequential. Spill is pinned OFF (not merely
+  // cleared) so a CI run that forces NEXUS_SPILL=1 process-wide still
+  // compares a genuine in-memory arm against the spilled arm.
+  spill::SetSpillOverride(false);
+  SetThreadCount(1);
+  ASSERT_OK_AND_ASSIGN(TablePtr join_want, relational::HashJoin(left, right, join));
+  ASSERT_OK_AND_ASSIGN(TablePtr agg_want, relational::HashAggregate(left, agg));
+  ASSERT_OK_AND_ASSIGN(algebra::AssocArray red_want,
+                       algebra::Reduce(arr, {"g"}, ring));
+
+  // Log-uniform budget: half the draws land under 256 bytes, forcing
+  // recursive repartition; the rest spread up to 64 KiB.
+  const int64_t budget = int64_t{1} << rng.NextInt(0, 16);
+  spill::SetSpillOverride(true);
+  spill::SetSpillBudgetOverride(budget);
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    ASSERT_OK_AND_ASSIGN(TablePtr join_got, relational::HashJoin(left, right, join));
+    EXPECT_TRUE(join_got->Equals(*join_want))
+        << "join, budget=" << budget << " threads=" << threads;
+    ASSERT_OK_AND_ASSIGN(TablePtr agg_got, relational::HashAggregate(left, agg));
+    EXPECT_TRUE(agg_got->Equals(*agg_want))
+        << "aggregate, budget=" << budget << " threads=" << threads;
+    ASSERT_OK_AND_ASSIGN(algebra::AssocArray red_got,
+                         algebra::Reduce(arr, {"g"}, ring));
+    EXPECT_TRUE(red_got.table()->Equals(*red_want.table()))
+        << "reduce(" << ring.name << "), budget=" << budget
+        << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpillIdentityPropTest, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace nexus

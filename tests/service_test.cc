@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "exec/spill/spill.h"
 #include "expr/builder.h"
 #include "federation/coordinator.h"
 #include "service/server.h"
@@ -190,6 +191,76 @@ TEST(GovernorTest, TenantsAreIsolated) {
   EXPECT_TRUE(governor.UnderBudget("neighbor"));
   governor.FinishQuery(hog.get());
   governor.FinishQuery(nb.get());
+}
+
+TEST(GovernorTest, AsksSpillCapableQueriesBeforeKilling) {
+  // With out-of-core execution on, the first budget breach flips the
+  // spill-requested flag on every live query instead of killing one, and
+  // an asked tenant is tolerated up to 2x budget while it sheds. Only past
+  // that slack does the kill path engage.
+  spill::SetSpillOverride(true);
+  struct Guard {
+    ~Guard() { spill::ClearSpillOverride(); }
+  } guard;
+  MemoryGovernor governor;
+  ASSERT_OK(governor.RegisterTenant("acme", TenantOptions{1000, 1}));
+  auto t1 = std::make_shared<CancelToken>();
+  auto t2 = std::make_shared<CancelToken>();
+  ASSERT_OK_AND_ASSIGN(auto big, governor.StartQuery("acme", t1));
+  ASSERT_OK_AND_ASSIGN(auto small, governor.StartQuery("acme", t2));
+  EXPECT_FALSE(big->SpillRequested());
+  big->Charge(800);
+  small->Charge(300);  // 1100 > 1000: ask, don't kill
+  EXPECT_EQ(governor.kills(), 0);
+  EXPECT_EQ(governor.spill_requests(), 1);
+  EXPECT_TRUE(big->SpillRequested());
+  EXPECT_TRUE(small->SpillRequested());
+  EXPECT_FALSE(t1->cancelled());
+  EXPECT_FALSE(t2->cancelled());
+  // A cooperating query parks data on disk and releases the bytes.
+  big->Release(200);
+  EXPECT_EQ(governor.Usage("acme"), 900);
+  EXPECT_TRUE(governor.UnderBudget("acme"));
+  // Already-asked tenants ride the 2x slack while shedding lands...
+  big->Charge(1000);  // usage 1900 <= 2000
+  EXPECT_EQ(governor.kills(), 0);
+  // ...but past 2x the cheapest sufficient victim (by net charge) dies:
+  // big's net is 1600, small's 600; only big can cover the 1200 overrun.
+  small->Charge(300);  // usage 2200 > 2000
+  EXPECT_EQ(governor.kills(), 1);
+  EXPECT_TRUE(t1->cancelled());
+  EXPECT_FALSE(t2->cancelled());
+  governor.FinishQuery(big.get());
+  governor.FinishQuery(small.get());
+  EXPECT_EQ(governor.Usage("acme"), 0);
+}
+
+TEST(GovernorTest, VictimCostIsNetOfReleases) {
+  // Regression: victim cost must be the *net* charge. q1 charged 900 but
+  // released 850 back (e.g. by spilling) — killing it recovers only 50
+  // bytes, not enough for the 100-byte overrun. Gross accounting would
+  // pick q1 as the "cheapest sufficient" victim and leave the tenant
+  // still over budget after the kill.
+  MemoryGovernor governor;
+  ASSERT_OK(governor.RegisterTenant("acme", TenantOptions{1000, 1}));
+  auto t1 = std::make_shared<CancelToken>();
+  auto t2 = std::make_shared<CancelToken>();
+  ASSERT_OK_AND_ASSIGN(auto q1, governor.StartQuery("acme", t1));
+  ASSERT_OK_AND_ASSIGN(auto q2, governor.StartQuery("acme", t2));
+  q1->Charge(900);
+  q1->Release(850);
+  EXPECT_EQ(governor.Usage("acme"), 50);
+  EXPECT_EQ(q1->net(), 50);
+  q2->Charge(1050);  // usage 1100 > 1000
+  EXPECT_EQ(governor.kills(), 1);
+  EXPECT_TRUE(t2->cancelled());
+  EXPECT_FALSE(t1->cancelled());
+  // Over-release never drives a meter (or the tenant) negative.
+  q2->Release(100000);
+  EXPECT_GE(q2->net(), 0);
+  governor.FinishQuery(q1.get());
+  governor.FinishQuery(q2.get());
+  EXPECT_EQ(governor.Usage("acme"), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +478,45 @@ TEST_F(ServiceTest, ExplainAnalyzeShowsAdmissionDecision) {
   EXPECT_NE(analyzed.find("admission: queued="), std::string::npos) << analyzed;
   EXPECT_NE(analyzed.find("class=interactive"), std::string::npos);
   EXPECT_NE(analyzed.find("governor=admitted"), std::string::npos);
+}
+
+TEST_F(ServiceTest, SpillWorkIsMeteredPerTenantAndInExplain) {
+  // An over-budget aggregate transparently spills instead of dying; the
+  // out-of-core work is attributed to the tenant's counters, the query
+  // report, and the EXPLAIN ANALYZE summary — and the answer is
+  // byte-identical to the in-memory run.
+  struct Guard {
+    ~Guard() {
+      spill::ClearSpillOverride();
+      spill::ClearSpillBudgetOverride();
+    }
+  } guard;
+  PlanPtr agg =
+      Plan::Aggregate(Plan::Scan("orders"), {"oid"},
+                      {AggSpec{AggFunc::kSum, Col("amount"), "total"}});
+  Coordinator direct(cluster_.get());
+  ASSERT_OK_AND_ASSIGN(Dataset want, direct.Execute(agg));  // spill off
+
+  spill::SetSpillOverride(true);
+  spill::SetSpillBudgetOverride(1);  // everything is over budget
+  Server server(cluster_.get());
+  ASSERT_OK(server.RegisterTenant("acme", TenantOptions{}));
+  ASSERT_OK_AND_ASSIGN(int64_t session, server.OpenSession("acme"));
+  QueryReport report;
+  ASSERT_OK_AND_ASSIGN(Dataset got, server.Execute(session, agg, {}, &report));
+  EXPECT_TRUE(got.LogicallyEquals(want));
+  EXPECT_GT(report.spill_partitions, 0);
+  EXPECT_GT(report.spill_bytes, 0);
+  EXPECT_GT(report.released_bytes, 0);  // parked bytes came back to the tenant
+  auto* bytes_counter =
+      telemetry::MetricsRegistry::Global().counter("service.acme.spill_bytes");
+  EXPECT_GT(bytes_counter->value(), 0);
+
+  ASSERT_OK_AND_ASSIGN(std::string analyzed,
+                       server.ExplainAnalyze(session, agg));
+  EXPECT_NE(analyzed.find("spill: "), std::string::npos) << analyzed;
+  // Every scratch file is reference-counted away once queries finish.
+  EXPECT_EQ(spill::SpillManager::Global().live_files(), 0);
 }
 
 TEST_F(ServiceTest, CloseSessionCancelsOutstandingQueries) {
