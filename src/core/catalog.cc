@@ -27,10 +27,95 @@ Status InMemoryCatalog::Put(const std::string& name, Dataset data) {
   // Compute stats outside the lock: registration is the natural (and only
   // cheap) moment to scan, and concurrent readers shouldn't wait on it.
   TableStats stats = ComputeStats(data);
+  const int64_t rows = data.num_rows();
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_[name] = std::move(data);
   stats_[name] = std::move(stats);
+  // Reset the append tail: a Put is a wholesale replacement, so any retained
+  // incremental state keyed to the previous generation is now invalid.
+  TailState& tail = tails_[name];
+  tail.epoch = 0;
+  tail.generation = ++generation_seq_;
+  tail.rows_at_epoch.assign(1, rows);
+  tail.acc.reset();
   return Status::OK();
+}
+
+Status InMemoryCatalog::Append(const std::string& name, const Dataset& delta) {
+  if (!delta.is_table()) {
+    return Status::InvalidArgument("Append requires a table delta");
+  }
+  const TablePtr& tail_rows = delta.table();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  if (!it->second.is_table()) {
+    return Status::InvalidArgument(
+        StrCat("cannot append to array collection '", name, "'"));
+  }
+  const TablePtr& base = it->second.table();
+  if (!base->schema()->Equals(*tail_rows->schema())) {
+    return Status::InvalidArgument(
+        StrCat("append schema mismatch for '", name, "'"));
+  }
+  TailState& tail = tails_[name];
+  if (tail.acc == nullptr) {
+    // First append of this generation: seed the running accumulator with the
+    // rows already here (one scan, once); every later batch is O(|Δ|).
+    tail.acc = std::make_unique<TableStatsAccumulator>(base->schema());
+    tail.acc->AddTable(*base);
+  }
+  std::vector<Column> cols = base->columns();
+  for (int c = 0; c < base->num_columns(); ++c) {
+    NEXUS_RETURN_NOT_OK(
+        cols[static_cast<size_t>(c)].AppendColumn(tail_rows->column(c)));
+  }
+  NEXUS_ASSIGN_OR_RETURN(TablePtr grown,
+                         Table::Make(base->schema(), std::move(cols)));
+  it->second = Dataset(std::move(grown));
+  tail.acc->AddTable(*tail_rows);
+  stats_[name] = tail.acc->Snapshot();
+  ++tail.epoch;
+  tail.rows_at_epoch.push_back(it->second.num_rows());
+  return Status::OK();
+}
+
+Result<TableTail> InMemoryCatalog::Tail(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tails_.find(name);
+  if (it == tails_.end() || entries_.count(name) == 0) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  TableTail out;
+  out.epoch = it->second.epoch;
+  out.generation = it->second.generation;
+  out.row_count = it->second.rows_at_epoch.back();
+  return out;
+}
+
+Result<TablePtr> InMemoryCatalog::DeltaSince(const std::string& name,
+                                             int64_t epoch) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto te = tails_.find(name);
+  auto it = entries_.find(name);
+  if (te == tails_.end() || it == entries_.end()) {
+    return Status::NotFound(StrCat("no collection named '", name, "'"));
+  }
+  if (!it->second.is_table()) {
+    return Status::InvalidArgument(
+        StrCat("'", name, "' is not a table collection"));
+  }
+  const TailState& tail = te->second;
+  if (epoch < 0 || epoch > tail.epoch) {
+    return Status::InvalidArgument(
+        StrCat("epoch ", epoch, " out of range for '", name, "' (current ",
+               tail.epoch, ")"));
+  }
+  const TablePtr& t = it->second.table();
+  int64_t from = tail.rows_at_epoch[static_cast<size_t>(epoch)];
+  return t->Slice(from, t->num_rows() - from);
 }
 
 Result<Dataset> InMemoryCatalog::Get(const std::string& name) const {
@@ -41,6 +126,7 @@ Result<Dataset> InMemoryCatalog::Get(const std::string& name) const {
 Status InMemoryCatalog::Drop(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   stats_.erase(name);
+  tails_.erase(name);
   if (entries_.erase(name) == 0) {
     return Status::NotFound(StrCat("no collection named '", name, "'"));
   }

@@ -4,6 +4,7 @@
 #define NEXUS_CORE_CATALOG_H_
 
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -13,6 +14,19 @@
 #include "types/dataset.h"
 
 namespace nexus {
+
+/// Append-tail bookkeeping of one catalog table (see InMemoryCatalog::Append).
+struct TableTail {
+  /// Number of Append batches since the table was last Put. The watermark a
+  /// change-log reader holds onto between refreshes.
+  int64_t epoch = 0;
+  /// Bumped every time Put replaces the collection wholesale. A reader whose
+  /// remembered generation no longer matches cannot trust its retained
+  /// state: the table it incrementalized over is gone.
+  uint64_t generation = 0;
+  /// Current row count.
+  int64_t row_count = 0;
+};
 
 /// Read-only schema lookup used by schema inference and planning.
 class Catalog {
@@ -46,6 +60,24 @@ class InMemoryCatalog : public Catalog {
   /// The stored collection.
   Result<Dataset> Get(const std::string& name) const;
 
+  /// Appends `delta`'s rows to the tail of an existing table collection
+  /// (schemas must be equal), advancing the table's epoch. Statistics are
+  /// maintained incrementally: the first Append seeds a per-column
+  /// accumulator (KMV sketch + running min/max/null-count) from the current
+  /// rows, and every Append after that folds only the delta in — O(|Δ|),
+  /// not O(|table|) — so the estimator never plans on stale cardinalities.
+  Status Append(const std::string& name, const Dataset& delta);
+
+  /// Epoch/generation/row-count of the named table — the watermark triple an
+  /// incremental reader snapshots per refresh.
+  Result<TableTail> Tail(const std::string& name) const;
+
+  /// Change-log retrieval: the rows appended after `epoch`, in append order.
+  /// O(|Δ|) — a slice of the tail, never a rescan. epoch == current returns
+  /// an empty table; an epoch from a previous generation is an error (the
+  /// boundary row counts died with the old table).
+  Result<TablePtr> DeltaSince(const std::string& name, int64_t epoch) const;
+
   Status Drop(const std::string& name);
 
   Result<SchemaPtr> GetSchema(const std::string& name) const override;
@@ -66,9 +98,23 @@ class InMemoryCatalog : public Catalog {
   int64_t TotalBytes() const;
 
  private:
+  /// Tail state of one entry. Exists for every Put collection (generation
+  /// tracking is what tells incremental readers "this name was replaced");
+  /// the stats accumulator is built lazily on the first Append so the Put
+  /// path keeps its sampled one-scan behaviour byte-for-byte.
+  struct TailState {
+    int64_t epoch = 0;
+    uint64_t generation = 0;
+    /// rows_at_epoch[e] = row count after epoch e; [0] is the Put-time count.
+    std::vector<int64_t> rows_at_epoch;
+    std::unique_ptr<TableStatsAccumulator> acc;
+  };
+
   mutable std::shared_mutex mu_;
   std::map<std::string, Dataset> entries_;
   std::map<std::string, TableStats> stats_;
+  std::map<std::string, TailState> tails_;
+  uint64_t generation_seq_ = 0;  // process-unique per catalog, never reused
 };
 
 }  // namespace nexus

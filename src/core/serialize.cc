@@ -1882,4 +1882,72 @@ Result<WireEnvelope> ParseWireEnvelope(std::string_view wire) {
   return env;
 }
 
+// ---------------------------------------------------------------------------
+// Delta bindings.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kDeltaTag = "%NXB1-DELTA ";
+
+// Parses the run of digits at *pos into `out`; returns false on no digits.
+bool ParseU64At(std::string_view in, size_t* pos, unsigned long long* out) {
+  size_t start = *pos;
+  while (*pos < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[*pos]))) {
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = std::strtoull(std::string(in.substr(start, *pos - start)).c_str(),
+                       nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+std::string BuildDeltaBindingWire(int64_t base_rows, uint64_t chain_fp,
+                                  std::string_view tail_wire) {
+  std::string out;
+  out.reserve(kDeltaTag.size() + 48 + tail_wire.size());
+  out.append(kDeltaTag);
+  out.append(StrCat(base_rows));
+  out.push_back(' ');
+  out.append(std::to_string(chain_fp));
+  out.push_back('\n');
+  out.append(tail_wire);
+  return out;
+}
+
+bool IsDeltaBindingWire(std::string_view wire) {
+  return wire.substr(0, kDeltaTag.size()) == kDeltaTag;
+}
+
+Result<DeltaBindingView> ParseDeltaBindingWire(std::string_view wire) {
+  if (!IsDeltaBindingWire(wire)) {
+    return Status::SerializationError("not a delta binding wire");
+  }
+  size_t pos = kDeltaTag.size();
+  unsigned long long base_rows = 0, chain_fp = 0;
+  if (!ParseU64At(wire, &pos, &base_rows) || pos >= wire.size() ||
+      wire[pos] != ' ') {
+    return Status::SerializationError("malformed delta binding base rows");
+  }
+  ++pos;  // ' '
+  if (!ParseU64At(wire, &pos, &chain_fp) || pos >= wire.size() ||
+      wire[pos] != '\n') {
+    return Status::SerializationError("malformed delta binding chain");
+  }
+  ++pos;  // '\n'
+  DeltaBindingView view;
+  view.base_rows = static_cast<int64_t>(base_rows);
+  view.chain_fp = chain_fp;
+  view.tail_wire = wire.substr(pos);
+  return view;
+}
+
+uint64_t ChainFingerprint(uint64_t prev, std::string_view wire) {
+  uint64_t fp = HashInt64(prev ^ FingerprintWire(wire));
+  return fp == 0 ? 1 : fp;
+}
+
 }  // namespace nexus

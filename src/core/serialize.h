@@ -107,6 +107,40 @@ Result<WireEnvelope> ParseWireEnvelope(std::string_view wire);
 /// full plan when it sees this marker.
 inline constexpr std::string_view kPlanCacheMissMarker = "plan-cache miss";
 
+// ---------------------------------------------------------------------------
+// Delta bindings (incremental Iterate — see exec/incremental).
+// ---------------------------------------------------------------------------
+
+/// A binding value that carries only the rows appended since the provider's
+/// sticky copy of the same binding name:
+///   %NXB1-DELTA <base_rows> <chain_fp>\n<tail dataset wire>
+/// `base_rows` is the row count of the base the tail extends; `chain_fp` is
+/// the fingerprint chain of every wire that built the base (full wire, then
+/// each accepted tail), so two coordinators interleaving the same binding
+/// name on one provider can never silently append onto each other's state —
+/// a mismatched chain is a miss, answered by re-shipping the full value.
+struct DeltaBindingView {
+  int64_t base_rows = 0;
+  uint64_t chain_fp = 0;
+  std::string_view tail_wire;  ///< points into the input buffer
+};
+
+std::string BuildDeltaBindingWire(int64_t base_rows, uint64_t chain_fp,
+                                  std::string_view tail_wire);
+bool IsDeltaBindingWire(std::string_view wire);
+Result<DeltaBindingView> ParseDeltaBindingWire(std::string_view wire);
+
+/// Extends a binding fingerprint chain with one more shipped wire. Pass 0 as
+/// `prev` for the initial full-value wire. Never returns 0.
+uint64_t ChainFingerprint(uint64_t prev, std::string_view wire);
+
+/// Message substring of the NotFound status a provider returns for a delta
+/// binding whose base it does not hold (wrong row count, wrong chain, or
+/// evicted); the coordinator re-ships the full binding value when it sees
+/// this marker.
+inline constexpr std::string_view kDeltaBindingMissMarker =
+    "delta-binding miss";
+
 }  // namespace nexus
 
 #endif  // NEXUS_CORE_SERIALIZE_H_

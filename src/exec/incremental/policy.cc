@@ -1,0 +1,41 @@
+#include "exec/incremental/policy.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace nexus {
+namespace incremental {
+
+namespace {
+
+std::atomic<int> g_override{-1};
+
+bool EnvEnabled() {
+  static const bool value = [] {
+    const char* env = std::getenv("NEXUS_INCREMENTAL");
+    if (env == nullptr) return false;
+    std::string v(env);
+    return v == "1" || v == "on" || v == "true";
+  }();
+  return value;
+}
+
+}  // namespace
+
+bool IncrementalEnabled() {
+  int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return EnvEnabled();
+}
+
+void SetIncrementalOverride(bool on) {
+  g_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ClearIncrementalOverride() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace incremental
+}  // namespace nexus

@@ -1,0 +1,25 @@
+// Incremental-execution policy: the NEXUS_INCREMENTAL switch.
+//
+// Default off: every refresh and every Iterate round recomputes from
+// scratch, byte-for-byte as before this subsystem existed. When on, the
+// ViewRegistry maintains registered views from catalog deltas and the
+// coordinator ships loop bindings as prefix deltas — both under the
+// byte-identity-or-refuse contract (DESIGN.md, "Streaming appends and
+// incremental view maintenance").
+#ifndef NEXUS_EXEC_INCREMENTAL_POLICY_H_
+#define NEXUS_EXEC_INCREMENTAL_POLICY_H_
+
+namespace nexus {
+namespace incremental {
+
+/// True when incremental maintenance is enabled: the programmatic override
+/// if set, else the NEXUS_INCREMENTAL environment variable ("1"/"on"/"true"
+/// enables; default off).
+bool IncrementalEnabled();
+void SetIncrementalOverride(bool on);
+void ClearIncrementalOverride();
+
+}  // namespace incremental
+}  // namespace nexus
+
+#endif  // NEXUS_EXEC_INCREMENTAL_POLICY_H_

@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "core/schema_inference.h"
 #include "core/serialize.h"
+#include "exec/incremental/policy.h"
 #include "optimizer/cardinality.h"
 #include "telemetry/explain.h"
 #include "telemetry/telemetry.h"
@@ -48,6 +49,11 @@ std::string ExecutionMetrics::ToString() const {
     out += StrCat("  wire-saved=",
                   FormatBytes(static_cast<uint64_t>(wire_bytes_saved)));
   }
+  if (delta_bindings > 0) {
+    out += StrCat("  delta-bindings=", delta_bindings, " (",
+                  delta_rows_shipped, " rows, saved ",
+                  FormatBytes(static_cast<uint64_t>(delta_bytes_saved)), ")");
+  }
   return out;
 }
 
@@ -66,6 +72,9 @@ Coordinator::Instruments Coordinator::Instruments::Resolve() {
       reg.histogram("coordinator.backoff_seconds"),
       reg.histogram("coordinator.fragment_plan_bytes"),
       reg.counter("transport.bytes_saved"),
+      reg.counter("coordinator.delta_bindings"),
+      reg.counter("coordinator.delta_rows_shipped"),
+      reg.counter("coordinator.delta_bytes_saved"),
       reg.counter("provider.plan_cache_hit"),
       reg.counter("provider.plan_cache_miss"),
   };
@@ -84,6 +93,9 @@ Coordinator::InstrumentBase Coordinator::SnapshotInstruments() const {
   base.bytes_saved = ins_.bytes_saved->value();
   base.plan_cache_hit = ins_.plan_cache_hit->value();
   base.plan_cache_miss = ins_.plan_cache_miss->value();
+  base.delta_bindings = ins_.delta_bindings->value();
+  base.delta_rows_shipped = ins_.delta_rows_shipped->value();
+  base.delta_bytes_saved = ins_.delta_bytes_saved->value();
   return base;
 }
 
@@ -103,6 +115,11 @@ void Coordinator::FillMetricsFromInstruments(ExecutionMetrics* metrics) const {
   metrics->plan_cache_hits = ins_.plan_cache_hit->value() - base_.plan_cache_hit;
   metrics->plan_cache_misses =
       ins_.plan_cache_miss->value() - base_.plan_cache_miss;
+  metrics->delta_bindings = ins_.delta_bindings->value() - base_.delta_bindings;
+  metrics->delta_rows_shipped =
+      ins_.delta_rows_shipped->value() - base_.delta_rows_shipped;
+  metrics->delta_bytes_saved =
+      ins_.delta_bytes_saved->value() - base_.delta_bytes_saved;
 }
 
 Result<SchemaPtr> FederatedCatalog::GetSchema(const std::string& name) const {
@@ -928,29 +945,117 @@ Result<bool> Coordinator::RunLoopStepShipped(const IterateOp& op,
   // Same message shape as the general path — one plan message out, one data
   // message back, per body and per measure — so seeded chaos schedules see
   // an identical decision sequence; only the byte counts shrink.
-  auto bind = [&](bool use_curr, bool use_prev, const Dataset& curr,
-                  const Dataset& prev) {
-    std::vector<std::pair<std::string, std::string>> b;
-    if (use_curr) {
-      b.emplace_back(ship->curr_name, SerializeDatasetWire(curr, ship->format));
+  //
+  // With NEXUS_INCREMENTAL on, a binding whose new value extends the last
+  // one this loop shipped (a prefix in rows — the shape of a growing BFS
+  // frontier or an accumulating fixpoint) travels as a %NXB1-DELTA tail
+  // against the provider's sticky copy; a provider-side miss (evicted base
+  // or an interleaved chain) re-ships the full value, never a wrong answer.
+  struct BindUpdate {
+    std::string name;
+    LoopShip::BoundBase base;  // applied to ship->bound only on success
+    bool was_delta = false;
+    int64_t delta_rows = 0;
+    int64_t bytes_saved = 0;
+  };
+  auto one_binding = [&](const std::string& name, const Dataset& data,
+                         bool allow_delta, std::vector<BindUpdate>* updates)
+      -> std::pair<std::string, std::string> {
+    const bool inc = incremental::IncrementalEnabled();
+    if (inc && allow_delta && data.is_table()) {
+      auto it = ship->bound.find(name);
+      if (it != ship->bound.end()) {
+        const TablePtr& base = it->second.table;
+        const int64_t brows = base->num_rows();
+        const TablePtr& cur = data.table();
+        if (brows <= cur->num_rows() &&
+            cur->Slice(0, brows)->Equals(*base)) {
+          TablePtr tail = cur->Slice(brows, cur->num_rows() - brows);
+          std::string tail_wire =
+              SerializeDatasetWire(Dataset(tail), ship->format);
+          std::string wire =
+              BuildDeltaBindingWire(brows, it->second.chain_fp, tail_wire);
+          BindUpdate u;
+          u.name = name;
+          u.base.table = cur;
+          u.base.chain_fp =
+              ChainFingerprint(it->second.chain_fp, tail_wire);
+          u.base.full_wire_bytes = it->second.full_wire_bytes +
+                                   static_cast<int64_t>(tail_wire.size());
+          u.was_delta = true;
+          u.delta_rows = tail->num_rows();
+          u.bytes_saved = std::max<int64_t>(
+              0, u.base.full_wire_bytes - static_cast<int64_t>(wire.size()));
+          updates->push_back(std::move(u));
+          return {name, std::move(wire)};
+        }
+      }
     }
-    if (use_prev) {
-      b.emplace_back(ship->prev_name, SerializeDatasetWire(prev, ship->format));
+    std::string wire = SerializeDatasetWire(data, ship->format);
+    if (inc && data.is_table()) {
+      BindUpdate u;
+      u.name = name;
+      u.base.table = data.table();
+      u.base.chain_fp = ChainFingerprint(0, wire);
+      u.base.full_wire_bytes = static_cast<int64_t>(wire.size());
+      updates->push_back(std::move(u));
     }
-    return b;
+    return {name, std::move(wire)};
+  };
+  auto ship_bound = [&](const std::string& plan_wire, uint64_t fp,
+                        bool use_curr, bool use_prev, const Dataset& curr,
+                        const Dataset& prev) -> Result<Dataset> {
+    // Two passes at most, mirroring the plan-cache fallback: a delta the
+    // provider cannot extend comes back NotFound + kDeltaBindingMissMarker
+    // and the second pass sends the full values.
+    Result<Dataset> result = Status::NotFound("unsent");
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<BindUpdate> updates;
+      std::vector<std::pair<std::string, std::string>> b;
+      bool any_delta = false;
+      if (use_curr) {
+        b.push_back(one_binding(ship->curr_name, curr, pass == 0, &updates));
+      }
+      if (use_prev) {
+        b.push_back(one_binding(ship->prev_name, prev, pass == 0, &updates));
+      }
+      for (const BindUpdate& u : updates) any_delta |= u.was_delta;
+      result = ShipWire(ship->server, plan_wire, fp, b);
+      if (!result.ok() && any_delta &&
+          result.status().code() == StatusCode::kNotFound &&
+          result.status().message().find(kDeltaBindingMissMarker) !=
+              std::string::npos) {
+        // The provider lost (or never had) the base; forget ours too and
+        // re-send everything whole.
+        for (const BindUpdate& u : updates) ship->bound.erase(u.name);
+        continue;
+      }
+      if (result.ok()) {
+        for (BindUpdate& u : updates) {
+          if (u.was_delta) {
+            ins_.delta_bindings->Increment();
+            ins_.delta_rows_shipped->Add(u.delta_rows);
+            ins_.delta_bytes_saved->Add(u.bytes_saved);
+          }
+          ship->bound[u.name] = std::move(u.base);
+        }
+      }
+      break;
+    }
+    return result;
   };
   NEXUS_ASSIGN_OR_RETURN(
       Dataset produced,
-      ShipWire(ship->server, ship->body_wire, ship->body_fp,
-               bind(ship->body_curr, ship->body_prev, *state, *state)));
+      ship_bound(ship->body_wire, ship->body_fp, ship->body_curr,
+                 ship->body_prev, *state, *state));
   NEXUS_ASSIGN_OR_RETURN(Dataset next,
                          SendData(ship->server, kClientNode, produced));
   ins_.client_loop_iterations->Increment();
   if (op.measure != nullptr) {
     NEXUS_ASSIGN_OR_RETURN(
         Dataset measured_remote,
-        ShipWire(ship->server, ship->measure_wire, ship->measure_fp,
-                 bind(ship->measure_curr, ship->measure_prev, next, *state)));
+        ship_bound(ship->measure_wire, ship->measure_fp, ship->measure_curr,
+                   ship->measure_prev, next, *state));
     NEXUS_ASSIGN_OR_RETURN(Dataset measured,
                            SendData(ship->server, kClientNode, measured_remote));
     NEXUS_ASSIGN_OR_RETURN(TablePtr mt, measured.AsTable());
@@ -1260,6 +1365,9 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   telemetry::Counter* spill_ops_c = mreg.counter("spill.ops");
   telemetry::Counter* spill_parts_c = mreg.counter("spill.partitions");
   telemetry::Counter* spill_bytes_c = mreg.counter("spill.bytes_written");
+  telemetry::Counter* ivm_refresh_c = mreg.counter("incremental.refreshes");
+  telemetry::Counter* ivm_fallback_c = mreg.counter("incremental.fallbacks");
+  telemetry::Counter* ivm_rows_c = mreg.counter("incremental.delta_rows");
   const int64_t compiles0 = compiles_c->value();
   const int64_t compile_hits0 = compile_hits_c->value();
   const int64_t lowered0 = lowered_c->value();
@@ -1268,6 +1376,9 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   const int64_t spill_ops0 = spill_ops_c->value();
   const int64_t spill_parts0 = spill_parts_c->value();
   const int64_t spill_bytes0 = spill_bytes_c->value();
+  const int64_t ivm_refresh0 = ivm_refresh_c->value();
+  const int64_t ivm_fallback0 = ivm_fallback_c->value();
+  const int64_t ivm_rows0 = ivm_rows_c->value();
   auto result = Execute(plan, m);
   const int64_t compiles = compiles_c->value() - compiles0;
   const int64_t compile_hits = compile_hits_c->value() - compile_hits0;
@@ -1277,6 +1388,9 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
   const int64_t spill_ops = spill_ops_c->value() - spill_ops0;
   const int64_t spill_parts = spill_parts_c->value() - spill_parts0;
   const int64_t spill_bytes = spill_bytes_c->value() - spill_bytes0;
+  const int64_t ivm_refreshes = ivm_refresh_c->value() - ivm_refresh0;
+  const int64_t ivm_fallbacks = ivm_fallback_c->value() - ivm_fallback0;
+  const int64_t ivm_rows = ivm_rows_c->value() - ivm_rows0;
   std::string report = telemetry::ExplainAnalyze(telemetry::Spans(),
                                                  last_trace_id_);
   telemetry::SetEnabled(was_enabled);
@@ -1308,6 +1422,16 @@ Result<std::string> Coordinator::ExplainAnalyze(const PlanPtr& plan,
     report += StrCat("spill: ", spill_parts, " partitions / ",
                      FormatBytes(static_cast<uint64_t>(spill_bytes)),
                      " across ", spill_ops, " operators\n");
+  }
+  // Incremental summary: loop bindings that traveled as append-tails, and
+  // view refreshes served from retained operator state (NEXUS_INCREMENTAL).
+  if (m->delta_bindings + ivm_refreshes > 0) {
+    report += StrCat(
+        "incremental: ", m->delta_bindings, " delta bindings (",
+        m->delta_rows_shipped, " rows, saved ",
+        FormatBytes(static_cast<uint64_t>(m->delta_bytes_saved)), "); ",
+        ivm_refreshes, " view refreshes (", ivm_rows, " Δ rows, ",
+        ivm_fallbacks, " fallbacks)\n");
   }
   return report;
 }

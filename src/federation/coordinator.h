@@ -136,6 +136,11 @@ struct ExecutionMetrics {
   int64_t plan_cache_hits = 0;     // %NXB1-EXEC references resolved remotely
   int64_t plan_cache_misses = 0;   // full plans parsed (incl. evicted refs)
   int64_t wire_bytes_saved = 0;    // plan bytes not re-shipped thanks to refs
+  // Incremental Iterate (NEXUS_INCREMENTAL — see exec/incremental): loop
+  // bindings shipped as append-tails instead of full values.
+  int64_t delta_bindings = 0;      // bindings that traveled as %NXB1-DELTA
+  int64_t delta_rows_shipped = 0;  // rows in those tails
+  int64_t delta_bytes_saved = 0;   // binding bytes elided vs full re-ship
   std::map<std::string, int64_t> nodes_per_server;
 
   std::string ToString() const;
@@ -271,6 +276,17 @@ class Coordinator {
     std::string measure_wire;
     uint64_t measure_fp = 0;
     bool measure_curr = false, measure_prev = false;
+    /// What the provider's sticky binding cache holds per binding name (the
+    /// last full value this loop successfully shipped, with its fingerprint
+    /// chain) — the base a later round's prefix-extending value extends as a
+    /// %NXB1-DELTA tail. `full_wire_bytes` tracks the size a full re-ship
+    /// would have cost, for the delta_bytes_saved accounting.
+    struct BoundBase {
+      TablePtr table;
+      uint64_t chain_fp = 0;
+      int64_t full_wire_bytes = 0;
+    };
+    std::map<std::string, BoundBase> bound;
   };
   Result<Dataset> RunClientLoop(const Plan& iterate, Placement* placement);
   /// One body(+measure) round of a client-driven loop; updates *state.
@@ -318,6 +334,10 @@ class Coordinator {
     telemetry::Histogram* fragment_plan_bytes;
     /// Plan bytes *not* sent because a cache reference sufficed.
     telemetry::Counter* bytes_saved;
+    /// Incremental Iterate: loop bindings shipped as %NXB1-DELTA tails.
+    telemetry::Counter* delta_bindings;
+    telemetry::Counter* delta_rows_shipped;
+    telemetry::Counter* delta_bytes_saved;
     /// The provider-side cache counters (the same registry instruments the
     /// providers increment), snapshotted so metrics can delta them.
     telemetry::Counter* plan_cache_hit;
@@ -339,6 +359,9 @@ class Coordinator {
     int64_t bytes_saved = 0;
     int64_t plan_cache_hit = 0;
     int64_t plan_cache_miss = 0;
+    int64_t delta_bindings = 0;
+    int64_t delta_rows_shipped = 0;
+    int64_t delta_bytes_saved = 0;
   };
   InstrumentBase SnapshotInstruments() const;
   void FillMetricsFromInstruments(ExecutionMetrics* metrics) const;

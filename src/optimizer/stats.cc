@@ -9,36 +9,33 @@
 
 namespace nexus {
 
+void KmvSketch::Add(uint64_t hash) {
+  if (keep_.size() < kK) {
+    keep_.insert(hash);
+    return;
+  }
+  auto largest = std::prev(keep_.end());
+  if (hash < *largest && keep_.insert(hash).second) keep_.erase(largest);
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  // Union the kept sets, then trim back to the k smallest. Identical to
+  // having Add-ed other's whole stream: any hash small enough to survive in
+  // the union's bottom k was kept by whichever sketch saw it.
+  for (uint64_t h : other.keep_) keep_.insert(h);
+  while (keep_.size() > kK) keep_.erase(std::prev(keep_.end()));
+}
+
+double KmvSketch::Estimate() const {
+  if (keep_.size() < kK) return static_cast<double>(keep_.size());
+  // kth minimum at normalized position p estimates (k-1)/p values.
+  double kth = static_cast<double>(*std::prev(keep_.end()));
+  double p = kth / 18446744073709551616.0;  // 2^64
+  if (p <= 0.0) return static_cast<double>(kK);
+  return static_cast<double>(kK - 1) / p;
+}
+
 namespace {
-
-// K-minimum-values distinct-count sketch: keep the k smallest hashes seen;
-// with fewer than k values the count is exact, past that the kth-smallest
-// hash estimates the density of the hash space.
-class KmvSketch {
- public:
-  static constexpr size_t kK = 256;
-
-  void Add(uint64_t hash) {
-    if (keep_.size() < kK) {
-      keep_.insert(hash);
-      return;
-    }
-    auto largest = std::prev(keep_.end());
-    if (hash < *largest && keep_.insert(hash).second) keep_.erase(largest);
-  }
-
-  double Estimate() const {
-    if (keep_.size() < kK) return static_cast<double>(keep_.size());
-    // kth minimum at normalized position p estimates (k-1)/p values.
-    double kth = static_cast<double>(*std::prev(keep_.end()));
-    double p = kth / 18446744073709551616.0;  // 2^64
-    if (p <= 0.0) return static_cast<double>(kK);
-    return static_cast<double>(kK - 1) / p;
-  }
-
- private:
-  std::set<uint64_t> keep_;  // ordered: the k smallest distinct hashes
-};
 
 ColumnStats ComputeColumnStats(const Column& col, int64_t sample_limit,
                                int64_t* sampled_rows) {
@@ -123,6 +120,65 @@ double EstimatedWireWidth(DataType type, double avg_value_bytes) {
     default:
       return static_cast<double>(FixedWidth(type));
   }
+}
+
+TableStatsAccumulator::TableStatsAccumulator(SchemaPtr schema)
+    : schema_(std::move(schema)),
+      cols_(static_cast<size_t>(schema_->num_fields())) {}
+
+void TableStatsAccumulator::AddTable(const Table& batch) {
+  const int64_t n = batch.num_rows();
+  for (int i = 0; i < batch.schema()->num_fields(); ++i) {
+    ColumnAcc& acc = cols_[static_cast<size_t>(i)];
+    const Column& col = batch.column(i);
+    acc.null_count += col.null_count();
+    if (col.type() == DataType::kInt64 || col.type() == DataType::kFloat64) {
+      for (int64_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) continue;
+        double v = col.NumericAt(r);
+        if (!acc.has_minmax || v < acc.min) acc.min = v;
+        if (!acc.has_minmax || v > acc.max) acc.max = v;
+        acc.has_minmax = true;
+      }
+    } else if (col.type() == DataType::kString) {
+      for (const std::string& v : col.strings()) {
+        acc.string_bytes += static_cast<int64_t>(v.size());
+      }
+    }
+    for (int64_t r = 0; r < n; ++r) {
+      if (col.IsNull(r)) continue;
+      acc.sketch.Add(col.HashAt(r));
+    }
+  }
+  rows_ += n;
+}
+
+TableStats TableStatsAccumulator::Snapshot() const {
+  TableStats stats;
+  stats.row_count = rows_;
+  stats.sampled_rows = rows_;  // every row passed through the sketches
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    const ColumnAcc& acc = cols_[static_cast<size_t>(i)];
+    const Field& f = schema_->field(i);
+    ColumnStats s;
+    s.null_count = acc.null_count;
+    s.has_minmax = acc.has_minmax;
+    s.min = acc.min;
+    s.max = acc.max;
+    if (f.type == DataType::kString) {
+      double avg_len =
+          rows_ > 0 ? static_cast<double>(acc.string_bytes) / rows_ : 0.0;
+      s.avg_width = EstimatedWireWidth(f.type, avg_len);
+    } else {
+      s.avg_width = EstimatedWireWidth(f.type, 0.0);
+    }
+    double ndv = acc.sketch.Estimate();
+    s.distinct = std::min(
+        ndv, static_cast<double>(std::max<int64_t>(rows_ - s.null_count, 0)));
+    if (s.distinct < 1.0 && rows_ > s.null_count) s.distinct = 1.0;
+    stats.columns[f.name] = s;
+  }
+  return stats;
 }
 
 TableStats ComputeStats(const Dataset& data, int64_t sample_limit) {

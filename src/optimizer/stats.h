@@ -10,11 +10,37 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "types/dataset.h"
+#include "types/table.h"
 
 namespace nexus {
+
+/// K-minimum-values distinct-count sketch: keep the k smallest distinct
+/// hashes seen; with fewer than k values the count is exact, past that the
+/// kth-smallest hash estimates the density of the hash space. Mergeable:
+/// the union of two sketches' kept sets, trimmed back to k, is exactly the
+/// sketch of the concatenated streams — which is what makes O(|Δ|)
+/// append-time maintenance possible (sketch the delta, merge into the
+/// running sketch).
+class KmvSketch {
+ public:
+  static constexpr size_t kK = 256;
+
+  void Add(uint64_t hash);
+  /// Folds `other` in. Equivalent to having Add-ed every hash `other` saw.
+  void Merge(const KmvSketch& other);
+  double Estimate() const;
+  /// Number of hashes currently kept (< kK means the estimate is exact).
+  size_t kept() const { return keep_.size(); }
+
+ private:
+  std::set<uint64_t> keep_;  // ordered: the k smallest distinct hashes
+};
 
 /// Per-column summary: enough to estimate range/equality selectivity and
 /// the column's width on the NXB1 wire.
@@ -62,6 +88,38 @@ TableStats ComputeStats(const Dataset& data,
 /// in-memory payload is `avg_value_bytes` (only used for strings: their
 /// frame stores (n+1) u32 offsets plus the byte blob).
 double EstimatedWireWidth(DataType type, double avg_value_bytes);
+
+/// Incremental table statistics: one KMV sketch plus running
+/// min/max/null-count/width per column, foldable a batch at a time. Feeding
+/// the seed table once and then each appended delta keeps Snapshot() current
+/// at O(|Δ|) per append — the streaming counterpart of ComputeStats, which
+/// rescans the whole table. Unlike the Put-time path it never samples: every
+/// row passes through the sketch, so estimates stay stable as tables grow.
+class TableStatsAccumulator {
+ public:
+  explicit TableStatsAccumulator(SchemaPtr schema);
+
+  /// Folds one batch of rows in (schema must match the constructor's).
+  void AddTable(const Table& batch);
+
+  /// Current statistics for everything folded so far.
+  TableStats Snapshot() const;
+
+  int64_t rows() const { return rows_; }
+
+ private:
+  struct ColumnAcc {
+    KmvSketch sketch;
+    int64_t null_count = 0;
+    bool has_minmax = false;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t string_bytes = 0;  // total payload of string columns
+  };
+  SchemaPtr schema_;
+  std::vector<ColumnAcc> cols_;
+  int64_t rows_ = 0;
+};
 
 }  // namespace nexus
 

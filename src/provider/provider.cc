@@ -2,6 +2,7 @@
 
 #include "common/str_util.h"
 #include "core/serialize.h"
+#include "exec/incremental/policy.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -13,12 +14,18 @@ namespace {
 struct ProviderInstruments {
   telemetry::Counter* plan_cache_hit;
   telemetry::Counter* plan_cache_miss;
+  telemetry::Counter* delta_binding_hit;
+  telemetry::Counter* delta_binding_miss;
 
   static const ProviderInstruments& Get() {
     static const ProviderInstruments in{
         telemetry::MetricsRegistry::Global().counter("provider.plan_cache_hit"),
         telemetry::MetricsRegistry::Global().counter(
             "provider.plan_cache_miss"),
+        telemetry::MetricsRegistry::Global().counter(
+            "provider.delta_binding_hit"),
+        telemetry::MetricsRegistry::Global().counter(
+            "provider.delta_binding_miss"),
     };
     return in;
   }
@@ -92,12 +99,12 @@ Result<Dataset> Provider::ExecuteBound(
     for (const std::string& n : registered) (void)catalog_.Drop(n);
   };
   for (const auto& [bname, bwire] : bindings) {
-    auto data = ParseDatasetWire(bwire);
+    std::string key(bname);
+    auto data = ResolveBinding(key, bwire);
     if (!data.ok()) {
       drop_all();
       return data.status();
     }
-    std::string key(bname);
     Status st = catalog_.Put(key, std::move(data).ValueOrDie());
     if (!st.ok()) {
       drop_all();
@@ -108,6 +115,66 @@ Result<Dataset> Provider::ExecuteBound(
   auto result = Execute(plan);
   drop_all();
   return result;
+}
+
+Result<Dataset> Provider::ResolveBinding(const std::string& name,
+                                         std::string_view wire) {
+  const ProviderInstruments& in = ProviderInstruments::Get();
+  if (!IsDeltaBindingWire(wire)) {
+    NEXUS_ASSIGN_OR_RETURN(Dataset data, ParseDatasetWire(wire));
+    if (incremental::IncrementalEnabled() && data.is_table()) {
+      CacheBinding(name, data.table(), ChainFingerprint(0, wire));
+    }
+    return data;
+  }
+  NEXUS_ASSIGN_OR_RETURN(DeltaBindingView view, ParseDeltaBindingWire(wire));
+  TablePtr base;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = binding_cache_.find(name);
+    if (it != binding_cache_.end() && it->second.chain_fp == view.chain_fp &&
+        it->second.table->num_rows() == view.base_rows) {
+      base = it->second.table;
+    }
+  }
+  if (base == nullptr) {
+    in.delta_binding_miss->Increment();
+    return Status::NotFound(StrCat(kDeltaBindingMissMarker, ": no base for '",
+                                   name, "' on ", this->name()));
+  }
+  NEXUS_ASSIGN_OR_RETURN(Dataset tail, ParseDatasetWire(view.tail_wire));
+  if (!tail.is_table() || !tail.table()->schema()->Equals(*base->schema())) {
+    in.delta_binding_miss->Increment();
+    return Status::NotFound(StrCat(kDeltaBindingMissMarker,
+                                   ": schema mismatch for '", name, "' on ",
+                                   this->name()));
+  }
+  std::vector<Column> cols = base->columns();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    NEXUS_RETURN_NOT_OK(
+        cols[c].AppendColumn(tail.table()->column(static_cast<int>(c))));
+  }
+  NEXUS_ASSIGN_OR_RETURN(TablePtr full,
+                         Table::Make(base->schema(), std::move(cols)));
+  CacheBinding(name, full, ChainFingerprint(view.chain_fp, view.tail_wire));
+  in.delta_binding_hit->Increment();
+  return Dataset(std::move(full));
+}
+
+void Provider::CacheBinding(const std::string& name, TablePtr table,
+                            uint64_t chain_fp) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = binding_cache_.find(name);
+  if (it != binding_cache_.end()) {
+    it->second = BindingEntry{std::move(table), chain_fp};
+    return;
+  }
+  binding_cache_.emplace(name, BindingEntry{std::move(table), chain_fp});
+  binding_cache_order_.push_back(name);
+  if (binding_cache_order_.size() > kBindingCacheCapacity) {
+    binding_cache_.erase(binding_cache_order_.front());
+    binding_cache_order_.pop_front();
+  }
 }
 
 PlanPtr Provider::LookupCachedPlan(uint64_t fingerprint) {

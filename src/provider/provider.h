@@ -35,6 +35,12 @@ class Provider {
   /// shipments (Iterate rounds, re-executed queries), not as a plan store.
   static constexpr size_t kPlanCacheCapacity = 64;
 
+  /// Sticky envelope bindings kept per provider so delta bindings
+  /// (%NXB1-DELTA, see core/serialize.h) have a base to extend: the last
+  /// full table shipped under each binding name, plus its fingerprint chain.
+  /// Populated only while NEXUS_INCREMENTAL is on.
+  static constexpr size_t kBindingCacheCapacity = 16;
+
   virtual ~Provider() = default;
 
   /// Stable identifier ("relstore", "arraydb", ...).
@@ -83,9 +89,25 @@ class Provider {
   PlanPtr LookupCachedPlan(uint64_t fingerprint);
   void CachePlan(uint64_t fingerprint, PlanPtr plan);
 
+  /// Resolves one envelope binding value to a dataset: a delta binding wire
+  /// is appended onto its sticky base (NotFound + kDeltaBindingMissMarker
+  /// when the base is absent or the chain mismatches), a full value is
+  /// parsed directly and — with NEXUS_INCREMENTAL on — becomes the new
+  /// sticky base for its name.
+  Result<Dataset> ResolveBinding(const std::string& name,
+                                 std::string_view wire);
+  void CacheBinding(const std::string& name, TablePtr table,
+                    uint64_t chain_fp);
+
   std::mutex cache_mu_;
   std::map<uint64_t, PlanPtr> plan_cache_;
   std::deque<uint64_t> plan_cache_order_;  // insertion order, for eviction
+  struct BindingEntry {
+    TablePtr table;
+    uint64_t chain_fp = 0;
+  };
+  std::map<std::string, BindingEntry> binding_cache_;
+  std::deque<std::string> binding_cache_order_;
 };
 
 using ProviderPtr = std::shared_ptr<Provider>;

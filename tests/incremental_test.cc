@@ -1,0 +1,520 @@
+// Incremental view maintenance tests: catalog append tails, the delta-form
+// rewrite, ViewRegistry byte-identity (incremental == full recompute),
+// refuse-and-fallback, state accounting + shedding, and delta-Iterate wire
+// shipping (%NXB1-DELTA bindings).
+#include <gtest/gtest.h>
+
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/str_util.h"
+#include "core/serialize.h"
+#include "exec/incremental/policy.h"
+#include "exec/incremental/view.h"
+#include "expr/builder.h"
+#include "federation/coordinator.h"
+#include "optimizer/incremental.h"
+#include "provider/provider.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace nexus {
+namespace {
+
+using namespace nexus::exprs;  // NOLINT
+using incremental::RefreshInfo;
+using incremental::RewriteToDelta;
+using incremental::ViewRegistry;
+using testing::F;
+using testing::I;
+using testing::MakeSchema;
+using testing::MakeTable;
+using testing::S;
+
+SchemaPtr BaseSchema() {
+  return MakeSchema({Field::Attr("k", DataType::kInt64),
+                     Field::Attr("g", DataType::kInt64),
+                     Field::Attr("v", DataType::kFloat64)});
+}
+
+TablePtr Rows(const SchemaPtr& s, std::vector<std::vector<Value>> rows) {
+  return MakeTable(s, rows);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog tails.
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTailTest, AppendAdvancesEpochAndDeltaSinceSlices) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("t", Dataset(Rows(s, {{I(1), I(0), F(1.0)}}))));
+  ASSERT_OK_AND_ASSIGN(TableTail t0, cat.Tail("t"));
+  EXPECT_EQ(t0.epoch, 0);
+  EXPECT_EQ(t0.row_count, 1);
+
+  ASSERT_OK(cat.Append("t", Dataset(Rows(s, {{I(2), I(1), F(2.0)},
+                                             {I(3), I(0), F(3.0)}}))));
+  ASSERT_OK(cat.Append("t", Dataset(Rows(s, {{I(4), I(1), F(4.0)}}))));
+  ASSERT_OK_AND_ASSIGN(TableTail t2, cat.Tail("t"));
+  EXPECT_EQ(t2.epoch, 2);
+  EXPECT_EQ(t2.row_count, 4);
+  EXPECT_EQ(t2.generation, t0.generation);
+
+  ASSERT_OK_AND_ASSIGN(TablePtr d0, cat.DeltaSince("t", 0));
+  EXPECT_EQ(d0->num_rows(), 3);
+  ASSERT_OK_AND_ASSIGN(TablePtr d1, cat.DeltaSince("t", 1));
+  EXPECT_EQ(d1->num_rows(), 1);
+  EXPECT_EQ(d1->At(0, 0), I(4));
+  ASSERT_OK_AND_ASSIGN(TablePtr d2, cat.DeltaSince("t", 2));
+  EXPECT_EQ(d2->num_rows(), 0);
+  EXPECT_FALSE(cat.DeltaSince("t", 3).ok());
+
+  // Put replaces wholesale: new generation, epoch rewinds to 0.
+  ASSERT_OK(cat.Put("t", Dataset(Rows(s, {{I(9), I(9), F(9.0)}}))));
+  ASSERT_OK_AND_ASSIGN(TableTail t3, cat.Tail("t"));
+  EXPECT_EQ(t3.epoch, 0);
+  EXPECT_NE(t3.generation, t0.generation);
+  ASSERT_OK(cat.Drop("t"));
+  EXPECT_FALSE(cat.Tail("t").ok());
+}
+
+TEST(CatalogTailTest, AppendValidatesSchemaAndKind) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("t", Dataset(Rows(s, {{I(1), I(0), F(1.0)}}))));
+  SchemaPtr other = MakeSchema({Field::Attr("x", DataType::kInt64)});
+  EXPECT_FALSE(cat.Append("t", Dataset(Rows(other, {{I(1)}}))).ok());
+  EXPECT_FALSE(cat.Append("missing", Dataset(Rows(s, {}))).ok());
+}
+
+TEST(CatalogTailTest, AppendKeepsStatsFresh) {
+  // The stale-stats regression: est-rows must track the grown table, not
+  // the Put-time snapshot.
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  TableBuilder seed(s);
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_OK(seed.AppendRow({I(i), I(i % 4), F(static_cast<double>(i))}));
+  }
+  ASSERT_OK(cat.Put("t", Dataset(seed.Finish().ValueOrDie())));
+  ASSERT_OK_AND_ASSIGN(TableStats before, cat.GetStats("t"));
+  EXPECT_EQ(before.row_count, 50);
+
+  for (int round = 0; round < 4; ++round) {
+    TableBuilder b(s);
+    for (int64_t i = 0; i < 100; ++i) {
+      int64_t v = 50 + round * 100 + i;
+      ASSERT_OK(b.AppendRow({I(v), I(v % 4), F(static_cast<double>(v))}));
+    }
+    ASSERT_OK(cat.Append("t", Dataset(b.Finish().ValueOrDie())));
+  }
+  ASSERT_OK_AND_ASSIGN(TableStats after, cat.GetStats("t"));
+  EXPECT_EQ(after.row_count, 450);  // not 50
+  // Distinct-count and min/max follow the appended data too.
+  const ColumnStats& k = after.columns.at("k");
+  EXPECT_GT(k.distinct, 300.0);
+  ASSERT_TRUE(k.has_minmax);
+  EXPECT_EQ(k.min, 0.0);
+  EXPECT_EQ(k.max, 449.0);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-form rewrite.
+// ---------------------------------------------------------------------------
+
+PlanPtr FilterJoinAggPlan() {
+  PlanPtr left = Plan::Select(Plan::Scan("base"), Gt(Col("v"), Lit(0.0)));
+  PlanPtr join = Plan::Join(left, Plan::Scan("side"), JoinType::kInner, {"k"},
+                            {"k"});
+  AggSpec sum{AggFunc::kSum, Col("v"), "total"};
+  AggSpec cnt{AggFunc::kCount, nullptr, "n"};
+  return Plan::Aggregate(join, {"g"}, {sum, cnt});
+}
+
+TEST(DeltaFormTest, SupportsFilterJoinAggregateSpine) {
+  auto form = RewriteToDelta(FilterJoinAggPlan());
+  ASSERT_TRUE(form.supported()) << form.refusal;
+  std::string desc = DescribeDeltaForm(form);
+  EXPECT_NE(desc.find("Δreduce⊕"), std::string::npos);
+  EXPECT_NE(desc.find("Δjoin"), std::string::npos);
+  EXPECT_NE(desc.find("Δfilter"), std::string::npos);
+}
+
+TEST(DeltaFormTest, RefusalTable) {
+  PlanPtr scan = Plan::Scan("base");
+  // Sort: output is not append-only.
+  auto sort = RewriteToDelta(Plan::Sort(scan, {{"k", true}}));
+  EXPECT_FALSE(sort.supported());
+  // Non-inner join needs retractions.
+  auto outer = RewriteToDelta(Plan::Join(Plan::Scan("base"),
+                                         Plan::Scan("side"), JoinType::kLeft,
+                                         {"k"}, {"k"}));
+  EXPECT_FALSE(outer.supported());
+  EXPECT_NE(outer.refusal.find("retraction"), std::string::npos);
+  // Keys-free (cross) join.
+  auto cross = RewriteToDelta(Plan::Join(Plan::Scan("base"),
+                                         Plan::Scan("side"), JoinType::kInner,
+                                         {}, {}));
+  EXPECT_FALSE(cross.supported());
+  // AVG is not a single ⊕-fold.
+  AggSpec avg{AggFunc::kAvg, Col("v"), "a"};
+  auto with_avg = RewriteToDelta(Plan::Aggregate(scan, {}, {avg}));
+  EXPECT_FALSE(with_avg.supported());
+  EXPECT_NE(with_avg.refusal.find("AVG"), std::string::npos);
+  // Aggregate below the root changes by update, not by append.
+  AggSpec cnt{AggFunc::kCount, nullptr, "n"};
+  auto nested = RewriteToDelta(
+      Plan::Select(Plan::Aggregate(scan, {"g"}, {cnt}), Gt(Col("n"), Lit(1))));
+  EXPECT_FALSE(nested.supported());
+  EXPECT_NE(DescribeDeltaForm(nested).find("refused:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ViewRegistry byte-identity.
+// ---------------------------------------------------------------------------
+
+/// Refreshes the view and asserts the result is byte-identical to a full
+/// recompute of `plan` against the current catalog.
+void ExpectRefreshMatchesFull(ViewRegistry* reg, const std::string& name,
+                              const Plan& plan, const InMemoryCatalog& cat,
+                              RefreshInfo* info = nullptr) {
+  ASSERT_OK_AND_ASSIGN(TablePtr got, reg->Refresh(name, info));
+  ASSERT_OK_AND_ASSIGN(TablePtr want, incremental::ExecuteViewPlan(plan, cat));
+  EXPECT_TRUE(got->Equals(*want)) << "got:\n"
+                                  << got->ToString() << "want:\n"
+                                  << want->ToString();
+}
+
+TEST(ViewRegistryTest, FilterViewFoldsOnlyTheDelta) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(1), I(0), F(5.0)},
+                                             {I(2), I(1), F(-1.0)}}))));
+  PlanPtr plan = Plan::Select(Plan::Scan("base"), Gt(Col("v"), Lit(0.0)));
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("hot", plan));
+  ExpectRefreshMatchesFull(&reg, "hot", *plan, cat);
+
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(3), I(0), F(2.0)},
+                                                {I(4), I(1), F(-3.0)},
+                                                {I(5), I(0), F(7.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "hot", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  EXPECT_FALSE(info.fell_back);
+  EXPECT_EQ(info.delta_rows, 2);  // two of the three appended rows pass
+
+  // No appends: an empty refresh is still the same bytes.
+  ExpectRefreshMatchesFull(&reg, "hot", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  EXPECT_EQ(info.delta_rows, 0);
+}
+
+TEST(ViewRegistryTest, JoinViewProbesOnlyTheDelta) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  SchemaPtr side = MakeSchema({Field::Attr("k", DataType::kInt64),
+                               Field::Attr("name", DataType::kString)});
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(1), I(0), F(5.0)},
+                                             {I(2), I(1), F(6.0)}}))));
+  ASSERT_OK(cat.Put("side", Dataset(Rows(side, {{I(1), S("a")},
+                                                {I(2), S("b")},
+                                                {I(1), S("c")}}))));
+  PlanPtr plan = Plan::Join(Plan::Scan("base"), Plan::Scan("side"),
+                            JoinType::kInner, {"k"}, {"k"});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("j", plan));
+  ExpectRefreshMatchesFull(&reg, "j", *plan, cat);
+
+  // Appends on both sides, interleaved over several refreshes: ΔR⋈S_old and
+  // R_new⋈ΔS pairs must land exactly where a full recompute puts them.
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(1), I(2), F(7.0)}}))));
+  ExpectRefreshMatchesFull(&reg, "j", *plan, cat);
+  ASSERT_OK(cat.Append("side", Dataset(Rows(side, {{I(2), S("d")},
+                                                   {I(3), S("e")}}))));
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(3), I(3), F(8.0)},
+                                                {I(2), I(4), F(9.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "j", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  EXPECT_GT(info.state_bytes, 0);
+}
+
+TEST(ViewRegistryTest, AggregateViewFoldsIntoRetainedGroups) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(1), I(0), F(5.0)},
+                                             {I(2), I(1), F(6.0)}}))));
+  AggSpec sum{AggFunc::kSum, Col("v"), "total"};
+  AggSpec cnt{AggFunc::kCount, nullptr, "n"};
+  AggSpec mx{AggFunc::kMax, Col("k"), "mk"};
+  PlanPtr plan = Plan::Aggregate(
+      Plan::Select(Plan::Scan("base"), Gt(Col("v"), Lit(0.0))), {"g"},
+      {sum, cnt, mx});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("agg", plan));
+  ExpectRefreshMatchesFull(&reg, "agg", *plan, cat);
+
+  // New rows into existing groups, a brand-new group, and filtered rows.
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(7), I(1), F(1.0)},
+                                                {I(9), I(2), F(3.0)},
+                                                {I(8), I(0), F(-2.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "agg", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(4), I(2), F(2.5)}}))));
+  ExpectRefreshMatchesFull(&reg, "agg", *plan, cat);
+}
+
+TEST(ViewRegistryTest, GlobalAggregateOverEmptyInputKeepsDefaultRow) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("base", Dataset(Table::Empty(s))));
+  AggSpec cnt{AggFunc::kCount, nullptr, "n"};
+  AggSpec sum{AggFunc::kSum, Col("k"), "sk"};
+  PlanPtr plan = Plan::Aggregate(Plan::Scan("base"), {}, {cnt, sum});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("g", plan));
+  ExpectRefreshMatchesFull(&reg, "g", *plan, cat);
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(1), I(0), F(1.0)}}))));
+  ExpectRefreshMatchesFull(&reg, "g", *plan, cat);
+}
+
+TEST(ViewRegistryTest, StaticallyRefusedPlanFallsBackToFullRecompute) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(2), I(0), F(5.0)},
+                                             {I(1), I(1), F(6.0)}}))));
+  PlanPtr plan = Plan::Sort(Plan::Scan("base"), {{"k", true}});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("sorted", plan));
+  ASSERT_OK_AND_ASSIGN(std::string desc, reg.Describe("sorted"));
+  EXPECT_NE(desc.find("refused:"), std::string::npos);
+
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(0), I(0), F(7.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "sorted", *plan, cat, &info);
+  EXPECT_FALSE(info.incremental);
+  EXPECT_FALSE(info.refusal.empty());
+}
+
+TEST(ViewRegistryTest, TableReplacedUnderViewForcesRebuild) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(1), I(0), F(5.0)}}))));
+  PlanPtr plan = Plan::Select(Plan::Scan("base"), Gt(Col("v"), Lit(0.0)));
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("hot", plan));
+  ASSERT_OK(reg.Refresh("hot").status());
+
+  // Put (not Append) bumps the generation: retained state is unusable.
+  ASSERT_OK(cat.Put("base", Dataset(Rows(s, {{I(8), I(3), F(1.0)},
+                                             {I(9), I(4), F(2.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "hot", *plan, cat, &info);
+  EXPECT_TRUE(info.fell_back);
+  EXPECT_NE(info.refusal.find("generation"), std::string::npos);
+  // The rebuild re-seated the watermarks: the next refresh is incremental.
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(10), I(3), F(3.0)}}))));
+  ExpectRefreshMatchesFull(&reg, "hot", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  EXPECT_FALSE(info.fell_back);
+}
+
+TEST(ViewRegistryTest, OutOfOrderFloatFoldRefusesAndFallsBack) {
+  // Union tags keys by branch, so an append to the *left* branch after the
+  // right branch contributed rows lands out of order at an order-sensitive
+  // float ⊕-fold — the runtime refusal, answered by a full rebuild.
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  ASSERT_OK(cat.Put("a", Dataset(Rows(s, {{I(1), I(0), F(0.1)}}))));
+  ASSERT_OK(cat.Put("b", Dataset(Rows(s, {{I(2), I(0), F(0.2)}}))));
+  AggSpec sum{AggFunc::kSum, Col("v"), "total"};
+  PlanPtr plan = Plan::Aggregate(
+      Plan::Union(Plan::Scan("a"), Plan::Scan("b")), {"g"}, {sum});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("u", plan));
+  ExpectRefreshMatchesFull(&reg, "u", *plan, cat);
+
+  ASSERT_OK(cat.Append("a", Dataset(Rows(s, {{I(3), I(0), F(0.3)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "u", *plan, cat, &info);
+  EXPECT_TRUE(info.fell_back);
+  EXPECT_NE(info.refusal.find("order"), std::string::npos);
+
+  // An int-only fold over the same shape is order-insensitive: no refusal.
+  AggSpec isum{AggFunc::kSum, Col("k"), "ik"};
+  PlanPtr iplan = Plan::Aggregate(
+      Plan::Union(Plan::Scan("a"), Plan::Scan("b")), {"g"}, {isum});
+  ASSERT_OK(reg.Register("iu", iplan));
+  ASSERT_OK(cat.Append("a", Dataset(Rows(s, {{I(5), I(0), F(0.5)}}))));
+  ExpectRefreshMatchesFull(&reg, "iu", *iplan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  EXPECT_FALSE(info.fell_back);
+}
+
+TEST(ViewRegistryTest, StateIsChargedAndSheddable) {
+  InMemoryCatalog cat;
+  SchemaPtr s = BaseSchema();
+  SchemaPtr side = MakeSchema({Field::Attr("k", DataType::kInt64),
+                               Field::Attr("name", DataType::kString)});
+  TableBuilder bb(s), sb(side);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_OK(bb.AppendRow({I(i % 16), I(i % 4), F(static_cast<double>(i))}));
+    ASSERT_OK(sb.AppendRow({I(i % 16), S(StrCat("n", i))}));
+  }
+  ASSERT_OK(cat.Put("base", Dataset(bb.Finish().ValueOrDie())));
+  ASSERT_OK(cat.Put("side", Dataset(sb.Finish().ValueOrDie())));
+  PlanPtr plan = Plan::Join(Plan::Scan("base"), Plan::Scan("side"),
+                            JoinType::kInner, {"k"}, {"k"});
+  ViewRegistry reg(&cat);
+  ASSERT_OK(reg.Register("j", plan));
+  int64_t resident = reg.state_bytes();
+  EXPECT_GT(resident, 0);
+
+  // Shed everything: join build sides park on disk...
+  ASSERT_OK(reg.ShedState(0));
+  EXPECT_LT(reg.state_bytes(), resident);
+  // ...and the next refresh reloads them and still matches a full recompute.
+  ASSERT_OK(cat.Append("base", Dataset(Rows(s, {{I(3), I(1), F(999.0)}}))));
+  RefreshInfo info;
+  ExpectRefreshMatchesFull(&reg, "j", *plan, cat, &info);
+  EXPECT_TRUE(info.incremental);
+  ASSERT_OK(reg.Unregister("j"));
+  EXPECT_EQ(reg.state_bytes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Delta binding wire + provider sticky bindings.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaBindingTest, WireRoundTrips) {
+  std::string wire = BuildDeltaBindingWire(42, 7, "TAILBYTES");
+  ASSERT_TRUE(IsDeltaBindingWire(wire));
+  EXPECT_FALSE(IsDeltaBindingWire("(scan base)"));
+  ASSERT_OK_AND_ASSIGN(DeltaBindingView v, ParseDeltaBindingWire(wire));
+  EXPECT_EQ(v.base_rows, 42);
+  EXPECT_EQ(v.chain_fp, 7u);
+  EXPECT_EQ(v.tail_wire, "TAILBYTES");
+  EXPECT_FALSE(ParseDeltaBindingWire("%NXB1-DELTA x\n").ok());
+  // The chain fingerprint is order-sensitive and never 0.
+  uint64_t c1 = ChainFingerprint(0, "a");
+  uint64_t c2 = ChainFingerprint(c1, "b");
+  EXPECT_NE(c1, 0u);
+  EXPECT_NE(c2, c1);
+  EXPECT_NE(ChainFingerprint(ChainFingerprint(0, "b"), "a"), c2);
+}
+
+TEST(DeltaBindingTest, ProviderMissesWithoutABase) {
+  // A delta binding against a provider that holds no base must come back as
+  // NotFound carrying the miss marker — the coordinator's re-ship trigger.
+  incremental::SetIncrementalOverride(true);
+  struct Cleaner {
+    ~Cleaner() { incremental::ClearIncrementalOverride(); }
+  } cleanup;
+  ProviderPtr p = MakeRelationalProvider();
+  SchemaPtr s = MakeSchema({Field::Attr("v", DataType::kInt64)});
+  std::string tail =
+      SerializeDatasetWire(Dataset(Rows(s, {{I(1)}})), WireFormat::kText);
+  std::string plan_wire = SerializePlan(*Plan::Scan("b0"));
+  std::string wire = BuildWireEnvelope(
+      WireEnvelope::Kind::kPlanStore, FingerprintWire(plan_wire),
+      {{"b0", BuildDeltaBindingWire(3, 99, tail)}}, plan_wire);
+  auto r = p->ExecuteWire(wire);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find(kDeltaBindingMissMarker),
+            std::string::npos);
+
+  // Ship the full value once; the same delta (correct chain) now lands.
+  std::string full =
+      SerializeDatasetWire(Dataset(Rows(s, {{I(7)}, {I(8)}, {I(9)}})),
+                           WireFormat::kText);
+  std::string store = BuildWireEnvelope(WireEnvelope::Kind::kPlanStore,
+                                        FingerprintWire(plan_wire) + 1,
+                                        {{"b0", full}}, plan_wire);
+  ASSERT_OK(p->ExecuteWire(store).status());
+  std::string delta = BuildWireEnvelope(
+      WireEnvelope::Kind::kPlanStore, FingerprintWire(plan_wire) + 2,
+      {{"b0", BuildDeltaBindingWire(3, ChainFingerprint(0, full), tail)}},
+      plan_wire);
+  ASSERT_OK_AND_ASSIGN(Dataset got, p->ExecuteWire(delta));
+  EXPECT_EQ(got.num_rows(), 4);  // 3 base rows + the 1-row tail
+  EXPECT_EQ(got.table()->At(3, 0), I(1));
+}
+
+// ---------------------------------------------------------------------------
+// Delta-driven Iterate over the wire.
+// ---------------------------------------------------------------------------
+
+/// An accumulating client-driven loop: each round appends one Values row to
+/// the loop state, so every round's binding prefix-extends the last.
+PlanPtr GrowingLoop(const SchemaPtr& s, int64_t rounds) {
+  IterateOp op;
+  op.body = Plan::Union(Plan::LoopVar(),
+                        Plan::Values(Dataset(MakeTable(s, {{I(-1)}}))));
+  op.max_iters = rounds;
+  return Plan::Iterate(Plan::Scan("state0"), op);
+}
+
+class DeltaIterateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    ASSERT_OK(cluster_->AddServer("relstore", MakeRelationalProvider()));
+    s_ = MakeSchema({Field::Attr("v", DataType::kInt64)});
+    TableBuilder b(s_);
+    for (int64_t i = 0; i < 64; ++i) ASSERT_OK(b.AppendRow({I(i)}));
+    ASSERT_OK(cluster_->PutData("relstore", "state0",
+                                Dataset(b.Finish().ValueOrDie())));
+  }
+  std::unique_ptr<Cluster> cluster_;
+  SchemaPtr s_;
+};
+
+TEST_F(DeltaIterateTest, ShipsOnlyPerRoundDeltas) {
+  PlanPtr loop = GrowingLoop(s_, 8);
+  CoordinatorOptions opts;
+  opts.provider_side_iteration = false;  // force the client-driven loop
+
+  incremental::ClearIncrementalOverride();
+  incremental::SetIncrementalOverride(false);
+  Coordinator off(cluster_.get(), opts);
+  ExecutionMetrics m_off;
+  ASSERT_OK_AND_ASSIGN(Dataset want, off.Execute(loop, &m_off));
+  EXPECT_EQ(m_off.delta_bindings, 0);
+
+  incremental::SetIncrementalOverride(true);
+  struct Cleaner {
+    ~Cleaner() { incremental::ClearIncrementalOverride(); }
+  } cleanup;
+  Coordinator on(cluster_.get(), opts);
+  ExecutionMetrics m_on;
+  ASSERT_OK_AND_ASSIGN(Dataset got, on.Execute(loop, &m_on));
+
+  // Byte-identical result, measurably fewer wire bytes, same message count.
+  EXPECT_TRUE(got.table()->Equals(*want.table()));
+  EXPECT_GE(m_on.delta_bindings, 7);  // every round after the first
+  EXPECT_GT(m_on.delta_bytes_saved, 0);
+  EXPECT_LT(m_on.data_bytes + m_on.plan_bytes,
+            m_off.data_bytes + m_off.plan_bytes);
+  EXPECT_EQ(m_on.messages, m_off.messages);
+  EXPECT_EQ(m_on.client_loop_iterations, m_off.client_loop_iterations);
+}
+
+TEST_F(DeltaIterateTest, ExplainAnalyzeReportsIncrementalLine) {
+  incremental::SetIncrementalOverride(true);
+  struct Cleaner {
+    ~Cleaner() { incremental::ClearIncrementalOverride(); }
+  } cleanup;
+  CoordinatorOptions opts;
+  opts.provider_side_iteration = false;
+  Coordinator coord(cluster_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(std::string report,
+                       coord.ExplainAnalyze(GrowingLoop(s_, 6)));
+  EXPECT_NE(report.find("incremental: "), std::string::npos);
+  EXPECT_NE(report.find("delta bindings"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nexus

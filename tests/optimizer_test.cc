@@ -7,6 +7,7 @@
 #include <functional>
 #include <set>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/str_util.h"
 #include "core/expansion.h"
@@ -395,6 +396,77 @@ TEST(StatsTest, CatalogComputesRefreshesAndOverrides) {
 
   ASSERT_OK(catalog.Drop("t"));
   EXPECT_FALSE(catalog.GetStats("t").ok());
+}
+
+TEST(StatsTest, KmvMergeOfSamplesEqualsSketchOfUnion) {
+  // The mergeability contract at k = 256: Merge(sketch(A), sketch(B)) must
+  // be indistinguishable from sketch(A ∪ B) — same kept set, same estimate.
+  // That identity is what makes O(|Δ|) append-time stats sound.
+  Rng rng(42);
+  KmvSketch a, b, of_union;
+  for (int i = 0; i < 30000; ++i) {
+    // Hash the draw: the estimator assumes uniform 64-bit hashes.
+    uint64_t h = HashInt64(static_cast<uint64_t>(rng.NextInt(1, 1 << 30)) |
+                           (static_cast<uint64_t>(i) << 32));
+    // Overlapping streams: ~half the hashes land in both.
+    bool in_a = rng.NextBool(0.7);
+    bool in_b = !in_a || rng.NextBool(0.4);
+    if (in_a) a.Add(h);
+    if (in_b) b.Add(h);
+    of_union.Add(h);
+  }
+  KmvSketch merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.kept(), KmvSketch::kK);
+  EXPECT_EQ(merged.kept(), of_union.kept());
+  EXPECT_EQ(merged.Estimate(), of_union.Estimate());
+  // And the estimate itself is in the right ballpark for ~30k distinct.
+  EXPECT_NEAR(merged.Estimate(), 30000.0, 30000.0 * 0.15);
+
+  // Below k the sketch is exact, and merging with an empty sketch is a
+  // no-op in both directions.
+  KmvSketch small, empty;
+  for (uint64_t h = 1; h <= 100; ++h) small.Add(h * 7919);
+  small.Merge(empty);
+  EXPECT_EQ(small.Estimate(), 100.0);
+  empty.Merge(small);
+  EXPECT_EQ(empty.Estimate(), 100.0);
+}
+
+TEST(StatsTest, AccumulatorMatchesBatchComputeOverAppends) {
+  // Feeding a table batch-by-batch through TableStatsAccumulator must agree
+  // with a one-shot ComputeStats over the concatenation (full scan, no
+  // sampling: the table is far under kStatsSampleLimit).
+  SchemaPtr s = Schema::Make({Field::Attr("k", DataType::kInt64),
+                              Field::Attr("name", DataType::kString)})
+                    .ValueOrDie();
+  Rng rng(9);
+  TableStatsAccumulator acc(s);
+  TableBuilder whole(s);
+  for (int batch = 0; batch < 5; ++batch) {
+    TableBuilder b(s);
+    for (int i = 0; i < 300; ++i) {
+      Value k = rng.NextBounded(30) == 0 ? Value::Null()
+                                         : Value::Int64(rng.NextInt(-50, 400));
+      Value n = Value::String(std::string(1 + rng.NextBounded(6), 'x'));
+      ASSERT_OK(b.AppendRow({k, n}));
+      ASSERT_OK(whole.AppendRow({k, n}));
+    }
+    acc.AddTable(*b.Finish().ValueOrDie());
+  }
+  TableStats inc = acc.Snapshot();
+  TableStats full = ComputeStats(Dataset(whole.Finish().ValueOrDie()));
+  EXPECT_EQ(inc.row_count, full.row_count);
+  for (const std::string& col : {std::string("k"), std::string("name")}) {
+    const ColumnStats& i = inc.columns.at(col);
+    const ColumnStats& f = full.columns.at(col);
+    EXPECT_EQ(i.null_count, f.null_count) << col;
+    EXPECT_EQ(i.has_minmax, f.has_minmax) << col;
+    EXPECT_EQ(i.min, f.min) << col;
+    EXPECT_EQ(i.max, f.max) << col;
+    EXPECT_EQ(i.distinct, f.distinct) << col;
+    EXPECT_NEAR(i.avg_width, f.avg_width, 1e-9) << col;
+  }
 }
 
 // Single-predicate filters over uniform data must estimate within a q-error
